@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: category
+ * partitions matching Table 2, geometric means, and simple fixed-
+ * width table printing in the spirit of the paper's figures.
+ */
+
+#ifndef DACSIM_BENCH_BENCH_UTIL_H
+#define DACSIM_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace dacsim::bench
+{
+
+/** Workload scale used by all figure reproductions. */
+inline constexpr double figureScale = 1.0;
+
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+/** Benchmarks in Table 2 order, split by category. */
+inline std::vector<std::string>
+benchNames(bool memory_intensive)
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        if (w.memoryIntensive == memory_intensive)
+            names.push_back(w.name);
+    return names;
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("=============================================================="
+                "==\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("=============================================================="
+                "==\n");
+}
+
+inline void
+printBar(const std::string &label, double value, double unit_per_char,
+         const std::string &suffix)
+{
+    std::printf("%-5s %7s |", label.c_str(), suffix.c_str());
+    int n = static_cast<int>(value / unit_per_char);
+    for (int i = 0; i < n && i < 60; ++i)
+        std::printf("#");
+    std::printf("\n");
+}
+
+} // namespace dacsim::bench
+
+#endif // DACSIM_BENCH_BENCH_UTIL_H

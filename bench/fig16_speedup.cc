@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 16 — Speedup of CAE, MTA, and DAC over the baseline GTX 480,
+ * split into the paper's two panels (memory-intensive, compute-
+ * intensive) with per-panel and global geometric means.
+ *
+ * Paper reference points: DAC global 1.407x; compute panel DAC 1.34x
+ * vs CAE 1.15x (their implementation 1.11x in the text); memory panel
+ * DAC 1.44x vs MTA 1.16x.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+void
+panel(const char *title, const std::vector<std::string> &names,
+      std::map<std::string, std::map<Technique, double>> &table,
+      std::vector<double> (&global)[3])
+{
+    std::printf("\n--- %s ---\n", title);
+    std::printf("%-5s %8s %8s %8s\n", "bench", "CAE", "MTA", "DAC");
+    std::vector<double> cae, mta, dac;
+    for (const std::string &n : names) {
+        RunOptions opt;
+        opt.scale = bench::figureScale;
+        RunOutcome base = runWorkload(n, opt);
+        std::map<Technique, double> row;
+        for (Technique t :
+             {Technique::Cae, Technique::Mta, Technique::Dac}) {
+            opt.tech = t;
+            RunOutcome r = runWorkload(n, opt);
+            require(r.checksums == base.checksums,
+                    "result mismatch on ", n);
+            row[t] = static_cast<double>(base.stats.cycles) /
+                     static_cast<double>(r.stats.cycles);
+        }
+        std::printf("%-5s %7.2fx %7.2fx %7.2fx\n", n.c_str(),
+                    row[Technique::Cae], row[Technique::Mta],
+                    row[Technique::Dac]);
+        cae.push_back(row[Technique::Cae]);
+        mta.push_back(row[Technique::Mta]);
+        dac.push_back(row[Technique::Dac]);
+        table[n] = row;
+    }
+    std::printf("%-5s %7.2fx %7.2fx %7.2fx  (geometric mean)\n", "MEAN",
+                bench::geomean(cae), bench::geomean(mta),
+                bench::geomean(dac));
+    global[0].insert(global[0].end(), cae.begin(), cae.end());
+    global[1].insert(global[1].end(), mta.begin(), mta.end());
+    global[2].insert(global[2].end(), dac.begin(), dac.end());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 16: Speedup of CAE, MTA, and DAC over the baseline");
+    std::map<std::string, std::map<Technique, double>> table;
+    std::vector<double> global[3];
+    panel("(a) Memory Intensive Benchmarks", bench::benchNames(true),
+          table, global);
+    panel("(b) Compute Intensive Benchmarks", bench::benchNames(false),
+          table, global);
+    std::printf("\nGLOBAL geometric means: CAE %.3fx  MTA %.3fx  "
+                "DAC %.3fx\n",
+                bench::geomean(global[0]), bench::geomean(global[1]),
+                bench::geomean(global[2]));
+    std::printf("(paper: DAC 1.407x overall; compute DAC 1.34x / CAE "
+                "1.11x; memory DAC 1.44x / MTA 1.16x)\n");
+    return 0;
+}

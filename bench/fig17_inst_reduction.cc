@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 17 — Number of Warp Instructions Executed by DAC Normalized
+ * to the Baseline GPU, split into the non-affine and affine streams,
+ * plus the Section 5.3 headline numbers (26% average reduction, ~4.6%
+ * affine-stream share, one affine instruction replacing ~9 baseline
+ * instructions).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dacsim;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 17: DAC Warp Instructions Normalized to Baseline");
+    std::printf("%-5s %10s %10s %10s %9s\n", "bench", "non-affine",
+                "affine", "total", "affine%");
+
+    std::vector<double> totals, shares, replaced;
+    for (const Workload &w : allWorkloads()) {
+        RunOptions opt;
+        opt.scale = bench::figureScale;
+        RunOutcome base = runWorkload(w, opt);
+        opt.tech = Technique::Dac;
+        RunOutcome dac = runWorkload(w, opt);
+        double b = static_cast<double>(base.stats.warpInsts);
+        double na = static_cast<double>(dac.stats.warpInsts) / b;
+        double aff = static_cast<double>(dac.stats.affineWarpInsts) / b;
+        double share =
+            static_cast<double>(dac.stats.affineWarpInsts) /
+            static_cast<double>(dac.stats.totalWarpInsts());
+        std::printf("%-5s %9.3fx %9.3fx %9.3fx %8.1f%%\n",
+                    w.name.c_str(), na, aff, na + aff, 100.0 * share);
+        totals.push_back(na + aff);
+        shares.push_back(share);
+        if (dac.stats.affineWarpInsts > 0) {
+            // How many baseline instructions one affine inst replaced.
+            double removed = b - static_cast<double>(dac.stats.warpInsts);
+            if (removed > 0)
+                replaced.push_back(
+                    removed /
+                    static_cast<double>(dac.stats.affineWarpInsts));
+        }
+    }
+    double meanTotal = bench::geomean(totals);
+    std::printf("\nMEAN normalized instruction count: %.3fx -> "
+                "%.1f%% reduction (paper: 26.0%%)\n",
+                meanTotal, 100.0 * (1.0 - meanTotal));
+    std::printf("MEAN affine-stream share: %.1f%% of DAC instructions "
+                "(paper: 4.6%%)\n",
+                100.0 * bench::geomean(shares));
+    std::printf("One affine instruction replaces %.1f baseline "
+                "instructions on average (paper: ~9)\n",
+                bench::geomean(replaced));
+    return 0;
+}

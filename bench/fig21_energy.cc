@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 21 — Energy Consumption of DAC Normalized to the Baseline
+ * GPU, with the paper's breakdown stack: DAC overhead / ALU /
+ * register / other dynamic / static.
+ *
+ * Paper reference points: 0.798x total energy (20.2% reduction),
+ * 18.4% dynamic-energy reduction, DAC overhead under 1% of dynamic
+ * energy.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "energy/energy.h"
+
+using namespace dacsim;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 21: DAC Energy Normalized to the Baseline GPU");
+    std::printf("%-5s %9s %7s %7s %7s %7s %8s\n", "bench", "overhead",
+                "ALU", "reg", "other", "static", "total");
+
+    std::vector<double> totals, dynamics, overheads;
+    for (const Workload &w : allWorkloads()) {
+        RunOptions opt;
+        opt.scale = bench::figureScale;
+        RunOutcome base = runWorkload(w, opt);
+        opt.tech = Technique::Dac;
+        RunOutcome dac = runWorkload(w, opt);
+        EnergyBreakdown eb = computeEnergy(base.stats);
+        EnergyBreakdown ed = computeEnergy(dac.stats);
+        double bt = eb.total();
+        std::printf("%-5s %8.3f %7.3f %7.3f %7.3f %7.3f %8.3f\n",
+                    w.name.c_str(), ed.dacOverhead / bt, ed.alu / bt,
+                    ed.reg / bt, ed.otherDynamic / bt,
+                    ed.staticEnergy / bt, ed.total() / bt);
+        totals.push_back(ed.total() / bt);
+        dynamics.push_back(ed.dynamic() / eb.dynamic());
+        overheads.push_back(ed.dacOverhead / ed.dynamic());
+    }
+    std::printf("\nMEAN total energy: %.3fx -> %.1f%% reduction "
+                "(paper: 20.2%%)\n",
+                bench::geomean(totals),
+                100.0 * (1.0 - bench::geomean(totals)));
+    std::printf("MEAN dynamic energy: %.3fx -> %.1f%% reduction "
+                "(paper: 18.4%%)\n",
+                bench::geomean(dynamics),
+                100.0 * (1.0 - bench::geomean(dynamics)));
+    std::printf("MEAN DAC overhead: %.2f%% of dynamic energy "
+                "(paper: 0.96%%)\n",
+                100.0 * bench::geomean(overheads));
+    return 0;
+}

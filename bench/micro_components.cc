@@ -1,0 +1,164 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot components:
+ * affine tuple algebra, divergent-value expansion, the coalescer, the
+ * tag array, the assembler/compiler front end, and a whole small
+ * kernel simulation per machine model. These track the simulator's
+ * own performance (host wall-clock), not modelled GPU time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/cfg.h"
+#include "compiler/decoupler.h"
+#include "dac/affine_value.h"
+#include "harness/runner.h"
+#include "isa/assembler.h"
+#include "mem/coalescer.h"
+#include "mem/tag_array.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+const char *loopKernel = R"(
+.kernel k
+.param A B dim num
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;
+    shl r2, r1, 2;
+    add r3, $A, r2;
+    add r4, $B, r2;
+    mov r5, 0;
+LOOP:
+    ld.global.u32 r6, [r3];
+    add r7, r6, 1;
+    st.global.u32 [r4], r7;
+    add r5, r5, 1;
+    mul r8, $num, 4;
+    add r3, r8, r3;
+    add r4, r8, r4;
+    setp.ne p0, $dim, r5;
+    @p0 bra LOOP;
+    exit;
+)";
+
+void
+BM_TupleAdd(benchmark::State &state)
+{
+    AffineTuple a;
+    a.base = 0x100;
+    a.tidOff[0] = 4;
+    AffineTuple b = AffineTuple::scalar(0x200);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(affineAlu(Opcode::Add, a, b));
+}
+BENCHMARK(BM_TupleAdd);
+
+void
+BM_TupleEval(benchmark::State &state)
+{
+    AffineTuple a;
+    a.base = 0x100;
+    a.tidOff[0] = 4;
+    a.ctaOff[0] = 512;
+    Idx3 tid{17, 0, 0}, cta{3, 0, 0};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.eval(tid, cta));
+}
+BENCHMARK(BM_TupleEval);
+
+void
+BM_DivergentValueApply(benchmark::State &state)
+{
+    MaskSet full = {fullMask, fullMask, fullMask, fullMask};
+    AffineValue a = AffineValue::uniform(AffineTuple::scalar(1));
+    a.overlay(AffineValue::uniform(AffineTuple::scalar(2)),
+              {0xffff, 0, 0xffff, 0}, full);
+    AffineValue b = AffineValue::uniform(AffineTuple::tid(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            AffineValue::apply(Opcode::Add, a, b, {}, full));
+    }
+}
+BENCHMARK(BM_DivergentValueApply);
+
+void
+BM_CoalesceUnitStride(benchmark::State &state)
+{
+    std::array<Addr, warpSize> addrs{};
+    for (int i = 0; i < warpSize; ++i)
+        addrs[static_cast<std::size_t>(i)] = 0x1000 + 4u * i;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coalesce(addrs, fullMask, 4));
+}
+BENCHMARK(BM_CoalesceUnitStride);
+
+void
+BM_CoalesceScattered(benchmark::State &state)
+{
+    std::array<Addr, warpSize> addrs{};
+    for (int i = 0; i < warpSize; ++i)
+        addrs[static_cast<std::size_t>(i)] = static_cast<Addr>(i) * 4096;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coalesce(addrs, fullMask, 4));
+}
+BENCHMARK(BM_CoalesceScattered);
+
+void
+BM_TagArrayAccess(benchmark::State &state)
+{
+    GpuConfig cfg;
+    TagArray t(cfg.l1);
+    for (int i = 0; i < 256; ++i)
+        t.fill(static_cast<Addr>(i) * 128);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.access(a));
+        a = (a + 128) % (256 * 128);
+    }
+}
+BENCHMARK(BM_TagArrayAccess);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(assemble(loopKernel));
+}
+BENCHMARK(BM_Assemble);
+
+void
+BM_Decouple(benchmark::State &state)
+{
+    Kernel k = assemble(loopKernel);
+    analyzeControlFlow(k);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(decouple(k, DacConfig{}));
+}
+BENCHMARK(BM_Decouple);
+
+void
+BM_SimulateKernel(benchmark::State &state)
+{
+    Technique tech = static_cast<Technique>(state.range(0));
+    for (auto _ : state) {
+        RunOptions opt;
+        opt.tech = tech;
+        opt.scale = 0.05;
+        RunOutcome r = runWorkload("SP", opt);
+        benchmark::DoNotOptimize(r.stats.cycles);
+    }
+    state.SetLabel(techniqueName(tech));
+}
+BENCHMARK(BM_SimulateKernel)
+    ->Arg(static_cast<int>(Technique::Baseline))
+    ->Arg(static_cast<int>(Technique::Cae))
+    ->Arg(static_cast<int>(Technique::Mta))
+    ->Arg(static_cast<int>(Technique::Dac))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

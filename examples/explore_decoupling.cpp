@@ -1,0 +1,125 @@
+/**
+ * @file
+ * explore_decoupling — a compiler-explorer-style tool: feed it a
+ * kernel in dacsim assembly (a file path, or stdin with "-") and it
+ * prints the affine type analysis verdict per instruction, the
+ * potential-affine classification (Fig 6), and the two decoupled
+ * streams. Useful for understanding what DAC can and cannot decouple
+ * in your own kernels.
+ *
+ * Example:
+ *   echo '.kernel k
+ *   .param A
+ *       shl r0, tid.x, 2;
+ *       add r1, $A, r0;
+ *       ld.global.u32 r2, [r1];
+ *       st.global.u32 [r1], r2;
+ *       exit;' | explore_decoupling -
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "compiler/affine_types.h"
+#include "compiler/cfg.h"
+#include "compiler/decoupler.h"
+#include "compiler/reaching_defs.h"
+#include "isa/assembler.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+const char *
+kindName(ValKind k)
+{
+    switch (k) {
+      case ValKind::Scalar: return "scalar";
+      case ValKind::Affine: return "affine";
+      case ValKind::NonAffine: return "non-affine";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string source;
+    if (argc > 1 && std::string(argv[1]) != "-") {
+        std::ifstream f(argv[1]);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", argv[1]);
+            return 1;
+        }
+        std::stringstream ss;
+        ss << f.rdbuf();
+        source = ss.str();
+    } else {
+        std::stringstream ss;
+        ss << std::cin.rdbuf();
+        source = ss.str();
+    }
+
+    try {
+        Kernel k = assemble(source);
+        Cfg cfg = analyzeControlFlow(k);
+        ReachingDefs rd(k, cfg);
+        DacConfig dcfg;
+        AffineAnalysis aa(k, cfg, rd, dcfg.maxDivergentConditions);
+        DecoupledKernel dec = decouple(k, dcfg);
+
+        std::printf("=== per-instruction affine analysis ===\n");
+        for (int pc = 0; pc < k.numInsts(); ++pc) {
+            const Instruction &inst = k.insts[pc];
+            std::string verdict;
+            if (inst.dst.isNone()) {
+                verdict = "-";
+            } else {
+                TypeInfo t = aa.defType(pc);
+                verdict = kindName(t.kind);
+                if (t.conds)
+                    verdict += "+" + std::to_string(t.conds) + "cond";
+                if (t.hasMod)
+                    verdict += "+mod";
+            }
+            const char *fate =
+                dec.decoupled.at(static_cast<std::size_t>(pc))
+                    ? "DECOUPLED"
+                    : dec.coveredByDac.at(static_cast<std::size_t>(pc))
+                          ? "moved to affine warp"
+                          : dec.inAffineStream.at(
+                                static_cast<std::size_t>(pc))
+                                ? "replicated"
+                                : "";
+            std::printf("  %2d: %-40s %-14s %s\n", pc,
+                        instToString(inst, k.params).c_str(),
+                        verdict.c_str(), fate);
+        }
+
+        PotentialAffine pa = classifyPotentialAffine(k);
+        std::printf("\n=== potential affine (Fig 6 classification) ===\n");
+        std::printf("  arithmetic %d, memory %d, branch %d of %d "
+                    "static insts (%.1f%%)\n",
+                    pa.arithmetic, pa.memory, pa.branch, pa.totalInsts,
+                    100.0 * pa.fraction());
+
+        std::printf("\n=== decoupling summary ===\n");
+        std::printf("  loads %d, stores %d, predicates %d%s\n",
+                    dec.numDecoupledLoads, dec.numDecoupledStores,
+                    dec.numDecoupledPreds,
+                    dec.anyDecoupled ? "" : "  (nothing decoupled)");
+        std::printf("\n=== affine stream ===\n%s",
+                    dec.affine.disassemble().c_str());
+        std::printf("\n=== non-affine stream ===\n%s",
+                    dec.nonAffine.disassemble().c_str());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * run_benchmark — command-line driver over the 29-benchmark suite.
+ *
+ * Usage:
+ *   run_benchmark                      # list benchmarks
+ *   run_benchmark LIB                  # run LIB on all four machines
+ *   run_benchmark LIB dac              # one machine only
+ *   run_benchmark ALL [scale]          # the whole suite, all machines
+ *
+ * For every run the final-memory checksums are compared against the
+ * baseline: a mismatch means a simulator bug, and the tool fails.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "energy/energy.h"
+#include "harness/runner.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+int
+runOne(const Workload &wl, double scale)
+{
+    std::printf("%-4s (%s)\n", wl.name.c_str(), wl.fullName.c_str());
+    RunOptions opt;
+    opt.scale = scale;
+    RunOutcome base;
+    int rc = 0;
+    for (Technique t : {Technique::Baseline, Technique::Cae,
+                        Technique::Mta, Technique::Dac}) {
+        opt.tech = t;
+        RunOutcome r = runWorkload(wl, opt);
+        if (t == Technique::Baseline)
+            base = r;
+        double speedup = static_cast<double>(base.stats.cycles) /
+                         static_cast<double>(r.stats.cycles);
+        double energy = computeEnergy(r.stats).total() /
+                        computeEnergy(base.stats).total();
+        bool ok = r.checksums == base.checksums;
+        std::printf("  %-9s cycles=%10llu speedup=%5.2f insts=%9llu "
+                    "energy=%.3f %s\n",
+                    techniqueName(t),
+                    static_cast<unsigned long long>(r.stats.cycles),
+                    speedup,
+                    static_cast<unsigned long long>(
+                        r.stats.totalWarpInsts()),
+                    energy, ok ? "" : "CHECKSUM MISMATCH!");
+        if (!ok)
+            rc = 1;
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::printf("benchmarks:\n");
+        for (const Workload &w : allWorkloads())
+            std::printf("  %-4s %-28s %s\n", w.name.c_str(),
+                        w.fullName.c_str(),
+                        w.memoryIntensive ? "memory-intensive"
+                                          : "compute-intensive");
+        std::printf("usage: %s <NAME|ALL> [scale] | <NAME> "
+                    "<baseline|cae|mta|dac>\n",
+                    argv[0]);
+        return 0;
+    }
+
+    std::string name = argv[1];
+    double scale = 1.0;
+    if (argc > 2 && std::isdigit(static_cast<unsigned char>(argv[2][0])))
+        scale = std::atof(argv[2]);
+
+    try {
+        if (name == "ALL") {
+            int rc = 0;
+            for (const Workload &w : allWorkloads())
+                rc |= runOne(w, scale);
+            return rc;
+        }
+        const Workload &wl = findWorkload(name);
+        if (argc > 2 && !std::isdigit(
+                            static_cast<unsigned char>(argv[2][0]))) {
+            RunOptions opt;
+            std::string tech = argv[2];
+            opt.tech = tech == "dac"   ? Technique::Dac
+                       : tech == "cae" ? Technique::Cae
+                       : tech == "mta" ? Technique::Mta
+                                       : Technique::Baseline;
+            RunOutcome r = runWorkload(wl, opt);
+            std::printf("%s on %s: %llu cycles, %llu warp insts\n",
+                        wl.name.c_str(), techniqueName(opt.tech),
+                        static_cast<unsigned long long>(r.stats.cycles),
+                        static_cast<unsigned long long>(
+                            r.stats.totalWarpInsts()));
+            return 0;
+        }
+        return runOne(wl, scale);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,84 @@
+#include "baselines/mta.h"
+
+#include <algorithm>
+
+namespace dacsim
+{
+
+MtaPrefetcher::MtaPrefetcher(int sm_id, const MtaConfig &cfg,
+                             MemorySystem &mem, RunStats &stats)
+    : smId_(sm_id), cfg_(cfg), mem_(mem), stats_(stats),
+      degree_(cfg.maxDegree)
+{
+}
+
+void
+MtaPrefetcher::reset()
+{
+    intraWarp_.clear();
+    interWarp_.clear();
+    lastWarp_.clear();
+    degree_ = cfg_.maxDegree;
+    window_ = 0;
+}
+
+void
+MtaPrefetcher::train(StrideEntry &e, Addr line, Cycle now)
+{
+    if (e.valid) {
+        std::int64_t delta = static_cast<std::int64_t>(line) -
+                             static_cast<std::int64_t>(e.lastLine);
+        if (delta == e.stride && delta != 0) {
+            e.confidence = std::min(e.confidence + 1, 8);
+        } else {
+            e.stride = delta;
+            e.confidence = 1;
+        }
+    } else {
+        e.valid = true;
+        e.confidence = 0;
+    }
+    e.lastLine = line;
+
+    if (e.confidence >= cfg_.trainThreshold && e.stride != 0) {
+        for (int k = 1; k <= degree_; ++k) {
+            Addr target = static_cast<Addr>(
+                static_cast<std::int64_t>(line) + e.stride * k);
+            mem_.prefetch(smId_, lineAlign(target), now);
+            if (++window_ >= cfg_.throttleWindow)
+                throttle();
+        }
+    }
+}
+
+void
+MtaPrefetcher::throttle()
+{
+    window_ = 0;
+    std::uint64_t unused = mem_.takeUnusedEvictions(smId_);
+    if (unused > static_cast<std::uint64_t>(cfg_.throttleEvictions))
+        degree_ = std::max(1, degree_ / 2);
+    else
+        degree_ = std::min(cfg_.maxDegree, degree_ + 1);
+}
+
+void
+MtaPrefetcher::observe(int pc, int warp, Addr line_addr, Cycle now)
+{
+    // Intra-warp stride stream.
+    std::uint64_t key = (static_cast<std::uint64_t>(pc) << 20) |
+                        static_cast<std::uint64_t>(warp & 0xfffff);
+    if (static_cast<int>(intraWarp_.size()) < cfg_.tableEntries ||
+        intraWarp_.count(key)) {
+        train(intraWarp_[key], line_addr, now);
+    }
+
+    // Inter-warp stream: first access per warp-visit of this pc.
+    auto [it, fresh] = lastWarp_.try_emplace(pc, warp);
+    if (fresh || it->second != warp) {
+        it->second = warp;
+        train(interWarp_[pc], line_addr, now);
+    }
+}
+
+} // namespace dacsim

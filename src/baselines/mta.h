@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Many-Thread-Aware GPU prefetcher (Lee et al., MICRO 2010), the
+ * paper's memory-side baseline (Section 5.1.1).
+ *
+ * MTA trains per-PC stride detectors on demand global loads along two
+ * axes — intra-warp (successive accesses of a PC by the same warp,
+ * e.g. a load in a loop) and inter-warp (successive warps touching a
+ * PC at a constant offset) — and, once a stride is confirmed,
+ * speculatively prefetches ahead into a dedicated per-SM prefetch
+ * buffer. A throttling mechanism halves the prefetch degree when too
+ * many prefetched lines are evicted unused.
+ */
+
+#ifndef DACSIM_BASELINES_MTA_H
+#define DACSIM_BASELINES_MTA_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/mem_system.h"
+
+namespace dacsim
+{
+
+class MtaPrefetcher
+{
+  public:
+    MtaPrefetcher(int sm_id, const MtaConfig &cfg, MemorySystem &mem,
+                  RunStats &stats);
+
+    /**
+     * Observe one demand load line transaction from warp @p warp at
+     * static instruction @p pc, and issue prefetches when trained.
+     */
+    void observe(int pc, int warp, Addr line_addr, Cycle now);
+
+    /** Reset training state (start of a kernel). */
+    void reset();
+
+    int currentDegree() const { return degree_; }
+
+  private:
+    struct StrideEntry
+    {
+        Addr lastLine = 0;
+        std::int64_t stride = 0;
+        int confidence = 0;
+        bool valid = false;
+    };
+
+    int smId_;
+    const MtaConfig &cfg_;
+    MemorySystem &mem_;
+    RunStats &stats_;
+
+    /** Intra-warp tables keyed by (pc, warp). */
+    std::unordered_map<std::uint64_t, StrideEntry> intraWarp_;
+    /** Inter-warp tables keyed by pc (stream of first-lines per warp). */
+    std::unordered_map<int, StrideEntry> interWarp_;
+    /** Last warp seen per pc (to detect warp changes). */
+    std::unordered_map<int, int> lastWarp_;
+
+    int degree_;
+    int window_ = 0;
+
+    void train(StrideEntry &e, Addr line, Cycle now);
+    void throttle();
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_BASELINES_MTA_H

@@ -1,0 +1,20 @@
+#include "common/config.h"
+
+#include "common/log.h"
+
+namespace dacsim
+{
+
+const char *
+techniqueName(Technique t)
+{
+    switch (t) {
+      case Technique::Baseline: return "baseline";
+      case Technique::Cae: return "CAE";
+      case Technique::Mta: return "MTA";
+      case Technique::Dac: return "DAC";
+    }
+    panic("unknown technique");
+}
+
+} // namespace dacsim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Simulation configuration structures.
+ *
+ * Defaults model the paper's baseline: an NVIDIA Fermi GTX 480
+ * (Table 1 of the paper), plus the provisioning of the two baseline
+ * techniques (CAE, MTA) and of DAC's added hardware structures.
+ */
+
+#ifndef DACSIM_COMMON_CONFIG_H
+#define DACSIM_COMMON_CONFIG_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dacsim
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    int sizeBytes = 0;
+    int ways = 1;
+    int mshrs = 32;
+    /** Access (hit) latency in cycles. */
+    int hitLatency = 1;
+
+    int numLines() const { return sizeBytes / lineSizeBytes; }
+    int numSets() const { return numLines() / ways; }
+};
+
+/** Configuration of the DRAM model: fixed latency plus bandwidth. */
+struct DramConfig
+{
+    /** Round-trip latency added to every DRAM access, in cycles.
+     * Models row activation plus controller queueing (GPGPU-sim's
+     * effective GTX480 DRAM latency lands in the 400-600 range). */
+    int latency = 440;
+    /** Number of memory partitions (each owns an L2 slice + DRAM channel). */
+    int partitions = 6;
+    /**
+     * Minimum cycles between successive 128B line transfers on one
+     * partition; models pin bandwidth (smaller = more bandwidth).
+     */
+    int cyclesPerLine = 4;
+    /** Per-partition request queue capacity. */
+    int queueDepth = 64;
+};
+
+/** The two-level-active warp scheduler stand-in (see DESIGN.md). */
+struct SchedulerConfig
+{
+    int schedulersPerSm = 2;
+    /** Cycles one scheduler is busy issuing a 32-thread warp inst. */
+    int warpIssueCycles = 2;
+};
+
+/** Top-level GPU model parameters (defaults: GTX 480 per Table 1). */
+struct GpuConfig
+{
+    int numSms = 15;
+    int maxWarpsPerSm = 48;
+    int lanesPerSm = 32;
+    /** Max CTAs resident per SM (Fermi limit). */
+    int maxCtasPerSm = 8;
+    /** Default ALU result latency (cycles from issue to scoreboard clear). */
+    int aluLatency = 8;
+    /** Shared-memory access latency. */
+    int sharedLatency = 24;
+    /** Interconnect latency SM <-> L2, each direction. */
+    int nocLatency = 16;
+
+    SchedulerConfig sched;
+    /** 48 KB, 64 sets x 6 ways (Fermi geometry); Table 1 lists 4 ways,
+     * but 48 KB with 128B lines and 4 ways is not realizable with a
+     * power-of-two set count — we keep the GTX 480's real 6-way shape
+     * and its 32 MSHRs. */
+    CacheConfig l1{48 * 1024, 6, 32, 2};
+    CacheConfig l2{768 * 1024, 8, 64, 8};
+    DramConfig dram;
+
+    /** When true, the simulated memory system services every access with
+     * L1-hit latency and unlimited bandwidth; used to classify benchmarks
+     * as memory- vs compute-intensive (paper Section 5.1.2). */
+    bool perfectMemory = false;
+};
+
+/** DAC hardware provisioning (paper Table 1 / Section 4.8). */
+struct DacConfig
+{
+    /** Affine Tuple Queue entries per SM. */
+    int atqEntries = 24;
+    /** Per-Warp Address Queue entries per SM (partitioned among warps). */
+    int pwaqEntries = 192;
+    /** Per-Warp Predicate Queue entries per SM (partitioned among warps). */
+    int pwpqEntries = 192;
+    /** Affine SIMT stack depth. */
+    int stackDepth = 8;
+    /** Maximum divergent affine conditions per decoupled operand. */
+    int maxDivergentConditions = 2;
+    /** Records the expansion units can deliver per cycle (the design
+     * adds two ALUs per SM: one in the AEU, one in the PEU). */
+    int expansionsPerCycle = 2;
+
+    int pwaqPerWarp(int warps) const { return pwaqEntries / warps; }
+    int pwpqPerWarp(int warps) const { return pwpqEntries / warps; }
+};
+
+/** CAE baseline provisioning (paper Section 5.1.1). */
+struct CaeConfig
+{
+    /** Affine functional units per SM (paper gives CAE two, one per
+     * scheduler, so affine insts issue in a single cycle). */
+    int affineUnits = 2;
+    /** Cycles one scheduler is busy issuing an affine warp inst. */
+    int affineIssueCycles = 1;
+};
+
+/** MTA prefetcher provisioning (paper Section 5.1.1). */
+struct MtaConfig
+{
+    /** Dedicated per-SM prefetch buffer size (in addition to L1). */
+    int bufferBytes = 16 * 1024;
+    /** Stride table entries (per-PC). */
+    int tableEntries = 64;
+    /** Confirmations required before a stride is trusted. */
+    int trainThreshold = 2;
+    /** Maximum prefetch degree (lines ahead) when fully open. */
+    int maxDegree = 4;
+    /** Throttle: unused-evictions per window that halve the degree. */
+    int throttleEvictions = 8;
+    /** Throttle evaluation window in buffer insertions. */
+    int throttleWindow = 64;
+};
+
+/** Which machine variant a run models. */
+enum class Technique
+{
+    Baseline,   ///< Stock GTX 480 model.
+    Cae,        ///< Baseline + compact affine execution units.
+    Mta,        ///< Baseline + many-thread-aware prefetcher.
+    Dac,        ///< Decoupled affine computation (the paper's design).
+};
+
+/** Human-readable name of a technique. */
+const char *techniqueName(Technique t);
+
+} // namespace dacsim
+
+#endif // DACSIM_COMMON_CONFIG_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad kernel assembly, bad configuration):
+ * the simulation cannot continue but the simulator itself is fine.
+ * panic() is for internal invariant violations: a dacsim bug.
+ */
+
+#ifndef DACSIM_COMMON_LOG_H
+#define DACSIM_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dacsim
+{
+
+/** Exception thrown for user-level errors (bad input, bad config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations (simulator bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    appendAll(os, rest...);
+}
+
+} // namespace detail
+
+/** Abort the simulation with a user-level error message. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::appendAll(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Abort the simulation due to an internal invariant violation. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::appendAll(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Require a user-level condition, or fatal() with the message. */
+template <typename... Args>
+void
+require(bool cond, const Args &...args)
+{
+    if (!cond)
+        fatal(args...);
+}
+
+/** Assert an internal invariant, or panic() with the message. */
+template <typename... Args>
+void
+ensure(bool cond, const Args &...args)
+{
+    if (!cond)
+        panic(args...);
+}
+
+} // namespace dacsim
+
+#endif // DACSIM_COMMON_LOG_H

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Run statistics collected by the simulator.
+ *
+ * A single flat struct (rather than a dynamic registry) keeps collection
+ * zero-cost in the hot loop and makes the figure-generation code explicit
+ * about which counter feeds which plot.
+ */
+
+#ifndef DACSIM_COMMON_STATS_H
+#define DACSIM_COMMON_STATS_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dacsim
+{
+
+/** Counters accumulated over one kernel run on one machine variant. */
+struct RunStats
+{
+    Cycle cycles = 0;
+
+    // ----- instruction counts -------------------------------------------
+    /** Dynamic warp instructions issued by ordinary (non-affine) warps. */
+    std::uint64_t warpInsts = 0;
+    /** Dynamic warp instructions issued by the DAC affine warp. */
+    std::uint64_t affineWarpInsts = 0;
+    /** Warp instructions executed on CAE affine units. */
+    std::uint64_t caeAffineInsts = 0;
+    /** Dynamic baseline warp instructions whose static instruction is
+     * covered by affine execution (coverage numerator for Fig 18). */
+    std::uint64_t affineCoveredInsts = 0;
+    /** Per-thread operations executed on SIMT lanes (for energy). */
+    std::uint64_t laneOps = 0;
+    /** Register file accesses, in 32-wide register granularity. */
+    std::uint64_t regFileAccesses = 0;
+
+    // ----- memory -------------------------------------------------------
+    /** Global/local load requests (coalesced line transactions). */
+    std::uint64_t loadRequests = 0;
+    /** Of those, issued early by the DAC affine warp / AEU (Fig 19). */
+    std::uint64_t affineLoadRequests = 0;
+    std::uint64_t storeRequests = 0;
+    std::uint64_t sharedAccesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramAccesses = 0;
+
+    // ----- MTA prefetcher -----------------------------------------------
+    std::uint64_t prefetchesIssued = 0;
+    /** Demand accesses that hit in the prefetch buffer. */
+    std::uint64_t prefetchHits = 0;
+    /** Prefetched lines evicted without being referenced. */
+    std::uint64_t prefetchUnused = 0;
+    /** L2+DRAM accesses covered by prefetches (Fig 20 numerator). */
+    std::uint64_t prefetchCovered = 0;
+
+    // ----- DAC structures -------------------------------------------------
+    std::uint64_t atqAccesses = 0;
+    std::uint64_t pwaqAccesses = 0;
+    std::uint64_t pwpqAccesses = 0;
+    std::uint64_t affineStackAccesses = 0;
+    /** ALU operations performed by the expansion units (AEU + PEU). */
+    std::uint64_t expansionAluOps = 0;
+    /** Cycles a warp wanted to issue enq/deq but was blocked on queues. */
+    std::uint64_t enqStallCycles = 0;
+    std::uint64_t deqStallCycles = 0;
+    /** CTA batches executed (the affine warp runs once per batch). */
+    std::uint64_t dacBatches = 0;
+
+    /** Total dynamic warp instructions across both streams. */
+    std::uint64_t totalWarpInsts() const
+    {
+        return warpInsts + affineWarpInsts;
+    }
+
+    /** Merge counters of another run (e.g. across kernel launches). */
+    void
+    add(const RunStats &o)
+    {
+        cycles += o.cycles;
+        warpInsts += o.warpInsts;
+        affineWarpInsts += o.affineWarpInsts;
+        caeAffineInsts += o.caeAffineInsts;
+        affineCoveredInsts += o.affineCoveredInsts;
+        laneOps += o.laneOps;
+        regFileAccesses += o.regFileAccesses;
+        loadRequests += o.loadRequests;
+        affineLoadRequests += o.affineLoadRequests;
+        storeRequests += o.storeRequests;
+        sharedAccesses += o.sharedAccesses;
+        l1Hits += o.l1Hits;
+        l1Misses += o.l1Misses;
+        l2Hits += o.l2Hits;
+        l2Misses += o.l2Misses;
+        dramAccesses += o.dramAccesses;
+        prefetchesIssued += o.prefetchesIssued;
+        prefetchHits += o.prefetchHits;
+        prefetchUnused += o.prefetchUnused;
+        prefetchCovered += o.prefetchCovered;
+        atqAccesses += o.atqAccesses;
+        pwaqAccesses += o.pwaqAccesses;
+        pwpqAccesses += o.pwpqAccesses;
+        affineStackAccesses += o.affineStackAccesses;
+        expansionAluOps += o.expansionAluOps;
+        enqStallCycles += o.enqStallCycles;
+        deqStallCycles += o.deqStallCycles;
+        dacBatches += o.dacBatches;
+    }
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_COMMON_STATS_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Opt-in execution tracing, in the spirit of gem5's DPRINTF.
+ *
+ * Set DACSIM_TRACE=1 in the environment to stream one line per issued
+ * warp instruction (and per affine-warp step) to stderr. Zero cost
+ * when disabled beyond one predictable branch per call site.
+ */
+
+#ifndef DACSIM_COMMON_TRACE_H
+#define DACSIM_COMMON_TRACE_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dacsim
+{
+
+/** Whether DACSIM_TRACE is set (cached on first use). */
+inline bool
+traceEnabled()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("DACSIM_TRACE");
+        return v != nullptr && v[0] != '\0' && v[0] != '0';
+    }();
+    return enabled;
+}
+
+} // namespace dacsim
+
+/** Emit a trace line when tracing is on (printf-style). */
+#define DACSIM_TRACE_LOG(...)                                              \
+    do {                                                                    \
+        if (::dacsim::traceEnabled()) {                                     \
+            std::fprintf(stderr, __VA_ARGS__);                              \
+            std::fputc('\n', stderr);                                       \
+        }                                                                   \
+    } while (0)
+
+#endif // DACSIM_COMMON_TRACE_H

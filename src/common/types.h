@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the simulator.
+ */
+
+#ifndef DACSIM_COMMON_TYPES_H
+#define DACSIM_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace dacsim
+{
+
+/** A byte address in the simulated GPU's global/local address space. */
+using Addr = std::uint64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** The value held by one architectural register of one thread.
+ *
+ * All general-purpose registers are modelled as 64-bit signed integers,
+ * wide enough to hold both data values and pointers. Narrower loads
+ * sign/zero-extend into the full register.
+ */
+using RegVal = std::int64_t;
+
+/** Number of threads in a warp (fixed, as on NVIDIA Fermi). */
+inline constexpr int warpSize = 32;
+
+/** A per-warp thread activity mask; bit i is thread i of the warp. */
+using ThreadMask = std::uint32_t;
+
+/** Mask with all @ref warpSize thread bits set. */
+inline constexpr ThreadMask fullMask = 0xffffffffu;
+
+/** Cache line / memory transaction size in bytes (Fermi: 128B). */
+inline constexpr int lineSizeBytes = 128;
+
+/** Align an address down to its cache line. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(lineSizeBytes - 1);
+}
+
+} // namespace dacsim
+
+#endif // DACSIM_COMMON_TYPES_H

@@ -1,0 +1,312 @@
+#include "compiler/affine_types.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dacsim
+{
+
+TypeInfo
+joinTypes(const TypeInfo &a, const TypeInfo &b)
+{
+    TypeInfo r;
+    r.kind = std::max(a.kind, b.kind);
+    r.conds = std::max(a.conds, b.conds);
+    r.hasMod = a.hasMod || b.hasMod;
+    return r;
+}
+
+namespace
+{
+
+/** Clamp to NonAffine when the condition budget is exceeded. */
+TypeInfo
+capConds(TypeInfo t, int max_conds)
+{
+    if (t.kind != ValKind::NonAffine && t.conds > max_conds)
+        return TypeInfo::nonAffine();
+    return t;
+}
+
+TypeInfo
+addLike(const TypeInfo &a, const TypeInfo &b)
+{
+    if (a.isNonAffine() || b.isNonAffine())
+        return TypeInfo::nonAffine();
+    // Two mod terms cannot be represented in one tuple.
+    if (a.hasMod && b.hasMod)
+        return TypeInfo::nonAffine();
+    TypeInfo r;
+    r.kind = std::max(a.kind, b.kind);
+    r.conds = a.conds + b.conds;
+    r.hasMod = a.hasMod || b.hasMod;
+    return r;
+}
+
+TypeInfo
+mulLike(const TypeInfo &a, const TypeInfo &b)
+{
+    if (a.isNonAffine() || b.isNonAffine())
+        return TypeInfo::nonAffine();
+    // Affine x Affine is not affine (Section 3).
+    if (!a.isScalar() && !b.isScalar())
+        return TypeInfo::nonAffine();
+    TypeInfo r;
+    r.kind = std::max(a.kind, b.kind);
+    r.conds = a.conds + b.conds;
+    r.hasMod = a.hasMod || b.hasMod;
+    return r;
+}
+
+TypeInfo
+scalarOnly(const std::vector<TypeInfo> &srcs)
+{
+    TypeInfo r;
+    for (const TypeInfo &s : srcs) {
+        if (!s.isScalar() || s.hasMod)
+            return TypeInfo::nonAffine();
+        r.conds += s.conds;
+    }
+    return r;
+}
+
+} // namespace
+
+TypeInfo
+aluResultType(Opcode op, const std::vector<TypeInfo> &srcs, int max_conds)
+{
+    auto cap = [max_conds](TypeInfo t) { return capConds(t, max_conds); };
+    switch (op) {
+      case Opcode::Mov:
+        return srcs[0];
+      case Opcode::Add:
+      case Opcode::Sub:
+        return cap(addLike(srcs[0], srcs[1]));
+      case Opcode::Mul:
+        return cap(mulLike(srcs[0], srcs[1]));
+      case Opcode::Mad:
+        return cap(addLike(mulLike(srcs[0], srcs[1]), srcs[2]));
+      case Opcode::Shl:
+        // shift amount must be uniform: equivalent to mul by 2^b.
+        if (!srcs[1].isScalar() || srcs[1].hasMod)
+            return TypeInfo::nonAffine();
+        return cap(mulLike(srcs[0], srcs[1]));
+      case Opcode::Shr:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Not:
+        // Not linearity-preserving: scalar operands only.
+        return cap(scalarOnly(srcs));
+      case Opcode::Mod: {
+        const TypeInfo &a = srcs[0];
+        const TypeInfo &b = srcs[1];
+        if (a.isNonAffine() || a.hasMod || !b.isScalar() || b.hasMod)
+            return TypeInfo::nonAffine();
+        TypeInfo r;
+        r.kind = a.kind;
+        r.conds = a.conds + b.conds;
+        r.hasMod = !a.isScalar(); // scalar mod scalar stays scalar
+        return cap(r);
+      }
+      case Opcode::Min:
+      case Opcode::Max: {
+        // The comparison falls back to the SIMT lanes when the tuples
+        // are not endpoint-comparable (e.g. mod-type), so any affine
+        // operands are acceptable; the split is one condition.
+        TypeInfo r = addLike(srcs[0], srcs[1]);
+        if (r.isNonAffine())
+            return r;
+        if (!(srcs[0].isScalar() && srcs[1].isScalar()))
+            r.conds += 1; // the comparison is one divergent condition
+        return cap(r);
+      }
+      case Opcode::Abs: {
+        TypeInfo r = srcs[0];
+        if (r.isNonAffine() || r.hasMod)
+            return TypeInfo::nonAffine();
+        if (!r.isScalar())
+            r.conds += 1;
+        return cap(r);
+      }
+      case Opcode::Sel: {
+        // srcs[2] is the selector predicate's type.
+        const TypeInfo &p = srcs[2];
+        if (p.isNonAffine())
+            return TypeInfo::nonAffine();
+        TypeInfo r = addLike(srcs[0], srcs[1]);
+        if (r.isNonAffine())
+            return r;
+        r.kind = std::max(r.kind, p.kind);
+        r.conds += p.conds;
+        if (!p.isScalar())
+            r.conds += 1;
+        return cap(r);
+      }
+      case Opcode::Setp: {
+        // The PEU compares scalars with one op, endpoint-comparable
+        // tuples with two per warp, and anything else (e.g. mod-type)
+        // on the SIMT lanes (Section 4.3) — all are expressible.
+        if (srcs[0].isNonAffine() || srcs[1].isNonAffine())
+            return TypeInfo::nonAffine();
+        TypeInfo r;
+        r.kind = (srcs[0].isScalar() && srcs[1].isScalar())
+                     ? ValKind::Scalar
+                     : ValKind::Affine;
+        r.conds = srcs[0].conds + srcs[1].conds;
+        return cap(r);
+      }
+      default:
+        return TypeInfo::nonAffine();
+    }
+}
+
+AffineAnalysis::AffineAnalysis(const Kernel &kernel, const Cfg &cfg,
+                               const ReachingDefs &rd, int max_conds)
+    : kernel_(kernel), cfg_(cfg), rd_(rd), maxConds_(max_conds)
+{
+    int num_defs = kernel.numInsts() + kernel.numRegs + kernel.numPreds;
+    // Optimistic start: everything Scalar; the fixpoint only moves up.
+    defTypes_.assign(num_defs, TypeInfo{});
+    blockDiv_.assign(cfg.numBlocks(), ValKind::Scalar);
+    runFixpoint();
+
+    resident_.assign(cfg.numBlocks(), true);
+    for (int b = 0; b < cfg.numBlocks(); ++b)
+        resident_[b] = blockDiv_[b] != ValKind::NonAffine;
+}
+
+TypeInfo
+AffineAnalysis::mergeDefs(const std::vector<int> &defs) const
+{
+    ensure(!defs.empty(), "operand with no reaching definition");
+    TypeInfo merged = defTypes_[defs[0]];
+    for (std::size_t i = 1; i < defs.size(); ++i)
+        merged = joinTypes(merged, defTypes_[defs[i]]);
+    if (defs.size() < 2 || merged.isNonAffine())
+        return merged;
+
+    // Divergence penalty: when distinct definitions merge under
+    // thread-divergent control, one divergent affine condition (one
+    // saved SIMT-stack entry) is needed to pick the right tuple.
+    ValKind div = ValKind::Scalar;
+    for (int d : defs) {
+        if (rd_.isEntryDef(d))
+            continue;
+        const Instruction &inst = kernel_.insts[d];
+        div = std::max(div, blockDiv_[cfg_.blockOf(d)]);
+        // A guarded definition is itself divergent under its guard.
+        if (inst.guardPred >= 0)
+            div = std::max(div, ValKind::Affine);
+    }
+    if (div == ValKind::NonAffine)
+        return TypeInfo::nonAffine();
+    if (div == ValKind::Affine) {
+        merged.conds += 1;
+        // Even two scalar definitions become thread-varying when a
+        // divergent condition selects between them.
+        merged.kind = std::max(merged.kind, ValKind::Affine);
+    }
+    if (merged.conds > maxConds_)
+        return TypeInfo::nonAffine();
+    return merged;
+}
+
+TypeInfo
+AffineAnalysis::srcType(int pc, const Operand &op) const
+{
+    switch (op.kind) {
+      case Operand::Kind::None:
+        return TypeInfo{};
+      case Operand::Kind::Imm:
+      case Operand::Kind::Param:
+        return TypeInfo{};
+      case Operand::Kind::Special:
+        if (isScalarSpecial(op.sreg))
+            return TypeInfo{};
+        return TypeInfo{ValKind::Affine, 0, false};
+      case Operand::Kind::Reg:
+        return mergeDefs(rd_.reachingRegDefs(pc, op.index));
+      case Operand::Kind::Pred:
+        return mergeDefs(rd_.reachingPredDefs(pc, op.index));
+    }
+    panic("bad operand kind");
+}
+
+TypeInfo
+AffineAnalysis::guardType(int pc) const
+{
+    const Instruction &inst = kernel_.insts[pc];
+    if (inst.guardPred < 0)
+        return TypeInfo{};
+    return mergeDefs(rd_.reachingPredDefs(pc, inst.guardPred));
+}
+
+void
+AffineAnalysis::computeBlockDivergence()
+{
+    for (int b = 0; b < cfg_.numBlocks(); ++b) {
+        ValKind div = ValKind::Scalar;
+        for (int br : cfg_.controlDeps(b)) {
+            const BasicBlock &bb = cfg_.blocks()[br];
+            const Instruction &term = kernel_.insts[bb.last];
+            if (!term.isBranch() || term.guardPred < 0)
+                continue;
+            TypeInfo t = guardType(bb.last);
+            if (!t.affineOk(maxConds_))
+                div = ValKind::NonAffine;
+            else
+                div = std::max(div, t.kind);
+        }
+        blockDiv_[b] = std::max(blockDiv_[b], div);
+    }
+}
+
+void
+AffineAnalysis::runFixpoint()
+{
+    bool changed = true;
+    int iters = 0;
+    while (changed) {
+        changed = false;
+        ensure(++iters < 1000, "affine analysis failed to converge");
+        computeBlockDivergence();
+        for (int b : cfg_.rpo()) {
+            const BasicBlock &bb = cfg_.blocks()[b];
+            for (int pc = bb.first; pc <= bb.last; ++pc) {
+                const Instruction &inst = kernel_.insts[pc];
+                if (inst.dst.isNone())
+                    continue;
+                TypeInfo result;
+                if (inst.op == Opcode::Ld || inst.op == Opcode::LdDeq ||
+                    inst.op == Opcode::DeqPred) {
+                    result = TypeInfo::nonAffine();
+                } else {
+                    std::vector<TypeInfo> srcs;
+                    for (int i = 0; i < numSources(inst.op); ++i)
+                        srcs.push_back(srcType(pc, inst.src[i]));
+                    result = aluResultType(inst.op, srcs, maxConds_);
+                }
+                // A guarded write merges with the incumbent value.
+                TypeInfo g = guardType(pc);
+                if (g.isNonAffine()) {
+                    result = TypeInfo::nonAffine();
+                } else if (!g.isScalar() && !result.isNonAffine()) {
+                    result.conds += g.conds + 1;
+                    result.kind = std::max(result.kind, ValKind::Affine);
+                    if (result.conds > maxConds_)
+                        result = TypeInfo::nonAffine();
+                }
+                TypeInfo merged = joinTypes(defTypes_[pc], result);
+                if (!(merged == defTypes_[pc])) {
+                    defTypes_[pc] = merged;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+} // namespace dacsim

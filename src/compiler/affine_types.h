@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Affine type analysis (paper Section 4.7, "Identifying Affine
+ * Operands" + "Divergent Affine Analysis").
+ *
+ * Every value is classified on the lattice
+ *
+ *     Scalar  <  Affine  <  NonAffine
+ *
+ * (most specific to most general). Scalar values are uniform across
+ * all threads of a block (kernel parameters, blockDim, immediates);
+ * affine values are linear in the thread/block indices (optionally
+ * with one trailing mod-by-scalar term, Section 4.4); everything else
+ * (loaded data and anything derived from it) is non-affine.
+ *
+ * In addition to the kind, the analysis tracks the number of
+ * *divergent affine conditions* affecting a value: each merge of
+ * distinct definitions under thread-divergent (affine-predicate)
+ * control flow, and each min/max/abs/sel, contributes one condition
+ * (one SIMT-stack-entry selector; Section 4.6). Values needing more
+ * than DacConfig::maxDivergentConditions conditions — including all
+ * loop-carried divergent tuples — degrade to NonAffine and are not
+ * decoupled.
+ */
+
+#ifndef DACSIM_COMPILER_AFFINE_TYPES_H
+#define DACSIM_COMPILER_AFFINE_TYPES_H
+
+#include <vector>
+
+#include "compiler/cfg.h"
+#include "compiler/reaching_defs.h"
+#include "isa/instruction.h"
+
+namespace dacsim
+{
+
+enum class ValKind : std::uint8_t
+{
+    Scalar = 0,
+    Affine = 1,
+    NonAffine = 2,
+};
+
+/** Abstract type of one value. */
+struct TypeInfo
+{
+    ValKind kind = ValKind::Scalar;
+    /** Divergent affine conditions needed to select this value's tuple. */
+    int conds = 0;
+    /** Value carries a mod-by-scalar term (mod-type tuple, Section 4.4). */
+    bool hasMod = false;
+
+    static TypeInfo
+    nonAffine()
+    {
+        return {ValKind::NonAffine, 0, false};
+    }
+
+    bool isScalar() const { return kind == ValKind::Scalar; }
+    bool isNonAffine() const { return kind == ValKind::NonAffine; }
+    /** Usable by the affine datapath under the condition budget? */
+    bool
+    affineOk(int max_conds) const
+    {
+        return kind != ValKind::NonAffine && conds <= max_conds;
+    }
+
+    bool operator==(const TypeInfo &) const = default;
+};
+
+/** Least upper bound of two types (no condition penalty). */
+TypeInfo joinTypes(const TypeInfo &a, const TypeInfo &b);
+
+/**
+ * Result type of an ALU/setp opcode given source types. Encodes the
+ * affine-datapath capability rules of Sections 3, 4.4 and 4.6; the
+ * runtime affine warp supports exactly the operations this function
+ * does not map to NonAffine.
+ */
+TypeInfo aluResultType(Opcode op, const std::vector<TypeInfo> &srcs,
+                       int max_conds);
+
+/**
+ * Whole-kernel affine analysis: an optimistic fixpoint over the CFG
+ * using reaching definitions.
+ */
+class AffineAnalysis
+{
+  public:
+    AffineAnalysis(const Kernel &kernel, const Cfg &cfg,
+                   const ReachingDefs &rd, int max_conds);
+
+    /** Type of the value defined by definition site @p def. */
+    const TypeInfo &defType(int def) const { return defTypes_.at(def); }
+
+    /** Type of source operand @p op as seen by the instruction at
+     * @p pc (reaching definitions merged, divergence penalty applied). */
+    TypeInfo srcType(int pc, const Operand &op) const;
+
+    /** Type of the instruction's guard predicate (Scalar if unguarded). */
+    TypeInfo guardType(int pc) const;
+
+    /** Join of the predicate kinds of all branches block @p b is
+     * control-dependent on (Scalar: uniform control). */
+    ValKind blockDivergence(int b) const { return blockDiv_.at(b); }
+
+    /**
+     * True when the affine warp can traverse block @p b: every branch
+     * controlling it has a Scalar or Affine predicate within the
+     * condition budget (paper Section 4.5).
+     */
+    bool blockAffineResident(int b) const { return resident_.at(b); }
+
+    int maxConds() const { return maxConds_; }
+
+  private:
+    const Kernel &kernel_;
+    const Cfg &cfg_;
+    const ReachingDefs &rd_;
+    int maxConds_;
+    std::vector<TypeInfo> defTypes_;
+    std::vector<ValKind> blockDiv_;
+    std::vector<bool> resident_;
+
+    void runFixpoint();
+    void computeBlockDivergence();
+    TypeInfo mergeDefs(const std::vector<int> &defs) const;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_COMPILER_AFFINE_TYPES_H

@@ -1,0 +1,237 @@
+#include "compiler/cfg.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace dacsim
+{
+
+Cfg::Cfg(const Kernel &kernel)
+{
+    const int n = kernel.numInsts();
+    ensure(n > 0, "CFG of empty kernel");
+
+    // Leaders: inst 0, branch targets, and instructions after branches.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &inst = kernel.insts[pc];
+        if (inst.isBranch()) {
+            ensure(inst.target >= 0 && inst.target < n,
+                   "unresolved branch target at pc ", pc);
+            leader[inst.target] = true;
+            if (pc + 1 < n)
+                leader[pc + 1] = true;
+        } else if (inst.isExit() && pc + 1 < n) {
+            leader[pc + 1] = true;
+        }
+    }
+
+    blockOfInst_.assign(n, -1);
+    for (int pc = 0; pc < n; ++pc) {
+        if (leader[pc]) {
+            BasicBlock bb;
+            bb.id = numBlocks();
+            bb.first = pc;
+            blocks_.push_back(bb);
+        }
+        blockOfInst_[pc] = numBlocks() - 1;
+        blocks_.back().last = pc;
+    }
+
+    // Successor edges.
+    for (BasicBlock &bb : blocks_) {
+        const Instruction &term = kernel.insts[bb.last];
+        if (term.isBranch()) {
+            bb.succs.push_back(blockOf(term.target));
+            if (term.fallsThrough() && bb.last + 1 < n)
+                bb.succs.push_back(blockOf(bb.last + 1));
+        } else if (term.fallsThrough()) {
+            // Ordinary instructions, and guarded exits (the threads
+            // failing the guard continue past the exit).
+            ensure(bb.last + 1 < n, "kernel falls off the end");
+            bb.succs.push_back(blockOf(bb.last + 1));
+        }
+        // Deduplicate (a conditional branch to the fall-through).
+        std::sort(bb.succs.begin(), bb.succs.end());
+        bb.succs.erase(std::unique(bb.succs.begin(), bb.succs.end()),
+                       bb.succs.end());
+    }
+    for (const BasicBlock &bb : blocks_)
+        for (int s : bb.succs)
+            blocks_[s].preds.push_back(bb.id);
+
+    computeRpo();
+    computePostDominators();
+}
+
+void
+Cfg::computeRpo()
+{
+    std::vector<int> state(numBlocks(), 0); // 0=unseen 1=open 2=done
+    std::vector<int> order;
+    // Iterative DFS from entry.
+    std::vector<std::pair<int, std::size_t>> stack{{0, 0}};
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[b, i] = stack.back();
+        if (i < blocks_[b].succs.size()) {
+            int s = blocks_[b].succs[i++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            state[b] = 2;
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(order.rbegin(), order.rend());
+}
+
+void
+Cfg::computePostDominators()
+{
+    const int nb = numBlocks();
+    const int virtualExit = nb;
+    // pdom sets as bit vectors over nb+1 nodes.
+    const int words = (nb + 1 + 63) / 64;
+    auto full = std::vector<std::uint64_t>(words, ~0ull);
+    auto &pdom = pdom_;
+    pdom.assign(nb + 1, full);
+
+    auto setOnly = [&](int node) {
+        std::vector<std::uint64_t> v(words, 0);
+        v[node / 64] |= 1ull << (node % 64);
+        return v;
+    };
+    pdom[virtualExit] = setOnly(virtualExit);
+
+    // Successors including the virtual exit.
+    auto succsOf = [&](int b) {
+        std::vector<int> s = blocks_[b].succs;
+        if (s.empty())
+            s.push_back(virtualExit);
+        return s;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterate blocks in reverse RPO (i.e. roughly from exits upward).
+        for (auto it = rpo_.rbegin(); it != rpo_.rend(); ++it) {
+            int b = *it;
+            std::vector<std::uint64_t> meet = full;
+            for (int s : succsOf(b))
+                for (int w = 0; w < words; ++w)
+                    meet[w] &= pdom[s][w];
+            meet[b / 64] |= 1ull << (b % 64);
+            if (meet != pdom[b]) {
+                pdom[b] = std::move(meet);
+                changed = true;
+            }
+        }
+    }
+
+    auto contains = [&](const std::vector<std::uint64_t> &v, int node) {
+        return (v[node / 64] >> (node % 64)) & 1;
+    };
+
+    // ipdom(b): the strict post-dominator of b that is post-dominated by
+    // every other strict post-dominator of b.
+    ipdom_.assign(nb, virtualExit);
+    for (int b = 0; b < nb; ++b) {
+        std::vector<int> strict;
+        for (int c = 0; c <= nb; ++c)
+            if (c != b && contains(pdom[b], c))
+                strict.push_back(c);
+        for (int cand : strict) {
+            bool immediate = true;
+            for (int other : strict) {
+                if (other != cand && !contains(pdom[cand], other)) {
+                    immediate = false;
+                    break;
+                }
+            }
+            if (immediate) {
+                ipdom_[b] = cand;
+                break;
+            }
+        }
+    }
+}
+
+bool
+Cfg::pdomContains(const std::vector<std::uint64_t> &v, int node) const
+{
+    return (v[node / 64] >> (node % 64)) & 1;
+}
+
+bool
+Cfg::postDominates(int a, int b) const
+{
+    return pdomContains(pdom_[b], a);
+}
+
+std::vector<int>
+Cfg::controlDeps(int b) const
+{
+    // b is control-dependent on branch block u iff u has a successor v
+    // with b post-dominating v, and b does not strictly post-dominate u.
+    std::vector<int> deps;
+    for (const BasicBlock &u : blocks_) {
+        if (u.succs.size() < 2)
+            continue;
+        if (u.id != b && postDominates(b, u.id))
+            continue;
+        for (int v : u.succs) {
+            if (postDominates(b, v)) {
+                deps.push_back(u.id);
+                break;
+            }
+        }
+    }
+    return deps;
+}
+
+int
+Cfg::reconvergencePc(int pc) const
+{
+    int b = blockOf(pc);
+    int ip = ipdom(b);
+    if (ip >= numBlocks())
+        return -1; // reconverges only at kernel exit
+    return blocks_[ip].first;
+}
+
+std::string
+Cfg::toDot(const Kernel &kernel) const
+{
+    std::ostringstream os;
+    os << "digraph \"" << kernel.name << "\" {\n";
+    for (const BasicBlock &bb : blocks_) {
+        os << "  b" << bb.id << " [shape=box,label=\"B" << bb.id << " ["
+           << bb.first << ".." << bb.last << "]\"];\n";
+        for (int s : bb.succs)
+            os << "  b" << bb.id << " -> b" << s << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+Cfg
+analyzeControlFlow(Kernel &kernel)
+{
+    Cfg cfg(kernel);
+    for (int pc = 0; pc < kernel.numInsts(); ++pc) {
+        if (kernel.insts[pc].isBranch())
+            kernel.insts[pc].reconvergePc = cfg.reconvergencePc(pc);
+    }
+    return cfg;
+}
+
+} // namespace dacsim

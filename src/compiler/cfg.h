@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Control-flow graph over a Kernel, with post-dominator analysis.
+ *
+ * The immediate post-dominator of a branch's block is the SIMT
+ * reconvergence point used by both the hardware SIMT stacks and the
+ * compiler's divergent affine analysis (paper Section 4.7).
+ */
+
+#ifndef DACSIM_COMPILER_CFG_H
+#define DACSIM_COMPILER_CFG_H
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace dacsim
+{
+
+/** One basic block: instructions [first, last] inclusive. */
+struct BasicBlock
+{
+    int id = -1;
+    int first = 0;   ///< PC of the first instruction
+    int last = 0;    ///< PC of the last instruction
+    std::vector<int> succs;
+    std::vector<int> preds;
+};
+
+/**
+ * Control-flow graph of one kernel.
+ *
+ * Block 0 is the entry block. A virtual exit block (id = numBlocks())
+ * is the successor of every exit-ing block for post-dominance purposes,
+ * but is not stored in blocks().
+ */
+class Cfg
+{
+  public:
+    /** Build the CFG for a kernel (does not modify the kernel). */
+    explicit Cfg(const Kernel &kernel);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    int numBlocks() const { return static_cast<int>(blocks_.size()); }
+
+    /** Block containing instruction @p pc. */
+    int blockOf(int pc) const { return blockOfInst_.at(pc); }
+
+    /**
+     * Immediate post-dominator block of block @p b; numBlocks() when the
+     * only post-dominator is the virtual exit.
+     */
+    int ipdom(int b) const { return ipdom_.at(b); }
+
+    /**
+     * Reconvergence PC for a branch instruction at @p pc: the first
+     * instruction of the branch block's immediate post-dominator, or -1
+     * when control only reconverges at kernel exit.
+     */
+    int reconvergencePc(int pc) const;
+
+    /** Blocks in reverse post-order from the entry (for dataflow). */
+    const std::vector<int> &rpo() const { return rpo_; }
+
+    /** True when block @p a post-dominates block @p b (a == b counts). */
+    bool postDominates(int a, int b) const;
+
+    /**
+     * Branch blocks that block @p b is control-dependent on (standard
+     * Ferrante et al. definition over the CFG's post-dominator sets).
+     */
+    std::vector<int> controlDeps(int b) const;
+
+    /** Graphviz rendering for debugging. */
+    std::string toDot(const Kernel &kernel) const;
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<int> blockOfInst_;
+    std::vector<int> ipdom_;
+    std::vector<int> rpo_;
+    /** Post-dominator bitsets, one per block (plus the virtual exit). */
+    std::vector<std::vector<std::uint64_t>> pdom_;
+
+    bool pdomContains(const std::vector<std::uint64_t> &v, int node) const;
+    void computePostDominators();
+    void computeRpo();
+};
+
+/**
+ * Annotate every branch in @p kernel with its reconvergence PC
+ * (Instruction::reconvergePc). Returns the constructed CFG.
+ */
+Cfg analyzeControlFlow(Kernel &kernel);
+
+} // namespace dacsim
+
+#endif // DACSIM_COMPILER_CFG_H

@@ -1,0 +1,531 @@
+#include "compiler/decoupler.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "common/log.h"
+#include "compiler/affine_types.h"
+#include "compiler/cfg.h"
+#include "compiler/reaching_defs.h"
+
+namespace dacsim
+{
+
+namespace
+{
+
+/** Candidate kinds for decoupling. */
+enum class CandKind
+{
+    No,
+    Load,
+    Store,
+    Pred,
+};
+
+/** Working state of one decoupling run. */
+class Decoupling
+{
+  public:
+    Decoupling(const Kernel &original, const DacConfig &cfg)
+        : kernel_(original), dcfg_(cfg), cfg_(analyzeControlFlow(kernel_)),
+          rd_(kernel_, cfg_),
+          aa_(kernel_, cfg_, rd_, cfg.maxDivergentConditions)
+    {
+    }
+
+    DecoupledKernel run();
+
+  private:
+    Kernel kernel_;   ///< analysed copy of the original
+    const DacConfig &dcfg_;
+    Cfg cfg_;
+    ReachingDefs rd_;
+    AffineAnalysis aa_;
+
+    std::vector<bool> resident_;   ///< refined block residency
+    std::vector<bool> keepBranch_; ///< branch PCs replicated to affine
+    std::vector<CandKind> cand_;
+    std::vector<bool> slice_;      ///< union of accepted candidate slices
+
+    int maxConds() const { return dcfg_.maxDivergentConditions; }
+
+    bool exitsDecoupleable() const;
+    void refineResidency();
+    void findCandidates();
+    /** Backward slice of the registers/predicates used by (pc, seeds).
+     * Returns nullopt when the slice leaves resident blocks or crosses
+     * a non-affine definition. */
+    std::optional<std::vector<int>> backwardSlice(
+        int pc, const std::vector<Operand> &seeds) const;
+    std::vector<Operand> seedsOf(int pc, CandKind kind) const;
+
+    Kernel buildAffineStream(const std::vector<bool> &deq_pred_live) const;
+    Kernel buildNonAffineStream(std::vector<bool> &present_out,
+                                std::vector<bool> &deq_pred_live_out) const;
+
+    static Kernel emitProjection(const Kernel &base,
+                                 const std::vector<std::pair<int,
+                                     Instruction>> &emitted,
+                                 const std::string &suffix);
+};
+
+bool
+Decoupling::exitsDecoupleable() const
+{
+    for (int pc = 0; pc < kernel_.numInsts(); ++pc) {
+        const Instruction &inst = kernel_.insts[pc];
+        if (!inst.isExit())
+            continue;
+        if (!aa_.blockAffineResident(cfg_.blockOf(pc)))
+            return false;
+        if (inst.guardPred >= 0 && !aa_.guardType(pc).affineOk(maxConds()))
+            return false;
+    }
+    return true;
+}
+
+std::vector<Operand>
+Decoupling::seedsOf(int pc, CandKind kind) const
+{
+    const Instruction &inst = kernel_.insts[pc];
+    std::vector<Operand> seeds;
+    switch (kind) {
+      case CandKind::Load:
+      case CandKind::Store:
+        seeds.push_back(inst.src[0]); // the address
+        break;
+      case CandKind::Pred:
+        seeds.push_back(inst.src[0]);
+        seeds.push_back(inst.src[1]);
+        break;
+      case CandKind::No:
+        break;
+    }
+    if (inst.guardPred >= 0)
+        seeds.push_back(Operand::pred(inst.guardPred));
+    return seeds;
+}
+
+std::optional<std::vector<int>>
+Decoupling::backwardSlice(int pc, const std::vector<Operand> &seeds) const
+{
+    std::set<int> in_slice;
+    // Worklist of (use pc, operand).
+    std::vector<std::pair<int, Operand>> work;
+    for (const Operand &s : seeds)
+        work.emplace_back(pc, s);
+
+    while (!work.empty()) {
+        auto [use_pc, op] = work.back();
+        work.pop_back();
+        std::vector<int> defs;
+        if (op.isReg())
+            defs = rd_.reachingRegDefs(use_pc, op.index);
+        else if (op.isPred())
+            defs = rd_.reachingPredDefs(use_pc, op.index);
+        else
+            continue;
+        for (int d : defs) {
+            if (rd_.isEntryDef(d))
+                continue;
+            if (in_slice.count(d))
+                continue;
+            const Instruction &di = kernel_.insts[d];
+            // The slice must be computable by the affine warp.
+            if (di.isLoad() || di.op == Opcode::DeqPred)
+                return std::nullopt;
+            if (aa_.defType(d).isNonAffine())
+                return std::nullopt;
+            if (!resident_[static_cast<std::size_t>(cfg_.blockOf(d))])
+                return std::nullopt;
+            if (!affineEligibleAlu(di.op) && di.op != Opcode::Setp &&
+                !(di.op == Opcode::And || di.op == Opcode::Or ||
+                  di.op == Opcode::Xor || di.op == Opcode::Not ||
+                  di.op == Opcode::Shr)) {
+                return std::nullopt;
+            }
+            in_slice.insert(d);
+            for (int i = 0; i < numSources(di.op); ++i)
+                work.emplace_back(d, di.src[i]);
+            if (di.guardPred >= 0)
+                work.emplace_back(d, Operand::pred(di.guardPred));
+        }
+    }
+    return std::vector<int>(in_slice.begin(), in_slice.end());
+}
+
+void
+Decoupling::refineResidency()
+{
+    const int nb = cfg_.numBlocks();
+    resident_.assign(nb, true);
+    for (int b = 0; b < nb; ++b)
+        resident_[b] = aa_.blockAffineResident(b);
+    keepBranch_.assign(kernel_.numInsts(), false);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // A branch can live in the affine stream when its own block is
+        // resident, its predicate is affine-trackable, and the
+        // predicate's slice stays inside resident blocks.
+        for (int pc = 0; pc < kernel_.numInsts(); ++pc) {
+            const Instruction &inst = kernel_.insts[pc];
+            if (!inst.isBranch())
+                continue;
+            bool keep = resident_[cfg_.blockOf(pc)];
+            if (keep && inst.guardPred >= 0) {
+                if (!aa_.guardType(pc).affineOk(maxConds()))
+                    keep = false;
+                else
+                    keep = backwardSlice(
+                               pc, {Operand::pred(inst.guardPred)})
+                               .has_value();
+            }
+            keepBranch_[pc] = keep;
+        }
+        // Residency: every controlling branch must be keepable.
+        for (int b = 0; b < nb; ++b) {
+            if (!resident_[b])
+                continue;
+            for (int br : cfg_.controlDeps(b)) {
+                int term = cfg_.blocks()[br].last;
+                if (!keepBranch_[term]) {
+                    resident_[b] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+Decoupling::findCandidates()
+{
+    const int n = kernel_.numInsts();
+    cand_.assign(n, CandKind::No);
+    slice_.assign(n, false);
+
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &inst = kernel_.insts[pc];
+        if (!resident_[cfg_.blockOf(pc)])
+            continue;
+        if (inst.guardPred >= 0 && !aa_.guardType(pc).affineOk(maxConds()))
+            continue;
+
+        CandKind kind = CandKind::No;
+        if (inst.op == Opcode::Ld && inst.space == MemSpace::Global &&
+            aa_.srcType(pc, inst.src[0]).affineOk(maxConds())) {
+            kind = CandKind::Load;
+        } else if (inst.op == Opcode::St &&
+                   inst.space == MemSpace::Global &&
+                   aa_.srcType(pc, inst.src[0]).affineOk(maxConds())) {
+            kind = CandKind::Store;
+        } else if (inst.op == Opcode::Setp &&
+                   aa_.defType(pc).affineOk(maxConds())) {
+            kind = CandKind::Pred;
+        }
+        if (kind == CandKind::No)
+            continue;
+
+        auto slice = backwardSlice(pc, seedsOf(pc, kind));
+        if (!slice)
+            continue;
+        cand_[pc] = kind;
+        for (int d : *slice)
+            slice_[d] = true;
+    }
+
+    // Branch predicate slices are also part of the affine stream.
+    for (int pc = 0; pc < n; ++pc) {
+        if (!keepBranch_[pc] || kernel_.insts[pc].guardPred < 0)
+            continue;
+        auto slice =
+            backwardSlice(pc, {Operand::pred(kernel_.insts[pc].guardPred)});
+        ensure(slice.has_value(), "keepable branch with infeasible slice");
+        for (int d : *slice)
+            slice_[d] = true;
+    }
+}
+
+Kernel
+Decoupling::emitProjection(
+    const Kernel &base,
+    const std::vector<std::pair<int, Instruction>> &emitted,
+    const std::string &suffix)
+{
+    Kernel out;
+    out.name = base.name + suffix;
+    out.numRegs = base.numRegs;
+    out.numPreds = base.numPreds;
+    out.params = base.params;
+    out.sharedBytes = base.sharedBytes;
+
+    std::vector<int> orig;
+    orig.reserve(emitted.size());
+    for (const auto &[opc, inst] : emitted) {
+        orig.push_back(opc);
+        out.insts.push_back(inst);
+    }
+    // Remap branch targets: old target T maps to the first emitted
+    // instruction whose original PC is >= T.
+    auto mapTarget = [&](int t) {
+        auto it = std::lower_bound(orig.begin(), orig.end(), t);
+        if (it == orig.end())
+            return static_cast<int>(orig.size()) - 1;
+        return static_cast<int>(it - orig.begin());
+    };
+    for (Instruction &inst : out.insts) {
+        if (inst.isBranch())
+            inst.target = mapTarget(inst.target);
+        inst.reconvergePc = -1; // recomputed below
+    }
+    analyzeControlFlow(out);
+    return out;
+}
+
+Kernel
+Decoupling::buildNonAffineStream(std::vector<bool> &present_out,
+                                 std::vector<bool> &deq_pred_live_out) const
+{
+    const int n = kernel_.numInsts();
+    // Replace decoupled instructions in place (same PC positions) so
+    // the original reaching-definition structure still applies.
+    std::vector<Instruction> replaced(kernel_.insts);
+    for (int pc = 0; pc < n; ++pc) {
+        Instruction &inst = replaced[pc];
+        switch (cand_[pc]) {
+          case CandKind::Load:
+            inst.op = Opcode::LdDeq;
+            inst.src = {};
+            inst.addrOffset = 0;
+            break;
+          case CandKind::Store:
+            inst.op = Opcode::StDeq;
+            inst.src = {inst.src[1], Operand{}, Operand{}};
+            inst.addrOffset = 0;
+            break;
+          case CandKind::Pred:
+            inst.op = Opcode::DeqPred;
+            inst.src = {};
+            break;
+          case CandKind::No:
+            break;
+        }
+        if (inst.isBarrier())
+            inst.epochCounted =
+                resident_[cfg_.blockOf(pc)];
+    }
+
+    // Dead-code elimination: roots are instructions with side effects
+    // or control relevance; mark their operands' reaching definitions
+    // transitively. Instructions moved to the affine stream survive
+    // here only if still needed.
+    std::vector<bool> needed(n, false);
+    std::vector<int> work;
+    auto markNeeded = [&](int pc) {
+        if (!needed[pc]) {
+            needed[pc] = true;
+            work.push_back(pc);
+        }
+    };
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &inst = replaced[pc];
+        bool root = inst.isMemory() || inst.isBranch() ||
+                    inst.isBarrier() || inst.isExit();
+        if (root)
+            markNeeded(pc);
+    }
+    while (!work.empty()) {
+        int pc = work.back();
+        work.pop_back();
+        const Instruction &inst = replaced[pc];
+        auto markUse = [&](const Operand &op) {
+            std::vector<int> defs;
+            if (op.isReg())
+                defs = rd_.reachingRegDefs(pc, op.index);
+            else if (op.isPred())
+                defs = rd_.reachingPredDefs(pc, op.index);
+            for (int d : defs)
+                if (!rd_.isEntryDef(d))
+                    markNeeded(d);
+        };
+        for (int i = 0; i < numSources(inst.op); ++i)
+            markUse(inst.src[i]);
+        if (inst.guardPred >= 0)
+            markUse(Operand::pred(inst.guardPred));
+    }
+
+    deq_pred_live_out.assign(n, false);
+    present_out.assign(n, false);
+    std::vector<std::pair<int, Instruction>> emitted;
+    for (int pc = 0; pc < n; ++pc) {
+        if (!needed[pc])
+            continue;
+        present_out[pc] = true;
+        if (replaced[pc].op == Opcode::DeqPred)
+            deq_pred_live_out[pc] = true;
+        emitted.emplace_back(pc, replaced[pc]);
+    }
+    return emitProjection(kernel_, emitted, ".na");
+}
+
+Kernel
+Decoupling::buildAffineStream(const std::vector<bool> &deq_pred_live) const
+{
+    std::vector<std::pair<int, Instruction>> emitted;
+    for (int pc = 0; pc < kernel_.numInsts(); ++pc) {
+        const Instruction &inst = kernel_.insts[pc];
+        bool res = resident_[cfg_.blockOf(pc)];
+        if (inst.isBranch()) {
+            if (keepBranch_[pc])
+                emitted.emplace_back(pc, inst);
+            continue;
+        }
+        if (inst.isBarrier()) {
+            if (res) {
+                Instruction bar = inst;
+                bar.epochCounted = true;
+                emitted.emplace_back(pc, bar);
+            }
+            continue;
+        }
+        if (inst.isExit()) {
+            emitted.emplace_back(pc, inst);
+            continue;
+        }
+        switch (cand_[pc]) {
+          case CandKind::Load:
+          case CandKind::Store: {
+            Instruction enq = inst;
+            enq.op = cand_[pc] == CandKind::Load ? Opcode::EnqData
+                                                 : Opcode::EnqAddr;
+            enq.dst = Operand{};
+            if (cand_[pc] == CandKind::Store)
+                enq.src[1] = Operand{};
+            emitted.emplace_back(pc, enq);
+            break;
+          }
+          case CandKind::Pred: {
+            emitted.emplace_back(pc, inst); // the setp itself
+            if (deq_pred_live[pc]) {
+                Instruction enq;
+                enq.op = Opcode::EnqPred;
+                enq.src[0] = inst.dst;
+                enq.guardPred = inst.guardPred;
+                enq.guardNeg = inst.guardNeg;
+                emitted.emplace_back(pc, enq);
+            }
+            break;
+          }
+          case CandKind::No:
+            if (slice_[pc])
+                emitted.emplace_back(pc, inst);
+            break;
+        }
+    }
+    return emitProjection(kernel_, emitted, ".aff");
+}
+
+DecoupledKernel
+Decoupling::run()
+{
+    const int n = kernel_.numInsts();
+    DecoupledKernel out;
+    out.decoupled.assign(n, false);
+    out.inAffineStream.assign(n, false);
+    out.coveredByDac.assign(n, false);
+
+    bool feasible = exitsDecoupleable();
+    if (feasible) {
+        refineResidency();
+        findCandidates();
+        feasible = std::any_of(cand_.begin(), cand_.end(),
+                               [](CandKind k) { return k != CandKind::No; });
+    }
+    if (!feasible) {
+        // Nothing decoupled: DAC degenerates to the baseline.
+        out.nonAffine = kernel_;
+        Kernel trivial;
+        trivial.name = kernel_.name + ".aff";
+        trivial.numRegs = kernel_.numRegs;
+        trivial.numPreds = kernel_.numPreds;
+        trivial.params = kernel_.params;
+        Instruction ex;
+        ex.op = Opcode::Exit;
+        trivial.insts.push_back(ex);
+        analyzeControlFlow(trivial);
+        out.affine = std::move(trivial);
+        out.anyDecoupled = false;
+        return out;
+    }
+
+    std::vector<bool> present, deqPredLive;
+    out.nonAffine = buildNonAffineStream(present, deqPredLive);
+    out.affine = buildAffineStream(deqPredLive);
+    out.anyDecoupled = true;
+
+    for (int pc = 0; pc < n; ++pc) {
+        bool dec = cand_[pc] != CandKind::No;
+        out.decoupled[pc] = dec;
+        out.inAffineStream[pc] = dec || slice_[pc] || keepBranch_[pc];
+        out.coveredByDac[pc] = dec || (slice_[pc] && !present[pc]);
+        switch (cand_[pc]) {
+          case CandKind::Load: ++out.numDecoupledLoads; break;
+          case CandKind::Store: ++out.numDecoupledStores; break;
+          case CandKind::Pred: ++out.numDecoupledPreds; break;
+          case CandKind::No: break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+DecoupledKernel
+decouple(const Kernel &original, const DacConfig &cfg)
+{
+    Decoupling d(original, cfg);
+    return d.run();
+}
+
+PotentialAffine
+classifyPotentialAffine(const Kernel &original)
+{
+    Kernel kernel = original;
+    Cfg cfg = analyzeControlFlow(kernel);
+    ReachingDefs rd(kernel, cfg);
+    AffineAnalysis aa(kernel, cfg, rd, /*max_conds=*/2);
+
+    PotentialAffine result;
+    for (int pc = 0; pc < kernel.numInsts(); ++pc) {
+        const Instruction &inst = kernel.insts[pc];
+        ++result.totalInsts;
+        if (inst.isBarrier() || inst.isExit())
+            continue;
+        if (inst.isBranch()) {
+            if (inst.guardPred < 0 || aa.guardType(pc).affineOk(2))
+                ++result.branch;
+            continue;
+        }
+        if (inst.op == Opcode::Setp) {
+            if (!aa.defType(pc).isNonAffine())
+                ++result.branch;
+            continue;
+        }
+        if (inst.isMemory()) {
+            if (!aa.srcType(pc, inst.src[0]).isNonAffine())
+                ++result.memory;
+            continue;
+        }
+        // Plain ALU instruction.
+        if (!aa.defType(pc).isNonAffine())
+            ++result.arithmetic;
+    }
+    return result;
+}
+
+} // namespace dacsim

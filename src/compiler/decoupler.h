@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The DAC decoupling pass (paper Section 4.7, "Decoupling").
+ *
+ * Splits a kernel into an affine instruction stream (executed once per
+ * SM by the affine warp) and a non-affine stream (executed by the
+ * ordinary warps), communicating through enq/deq queue instructions:
+ *
+ *   - decoupled global loads:   ld  -> enq.data (affine) + ld.deq
+ *   - decoupled global stores:  st  -> enq.addr (affine) + st.deq
+ *   - decoupled predicates:     setp -> setp+enq.pred (affine) + deq.pred
+ *
+ * The backward slice feeding each decoupled instruction moves into the
+ * affine stream and is removed from the non-affine stream when no
+ * remaining non-affine instruction depends on it. Branches with
+ * affine-trackable predicates, barriers, and exits are replicated into
+ * both streams so the affine warp mirrors the non-affine control flow.
+ */
+
+#ifndef DACSIM_COMPILER_DECOUPLER_H
+#define DACSIM_COMPILER_DECOUPLER_H
+
+#include <vector>
+
+#include "common/config.h"
+#include "isa/instruction.h"
+
+namespace dacsim
+{
+
+/** Output of the decoupling pass. */
+struct DecoupledKernel
+{
+    /** The affine stream (control-flow analysed, ready to execute). */
+    Kernel affine;
+    /** The non-affine stream (control-flow analysed, ready to execute). */
+    Kernel nonAffine;
+
+    /** Whether any instruction was decoupled at all. */
+    bool anyDecoupled = false;
+
+    // ----- per-original-instruction marks (indexed by original PC) ------
+    /** Instruction became an enq/deq pair. */
+    std::vector<bool> decoupled;
+    /** Instruction was placed in the affine stream (slice or control). */
+    std::vector<bool> inAffineStream;
+    /** Instruction no longer executes on non-affine warps; such
+     * instructions count toward DAC's affine coverage (Fig 18). */
+    std::vector<bool> coveredByDac;
+
+    // ----- static summary -------------------------------------------------
+    int numDecoupledLoads = 0;
+    int numDecoupledStores = 0;
+    int numDecoupledPreds = 0;
+};
+
+/**
+ * Decouple @p original into affine and non-affine streams.
+ *
+ * When nothing can be decoupled (e.g. all addressing is data-
+ * dependent), the result has anyDecoupled == false and nonAffine is
+ * the original kernel: DAC degenerates to the baseline for that
+ * kernel, as in the paper's BFS/BT discussion.
+ */
+DecoupledKernel decouple(const Kernel &original, const DacConfig &cfg);
+
+/** Static potential-affine classification for Fig 6. */
+struct PotentialAffine
+{
+    int totalInsts = 0;      ///< countable static instructions
+    int arithmetic = 0;      ///< potentially affine ALU instructions
+    int memory = 0;          ///< loads/stores with affine addresses
+    int branch = 0;          ///< affine predicate computations + branches
+
+    int potential() const { return arithmetic + memory + branch; }
+    double
+    fraction() const
+    {
+        return totalInsts ? static_cast<double>(potential()) / totalInsts
+                          : 0.0;
+    }
+};
+
+/** Classify a kernel's static instructions (paper Fig 6). */
+PotentialAffine classifyPotentialAffine(const Kernel &kernel);
+
+} // namespace dacsim
+
+#endif // DACSIM_COMPILER_DECOUPLER_H

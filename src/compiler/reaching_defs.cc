@@ -1,0 +1,160 @@
+#include "compiler/reaching_defs.h"
+
+#include "common/log.h"
+
+namespace dacsim
+{
+
+int
+ReachingDefs::regDefinedBy(int pc) const
+{
+    const Instruction &inst = kernel_.insts[pc];
+    if (inst.dst.isReg())
+        return inst.dst.index;
+    return -1;
+}
+
+int
+ReachingDefs::predDefinedBy(int pc) const
+{
+    const Instruction &inst = kernel_.insts[pc];
+    if (inst.dst.isPred())
+        return inst.dst.index;
+    return -1;
+}
+
+bool
+ReachingDefs::defines(int def, int target, bool is_pred) const
+{
+    if (def >= numInsts_) {
+        int slot = def - numInsts_;
+        if (is_pred)
+            return slot >= kernel_.numRegs &&
+                   slot - kernel_.numRegs == target;
+        return slot < kernel_.numRegs && slot == target;
+    }
+    return is_pred ? predDefinedBy(def) == target
+                   : regDefinedBy(def) == target;
+}
+
+bool
+ReachingDefs::kills(int def) const
+{
+    // Entry defs and guarded (predicated) writes do not kill: under a
+    // guard the old value may survive in some threads.
+    if (def >= numInsts_)
+        return false;
+    return kernel_.insts[def].guardPred < 0;
+}
+
+ReachingDefs::ReachingDefs(const Kernel &kernel, const Cfg &cfg)
+    : kernel_(kernel), cfg_(cfg), numInsts_(kernel.numInsts())
+{
+    numDefs_ = numInsts_ + kernel.numRegs + kernel.numPreds;
+    words_ = (numDefs_ + 63) / 64;
+
+    auto setBit = [&](std::vector<std::uint64_t> &v, int b) {
+        v[b / 64] |= 1ull << (b % 64);
+    };
+    auto clearBit = [&](std::vector<std::uint64_t> &v, int b) {
+        v[b / 64] &= ~(1ull << (b % 64));
+    };
+
+    // Transfer function of one instruction applied to a live def set.
+    auto apply = [&](std::vector<std::uint64_t> &set, int pc) {
+        int reg = regDefinedBy(pc);
+        int pred = predDefinedBy(pc);
+        if (reg < 0 && pred < 0)
+            return;
+        if (kills(pc)) {
+            for (int d = 0; d < numDefs_; ++d) {
+                if (d == pc)
+                    continue;
+                if ((reg >= 0 && defines(d, reg, false)) ||
+                    (pred >= 0 && defines(d, pred, true))) {
+                    clearBit(set, d);
+                }
+            }
+        }
+        setBit(set, pc);
+    };
+
+    const int nb = cfg.numBlocks();
+    in_.assign(nb, std::vector<std::uint64_t>(words_, 0));
+    std::vector<std::vector<std::uint64_t>> out(
+        nb, std::vector<std::uint64_t>(words_, 0));
+
+    // Entry block starts with the entry pseudo-defs.
+    std::vector<std::uint64_t> entry(words_, 0);
+    for (int i = numInsts_; i < numDefs_; ++i)
+        setBit(entry, i);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : cfg.rpo()) {
+            const BasicBlock &bb = cfg.blocks()[b];
+            std::vector<std::uint64_t> inSet(words_, 0);
+            if (b == 0)
+                inSet = entry;
+            for (int p : bb.preds)
+                for (int w = 0; w < words_; ++w)
+                    inSet[w] |= out[p][w];
+            if (inSet != in_[b]) {
+                in_[b] = inSet;
+                changed = true;
+            }
+            for (int pc = bb.first; pc <= bb.last; ++pc)
+                apply(inSet, pc);
+            if (inSet != out[b]) {
+                out[b] = std::move(inSet);
+                changed = true;
+            }
+        }
+    }
+}
+
+std::vector<int>
+ReachingDefs::reaching(int pc, int target, bool is_pred) const
+{
+    int b = cfg_.blockOf(pc);
+    const BasicBlock &bb = cfg_.blocks()[b];
+    // Recompute the def set locally from the block entry to pc.
+    std::vector<std::uint64_t> set = in_[b];
+    for (int p = bb.first; p < pc; ++p) {
+        int reg = regDefinedBy(p);
+        int pred = predDefinedBy(p);
+        if (reg < 0 && pred < 0)
+            continue;
+        if (kills(p)) {
+            for (int d = 0; d < numDefs_; ++d) {
+                if (d == p)
+                    continue;
+                if ((reg >= 0 && defines(d, reg, false)) ||
+                    (pred >= 0 && defines(d, pred, true))) {
+                    set[d / 64] &= ~(1ull << (d % 64));
+                }
+            }
+        }
+        set[p / 64] |= 1ull << (p % 64);
+    }
+    std::vector<int> result;
+    for (int d = 0; d < numDefs_; ++d)
+        if ((set[d / 64] >> (d % 64) & 1) && defines(d, target, is_pred))
+            result.push_back(d);
+    return result;
+}
+
+std::vector<int>
+ReachingDefs::reachingRegDefs(int pc, int reg) const
+{
+    return reaching(pc, reg, false);
+}
+
+std::vector<int>
+ReachingDefs::reachingPredDefs(int pc, int pred) const
+{
+    return reaching(pc, pred, true);
+}
+
+} // namespace dacsim

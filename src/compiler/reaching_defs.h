@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reaching-definitions dataflow over a kernel's registers and
+ * predicate registers, used by the affine type analysis and the
+ * decoupler's backward slicing (paper Section 4.7).
+ */
+
+#ifndef DACSIM_COMPILER_REACHING_DEFS_H
+#define DACSIM_COMPILER_REACHING_DEFS_H
+
+#include <vector>
+
+#include "compiler/cfg.h"
+#include "isa/instruction.h"
+
+namespace dacsim
+{
+
+/**
+ * Definition sites are identified by small integers:
+ *  - [0, numInsts): the instruction at that PC defines its destination;
+ *  - numInsts + r: the "entry" pseudo-definition of register r
+ *    (registers read before any write hold zero);
+ *  - numInsts + numRegs + p: the entry pseudo-definition of predicate p.
+ */
+class ReachingDefs
+{
+  public:
+    ReachingDefs(const Kernel &kernel, const Cfg &cfg);
+
+    int numInsts() const { return numInsts_; }
+
+    bool isEntryDef(int def) const { return def >= numInsts_; }
+
+    /**
+     * The definitions of register @p reg that reach the program point
+     * just before @p pc executes.
+     */
+    std::vector<int> reachingRegDefs(int pc, int reg) const;
+
+    /** Same, for predicate register @p pred. */
+    std::vector<int> reachingPredDefs(int pc, int pred) const;
+
+    /** Destination register defined by @p pc; -1 if none. */
+    int regDefinedBy(int pc) const;
+    /** Destination predicate defined by @p pc; -1 if none. */
+    int predDefinedBy(int pc) const;
+
+  private:
+    const Kernel &kernel_;
+    const Cfg &cfg_;
+    int numInsts_;
+    int numDefs_;
+    int words_;
+    /** IN set per basic block. */
+    std::vector<std::vector<std::uint64_t>> in_;
+
+    std::vector<int> reaching(int pc, int target, bool is_pred) const;
+    /** Does def @p def define (reg/pred) @p target? */
+    bool defines(int def, int target, bool is_pred) const;
+    /** Is def @p def a killing (unguarded) definition? */
+    bool kills(int def) const;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_COMPILER_REACHING_DEFS_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The two-level Affine SIMT Stack (paper Section 4.5).
+ *
+ * The affine warp mirrors the control flow of every non-affine warp of
+ * the batch, so each stack entry carries one mask per warp. The
+ * hardware stores these as a Warp Level Stack (2 bits per warp: all-1s
+ * / all-0s / mixed) backed by Per Warp Stacks holding full masks only
+ * for the mixed case; functionally we keep full masks and account the
+ * WLS/PWS access split for the energy model.
+ */
+
+#ifndef DACSIM_DAC_AFFINE_STACK_H
+#define DACSIM_DAC_AFFINE_STACK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+#include "dac/affine_value.h"
+
+namespace dacsim
+{
+
+class AffineStack
+{
+  public:
+    struct Entry
+    {
+        int pc = 0;
+        int rpc = -1;
+        MaskSet mask;
+    };
+
+    struct AccessCounts
+    {
+        std::uint64_t wls = 0; ///< warp-level (2-bit) entries touched
+        std::uint64_t pws = 0; ///< per-warp full-mask entries touched
+    };
+
+    void
+    reset(const MaskSet &initial)
+    {
+        entries_.clear();
+        entries_.push_back({0, -1, initial});
+        countAccess(initial);
+    }
+
+    bool empty() const { return entries_.empty(); }
+    int depth() const { return static_cast<int>(entries_.size()); }
+    int pc() const { return top().pc; }
+    const MaskSet &mask() const { return top().mask; }
+    int maxDepthSeen() const { return maxDepth_; }
+
+    /** Reaching the top entry's reconvergence PC pops exactly that
+     * entry; execution resumes at the next pending path's own PC. */
+    void
+    advance(int next_pc)
+    {
+        ensure(!empty(), "advance on empty affine stack");
+        if (next_pc == top().rpc) {
+            entries_.pop_back();
+            normalize();
+            return;
+        }
+        entries_.back().pc = next_pc;
+    }
+
+    void
+    diverge(int target, int fallthrough, int rpc, const MaskSet &taken,
+            const MaskSet &not_taken)
+    {
+        ensure(!empty(), "diverge on empty affine stack");
+        Entry parent = entries_.back();
+        entries_.pop_back();
+        if (rpc >= 0)
+            entries_.push_back({rpc, parent.rpc, parent.mask});
+        entries_.push_back({fallthrough, rpc, not_taken});
+        entries_.push_back({target, rpc, taken});
+        normalize();
+        maxDepth_ = std::max(maxDepth_, depth());
+        countAccess(taken);
+        countAccess(not_taken);
+    }
+
+    /** Retire exited threads; true when the whole batch has finished. */
+    bool
+    retire(const MaskSet &exited)
+    {
+        for (Entry &e : entries_)
+            e.mask = maskSetAndNot(e.mask, exited);
+        std::erase_if(entries_,
+                      [](const Entry &e) { return maskSetEmpty(e.mask); });
+        return entries_.empty();
+    }
+
+    const std::vector<Entry> &entries() const { return entries_; }
+    const AccessCounts &accesses() const { return accesses_; }
+
+  private:
+    std::vector<Entry> entries_;
+    AccessCounts accesses_;
+    int maxDepth_ = 1;
+
+    const Entry &
+    top() const
+    {
+        ensure(!entries_.empty(), "empty affine stack");
+        return entries_.back();
+    }
+
+    /** Pop path entries born already at their reconvergence PC. */
+    void
+    normalize()
+    {
+        while (!entries_.empty() &&
+               entries_.back().pc == entries_.back().rpc) {
+            entries_.pop_back();
+        }
+    }
+
+    void
+    countAccess(const MaskSet &m)
+    {
+        for (ThreadMask w : m) {
+            ++accesses_.wls;
+            if (w != 0 && w != fullMask)
+                ++accesses_.pws;
+        }
+    }
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_DAC_AFFINE_STACK_H

@@ -1,0 +1,150 @@
+#include "dac/affine_tuple.h"
+
+#include <sstream>
+
+#include "common/log.h"
+#include "sim/alu.h"
+
+namespace dacsim
+{
+
+RegVal
+AffineTuple::eval(const Idx3 &tid, const Idx3 &cta) const
+{
+    RegVal v = base;
+    for (int d = 0; d < 3; ++d)
+        v += tidOff[d] * tid.dim(d) + ctaOff[d] * cta.dim(d);
+    if (hasMod) {
+        RegVal m = modBase;
+        for (int d = 0; d < 3; ++d)
+            m += modTidOff[d] * tid.dim(d) + modCtaOff[d] * cta.dim(d);
+        v += modScale * gpuMod(m, divisor);
+    }
+    return v;
+}
+
+std::string
+AffineTuple::toString() const
+{
+    std::ostringstream os;
+    os << "(" << base;
+    for (int d = 0; d < 3; ++d)
+        os << "," << tidOff[d];
+    for (int d = 0; d < 3; ++d)
+        os << "," << ctaOff[d];
+    if (hasMod)
+        os << ",mod[" << modScale << "*(" << modBase << "... % " << divisor
+           << ")]";
+    os << ")";
+    return os.str();
+}
+
+namespace
+{
+
+std::optional<AffineTuple>
+addTuples(const AffineTuple &a, const AffineTuple &b, bool negate_b)
+{
+    if (a.hasMod && b.hasMod)
+        return std::nullopt;
+    AffineTuple r = a.hasMod ? a : b;
+    RegVal s = negate_b ? -1 : 1;
+    if (!a.hasMod && b.hasMod) {
+        // r currently equals b; rebuild from a's linear part.
+        r.modScale *= s;
+        r.base = a.base + s * b.base;
+        for (int d = 0; d < 3; ++d) {
+            r.tidOff[d] = a.tidOff[d] + s * b.tidOff[d];
+            r.ctaOff[d] = a.ctaOff[d] + s * b.ctaOff[d];
+        }
+        return r;
+    }
+    r.base = a.base + s * b.base;
+    for (int d = 0; d < 3; ++d) {
+        r.tidOff[d] = a.tidOff[d] + s * b.tidOff[d];
+        r.ctaOff[d] = a.ctaOff[d] + s * b.ctaOff[d];
+    }
+    return r;
+}
+
+std::optional<AffineTuple>
+mulTuples(const AffineTuple &a, const AffineTuple &b)
+{
+    const AffineTuple *affine = &a;
+    const AffineTuple *scalar = &b;
+    if (!scalar->isScalar())
+        std::swap(affine, scalar);
+    if (!scalar->isScalar())
+        return std::nullopt;
+    RegVal k = scalar->base;
+    AffineTuple r = *affine;
+    r.base *= k;
+    for (int d = 0; d < 3; ++d) {
+        r.tidOff[d] *= k;
+        r.ctaOff[d] *= k;
+    }
+    if (r.hasMod)
+        r.modScale *= k;
+    return r;
+}
+
+} // namespace
+
+std::optional<AffineTuple>
+affineAlu(Opcode op, const AffineTuple &a, const AffineTuple &b,
+          const AffineTuple &c)
+{
+    switch (op) {
+      case Opcode::Mov:
+        return a;
+      case Opcode::Add:
+        return addTuples(a, b, false);
+      case Opcode::Sub:
+        return addTuples(a, b, true);
+      case Opcode::Mul:
+        return mulTuples(a, b);
+      case Opcode::Mad: {
+        auto prod = mulTuples(a, b);
+        if (!prod)
+            return std::nullopt;
+        return addTuples(*prod, c, false);
+      }
+      case Opcode::Shl: {
+        if (!b.isScalar())
+            return std::nullopt;
+        AffineTuple factor = AffineTuple::scalar(
+            static_cast<RegVal>(1) << (b.base & 63));
+        return mulTuples(a, factor);
+      }
+      case Opcode::Mod: {
+        if (!b.isScalar() || a.hasMod)
+            return std::nullopt;
+        if (a.isScalar())
+            return AffineTuple::scalar(gpuMod(a.base, b.base));
+        AffineTuple r;
+        r.hasMod = true;
+        r.modScale = 1;
+        r.modBase = a.base;
+        r.modTidOff = a.tidOff;
+        r.modCtaOff = a.ctaOff;
+        r.divisor = b.base;
+        return r;
+      }
+      case Opcode::Shr:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+        if (!a.isScalar() || !b.isScalar())
+            return std::nullopt;
+        return AffineTuple::scalar(aluCompute(op, a.base, b.base));
+      case Opcode::Not:
+        if (!a.isScalar())
+            return std::nullopt;
+        return AffineTuple::scalar(~a.base);
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace dacsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Affine tuples: the compact value representation executed by the DAC
+ * affine warp (paper Sections 3 and 4.4).
+ *
+ * A tuple represents, for every thread of the grid,
+ *
+ *   value(tid, ctaid) = base + sum_d tidOff[d]  * tid[d]
+ *                            + sum_d ctaOff[d]  * ctaid[d]
+ *                            + modScale * ((modBase
+ *                            + sum_d modTidOff[d] * tid[d]
+ *                            + sum_d modCtaOff[d] * ctaid[d]) mod divisor)
+ *
+ * i.e. one base plus up to six offsets (three thread-index dimensions
+ * and three block-index dimensions), optionally extended with a
+ * mod-by-scalar term (the paper's mod-type tuple).
+ */
+
+#ifndef DACSIM_DAC_AFFINE_TUPLE_H
+#define DACSIM_DAC_AFFINE_TUPLE_H
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+#include "sim/dim3.h"
+
+namespace dacsim
+{
+
+struct AffineTuple
+{
+    RegVal base = 0;
+    std::array<RegVal, 3> tidOff{};
+    std::array<RegVal, 3> ctaOff{};
+
+    bool hasMod = false;
+    RegVal modScale = 0;
+    RegVal modBase = 0;
+    std::array<RegVal, 3> modTidOff{};
+    std::array<RegVal, 3> modCtaOff{};
+    RegVal divisor = 1;
+
+    /** A tuple holding the same value in every thread. */
+    static AffineTuple
+    scalar(RegVal v)
+    {
+        AffineTuple t;
+        t.base = v;
+        return t;
+    }
+
+    /** The identity tuple for threadIdx dimension @p dim. */
+    static AffineTuple
+    tid(int dim)
+    {
+        AffineTuple t;
+        t.tidOff[static_cast<std::size_t>(dim)] = 1;
+        return t;
+    }
+
+    /** The identity tuple for blockIdx dimension @p dim. */
+    static AffineTuple
+    ctaid(int dim)
+    {
+        AffineTuple t;
+        t.ctaOff[static_cast<std::size_t>(dim)] = 1;
+        return t;
+    }
+
+    bool
+    isScalar() const
+    {
+        if (hasMod)
+            return false;
+        for (int d = 0; d < 3; ++d)
+            if (tidOff[d] != 0 || ctaOff[d] != 0)
+                return false;
+        return true;
+    }
+
+    /** True when the value varies only along threadIdx.x linearly
+     * (no mod term): the AEU/PEU fast-path shape. */
+    bool
+    xOnly() const
+    {
+        return !hasMod && tidOff[1] == 0 && tidOff[2] == 0;
+    }
+
+    /** Concrete value for one thread. */
+    RegVal eval(const Idx3 &tid, const Idx3 &cta) const;
+
+    bool operator==(const AffineTuple &) const = default;
+
+    std::string toString() const;
+};
+
+/**
+ * Affine-datapath execution of a (linear-capable) ALU opcode over
+ * tuples. Returns nullopt when the result is not representable as a
+ * single tuple (the compiler's affine type analysis guarantees this
+ * never happens for decoupled instructions; min/max/abs/sel divergence
+ * is handled one level up in AffineValue).
+ *
+ * Supported: mov, add, sub, mul/mad/shl with a scalar factor, mod by
+ * a scalar, and shr/div/and/or/xor/not on scalar operands.
+ */
+std::optional<AffineTuple> affineAlu(Opcode op, const AffineTuple &a,
+                                     const AffineTuple &b = {},
+                                     const AffineTuple &c = {});
+
+} // namespace dacsim
+
+#endif // DACSIM_DAC_AFFINE_TUPLE_H

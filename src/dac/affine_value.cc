@@ -1,0 +1,137 @@
+#include "dac/affine_value.h"
+
+#include <algorithm>
+
+namespace dacsim
+{
+
+const AffineTuple &
+AffineValue::tupleFor(int warp, int lane) const
+{
+    if (isUniform())
+        return variants_[0].tuple;
+    for (const AffineVariant &v : variants_) {
+        ensure(v.cond != nullptr, "divergent value with implicit mask");
+        if ((*v.cond)[static_cast<std::size_t>(warp)] >> lane & 1)
+            return v.tuple;
+    }
+    panic("thread not covered by any affine variant");
+}
+
+void
+AffineValue::makeExplicit(const MaskSet &full)
+{
+    if (!isUniform() || variants_[0].cond != nullptr)
+        return;
+    variants_[0].cond = std::make_shared<MaskSet>(full);
+}
+
+void
+AffineValue::normalize()
+{
+    // Drop empty variants and merge variants holding identical tuples.
+    std::vector<AffineVariant> merged;
+    for (AffineVariant &v : variants_) {
+        if (v.cond && maskSetEmpty(*v.cond))
+            continue;
+        bool fused = false;
+        for (AffineVariant &m : merged) {
+            if (m.tuple == v.tuple && m.cond && v.cond) {
+                m.cond = std::make_shared<MaskSet>(
+                    maskSetOr(*m.cond, *v.cond));
+                fused = true;
+                break;
+            }
+        }
+        if (!fused)
+            merged.push_back(std::move(v));
+    }
+    variants_ = std::move(merged);
+    if (variants_.size() == 1)
+        variants_[0].cond = nullptr; // back to uniform form
+}
+
+std::optional<AffineValue>
+AffineValue::apply(Opcode op, const AffineValue &a, const AffineValue &b,
+                   const AffineValue &c, const MaskSet &full)
+{
+    int nsrc = numSources(op);
+    if ((nsrc < 2 || b.isUniform()) && a.isUniform() &&
+        (nsrc < 3 || c.isUniform())) {
+        auto t = affineAlu(op, a.variants_[0].tuple, b.variants_[0].tuple,
+                           c.variants_[0].tuple);
+        if (!t)
+            return std::nullopt;
+        return uniform(*t);
+    }
+
+    AffineValue av = a, bv = b, cv = c;
+    av.makeExplicit(full);
+    bv.makeExplicit(full);
+    cv.makeExplicit(full);
+    AffineValue result;
+    result.variants_.clear();
+    for (const AffineVariant &va : av.variants_) {
+        for (const AffineVariant &vb : bv.variants_) {
+            MaskSet ab = maskSetAnd(*va.cond, *vb.cond);
+            if (maskSetEmpty(ab))
+                continue;
+            for (const AffineVariant &vc : cv.variants_) {
+                MaskSet abc =
+                    nsrc < 3 ? ab : maskSetAnd(ab, *vc.cond);
+                if (nsrc >= 3 && maskSetEmpty(abc))
+                    continue;
+                auto t = affineAlu(op, va.tuple, vb.tuple, vc.tuple);
+                if (!t)
+                    return std::nullopt;
+                result.variants_.push_back(
+                    {*t, std::make_shared<MaskSet>(std::move(abc))});
+                if (nsrc < 3)
+                    break;
+            }
+        }
+    }
+    result.normalize();
+    ensure(!result.variants_.empty(), "affine apply produced no variants");
+    if (result.numVariants() > maxVariants)
+        return std::nullopt;
+    return result;
+}
+
+bool
+AffineValue::overlay(const AffineValue &v, const MaskSet &mask,
+                     const MaskSet &full)
+{
+    makeExplicit(full);
+    std::vector<AffineVariant> next;
+    for (const AffineVariant &old : variants_) {
+        MaskSet kept = maskSetAndNot(*old.cond, mask);
+        if (!maskSetEmpty(kept))
+            next.push_back({old.tuple,
+                            std::make_shared<MaskSet>(std::move(kept))});
+    }
+    AffineValue nv = v;
+    nv.makeExplicit(full);
+    for (const AffineVariant &newer : nv.variants_) {
+        MaskSet got = maskSetAnd(*newer.cond, mask);
+        if (!maskSetEmpty(got))
+            next.push_back({newer.tuple,
+                            std::make_shared<MaskSet>(std::move(got))});
+    }
+    variants_ = std::move(next);
+    normalize();
+    ensure(!variants_.empty(), "overlay produced no variants");
+    return numVariants() <= maxVariants;
+}
+
+std::optional<AffineValue>
+AffineValue::select(const AffineValue &a, const AffineValue &b,
+                    const MaskSet &mask, const MaskSet &full)
+{
+    AffineValue result = b;
+    if (!result.overlay(a, mask, full))
+        return std::nullopt;
+    return result;
+}
+
+} // namespace dacsim

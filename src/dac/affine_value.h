@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Affine register values with divergent-tuple variants (paper
+ * Section 4.6) and the per-warp mask sets the affine warp uses to
+ * mirror the control flow of a whole batch of non-affine warps.
+ *
+ * A MaskSet holds one 32-bit thread mask per non-affine warp of the
+ * current batch — the representation behind both the two-level Affine
+ * SIMT Stack (Section 4.5) and the Divergent Condition Register File.
+ *
+ * An AffineValue is either uniform (a single tuple valid for all
+ * threads) or a small list of (tuple, mask) variants with disjoint
+ * masks that together cover every thread; the mask selects which
+ * threads use which tuple, as the DCRF entries do in hardware. At most
+ * 2^maxDivergentConditions = 4 variants exist for decoupled values.
+ */
+
+#ifndef DACSIM_DAC_AFFINE_VALUE_H
+#define DACSIM_DAC_AFFINE_VALUE_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/log.h"
+#include "dac/affine_tuple.h"
+
+namespace dacsim
+{
+
+/** One thread mask per warp of the batch. */
+using MaskSet = std::vector<ThreadMask>;
+
+/** Shared immutable mask set; nullptr denotes "all threads". */
+using MaskRef = std::shared_ptr<const MaskSet>;
+
+// ----- MaskSet helpers ----------------------------------------------------
+
+inline bool
+maskSetAny(const MaskSet &m)
+{
+    for (ThreadMask w : m)
+        if (w)
+            return true;
+    return false;
+}
+
+inline bool
+maskSetEmpty(const MaskSet &m)
+{
+    return !maskSetAny(m);
+}
+
+inline MaskSet
+maskSetAnd(const MaskSet &a, const MaskSet &b)
+{
+    ensure(a.size() == b.size(), "mask set size mismatch");
+    MaskSet r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        r[i] = a[i] & b[i];
+    return r;
+}
+
+inline MaskSet
+maskSetAndNot(const MaskSet &a, const MaskSet &b)
+{
+    ensure(a.size() == b.size(), "mask set size mismatch");
+    MaskSet r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        r[i] = a[i] & ~b[i];
+    return r;
+}
+
+inline MaskSet
+maskSetOr(const MaskSet &a, const MaskSet &b)
+{
+    ensure(a.size() == b.size(), "mask set size mismatch");
+    MaskSet r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        r[i] = a[i] | b[i];
+    return r;
+}
+
+inline MaskSet
+maskSetNotWithin(const MaskSet &a, const MaskSet &full)
+{
+    return maskSetAndNot(full, a);
+}
+
+// ----- AffineValue ---------------------------------------------------------
+
+struct AffineVariant
+{
+    AffineTuple tuple;
+    /** Threads using this tuple; nullptr only for a uniform value. */
+    MaskRef cond;
+};
+
+class AffineValue
+{
+  public:
+    /** Hardware bound: 2 divergent conditions -> at most 4 tuples. */
+    static constexpr int maxVariants = 4;
+
+    AffineValue() { variants_.push_back({AffineTuple{}, nullptr}); }
+
+    static AffineValue
+    uniform(const AffineTuple &t)
+    {
+        AffineValue v;
+        v.variants_.clear();
+        v.variants_.push_back({t, nullptr});
+        return v;
+    }
+
+    bool isUniform() const { return variants_.size() == 1; }
+
+    const AffineTuple &
+    onlyTuple() const
+    {
+        ensure(isUniform(), "onlyTuple on divergent AffineValue");
+        return variants_[0].tuple;
+    }
+
+    int numVariants() const { return static_cast<int>(variants_.size()); }
+    const std::vector<AffineVariant> &variants() const { return variants_; }
+
+    /** Tuple selecting thread (warp, lane); exact per the DCRF masks. */
+    const AffineTuple &tupleFor(int warp, int lane) const;
+
+    /** Concrete value for thread (warp, lane) with indices supplied. */
+    RegVal
+    evalThread(int warp, int lane, const Idx3 &tid, const Idx3 &cta) const
+    {
+        return tupleFor(warp, lane).eval(tid, cta);
+    }
+
+    /**
+     * Apply a binary/ternary affine ALU op variant-wise. @p full is
+     * the batch's valid-thread mask set (used to form explicit
+     * variant masks). Returns nullopt when any intersecting variant
+     * pair is not representable or the variant budget is exceeded.
+     */
+    static std::optional<AffineValue> apply(Opcode op, const AffineValue &a,
+                                            const AffineValue &b,
+                                            const AffineValue &c,
+                                            const MaskSet &full);
+
+    /**
+     * Overwrite the threads of @p mask with @p v (a guarded or
+     * divergent write; the incumbent value survives elsewhere).
+     * Returns false when the variant budget is exceeded.
+     */
+    bool overlay(const AffineValue &v, const MaskSet &mask,
+                 const MaskSet &full);
+
+    /**
+     * Build a two-sided selection: threads of @p mask take @p a,
+     * the rest take @p b (used for min/max/abs/sel divergence).
+     */
+    static std::optional<AffineValue> select(const AffineValue &a,
+                                             const AffineValue &b,
+                                             const MaskSet &mask,
+                                             const MaskSet &full);
+
+  private:
+    std::vector<AffineVariant> variants_;
+
+    /** Convert a uniform value into explicit-mask form. */
+    void makeExplicit(const MaskSet &full);
+    /** Merge variants with identical tuples; drop empty ones. */
+    void normalize();
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_DAC_AFFINE_VALUE_H

@@ -1,0 +1,356 @@
+#include "dac/affine_warp.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/trace.h"
+#include "sim/alu.h"
+
+namespace dacsim
+{
+
+AffineWarp::AffineWarp(const GpuConfig &gcfg, const DacConfig &dcfg,
+                       DacEngine &engine, RunStats &stats)
+    : gcfg_(gcfg), dcfg_(dcfg), engine_(engine), stats_(stats)
+{
+}
+
+void
+AffineWarp::startBatch(const Kernel *code, const BatchInfo *batch,
+                       const std::vector<RegVal> *params)
+{
+    code_ = code;
+    batch_ = batch;
+    params_ = params;
+    valid_ = batch->validMasks();
+    regs_.assign(static_cast<std::size_t>(code->numRegs), AffineValue{});
+    regReady_.assign(static_cast<std::size_t>(code->numRegs), 0);
+    preds_.assign(static_cast<std::size_t>(code->numPreds),
+                  MaskSet(valid_.size(), 0));
+    predReady_.assign(static_cast<std::size_t>(code->numPreds), 0);
+    ctaEpochs_.assign(static_cast<std::size_t>(batch->numCtas), 0);
+    stack_.reset(valid_);
+    finished_ = false;
+}
+
+const Instruction &
+AffineWarp::current() const
+{
+    ensure(!finished_, "current() on finished affine warp");
+    return code_->insts[static_cast<std::size_t>(stack_.pc())];
+}
+
+MaskSet
+AffineWarp::effectiveMask(const Instruction &inst) const
+{
+    MaskSet m = stack_.mask();
+    if (inst.guardPred >= 0) {
+        const MaskSet &p = preds_[static_cast<std::size_t>(inst.guardPred)];
+        m = inst.guardNeg ? maskSetAndNot(m, p) : maskSetAnd(m, p);
+    }
+    return m;
+}
+
+AffineValue
+AffineWarp::evalOperand(const Operand &op) const
+{
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        return regs_[static_cast<std::size_t>(op.index)];
+      case Operand::Kind::Imm:
+        return AffineValue::uniform(AffineTuple::scalar(op.imm));
+      case Operand::Kind::Param:
+        return AffineValue::uniform(AffineTuple::scalar(
+            params_->at(static_cast<std::size_t>(op.index))));
+      case Operand::Kind::Special: {
+        SpecialReg s = op.sreg;
+        int d = specialRegDim(s);
+        if (isTidReg(s))
+            return AffineValue::uniform(AffineTuple::tid(d));
+        if (isCtaidReg(s))
+            return AffineValue::uniform(AffineTuple::ctaid(d));
+        // blockDim / gridDim are uniform scalars.
+        RegVal v = 0;
+        switch (s) {
+          case SpecialReg::NtidX: v = batch_->block.x; break;
+          case SpecialReg::NtidY: v = batch_->block.y; break;
+          case SpecialReg::NtidZ: v = batch_->block.z; break;
+          case SpecialReg::NctaidX: v = batch_->grid.x; break;
+          case SpecialReg::NctaidY: v = batch_->grid.y; break;
+          case SpecialReg::NctaidZ: v = batch_->grid.z; break;
+          default: panic("unexpected special register");
+        }
+        return AffineValue::uniform(AffineTuple::scalar(v));
+      }
+      default:
+        panic("affine warp cannot evaluate operand kind");
+    }
+}
+
+MaskSet
+AffineWarp::compareMasks(CmpOp cmp, const AffineValue &a,
+                         const AffineValue &b, const MaskSet &scope)
+{
+    // --- expansion cost accounting (Section 4.3) ---
+    bool scalars = a.isUniform() && a.onlyTuple().isScalar() &&
+                   b.isUniform() && b.onlyTuple().isScalar();
+    int active_warps = 0;
+    for (ThreadMask w : scope)
+        if (w)
+            ++active_warps;
+    if (scalars) {
+        stats_.expansionAluOps += 1;
+    } else if (a.isUniform() && a.onlyTuple().xOnly() && b.isUniform() &&
+               b.onlyTuple().xOnly()) {
+        // Endpoint comparison: 2 ALU ops per warp.
+        stats_.expansionAluOps += 2ull * active_warps;
+    } else {
+        // Fall back to the SIMT lanes: full per-thread comparison.
+        stats_.expansionAluOps += 32ull * active_warps;
+    }
+
+    // --- exact functional result ---
+    MaskSet bits(scope.size(), 0);
+    for (std::size_t w = 0; w < scope.size(); ++w) {
+        ThreadMask m = scope[w];
+        if (!m)
+            continue;
+        const WarpSlot &slot = batch_->warps[w];
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!(m >> lane & 1))
+                continue;
+            Idx3 tid = batch_->tidOf(slot, lane);
+            RegVal av = a.evalThread(static_cast<int>(w), lane, tid,
+                                     slot.ctaId);
+            RegVal bv = b.evalThread(static_cast<int>(w), lane, tid,
+                                     slot.ctaId);
+            if (cmpCompute(cmp, av, bv))
+                bits[w] |= 1u << lane;
+        }
+    }
+    return bits;
+}
+
+void
+AffineWarp::writeReg(int reg, const AffineValue &v, const MaskSet &active,
+                     Cycle now)
+{
+    AffineValue &dst = regs_[static_cast<std::size_t>(reg)];
+    if (active == valid_) {
+        dst = v;
+    } else {
+        bool ok = dst.overlay(v, active, valid_);
+        ensure(ok, "divergent tuple budget exceeded at runtime; "
+                   "the compiler should have rejected this kernel");
+    }
+    regReady_[static_cast<std::size_t>(reg)] =
+        now + static_cast<Cycle>(gcfg_.aluLatency);
+}
+
+void
+AffineWarp::writePred(int pred, const MaskSet &bits, const MaskSet &active,
+                      Cycle now)
+{
+    MaskSet &dst = preds_[static_cast<std::size_t>(pred)];
+    dst = maskSetOr(maskSetAndNot(dst, active), maskSetAnd(bits, active));
+    predReady_[static_cast<std::size_t>(pred)] =
+        now + static_cast<Cycle>(gcfg_.aluLatency);
+}
+
+void
+AffineWarp::execAlu(const Instruction &inst, const MaskSet &active,
+                    Cycle now)
+{
+    std::optional<AffineValue> result;
+    switch (inst.op) {
+      case Opcode::Sel: {
+        AffineValue a = evalOperand(inst.src[0]);
+        AffineValue b = evalOperand(inst.src[1]);
+        const MaskSet &p =
+            preds_[static_cast<std::size_t>(inst.src[2].index)];
+        result = AffineValue::select(a, b, p, valid_);
+        break;
+      }
+      case Opcode::Min:
+      case Opcode::Max: {
+        AffineValue a = evalOperand(inst.src[0]);
+        AffineValue b = evalOperand(inst.src[1]);
+        CmpOp cmp = inst.op == Opcode::Min ? CmpOp::Lt : CmpOp::Gt;
+        MaskSet takeA = compareMasks(cmp, a, b, valid_);
+        result = AffineValue::select(a, b, takeA, valid_);
+        break;
+      }
+      case Opcode::Abs: {
+        AffineValue a = evalOperand(inst.src[0]);
+        AffineValue zero = AffineValue::uniform(AffineTuple::scalar(0));
+        MaskSet isNeg = compareMasks(CmpOp::Lt, a, zero, valid_);
+        auto neg = AffineValue::apply(Opcode::Sub, zero, a, {}, valid_);
+        if (neg)
+            result = AffineValue::select(*neg, a, isNeg, valid_);
+        break;
+      }
+      default: {
+        AffineValue a = evalOperand(inst.src[0]);
+        AffineValue b = numSources(inst.op) > 1 ? evalOperand(inst.src[1])
+                                                : AffineValue{};
+        AffineValue c = numSources(inst.op) > 2 ? evalOperand(inst.src[2])
+                                                : AffineValue{};
+        result = AffineValue::apply(inst.op, a, b, c, valid_);
+        break;
+      }
+    }
+    ensure(result.has_value(),
+           "affine warp cannot execute '", instToString(inst),
+           "': not representable as affine tuples (compiler bug)");
+    writeReg(inst.dst.index, *result, active, now);
+}
+
+void
+AffineWarp::execSetp(const Instruction &inst, const MaskSet &active,
+                     Cycle now)
+{
+    AffineValue a = evalOperand(inst.src[0]);
+    AffineValue b = evalOperand(inst.src[1]);
+    MaskSet bits = compareMasks(inst.cmp, a, b, valid_);
+    writePred(inst.dst.index, bits, active, now);
+}
+
+void
+AffineWarp::execBranch(const Instruction &inst, const MaskSet &active)
+{
+    int pc = stack_.pc();
+    if (inst.guardPred < 0) {
+        stack_.advance(inst.target);
+        return;
+    }
+    const MaskSet &p = preds_[static_cast<std::size_t>(inst.guardPred)];
+    MaskSet taken = inst.guardNeg ? maskSetAndNot(active, p)
+                                  : maskSetAnd(active, p);
+    MaskSet notTaken = maskSetAndNot(active, taken);
+    if (maskSetEmpty(notTaken)) {
+        stack_.advance(inst.target);
+    } else if (maskSetEmpty(taken)) {
+        stack_.advance(pc + 1);
+    } else {
+        stack_.diverge(inst.target, pc + 1, inst.reconvergePc, taken,
+                       notTaken);
+    }
+}
+
+void
+AffineWarp::execEnq(const Instruction &inst, const MaskSet &active)
+{
+    if (inst.op == Opcode::EnqPred) {
+        engine_.enqPred(preds_[static_cast<std::size_t>(inst.src[0].index)],
+                        active, ctaEpochs_);
+        return;
+    }
+    AffineValue addr = evalOperand(inst.src[0]);
+    if (inst.addrOffset != 0) {
+        auto shifted = AffineValue::apply(
+            Opcode::Add, addr,
+            AffineValue::uniform(AffineTuple::scalar(inst.addrOffset)), {},
+            valid_);
+        ensure(shifted.has_value(), "address displacement overflow");
+        addr = *shifted;
+    }
+    engine_.enqAddr(addr, inst.width, inst.op == Opcode::EnqData, active,
+                    ctaEpochs_);
+}
+
+bool
+AffineWarp::ready(Cycle now) const
+{
+    if (finished_)
+        return false;
+    const Instruction &inst = current();
+    if (inst.guardPred >= 0 &&
+        predReady_[static_cast<std::size_t>(inst.guardPred)] > now) {
+        return false;
+    }
+    auto regOk = [&](const Operand &op) {
+        if (op.isReg())
+            return regReady_[static_cast<std::size_t>(op.index)] <= now;
+        if (op.isPred())
+            return predReady_[static_cast<std::size_t>(op.index)] <= now;
+        return true;
+    };
+    for (int i = 0; i < numSources(inst.op); ++i)
+        if (!regOk(inst.src[i]))
+            return false;
+    if (!regOk(inst.dst))
+        return false;
+    if (inst.isEnq() && !engine_.canEnq())
+        return false;
+    return true;
+}
+
+void
+AffineWarp::step(Cycle now)
+{
+    const Instruction &inst = current();
+    int pc = stack_.pc();
+    MaskSet active = effectiveMask(inst);
+    ++stats_.affineWarpInsts;
+    DACSIM_TRACE_LOG("       cyc %-8llu AFFINE pc %-3d %s",
+                     static_cast<unsigned long long>(now), pc,
+                     instToString(inst, code_->params).c_str());
+
+    switch (inst.op) {
+      case Opcode::Bra:
+        // The guard is the branch condition itself: split on the raw
+        // stack mask (effectiveMask would pre-apply the guard).
+        execBranch(inst, stack_.mask());
+        return;
+      case Opcode::Bar: {
+        if (inst.epochCounted) {
+            // Advance the barrier epoch once per CTA with active warps.
+            std::vector<bool> bumped(ctaEpochs_.size(), false);
+            for (std::size_t w = 0; w < active.size(); ++w) {
+                if (!active[w])
+                    continue;
+                int slot = batch_->warps[w].ctaSlot;
+                if (!bumped[static_cast<std::size_t>(slot)]) {
+                    bumped[static_cast<std::size_t>(slot)] = true;
+                    ++ctaEpochs_[static_cast<std::size_t>(slot)];
+                }
+            }
+        }
+        stack_.advance(pc + 1);
+        return;
+      }
+      case Opcode::Exit: {
+        if (stack_.retire(active)) {
+            finished_ = true;
+            stats_.affineStackAccesses +=
+                stack_.accesses().wls + stack_.accesses().pws;
+            return;
+        }
+        if (stack_.pc() == pc)
+            stack_.advance(pc + 1);
+        return;
+      }
+      case Opcode::EnqData:
+      case Opcode::EnqAddr:
+      case Opcode::EnqPred:
+        execEnq(inst, active);
+        stack_.advance(pc + 1);
+        return;
+      case Opcode::Setp:
+        execSetp(inst, active, now);
+        stack_.advance(pc + 1);
+        return;
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::LdDeq:
+      case Opcode::StDeq:
+      case Opcode::DeqPred:
+        panic("memory/deq instruction in the affine stream");
+      default:
+        execAlu(inst, active, now);
+        stack_.advance(pc + 1);
+        return;
+    }
+}
+
+} // namespace dacsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The DAC affine warp: a single warp context per SM that executes the
+ * affine instruction stream once per batch of non-affine warps,
+ * operating on affine tuples instead of vectors (paper Sections 4.1,
+ * 4.4-4.6).
+ *
+ * Its registers hold AffineValues (tuples with up to four divergent
+ * variants); its predicate registers hold exact per-warp bit vectors
+ * produced by the PEU; its control flow runs on the two-level Affine
+ * SIMT Stack, mirroring every non-affine warp of the batch at warp
+ * granularity.
+ */
+
+#ifndef DACSIM_DAC_AFFINE_WARP_H
+#define DACSIM_DAC_AFFINE_WARP_H
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "dac/affine_stack.h"
+#include "dac/affine_value.h"
+#include "dac/engine.h"
+#include "isa/instruction.h"
+#include "sim/batch.h"
+
+namespace dacsim
+{
+
+class AffineWarp
+{
+  public:
+    AffineWarp(const GpuConfig &gcfg, const DacConfig &dcfg,
+               DacEngine &engine, RunStats &stats);
+
+    /** Begin executing @p code for @p batch (kernel params supplied). */
+    void startBatch(const Kernel *code, const BatchInfo *batch,
+                    const std::vector<RegVal> *params);
+
+    bool finished() const { return finished_; }
+
+    /** May the next instruction issue at @p now? (scoreboard ready,
+     * ATQ space for enq instructions). */
+    bool ready(Cycle now) const;
+
+    /** Issue and functionally execute one instruction. */
+    void step(Cycle now);
+
+    /** Barrier epochs the affine warp has recorded, per CTA slot. */
+    const std::vector<int> &ctaEpochs() const { return ctaEpochs_; }
+
+    const AffineStack &stack() const { return stack_; }
+
+  private:
+    const GpuConfig &gcfg_;
+    const DacConfig &dcfg_;
+    DacEngine &engine_;
+    RunStats &stats_;
+
+    const Kernel *code_ = nullptr;
+    const BatchInfo *batch_ = nullptr;
+    const std::vector<RegVal> *params_ = nullptr;
+
+    AffineStack stack_;
+    MaskSet valid_;   ///< valid-thread masks of the batch
+    std::vector<AffineValue> regs_;
+    std::vector<Cycle> regReady_;
+    std::vector<MaskSet> preds_;
+    std::vector<Cycle> predReady_;
+    std::vector<int> ctaEpochs_;
+    bool finished_ = true;
+
+    const Instruction &current() const;
+    /** Effective execution mask: stack mask AND guard bits. */
+    MaskSet effectiveMask(const Instruction &inst) const;
+
+    AffineValue evalOperand(const Operand &op) const;
+
+    /**
+     * PEU comparison: per-thread bits of "cmp(a,b)" over @p scope,
+     * charging the scalar / endpoint / full-compare expansion cost
+     * (Section 4.3).
+     */
+    MaskSet compareMasks(CmpOp cmp, const AffineValue &a,
+                         const AffineValue &b, const MaskSet &scope);
+
+    void writeReg(int reg, const AffineValue &v, const MaskSet &active,
+                  Cycle now);
+    void writePred(int pred, const MaskSet &bits, const MaskSet &active,
+                   Cycle now);
+
+    void execAlu(const Instruction &inst, const MaskSet &active, Cycle now);
+    void execSetp(const Instruction &inst, const MaskSet &active,
+                  Cycle now);
+    void execBranch(const Instruction &inst, const MaskSet &active);
+    void execEnq(const Instruction &inst, const MaskSet &active);
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_DAC_AFFINE_WARP_H

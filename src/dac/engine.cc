@@ -1,0 +1,245 @@
+#include "dac/engine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "mem/coalescer.h"
+
+namespace dacsim
+{
+
+DacEngine::DacEngine(int sm_id, const GpuConfig &gcfg, const DacConfig &dcfg,
+                     MemorySystem &mem, RunStats &stats)
+    : smId_(sm_id), gcfg_(gcfg), dcfg_(dcfg), mem_(mem), stats_(stats)
+{
+}
+
+void
+DacEngine::startBatch(const BatchInfo *batch)
+{
+    ensure(empty() || batch_ == nullptr, "starting batch with live queues");
+    batch_ = batch;
+    atq_.clear();
+    pwaq_.assign(batch->numWarps(), {});
+    pwpq_.assign(batch->numWarps(), {});
+    // The fixed SRAM budget is partitioned among the *resident* warps
+    // (Table 1's 192 entries are per SM, not per warp slot).
+    pwaqCap_ = std::max(1, dcfg_.pwaqPerWarp(batch->numWarps()));
+    pwpqCap_ = std::max(1, dcfg_.pwpqPerWarp(batch->numWarps()));
+}
+
+bool
+DacEngine::canEnq() const
+{
+    return static_cast<int>(atq_.size()) < dcfg_.atqEntries;
+}
+
+void
+DacEngine::enqAddr(const AffineValue &addr, MemWidth width, bool is_data,
+                   const MaskSet &active, const std::vector<int> &epochs)
+{
+    ensure(canEnq(), "enq on full ATQ");
+    AtqEntry e;
+    e.kind = is_data ? EntryKind::Data : EntryKind::Addr;
+    e.value = addr;
+    e.active = active;
+    e.width = width;
+    e.epochs = epochs;
+    atq_.push_back(std::move(e));
+    ++stats_.atqAccesses;
+}
+
+void
+DacEngine::enqPred(const MaskSet &bits, const MaskSet &active,
+                   const std::vector<int> &epochs)
+{
+    ensure(canEnq(), "enq on full ATQ");
+    AtqEntry e;
+    e.kind = EntryKind::Pred;
+    e.bits = bits;
+    e.active = active;
+    e.epochs = epochs;
+    atq_.push_back(std::move(e));
+    ++stats_.atqAccesses;
+}
+
+DacEngine::AddrRecord
+DacEngine::expandAddrs(const AtqEntry &entry, int w) const
+{
+    const WarpSlot &slot = batch_->warps[static_cast<std::size_t>(w)];
+    AddrRecord rec;
+    rec.mask = entry.active[static_cast<std::size_t>(w)];
+    rec.width = entry.width;
+    rec.isData = entry.kind == EntryKind::Data;
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!(rec.mask >> lane & 1))
+            continue;
+        Idx3 tid = batch_->tidOf(slot, lane);
+        rec.addrs[static_cast<std::size_t>(lane)] = static_cast<Addr>(
+            entry.value.evalThread(w, lane, tid, slot.ctaId));
+    }
+    rec.lines = coalesce(rec.addrs, rec.mask, memWidthBytes(rec.width));
+    return rec;
+}
+
+bool
+DacEngine::deliverTo(AtqEntry &entry, int w, Cycle now,
+                     const std::vector<int> &cta_bar_passed)
+{
+    const WarpSlot &slot = batch_->warps[static_cast<std::size_t>(w)];
+    // Barrier gate: expansion for a CTA is disabled until its
+    // non-affine warps have passed the barriers the affine warp saw.
+    if (cta_bar_passed[static_cast<std::size_t>(slot.ctaSlot)] <
+        entry.epochs[static_cast<std::size_t>(slot.ctaSlot)]) {
+        return false;
+    }
+
+    if (entry.kind == EntryKind::Pred) {
+        auto &q = pwpq_[static_cast<std::size_t>(w)];
+        if (static_cast<int>(q.size()) >= pwpqCap_)
+            return false;
+        PredRecord rec;
+        rec.bits = entry.bits[static_cast<std::size_t>(w)];
+        rec.mask = entry.active[static_cast<std::size_t>(w)];
+        q.push_back(rec);
+        ++stats_.pwpqAccesses;
+        ++stats_.expansionAluOps;
+        return true;
+    }
+
+    auto &q = pwaq_[static_cast<std::size_t>(w)];
+    if (static_cast<int>(q.size()) >= pwaqCap_)
+        return false;
+
+    AddrRecord rec = expandAddrs(entry, w);
+    rec.earlyFetched =
+        rec.isData &&
+        rec.lines.size() <= static_cast<std::size_t>(maxEarlyFetchLines);
+    if (rec.earlyFetched) {
+        // Pre-check (non-mutating): every line lockable, and enough
+        // MSHRs for the ones not already resident. On failure the AEU
+        // retries next cycle without touching cache state.
+        int needed = 0;
+        for (Addr line : rec.lines) {
+            if (!mem_.canLock(smId_, line))
+                return false;
+            if (!mem_.linePresent(smId_, line))
+                ++needed;
+        }
+        if (mem_.freeMshrs(smId_, now) < needed)
+            return false;
+        Cycle ready = now;
+        for (Addr line : rec.lines) {
+            AccessResult r = mem_.load(smId_, line, now,
+                                       Requester::DacEarly);
+            ensure(r.accepted, "pre-checked early fetch rejected");
+            ready = std::max(ready, r.ready);
+            mem_.lock(smId_, line);
+        }
+        rec.ready = ready;
+        stats_.loadRequests += rec.lines.size();
+        stats_.affineLoadRequests += rec.lines.size();
+    }
+    // The AEU's accumulator produces one ALU op per generated line
+    // (plus the once-per-CTA start, amortized; Section 4.2). Charged
+    // only on successful delivery: a blocked attempt retries later.
+    stats_.expansionAluOps += std::max<std::size_t>(1, rec.lines.size());
+    q.push_back(std::move(rec));
+    ++stats_.pwaqAccesses;
+    return true;
+}
+
+void
+DacEngine::cycle(Cycle now, const std::vector<int> &cta_bar_passed)
+{
+    int budget = dcfg_.expansionsPerCycle;
+    while (budget > 0) {
+        if (atq_.empty())
+            return;
+        AtqEntry &entry = atq_.front();
+        const int n = batch_->numWarps();
+        if (entry.delivered.empty())
+            entry.delivered.assign(static_cast<std::size_t>(n), false);
+
+        // Round-robin over the head entry's still-pending warps,
+        // skipping those whose queue is full or whose CTA has not
+        // passed the required barrier yet.
+        bool progressed = false;
+        bool pending = false;
+        for (int t = 0; t < n && budget > 0; ++t) {
+            int w = (entry.nextWarp + t) % n;
+            if (entry.delivered[static_cast<std::size_t>(w)])
+                continue;
+            if (entry.active[static_cast<std::size_t>(w)] == 0) {
+                entry.delivered[static_cast<std::size_t>(w)] = true;
+                continue;
+            }
+            if (deliverTo(entry, w, now, cta_bar_passed)) {
+                entry.delivered[static_cast<std::size_t>(w)] = true;
+                entry.nextWarp = (w + 1) % n;
+                --budget;
+                progressed = true;
+            } else {
+                pending = true;
+            }
+        }
+        bool done = true;
+        for (bool d : entry.delivered)
+            done = done && d;
+        if (done) {
+            atq_.pop_front();
+            ++stats_.atqAccesses;
+            continue;
+        }
+        if (!progressed || pending)
+            return; // everything reachable this cycle is blocked
+    }
+}
+
+const DacEngine::AddrRecord *
+DacEngine::frontAddr(int warp) const
+{
+    const auto &q = pwaq_[static_cast<std::size_t>(warp)];
+    return q.empty() ? nullptr : &q.front();
+}
+
+void
+DacEngine::popAddr(int warp)
+{
+    auto &q = pwaq_[static_cast<std::size_t>(warp)];
+    ensure(!q.empty(), "popAddr on empty PWAQ");
+    ++stats_.pwaqAccesses;
+    q.pop_front();
+}
+
+const DacEngine::PredRecord *
+DacEngine::frontPred(int warp) const
+{
+    const auto &q = pwpq_[static_cast<std::size_t>(warp)];
+    return q.empty() ? nullptr : &q.front();
+}
+
+void
+DacEngine::popPred(int warp)
+{
+    auto &q = pwpq_[static_cast<std::size_t>(warp)];
+    ensure(!q.empty(), "popPred on empty PWPQ");
+    ++stats_.pwpqAccesses;
+    q.pop_front();
+}
+
+bool
+DacEngine::empty() const
+{
+    if (!atq_.empty())
+        return false;
+    for (const auto &q : pwaq_)
+        if (!q.empty())
+            return false;
+    for (const auto &q : pwpq_)
+        if (!q.empty())
+            return false;
+    return true;
+}
+
+} // namespace dacsim

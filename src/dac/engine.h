@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The DAC queueing and expansion hardware of one SM (paper Figure 9):
+ * the Affine Tuple Queue (ATQ), the Address and Predicate Expansion
+ * Units (AEU/PEU, Sections 4.2/4.3), and the Per-Warp Address and
+ * Predicate Queues (PWAQ/PWPQ) the non-affine warps dequeue from.
+ *
+ * The AEU issues early memory requests for enq.data tuples, locking
+ * the fetched L1 lines until the consuming warp's deq.data unlocks
+ * them, and gates fetches behind per-CTA barrier epochs (Section 4.2).
+ */
+
+#ifndef DACSIM_DAC_ENGINE_H
+#define DACSIM_DAC_ENGINE_H
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "dac/affine_value.h"
+#include "mem/mem_system.h"
+#include "sim/batch.h"
+
+namespace dacsim
+{
+
+class DacEngine
+{
+  public:
+    /** One expanded warp address record (compactly a line address +
+     * word bitmask in hardware; we keep concrete addresses and charge
+     * the compact costs). */
+    struct AddrRecord
+    {
+        std::array<Addr, warpSize> addrs{};
+        ThreadMask mask = 0;      ///< threads the record applies to
+        MemWidth width = MemWidth::U32;
+        bool isData = false;      ///< enq.data (fetched+locked) vs enq.addr
+        /** Data was fetched early and its lines locked; false for very
+         * poorly-coalesced records (> maxEarlyFetchLines lines), which
+         * the consuming warp loads on demand instead. */
+        bool earlyFetched = false;
+        std::vector<Addr> lines;  ///< coalesced lines (locked when fetched)
+        Cycle ready = 0;          ///< data-arrival cycle (earlyFetched)
+    };
+
+    /** One expanded predicate bit vector. */
+    struct PredRecord
+    {
+        ThreadMask bits = 0;
+        ThreadMask mask = 0;      ///< threads whose predicate updates
+    };
+
+    /** Records expanding to more lines than this are delivered as
+     * address-only (no early fetch): locking 32 lines per record would
+     * monopolize the MSHRs and the cache's lockable ways. */
+    static constexpr int maxEarlyFetchLines = 8;
+
+    DacEngine(int sm_id, const GpuConfig &gcfg, const DacConfig &dcfg,
+              MemorySystem &mem, RunStats &stats);
+
+    /** Begin serving a new batch (clears all queues). */
+    void startBatch(const BatchInfo *batch);
+
+    // ----- affine-warp side ------------------------------------------------
+
+    /** ATQ has room for another tuple. */
+    bool canEnq() const;
+
+    /** Enqueue an address tuple (enq.data / enq.addr). */
+    void enqAddr(const AffineValue &addr, MemWidth width, bool is_data,
+                 const MaskSet &active, const std::vector<int> &epochs);
+
+    /** Enqueue a predicate bit-vector (enq.pred). */
+    void enqPred(const MaskSet &bits, const MaskSet &active,
+                 const std::vector<int> &epochs);
+
+    // ----- expansion (called once per SM cycle) ----------------------------
+
+    /**
+     * Run the expansion units for one cycle. @p cta_bar_passed gives,
+     * per CTA slot of the batch, how many epoch-counted barriers the
+     * non-affine warps have passed (the fetch gate).
+     */
+    void cycle(Cycle now, const std::vector<int> &cta_bar_passed);
+
+    // ----- non-affine-warp side --------------------------------------------
+
+    const AddrRecord *frontAddr(int warp) const;
+    void popAddr(int warp);
+    const PredRecord *frontPred(int warp) const;
+    void popPred(int warp);
+
+    /** All queues drained (asserted at batch end). */
+    bool empty() const;
+
+    /** Expansion work remains (keeps the SM's clock running). */
+    bool busy() const { return !empty(); }
+
+  private:
+    enum class EntryKind
+    {
+        Data,
+        Addr,
+        Pred,
+    };
+
+    /** One ATQ entry: a tuple awaiting expansion. */
+    struct AtqEntry
+    {
+        EntryKind kind = EntryKind::Data;
+        AffineValue value;    ///< address tuple (Data/Addr)
+        MaskSet bits;         ///< predicate bits (Pred)
+        MaskSet active;       ///< warps/threads needing this record
+        MemWidth width = MemWidth::U32;
+        std::vector<int> epochs; ///< per-CTA-slot barrier epoch at enq
+        /** Warps already served by this entry. Delivery within the
+         * head entry may skip blocked warps (the paper's AEU switches
+         * among CTAs to avoid stalls); per-warp FIFO order still
+         * holds because entries retire strictly in order. */
+        std::vector<bool> delivered;
+        int nextWarp = 0; ///< round-robin scan position
+    };
+
+    int smId_;
+    const GpuConfig &gcfg_;
+    const DacConfig &dcfg_;
+    MemorySystem &mem_;
+    RunStats &stats_;
+    const BatchInfo *batch_ = nullptr;
+
+    std::deque<AtqEntry> atq_;
+    std::vector<std::deque<AddrRecord>> pwaq_;
+    std::vector<std::deque<PredRecord>> pwpq_;
+    int pwaqCap_ = 0;
+    int pwpqCap_ = 0;
+
+    /** Try to deliver the head entry's record to warp @p w.
+     * @return true on success (progress made). */
+    bool deliverTo(AtqEntry &entry, int w, Cycle now,
+                   const std::vector<int> &cta_bar_passed);
+
+    /** Build the address record for warp @p w from an entry. */
+    AddrRecord expandAddrs(const AtqEntry &entry, int w) const;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_DAC_ENGINE_H

@@ -1,0 +1,28 @@
+#include "energy/energy.h"
+
+namespace dacsim
+{
+
+EnergyBreakdown
+computeEnergy(const RunStats &s, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    e.alu = static_cast<double>(s.laneOps) * p.aluPj;
+    e.reg = static_cast<double>(s.regFileAccesses) * p.regPj;
+    e.otherDynamic =
+        static_cast<double>(s.l1Hits + s.l1Misses) * p.l1Pj +
+        static_cast<double>(s.l2Hits + s.l2Misses) * p.l2Pj +
+        static_cast<double>(s.dramAccesses) * p.dramPj +
+        static_cast<double>(s.sharedAccesses) * p.sharedPj +
+        static_cast<double>(s.prefetchesIssued) * p.l1Pj;
+    e.dacOverhead =
+        static_cast<double>(s.atqAccesses) * p.atqPj +
+        static_cast<double>(s.pwaqAccesses) * p.pwaqPj +
+        static_cast<double>(s.pwpqAccesses) * p.pwpqPj +
+        static_cast<double>(s.affineStackAccesses) * p.pwsPj +
+        static_cast<double>(s.expansionAluOps) * p.aluPj;
+    e.staticEnergy = static_cast<double>(s.cycles) * p.staticPjPerCycle;
+    return e;
+}
+
+} // namespace dacsim

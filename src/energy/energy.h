@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GPUWattch-style event-count energy model (paper Section 5.6).
+ *
+ * Dynamic energy is per-event costs times event counts from RunStats;
+ * static energy is leakage power times run time. DAC's added
+ * structures use the per-access energies the paper reports in Table 1
+ * (ATQ 5.3 pJ, PWAQ 3.4 pJ, PWPQ 1.5 pJ, PWS 2.7 pJ per access).
+ *
+ * Absolute joules are not meaningful (the substrate is a model, not
+ * CACTI on a placed design); all figures report energy normalized to
+ * the baseline GPU, which this event model reproduces structurally.
+ */
+
+#ifndef DACSIM_ENERGY_ENERGY_H
+#define DACSIM_ENERGY_ENERGY_H
+
+#include "common/stats.h"
+
+namespace dacsim
+{
+
+struct EnergyParams
+{
+    // Dynamic, in pJ per event.
+    double aluPj = 10.0;        ///< per lane ALU operation
+    double regPj = 40.0;        ///< per warp-wide register file access
+    double l1Pj = 60.0;
+    double l2Pj = 120.0;
+    double dramPj = 2000.0;     ///< per 128B line transfer
+    double sharedPj = 45.0;
+    // DAC structures (paper Table 1).
+    double atqPj = 5.3;
+    double pwaqPj = 3.4;
+    double pwpqPj = 1.5;
+    double pwsPj = 2.7;
+    // Leakage for the whole GPU, per cycle.
+    double staticPjPerCycle = 2600.0;
+};
+
+/** Energy breakdown matching the Fig 21 stack. */
+struct EnergyBreakdown
+{
+    double dacOverhead = 0; ///< expansion units + DAC SRAM structures
+    double alu = 0;
+    double reg = 0;
+    double otherDynamic = 0; ///< caches, DRAM, shared memory
+    double staticEnergy = 0;
+
+    double
+    total() const
+    {
+        return dacOverhead + alu + reg + otherDynamic + staticEnergy;
+    }
+
+    double dynamic() const { return total() - staticEnergy; }
+};
+
+/** Evaluate the model over one run's counters. */
+EnergyBreakdown computeEnergy(const RunStats &s,
+                              const EnergyParams &p = EnergyParams{});
+
+} // namespace dacsim
+
+#endif // DACSIM_ENERGY_ENERGY_H

@@ -1,0 +1,66 @@
+#include "harness/runner.h"
+
+#include "common/log.h"
+#include "compiler/cfg.h"
+#include "sim/gpu.h"
+
+namespace dacsim
+{
+
+RunOutcome
+runWorkload(const Workload &wl, const RunOptions &opt)
+{
+    GpuMemory gmem;
+    PreparedWorkload prep = wl.prepare(gmem, opt.scale);
+    analyzeControlFlow(prep.kernel);
+
+    // Decouple unconditionally: DAC needs the streams; baseline runs
+    // use the coverage marks to measure Fig 18's coverage metric.
+    DecoupledKernel dec = decouple(prep.kernel, opt.dac);
+
+    GpuConfig gcfg = opt.gpu;
+    gcfg.perfectMemory = opt.perfectMemory;
+
+    Gpu gpu(gcfg, opt.tech, opt.dac, opt.cae, opt.mta, gmem);
+
+    LaunchInfo li;
+    li.grid = prep.grid;
+    li.block = prep.block;
+    li.params = &prep.params;
+    if (opt.tech == Technique::Dac) {
+        li.kernel = &dec.nonAffine;
+        li.affineKernel = &dec.affine;
+    } else {
+        li.kernel = &prep.kernel;
+        if (opt.tech == Technique::Baseline)
+            li.coverageMarks = &dec.coveredByDac;
+    }
+
+    if (!prep.launchParams.empty()) {
+        for (const auto &params : prep.launchParams) {
+            li.params = &params;
+            gpu.launch(li);
+        }
+    } else {
+        for (int i = 0; i < prep.launches; ++i)
+            gpu.launch(li);
+    }
+
+    RunOutcome out;
+    out.stats = gpu.stats();
+    out.anyDecoupled = dec.anyDecoupled;
+    out.numDecoupledLoads = dec.numDecoupledLoads;
+    out.numDecoupledStores = dec.numDecoupledStores;
+    out.numDecoupledPreds = dec.numDecoupledPreds;
+    for (auto [base, bytes] : prep.outputs)
+        out.checksums.push_back(gmem.checksum(base, bytes));
+    return out;
+}
+
+RunOutcome
+runWorkload(const std::string &name, const RunOptions &opt)
+{
+    return runWorkload(findWorkload(name), opt);
+}
+
+} // namespace dacsim

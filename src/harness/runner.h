@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Experiment harness: run one workload on one machine variant and
+ * collect statistics plus output checksums.
+ */
+
+#ifndef DACSIM_HARNESS_RUNNER_H
+#define DACSIM_HARNESS_RUNNER_H
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "compiler/decoupler.h"
+#include "workloads/workload.h"
+
+namespace dacsim
+{
+
+struct RunOptions
+{
+    Technique tech = Technique::Baseline;
+    /** Idealized memory (used only to classify benchmarks, Table 2). */
+    bool perfectMemory = false;
+    /** Workload size multiplier (1.0 = paper-scale default). */
+    double scale = 1.0;
+    GpuConfig gpu{};
+    DacConfig dac{};
+    CaeConfig cae{};
+    MtaConfig mta{};
+};
+
+struct RunOutcome
+{
+    RunStats stats;
+    /** One checksum per declared output range. */
+    std::vector<std::uint64_t> checksums;
+    /** Decoupling summary of the workload's kernel. */
+    bool anyDecoupled = false;
+    int numDecoupledLoads = 0;
+    int numDecoupledStores = 0;
+    int numDecoupledPreds = 0;
+};
+
+/** Run @p wl under @p opt to completion. */
+RunOutcome runWorkload(const Workload &wl, const RunOptions &opt);
+
+/** Shorthand: run by benchmark abbreviation. */
+RunOutcome runWorkload(const std::string &name, const RunOptions &opt);
+
+} // namespace dacsim
+
+#endif // DACSIM_HARNESS_RUNNER_H

@@ -1,0 +1,494 @@
+#include "isa/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+
+namespace dacsim
+{
+
+namespace
+{
+
+/** Split a string on a delimiter character. */
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** Assembler state while scanning one kernel. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source) : source_(source) {}
+
+    Kernel run();
+
+  private:
+    const std::string &source_;
+    Kernel kernel_;
+    int line_ = 0;
+    /** bra instructions awaiting label resolution: pc -> label. */
+    std::vector<std::pair<int, std::string>> fixups_;
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        fatal("asm line ", line_, ": ", msg);
+    }
+
+    void parseLine(std::string text);
+    void parseDirective(const std::string &text);
+    void parseInstruction(const std::string &text);
+    Operand parseOperand(const std::string &tok);
+    /** Parse "[base]" / "[base+disp]" into operand + displacement. */
+    std::pair<Operand, RegVal> parseMemOperand(const std::string &tok);
+    std::optional<RegVal> parseInt(const std::string &tok) const;
+    std::optional<SpecialReg> parseSpecial(const std::string &tok) const;
+    MemWidth parseWidth(const std::string &suffix) const;
+    CmpOp parseCmp(const std::string &suffix) const;
+    void noteReg(const Operand &op);
+    void finish();
+};
+
+std::optional<RegVal>
+Parser::parseInt(const std::string &tok) const
+{
+    if (tok.empty())
+        return std::nullopt;
+    std::size_t i = 0;
+    bool neg = false;
+    if (tok[0] == '-' || tok[0] == '+') {
+        neg = tok[0] == '-';
+        i = 1;
+    }
+    if (i >= tok.size())
+        return std::nullopt;
+    int base = 10;
+    if (tok.size() > i + 2 && tok[i] == '0' &&
+        (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+    }
+    RegVal v = 0;
+    for (; i < tok.size(); ++i) {
+        char c = static_cast<char>(std::tolower(tok[i]));
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = 10 + (c - 'a');
+        else
+            return std::nullopt;
+        v = v * base + digit;
+    }
+    return neg ? -v : v;
+}
+
+std::optional<SpecialReg>
+Parser::parseSpecial(const std::string &tok) const
+{
+    static const std::map<std::string, SpecialReg> table = {
+        {"tid.x", SpecialReg::TidX}, {"tid.y", SpecialReg::TidY},
+        {"tid.z", SpecialReg::TidZ},
+        {"ntid.x", SpecialReg::NtidX}, {"ntid.y", SpecialReg::NtidY},
+        {"ntid.z", SpecialReg::NtidZ},
+        {"ctaid.x", SpecialReg::CtaidX}, {"ctaid.y", SpecialReg::CtaidY},
+        {"ctaid.z", SpecialReg::CtaidZ},
+        {"nctaid.x", SpecialReg::NctaidX}, {"nctaid.y", SpecialReg::NctaidY},
+        {"nctaid.z", SpecialReg::NctaidZ},
+    };
+    auto it = table.find(tok);
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+MemWidth
+Parser::parseWidth(const std::string &suffix) const
+{
+    static const std::map<std::string, MemWidth> table = {
+        {"u8", MemWidth::U8}, {"u16", MemWidth::U16},
+        {"u32", MemWidth::U32}, {"u64", MemWidth::U64},
+        {"s8", MemWidth::S8}, {"s16", MemWidth::S16},
+        {"s32", MemWidth::S32}, {"s64", MemWidth::U64},
+    };
+    auto it = table.find(suffix);
+    if (it == table.end())
+        err("bad memory width '." + suffix + "'");
+    return it->second;
+}
+
+CmpOp
+Parser::parseCmp(const std::string &suffix) const
+{
+    static const std::map<std::string, CmpOp> table = {
+        {"eq", CmpOp::Eq}, {"ne", CmpOp::Ne}, {"lt", CmpOp::Lt},
+        {"le", CmpOp::Le}, {"gt", CmpOp::Gt}, {"ge", CmpOp::Ge},
+    };
+    auto it = table.find(suffix);
+    if (it == table.end())
+        err("bad comparison '." + suffix + "'");
+    return it->second;
+}
+
+void
+Parser::noteReg(const Operand &op)
+{
+    if (op.isReg())
+        kernel_.numRegs = std::max(kernel_.numRegs, op.index + 1);
+    else if (op.isPred())
+        kernel_.numPreds = std::max(kernel_.numPreds, op.index + 1);
+}
+
+Operand
+Parser::parseOperand(const std::string &raw)
+{
+    std::string tok = trim(raw);
+    if (tok.empty())
+        err("empty operand");
+    if (tok[0] == '$') {
+        std::string name = tok.substr(1);
+        int slot = kernel_.paramSlot(name);
+        if (slot < 0)
+            err("undeclared parameter '$" + name + "'");
+        return Operand::param(slot);
+    }
+    if (auto s = parseSpecial(tok))
+        return Operand::special(*s);
+    if ((tok[0] == 'r' || tok[0] == 'p') && tok.size() > 1 &&
+        std::isdigit(static_cast<unsigned char>(tok[1]))) {
+        auto idx = parseInt(tok.substr(1));
+        if (idx && *idx >= 0) {
+            Operand op = tok[0] == 'r'
+                             ? Operand::reg(static_cast<int>(*idx))
+                             : Operand::pred(static_cast<int>(*idx));
+            noteReg(op);
+            return op;
+        }
+    }
+    if (auto v = parseInt(tok))
+        return Operand::imm64(*v);
+    err("bad operand '" + tok + "'");
+}
+
+std::pair<Operand, RegVal>
+Parser::parseMemOperand(const std::string &raw)
+{
+    std::string tok = trim(raw);
+    if (tok.size() < 3 || tok.front() != '[' || tok.back() != ']')
+        err("expected memory operand '[...]', got '" + tok + "'");
+    std::string inner = trim(tok.substr(1, tok.size() - 2));
+    // Find a +/- displacement, skipping a possible leading sign.
+    std::size_t pos = std::string::npos;
+    for (std::size_t i = 1; i < inner.size(); ++i) {
+        if (inner[i] == '+' || inner[i] == '-') {
+            pos = i;
+            break;
+        }
+    }
+    RegVal disp = 0;
+    std::string base = inner;
+    if (pos != std::string::npos) {
+        base = trim(inner.substr(0, pos));
+        std::string dstr = trim(inner.substr(pos));
+        auto v = parseInt(dstr);
+        if (!v)
+            err("bad displacement '" + dstr + "'");
+        disp = *v;
+    }
+    return {parseOperand(base), disp};
+}
+
+void
+Parser::parseDirective(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string word;
+    is >> word;
+    if (word == ".kernel") {
+        is >> kernel_.name;
+        if (kernel_.name.empty())
+            err(".kernel needs a name");
+    } else if (word == ".param") {
+        std::string p;
+        while (is >> p) {
+            if (kernel_.paramSlot(p) >= 0)
+                err("duplicate parameter '" + p + "'");
+            kernel_.params.push_back(p);
+        }
+    } else if (word == ".shared") {
+        int bytes = -1;
+        is >> bytes;
+        if (bytes < 0)
+            err(".shared needs a byte count");
+        kernel_.sharedBytes = bytes;
+    } else {
+        err("unknown directive '" + word + "'");
+    }
+}
+
+void
+Parser::parseInstruction(const std::string &text)
+{
+    Instruction inst;
+    std::string rest = text;
+
+    // Optional guard "@p0 " / "@!p0 ".
+    if (!rest.empty() && rest[0] == '@') {
+        std::size_t sp = rest.find_first_of(" \t");
+        if (sp == std::string::npos)
+            err("guard without instruction");
+        std::string g = rest.substr(1, sp - 1);
+        rest = trim(rest.substr(sp));
+        if (!g.empty() && g[0] == '!') {
+            inst.guardNeg = true;
+            g = g.substr(1);
+        }
+        Operand p = parseOperand(g);
+        if (!p.isPred())
+            err("guard must be a predicate register");
+        inst.guardPred = p.index;
+    }
+
+    // Mnemonic token.
+    std::size_t sp = rest.find_first_of(" \t");
+    std::string mnem = sp == std::string::npos ? rest : rest.substr(0, sp);
+    std::string args = sp == std::string::npos ? "" : trim(rest.substr(sp));
+    std::vector<std::string> parts = split(mnem, '.');
+
+    static const std::map<std::string, Opcode> simpleAlu = {
+        {"mov", Opcode::Mov}, {"add", Opcode::Add}, {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul}, {"mad", Opcode::Mad}, {"shl", Opcode::Shl},
+        {"shr", Opcode::Shr}, {"and", Opcode::And}, {"or", Opcode::Or},
+        {"xor", Opcode::Xor}, {"not", Opcode::Not}, {"min", Opcode::Min},
+        {"max", Opcode::Max}, {"abs", Opcode::Abs}, {"div", Opcode::Div},
+        {"mod", Opcode::Mod}, {"sel", Opcode::Sel},
+    };
+
+    const std::string &base = parts[0];
+    std::vector<std::string> argv;
+    if (!args.empty())
+        for (auto &a : split(args, ','))
+            argv.push_back(trim(a));
+
+    auto expectArgs = [&](std::size_t n) {
+        if (argv.size() != n)
+            err("'" + mnem + "' expects " + std::to_string(n) +
+                " operands, got " + std::to_string(argv.size()));
+    };
+
+    if (auto it = simpleAlu.find(base);
+        it != simpleAlu.end() && parts.size() == 1) {
+        inst.op = it->second;
+        int nsrc = numSources(inst.op);
+        expectArgs(static_cast<std::size_t>(nsrc) + 1);
+        inst.dst = parseOperand(argv[0]);
+        if (!inst.dst.isReg())
+            err("ALU destination must be a register");
+        for (int i = 0; i < nsrc; ++i)
+            inst.src[i] = parseOperand(argv[i + 1]);
+        if (inst.op == Opcode::Sel && !inst.src[2].isPred())
+            err("sel selector must be a predicate register");
+    } else if (base == "setp") {
+        if (parts.size() != 2)
+            err("setp needs a comparison suffix, e.g. setp.lt");
+        inst.op = Opcode::Setp;
+        inst.cmp = parseCmp(parts[1]);
+        expectArgs(3);
+        inst.dst = parseOperand(argv[0]);
+        if (!inst.dst.isPred())
+            err("setp destination must be a predicate register");
+        inst.src[0] = parseOperand(argv[1]);
+        inst.src[1] = parseOperand(argv[2]);
+    } else if (base == "bra") {
+        inst.op = Opcode::Bra;
+        expectArgs(1);
+        fixups_.emplace_back(kernel_.numInsts(), argv[0]);
+    } else if (base == "bar") {
+        inst.op = Opcode::Bar;
+        expectArgs(0);
+    } else if (base == "exit") {
+        inst.op = Opcode::Exit;
+        expectArgs(0);
+    } else if (base == "ld" && parts.size() >= 2 && parts[1] == "deq") {
+        inst.op = Opcode::LdDeq;
+        inst.width = parts.size() > 2 ? parseWidth(parts[2]) : MemWidth::U32;
+        expectArgs(1);
+        inst.dst = parseOperand(argv[0]);
+        if (!inst.dst.isReg())
+            err("ld.deq destination must be a register");
+    } else if (base == "st" && parts.size() >= 2 && parts[1] == "deq") {
+        inst.op = Opcode::StDeq;
+        inst.width = parts.size() > 2 ? parseWidth(parts[2]) : MemWidth::U32;
+        expectArgs(1);
+        inst.src[0] = parseOperand(argv[0]);
+    } else if (base == "ld" || base == "st") {
+        inst.op = base == "ld" ? Opcode::Ld : Opcode::St;
+        if (parts.size() < 2)
+            err("ld/st need a space suffix, e.g. ld.global.u32");
+        if (parts[1] == "global")
+            inst.space = MemSpace::Global;
+        else if (parts[1] == "shared")
+            inst.space = MemSpace::Shared;
+        else if (parts[1] == "local")
+            inst.space = MemSpace::Global;  // local == global in our model
+        else
+            err("bad memory space '." + parts[1] + "'");
+        inst.width = parts.size() > 2 ? parseWidth(parts[2]) : MemWidth::U32;
+        expectArgs(2);
+        if (inst.op == Opcode::Ld) {
+            inst.dst = parseOperand(argv[0]);
+            if (!inst.dst.isReg())
+                err("ld destination must be a register");
+            std::tie(inst.src[0], inst.addrOffset) = parseMemOperand(argv[1]);
+        } else {
+            std::tie(inst.src[0], inst.addrOffset) = parseMemOperand(argv[0]);
+            inst.src[1] = parseOperand(argv[1]);
+        }
+    } else if (base == "enq") {
+        if (parts.size() < 2)
+            err("enq needs a kind suffix: enq.data / enq.addr / enq.pred");
+        if (parts[1] == "pred") {
+            inst.op = Opcode::EnqPred;
+            expectArgs(1);
+            inst.src[0] = parseOperand(argv[0]);
+            if (!inst.src[0].isPred())
+                err("enq.pred source must be a predicate register");
+        } else {
+            inst.op = parts[1] == "data" ? Opcode::EnqData
+                      : parts[1] == "addr"
+                          ? Opcode::EnqAddr
+                          : (err("bad enq kind '." + parts[1] + "'"),
+                             Opcode::EnqData);
+            inst.width =
+                parts.size() > 2 ? parseWidth(parts[2]) : MemWidth::U32;
+            expectArgs(1);
+            std::tie(inst.src[0], inst.addrOffset) = parseMemOperand(argv[0]);
+        }
+    } else if (base == "deq") {
+        if (parts.size() != 2 || parts[1] != "pred")
+            err("only deq.pred is a standalone deq instruction");
+        inst.op = Opcode::DeqPred;
+        expectArgs(1);
+        inst.dst = parseOperand(argv[0]);
+        if (!inst.dst.isPred())
+            err("deq.pred destination must be a predicate register");
+    } else {
+        err("unknown instruction '" + mnem + "'");
+    }
+
+    kernel_.insts.push_back(inst);
+}
+
+void
+Parser::parseLine(std::string text)
+{
+    // Strip comments.
+    if (auto pos = text.find("//"); pos != std::string::npos)
+        text = text.substr(0, pos);
+    text = trim(text);
+    if (text.empty())
+        return;
+
+    if (text[0] == '.') {
+        parseDirective(text);
+        return;
+    }
+
+    // Peel leading labels ("NAME:"), possibly several per line.
+    while (true) {
+        std::size_t colon = text.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::string head = trim(text.substr(0, colon));
+        // A label must be a bare identifier (no spaces or commas).
+        if (head.empty() ||
+            head.find_first_of(" \t,@[") != std::string::npos) {
+            break;
+        }
+        if (kernel_.labels.count(head))
+            err("duplicate label '" + head + "'");
+        kernel_.labels[head] = kernel_.numInsts();
+        text = trim(text.substr(colon + 1));
+        if (text.empty())
+            return;
+    }
+
+    // Split on ';' — multiple statements per line are allowed.
+    for (auto &stmt : split(text, ';')) {
+        std::string s = trim(stmt);
+        if (!s.empty())
+            parseInstruction(s);
+    }
+}
+
+void
+Parser::finish()
+{
+    for (auto &[pc, label] : fixups_) {
+        auto it = kernel_.labels.find(label);
+        if (it == kernel_.labels.end())
+            fatal("asm: undefined label '", label, "'");
+        kernel_.insts[pc].target = it->second;
+    }
+    for (auto &[label, at] : kernel_.labels) {
+        require(at <= kernel_.numInsts(), "label '", label,
+                "' out of range");
+    }
+    require(!kernel_.insts.empty(), "asm: kernel '", kernel_.name,
+            "' has no instructions");
+    require(kernel_.insts.back().isExit() || kernel_.insts.back().isBranch(),
+            "asm: kernel '", kernel_.name,
+            "' must end with exit or an unconditional branch");
+}
+
+Kernel
+Parser::run()
+{
+    std::istringstream is(source_);
+    std::string text;
+    while (std::getline(is, text)) {
+        ++line_;
+        parseLine(text);
+    }
+    finish();
+    return std::move(kernel_);
+}
+
+} // namespace
+
+Kernel
+assemble(const std::string &source)
+{
+    return Parser(source).run();
+}
+
+} // namespace dacsim

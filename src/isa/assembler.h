@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Textual assembler for the dacsim ISA.
+ *
+ * The accepted syntax mirrors the paper's pseudo-assembly (Figure 4b):
+ *
+ * @code
+ * .kernel saxpy
+ * .param A B n
+ * .shared 0
+ *     mul r0, ctaid.x, ntid.x;
+ *     add r1, tid.x, r0;        // global thread id
+ *     shl r2, r1, 2;
+ *     add r3, $A, r2;
+ * LOOP:
+ *     ld.global.u32 r4, [r3];
+ *     add r4, r4, 1;
+ *     st.global.u32 [r3], r4;
+ *     setp.lt p0, r1, $n;
+ *     @p0 bra LOOP;
+ *     exit;
+ * @endcode
+ *
+ * Comments run from "//" to end of line; the trailing ';' is optional.
+ * Register counts are inferred from the highest register index used.
+ */
+
+#ifndef DACSIM_ISA_ASSEMBLER_H
+#define DACSIM_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace dacsim
+{
+
+/**
+ * Assemble one kernel from source text.
+ *
+ * @param source the kernel text, including directives.
+ * @return the assembled kernel with labels resolved.
+ * @throws FatalError on any syntax or semantic error, with a line number.
+ */
+Kernel assemble(const std::string &source);
+
+} // namespace dacsim
+
+#endif // DACSIM_ISA_ASSEMBLER_H

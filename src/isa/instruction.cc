@@ -1,0 +1,110 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+namespace dacsim
+{
+
+namespace
+{
+
+std::string
+opnd(const Operand &o, const std::vector<std::string> &params)
+{
+    if (o.isParam() && o.index < static_cast<int>(params.size()))
+        return operandToString(o, params[o.index]);
+    return operandToString(o);
+}
+
+std::string
+memOperand(const Operand &addr, RegVal disp,
+           const std::vector<std::string> &params)
+{
+    std::ostringstream os;
+    os << "[" << opnd(addr, params);
+    if (disp != 0)
+        os << "+" << disp;
+    os << "]";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+instToString(const Instruction &inst, const std::vector<std::string> &params)
+{
+    std::ostringstream os;
+    if (inst.guardPred >= 0)
+        os << "@" << (inst.guardNeg ? "!" : "") << "p" << inst.guardPred
+           << " ";
+    switch (inst.op) {
+      case Opcode::Setp:
+        os << "setp." << cmpOpName(inst.cmp) << " " << opnd(inst.dst, params)
+           << ", " << opnd(inst.src[0], params) << ", "
+           << opnd(inst.src[1], params);
+        break;
+      case Opcode::Bra:
+        os << "bra " << inst.target;
+        break;
+      case Opcode::Bar:
+        os << "bar";
+        break;
+      case Opcode::Exit:
+        os << "exit";
+        break;
+      case Opcode::Ld:
+        os << "ld." << memSpaceName(inst.space) << "."
+           << memWidthName(inst.width) << " " << opnd(inst.dst, params)
+           << ", " << memOperand(inst.src[0], inst.addrOffset, params);
+        break;
+      case Opcode::St:
+        os << "st." << memSpaceName(inst.space) << "."
+           << memWidthName(inst.width) << " "
+           << memOperand(inst.src[0], inst.addrOffset, params) << ", "
+           << opnd(inst.src[1], params);
+        break;
+      case Opcode::EnqData:
+      case Opcode::EnqAddr:
+        os << opcodeName(inst.op) << "." << memWidthName(inst.width) << " "
+           << memOperand(inst.src[0], inst.addrOffset, params);
+        break;
+      case Opcode::EnqPred:
+        os << "enq.pred " << opnd(inst.src[0], params);
+        break;
+      case Opcode::LdDeq:
+        os << "ld.deq." << memWidthName(inst.width) << " "
+           << opnd(inst.dst, params);
+        break;
+      case Opcode::StDeq:
+        os << "st.deq." << memWidthName(inst.width) << " "
+           << opnd(inst.src[0], params);
+        break;
+      case Opcode::DeqPred:
+        os << "deq.pred " << opnd(inst.dst, params);
+        break;
+      default: {
+        os << opcodeName(inst.op) << " " << opnd(inst.dst, params);
+        for (int i = 0; i < numSources(inst.op); ++i)
+            os << ", " << opnd(inst.src[i], params);
+        break;
+      }
+    }
+    return os.str();
+}
+
+std::string
+Kernel::disassemble() const
+{
+    std::ostringstream os;
+    os << ".kernel " << name << "  (regs=" << numRegs
+       << " preds=" << numPreds << " shared=" << sharedBytes << ")\n";
+    for (int pc = 0; pc < numInsts(); ++pc) {
+        for (const auto &[label, at] : labels)
+            if (at == pc)
+                os << label << ":\n";
+        os << "  " << pc << ": " << instToString(insts[pc], params) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dacsim

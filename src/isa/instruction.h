@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The Instruction record and the Kernel container.
+ */
+
+#ifndef DACSIM_ISA_INSTRUCTION_H
+#define DACSIM_ISA_INSTRUCTION_H
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+#include "isa/operand.h"
+
+namespace dacsim
+{
+
+/**
+ * One decoded instruction.
+ *
+ * Instructions are stored in a flat vector inside a Kernel; branch
+ * targets and reconvergence points are instruction indices into that
+ * vector ("PCs").
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Exit;
+    CmpOp cmp = CmpOp::Eq;            ///< for setp
+    MemSpace space = MemSpace::Global; ///< for ld/st/enq/deq
+    MemWidth width = MemWidth::U32;    ///< for ld/st/enq/deq
+
+    Operand dst;
+    std::array<Operand, 3> src;
+
+    /** Guard predicate register (-1 = unguarded), e.g. "@p0 bra". */
+    int guardPred = -1;
+    /** Guard is negated ("@!p0"). */
+    bool guardNeg = false;
+
+    /** Branch target PC (instruction index). */
+    int target = -1;
+    /** Immediate byte displacement for memory operands "[rN+imm]". */
+    RegVal addrOffset = 0;
+
+    /**
+     * Reconvergence PC for divergent branches: the first instruction of
+     * the branch block's immediate post-dominator. Filled in by
+     * analyzeControlFlow; -1 until analysed (or for non-branches).
+     */
+    int reconvergePc = -1;
+
+    /**
+     * For Bar under DAC: true when this barrier is replicated in both
+     * streams and therefore advances the per-CTA barrier epoch used to
+     * gate early memory fetches (Section 4.2). Set by the decoupler.
+     */
+    bool epochCounted = false;
+
+    bool isBranch() const { return op == Opcode::Bra; }
+    bool isBarrier() const { return op == Opcode::Bar; }
+    bool isExit() const { return op == Opcode::Exit; }
+    bool isLoad() const { return op == Opcode::Ld || op == Opcode::LdDeq; }
+    bool isStore() const { return op == Opcode::St || op == Opcode::StDeq; }
+    bool isMemory() const { return isLoad() || isStore(); }
+
+    bool
+    isEnq() const
+    {
+        return op == Opcode::EnqData || op == Opcode::EnqAddr ||
+               op == Opcode::EnqPred;
+    }
+
+    bool
+    isDeq() const
+    {
+        return op == Opcode::LdDeq || op == Opcode::StDeq ||
+               op == Opcode::DeqPred;
+    }
+
+    /** True when control can fall through to pc+1 after this inst.
+     * A guarded exit falls through for the threads failing its guard;
+     * an unguarded bra or exit never falls through. */
+    bool
+    fallsThrough() const
+    {
+        if (isExit())
+            return guardPred >= 0;
+        return !(isBranch() && guardPred < 0);
+    }
+};
+
+/** Render one instruction in assembler syntax (for tests / debugging). */
+std::string instToString(const Instruction &inst,
+                         const std::vector<std::string> &param_names = {});
+
+/**
+ * A complete kernel: code plus register/parameter/shared-memory
+ * requirements. This is what the assembler produces, the compiler
+ * transforms, and the simulator executes.
+ */
+struct Kernel
+{
+    std::string name;
+    std::vector<Instruction> insts;
+    int numRegs = 0;
+    int numPreds = 0;
+    /** Parameter names, in slot order; parameters are 64-bit scalars. */
+    std::vector<std::string> params;
+    /** Per-CTA shared-memory bytes. */
+    int sharedBytes = 0;
+    /** Label name -> instruction index (kept for diagnostics). */
+    std::map<std::string, int> labels;
+
+    int numInsts() const { return static_cast<int>(insts.size()); }
+
+    /** Find a parameter slot by name; -1 if absent. */
+    int
+    paramSlot(const std::string &n) const
+    {
+        for (std::size_t i = 0; i < params.size(); ++i)
+            if (params[i] == n)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    /** Full disassembly (one instruction per line, with PCs). */
+    std::string disassemble() const;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_ISA_INSTRUCTION_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Opcode and related enumerations for the dacsim ISA.
+ *
+ * The ISA is a small PTX-like virtual instruction set, close to the
+ * pseudo-assembly the paper uses in Figures 4 and 7. It is rich enough
+ * to express the paper's 29 benchmark kernels and the decoupled
+ * affine / non-affine streams (enq.* / deq.* forms).
+ */
+
+#ifndef DACSIM_ISA_OPCODE_H
+#define DACSIM_ISA_OPCODE_H
+
+#include <string>
+
+namespace dacsim
+{
+
+enum class Opcode
+{
+    // ALU
+    Mov,
+    Add,
+    Sub,
+    Mul,
+    Mad,    ///< d = a * b + c
+    Shl,
+    Shr,    ///< arithmetic shift right
+    And,
+    Or,
+    Xor,
+    Not,
+    Min,
+    Max,
+    Abs,
+    Div,    ///< signed integer division (trapping divide-by-zero)
+    Mod,    ///< signed remainder; affine-eligible with scalar divisor
+    Setp,   ///< set predicate register from a comparison
+    Sel,    ///< d = p ? a : b
+    // Control
+    Bra,
+    Bar,    ///< CTA-wide barrier (syncthreads)
+    Exit,
+    // Memory
+    Ld,
+    St,
+    // DAC affine-stream instructions (emitted by the decoupler)
+    EnqData,  ///< enqueue a load-address tuple; AEU also fetches the data
+    EnqAddr,  ///< enqueue a store-address tuple (no data fetch)
+    EnqPred,  ///< enqueue a predicate bit-vector tuple
+    // DAC non-affine-stream instructions
+    LdDeq,    ///< load using a dequeued warp address record
+    StDeq,    ///< store using a dequeued warp address record
+    DeqPred,  ///< set a predicate register from a dequeued bit vector
+};
+
+enum class CmpOp
+{
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+enum class MemSpace
+{
+    Global,   ///< device memory through L1/L2/DRAM
+    Shared,   ///< per-CTA scratchpad
+};
+
+/** Memory access granularity, in bytes, with signedness for extension. */
+enum class MemWidth
+{
+    U8, U16, U32, U64,
+    S8, S16, S32,
+};
+
+/** Size in bytes of a memory access width. */
+int memWidthBytes(MemWidth w);
+
+/** Whether loads of this width sign-extend. */
+bool memWidthSigned(MemWidth w);
+
+/** Number of register source operands an opcode consumes. */
+int numSources(Opcode op);
+
+/** True for opcodes whose destination is a predicate register. */
+bool writesPredicate(Opcode op);
+
+/** True for ALU opcodes the affine datapath supports on tuples
+ * (paper Sections 3, 4.4 and 4.6: add/sub/shl/mul-by-scalar/mad/mov,
+ * plus the extended mod/min/max/abs/sel support). */
+bool affineEligibleAlu(Opcode op);
+
+const std::string &opcodeName(Opcode op);
+const std::string &cmpOpName(CmpOp c);
+const std::string &memSpaceName(MemSpace s);
+const std::string &memWidthName(MemWidth w);
+
+} // namespace dacsim
+
+#endif // DACSIM_ISA_OPCODE_H

@@ -1,0 +1,70 @@
+#include "isa/operand.h"
+
+#include <array>
+
+#include "common/log.h"
+
+namespace dacsim
+{
+
+int
+specialRegDim(SpecialReg s)
+{
+    return static_cast<int>(s) % 3;
+}
+
+bool
+isTidReg(SpecialReg s)
+{
+    return s == SpecialReg::TidX || s == SpecialReg::TidY ||
+           s == SpecialReg::TidZ;
+}
+
+bool
+isCtaidReg(SpecialReg s)
+{
+    return s == SpecialReg::CtaidX || s == SpecialReg::CtaidY ||
+           s == SpecialReg::CtaidZ;
+}
+
+bool
+isScalarSpecial(SpecialReg s)
+{
+    return !isTidReg(s) && !isCtaidReg(s);
+}
+
+const std::string &
+specialRegName(SpecialReg s)
+{
+    static const std::array<std::string, 12> names = {
+        "tid.x", "tid.y", "tid.z",
+        "ntid.x", "ntid.y", "ntid.z",
+        "ctaid.x", "ctaid.y", "ctaid.z",
+        "nctaid.x", "nctaid.y", "nctaid.z",
+    };
+    return names.at(static_cast<std::size_t>(s));
+}
+
+std::string
+operandToString(const Operand &op, const std::string &param_name)
+{
+    switch (op.kind) {
+      case Operand::Kind::None:
+        return "<none>";
+      case Operand::Kind::Reg:
+        return "r" + std::to_string(op.index);
+      case Operand::Kind::Pred:
+        return "p" + std::to_string(op.index);
+      case Operand::Kind::Imm:
+        return std::to_string(op.imm);
+      case Operand::Kind::Special:
+        return specialRegName(op.sreg);
+      case Operand::Kind::Param:
+        if (!param_name.empty())
+            return "$" + param_name;
+        return "$param" + std::to_string(op.index);
+    }
+    panic("bad operand kind");
+}
+
+} // namespace dacsim

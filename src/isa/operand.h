@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Instruction operands.
+ */
+
+#ifndef DACSIM_ISA_OPERAND_H
+#define DACSIM_ISA_OPERAND_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace dacsim
+{
+
+/** The built-in read-only special registers (CUDA %tid etc.). */
+enum class SpecialReg
+{
+    TidX, TidY, TidZ,          ///< threadIdx
+    NtidX, NtidY, NtidZ,       ///< blockDim
+    CtaidX, CtaidY, CtaidZ,    ///< blockIdx
+    NctaidX, NctaidY, NctaidZ, ///< gridDim
+};
+
+/** Dimension index (0=x, 1=y, 2=z) of a special register. */
+int specialRegDim(SpecialReg s);
+
+/** True for threadIdx.* registers. */
+bool isTidReg(SpecialReg s);
+
+/** True for blockIdx.* registers. */
+bool isCtaidReg(SpecialReg s);
+
+/** True for blockDim.* / gridDim.* registers (scalar across the grid). */
+bool isScalarSpecial(SpecialReg s);
+
+const std::string &specialRegName(SpecialReg s);
+
+/**
+ * One source or destination operand.
+ *
+ * A small tagged value type; cheap to copy.
+ */
+struct Operand
+{
+    enum class Kind
+    {
+        None,      ///< unused slot
+        Reg,       ///< general-purpose register r<index>
+        Pred,      ///< predicate register p<index>
+        Imm,       ///< integer immediate
+        Special,   ///< tid/ntid/ctaid/nctaid
+        Param,     ///< kernel parameter (scalar), by parameter slot
+    };
+
+    Kind kind = Kind::None;
+    int index = 0;        ///< register / predicate / param slot
+    RegVal imm = 0;       ///< immediate value
+    SpecialReg sreg = SpecialReg::TidX;
+
+    Operand() = default;
+
+    static Operand reg(int r) { return {Kind::Reg, r, 0, {}}; }
+    static Operand pred(int p) { return {Kind::Pred, p, 0, {}}; }
+    static Operand imm64(RegVal v) { return {Kind::Imm, 0, v, {}}; }
+    static Operand special(SpecialReg s) { return {Kind::Special, 0, 0, s}; }
+    static Operand param(int slot) { return {Kind::Param, slot, 0, {}}; }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isPred() const { return kind == Kind::Pred; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isSpecial() const { return kind == Kind::Special; }
+    bool isParam() const { return kind == Kind::Param; }
+    bool isNone() const { return kind == Kind::None; }
+
+    bool
+    operator==(const Operand &o) const
+    {
+        if (kind != o.kind)
+            return false;
+        switch (kind) {
+          case Kind::None: return true;
+          case Kind::Reg:
+          case Kind::Pred:
+          case Kind::Param: return index == o.index;
+          case Kind::Imm: return imm == o.imm;
+          case Kind::Special: return sreg == o.sreg;
+        }
+        return false;
+    }
+
+  private:
+    Operand(Kind k, int idx, RegVal v, SpecialReg s)
+        : kind(k), index(idx), imm(v), sreg(s)
+    {}
+};
+
+/** Render an operand in assembler syntax ("r3", "p0", "tid.x", "$A", 42). */
+std::string operandToString(const Operand &op,
+                            const std::string &paramName = "");
+
+} // namespace dacsim
+
+#endif // DACSIM_ISA_OPERAND_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Memory access coalescing: collapse the per-thread addresses of one
+ * warp memory instruction into the minimal set of 128B line
+ * transactions, as Fermi's LD/ST unit does.
+ */
+
+#ifndef DACSIM_MEM_COALESCER_H
+#define DACSIM_MEM_COALESCER_H
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dacsim
+{
+
+/**
+ * Compute the unique cache-line addresses touched by a warp access.
+ *
+ * @param addrs      per-lane byte addresses (only active lanes read).
+ * @param active     lane activity mask.
+ * @param accessSize bytes accessed per lane (an access spanning a line
+ *                   boundary contributes both lines).
+ * @return sorted unique line addresses.
+ */
+inline std::vector<Addr>
+coalesce(const std::array<Addr, warpSize> &addrs, ThreadMask active,
+         int access_size)
+{
+    std::vector<Addr> lines;
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!(active >> lane & 1))
+            continue;
+        Addr first = lineAlign(addrs[lane]);
+        Addr last = lineAlign(addrs[lane] + access_size - 1);
+        lines.push_back(first);
+        if (last != first)
+            lines.push_back(last);
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+} // namespace dacsim
+
+#endif // DACSIM_MEM_COALESCER_H

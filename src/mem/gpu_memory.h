@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Functional backing store for the simulated GPU's global memory.
+ *
+ * Storage is sparse (4 KiB pages allocated on first touch) so workloads
+ * can use realistic pointer values without reserving host memory.
+ * A simple bump allocator hands out device buffers to workloads.
+ */
+
+#ifndef DACSIM_MEM_GPU_MEMORY_H
+#define DACSIM_MEM_GPU_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+#include "isa/opcode.h"
+
+namespace dacsim
+{
+
+class GpuMemory
+{
+  public:
+    static constexpr Addr pageSize = 4096;
+
+    /** Allocate @p bytes of device memory, 256B-aligned. */
+    Addr
+    alloc(std::uint64_t bytes, Addr align = 256)
+    {
+        Addr base = (brk_ + align - 1) / align * align;
+        brk_ = base + bytes;
+        return base;
+    }
+
+    std::uint8_t
+    readByte(Addr a) const
+    {
+        auto it = pages_.find(a / pageSize);
+        if (it == pages_.end())
+            return 0;
+        return it->second[a % pageSize];
+    }
+
+    void
+    writeByte(Addr a, std::uint8_t v)
+    {
+        page(a)[a % pageSize] = v;
+    }
+
+    /** Little-endian read of @p bytes (1..8) at @p a, zero-extended. */
+    std::uint64_t
+    read(Addr a, int bytes) const
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < bytes; ++i)
+            v |= static_cast<std::uint64_t>(readByte(a + i)) << (8 * i);
+        return v;
+    }
+
+    void
+    write(Addr a, std::uint64_t v, int bytes)
+    {
+        for (int i = 0; i < bytes; ++i)
+            writeByte(a + i, static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    /** Typed load honouring the ISA width's size and signedness. */
+    RegVal
+    load(Addr a, MemWidth w) const
+    {
+        int bytes = memWidthBytes(w);
+        std::uint64_t raw = read(a, bytes);
+        if (memWidthSigned(w) && bytes < 8) {
+            std::uint64_t sign = 1ull << (8 * bytes - 1);
+            if (raw & sign)
+                raw |= ~((sign << 1) - 1);
+        }
+        return static_cast<RegVal>(raw);
+    }
+
+    void
+    store(Addr a, RegVal v, MemWidth w)
+    {
+        write(a, static_cast<std::uint64_t>(v), memWidthBytes(w));
+    }
+
+    // ----- bulk helpers used by workload setup ---------------------------
+
+    void
+    writeI32Array(Addr base, const std::vector<std::int32_t> &vals)
+    {
+        for (std::size_t i = 0; i < vals.size(); ++i)
+            write(base + 4 * i, static_cast<std::uint32_t>(vals[i]), 4);
+    }
+
+    std::vector<std::int32_t>
+    readI32Array(Addr base, std::size_t count) const
+    {
+        std::vector<std::int32_t> out(count);
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = static_cast<std::int32_t>(read(base + 4 * i, 4));
+        return out;
+    }
+
+    /** FNV-1a hash of a byte range; used to compare final memory images. */
+    std::uint64_t
+    checksum(Addr base, std::uint64_t bytes) const
+    {
+        std::uint64_t h = 1469598103934665603ull;
+        for (std::uint64_t i = 0; i < bytes; ++i) {
+            h ^= readByte(base + i);
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+
+  private:
+    std::unordered_map<Addr, std::array<std::uint8_t, pageSize>> pages_;
+    Addr brk_ = 0x10000;
+
+    std::uint8_t *
+    page(Addr a)
+    {
+        auto [it, inserted] = pages_.try_emplace(a / pageSize);
+        if (inserted)
+            it->second.fill(0);
+        return it->second.data();
+    }
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_MEM_GPU_MEMORY_H

@@ -1,0 +1,292 @@
+#include "mem/mem_system.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+
+namespace dacsim
+{
+
+MemorySystem::MemorySystem(const GpuConfig &cfg, RunStats *stats)
+    : cfg_(cfg), stats_(stats)
+{
+    ensure(stats_ != nullptr, "MemorySystem needs a stats sink");
+    sms_.reserve(cfg.numSms);
+    for (int i = 0; i < cfg.numSms; ++i)
+        sms_.emplace_back(cfg.l1);
+    // Partition the L2 capacity across the memory partitions.
+    CacheConfig slice = cfg.l2;
+    slice.sizeBytes = cfg.l2.sizeBytes / cfg.dram.partitions;
+    // Round the slice down to a power-of-two set count.
+    int sets = 1;
+    while (sets * 2 <= slice.numSets())
+        sets *= 2;
+    slice.sizeBytes = sets * slice.ways * lineSizeBytes;
+    for (int p = 0; p < cfg.dram.partitions; ++p)
+        l2_.emplace_back(slice);
+    dramNextFree_.assign(cfg.dram.partitions, 0);
+}
+
+int
+MemorySystem::partitionOf(Addr line_addr) const
+{
+    return static_cast<int>((line_addr / lineSizeBytes) %
+                            cfg_.dram.partitions);
+}
+
+void
+MemorySystem::pruneOutstanding(SmState &sm, Cycle now)
+{
+    for (auto it = sm.outstanding.begin(); it != sm.outstanding.end();) {
+        if (it->second <= now)
+            it = sm.outstanding.erase(it);
+        else
+            ++it;
+    }
+    for (auto it = sm.pfOutstanding.begin(); it != sm.pfOutstanding.end();) {
+        if (it->second <= now)
+            it = sm.pfOutstanding.erase(it);
+        else
+            ++it;
+    }
+}
+
+Cycle
+MemorySystem::l2Access(Addr line_addr, Cycle arrive, bool is_store)
+{
+    int p = partitionOf(line_addr);
+    TagArray &l2 = l2_[p];
+    if (l2.access(line_addr)) {
+        ++stats_->l2Hits;
+        return arrive + cfg_.l2.hitLatency;
+    }
+    ++stats_->l2Misses;
+    ++stats_->dramAccesses;
+    Cycle start = std::max(arrive + static_cast<Cycle>(cfg_.l2.hitLatency),
+                           dramNextFree_[p]);
+    dramNextFree_[p] = start + cfg_.dram.cyclesPerLine;
+    Cycle ready = start + cfg_.dram.latency;
+    // Reserve the L2 line now; data logically arrives at `ready`.
+    if (!is_store)
+        l2.fill(line_addr);
+    return ready;
+}
+
+int
+MemorySystem::freeMshrs(int sm_id, Cycle now)
+{
+    if (cfg_.perfectMemory)
+        return cfg_.l1.mshrs;
+    SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
+    pruneOutstanding(sm, now);
+    return cfg_.l1.mshrs - static_cast<int>(sm.outstanding.size() +
+                                            sm.pfOutstanding.size());
+}
+
+bool
+MemorySystem::linePresent(int sm_id, Addr line_addr) const
+{
+    if (cfg_.perfectMemory)
+        return true;
+    // find() does not update recency, so this is a pure probe.
+    auto &sm = const_cast<SmState &>(
+        sms_[static_cast<std::size_t>(sm_id)]);
+    return sm.l1.find(line_addr) != nullptr;
+}
+
+AccessResult
+MemorySystem::load(int sm_id, Addr line_addr, Cycle now, Requester req)
+{
+    ensure(line_addr % lineSizeBytes == 0, "unaligned line address");
+    SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
+    AccessResult res;
+
+    if (cfg_.perfectMemory) {
+        res.accepted = true;
+        res.l1Hit = true;
+        res.ready = now + cfg_.l1.hitLatency;
+        ++stats_->l1Hits;
+        return res;
+    }
+
+    pruneOutstanding(sm, now);
+
+    // L1 probe. A tag hit whose fill is still in flight behaves as an
+    // MSHR merge: the access completes when the original fill does.
+    if (sm.l1.access(line_addr)) {
+        res.accepted = true;
+        auto it = sm.outstanding.find(line_addr);
+        if (it != sm.outstanding.end()) {
+            res.ready = std::max(it->second,
+                                 now + static_cast<Cycle>(
+                                           cfg_.l1.hitLatency));
+        } else {
+            res.l1Hit = true;
+            res.ready = now + cfg_.l1.hitLatency;
+            ++stats_->l1Hits;
+        }
+        return res;
+    }
+
+    // Prefetch buffer probe (MTA) for demand accesses.
+    if (req == Requester::Demand && sm.pfBuffer) {
+        if (sm.pfBuffer->access(line_addr)) {
+            res.accepted = true;
+            auto it = sm.pfOutstanding.find(line_addr);
+            res.ready = it != sm.pfOutstanding.end()
+                            ? std::max(it->second,
+                                       now + static_cast<Cycle>(
+                                                 cfg_.l1.hitLatency))
+                            : now + cfg_.l1.hitLatency + 1;
+            ++stats_->prefetchHits;
+            return res;
+        }
+    }
+
+    // True miss: need a free MSHR (shared with in-flight prefetches).
+    if (static_cast<int>(sm.outstanding.size() +
+                         sm.pfOutstanding.size()) >= cfg_.l1.mshrs) {
+        return res; // not accepted; requester retries
+    }
+
+    ++stats_->l1Misses;
+    Cycle ready = l2Access(line_addr, now + cfg_.nocLatency, false) +
+                  cfg_.nocLatency;
+    sm.outstanding[line_addr] = ready;
+    // Reserve the L1 line at request time (fill-on-miss). If every way
+    // of the set is locked the refill bypasses L1, which is safe: the
+    // data goes straight to the requester.
+    sm.l1.fill(line_addr);
+    res.accepted = true;
+    res.ready = ready;
+    return res;
+}
+
+void
+MemorySystem::store(int sm_id, Addr line_addr, Cycle now)
+{
+    if (cfg_.perfectMemory)
+        return;
+    SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
+    // L1 is write-through / no-allocate: update recency if present.
+    sm.l1.access(line_addr);
+    // L2 is write-allocate; misses consume DRAM bandwidth.
+    int p = partitionOf(line_addr);
+    if (!l2_[p].access(line_addr)) {
+        ++stats_->l2Misses;
+        ++stats_->dramAccesses;
+        Cycle start = std::max(now + static_cast<Cycle>(cfg_.nocLatency),
+                               dramNextFree_[p]);
+        dramNextFree_[p] = start + cfg_.dram.cyclesPerLine;
+        l2_[p].fill(line_addr);
+    } else {
+        ++stats_->l2Hits;
+    }
+}
+
+bool
+MemorySystem::canLock(int sm_id, Addr line_addr)
+{
+    if (cfg_.perfectMemory)
+        return true;
+    SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
+    TagArray::Line *line = sm.l1.find(line_addr);
+    if (line && line->lockCount > 0)
+        return true; // already locked; incrementing is always safe
+    return !sm.l1.lockSaturated(line_addr);
+}
+
+void
+MemorySystem::lock(int sm_id, Addr line_addr)
+{
+    if (cfg_.perfectMemory)
+        return;
+    SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
+    TagArray::Line *line = sm.l1.find(line_addr);
+    if (!line) {
+        // The reservation was evicted between request and lock (or the
+        // refill bypassed L1); re-establish it.
+        auto fill = sm.l1.fill(line_addr);
+        line = fill.line;
+    }
+    if (line)
+        ++line->lockCount;
+}
+
+void
+MemorySystem::unlock(int sm_id, Addr line_addr)
+{
+    if (cfg_.perfectMemory)
+        return;
+    SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
+    TagArray::Line *line = sm.l1.find(line_addr);
+    if (line && line->lockCount > 0)
+        --line->lockCount;
+}
+
+void
+MemorySystem::enablePrefetchBuffer(const MtaConfig &mta)
+{
+    CacheConfig buf;
+    buf.sizeBytes = mta.bufferBytes;
+    buf.ways = 8;
+    buf.hitLatency = cfg_.l1.hitLatency;
+    for (auto &sm : sms_)
+        sm.pfBuffer = std::make_unique<TagArray>(buf);
+}
+
+void
+MemorySystem::prefetch(int sm_id, Addr line_addr, Cycle now)
+{
+    SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
+    ensure(sm.pfBuffer != nullptr, "prefetch without a buffer");
+    if (cfg_.perfectMemory)
+        return;
+    pruneOutstanding(sm, now);
+    // Drop redundant prefetches.
+    if (sm.l1.find(line_addr) || sm.pfBuffer->find(line_addr))
+        return;
+    // Prefetches are ordinary memory requests: they compete for the
+    // same MSHRs as demand misses and are dropped under pressure.
+    if (static_cast<int>(sm.outstanding.size() +
+                         sm.pfOutstanding.size()) >= cfg_.l1.mshrs) {
+        return;
+    }
+    ++stats_->prefetchesIssued;
+    Cycle ready = l2Access(line_addr, now + cfg_.nocLatency, false) +
+                  cfg_.nocLatency;
+    sm.pfOutstanding[line_addr] = ready;
+    auto fill = sm.pfBuffer->fill(line_addr);
+    if (fill.line)
+        fill.line->prefetched = true;
+    if (fill.evictedPrefetchedUnused) {
+        ++stats_->prefetchUnused;
+        ++sm.unusedEvictions;
+    }
+}
+
+std::uint64_t
+MemorySystem::takeUnusedEvictions(int sm_id)
+{
+    SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
+    return std::exchange(sm.unusedEvictions, 0);
+}
+
+void
+MemorySystem::reset()
+{
+    for (auto &sm : sms_) {
+        sm.l1.flush();
+        sm.outstanding.clear();
+        if (sm.pfBuffer)
+            sm.pfBuffer->flush();
+        sm.pfOutstanding.clear();
+        sm.unusedEvictions = 0;
+    }
+    for (auto &slice : l2_)
+        slice.flush();
+    std::fill(dramNextFree_.begin(), dramNextFree_.end(), 0);
+}
+
+} // namespace dacsim

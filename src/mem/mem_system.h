@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Timing model of the GPU memory hierarchy.
+ *
+ * Per-SM L1 caches (with MSHRs and DAC lock counters) in front of a
+ * shared, partitioned L2 and a latency+bandwidth DRAM model. The model
+ * is analytic: when a line transaction is accepted, its completion
+ * cycle is computed from resource availability (per-partition DRAM
+ * bandwidth, queue occupancy), and the requester polls for readiness.
+ *
+ * This reproduces the effects DAC's evaluation depends on — load
+ * latency, MSHR limits, bandwidth saturation, cache locality, early
+ * non-speculative fetch with line locking — without event-queue
+ * machinery. Row-buffer locality and bank conflicts are not modelled
+ * (see DESIGN.md).
+ */
+
+#ifndef DACSIM_MEM_MEM_SYSTEM_H
+#define DACSIM_MEM_MEM_SYSTEM_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/tag_array.h"
+
+namespace dacsim
+{
+
+/** Who initiated a memory transaction (for statistics & policies). */
+enum class Requester
+{
+    Demand,    ///< an ordinary warp load
+    DacEarly,  ///< the DAC AEU's early fetch (enq.data)
+    Prefetch,  ///< the MTA prefetcher
+};
+
+struct AccessResult
+{
+    bool accepted = false;  ///< false: structural hazard, retry later
+    Cycle ready = 0;        ///< cycle at which data is available
+    bool l1Hit = false;
+};
+
+class MemorySystem
+{
+  public:
+    MemorySystem(const GpuConfig &cfg, RunStats *stats);
+
+    /** Issue one 128B-line load transaction for SM @p sm. */
+    AccessResult load(int sm, Addr line_addr, Cycle now, Requester req);
+
+    /** Free L1 MSHR entries right now (non-mutating probe). */
+    int freeMshrs(int sm, Cycle now);
+
+    /** Is the line resident in the SM's L1 tags? (no LRU update). */
+    bool linePresent(int sm, Addr line_addr) const;
+
+    /** Issue one line store transaction (fire-and-forget). */
+    void store(int sm, Addr line_addr, Cycle now);
+
+    // ----- DAC line locking (Section 4.2) --------------------------------
+
+    /** May the AEU lock this line without risking deadlock? */
+    bool canLock(int sm, Addr line_addr);
+    /** Increment the line's lock counter (line must be resident). */
+    void lock(int sm, Addr line_addr);
+    /** Decrement the lock counter on deq.data. */
+    void unlock(int sm, Addr line_addr);
+
+    // ----- MTA prefetch buffer -------------------------------------------
+
+    /** Give each SM a dedicated prefetch buffer (MTA provisioning). */
+    void enablePrefetchBuffer(const MtaConfig &mta);
+    /** Issue a prefetch into the SM's buffer; may be dropped. */
+    void prefetch(int sm, Addr line_addr, Cycle now);
+    /** Lines evicted from the buffer unused since last asked (throttle). */
+    std::uint64_t takeUnusedEvictions(int sm);
+
+    /** Drop all cached state (between independent runs). */
+    void reset();
+
+    const TagArray &l1(int sm) const { return sms_[sm].l1; }
+
+  private:
+    struct SmState
+    {
+        TagArray l1;
+        /** line -> data-ready cycle, one entry per in-flight MSHR. */
+        std::unordered_map<Addr, Cycle> outstanding;
+        std::unique_ptr<TagArray> pfBuffer;
+        std::unordered_map<Addr, Cycle> pfOutstanding;
+        std::uint64_t unusedEvictions = 0;
+
+        explicit SmState(const CacheConfig &c) : l1(c) {}
+    };
+
+    const GpuConfig &cfg_;
+    RunStats *stats_;
+    std::vector<SmState> sms_;
+    /** One L2 slice per memory partition. */
+    std::vector<TagArray> l2_;
+    /** Per-partition next-free cycle for line transfers (bandwidth). */
+    std::vector<Cycle> dramNextFree_;
+
+    int partitionOf(Addr line_addr) const;
+    /** Timing through L2 (+DRAM on miss); returns data-ready cycle. */
+    Cycle l2Access(Addr line_addr, Cycle arrive, bool is_store);
+    void pruneOutstanding(SmState &sm, Cycle now);
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_MEM_MEM_SYSTEM_H

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Set-associative cache tag array with LRU replacement and the
+ * per-line lock counters DAC adds for its early (non-speculative)
+ * loads (paper Section 4.2).
+ *
+ * Data is not stored here — functional values live in GpuMemory; the
+ * tag array provides hit/miss timing and replacement behaviour.
+ */
+
+#ifndef DACSIM_MEM_TAG_ARRAY_H
+#define DACSIM_MEM_TAG_ARRAY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "common/types.h"
+
+namespace dacsim
+{
+
+class TagArray
+{
+  public:
+    struct Line
+    {
+        Addr addr = 0;          ///< line-aligned address
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+        int lockCount = 0;      ///< DAC lock counter (> 0: not evictable)
+        bool prefetched = false;
+        bool referenced = false;
+    };
+
+    explicit TagArray(const CacheConfig &cfg)
+        : ways_(cfg.ways), sets_(cfg.numSets()),
+          lines_(static_cast<std::size_t>(ways_) * sets_)
+    {
+        ensure(sets_ > 0, "cache with no sets (size ", cfg.sizeBytes,
+               " bytes, ", cfg.ways, " ways)");
+    }
+
+    int numSets() const { return sets_; }
+    int ways() const { return ways_; }
+
+    int
+    setIndex(Addr line_addr) const
+    {
+        return static_cast<int>((line_addr / lineSizeBytes) %
+                                static_cast<Addr>(sets_));
+    }
+
+    /** Find a resident line; nullptr on miss. Does not update LRU. */
+    Line *
+    find(Addr line_addr)
+    {
+        Line *base = setBase(line_addr);
+        for (int w = 0; w < ways_; ++w)
+            if (base[w].valid && base[w].addr == line_addr)
+                return &base[w];
+        return nullptr;
+    }
+
+    /** Probe and update recency on hit. */
+    Line *
+    access(Addr line_addr)
+    {
+        Line *l = find(line_addr);
+        if (l) {
+            l->lastUse = ++tick_;
+            l->referenced = true;
+        }
+        return l;
+    }
+
+    /** True when the set already holds ways-1 locked lines, so DAC may
+     * not lock another (deadlock avoidance, paper Section 4.2). */
+    bool
+    lockSaturated(Addr line_addr) const
+    {
+        const Line *base = setBaseConst(line_addr);
+        int locked = 0;
+        for (int w = 0; w < ways_; ++w)
+            if (base[w].valid && base[w].lockCount > 0)
+                ++locked;
+        return locked >= ways_ - 1;
+    }
+
+    struct FillResult
+    {
+        Line *line = nullptr;     ///< the filled line, or nullptr on failure
+        bool evictedValid = false;
+        bool evictedPrefetchedUnused = false;
+    };
+
+    /**
+     * Insert @p line_addr, evicting the LRU unlocked way if needed.
+     * Fails (line == nullptr) only when every way is locked.
+     */
+    FillResult
+    fill(Addr line_addr)
+    {
+        FillResult res;
+        Line *base = setBase(line_addr);
+        if (Line *hit = find(line_addr)) {
+            hit->lastUse = ++tick_;
+            res.line = hit;
+            return res;
+        }
+        Line *victim = nullptr;
+        for (int w = 0; w < ways_; ++w) {
+            Line &l = base[w];
+            if (!l.valid) {
+                victim = &l;
+                break;
+            }
+            if (l.lockCount > 0)
+                continue;
+            if (!victim || l.lastUse < victim->lastUse)
+                victim = &l;
+        }
+        if (!victim)
+            return res; // all ways locked
+        if (victim->valid) {
+            res.evictedValid = true;
+            res.evictedPrefetchedUnused =
+                victim->prefetched && !victim->referenced;
+        }
+        *victim = Line{};
+        victim->addr = line_addr;
+        victim->valid = true;
+        victim->lastUse = ++tick_;
+        res.line = victim;
+        return res;
+    }
+
+    /** Invalidate every line (between kernel launches in tests). */
+    void
+    flush()
+    {
+        for (Line &l : lines_)
+            l = Line{};
+    }
+
+    /** Total locked lines (diagnostics). */
+    int
+    lockedLines() const
+    {
+        int n = 0;
+        for (const Line &l : lines_)
+            if (l.valid && l.lockCount > 0)
+                ++n;
+        return n;
+    }
+
+  private:
+    int ways_;
+    int sets_;
+    std::vector<Line> lines_;
+    std::uint64_t tick_ = 0;
+
+    Line *
+    setBase(Addr line_addr)
+    {
+        return &lines_[static_cast<std::size_t>(setIndex(line_addr)) *
+                       ways_];
+    }
+
+    const Line *
+    setBaseConst(Addr line_addr) const
+    {
+        return &lines_[static_cast<std::size_t>(setIndex(line_addr)) *
+                       ways_];
+    }
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_MEM_TAG_ARRAY_H

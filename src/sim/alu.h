@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Scalar ALU semantics, shared by the baseline SIMT interpreter, the
+ * CAE affine units, and the DAC affine warp / expansion units, so that
+ * every execution path computes bit-identical results.
+ */
+
+#ifndef DACSIM_SIM_ALU_H
+#define DACSIM_SIM_ALU_H
+
+#include "common/log.h"
+#include "common/types.h"
+#include "isa/opcode.h"
+
+namespace dacsim
+{
+
+/**
+ * Remainder with the sign of the divisor (mathematical mod for positive
+ * divisors). GPU kernels use mod to fold indices into tables, which
+ * requires a non-negative result for non-negative divisors.
+ */
+inline RegVal
+gpuMod(RegVal a, RegVal b)
+{
+    require(b != 0, "mod by zero");
+    RegVal r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0)))
+        r += b;
+    return r;
+}
+
+/** Floor division consistent with gpuMod: a == b*div + mod. */
+inline RegVal
+gpuDiv(RegVal a, RegVal b)
+{
+    require(b != 0, "division by zero");
+    RegVal q = a / b;
+    RegVal r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+/** Evaluate a comparison. */
+inline bool
+cmpCompute(CmpOp op, RegVal a, RegVal b)
+{
+    switch (op) {
+      case CmpOp::Eq: return a == b;
+      case CmpOp::Ne: return a != b;
+      case CmpOp::Lt: return a < b;
+      case CmpOp::Le: return a <= b;
+      case CmpOp::Gt: return a > b;
+      case CmpOp::Ge: return a >= b;
+    }
+    panic("bad CmpOp");
+}
+
+/**
+ * Evaluate a (non-memory, non-control) ALU opcode. @p c is the third
+ * source for mad, and the selector (0/1) for sel.
+ */
+inline RegVal
+aluCompute(Opcode op, RegVal a, RegVal b = 0, RegVal c = 0)
+{
+    auto shamt = [](RegVal s) { return static_cast<int>(s & 63); };
+    switch (op) {
+      case Opcode::Mov: return a;
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      case Opcode::Mad: return a * b + c;
+      case Opcode::Shl: return a << shamt(b);
+      case Opcode::Shr: return a >> shamt(b);
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Not: return ~a;
+      case Opcode::Min: return a < b ? a : b;
+      case Opcode::Max: return a > b ? a : b;
+      case Opcode::Abs: return a < 0 ? -a : a;
+      case Opcode::Div: return gpuDiv(a, b);
+      case Opcode::Mod: return gpuMod(a, b);
+      case Opcode::Sel: return c ? a : b;
+      default: panic("aluCompute: non-ALU opcode ", opcodeName(op));
+    }
+}
+
+} // namespace dacsim
+
+#endif // DACSIM_SIM_ALU_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Description of one batch of concurrently-resident CTAs on an SM.
+ *
+ * An SM executes CTAs in batches of up to maxCtasPerSm; under DAC the
+ * affine warp executes once per batch and serves every warp in it
+ * (paper Section 4.1).
+ */
+
+#ifndef DACSIM_SIM_BATCH_H
+#define DACSIM_SIM_BATCH_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/dim3.h"
+
+namespace dacsim
+{
+
+/** Identity of one warp slot within a batch. */
+struct WarpSlot
+{
+    int ctaSlot = 0;        ///< CTA index within the batch
+    Idx3 ctaId;             ///< blockIdx of that CTA
+    int warpInCta = 0;      ///< warp index within the CTA
+    ThreadMask valid = 0;   ///< threads that exist (last warp may be short)
+};
+
+struct BatchInfo
+{
+    Dim3 grid;
+    Dim3 block;
+    int numCtas = 0;
+    std::vector<WarpSlot> warps; ///< CTA-major order
+
+    int numWarps() const { return static_cast<int>(warps.size()); }
+
+    /** threadIdx of (warp slot, lane). */
+    Idx3
+    tidOf(const WarpSlot &w, int lane) const
+    {
+        return unlinearize(
+            static_cast<long long>(w.warpInCta) * warpSize + lane, block);
+    }
+
+    /** Valid-thread mask set over all warps of the batch. */
+    std::vector<ThreadMask>
+    validMasks() const
+    {
+        std::vector<ThreadMask> m;
+        m.reserve(warps.size());
+        for (const WarpSlot &w : warps)
+            m.push_back(w.valid);
+        return m;
+    }
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_SIM_BATCH_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Grid/block dimension handling and thread-index decomposition.
+ */
+
+#ifndef DACSIM_SIM_DIM3_H
+#define DACSIM_SIM_DIM3_H
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace dacsim
+{
+
+/** CUDA-style three-dimensional extent. */
+struct Dim3
+{
+    int x = 1;
+    int y = 1;
+    int z = 1;
+
+    long long count() const
+    {
+        return static_cast<long long>(x) * y * z;
+    }
+
+    bool operator==(const Dim3 &) const = default;
+};
+
+/** A three-dimensional index. */
+struct Idx3
+{
+    int x = 0;
+    int y = 0;
+    int z = 0;
+
+    int
+    dim(int d) const
+    {
+        return d == 0 ? x : d == 1 ? y : z;
+    }
+
+    bool operator==(const Idx3 &) const = default;
+};
+
+/** Decompose a linear index into an Idx3 under extent @p e (x fastest). */
+inline Idx3
+unlinearize(long long linear, const Dim3 &e)
+{
+    Idx3 idx;
+    idx.x = static_cast<int>(linear % e.x);
+    linear /= e.x;
+    idx.y = static_cast<int>(linear % e.y);
+    idx.z = static_cast<int>(linear / e.y);
+    return idx;
+}
+
+/** Linearize an Idx3 under extent @p e. */
+inline long long
+linearize(const Idx3 &i, const Dim3 &e)
+{
+    return i.x + static_cast<long long>(e.x) * (i.y +
+           static_cast<long long>(e.y) * i.z);
+}
+
+/** Warps needed to cover a CTA of @p block threads. */
+inline int
+warpsPerCta(const Dim3 &block)
+{
+    return static_cast<int>((block.count() + warpSize - 1) / warpSize);
+}
+
+} // namespace dacsim
+
+#endif // DACSIM_SIM_DIM3_H

@@ -1,0 +1,73 @@
+#include "sim/gpu.h"
+
+#include "common/log.h"
+
+namespace dacsim
+{
+
+Gpu::Gpu(const GpuConfig &gcfg, Technique tech, const DacConfig &dcfg,
+         const CaeConfig &ccfg, const MtaConfig &mcfg, GpuMemory &gmem)
+    : gcfg_(gcfg), tech_(tech), dcfg_(dcfg), ccfg_(ccfg), mcfg_(mcfg)
+{
+    mem_ = std::make_unique<MemorySystem>(gcfg_, &stats_);
+    if (tech_ == Technique::Mta)
+        mem_->enablePrefetchBuffer(mcfg_);
+    for (int i = 0; i < gcfg_.numSms; ++i) {
+        sms_.push_back(std::make_unique<Sm>(i, gcfg_, tech_, dcfg_, ccfg_,
+                                            mcfg_, *mem_, gmem, stats_));
+    }
+}
+
+std::uint64_t
+Gpu::totalProgress() const
+{
+    std::uint64_t p = 0;
+    for (const auto &sm : sms_)
+        p += sm->progress();
+    return p;
+}
+
+const RunStats &
+Gpu::launch(const LaunchInfo &launch)
+{
+    require(launch.kernel != nullptr, "launch without a kernel");
+    require(launch.params != nullptr, "launch without parameters");
+    require(tech_ != Technique::Dac || launch.affineKernel != nullptr,
+            "DAC launch without an affine stream");
+
+    CtaDispatcher dispatcher(launch.grid.count(), gcfg_.numSms);
+    for (auto &sm : sms_)
+        sm->beginKernel(launch, &dispatcher);
+
+    std::uint64_t lastProgress = totalProgress();
+    Cycle lastProgressCycle = cycle_;
+    constexpr Cycle watchdogWindow = 1u << 20;
+
+    bool running = true;
+    while (running) {
+        running = false;
+        for (auto &sm : sms_) {
+            sm->cycle(cycle_);
+            running = running || sm->busy();
+        }
+        ++cycle_;
+
+        if ((cycle_ & 0xfff) == 0) {
+            std::uint64_t p = totalProgress();
+            if (p != lastProgress) {
+                lastProgress = p;
+                lastProgressCycle = cycle_;
+            } else {
+                ensure(cycle_ - lastProgressCycle < watchdogWindow,
+                       "deadlock: no instruction issued for ",
+                       watchdogWindow, " cycles in kernel '",
+                       launch.kernel->name, "'");
+            }
+        }
+    }
+
+    stats_.cycles = cycle_;
+    return stats_;
+}
+
+} // namespace dacsim

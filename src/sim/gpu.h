@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Top-level GPU model: the SM array plus the shared memory system,
+ * with a cycle-stepped run loop and a deadlock watchdog.
+ */
+
+#ifndef DACSIM_SIM_GPU_H
+#define DACSIM_SIM_GPU_H
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "mem/gpu_memory.h"
+#include "mem/mem_system.h"
+#include "sim/sm.h"
+
+namespace dacsim
+{
+
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &gcfg, Technique tech, const DacConfig &dcfg,
+        const CaeConfig &ccfg, const MtaConfig &mcfg, GpuMemory &gmem);
+
+    /**
+     * Run one kernel launch to completion and return the cumulative
+     * statistics so far. Successive launches keep cache state warm
+     * (as on real hardware) and accumulate into the same counters.
+     */
+    const RunStats &launch(const LaunchInfo &launch);
+
+    const RunStats &stats() const { return stats_; }
+    Technique technique() const { return tech_; }
+    MemorySystem &memorySystem() { return *mem_; }
+
+  private:
+    GpuConfig gcfg_;
+    Technique tech_;
+    DacConfig dcfg_;
+    CaeConfig ccfg_;
+    MtaConfig mcfg_;
+    RunStats stats_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    Cycle cycle_ = 0;
+
+    std::uint64_t totalProgress() const;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_SIM_GPU_H

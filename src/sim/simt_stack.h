@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Per-warp SIMT reconvergence stack (the baseline GPU's divergence
+ * mechanism; paper Section 4.5 background).
+ *
+ * The stack's top entry holds the warp's current PC and active mask.
+ * On a divergent branch the entry is replaced by a reconvergence entry
+ * plus one entry per path; entries pop when execution reaches their
+ * reconvergence PC.
+ */
+
+#ifndef DACSIM_SIM_SIMT_STACK_H
+#define DACSIM_SIM_SIMT_STACK_H
+
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace dacsim
+{
+
+class SimtStack
+{
+  public:
+    struct Entry
+    {
+        int pc = 0;
+        /** PC where this entry's threads reconverge with its parent;
+         * -1 when they only reconverge at kernel exit. */
+        int rpc = -1;
+        ThreadMask mask = 0;
+    };
+
+    /** Initialize with all of @p initial active at PC 0. */
+    void
+    reset(ThreadMask initial)
+    {
+        entries_.clear();
+        entries_.push_back({0, -1, initial});
+    }
+
+    bool empty() const { return entries_.empty(); }
+    int depth() const { return static_cast<int>(entries_.size()); }
+    int pc() const { return top().pc; }
+    ThreadMask mask() const { return top().mask; }
+
+    /**
+     * Move the current entry to @p next_pc. Reaching the entry's
+     * reconvergence PC pops exactly that entry: execution resumes at
+     * the next pending path's own PC (not at next_pc).
+     * Call with pc+1 after straight-line instructions, or with the
+     * chosen target after a uniform branch.
+     */
+    void
+    advance(int next_pc)
+    {
+        ensure(!empty(), "advance on empty SIMT stack");
+        if (next_pc == top().rpc) {
+            entries_.pop_back();
+            normalize();
+            return;
+        }
+        entries_.back().pc = next_pc;
+    }
+
+    /**
+     * Apply a divergent branch: current entry's threads split between
+     * @p target (taken) and @p fallthrough. @p rpc is the branch's
+     * reconvergence PC (-1: reconverge only at exit).
+     */
+    void
+    diverge(int target, int fallthrough, int rpc, ThreadMask taken,
+            ThreadMask not_taken)
+    {
+        ensure(!empty(), "diverge on empty SIMT stack");
+        ensure((taken & not_taken) == 0, "overlapping divergence masks");
+        ensure(taken != 0 && not_taken != 0, "non-divergent split");
+        Entry parent = top();
+        entries_.pop_back();
+        if (rpc >= 0)
+            entries_.push_back({rpc, parent.rpc, parent.mask});
+        entries_.push_back({fallthrough, rpc, not_taken});
+        entries_.push_back({target, rpc, taken});
+        normalize();
+    }
+
+    /**
+     * Retire @p exited threads (they executed `exit`). Removes them
+     * from every entry and pops entries left empty.
+     * @return true when the whole warp has finished.
+     */
+    bool
+    retire(ThreadMask exited)
+    {
+        for (Entry &e : entries_)
+            e.mask &= ~exited;
+        while (!entries_.empty() && entries_.back().mask == 0)
+            entries_.pop_back();
+        // Inner empty entries (can happen when a whole path exits) are
+        // removed as well so depth reflects live divergence.
+        std::erase_if(entries_, [](const Entry &e) { return e.mask == 0; });
+        return entries_.empty();
+    }
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    std::vector<Entry> entries_;
+
+    const Entry &
+    top() const
+    {
+        ensure(!entries_.empty(), "empty SIMT stack");
+        return entries_.back();
+    }
+
+    /** Pop path entries born already at their reconvergence PC (a
+     * branch whose target or fall-through IS the join point). */
+    void
+    normalize()
+    {
+        while (!entries_.empty() &&
+               entries_.back().pc == entries_.back().rpc) {
+            entries_.pop_back();
+        }
+    }
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_SIM_SIMT_STACK_H

@@ -1,0 +1,817 @@
+#include "sim/sm.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.h"
+#include "common/trace.h"
+#include "mem/coalescer.h"
+#include "sim/alu.h"
+
+namespace dacsim
+{
+
+namespace
+{
+
+/** Sentinel for "blocked until an event completes it". */
+constexpr Cycle farFuture = ~static_cast<Cycle>(0);
+
+int
+popcount(ThreadMask m)
+{
+    return std::popcount(m);
+}
+
+} // namespace
+
+Sm::Sm(int id, const GpuConfig &gcfg, Technique tech, const DacConfig &dcfg,
+       const CaeConfig &ccfg, const MtaConfig &mcfg, MemorySystem &mem,
+       GpuMemory &gmem, RunStats &stats)
+    : id_(id), gcfg_(gcfg), tech_(tech), dcfg_(dcfg), ccfg_(ccfg),
+      mem_(mem), gmem_(gmem), stats_(stats)
+{
+    if (tech_ == Technique::Dac) {
+        dacEngine_ = std::make_unique<DacEngine>(id_, gcfg_, dcfg_, mem_,
+                                                 stats_);
+        affineWarp_ = std::make_unique<AffineWarp>(gcfg_, dcfg_,
+                                                   *dacEngine_, stats_);
+    } else if (tech_ == Technique::Mta) {
+        mta_ = std::make_unique<MtaPrefetcher>(id_, mcfg, mem_, stats_);
+    }
+}
+
+void
+Sm::beginKernel(const LaunchInfo &launch, CtaDispatcher *dispatcher)
+{
+    ensure(launch.kernel != nullptr, "launch without kernel");
+    launch_ = launch;
+    dispatcher_ = dispatcher;
+    warpsPerCta_ = warpsPerCta(launch.block);
+    require(warpsPerCta_ <= gcfg_.maxWarpsPerSm, "CTA too large: ",
+            launch.block.count(), " threads");
+    maxCtas_ = std::min(gcfg_.maxCtasPerSm,
+                        gcfg_.maxWarpsPerSm / warpsPerCta_);
+    batchActive_ = false;
+    schedBusyUntil_ = {0, 0};
+    schedNext_ = {0, 0};
+    if (mta_)
+        mta_->reset();
+}
+
+bool
+Sm::busy() const
+{
+    return batchActive_ ||
+           (dispatcher_ != nullptr && !dispatcher_->exhausted());
+}
+
+std::vector<int>
+Sm::ctaBarPassed() const
+{
+    std::vector<int> v;
+    v.reserve(ctas_.size());
+    for (const Cta &c : ctas_)
+        v.push_back(c.barPassed);
+    return v;
+}
+
+void
+Sm::launchBatch(Cycle now)
+{
+    auto [first, count] = dispatcher_->take(maxCtas_);
+    if (count == 0)
+        return;
+
+    batch_ = BatchInfo{};
+    batch_.grid = launch_.grid;
+    batch_.block = launch_.block;
+    batch_.numCtas = count;
+
+    const Kernel &k = *launch_.kernel;
+    ctas_.assign(static_cast<std::size_t>(count), Cta{});
+    warps_.clear();
+    long long threads = launch_.block.count();
+    for (int c = 0; c < count; ++c) {
+        Cta &cta = ctas_[static_cast<std::size_t>(c)];
+        cta.id = unlinearize(first + c, launch_.grid);
+        cta.liveWarps = warpsPerCta_;
+        cta.shared.assign(static_cast<std::size_t>(k.sharedBytes), 0);
+        for (int wc = 0; wc < warpsPerCta_; ++wc) {
+            WarpSlot slot;
+            slot.ctaSlot = c;
+            slot.ctaId = cta.id;
+            slot.warpInCta = wc;
+            long long lo = static_cast<long long>(wc) * warpSize;
+            long long hi = std::min<long long>(lo + warpSize, threads);
+            slot.valid = hi <= lo
+                             ? 0
+                             : (hi - lo >= warpSize
+                                    ? fullMask
+                                    : (1u << (hi - lo)) - 1);
+            batch_.warps.push_back(slot);
+
+            Warp w;
+            w.ctaSlot = c;
+            w.warpInCta = wc;
+            w.valid = slot.valid;
+            w.stack.reset(slot.valid);
+            w.regs.assign(
+                static_cast<std::size_t>(k.numRegs) * warpSize, 0);
+            w.preds.assign(static_cast<std::size_t>(k.numPreds), 0);
+            w.regReady.assign(static_cast<std::size_t>(k.numRegs), 0);
+            w.predReady.assign(static_cast<std::size_t>(k.numPreds), 0);
+            w.finished = slot.valid == 0;
+            warps_.push_back(std::move(w));
+        }
+    }
+    liveWarps_ = 0;
+    for (const Warp &w : warps_)
+        if (!w.finished)
+            ++liveWarps_;
+
+    if (tech_ == Technique::Dac) {
+        dacEngine_->startBatch(&batch_);
+        affineWarp_->startBatch(launch_.affineKernel, &batch_,
+                                launch_.params);
+        ++stats_.dacBatches;
+    }
+    batchActive_ = true;
+    (void)now;
+}
+
+void
+Sm::finishBatchIfDone()
+{
+    if (!batchActive_ || liveWarps_ > 0)
+        return;
+    if (tech_ == Technique::Dac) {
+        if (!affineWarp_->finished())
+            return; // let the affine warp run out (it has no consumers
+                    // left only if streams matched; checked below)
+        ensure(dacEngine_->empty(),
+               "DAC queues not drained at batch end: affine and "
+               "non-affine streams disagreed");
+    }
+    batchActive_ = false;
+}
+
+Idx3
+Sm::tidOf(const Warp &w, int lane) const
+{
+    return unlinearize(
+        static_cast<long long>(w.warpInCta) * warpSize + lane,
+        launch_.block);
+}
+
+RegVal &
+Sm::regAt(Warp &w, int reg, int lane)
+{
+    return w.regs[static_cast<std::size_t>(reg) * warpSize +
+                  static_cast<std::size_t>(lane)];
+}
+
+RegVal
+Sm::regAt(const Warp &w, int reg, int lane) const
+{
+    return w.regs[static_cast<std::size_t>(reg) * warpSize +
+                  static_cast<std::size_t>(lane)];
+}
+
+RegVal
+Sm::readOperand(const Warp &w, const Operand &op, int lane) const
+{
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        return regAt(w, op.index, lane);
+      case Operand::Kind::Pred:
+        return (w.preds[static_cast<std::size_t>(op.index)] >> lane) & 1;
+      case Operand::Kind::Imm:
+        return op.imm;
+      case Operand::Kind::Param:
+        return launch_.params->at(static_cast<std::size_t>(op.index));
+      case Operand::Kind::Special: {
+        SpecialReg s = op.sreg;
+        int d = specialRegDim(s);
+        if (isTidReg(s))
+            return tidOf(w, lane).dim(d);
+        if (isCtaidReg(s))
+            return ctas_[static_cast<std::size_t>(w.ctaSlot)].id.dim(d);
+        switch (s) {
+          case SpecialReg::NtidX: return launch_.block.x;
+          case SpecialReg::NtidY: return launch_.block.y;
+          case SpecialReg::NtidZ: return launch_.block.z;
+          case SpecialReg::NctaidX: return launch_.grid.x;
+          case SpecialReg::NctaidY: return launch_.grid.y;
+          case SpecialReg::NctaidZ: return launch_.grid.z;
+          default: panic("unexpected special register");
+        }
+      }
+      case Operand::Kind::None:
+        panic("reading a None operand");
+    }
+    panic("bad operand kind");
+}
+
+ThreadMask
+Sm::effectiveMask(const Warp &w, const Instruction &inst) const
+{
+    ThreadMask m = w.stack.mask() & w.valid;
+    if (inst.guardPred >= 0) {
+        ThreadMask p = w.preds[static_cast<std::size_t>(inst.guardPred)];
+        m &= inst.guardNeg ? ~p : p;
+    }
+    return m;
+}
+
+bool
+Sm::sourcesReady(const Warp &w, const Instruction &inst, Cycle now) const
+{
+    auto ready = [&](const Operand &op) {
+        if (op.isReg())
+            return w.regReady[static_cast<std::size_t>(op.index)] <= now;
+        if (op.isPred())
+            return w.predReady[static_cast<std::size_t>(op.index)] <= now;
+        return true;
+    };
+    if (inst.guardPred >= 0 &&
+        w.predReady[static_cast<std::size_t>(inst.guardPred)] > now) {
+        return false;
+    }
+    for (int i = 0; i < numSources(inst.op); ++i)
+        if (!ready(inst.src[i]))
+            return false;
+    if (!ready(inst.dst))
+        return false;
+    return true;
+}
+
+// --------------------------------------------------------------------------
+// CAE: dynamic affine-vector detection (Collange et al. / Kim et al.)
+// --------------------------------------------------------------------------
+
+namespace
+{
+
+/** Values of active lanes form base + lane*stride? */
+bool
+laneValuesAffine(const std::array<RegVal, warpSize> &vals, ThreadMask mask)
+{
+    int first = -1, second = -1;
+    for (int l = 0; l < warpSize; ++l) {
+        if (!(mask >> l & 1))
+            continue;
+        if (first < 0) {
+            first = l;
+        } else {
+            second = l;
+            break;
+        }
+    }
+    if (second < 0)
+        return true; // zero or one lane: trivially affine
+    RegVal stride = (vals[static_cast<std::size_t>(second)] -
+                     vals[static_cast<std::size_t>(first)]) /
+                    (second - first);
+    for (int l = first; l < warpSize; ++l) {
+        if (!(mask >> l & 1))
+            continue;
+        if (vals[static_cast<std::size_t>(l)] !=
+            vals[static_cast<std::size_t>(first)] + stride * (l - first)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+Sm::caeEligible(const Warp &w, const Instruction &inst,
+                ThreadMask eff) const
+{
+    if (tech_ != Technique::Cae)
+        return false;
+    if (inst.guardPred >= 0)
+        return false;
+    if (eff != w.valid || eff == 0)
+        return false; // divergence: must expand to vectors
+    if (!affineEligibleAlu(inst.op) && inst.op != Opcode::Setp)
+        return false;
+    for (int i = 0; i < numSources(inst.op); ++i) {
+        const Operand &op = inst.src[i];
+        if (op.isPred())
+            return false; // sel: affine units have no predicate input
+        if (op.isImm() || op.isParam())
+            continue;
+        std::array<RegVal, warpSize> vals{};
+        for (int l = 0; l < warpSize; ++l)
+            if (eff >> l & 1)
+                vals[static_cast<std::size_t>(l)] = readOperand(w, op, l);
+        if (!laneValuesAffine(vals, eff))
+            return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------------
+// Execution
+// --------------------------------------------------------------------------
+
+void
+Sm::execAlu(Warp &w, const Instruction &inst, ThreadMask eff, Cycle now)
+{
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!(eff >> lane & 1))
+            continue;
+        RegVal a = numSources(inst.op) > 0
+                       ? readOperand(w, inst.src[0], lane)
+                       : 0;
+        RegVal b = numSources(inst.op) > 1
+                       ? readOperand(w, inst.src[1], lane)
+                       : 0;
+        RegVal c = numSources(inst.op) > 2
+                       ? readOperand(w, inst.src[2], lane)
+                       : 0;
+        regAt(w, inst.dst.index, lane) = aluCompute(inst.op, a, b, c);
+    }
+    w.regReady[static_cast<std::size_t>(inst.dst.index)] =
+        now + static_cast<Cycle>(gcfg_.aluLatency);
+}
+
+void
+Sm::execSetp(Warp &w, const Instruction &inst, ThreadMask eff, Cycle now)
+{
+    ThreadMask bits = 0;
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!(eff >> lane & 1))
+            continue;
+        RegVal a = readOperand(w, inst.src[0], lane);
+        RegVal b = readOperand(w, inst.src[1], lane);
+        if (cmpCompute(inst.cmp, a, b))
+            bits |= 1u << lane;
+    }
+    ThreadMask &p = w.preds[static_cast<std::size_t>(inst.dst.index)];
+    p = (p & ~eff) | bits;
+    w.predReady[static_cast<std::size_t>(inst.dst.index)] =
+        now + static_cast<Cycle>(gcfg_.aluLatency);
+}
+
+void
+Sm::execBranch(Warp &w, const Instruction &inst, ThreadMask stack_mask)
+{
+    int pc = w.stack.pc();
+    if (inst.guardPred < 0) {
+        w.stack.advance(inst.target);
+        return;
+    }
+    ThreadMask p = w.preds[static_cast<std::size_t>(inst.guardPred)];
+    if (inst.guardNeg)
+        p = ~p;
+    ThreadMask taken = stack_mask & p;
+    ThreadMask notTaken = stack_mask & ~taken;
+    if (notTaken == 0) {
+        w.stack.advance(inst.target);
+    } else if (taken == 0) {
+        w.stack.advance(pc + 1);
+    } else {
+        w.stack.diverge(inst.target, pc + 1, inst.reconvergePc, taken,
+                        notTaken);
+    }
+}
+
+bool
+Sm::execMemory(int wi, Warp &w, const Instruction &inst, ThreadMask eff,
+               Cycle now)
+{
+    if (eff == 0)
+        return true; // predicated out: a no-op issue
+
+    // Per-lane byte addresses.
+    std::array<Addr, warpSize> addrs{};
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!(eff >> lane & 1))
+            continue;
+        addrs[static_cast<std::size_t>(lane)] = static_cast<Addr>(
+            readOperand(w, inst.src[0], lane) + inst.addrOffset);
+    }
+
+    if (inst.space == MemSpace::Shared) {
+        Cta &cta = ctas_[static_cast<std::size_t>(w.ctaSlot)];
+        int bytes = memWidthBytes(inst.width);
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!(eff >> lane & 1))
+                continue;
+            Addr a = addrs[static_cast<std::size_t>(lane)];
+            require(a + bytes <= cta.shared.size(),
+                    "shared access out of bounds: ", a, " in ",
+                    cta.shared.size(), " bytes");
+            if (inst.op == Opcode::Ld) {
+                std::uint64_t raw = 0;
+                for (int i = 0; i < bytes; ++i)
+                    raw |= static_cast<std::uint64_t>(
+                               cta.shared[static_cast<std::size_t>(a) + i])
+                           << (8 * i);
+                if (memWidthSigned(inst.width) && bytes < 8) {
+                    std::uint64_t sign = 1ull << (8 * bytes - 1);
+                    if (raw & sign)
+                        raw |= ~((sign << 1) - 1);
+                }
+                regAt(w, inst.dst.index, lane) = static_cast<RegVal>(raw);
+            } else {
+                std::uint64_t v = static_cast<std::uint64_t>(
+                    readOperand(w, inst.src[1], lane));
+                for (int i = 0; i < bytes; ++i)
+                    cta.shared[static_cast<std::size_t>(a) + i] =
+                        static_cast<std::uint8_t>(v >> (8 * i));
+            }
+        }
+        ++stats_.sharedAccesses;
+        if (inst.op == Opcode::Ld) {
+            w.regReady[static_cast<std::size_t>(inst.dst.index)] =
+                now + static_cast<Cycle>(gcfg_.sharedLatency);
+        }
+        return true;
+    }
+
+    // Global memory.
+    std::vector<Addr> lines =
+        coalesce(addrs, eff, memWidthBytes(inst.width));
+
+    if (inst.op == Opcode::St) {
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!(eff >> lane & 1))
+                continue;
+            gmem_.store(addrs[static_cast<std::size_t>(lane)],
+                        readOperand(w, inst.src[1], lane), inst.width);
+        }
+        for (Addr line : lines)
+            mem_.store(id_, line, now);
+        stats_.storeRequests += lines.size();
+        return true;
+    }
+
+    // Load: functional read now; timing via the memory system.
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!(eff >> lane & 1))
+            continue;
+        regAt(w, inst.dst.index, lane) =
+            gmem_.load(addrs[static_cast<std::size_t>(lane)], inst.width);
+    }
+    Cycle ready = now;
+    std::vector<Addr> rest;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        AccessResult r = mem_.load(id_, lines[i], now, Requester::Demand);
+        if (!r.accepted) {
+            rest.assign(lines.begin() + static_cast<long>(i), lines.end());
+            break;
+        }
+        ++stats_.loadRequests;
+        ready = std::max(ready, r.ready);
+        if (mta_)
+            mta_->observe(w.stack.pc(), wi, lines[i], now);
+    }
+    if (!rest.empty()) {
+        // MSHR pressure: the LD/ST unit replays the remaining lines.
+        w.replayLines = std::move(rest);
+        w.replayReady = ready;
+        w.replayDstReg = inst.dst.index;
+        w.replayPc = w.stack.pc();
+        w.regReady[static_cast<std::size_t>(inst.dst.index)] = farFuture;
+    } else {
+        w.regReady[static_cast<std::size_t>(inst.dst.index)] = ready;
+    }
+    return true;
+}
+
+bool
+Sm::execDeq(int wi, Warp &w, const Instruction &inst, ThreadMask eff,
+            Cycle now)
+{
+    int warpIdx = wi;
+    if (inst.op == Opcode::DeqPred) {
+        if (eff == 0)
+            return true;
+        const DacEngine::PredRecord *rec = dacEngine_->frontPred(warpIdx);
+        if (!rec) {
+            ++stats_.deqStallCycles;
+            return false;
+        }
+        ensure(rec->mask == eff,
+               "deq.pred mask mismatch: affine/non-affine divergence skew");
+        ThreadMask &p = w.preds[static_cast<std::size_t>(inst.dst.index)];
+        p = (p & ~rec->mask) | (rec->bits & rec->mask);
+        w.predReady[static_cast<std::size_t>(inst.dst.index)] = now + 1;
+        dacEngine_->popPred(warpIdx);
+        return true;
+    }
+
+    if (eff == 0)
+        return true;
+    const DacEngine::AddrRecord *rec = dacEngine_->frontAddr(warpIdx);
+    if (!rec) {
+        ++stats_.deqStallCycles;
+        return false;
+    }
+    if (inst.op == Opcode::LdDeq) {
+        ensure(rec->isData, "ld.deq found an address-only record");
+        if (rec->earlyFetched && rec->ready > now) {
+            ++stats_.deqStallCycles;
+            return false; // data still in flight
+        }
+        ensure(rec->mask == eff,
+               "ld.deq mask mismatch: affine/non-affine divergence skew");
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!(eff >> lane & 1))
+                continue;
+            regAt(w, inst.dst.index, lane) = gmem_.load(
+                rec->addrs[static_cast<std::size_t>(lane)], inst.width);
+        }
+        if (rec->earlyFetched) {
+            // Data is locked in L1; consume it and release the locks.
+            for (Addr line : rec->lines)
+                mem_.unlock(id_, line);
+            w.regReady[static_cast<std::size_t>(inst.dst.index)] =
+                now + static_cast<Cycle>(gcfg_.l1.hitLatency);
+        } else {
+            // Poorly-coalesced record: the warp loads on demand, with
+            // the LD/ST unit replaying lines the MSHRs cannot take.
+            Cycle ready = now;
+            std::vector<Addr> rest;
+            for (std::size_t i = 0; i < rec->lines.size(); ++i) {
+                AccessResult r = mem_.load(id_, rec->lines[i], now,
+                                           Requester::Demand);
+                if (!r.accepted) {
+                    rest.assign(rec->lines.begin() + static_cast<long>(i),
+                                rec->lines.end());
+                    break;
+                }
+                ++stats_.loadRequests;
+                ready = std::max(ready, r.ready);
+            }
+            if (!rest.empty()) {
+                w.replayLines = std::move(rest);
+                w.replayReady = ready;
+                w.replayDstReg = inst.dst.index;
+                w.replayPc = w.stack.pc();
+                w.regReady[static_cast<std::size_t>(inst.dst.index)] =
+                    farFuture;
+            } else {
+                w.regReady[static_cast<std::size_t>(inst.dst.index)] =
+                    ready;
+            }
+        }
+        dacEngine_->popAddr(warpIdx);
+        return true;
+    }
+
+    // st.deq
+    ensure(!rec->isData, "st.deq found a data record");
+    ensure(rec->mask == eff,
+           "st.deq mask mismatch: affine/non-affine divergence skew");
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!(eff >> lane & 1))
+            continue;
+        gmem_.store(rec->addrs[static_cast<std::size_t>(lane)],
+                    readOperand(w, inst.src[0], lane), inst.width);
+    }
+    for (Addr line : rec->lines)
+        mem_.store(id_, line, now);
+    stats_.storeRequests += rec->lines.size();
+    dacEngine_->popAddr(warpIdx);
+    return true;
+}
+
+void
+Sm::releaseBarrier(int cta_slot)
+{
+    Cta &cta = ctas_[static_cast<std::size_t>(cta_slot)];
+    if (cta.liveWarps == 0 || cta.barArrived < cta.liveWarps)
+        return;
+    for (Warp &w : warps_) {
+        if (w.ctaSlot == cta_slot && w.atBarrier)
+            w.atBarrier = false;
+    }
+    cta.barArrived = 0;
+    if (cta.barEpochCounted)
+        ++cta.barPassed;
+    cta.barEpochCounted = false;
+}
+
+void
+Sm::execBarrier(int wi, Warp &w, const Instruction &inst)
+{
+    Cta &cta = ctas_[static_cast<std::size_t>(w.ctaSlot)];
+    w.atBarrier = true;
+    w.stack.advance(w.stack.pc() + 1);
+    ++cta.barArrived;
+    cta.barEpochCounted = cta.barEpochCounted || inst.epochCounted;
+    releaseBarrier(w.ctaSlot);
+    (void)wi;
+}
+
+void
+Sm::warpFinished(int wi)
+{
+    Warp &w = warps_[static_cast<std::size_t>(wi)];
+    if (w.finished)
+        return;
+    w.finished = true;
+    --liveWarps_;
+    Cta &cta = ctas_[static_cast<std::size_t>(w.ctaSlot)];
+    --cta.liveWarps;
+    releaseBarrier(w.ctaSlot); // a finishing warp may complete a barrier
+}
+
+void
+Sm::execExit(int wi, Warp &w, ThreadMask eff)
+{
+    int pc = w.stack.pc();
+    if (w.stack.retire(eff)) {
+        warpFinished(wi);
+        return;
+    }
+    if (w.stack.pc() == pc)
+        w.stack.advance(pc + 1);
+}
+
+// --------------------------------------------------------------------------
+// Issue
+// --------------------------------------------------------------------------
+
+bool
+Sm::tryIssue(int wi, int sched, Cycle now)
+{
+    Warp &w = warps_[static_cast<std::size_t>(wi)];
+    if (w.finished || w.atBarrier || !w.replayLines.empty())
+        return false;
+    const Kernel &k = *launch_.kernel;
+    int pc = w.stack.pc();
+    ensure(pc >= 0 && pc < k.numInsts(), "warp PC out of range");
+    const Instruction &inst = k.insts[static_cast<std::size_t>(pc)];
+
+    if (!sourcesReady(w, inst, now))
+        return false;
+
+    ThreadMask stackMask = w.stack.mask() & w.valid;
+    ThreadMask eff = effectiveMask(w, inst);
+
+    // Memory/deq structural checks happen inside exec; on failure the
+    // instruction has not issued.
+    bool issued = true;
+    bool cae = false;
+    switch (inst.op) {
+      case Opcode::Bra:
+        execBranch(w, inst, stackMask);
+        break;
+      case Opcode::Bar:
+        execBarrier(wi, w, inst);
+        break;
+      case Opcode::Exit:
+        execExit(wi, w, eff);
+        break;
+      case Opcode::Ld:
+      case Opcode::St:
+        issued = execMemory(wi, w, inst, eff, now);
+        if (issued)
+            w.stack.advance(pc + 1);
+        break;
+      case Opcode::LdDeq:
+      case Opcode::StDeq:
+      case Opcode::DeqPred:
+        issued = execDeq(wi, w, inst, eff, now);
+        if (issued)
+            w.stack.advance(pc + 1);
+        break;
+      case Opcode::Setp:
+        cae = caeEligible(w, inst, eff);
+        execSetp(w, inst, eff, now);
+        w.stack.advance(pc + 1);
+        break;
+      case Opcode::EnqData:
+      case Opcode::EnqAddr:
+      case Opcode::EnqPred:
+        panic("enq instruction in the non-affine stream");
+      default:
+        cae = caeEligible(w, inst, eff);
+        execAlu(w, inst, eff, now);
+        w.stack.advance(pc + 1);
+        break;
+    }
+    if (!issued)
+        return false;
+
+    DACSIM_TRACE_LOG("sm%-2d cyc %-8llu w%-3d pc %-3d %s%s", id_,
+                     static_cast<unsigned long long>(now), wi, pc,
+                     instToString(inst, k.params).c_str(),
+                     cae ? "   [affine unit]" : "");
+
+    // ----- accounting ------------------------------------------------------
+    ++stats_.warpInsts;
+    ++progress_;
+    if (cae) {
+        ++stats_.caeAffineInsts;
+        ++stats_.affineCoveredInsts;
+        stats_.laneOps += 2; // base + offset on the affine unit
+    } else {
+        stats_.laneOps += static_cast<std::uint64_t>(popcount(eff));
+        if (launch_.coverageMarks && (*launch_.coverageMarks)[
+                static_cast<std::size_t>(pc)]) {
+            ++stats_.affineCoveredInsts;
+        }
+    }
+    int regOps = inst.dst.isReg() || inst.dst.isPred() ? 1 : 0;
+    for (int i = 0; i < numSources(inst.op); ++i)
+        if (inst.src[i].isReg() || inst.src[i].isPred())
+            ++regOps;
+    stats_.regFileAccesses += static_cast<std::uint64_t>(regOps);
+
+    schedBusyUntil_[static_cast<std::size_t>(sched)] =
+        now + static_cast<Cycle>(cae ? ccfg_.affineIssueCycles
+                                     : gcfg_.sched.warpIssueCycles);
+    finishBatchIfDone();
+    return true;
+}
+
+void
+Sm::serviceReplays(Cycle now)
+{
+    for (Warp &w : warps_) {
+        if (w.replayLines.empty())
+            continue;
+        // The LD/ST unit replays pending line transactions.
+        while (!w.replayLines.empty()) {
+            Addr line = w.replayLines.front();
+            AccessResult r = mem_.load(id_, line, now, Requester::Demand);
+            if (!r.accepted)
+                break;
+            ++stats_.loadRequests;
+            w.replayReady = std::max(w.replayReady, r.ready);
+            if (mta_) {
+                int widx = static_cast<int>(&w - warps_.data());
+                mta_->observe(w.replayPc, widx, line, now);
+            }
+            w.replayLines.erase(w.replayLines.begin());
+            ++progress_;
+        }
+        if (w.replayLines.empty()) {
+            w.regReady[static_cast<std::size_t>(w.replayDstReg)] =
+                w.replayReady;
+            w.replayDstReg = -1;
+        }
+    }
+}
+
+void
+Sm::cycle(Cycle now)
+{
+    if (!batchActive_) {
+        if (dispatcher_ && !dispatcher_->exhausted())
+            launchBatch(now);
+        if (!batchActive_)
+            return;
+    }
+
+    if (tech_ == Technique::Dac)
+        dacEngine_->cycle(now, ctaBarPassed());
+
+    serviceReplays(now);
+
+    const int numWarps = static_cast<int>(warps_.size());
+    for (int s = 0; s < gcfg_.sched.schedulersPerSm; ++s) {
+        if (schedBusyUntil_[static_cast<std::size_t>(s)] > now)
+            continue;
+
+        // The affine warp issues on scheduler 0 with priority: it is
+        // one warp serving all others and must run ahead.
+        if (s == 0 && tech_ == Technique::Dac &&
+            !affineWarp_->finished() && affineWarp_->ready(now)) {
+            affineWarp_->step(now);
+            ++progress_;
+            schedBusyUntil_[0] =
+                now + static_cast<Cycle>(gcfg_.sched.warpIssueCycles);
+            finishBatchIfDone();
+            continue;
+        }
+
+        // Greedy round-robin over this scheduler's warps (warp wi is
+        // handled by scheduler wi % schedulersPerSm). Greedy: stay on
+        // the same warp until it stalls, then move on — a stand-in for
+        // the two-level active scheduler [20].
+        const int nsched = gcfg_.sched.schedulersPerSm;
+        const int count = s < numWarps ? (numWarps - s + nsched - 1) / nsched
+                                       : 0;
+        for (int t = 0; t < count; ++t) {
+            int k = (schedNext_[static_cast<std::size_t>(s)] + t) % count;
+            int wi = k * nsched + s;
+            if (tryIssue(wi, s, now)) {
+                schedNext_[static_cast<std::size_t>(s)] = k;
+                break;
+            }
+        }
+    }
+
+    finishBatchIfDone();
+}
+
+} // namespace dacsim

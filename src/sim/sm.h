@@ -1,0 +1,212 @@
+/**
+ * @file
+ * One streaming multiprocessor: warp contexts, SIMT stacks,
+ * scoreboards, two warp schedulers, barrier handling, CTA batch
+ * residency, and the technique hooks (CAE affine units, MTA
+ * prefetcher, DAC engine + affine warp).
+ */
+
+#ifndef DACSIM_SIM_SM_H
+#define DACSIM_SIM_SM_H
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "baselines/mta.h"
+#include "common/config.h"
+#include "common/stats.h"
+#include "dac/affine_warp.h"
+#include "dac/engine.h"
+#include "isa/instruction.h"
+#include "mem/gpu_memory.h"
+#include "mem/mem_system.h"
+#include "sim/batch.h"
+#include "sim/simt_stack.h"
+
+namespace dacsim
+{
+
+/** Everything an SM needs to run one kernel launch. */
+struct LaunchInfo
+{
+    /** The stream ordinary warps execute (the original kernel, or the
+     * non-affine stream under DAC). */
+    const Kernel *kernel = nullptr;
+    /** The affine stream (DAC only). */
+    const Kernel *affineKernel = nullptr;
+    Dim3 grid;
+    Dim3 block;
+    const std::vector<RegVal> *params = nullptr;
+    /**
+     * Optional per-PC marks: instructions counted toward
+     * RunStats::affineCoveredInsts when issued (used to measure DAC's
+     * affine coverage on a baseline run; Fig 18).
+     */
+    const std::vector<bool> *coverageMarks = nullptr;
+};
+
+/** Hands out CTAs to SMs; shared by all SMs of a launch. */
+class CtaDispatcher
+{
+  public:
+    CtaDispatcher(long long total, int num_sms)
+        : total_(total), numSms_(std::max(1, num_sms))
+    {
+    }
+
+    /**
+     * Claim up to @p n CTAs. Small grids are spread across the SMs
+     * (as the hardware's round-robin CTA issue does) rather than
+     * packed onto the first few.
+     */
+    std::pair<long long, int>
+    take(int n)
+    {
+        long long remaining = total_ - next_;
+        long long fair = (remaining + numSms_ - 1) / numSms_;
+        long long grant;
+        if (remaining >= numSms_) {
+            // Keep batches at least half-full so the per-batch fixed
+            // costs (e.g. DAC's affine warp) amortize, while still
+            // spreading mid-sized grids across the SMs.
+            grant = std::clamp<long long>(fair, (n + 1) / 2, n);
+        } else {
+            grant = 1; // spread the tail
+        }
+        int got = static_cast<int>(std::min(grant, remaining));
+        long long first = next_;
+        next_ += got;
+        return {first, got};
+    }
+
+    bool exhausted() const { return next_ >= total_; }
+
+  private:
+    long long total_;
+    int numSms_;
+    long long next_ = 0;
+};
+
+class Sm
+{
+  public:
+    Sm(int id, const GpuConfig &gcfg, Technique tech, const DacConfig &dcfg,
+       const CaeConfig &ccfg, const MtaConfig &mcfg, MemorySystem &mem,
+       GpuMemory &gmem, RunStats &stats);
+
+    void beginKernel(const LaunchInfo &launch, CtaDispatcher *dispatcher);
+
+    /** True while a batch is resident or more CTAs can be claimed. */
+    bool busy() const;
+
+    void cycle(Cycle now);
+
+    /** Monotone counter for the top-level deadlock watchdog. */
+    std::uint64_t progress() const { return progress_; }
+
+  private:
+    struct Cta
+    {
+        Idx3 id;
+        int liveWarps = 0;
+        int barArrived = 0;
+        int barPassed = 0;           ///< epoch-counted barriers passed
+        bool barEpochCounted = false; ///< flag of the barrier being waited
+        std::vector<std::uint8_t> shared;
+    };
+
+    struct Warp
+    {
+        int ctaSlot = 0;
+        int warpInCta = 0;
+        ThreadMask valid = 0;
+        SimtStack stack;
+        std::vector<RegVal> regs;       ///< numRegs x warpSize
+        std::vector<ThreadMask> preds;  ///< bit-per-lane predicate regs
+        std::vector<Cycle> regReady;
+        std::vector<Cycle> predReady;
+        bool finished = true;
+        bool atBarrier = false;
+        /** A load whose line transactions were only partially accepted
+         * (MSHR pressure); the LD/ST unit replays the rest. */
+        std::vector<Addr> replayLines;
+        Cycle replayReady = 0;
+        int replayDstReg = -1;
+        int replayPc = -1;
+    };
+
+    // ----- construction-time state -----------------------------------------
+    int id_;
+    const GpuConfig &gcfg_;
+    Technique tech_;
+    const DacConfig &dcfg_;
+    const CaeConfig &ccfg_;
+    MemorySystem &mem_;
+    GpuMemory &gmem_;
+    RunStats &stats_;
+
+    std::unique_ptr<DacEngine> dacEngine_;
+    std::unique_ptr<AffineWarp> affineWarp_;
+    std::unique_ptr<MtaPrefetcher> mta_;
+
+    // ----- per-launch state -------------------------------------------------
+    LaunchInfo launch_;
+    CtaDispatcher *dispatcher_ = nullptr;
+    int warpsPerCta_ = 0;
+    int maxCtas_ = 0;
+
+    // ----- per-batch state ---------------------------------------------------
+    bool batchActive_ = false;
+    BatchInfo batch_;
+    std::vector<Cta> ctas_;
+    std::vector<Warp> warps_;
+    int liveWarps_ = 0;
+
+    std::array<Cycle, 2> schedBusyUntil_{};
+    std::array<int, 2> schedNext_{}; ///< round-robin pointers
+    std::uint64_t progress_ = 0;
+
+    // ----- batch management ----------------------------------------------
+    void launchBatch(Cycle now);
+    void finishBatchIfDone();
+    std::vector<int> ctaBarPassed() const;
+
+    // ----- interpreter helpers ---------------------------------------------
+    Idx3 tidOf(const Warp &w, int lane) const;
+    RegVal readOperand(const Warp &w, const Operand &op, int lane) const;
+    RegVal &regAt(Warp &w, int reg, int lane);
+    RegVal regAt(const Warp &w, int reg, int lane) const;
+    ThreadMask effectiveMask(const Warp &w, const Instruction &inst) const;
+
+    // ----- issue logic -------------------------------------------------------
+    /** Attempt to issue warp @p wi on scheduler @p sched. */
+    bool tryIssue(int wi, int sched, Cycle now);
+    bool sourcesReady(const Warp &w, const Instruction &inst,
+                      Cycle now) const;
+    /** Technique: can/should this inst issue on a CAE affine unit? */
+    bool caeEligible(const Warp &w, const Instruction &inst,
+                     ThreadMask eff) const;
+
+    void execAlu(Warp &w, const Instruction &inst, ThreadMask eff,
+                 Cycle now);
+    void execSetp(Warp &w, const Instruction &inst, ThreadMask eff,
+                  Cycle now);
+    void execBranch(Warp &w, const Instruction &inst, ThreadMask eff);
+    /** Returns false when the memory inst cannot issue this cycle. */
+    bool execMemory(int wi, Warp &w, const Instruction &inst,
+                    ThreadMask eff, Cycle now);
+    bool execDeq(int wi, Warp &w, const Instruction &inst, ThreadMask eff,
+                 Cycle now);
+    void execBarrier(int wi, Warp &w, const Instruction &inst);
+    void execExit(int wi, Warp &w, ThreadMask eff);
+    void releaseBarrier(int cta_slot);
+    void warpFinished(int wi);
+
+    void serviceReplays(Cycle now);
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_SIM_SM_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Forward declarations of the 29 benchmark constructors (Table 2).
+ */
+
+#ifndef DACSIM_WORKLOADS_REGISTRY_H
+#define DACSIM_WORKLOADS_REGISTRY_H
+
+#include "workloads/workload.h"
+
+namespace dacsim::workloads
+{
+
+// Compute intensive (11).
+Workload makeCP();   ///< coulombic potential
+Workload makeSTO();  ///< storeGPU
+Workload makeAES();  ///< AES encryption
+Workload makeMQ();   ///< mri-q
+Workload makeTP();   ///< tpacf
+Workload makeFFT();  ///< fast Fourier transform
+Workload makeBP();   ///< backprop
+Workload makeSR1();  ///< srad v1
+Workload makeHS();   ///< hotspot
+Workload makePF();   ///< pathfinder
+Workload makeBS();   ///< blackscholes
+
+// Memory intensive (18).
+Workload makeLIB();  ///< libor
+Workload makeSG();   ///< sgemm
+Workload makeST();   ///< stencil
+Workload makeIMG();  ///< imghisto
+Workload makeHI();   ///< histogram
+Workload makeLBM();  ///< lattice-Boltzmann
+Workload makeSPV();  ///< spmv
+Workload makeBT();   ///< b+tree
+Workload makeLUD();  ///< LU decomposition
+Workload makeSR2();  ///< srad v2
+Workload makeSC();   ///< streamcluster
+Workload makeKM();   ///< kmeans
+Workload makeBFS();  ///< breadth-first search
+Workload makeCFD();  ///< cfd solver
+Workload makeMC();   ///< monte carlo
+Workload makeMT();   ///< mersenne twister
+Workload makeSP();   ///< scalar product
+Workload makeCS();   ///< convolution separable
+
+} // namespace dacsim::workloads
+
+#endif // DACSIM_WORKLOADS_REGISTRY_H

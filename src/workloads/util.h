@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for workload construction: deterministic data
+ * generation and sizing.
+ */
+
+#ifndef DACSIM_WORKLOADS_UTIL_H
+#define DACSIM_WORKLOADS_UTIL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/gpu_memory.h"
+#include "workloads/workload.h"
+
+namespace dacsim::workloads
+{
+
+/** Deterministic xorshift64* generator for input data. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : s_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        s_ ^= s_ >> 12;
+        s_ ^= s_ << 25;
+        s_ ^= s_ >> 27;
+        return s_ * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform in [lo, hi). */
+    std::int32_t
+    range(std::int32_t lo, std::int32_t hi)
+    {
+        return lo + static_cast<std::int32_t>(
+                        next() % static_cast<std::uint64_t>(hi - lo));
+    }
+
+  private:
+    std::uint64_t s_;
+};
+
+/** Scale a count (CTAs, rows, ...), keeping it at least @p min_value. */
+inline long long
+scaled(long long base, double scale, long long min_value = 1)
+{
+    long long v = static_cast<long long>(static_cast<double>(base) * scale);
+    return std::max(v, min_value);
+}
+
+/** Allocate and fill an i32 device array with random values. */
+inline Addr
+allocRandomI32(GpuMemory &m, Rng &rng, std::size_t count,
+               std::int32_t lo = -1000, std::int32_t hi = 1000)
+{
+    Addr base = m.alloc(count * 4);
+    std::vector<std::int32_t> vals(count);
+    for (auto &v : vals)
+        v = rng.range(lo, hi);
+    m.writeI32Array(base, vals);
+    return base;
+}
+
+/** Allocate a zero-filled i32 device array. */
+inline Addr
+allocZeroI32(GpuMemory &m, std::size_t count)
+{
+    return m.alloc(count * 4);
+}
+
+/** Allocate and fill with a function of the index. */
+template <typename F>
+Addr
+allocI32(GpuMemory &m, std::size_t count, F f)
+{
+    Addr base = m.alloc(count * 4);
+    std::vector<std::int32_t> vals(count);
+    for (std::size_t i = 0; i < count; ++i)
+        vals[i] = f(i);
+    m.writeI32Array(base, vals);
+    return base;
+}
+
+} // namespace dacsim::workloads
+
+#endif // DACSIM_WORKLOADS_UTIL_H

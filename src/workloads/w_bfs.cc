@@ -1,0 +1,115 @@
+/**
+ * @file
+ * BFS — breadth-first search (Rodinia). Level-synchronous bottom-up
+ * traversal: each launch processes one frontier level; a thread owns
+ * one vertex, and if the vertex is unvisited it scans its incoming
+ * edges (data-dependent bounds and gather addresses) looking for a
+ * frontier neighbour. Nearly every load is indirect and the edge
+ * loop is data-dependent, so DAC can decouple almost nothing — the
+ * paper's canonical low-coverage benchmark (Section 5.5).
+ *
+ * Determinism: within one launch, threads write only their own
+ * dist[v] with level+1; concurrent reads of a neighbour's dist can
+ * observe old (unvisited) or new (level+1) values, and neither
+ * triggers a visit this level, so the result is schedule-independent.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel bfs
+.param rowPtr adj dist n level
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // vertex v
+    shl r2, r1, 2;
+    add r3, $dist, r2;
+    ld.global.s32 r4, [r3];      // dist[v]
+    setp.ge p1, r4, 0;
+    @p1 bra DONE;                // already visited
+    add r5, $rowPtr, r2;
+    ld.global.u32 r6, [r5];      // edge begin (data-dependent bound)
+    ld.global.u32 r7, [r5+4];    // edge end
+    mov r8, 0;                   // found
+EDGE:
+    setp.ge p2, r6, r7;
+    @p2 bra CHECK;
+    shl r9, r6, 2;
+    add r9, $adj, r9;
+    ld.global.u32 r10, [r9];     // neighbour u (indirect)
+    shl r11, r10, 2;
+    add r11, $dist, r11;
+    ld.global.s32 r12, [r11];    // dist[u] (gather)
+    setp.eq p3, r12, $level;
+    @!p3 bra SKIP;
+    mov r8, 1;
+SKIP:
+    add r6, r6, 1;
+    bra EDGE;
+CHECK:
+    setp.eq p4, r8, 0;
+    @p4 bra DONE;
+    add r13, $level, 1;
+    st.global.u32 [r3], r13;     // claim v at level+1
+DONE:
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeBFS()
+{
+    Workload w;
+    w.name = "BFS";
+    w.fullName = "breadth-first search";
+    w.suite = 'C';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(252);
+        const int ctas = static_cast<int>(scaled(90, scale, 15));
+        const int block = 128;
+        const long long n = static_cast<long long>(ctas) * block;
+        const int degree = 6;
+        const int levels = 5;
+
+        // Random regular-ish graph in CSR (incoming edges).
+        Addr rowPtr = allocI32(m, static_cast<std::size_t>(n + 1),
+                               [&](std::size_t i) {
+                                   return static_cast<std::int32_t>(
+                                       i * degree);
+                               });
+        Addr adj = allocI32(m, static_cast<std::size_t>(n) * degree,
+                            [&](std::size_t) {
+                                return rng.range(
+                                    0, static_cast<std::int32_t>(n));
+                            });
+        // dist: -1 everywhere except a handful of sources at level 0.
+        Addr dist = allocI32(m, static_cast<std::size_t>(n),
+                             [&](std::size_t i) {
+                                 return i % 577 == 0 ? 0 : -1;
+                             });
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        for (int l = 0; l < levels; ++l) {
+            p.launchParams.push_back(
+                {static_cast<RegVal>(rowPtr), static_cast<RegVal>(adj),
+                 static_cast<RegVal>(dist), static_cast<RegVal>(n), l});
+        }
+        p.outputs = {{dist, static_cast<std::uint64_t>(n * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * BP — backprop (Rodinia). Forward pass of one layer with the
+ * original's 16x16 thread blocks over a 2-D neuron grid: neuron
+ * n = y*W + x with row width W much larger than the 16-wide block.
+ * A warp covers two 16-element row fragments, so its addresses are
+ * NOT a single per-lane stride — the case the paper notes defeats
+ * CAE's one-offset affine unit for BP (Section 5.4) — while DAC's
+ * per-dimension tuple offsets (tid.x and tid.y each have their own)
+ * still cover it. Weights are stored [k][n] so accesses stay
+ * coalesced (two lines per warp); the input activations are uniform
+ * scalar loads.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel bp
+.param weights input out w n k
+    mul r0, ctaid.x, 16;
+    add r1, tid.x, r0;          // x
+    mul r2, ctaid.y, 16;
+    add r2, r2, tid.y;          // y
+    mul r3, r2, $w;
+    add r3, r3, r1;             // neuron id = y*W + x
+    mov r4, 0;                  // kk
+    mov r5, 0;                  // acc
+    shl r6, r3, 2;
+    add r6, $weights, r6;       // &weights[0][neuron]
+    mov r9, $input;
+    mul r7, $n, 4;              // weight row stride (N neurons)
+NEURON:
+    ld.global.s32 r11, [r6];    // weights[kk][neuron] (2-D affine)
+    ld.global.s32 r12, [r9];    // input[kk] (uniform address)
+    mul r13, r11, r12;
+    shr r13, r13, 4;
+    mul r17, r13, r13;
+    shr r17, r17, 9;
+    sub r18, r13, r17;
+    mul r18, r18, 27;
+    shr r18, r18, 5;
+    mul r19, r18, r18;
+    shr r19, r19, 11;
+    add r20, r18, r19;
+    mul r20, r20, 53;
+    shr r20, r20, 6;
+    add r5, r5, r20;
+    add r6, r6, r7;
+    add r9, r9, 4;
+    add r4, r4, 1;
+    setp.lt p0, r4, $k;
+    @p0 bra NEURON;
+    shl r15, r3, 2;
+    add r16, $out, r15;
+    st.global.u32 [r16], r5;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeBP()
+{
+    Workload w;
+    w.name = "BP";
+    w.fullName = "backprop";
+    w.suite = 'C';
+    w.memoryIntensive = false;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(707);
+        const int gx = 16;   // 256-wide rows
+        const int gy = static_cast<int>(scaled(6, scale, 3));
+        const int k = 24;
+        const int width = gx * 16;
+        const long long neurons =
+            static_cast<long long>(width) * gy * 16;
+
+        Addr weights = allocRandomI32(
+            m, rng, static_cast<std::size_t>(neurons * k), -64, 64);
+        Addr input = allocRandomI32(m, rng, static_cast<std::size_t>(k),
+                                    -64, 64);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(neurons));
+
+        p.kernel = assemble(src);
+        p.grid = {gx, gy, 1};
+        p.block = {16, 16, 1};
+        p.params = {static_cast<RegVal>(weights),
+                    static_cast<RegVal>(input), static_cast<RegVal>(out),
+                    width, static_cast<RegVal>(neurons), k};
+        p.outputs = {{out, static_cast<std::uint64_t>(neurons * 4)}};
+        p.launches = 3;
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * BS — blackscholes (Parboil/CUDA SDK). One option per thread: load
+ * price and strike, evaluate a long rational-polynomial approximation
+ * (the CND surrogate, ~30 integer ops), store call and put values.
+ * The arithmetic chain dwarfs the streaming accesses: compute-bound.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel bs
+.param price strike call put n
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;
+    shl r2, r1, 2;
+    add r3, $price, r2;
+    ld.global.u32 r4, [r3];      // S
+    add r5, $strike, r2;
+    ld.global.u32 r6, [r5];      // X
+    // d = (S - X) scaled; polynomial CND surrogate.
+    sub r7, r4, r6;
+    mul r8, r7, r7;
+    shr r8, r8, 6;               // d^2
+    mul r9, r8, r7;
+    shr r9, r9, 8;               // d^3
+    mul r10, r9, r7;
+    shr r10, r10, 10;            // d^4
+    mul r11, r7, 319;
+    shr r11, r11, 8;
+    mul r12, r8, 221;
+    shr r12, r12, 9;
+    mul r13, r9, 127;
+    shr r13, r13, 10;
+    mul r14, r10, 33;
+    shr r14, r14, 11;
+    add r15, r11, r12;
+    sub r15, r15, r13;
+    add r15, r15, r14;           // cnd(d) surrogate
+    abs r16, r15;
+    add r16, r16, 1;
+    mul r17, r4, r15;
+    div r18, r17, r16;           // S * cnd / |cnd|+1
+    mul r19, r6, 243;
+    shr r19, r19, 8;             // X * exp(-rT) surrogate
+    mul r20, r19, r15;
+    div r21, r20, r16;
+    sub r22, r18, r21;           // call
+    mul r27, r22, r22;
+    shr r27, r27, 7;
+    add r28, r22, r27;
+    mul r28, r28, 61;
+    shr r28, r28, 6;
+    mul r29, r28, r28;
+    shr r29, r29, 9;
+    sub r22, r28, r29;           // refined call
+    sub r23, r19, r4;
+    add r24, r23, r22;           // put via parity
+    add r25, $call, r2;
+    st.global.u32 [r25], r22;
+    add r26, $put, r2;
+    st.global.u32 [r26], r24;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeBS()
+{
+    Workload w;
+    w.name = "BS";
+    w.fullName = "blackscholes";
+    w.suite = 'P';
+    w.memoryIntensive = false;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(111);
+        const int ctas = static_cast<int>(scaled(120, scale, 15));
+        const int block = 128;
+        const long long n = static_cast<long long>(ctas) * block;
+
+        Addr price = allocRandomI32(m, rng, static_cast<std::size_t>(n), 1,
+                                    1 << 16);
+        Addr strike = allocRandomI32(m, rng, static_cast<std::size_t>(n),
+                                     1, 1 << 16);
+        Addr call = allocZeroI32(m, static_cast<std::size_t>(n));
+        Addr put = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(price), static_cast<RegVal>(strike),
+                    static_cast<RegVal>(call), static_cast<RegVal>(put),
+                    static_cast<RegVal>(n)};
+        p.outputs = {{call, static_cast<std::uint64_t>(n * 4)},
+                     {put, static_cast<std::uint64_t>(n * 4)}};
+        // Several launches: the SDK benchmark iterates pricing.
+        p.launches = 2;
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

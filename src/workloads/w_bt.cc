@@ -1,0 +1,100 @@
+/**
+ * @file
+ * BT — b+tree (Rodinia). Key lookups over a 4-ary index tree stored
+ * as an explicit child-pointer array: every level's node address
+ * depends on the pointer loaded at the previous level, so the chase
+ * is inherently non-affine — only the initial key load and the final
+ * result store decouple, and DAC sees little benefit (paper
+ * Section 5.5's BT discussion).
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel bt
+.param tree keys out levels
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;
+    shl r2, r1, 2;
+    add r3, $keys, r2;
+    ld.global.u32 r4, [r3];      // search key (affine address)
+    mov r5, 0;                   // node index
+    mov r6, 0;                   // level
+DESCEND:
+    // fanout slot from the key bits at this level (data-dependent).
+    shl r7, r6, 1;
+    shr r8, r4, r7;
+    and r8, r8, 3;
+    shl r9, r5, 2;               // node*4 children
+    add r9, r9, r8;
+    shl r9, r9, 2;
+    add r9, $tree, r9;
+    ld.global.u32 r5, [r9];      // next node (pointer chase)
+    add r6, r6, 1;
+    setp.lt p0, r6, $levels;
+    @p0 bra DESCEND;
+    add r10, $out, r2;
+    st.global.u32 [r10], r5;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeBT()
+{
+    Workload w;
+    w.name = "BT";
+    w.fullName = "b+tree";
+    w.suite = 'C';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(191);
+        const int ctas = static_cast<int>(scaled(90, scale, 15));
+        const int block = 128;
+        const int levels = 6;
+        const long long n = static_cast<long long>(ctas) * block;
+
+        // Complete 4-ary tree in index form: node i's children are
+        // 4i+1 .. 4i+4 while interior, scrambled leaf payloads after.
+        long long interior = 0, width = 1;
+        for (int l = 0; l < levels; ++l) {
+            interior += width;
+            width *= 4;
+        }
+        long long treeNodes = interior + width;
+        Addr tree = allocI32(
+            m, static_cast<std::size_t>(treeNodes * 4),
+            [&](std::size_t slot) {
+                long long node = static_cast<long long>(slot) / 4;
+                long long child = 4 * node + 1 +
+                                  static_cast<long long>(slot % 4);
+                if (child < treeNodes)
+                    return static_cast<std::int32_t>(child);
+                return rng.range(0, 1 << 20); // leaf payload
+            });
+        Addr keys = allocRandomI32(m, rng, static_cast<std::size_t>(n), 0,
+                                   1 << 30);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(tree), static_cast<RegVal>(keys),
+                    static_cast<RegVal>(out), levels};
+        p.outputs = {{out, static_cast<std::uint64_t>(n * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

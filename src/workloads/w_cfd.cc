@@ -1,0 +1,90 @@
+/**
+ * @file
+ * CFD — cfd solver (Rodinia). Unstructured-mesh Euler flux update:
+ * each thread owns a cell, loads its four neighbour indices from the
+ * connectivity array (affine, decoupled), gathers the neighbours'
+ * conserved variables (indirect, non-affine), and accumulates the
+ * flux — the half-affine / half-gather mix the paper reports for
+ * CFD. Memory-intensive.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel cfd
+.param neigh rho out n
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // cell
+    shl r2, r1, 2;
+    add r3, $rho, r2;
+    ld.global.u32 r4, [r3];      // own density (affine)
+    shl r5, r1, 4;               // 4 neighbours * 4B
+    add r5, $neigh, r5;
+    mov r6, 0;                   // face
+    mov r7, 0;                   // flux accum
+FACE:
+    ld.global.u32 r8, [r5];      // neighbour index (affine)
+    shl r9, r8, 2;
+    add r9, $rho, r9;
+    ld.global.u32 r10, [r9];     // neighbour density (gather)
+    sub r11, r10, r4;
+    mul r12, r11, 3;
+    shr r12, r12, 2;
+    add r7, r7, r12;
+    add r5, r5, 4;
+    add r6, r6, 1;
+    setp.lt p0, r6, 4;
+    @p0 bra FACE;
+    add r13, r4, r7;
+    add r14, $out, r2;
+    st.global.u32 [r14], r13;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeCFD()
+{
+    Workload w;
+    w.name = "CFD";
+    w.fullName = "cfd solver";
+    w.suite = 'C';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(262);
+        const int ctas = static_cast<int>(scaled(90, scale, 15));
+        const int block = 128;
+        const long long n = static_cast<long long>(ctas) * block;
+
+        Addr neigh = allocI32(m, static_cast<std::size_t>(n) * 4,
+                              [&](std::size_t) {
+                                  return rng.range(
+                                      0, static_cast<std::int32_t>(n));
+                              });
+        Addr rho = allocRandomI32(m, rng, static_cast<std::size_t>(n), 1,
+                                  1 << 16);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(neigh), static_cast<RegVal>(rho),
+                    static_cast<RegVal>(out), static_cast<RegVal>(n)};
+        p.outputs = {{out, static_cast<std::uint64_t>(n * 4)}};
+        p.launches = 2;
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

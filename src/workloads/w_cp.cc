@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CP — coulombic potential (GPGPU-sim suite). Each thread owns one
+ * grid point and loops over the atom list, accumulating a distance-
+ * weighted charge. The atom array is read through scalar (uniform)
+ * addresses that hit in L1, so the kernel is compute-bound; the loop
+ * control and atom addressing are affine and decouple under DAC.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel cp
+.param atoms out numAtoms
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;         // grid point index
+    mov r2, 0;                 // energy accumulator
+    mov r3, 0;                 // j
+LOOP:
+    shl r20, r3, 3;            // j*8 (recomputed per iteration)
+    add r4, $atoms, r20;       // &atoms[j]
+    ld.global.u32 r5, [r4];    // atom position (uniform address)
+    ld.global.u32 r6, [r4+4];  // atom charge
+    sub r7, r1, r5;            // dx (depends on loaded data)
+    mul r8, r7, r7;            // dx^2
+    add r8, r8, 1;
+    mul r9, r6, r8;            // charge * (dx^2+1): integer surrogate
+    shr r9, r9, 3;
+    add r2, r2, r9;
+    add r3, r3, 1;
+    setp.lt p0, r3, $numAtoms;
+    @p0 bra LOOP;
+    shl r10, r1, 2;
+    add r11, $out, r10;
+    st.global.u32 [r11], r2;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeCP()
+{
+    Workload w;
+    w.name = "CP";
+    w.fullName = "coulombic potential";
+    w.suite = 'G';
+    w.memoryIntensive = false;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(101);
+        const int ctas = static_cast<int>(scaled(120, scale, 15));
+        const int block = 128;
+        const int atoms = 96;
+        const long long points = static_cast<long long>(ctas) * block;
+
+        Addr atomArr = allocRandomI32(m, rng, 2ull * atoms, 0, 4096);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(points));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(atomArr), static_cast<RegVal>(out),
+                    atoms};
+        p.outputs = {{out, static_cast<std::uint64_t>(points * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

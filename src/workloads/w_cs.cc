@@ -1,0 +1,90 @@
+/**
+ * @file
+ * CS — convolution separable (CUDA SDK), the column pass: each thread
+ * produces one output pixel by combining the `taps` pixels directly
+ * below it, so every tap reads a *different image row* — a fresh
+ * cache line per iteration, streaming the whole image `taps` times
+ * (with cross-CTA row reuse in L2). One mad per load: memory-
+ * intensive and, per the paper, one of DAC's largest wins.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel cs
+.param in coef out taps rowStride
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // column x
+    mov r2, ctaid.y;             // output row y
+    mul r3, r2, $rowStride;
+    add r3, r3, r1;
+    shl r3, r3, 2;               // byte offset of (y, x)
+    add r4, $in, r3;             // window cursor (walks down rows)
+    mul r5, $rowStride, 64;      // dilated taps: 16 rows apart
+    mov r6, $coef;
+    mov r7, 0;                   // tap
+    mov r8, 0;                   // acc
+TAP:
+    ld.global.u32 r9, [r4];      // in[y+tap][x] (fresh row each tap)
+    ld.global.s32 r10, [r6];     // coefficient (uniform)
+    mul r11, r9, r10;
+    shr r11, r11, 6;
+    add r8, r8, r11;
+    add r4, r4, r5;
+    add r6, r6, 4;
+    add r7, r7, 1;
+    setp.lt p1, r7, $taps;
+    @p1 bra TAP;
+    add r12, $out, r3;
+    st.global.u32 [r12], r8;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeCS()
+{
+    Workload w;
+    w.name = "CS";
+    w.fullName = "convolution separable";
+    w.suite = 'P';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(302);
+        const int ctasX = 30;
+        const int block = 128;
+        const int taps = 9;
+        const int rows = static_cast<int>(scaled(30, scale, 8));
+        const long long rowStride =
+            static_cast<long long>(ctasX) * block;
+        const long long elems = rowStride * (rows + taps * 16);
+
+        Addr in = allocRandomI32(m, rng, static_cast<std::size_t>(elems),
+                                 0, 4096);
+        Addr coef = allocRandomI32(m, rng, static_cast<std::size_t>(taps),
+                                   -64, 64);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(elems));
+
+        p.kernel = assemble(src);
+        p.grid = {ctasX, rows, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(in), static_cast<RegVal>(coef),
+                    static_cast<RegVal>(out), taps,
+                    static_cast<RegVal>(rowStride)};
+        p.outputs = {{out, static_cast<std::uint64_t>(elems * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

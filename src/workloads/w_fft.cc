@@ -1,0 +1,90 @@
+/**
+ * @file
+ * FFT — fast Fourier transform (GPGPU-sim suite). Each thread walks
+ * the butterfly stages: in stage s it pairs with the element `span`
+ * away, where its role (upper/lower) is `tid mod 2*span < span` — a
+ * mod-type affine tuple feeding a divergent affine condition, the
+ * combination Sections 4.4/4.6 are built for. Partner loads are
+ * affine (with one divergent condition); the twiddle arithmetic runs
+ * on loaded data. Compute-bound at this size.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel fft
+.param data out stages
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;          // element index
+    shl r2, r1, 2;
+    add r3, $data, r2;
+    ld.global.u32 r4, [r3];     // v = own element
+    mov r5, 0;                  // stage s
+    mov r6, 1;                  // span = 1 << s
+STAGE:
+    shl r7, r6, 1;              // 2*span
+    mod r8, r1, r7;             // pos = tid mod 2*span   (mod-type tuple)
+    setp.lt p1, r8, r6;         // upper half?             (affine pred)
+    add r9, r1, r6;             // partner if upper
+    sub r10, r1, r6;            // partner if lower
+    sel r11, r9, r10, p1;       // divergent affine tuple
+    shl r12, r11, 2;
+    add r13, $data, r12;
+    ld.global.u32 r14, [r13];   // partner element (decoupled)
+    // Butterfly with integer twiddle surrogate.
+    mul r15, r14, 37;
+    shr r15, r15, 2;
+    xor r16, r4, r15;
+    add r17, r4, r14;
+    sel r4, r17, r16, p1;       // upper adds, lower twiddles
+    add r5, r5, 1;
+    shl r6, r6, 1;
+    setp.lt p0, r5, $stages;
+    @p0 bra STAGE;
+    add r18, $out, r2;
+    st.global.u32 [r18], r4;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeFFT()
+{
+    Workload w;
+    w.name = "FFT";
+    w.fullName = "fast Fourier transform";
+    w.suite = 'G';
+    w.memoryIntensive = false;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(606);
+        const int ctas = static_cast<int>(scaled(96, scale, 15));
+        const int block = 128;
+        const int stages = 6; // spans stay within one CTA's elements
+        const long long n = static_cast<long long>(ctas) * block;
+
+        Addr data = allocRandomI32(m, rng, static_cast<std::size_t>(n), 0,
+                                   1 << 24);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(data), static_cast<RegVal>(out),
+                    stages};
+        p.outputs = {{out, static_cast<std::uint64_t>(n * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

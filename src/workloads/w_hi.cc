@@ -1,0 +1,107 @@
+/**
+ * @file
+ * HI — histogram (CUDA SDK, 64-bin variant). Like IMG but with a
+ * multiplicative-hash bin function, 16 private bins per thread, and a
+ * second reduction kernel-phase folded into the same kernel (bins are
+ * combined pairwise before the flush). Streaming input dominates:
+ * memory-intensive.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel hi
+.param data hist n stride perThread
+.shared 8192
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;
+    shl r2, tid.x, 6;            // 16 bins * 4B per thread
+    mov r3, 0;
+ZERO:
+    shl r4, r3, 2;
+    add r4, r4, r2;
+    st.shared.u32 [r4], 0;
+    add r3, r3, 1;
+    setp.lt p1, r3, 16;
+    @p1 bra ZERO;
+    mul r6, $stride, 4;
+    mov r7, 0;                   // k
+WORD:
+    mul r5, r7, r6;              // k*stride*4 (recomputed)
+    shl r20, r1, 2;
+    add r5, r5, r20;
+    add r5, $data, r5;
+    ld.global.u32 r8, [r5];
+    mul r9, r8, 40503;           // multiplicative hash
+    shr r9, r9, 12;
+    and r9, r9, 15;              // bin
+    shl r10, r9, 2;
+    add r10, r10, r2;
+    ld.shared.u32 r11, [r10];
+    add r11, r11, 1;
+    st.shared.u32 [r10], r11;
+    add r7, r7, 1;
+    setp.lt p0, r7, $perThread;
+    @p0 bra WORD;
+    // Pairwise-fold 16 bins into 8 and flush.
+    mov r12, 0;
+    shl r13, r1, 5;
+    add r13, $hist, r13;
+FOLD:
+    shl r14, r12, 2;
+    add r15, r14, r2;
+    ld.shared.u32 r16, [r15];
+    add r17, r15, 32;            // bin + 8
+    ld.shared.u32 r18, [r17];
+    add r19, r16, r18;
+    add r20, r13, r14;
+    st.global.u32 [r20], r19;
+    add r12, r12, 1;
+    setp.lt p2, r12, 8;
+    @p2 bra FOLD;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeHI()
+{
+    Workload w;
+    w.name = "HI";
+    w.fullName = "histogram";
+    w.suite = 'R';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(161);
+        const int ctas = static_cast<int>(scaled(90, scale, 15));
+        const int block = 128;
+        const long long threads = static_cast<long long>(ctas) * block;
+        const long long n = threads * 12;
+
+        Addr data = allocRandomI32(m, rng, static_cast<std::size_t>(n), 0,
+                                   1 << 24);
+        Addr hist = allocZeroI32(m, static_cast<std::size_t>(threads) * 8);
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(data), static_cast<RegVal>(hist),
+                    static_cast<RegVal>(n), static_cast<RegVal>(threads),
+                    12};
+        p.outputs = {{hist, static_cast<std::uint64_t>(threads) * 32}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

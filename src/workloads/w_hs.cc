@@ -1,0 +1,117 @@
+/**
+ * @file
+ * HS — hotspot (Rodinia). Thermal simulation: a 5-point stencil over
+ * temperature with clamped borders (affine min/max, divergent
+ * tuples), followed by a large per-cell update expression combining
+ * the power map — arithmetic-dominated, hence compute-bound.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel hs
+.param temp power out width height
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;          // x
+    mov r2, ctaid.y;            // y
+    // Clamped neighbours.
+    sub r3, r1, 1;
+    max r3, r3, 0;              // xl
+    add r4, r1, 1;
+    sub r5, $width, 1;
+    min r4, r4, r5;             // xr
+    sub r6, r2, 1;
+    max r6, r6, 0;              // yu
+    add r7, r2, 1;
+    sub r8, $height, 1;
+    min r7, r7, r8;             // yd
+    // Loads.
+    mul r9, r2, $width;
+    add r10, r9, r1;
+    shl r10, r10, 2;
+    add r11, $temp, r10;
+    ld.global.u32 r12, [r11];   // centre temperature
+    add r13, r9, r3;
+    shl r13, r13, 2;
+    add r13, $temp, r13;
+    ld.global.u32 r14, [r13];   // west
+    add r15, r9, r4;
+    shl r15, r15, 2;
+    add r15, $temp, r15;
+    ld.global.u32 r16, [r15];   // east
+    mul r17, r6, $width;
+    add r17, r17, r1;
+    shl r17, r17, 2;
+    add r17, $temp, r17;
+    ld.global.u32 r18, [r17];   // north
+    mul r19, r7, $width;
+    add r19, r19, r1;
+    shl r19, r19, 2;
+    add r19, $temp, r19;
+    ld.global.u32 r20, [r19];   // south
+    add r21, $power, r10;
+    ld.global.u32 r22, [r21];   // power
+    // Update expression (hotspot's weighted combination).
+    add r23, r14, r16;
+    add r24, r18, r20;
+    shl r25, r12, 2;
+    sub r26, r23, r25;
+    add r26, r26, r24;          // laplacian
+    mul r27, r26, 29;
+    shr r27, r27, 7;            // * Rx surrogate
+    mul r28, r22, 13;
+    shr r28, r28, 5;            // * Cap surrogate
+    add r29, r27, r28;
+    add r30, r12, r29;
+    mul r31, r30, 121;
+    shr r31, r31, 7;            // amb drift
+    shl r32, r1, 0;
+    add r33, $out, r10;
+    st.global.u32 [r33], r31;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeHS()
+{
+    Workload w;
+    w.name = "HS";
+    w.fullName = "hotspot";
+    w.suite = 'C';
+    w.memoryIntensive = false;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(909);
+        const int width = 512;
+        const int rows = static_cast<int>(scaled(36, scale, 8));
+        const long long n = static_cast<long long>(width) * rows;
+
+        Addr temp = allocRandomI32(m, rng, static_cast<std::size_t>(n), 1,
+                                   4096);
+        Addr power = allocRandomI32(m, rng, static_cast<std::size_t>(n), 0,
+                                    512);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {width / 128, rows, 1};
+        p.block = {128, 1, 1};
+        p.params = {static_cast<RegVal>(temp), static_cast<RegVal>(power),
+                    static_cast<RegVal>(out), width, rows};
+        p.outputs = {{out, static_cast<std::uint64_t>(n * 4)}};
+        p.launches = 2;
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

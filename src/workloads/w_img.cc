@@ -1,0 +1,107 @@
+/**
+ * @file
+ * IMG — imghisto (GPGPU-sim suite). Image histogram: threads stream
+ * pixels with a grid-stride loop (affine, decoupled) and bin them
+ * into per-thread sub-histograms kept in shared memory — the bin
+ * index is data-dependent, so the shared-memory updates stay on the
+ * non-affine warps. Each thread flushes its private bins at the end
+ * (race-free by construction). Streaming a large image: memory-
+ * intensive.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel img
+.param pixels hist n stride bins perThread
+.shared 4096
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // global thread id
+    // Zero this thread's 8 shared bins.
+    shl r2, tid.x, 5;            // tid*8 bins*4B
+    mov r3, 0;
+ZERO:
+    shl r4, r3, 2;
+    add r4, r4, r2;
+    st.shared.u32 [r4], 0;
+    add r3, r3, 1;
+    setp.lt p1, r3, 8;
+    @p1 bra ZERO;
+    // Counted loop over this thread's 16 strided pixels.
+    mul r6, $stride, 4;
+    mov r7, 0;                   // k
+PIXEL:
+    mul r5, r7, r6;              // k*stride*4 (recomputed)
+    shl r20, r1, 2;
+    add r5, r5, r20;
+    add r5, $pixels, r5;         // &pixels[gtid + k*stride]
+    ld.global.u32 r8, [r5];      // pixel (affine address)
+    shr r9, r8, 9;
+    and r9, r9, 7;               // bin (data-dependent)
+    shl r10, r9, 2;
+    add r10, r10, r2;
+    ld.shared.u32 r11, [r10];
+    add r11, r11, 1;
+    st.shared.u32 [r10], r11;    // private bin++
+    add r7, r7, 1;
+    setp.lt p0, r7, $perThread;
+    @p0 bra PIXEL;
+    // Flush private bins to the global per-thread histogram slab.
+    mov r12, 0;
+    shl r13, r1, 5;
+    add r13, $hist, r13;
+FLUSH:
+    shl r14, r12, 2;
+    add r15, r14, r2;
+    ld.shared.u32 r16, [r15];
+    add r17, r13, r14;
+    st.global.u32 [r17], r16;
+    add r12, r12, 1;
+    setp.lt p2, r12, 8;
+    @p2 bra FLUSH;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeIMG()
+{
+    Workload w;
+    w.name = "IMG";
+    w.fullName = "imghisto";
+    w.suite = 'G';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(151);
+        const int ctas = static_cast<int>(scaled(90, scale, 15));
+        const int block = 128;
+        const long long threads = static_cast<long long>(ctas) * block;
+        const long long n = threads * 16; // 16 pixels per thread
+
+        Addr pixels = allocRandomI32(m, rng, static_cast<std::size_t>(n),
+                                     0, 1 << 16);
+        Addr hist = allocZeroI32(m, static_cast<std::size_t>(threads) * 8);
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(pixels), static_cast<RegVal>(hist),
+                    static_cast<RegVal>(n), static_cast<RegVal>(threads),
+                    8, 16};
+        p.outputs = {{hist, static_cast<std::uint64_t>(threads) * 32}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

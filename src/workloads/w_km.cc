@@ -1,0 +1,99 @@
+/**
+ * @file
+ * KM — kmeans (Rodinia). The assignment step over transposed (SoA)
+ * 64-bit feature vectors, as the tuned CUDA kernel lays them out:
+ * each dimension's load is coalesced (two lines per warp) and fresh —
+ * the per-cluster re-walk re-streams the whole feature matrix, whose
+ * resident working set far exceeds L2. One distance op per 8 bytes
+ * loaded: memory-intensive, fully affine addressing.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel km
+.param pts ctr member n dims k
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // point id
+    shl r2, r1, 3;
+    add r2, $pts, r2;            // &pts[0][i] (SoA, 64-bit features)
+    mul r16, $n, 8;              // dimension stride
+    mov r3, 2147483647;          // best
+    mov r4, 0;                   // best k
+    mov r5, 0;                   // cluster
+    mov r6, $ctr;
+CLUSTER:
+    mov r7, 0;                   // d
+    mov r8, 0;                   // dist
+    mov r9, r2;
+FEATURE:
+    ld.global.u64 r10, [r9];     // feature (coalesced stream)
+    ld.global.u64 r11, [r6];     // centroid feature (uniform)
+    sub r12, r10, r11;
+    and r12, r12, 65535;
+    mul r13, r12, r12;
+    add r8, r8, r13;
+    add r9, r9, r16;
+    add r6, r6, 8;
+    add r7, r7, 1;
+    setp.lt p1, r7, $dims;
+    @p1 bra FEATURE;
+    setp.lt p2, r8, r3;
+    sel r3, r8, r3, p2;
+    sel r4, r5, r4, p2;
+    add r5, r5, 1;
+    setp.lt p0, r5, $k;
+    @p0 bra CLUSTER;
+    shl r14, r1, 2;
+    add r15, $member, r14;
+    st.global.u32 [r15], r4;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeKM()
+{
+    Workload w;
+    w.name = "KM";
+    w.fullName = "kmeans";
+    w.suite = 'C';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(242);
+        const int ctas = static_cast<int>(scaled(90, scale, 15));
+        const int block = 128;
+        const int dims = 24;
+        const int k = 3;
+        const long long n = static_cast<long long>(ctas) * block;
+
+        Addr pts = allocRandomI32(
+            m, rng, 2 * static_cast<std::size_t>(n) * dims, -1024, 1024);
+        Addr ctr = allocRandomI32(m, rng,
+                                  2 * static_cast<std::size_t>(dims) * k,
+                                  -1024, 1024);
+        Addr member = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(pts), static_cast<RegVal>(ctr),
+                    static_cast<RegVal>(member), static_cast<RegVal>(n),
+                    dims, k};
+        p.outputs = {{member, static_cast<std::uint64_t>(n * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * LBM — lattice-Boltzmann method (Parboil/GPGPU-sim). D2Q5 surrogate:
+ * per cell, load five distribution functions from separate streaming
+ * arrays (SoA layout), run the collision update, store five results.
+ * Ten 128B transactions per warp per cell against ~14 ALU ops: DRAM
+ * bandwidth saturates at full occupancy, so despite near-100% affine
+ * load coverage the paper (and this model) sees little DAC speedup —
+ * the signature LBM behaviour.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel lbm
+.param f0 f1 f2 f3 f4 g0 g1 g2 g3 g4
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;
+    shl r2, r1, 2;
+    add r3, $f0, r2;
+    ld.global.u32 r4, [r3];
+    add r5, $f1, r2;
+    ld.global.u32 r6, [r5];
+    add r7, $f2, r2;
+    ld.global.u32 r8, [r7];
+    add r9, $f3, r2;
+    ld.global.u32 r10, [r9];
+    add r11, $f4, r2;
+    ld.global.u32 r12, [r11];
+    // Collision: relax toward the mean.
+    add r13, r4, r6;
+    add r13, r13, r8;
+    add r13, r13, r10;
+    add r13, r13, r12;           // rho
+    div r14, r13, 5;             // mean
+    sub r15, r14, r4;
+    shr r15, r15, 1;
+    add r16, r4, r15;
+    sub r17, r14, r6;
+    shr r17, r17, 1;
+    add r18, r6, r17;
+    sub r19, r14, r8;
+    shr r19, r19, 1;
+    add r20, r8, r19;
+    sub r21, r14, r10;
+    shr r21, r21, 1;
+    add r22, r10, r21;
+    sub r23, r14, r12;
+    shr r23, r23, 1;
+    add r24, r12, r23;
+    add r25, $g0, r2;
+    st.global.u32 [r25], r16;
+    add r26, $g1, r2;
+    st.global.u32 [r26], r18;
+    add r27, $g2, r2;
+    st.global.u32 [r27], r20;
+    add r28, $g3, r2;
+    st.global.u32 [r28], r22;
+    add r29, $g4, r2;
+    st.global.u32 [r29], r24;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeLBM()
+{
+    Workload w;
+    w.name = "LBM";
+    w.fullName = "lattice-Boltzmann";
+    w.suite = 'R';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(171);
+        const int ctas = static_cast<int>(scaled(240, scale, 15));
+        const int block = 256;
+        const long long n = static_cast<long long>(ctas) * block;
+
+        p.params.clear();
+        for (int d = 0; d < 5; ++d) {
+            p.params.push_back(static_cast<RegVal>(allocRandomI32(
+                m, rng, static_cast<std::size_t>(n), 1, 1 << 20)));
+        }
+        std::vector<Addr> outs;
+        for (int d = 0; d < 5; ++d) {
+            Addr g = allocZeroI32(m, static_cast<std::size_t>(n));
+            outs.push_back(g);
+            p.params.push_back(static_cast<RegVal>(g));
+        }
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        for (Addr g : outs)
+            p.outputs.push_back({g, static_cast<std::uint64_t>(n * 4)});
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * LIB — libor market model (GPGPU-sim suite). Each thread sweeps its
+ * own forward-rate vector (a private row of a large matrix),
+ * updating each maturity with a short drift computation and storing
+ * it back. Two memory operations per ~6 ALU ops over a multi-MB
+ * footprint: memory-latency bound, with fully affine addressing —
+ * one of the paper's big DAC winners.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel lib
+.param rates out maturities paths
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // path id
+    shl r2, r1, 2;
+    add r3, $rates, r2;          // &L[0][path] (maturity-major layout)
+    add r4, $out, r2;
+    mul r10, $paths, 4;          // row stride in bytes
+    mov r5, 0;                   // i
+    mov r6, 1024;                // accumulated drift state
+LOOP:
+    ld.global.u32 r7, [r3];      // L_i
+    mul r8, r7, r6;
+    shr r8, r8, 10;              // L_i * drift
+    add r9, r7, r8;
+    add r6, r6, 3;               // drift evolves
+    st.global.u32 [r4], r9;
+    add r3, r3, r10;
+    add r4, r4, r10;
+    add r5, r5, 1;
+    setp.lt p0, r5, $maturities;
+    @p0 bra LOOP;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeLIB()
+{
+    Workload w;
+    w.name = "LIB";
+    w.fullName = "libor market model";
+    w.suite = 'G';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(121);
+        const int ctas = static_cast<int>(scaled(90, scale, 15));
+        const int block = 128;
+        const int maturities = 40;
+        const long long paths = static_cast<long long>(ctas) * block;
+        const long long elems = paths * maturities;
+
+        Addr rates = allocRandomI32(m, rng,
+                                    static_cast<std::size_t>(elems), 1,
+                                    1 << 16);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(elems));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(rates), static_cast<RegVal>(out),
+                    maturities, static_cast<RegVal>(paths)};
+        p.outputs = {{out, static_cast<std::uint64_t>(elems * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

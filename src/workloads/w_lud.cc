@@ -1,0 +1,87 @@
+/**
+ * @file
+ * LUD — LU decomposition (Rodinia). The trailing-submatrix update as
+ * rank-1 Gaussian elimination steps: every thread owns one element
+ * and applies A[r][c] -= L[r]*U[c], re-streaming the whole submatrix
+ * each step (read + write per element against two panel loads that
+ * cache well): four memory operations per handful of ALU ops, so the
+ * pass is memory-intensive. Several elimination steps run as separate
+ * launches.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel lud
+.param L U A n half
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // column c
+    mov r2, ctaid.y;             // row r
+    shl r3, r2, 2;
+    add r3, $L, r3;
+    ld.global.s32 r4, [r3];      // L[r] (uniform in the warp)
+    shl r5, r1, 2;
+    add r6, $U, r5;
+    ld.global.s32 r7, [r6];      // U[c] (coalesced)
+    mul r8, r2, $n;
+    add r8, r8, r1;
+    shl r8, r8, 2;
+    add r9, $A, r8;
+    ld.global.s32 r10, [r9];     // A[r][c] (stream)
+    mul r11, r4, r7;
+    shr r11, r11, 5;
+    sub r12, r10, r11;
+    st.global.u32 [r9], r12;     // in-place update (stream)
+    add r13, r9, $half;          // second half of the submatrix
+    ld.global.s32 r14, [r13];
+    sub r15, r14, r11;
+    st.global.u32 [r13], r15;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeLUD()
+{
+    Workload w;
+    w.name = "LUD";
+    w.fullName = "LU decomposition";
+    w.suite = 'C';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(212);
+        const int n = 512;
+        const int rows = static_cast<int>(scaled(72, scale, 8));
+        const long long half =
+            static_cast<long long>(rows) * n * 4; // second panel below
+
+        Addr l = allocRandomI32(m, rng, static_cast<std::size_t>(rows),
+                                -64, 64);
+        Addr u = allocRandomI32(m, rng, static_cast<std::size_t>(n), -64,
+                                64);
+        Addr a = allocRandomI32(
+            m, rng, 2 * static_cast<std::size_t>(rows) * n, -4096, 4096);
+
+        p.kernel = assemble(src);
+        p.grid = {n / 128, rows, 1};
+        p.block = {128, 1, 1};
+        p.params = {static_cast<RegVal>(l), static_cast<RegVal>(u),
+                    static_cast<RegVal>(a), n, static_cast<RegVal>(half)};
+        p.outputs = {{a, 2ull * static_cast<std::uint64_t>(rows) * n * 4}};
+        p.launches = 3; // successive elimination steps
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * MC — monte carlo option pricing (CUDA SDK). Low-occupancy path
+ * simulation: each thread walks a long path, consuming one
+ * pre-generated random number per step from a maturity-major table
+ * (affine, decoupled) with only two or three ALU ops in between.
+ * With 2 CTAs of 2 warps per SM, the baseline's in-order warps
+ * expose nearly the full memory latency each step — the regime where
+ * DAC's run-ahead affine warp shines (paper: MC is DAC's biggest
+ * win, ~3x).
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel mc
+.param rnd out steps paths
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // path id
+    shl r2, r1, 2;
+    add r3, $rnd, r2;            // &rnd[0][path]
+    mul r4, $paths, 4;           // step stride
+    mov r5, 0;                   // step
+    mov r6, 1000;                // price
+STEP:
+    ld.global.u32 r7, [r3];      // random increment (affine)
+    mul r8, r6, r7;
+    shr r8, r8, 16;
+    add r6, r6, r8;              // geometric walk surrogate
+    add r3, r3, r4;
+    add r5, r5, 1;
+    setp.lt p0, r5, $steps;
+    @p0 bra STEP;
+    add r9, $out, r2;
+    st.global.u32 [r9], r6;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeMC()
+{
+    Workload w;
+    w.name = "MC";
+    w.fullName = "monte carlo";
+    w.suite = 'P';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(272);
+        const int ctas = static_cast<int>(scaled(90, scale, 15));
+        const int block = 128;
+        const int steps = 64;
+        const long long paths = static_cast<long long>(ctas) * block;
+
+        Addr rnd = allocRandomI32(
+            m, rng, static_cast<std::size_t>(paths) * steps, 0, 1 << 12);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(paths));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(rnd), static_cast<RegVal>(out),
+                    steps, static_cast<RegVal>(paths)};
+        p.outputs = {{out, static_cast<std::uint64_t>(paths * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * MQ — mri-q (GPGPU-sim / Parboil). Each thread owns one voxel and
+ * loops over the k-space sample list (uniform-address scalar loads of
+ * kx/ky/phi), accumulating a trigonometric sum — here an integer
+ * phase-rotation surrogate with the same operation count. Long
+ * arithmetic per sample plus L1-resident sample data: compute-bound,
+ * with all loop/addressing work affine.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel mq
+.param samples outRe outIm numSamples
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;          // voxel index (also its coordinate)
+    mov r2, 0;                  // accRe
+    mov r3, 0;                  // accIm
+    mov r4, 0;                  // j
+SAMPLE:
+    shl r20, r4, 3;             // j*8 (recomputed per iteration)
+    add r5, $samples, r20;
+    ld.global.u32 r6, [r5];     // kx
+    ld.global.u32 r7, [r5+4];   // phi magnitude
+    mul r8, r6, r1;             // phase = kx * x   (data * affine)
+    and r8, r8, 1023;           // wrap phase
+    mul r9, r8, r8;             // cos surrogate: quadratic in phase
+    shr r9, r9, 5;
+    sub r10, 1024, r9;          // "cos"
+    mul r11, r8, 3;             // "sin" surrogate
+    sub r11, r11, r9;
+    mul r12, r7, r10;
+    shr r12, r12, 6;
+    add r2, r2, r12;            // accRe += phi*cos
+    mul r13, r7, r11;
+    shr r13, r13, 6;
+    add r3, r3, r13;            // accIm += phi*sin
+    add r4, r4, 1;
+    setp.lt p0, r4, $numSamples;
+    @p0 bra SAMPLE;
+    shl r14, r1, 2;
+    add r15, $outRe, r14;
+    st.global.u32 [r15], r2;
+    add r16, $outIm, r14;
+    st.global.u32 [r16], r3;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeMQ()
+{
+    Workload w;
+    w.name = "MQ";
+    w.fullName = "mri-q";
+    w.suite = 'G';
+    w.memoryIntensive = false;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(404);
+        const int ctas = static_cast<int>(scaled(96, scale, 15));
+        const int block = 128;
+        const int samples = 64;
+        const long long n = static_cast<long long>(ctas) * block;
+
+        Addr smp = allocRandomI32(m, rng, 2ull * samples, 1, 2048);
+        Addr outRe = allocZeroI32(m, static_cast<std::size_t>(n));
+        Addr outIm = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(smp), static_cast<RegVal>(outRe),
+                    static_cast<RegVal>(outIm), samples};
+        p.outputs = {{outRe, static_cast<std::uint64_t>(n * 4)},
+                     {outIm, static_cast<std::uint64_t>(n * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MT — mersenne twister (CUDA SDK). State-array update: each thread
+ * owns a twister lane and, per step, combines its state word with
+ * the word `shift` positions ahead *modulo the ring size* — a
+ * mod-type affine address (Section 4.4) — then tempers and stores.
+ * Streaming state update with light mixing: memory-intensive.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel mt
+.param state out rounds ring
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // lane id
+    mov r2, 0;                   // round
+    mov r3, 0;                   // accumulated output
+ROUND:
+    // Partner index: (lane + 397*round ... ) mod ring  (mod-type tuple)
+    mul r4, r2, 3989;
+    mul r20, r4, 128;
+    add r5, r1, r20;
+    mod r6, r5, $ring;
+    shl r7, r6, 2;
+    add r7, $state, r7;
+    ld.global.u32 r8, [r7];      // partner state word
+    // Tempering (on loaded data).
+    shr r9, r8, 11;
+    xor r10, r8, r9;
+    shl r11, r10, 7;
+    and r11, r11, 1636928640;
+    xor r10, r10, r11;
+    add r3, r3, r10;
+    add r2, r2, 1;
+    setp.lt p0, r2, $rounds;
+    @p0 bra ROUND;
+    shl r12, r1, 2;
+    add r13, $out, r12;
+    st.global.u32 [r13], r3;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeMT()
+{
+    Workload w;
+    w.name = "MT";
+    w.fullName = "mersenne twister";
+    w.suite = 'P';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(282);
+        const int ctas = static_cast<int>(scaled(60, scale, 15));
+        const int block = 128;
+        const int rounds = 16;
+        const long long n = static_cast<long long>(ctas) * block;
+        const long long ring = n * 24; // state ring far larger than L2
+
+        Addr state = allocRandomI32(m, rng, static_cast<std::size_t>(ring),
+                                    0, 1 << 30);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(state), static_cast<RegVal>(out),
+                    rounds, static_cast<RegVal>(ring)};
+        p.outputs = {{out, static_cast<std::uint64_t>(n * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * PF — pathfinder (Rodinia). Dynamic programming over a cost grid:
+ * each CTA owns a tile of columns kept in shared memory and iterates
+ * the DP recurrence row by row, synchronizing with barriers each
+ * step. The per-row wall costs stream from global memory through
+ * affine addresses — DAC's early fetches for them must respect the
+ * CTA barriers (Section 4.2's barrier/epoch mechanism), which this
+ * workload exercises heavily.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel pf
+.param wall src out width steps
+.shared 1056
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;          // column
+    shl r2, tid.x, 2;           // shared offset: cur[tid]
+    add r3, r2, 528;            // shared offset: next[tid]
+    // Load the source row into shared.
+    shl r4, r1, 2;
+    add r5, $src, r4;
+    ld.global.u32 r6, [r5];
+    st.shared.u32 [r2], r6;
+    mov r7, 0;                  // t
+    mov r8, $wall;
+    add r8, r8, r4;             // &wall[0*width + col]
+STEP:
+    bar;
+    // Neighbours within the tile (clamped to the CTA).
+    sub r9, tid.x, 1;
+    max r9, r9, 0;
+    shl r9, r9, 2;
+    ld.shared.u32 r10, [r9];    // left
+    add r11, tid.x, 1;
+    sub r12, $width, 1;
+    min r11, r11, 131;
+    shl r11, r11, 2;
+    ld.shared.u32 r13, [r11];   // right  (tile is 132 wide w/ halo)
+    ld.shared.u32 r14, [r2];    // mid
+    min r15, r10, r13;
+    min r15, r15, r14;          // best of three (data min)
+    // Cost-smoothing transform (pathfinder's weight computation).
+    mul r21, r15, 241;
+    shr r21, r21, 8;
+    mul r22, r21, 3;
+    shr r22, r22, 2;
+    add r23, r21, r22;
+    shr r23, r23, 1;
+    mov r28, 0;                 // smoothing iterations
+SMOOTH:
+    mul r24, r23, r23;
+    shr r24, r24, 10;
+    sub r23, r23, r24;
+    mul r25, r23, 37;
+    shr r25, r25, 5;
+    add r23, r23, r25;
+    mul r26, r23, 11;
+    shr r26, r26, 4;
+    sub r23, r23, r26;
+    mul r27, r23, 197;
+    shr r27, r27, 8;
+    add r23, r23, r27;
+    shr r23, r23, 1;
+    add r28, r28, 1;
+    setp.lt p2, r28, 4;
+    @p2 bra SMOOTH;
+    ld.global.u32 r16, [r8];    // wall cost (affine; epoch-gated)
+    add r17, r23, r16;
+    st.shared.u32 [r3], r17;
+    bar;
+    ld.shared.u32 r18, [r3];
+    st.shared.u32 [r2], r18;    // copy next -> cur
+    mul r19, $width, 4;
+    add r8, r8, r19;
+    add r7, r7, 1;
+    setp.lt p0, r7, $steps;
+    @p0 bra STEP;
+    bar;
+    add r20, $out, r4;
+    st.global.u32 [r20], r18;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makePF()
+{
+    Workload w;
+    w.name = "PF";
+    w.fullName = "pathfinder";
+    w.suite = 'C';
+    w.memoryIntensive = false;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(1010);
+        const int ctas = static_cast<int>(scaled(120, scale, 15));
+        const int block = 128;
+        const int steps = 20;
+        const int width = ctas * block;
+
+        Addr wall = allocRandomI32(
+            m, rng, static_cast<std::size_t>(width) * steps, 0, 100);
+        Addr srcRow = allocRandomI32(m, rng,
+                                     static_cast<std::size_t>(width), 0,
+                                     100);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(width));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(wall), static_cast<RegVal>(srcRow),
+                    static_cast<RegVal>(out), width, steps};
+        p.outputs = {{out, static_cast<std::uint64_t>(width) * 4}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

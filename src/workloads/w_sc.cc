@@ -1,0 +1,97 @@
+/**
+ * @file
+ * SC — streamcluster (Rodinia). Every thread evaluates its point
+ * against each cluster centre: the point's coordinates stream from
+ * SoA arrays (affine, decoupled), the centres are uniform scalar
+ * loads, and the running minimum is a data-dependent select that
+ * stays on the non-affine warps. Light arithmetic over a large point
+ * set: memory-intensive.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel sc
+.param pts ctr assign numPts dims centers
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // point id
+    mov r2, 2147483647;          // best distance (INT_MAX)
+    mov r3, 0;                   // best centre
+    mov r4, 0;                   // k
+    mov r5, $ctr;                // centre cursor (uniform)
+CENTER:
+    mov r6, 0;                   // d
+    mov r7, 0;                   // dist accum
+    shl r8, r1, 2;
+    add r8, $pts, r8;            // &pts[0][i]
+    mul r9, $numPts, 4;          // dimension stride
+DIM:
+    ld.global.s32 r10, [r8];     // point coord (affine)
+    ld.global.s32 r11, [r5];     // centre coord (uniform)
+    sub r12, r10, r11;
+    abs r13, r12;
+    add r7, r7, r13;
+    add r8, r8, r9;
+    add r5, r5, 4;
+    add r6, r6, 1;
+    setp.lt p1, r6, $dims;
+    @p1 bra DIM;
+    // Track the running minimum (data-dependent select).
+    setp.lt p2, r7, r2;
+    sel r2, r7, r2, p2;
+    sel r3, r4, r3, p2;
+    add r4, r4, 1;
+    setp.lt p0, r4, $centers;
+    @p0 bra CENTER;
+    shl r14, r1, 2;
+    add r15, $assign, r14;
+    st.global.u32 [r15], r3;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeSC()
+{
+    Workload w;
+    w.name = "SC";
+    w.fullName = "streamcluster";
+    w.suite = 'C';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(232);
+        const int ctas = static_cast<int>(scaled(90, scale, 15));
+        const int block = 128;
+        const int dims = 8;
+        const int centers = 4;
+        const long long n = static_cast<long long>(ctas) * block;
+
+        Addr pts = allocRandomI32(
+            m, rng, static_cast<std::size_t>(n) * dims, -512, 512);
+        Addr ctr = allocRandomI32(
+            m, rng, static_cast<std::size_t>(dims) * centers, -512, 512);
+        Addr assign = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(pts), static_cast<RegVal>(ctr),
+                    static_cast<RegVal>(assign), static_cast<RegVal>(n),
+                    dims, centers};
+        p.outputs = {{assign, static_cast<std::uint64_t>(n * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * SG — sgemm (Parboil). The benchmark's straightforward kernel: each
+ * thread computes one C element with a K-loop reading A row-wise
+ * (uniform per warp row) and B column-wise (coalesced, streaming
+ * fresh lines every iteration). Two global loads per four ALU ops
+ * over matrices far larger than L2: memory-intensive, fully affine.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel sg
+.param A B C n k
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // col
+    mov r2, ctaid.y;             // row
+    mov r3, 0;                   // kk
+    mov r4, 0;                   // acc
+    mul r5, r2, $k;
+    shl r5, r5, 2;
+    add r5, $A, r5;              // &A[row][0]
+    shl r6, r1, 2;
+    add r6, $B, r6;              // &B[0][col]
+    mul r7, $n, 4;               // B row stride
+K:
+    ld.global.s32 r8, [r5];      // A[row][kk] (uniform in the warp)
+    ld.global.s32 r9, [r6];      // B[kk][col] (coalesced stream)
+    mul r10, r8, r9;
+    shr r10, r10, 6;
+    add r4, r4, r10;
+    add r5, r5, 4;
+    add r6, r6, r7;
+    add r3, r3, 1;
+    setp.lt p0, r3, $k;
+    @p0 bra K;
+    mul r11, r2, $n;
+    add r11, r11, r1;
+    shl r11, r11, 2;
+    add r12, $C, r11;
+    st.global.u32 [r12], r4;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeSG()
+{
+    Workload w;
+    w.name = "SG";
+    w.fullName = "sgemm";
+    w.suite = 'R';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(131);
+        const int n = 2048;       // columns (16 CTAs of 128 per row)
+        const int rows = static_cast<int>(scaled(16, scale, 4));
+        const int k = 96;
+
+        Addr a = allocRandomI32(
+            m, rng, static_cast<std::size_t>(rows) * k, -128, 128);
+        Addr b = allocRandomI32(
+            m, rng, static_cast<std::size_t>(k) * n, -128, 128);
+        Addr c = allocZeroI32(m, static_cast<std::size_t>(rows) * n);
+
+        p.kernel = assemble(src);
+        p.grid = {n / 128, rows, 1};
+        p.block = {128, 1, 1};
+        p.params = {static_cast<RegVal>(a), static_cast<RegVal>(b),
+                    static_cast<RegVal>(c), n, k};
+        p.outputs = {{c, static_cast<std::uint64_t>(rows) * n * 4}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

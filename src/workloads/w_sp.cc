@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SP — scalar product (CUDA SDK). Grid-stride dot product: each
+ * thread accumulates a*b over elements `totalThreads` apart, with
+ * two loads per three ALU ops and low occupancy (64-thread blocks) —
+ * latency-bound, a large DAC win in the paper (~2x).
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel sp
+.param A B C iters stride
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // global thread id
+    shl r2, r1, 2;
+    add r3, $A, r2;
+    add r4, $B, r2;
+    mul r5, $stride, 4;
+    mov r6, 0;                   // acc
+    mov r7, 0;                   // i
+DOT:
+    ld.global.s32 r8, [r3];
+    ld.global.s32 r9, [r4];
+    mad r6, r8, r9, r6;
+    add r3, r3, r5;
+    add r4, r4, r5;
+    add r7, r7, 1;
+    setp.lt p0, r7, $iters;
+    @p0 bra DOT;
+    add r10, $C, r2;
+    st.global.u32 [r10], r6;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeSP()
+{
+    Workload w;
+    w.name = "SP";
+    w.fullName = "scalar product";
+    w.suite = 'P';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(292);
+        const int ctas = static_cast<int>(scaled(120, scale, 15));
+        const int block = 64;
+        const int iters = 48;
+        const long long threads = static_cast<long long>(ctas) * block;
+        const long long n = threads * iters;
+
+        Addr a = allocRandomI32(m, rng, static_cast<std::size_t>(n), -128,
+                                128);
+        Addr b = allocRandomI32(m, rng, static_cast<std::size_t>(n), -128,
+                                128);
+        Addr c = allocZeroI32(m, static_cast<std::size_t>(threads));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(a), static_cast<RegVal>(b),
+                    static_cast<RegVal>(c), iters,
+                    static_cast<RegVal>(threads)};
+        p.outputs = {{c, static_cast<std::uint64_t>(threads * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * SPV — spmv (Rodinia), ELLPACK layout. One row per thread; the
+ * column-index and value arrays are read at affine addresses
+ * (row + k*numRows) and decouple, while the x-vector gather
+ * x[col[k]] is data-dependent and stays on the non-affine warps —
+ * the "partially affine" mix the paper reports for SPV.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel spv
+.param cols vals x y numRows nnz
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // row
+    mov r2, 0;                   // acc
+    mov r3, 0;                   // k
+    shl r4, r1, 2;
+    add r5, $cols, r4;           // &cols[row]
+    add r6, $vals, r4;           // &vals[row]
+    mul r7, $numRows, 4;         // column stride in bytes
+NNZ:
+    ld.global.u32 r8, [r5];      // col (affine address)
+    ld.global.u32 r9, [r6];      // val (affine address)
+    shl r10, r8, 2;
+    add r10, $x, r10;
+    ld.global.u32 r11, [r10];    // x[col] (gather: non-affine)
+    mul r12, r9, r11;
+    shr r12, r12, 4;
+    add r2, r2, r12;
+    add r5, r5, r7;
+    add r6, r6, r7;
+    add r3, r3, 1;
+    setp.lt p0, r3, $nnz;
+    @p0 bra NNZ;
+    add r13, $y, r4;
+    st.global.u32 [r13], r2;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeSPV()
+{
+    Workload w;
+    w.name = "SPV";
+    w.fullName = "spmv (ELL)";
+    w.suite = 'R';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(181);
+        const int ctas = static_cast<int>(scaled(90, scale, 15));
+        const int block = 128;
+        const int nnz = 12;
+        const long long rows = static_cast<long long>(ctas) * block;
+
+        Addr cols = allocI32(m, static_cast<std::size_t>(rows * nnz),
+                             [&](std::size_t) {
+                                 return rng.range(
+                                     0, static_cast<std::int32_t>(rows));
+                             });
+        Addr vals = allocRandomI32(
+            m, rng, static_cast<std::size_t>(rows * nnz), -256, 256);
+        Addr x = allocRandomI32(m, rng, static_cast<std::size_t>(rows),
+                                -256, 256);
+        Addr y = allocZeroI32(m, static_cast<std::size_t>(rows));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(cols), static_cast<RegVal>(vals),
+                    static_cast<RegVal>(x), static_cast<RegVal>(y),
+                    static_cast<RegVal>(rows), nnz};
+        p.outputs = {{y, static_cast<std::uint64_t>(rows * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * SR1 — srad v1 (Rodinia). Speckle-reducing anisotropic diffusion:
+ * a horizontal-neighbour stencil whose boundary indices are clamped
+ * with min/max — affine min/max producing divergent tuples
+ * (Section 4.6) — followed by a heavy diffusion-coefficient
+ * computation per pixel. The grid is 2-D (rows on blockIdx.y), as in
+ * the CUDA original. Compute-bound at this arithmetic intensity.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel sr1
+.param img out width
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;          // x
+    mov r2, ctaid.y;            // y (one block row per CTA row)
+    // Clamped neighbour coordinates (divergent affine tuples).
+    sub r4, r1, 1;
+    max r4, r4, 0;              // xl
+    add r5, r1, 1;
+    sub r6, $width, 1;
+    min r5, r5, r6;             // xr
+    // Row base in elements.
+    mul r7, r2, $width;
+    add r8, r7, r4;
+    shl r8, r8, 2;
+    add r8, $img, r8;
+    ld.global.u32 r9, [r8];     // left
+    add r10, r7, r5;
+    shl r10, r10, 2;
+    add r10, $img, r10;
+    ld.global.u32 r11, [r10];   // right
+    add r12, r7, r1;
+    shl r12, r12, 2;
+    add r12, $img, r12;
+    ld.global.u32 r13, [r12];   // centre
+    // Diffusion coefficient surrogate (compute-heavy).
+    sub r14, r9, r13;           // dL
+    sub r15, r11, r13;          // dR
+    mul r16, r14, r14;
+    mul r17, r15, r15;
+    add r18, r16, r17;          // G2
+    mul r19, r13, r13;
+    add r19, r19, 1;
+    div r20, r18, r19;          // normalized gradient
+    mul r21, r20, r20;
+    add r22, r20, 4;
+    mul r23, r21, 3;
+    add r24, r23, r22;
+    div r25, r18, r24;          // diffusion coefficient
+    max r25, r25, 0;
+    add r26, r13, r25;
+    mul r27, r2, $width;
+    add r27, r27, r1;
+    shl r27, r27, 2;
+    add r28, $out, r27;
+    st.global.u32 [r28], r26;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeSR1()
+{
+    Workload w;
+    w.name = "SR1";
+    w.fullName = "srad v1";
+    w.suite = 'C';
+    w.memoryIntensive = false;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(808);
+        const int width = 512;              // 4 CTAs of 128 per row
+        const int rows = static_cast<int>(scaled(40, scale, 8));
+        const long long n = static_cast<long long>(width) * rows;
+
+        Addr img = allocRandomI32(m, rng, static_cast<std::size_t>(n), 1,
+                                  4096);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {width / 128, rows, 1};
+        p.block = {128, 1, 1};
+        p.params = {static_cast<RegVal>(img), static_cast<RegVal>(out),
+                    width};
+        p.outputs = {{out, static_cast<std::uint64_t>(n * 4)}};
+        // Run the diffusion pass a few times (iterative application).
+        p.launches = 2;
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SR2 — srad v2 (Rodinia). The diffusion-application pass: a 4-point
+ * stencil over the coefficient field with clamped borders and a
+ * short update — roughly one ALU op per memory op, so unlike SR1
+ * this pass is memory-intensive.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel sr2
+.param img coef out width height
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // x
+    mov r2, ctaid.y;             // y
+    add r3, r1, 1;
+    sub r4, $width, 1;
+    min r3, r3, r4;              // xr clamped
+    add r5, r2, 1;
+    sub r6, $height, 1;
+    min r5, r5, r6;              // yd clamped
+    mul r7, r2, $width;
+    add r8, r7, r1;
+    shl r8, r8, 2;               // centre offset
+    add r9, $img, r8;
+    ld.global.u32 r10, [r9];     // img centre
+    add r11, r7, r3;
+    shl r11, r11, 2;
+    add r12, $coef, r11;
+    ld.global.u32 r13, [r12];    // coef east
+    mul r14, r5, $width;
+    add r14, r14, r1;
+    shl r14, r14, 2;
+    add r15, $coef, r14;
+    ld.global.u32 r16, [r15];    // coef south
+    add r17, $coef, r8;
+    ld.global.u32 r18, [r17];    // coef centre
+    add r19, r13, r16;
+    add r19, r19, r18;
+    add r21, r10, r19;
+    add r22, $out, r8;
+    st.global.u32 [r22], r21;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeSR2()
+{
+    Workload w;
+    w.name = "SR2";
+    w.fullName = "srad v2";
+    w.suite = 'C';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(222);
+        const int width = 512;
+        const int rows = static_cast<int>(scaled(64, scale, 8));
+        const long long n = static_cast<long long>(width) * rows;
+
+        Addr img = allocRandomI32(m, rng, static_cast<std::size_t>(n), 1,
+                                  4096);
+        Addr coef = allocRandomI32(m, rng, static_cast<std::size_t>(n), 0,
+                                   256);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {width / 128, rows, 1};
+        p.block = {128, 1, 1};
+        p.params = {static_cast<RegVal>(img), static_cast<RegVal>(coef),
+                    static_cast<RegVal>(out), width, rows};
+        p.outputs = {{out, static_cast<std::uint64_t>(n * 4)}};
+        p.launches = 2;
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ST — stencil (Parboil). 7-point 3-D Jacobi stencil: threads own an
+ * (x, y) column and march through z, loading six neighbours plus the
+ * centre and storing the relaxed value. Streaming through a
+ * multi-MB volume with ~1.2 ALU ops per memory op: bandwidth-heavy
+ * memory-intensive, fully affine addressing.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel st
+.param in out width planeElems depth
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;           // x
+    mov r2, ctaid.y;             // y
+    mul r3, r2, $width;
+    add r3, r3, r1;              // base cell in plane 0
+    shl r3, r3, 2;
+    mov r4, 1;                   // z (interior planes only)
+    mul r5, $planeElems, 4;      // plane stride in bytes
+    add r6, r3, r5;              // &in[cell at z=1]
+    add r6, $in, r6;
+    add r7, r3, r5;
+    add r7, $out, r7;
+Z:
+    ld.global.u32 r8, [r6];      // centre
+    ld.global.u32 r9, [r6+4];    // +x
+    ld.global.u32 r10, [r6-4];   // -x
+    mul r11, $width, 4;
+    add r12, r6, r11;
+    ld.global.u32 r13, [r12];    // +y
+    sub r14, r6, r11;
+    ld.global.u32 r15, [r14];    // -y
+    add r16, r6, r5;
+    ld.global.u32 r17, [r16];    // +z
+    sub r18, r6, r5;
+    ld.global.u32 r19, [r18];    // -z
+    add r20, r9, r10;
+    add r20, r20, r13;
+    add r20, r20, r15;
+    add r20, r20, r17;
+    add r20, r20, r19;
+    mul r21, r8, 6;
+    sub r22, r20, r21;
+    shr r22, r22, 2;
+    add r22, r22, r8;
+    st.global.u32 [r7], r22;
+    add r6, r6, r5;
+    add r7, r7, r5;
+    add r4, r4, 1;
+    sub r23, $depth, 1;
+    setp.lt p0, r4, r23;
+    @p0 bra Z;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeST()
+{
+    Workload w;
+    w.name = "ST";
+    w.fullName = "stencil";
+    w.suite = 'R';
+    w.memoryIntensive = true;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(141);
+        const int width = 256;           // interior x covered by 2 CTAs
+        const int rowsY = static_cast<int>(scaled(48, scale, 8));
+        const int depth = 18;
+        const long long plane = static_cast<long long>(width) * (rowsY + 2);
+        const long long vol = plane * depth;
+
+        Addr in = allocRandomI32(m, rng, static_cast<std::size_t>(vol), 0,
+                                 4096);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(vol));
+
+        p.kernel = assemble(src);
+        p.grid = {width / 128, rowsY, 1};
+        p.block = {128, 1, 1};
+        p.params = {static_cast<RegVal>(in + 4 + 4 * width),
+                    static_cast<RegVal>(out + 4 + 4 * width),
+                    width, static_cast<RegVal>(plane), depth};
+        p.outputs = {{out, static_cast<std::uint64_t>(vol * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * STO — storeGPU (GPGPU-sim suite). Threads read one word each and
+ * run a long register-resident mixing pipeline (shift/xor/multiply
+ * rounds, an integer hash) before storing. Arithmetic dominates the
+ * single load/store pair, making the kernel firmly compute-bound with
+ * only its addressing affine.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel sto
+.param in out rounds
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;
+    shl r2, r1, 2;
+    add r3, $in, r2;
+    ld.global.u32 r4, [r3];    // v
+    mov r5, 0;                 // round counter
+MIX:
+    // One mixing round: v = (v ^ (v >> 7)) * 2654435761 + round
+    shr r6, r4, 7;
+    xor r4, r4, r6;
+    mul r4, r4, 40503;         // 16-bit golden-ratio multiplier
+    add r4, r4, r5;
+    shl r7, r4, 3;
+    xor r4, r4, r7;
+    mul r4, r4, 31;
+    add r4, r4, 17;
+    add r5, r5, 1;
+    setp.lt p0, r5, $rounds;
+    @p0 bra MIX;
+    add r8, $out, r2;
+    st.global.u32 [r8], r4;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeSTO()
+{
+    Workload w;
+    w.name = "STO";
+    w.fullName = "storeGPU";
+    w.suite = 'G';
+    w.memoryIntensive = false;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(202);
+        const int ctas = static_cast<int>(scaled(120, scale, 15));
+        const int block = 128;
+        const int rounds = 24;
+        const long long n = static_cast<long long>(ctas) * block;
+
+        Addr in = allocRandomI32(m, rng, static_cast<std::size_t>(n), 0,
+                                 1 << 30);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(n));
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(in), static_cast<RegVal>(out),
+                    rounds};
+        p.outputs = {{out, static_cast<std::uint64_t>(n * 4)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

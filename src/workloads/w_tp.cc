@@ -1,0 +1,94 @@
+/**
+ * @file
+ * TP — tpacf, the two-point angular correlation function (Parboil /
+ * GPGPU-sim). Each thread holds one observation and loops over the
+ * sample catalogue (uniform scalar loads), computing a dot-product
+ * surrogate and binning it with a data-dependent comparison chain —
+ * the classic tpacf structure of regular outer loop + divergent
+ * histogram binning. The binning branches are data-dependent, so
+ * only the catalogue addressing and loop control decouple.
+ */
+
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/util.h"
+
+namespace dacsim::workloads
+{
+
+namespace
+{
+
+const char *src = R"(
+.kernel tp
+.param cat out numCat bins
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;
+    mov r2, 0;                 // bin0
+    mov r3, 0;                 // bin1
+    mov r4, 0;                 // bin2
+    mov r5, 0;                 // j
+POINT:
+    shl r20, r5, 2;            // j*4 (recomputed per iteration)
+    add r6, $cat, r20;
+    ld.global.u32 r7, [r6];    // catalogue entry (uniform address)
+    mul r8, r7, r1;            // dot surrogate
+    and r8, r8, 4095;
+    // Data-dependent binning chain (divergent, not decoupleable).
+    setp.lt p1, r8, 1024;
+    @p1 bra BIN0;
+    setp.lt p2, r8, 2048;
+    @p2 bra BIN1;
+    add r4, r4, 1;
+    bra NEXT;
+BIN1:
+    add r3, r3, 1;
+    bra NEXT;
+BIN0:
+    add r2, r2, 1;
+NEXT:
+    add r5, r5, 1;
+    setp.lt p0, r5, $numCat;
+    @p0 bra POINT;
+    mul r9, r1, 12;            // 3 bins per thread
+    add r10, $out, r9;
+    st.global.u32 [r10], r2;
+    st.global.u32 [r10+4], r3;
+    st.global.u32 [r10+8], r4;
+    exit;
+)";
+
+} // namespace
+
+Workload
+makeTP()
+{
+    Workload w;
+    w.name = "TP";
+    w.fullName = "tpacf";
+    w.suite = 'G';
+    w.memoryIntensive = false;
+    w.prepare = [](GpuMemory &m, double scale) {
+        PreparedWorkload p;
+        Rng rng(505);
+        const int ctas = static_cast<int>(scaled(96, scale, 15));
+        const int block = 128;
+        const int numCat = 80;
+        const long long n = static_cast<long long>(ctas) * block;
+
+        Addr cat = allocRandomI32(m, rng, static_cast<std::size_t>(numCat),
+                                  1, 1 << 20);
+        Addr out = allocZeroI32(m, static_cast<std::size_t>(n) * 3);
+
+        p.kernel = assemble(src);
+        p.grid = {ctas, 1, 1};
+        p.block = {block, 1, 1};
+        p.params = {static_cast<RegVal>(cat), static_cast<RegVal>(out),
+                    numCat, 3};
+        p.outputs = {{out, static_cast<std::uint64_t>(n * 12)}};
+        return p;
+    };
+    return w;
+}
+
+} // namespace dacsim::workloads

@@ -1,0 +1,34 @@
+#include "workloads/workload.h"
+
+#include "common/log.h"
+#include "workloads/registry.h"
+
+namespace dacsim
+{
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    using namespace workloads;
+    static const std::vector<Workload> all = {
+        // Compute intensive (Table 2, left column).
+        makeCP(), makeSTO(), makeAES(), makeMQ(), makeTP(), makeFFT(),
+        makeBP(), makeSR1(), makeHS(), makePF(), makeBS(),
+        // Memory intensive (Table 2, right column).
+        makeLIB(), makeSG(), makeST(), makeIMG(), makeHI(), makeLBM(),
+        makeSPV(), makeBT(), makeLUD(), makeSR2(), makeSC(), makeKM(),
+        makeBFS(), makeCFD(), makeMC(), makeMT(), makeSP(), makeCS(),
+    };
+    return all;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace dacsim

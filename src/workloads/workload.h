@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The benchmark workload registry (paper Table 2).
+ *
+ * Each of the paper's 29 benchmarks is represented by a kernel written
+ * in dacsim assembly that reproduces the original program's
+ * kernel-level structure: its memory access pattern, arithmetic
+ * intensity, divergence behaviour, and use of thread/block indices for
+ * addressing (see DESIGN.md, "Substitutions").
+ */
+
+#ifndef DACSIM_WORKLOADS_WORKLOAD_H
+#define DACSIM_WORKLOADS_WORKLOAD_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "mem/gpu_memory.h"
+#include "sim/dim3.h"
+
+namespace dacsim
+{
+
+/** A workload instantiated into device memory, ready to launch. */
+struct PreparedWorkload
+{
+    Kernel kernel;   ///< original (un-decoupled) kernel, not yet analysed
+    Dim3 grid;
+    Dim3 block;
+    std::vector<RegVal> params;
+    /** Number of back-to-back launches (iterative apps re-launch). */
+    int launches = 1;
+    /**
+     * Optional per-launch parameter sets (e.g. the BFS level counter);
+     * when non-empty it overrides `params` and `launches`.
+     */
+    std::vector<std::vector<RegVal>> launchParams;
+    /** Output ranges checksummed to compare machine variants. */
+    std::vector<std::pair<Addr, std::uint64_t>> outputs;
+};
+
+struct Workload
+{
+    std::string name;       ///< paper abbreviation, e.g. "LIB"
+    std::string fullName;   ///< e.g. "libor market model"
+    char suite = 'G';       ///< G / R / C / P per Table 2
+    /** Table 2 category (paper: >=1.5x speedup under perfect memory). */
+    bool memoryIntensive = false;
+
+    /**
+     * Build the workload at @p scale (1.0 = full size; tests use
+     * smaller scales). Allocates and initializes device buffers.
+     */
+    std::function<PreparedWorkload(GpuMemory &, double scale)> prepare;
+};
+
+/** All 29 benchmarks, in Table 2 order (compute first, then memory). */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up one benchmark by abbreviation; fatals when unknown. */
+const Workload &findWorkload(const std::string &name);
+
+} // namespace dacsim
+
+#endif // DACSIM_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Affine tuple algebra tests: every operation's tuple result must
+ * evaluate, for every thread, to exactly what per-thread scalar
+ * execution computes — the invariant that makes DAC a pure
+ * optimization. Exercised as a property sweep over threads and ops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dac/affine_tuple.h"
+#include "sim/alu.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+/** Sample thread coordinates for property checks. */
+const std::vector<std::pair<Idx3, Idx3>> &
+samplePoints()
+{
+    static const std::vector<std::pair<Idx3, Idx3>> pts = {
+        {{0, 0, 0}, {0, 0, 0}}, {{1, 0, 0}, {0, 0, 0}},
+        {{31, 0, 0}, {0, 0, 0}}, {{5, 3, 0}, {2, 0, 0}},
+        {{0, 7, 2}, {9, 4, 1}}, {{15, 15, 0}, {31, 7, 0}},
+    };
+    return pts;
+}
+
+AffineTuple
+makeTuple(RegVal base, RegVal ox, RegVal oy = 0, RegVal bz = 0)
+{
+    AffineTuple t;
+    t.base = base;
+    t.tidOff[0] = ox;
+    t.tidOff[1] = oy;
+    t.ctaOff[0] = bz;
+    return t;
+}
+
+TEST(AffineTuple, ScalarEvaluatesEverywhere)
+{
+    AffineTuple t = AffineTuple::scalar(42);
+    EXPECT_TRUE(t.isScalar());
+    for (auto &[tid, cta] : samplePoints())
+        EXPECT_EQ(t.eval(tid, cta), 42);
+}
+
+TEST(AffineTuple, IdentityTuples)
+{
+    for (int d = 0; d < 3; ++d) {
+        for (auto &[tid, cta] : samplePoints()) {
+            EXPECT_EQ(AffineTuple::tid(d).eval(tid, cta), tid.dim(d));
+            EXPECT_EQ(AffineTuple::ctaid(d).eval(tid, cta), cta.dim(d));
+        }
+    }
+}
+
+TEST(AffineTuple, PaperFigure1Example)
+{
+    // A = (0x100, 4), B = (0x200, 0); C = A + B = (0x300, 4).
+    AffineTuple a = makeTuple(0x100, 4);
+    AffineTuple b = AffineTuple::scalar(0x200);
+    auto c = affineAlu(Opcode::Add, a, b);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->base, 0x300);
+    EXPECT_EQ(c->tidOff[0], 4);
+    EXPECT_EQ(c->eval({0, 0, 0}, {}), 0x300);
+    EXPECT_EQ(c->eval({1, 0, 0}, {}), 0x304);
+}
+
+/** Binary ops agree with per-thread scalar execution. */
+class TupleBinaryProperty
+    : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(TupleBinaryProperty, MatchesPerThread)
+{
+    Opcode op = GetParam();
+    AffineTuple a = makeTuple(100, 4, -2, 64);
+    // Second operand must be scalar for mul/shl/mod.
+    AffineTuple b = (op == Opcode::Mul || op == Opcode::Shl ||
+                     op == Opcode::Mod)
+                        ? AffineTuple::scalar(op == Opcode::Shl ? 3 : 7)
+                        : makeTuple(-5, 1, 3, 0);
+    auto r = affineAlu(op, a, b);
+    ASSERT_TRUE(r.has_value()) << opcodeName(op);
+    for (auto &[tid, cta] : samplePoints()) {
+        RegVal av = a.eval(tid, cta);
+        RegVal bv = b.eval(tid, cta);
+        EXPECT_EQ(r->eval(tid, cta), aluCompute(op, av, bv))
+            << opcodeName(op) << " at tid " << tid.x << "," << tid.y;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, TupleBinaryProperty,
+                         ::testing::Values(Opcode::Add, Opcode::Sub,
+                                           Opcode::Mul, Opcode::Shl,
+                                           Opcode::Mod));
+
+TEST(AffineTuple, MadMatchesPerThread)
+{
+    AffineTuple a = makeTuple(3, 2);
+    AffineTuple b = AffineTuple::scalar(5);
+    AffineTuple c = makeTuple(-7, 0, 4);
+    auto r = affineAlu(Opcode::Mad, a, b, c);
+    ASSERT_TRUE(r.has_value());
+    for (auto &[tid, cta] : samplePoints()) {
+        EXPECT_EQ(r->eval(tid, cta),
+                  a.eval(tid, cta) * 5 + c.eval(tid, cta));
+    }
+}
+
+TEST(AffineTuple, ScalarOnlyOps)
+{
+    AffineTuple s1 = AffineTuple::scalar(0b1100);
+    AffineTuple s2 = AffineTuple::scalar(0b1010);
+    EXPECT_EQ(affineAlu(Opcode::And, s1, s2)->base, 0b1000);
+    EXPECT_EQ(affineAlu(Opcode::Or, s1, s2)->base, 0b1110);
+    EXPECT_EQ(affineAlu(Opcode::Xor, s1, s2)->base, 0b0110);
+    EXPECT_EQ(affineAlu(Opcode::Shr, s1, AffineTuple::scalar(2))->base, 3);
+    EXPECT_EQ(affineAlu(Opcode::Div, AffineTuple::scalar(17),
+                        AffineTuple::scalar(5))
+                  ->base,
+              3);
+    EXPECT_EQ(affineAlu(Opcode::Not, s1)->base, ~0b1100);
+}
+
+TEST(AffineTuple, NonRepresentableCases)
+{
+    AffineTuple a = makeTuple(0, 4);
+    // affine x affine
+    EXPECT_FALSE(affineAlu(Opcode::Mul, a, a).has_value());
+    // shift by affine amount
+    EXPECT_FALSE(affineAlu(Opcode::Shl, a, a).has_value());
+    // bitwise with affine
+    EXPECT_FALSE(affineAlu(Opcode::And, a, a).has_value());
+    // shr of affine
+    EXPECT_FALSE(
+        affineAlu(Opcode::Shr, a, AffineTuple::scalar(2)).has_value());
+}
+
+// ----- mod-type tuples (Section 4.4) ---------------------------------------
+
+TEST(AffineTuple, ModCreatesModType)
+{
+    AffineTuple a = makeTuple(5, 3, 0, 7);
+    auto m = affineAlu(Opcode::Mod, a, AffineTuple::scalar(11));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(m->hasMod);
+    EXPECT_FALSE(m->isScalar());
+    for (auto &[tid, cta] : samplePoints())
+        EXPECT_EQ(m->eval(tid, cta), gpuMod(a.eval(tid, cta), 11));
+}
+
+TEST(AffineTuple, ModTypeAddScalarAndAffine)
+{
+    AffineTuple a = makeTuple(0, 1);
+    auto m = affineAlu(Opcode::Mod, a, AffineTuple::scalar(5));
+    ASSERT_TRUE(m.has_value());
+    auto plus = affineAlu(Opcode::Add, *m, makeTuple(100, 2));
+    ASSERT_TRUE(plus.has_value());
+    for (auto &[tid, cta] : samplePoints()) {
+        EXPECT_EQ(plus->eval(tid, cta),
+                  gpuMod(tid.x, 5) + 100 + 2 * tid.x);
+    }
+    // Subtraction with the mod on the right negates the mod scale.
+    auto minus = affineAlu(Opcode::Sub, makeTuple(100, 0), *m);
+    ASSERT_TRUE(minus.has_value());
+    for (auto &[tid, cta] : samplePoints())
+        EXPECT_EQ(minus->eval(tid, cta), 100 - gpuMod(tid.x, 5));
+}
+
+TEST(AffineTuple, ModTypeScaling)
+{
+    AffineTuple a = makeTuple(0, 1);
+    auto m = affineAlu(Opcode::Mod, a, AffineTuple::scalar(5));
+    auto scaled = affineAlu(Opcode::Mul, *m, AffineTuple::scalar(4));
+    ASSERT_TRUE(scaled.has_value());
+    for (auto &[tid, cta] : samplePoints())
+        EXPECT_EQ(scaled->eval(tid, cta), 4 * gpuMod(tid.x, 5));
+    auto shifted = affineAlu(Opcode::Shl, *m, AffineTuple::scalar(2));
+    ASSERT_TRUE(shifted.has_value());
+    for (auto &[tid, cta] : samplePoints())
+        EXPECT_EQ(shifted->eval(tid, cta), 4 * gpuMod(tid.x, 5));
+}
+
+TEST(AffineTuple, TwoModTermsRejected)
+{
+    auto m1 = affineAlu(Opcode::Mod, makeTuple(0, 1),
+                        AffineTuple::scalar(5));
+    auto m2 = affineAlu(Opcode::Mod, makeTuple(0, 2),
+                        AffineTuple::scalar(3));
+    EXPECT_FALSE(affineAlu(Opcode::Add, *m1, *m2).has_value());
+    EXPECT_FALSE(affineAlu(Opcode::Mod, *m1, AffineTuple::scalar(7))
+                     .has_value());
+}
+
+TEST(AffineTuple, XOnlyDetection)
+{
+    EXPECT_TRUE(makeTuple(10, 4).xOnly());
+    EXPECT_TRUE(makeTuple(10, 4, 0, 99).xOnly()); // cta offsets allowed
+    EXPECT_FALSE(makeTuple(10, 4, 2).xOnly());
+    auto m = affineAlu(Opcode::Mod, makeTuple(0, 1),
+                       AffineTuple::scalar(5));
+    EXPECT_FALSE(m->xOnly());
+}
+
+TEST(AffineTuple, ToStringMentionsFields)
+{
+    AffineTuple t = makeTuple(7, 4);
+    EXPECT_NE(t.toString().find("7"), std::string::npos);
+    EXPECT_NE(t.toString().find("4"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Affine type analysis tests: the opcode result-type rules (Section 3
+ * / 4.4 / 4.6) and whole-kernel fixpoint behaviour including scalar
+ * loops, affine-predicate divergence budgets, and data-dependent
+ * control flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/affine_types.h"
+#include "compiler/cfg.h"
+#include "compiler/reaching_defs.h"
+#include "isa/assembler.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+constexpr TypeInfo S{ValKind::Scalar, 0, false};
+constexpr TypeInfo A{ValKind::Affine, 0, false};
+constexpr TypeInfo Amod{ValKind::Affine, 0, true};
+const TypeInfo N = TypeInfo::nonAffine();
+
+TypeInfo
+rt(Opcode op, std::vector<TypeInfo> srcs)
+{
+    return aluResultType(op, srcs, 2);
+}
+
+TEST(TypeRules, AddSub)
+{
+    EXPECT_EQ(rt(Opcode::Add, {S, S}).kind, ValKind::Scalar);
+    EXPECT_EQ(rt(Opcode::Add, {S, A}).kind, ValKind::Affine);
+    EXPECT_EQ(rt(Opcode::Add, {A, A}).kind, ValKind::Affine);
+    EXPECT_EQ(rt(Opcode::Sub, {A, S}).kind, ValKind::Affine);
+    EXPECT_TRUE(rt(Opcode::Add, {A, N}).isNonAffine());
+    // Two mod terms cannot combine.
+    EXPECT_TRUE(rt(Opcode::Add, {Amod, Amod}).isNonAffine());
+    EXPECT_EQ(rt(Opcode::Add, {Amod, A}).kind, ValKind::Affine);
+    EXPECT_TRUE(rt(Opcode::Add, {Amod, A}).hasMod);
+}
+
+TEST(TypeRules, MulIsScalarTimesAffineOnly)
+{
+    EXPECT_EQ(rt(Opcode::Mul, {S, S}).kind, ValKind::Scalar);
+    EXPECT_EQ(rt(Opcode::Mul, {S, A}).kind, ValKind::Affine);
+    EXPECT_EQ(rt(Opcode::Mul, {A, S}).kind, ValKind::Affine);
+    EXPECT_TRUE(rt(Opcode::Mul, {A, A}).isNonAffine());
+}
+
+TEST(TypeRules, MadComposes)
+{
+    EXPECT_EQ(rt(Opcode::Mad, {S, A, A}).kind, ValKind::Affine);
+    EXPECT_TRUE(rt(Opcode::Mad, {A, A, S}).isNonAffine());
+}
+
+TEST(TypeRules, ShiftsRequireScalarAmount)
+{
+    EXPECT_EQ(rt(Opcode::Shl, {A, S}).kind, ValKind::Affine);
+    EXPECT_TRUE(rt(Opcode::Shl, {A, A}).isNonAffine());
+    EXPECT_TRUE(rt(Opcode::Shr, {A, S}).isNonAffine());
+    EXPECT_EQ(rt(Opcode::Shr, {S, S}).kind, ValKind::Scalar);
+}
+
+TEST(TypeRules, BitwiseScalarOnly)
+{
+    for (Opcode op : {Opcode::And, Opcode::Or, Opcode::Xor}) {
+        EXPECT_EQ(rt(op, {S, S}).kind, ValKind::Scalar);
+        EXPECT_TRUE(rt(op, {A, S}).isNonAffine());
+    }
+    EXPECT_EQ(rt(Opcode::Not, {S}).kind, ValKind::Scalar);
+    EXPECT_TRUE(rt(Opcode::Not, {A}).isNonAffine());
+}
+
+TEST(TypeRules, ModMakesModType)
+{
+    TypeInfo r = rt(Opcode::Mod, {A, S});
+    EXPECT_EQ(r.kind, ValKind::Affine);
+    EXPECT_TRUE(r.hasMod);
+    // scalar mod scalar stays plain scalar
+    EXPECT_EQ(rt(Opcode::Mod, {S, S}).kind, ValKind::Scalar);
+    EXPECT_FALSE(rt(Opcode::Mod, {S, S}).hasMod);
+    // mod of a mod-type or by an affine divisor is out.
+    EXPECT_TRUE(rt(Opcode::Mod, {Amod, S}).isNonAffine());
+    EXPECT_TRUE(rt(Opcode::Mod, {A, A}).isNonAffine());
+}
+
+TEST(TypeRules, MinMaxAbsCostOneCondition)
+{
+    EXPECT_EQ(rt(Opcode::Min, {A, S}).conds, 1);
+    EXPECT_EQ(rt(Opcode::Max, {A, A}).conds, 1);
+    EXPECT_EQ(rt(Opcode::Min, {S, S}).conds, 0);
+    EXPECT_EQ(rt(Opcode::Abs, {A}).conds, 1);
+    EXPECT_EQ(rt(Opcode::Abs, {S}).conds, 0);
+}
+
+TEST(TypeRules, ConditionBudgetCapsToNonAffine)
+{
+    TypeInfo a1{ValKind::Affine, 1, false};
+    TypeInfo a2{ValKind::Affine, 2, false};
+    // 1+1 conditions plus the min's own = 3 > 2.
+    EXPECT_TRUE(rt(Opcode::Min, {a1, a1}).isNonAffine());
+    // 2 conditions propagate fine through add.
+    EXPECT_EQ(rt(Opcode::Add, {a2, S}).conds, 2);
+    // 2+1 through add exceeds the budget.
+    EXPECT_TRUE(rt(Opcode::Add, {a2, a1}).isNonAffine());
+}
+
+TEST(TypeRules, SelSelectorCosts)
+{
+    TypeInfo ps{ValKind::Scalar, 0, false};
+    TypeInfo pa{ValKind::Affine, 0, false};
+    EXPECT_EQ(rt(Opcode::Sel, {A, A, ps}).conds, 0);
+    EXPECT_EQ(rt(Opcode::Sel, {A, A, pa}).conds, 1);
+    EXPECT_TRUE(rt(Opcode::Sel, {A, A, N}).isNonAffine());
+}
+
+TEST(TypeRules, SetpKinds)
+{
+    EXPECT_EQ(rt(Opcode::Setp, {S, S}).kind, ValKind::Scalar);
+    EXPECT_EQ(rt(Opcode::Setp, {A, S}).kind, ValKind::Affine);
+    EXPECT_EQ(rt(Opcode::Setp, {Amod, S}).kind, ValKind::Affine);
+    EXPECT_TRUE(rt(Opcode::Setp, {N, S}).isNonAffine());
+}
+
+// ----- whole-kernel analysis ------------------------------------------------
+
+struct Analysis
+{
+    Kernel kernel;
+    Cfg cfg;
+    ReachingDefs rd;
+    AffineAnalysis aa;
+
+    explicit Analysis(const std::string &body)
+        : kernel(assemble(".kernel t\n.param A n\n" + body + "\nexit;\n")),
+          cfg(analyzeControlFlow(kernel)), rd(kernel, cfg),
+          aa(kernel, cfg, rd, 2)
+    {
+    }
+};
+
+TEST(AffineAnalysis, ThreadIdIsAffineParamsScalar)
+{
+    Analysis a("mul r0, ctaid.x, ntid.x;\n"
+               "add r1, tid.x, r0;\n"
+               "mov r2, $n;");
+    EXPECT_EQ(a.aa.defType(0).kind, ValKind::Affine);
+    EXPECT_EQ(a.aa.defType(1).kind, ValKind::Affine);
+    EXPECT_EQ(a.aa.defType(2).kind, ValKind::Scalar);
+}
+
+TEST(AffineAnalysis, LoadedDataIsNonAffine)
+{
+    Analysis a("shl r0, tid.x, 2;\nadd r1, $A, r0;\n"
+               "ld.global.u32 r2, [r1];\nadd r3, r2, tid.x;");
+    EXPECT_EQ(a.aa.defType(1).kind, ValKind::Affine);
+    EXPECT_TRUE(a.aa.defType(2).isNonAffine());
+    EXPECT_TRUE(a.aa.defType(3).isNonAffine());
+}
+
+TEST(AffineAnalysis, ScalarLoopStaysScalar)
+{
+    // i and the derived address increment stay scalar/affine through
+    // the loop-carried merge because the loop predicate is scalar.
+    Analysis a("mov r0, 0;\nmov r1, $A;\n"
+               "L:\n"
+               "add r0, r0, 1;\n"
+               "add r1, r1, 4;\n"
+               "setp.lt p0, r0, $n;\n"
+               "@p0 bra L;");
+    EXPECT_EQ(a.aa.defType(2).kind, ValKind::Scalar); // i
+    EXPECT_EQ(a.aa.defType(3).kind, ValKind::Scalar); // address
+    EXPECT_EQ(a.aa.defType(4).kind, ValKind::Scalar); // predicate
+}
+
+TEST(AffineAnalysis, AffineLoopCarriedValueDegrades)
+{
+    // The loop bound depends on tid, so trip counts can differ per
+    // thread: the loop-carried r0 is a divergent loop-carried tuple
+    // and must degrade to NonAffine (Section 4.6).
+    Analysis a("mov r0, 0;\n"
+               "L:\n"
+               "add r0, r0, 4;\n"
+               "setp.lt p0, r0, tid.x;\n"
+               "@p0 bra L;");
+    EXPECT_TRUE(a.aa.defType(1).isNonAffine());
+}
+
+TEST(AffineAnalysis, DivergentDiamondCostsOneCondition)
+{
+    Analysis a("setp.lt p0, tid.x, 16;\n"
+               "mov r0, 0;\n"
+               "@p0 bra T;\n"
+               "shl r0, tid.x, 2;\n"
+               "T:\n"
+               "add r1, r0, $A;");
+    // r1's source r0 merges two defs under an affine condition.
+    TypeInfo t = a.aa.defType(4);
+    EXPECT_EQ(t.kind, ValKind::Affine);
+    EXPECT_EQ(t.conds, 1);
+}
+
+TEST(AffineAnalysis, DataDependentDiamondPoisons)
+{
+    Analysis a("shl r2, tid.x, 2;\nadd r2, r2, $A;\n"
+               "ld.global.u32 r3, [r2];\n"
+               "setp.lt p0, r3, 0;\n"     // data-dependent predicate
+               "mov r0, 0;\n"
+               "@p0 bra T;\n"
+               "mov r0, 4;\n"
+               "T:\n"
+               "add r1, r0, tid.x;");
+    EXPECT_TRUE(a.aa.defType(7).isNonAffine());
+}
+
+TEST(AffineAnalysis, GuardedWriteCostsCondition)
+{
+    Analysis a("setp.lt p0, tid.x, 16;\n"
+               "mov r0, 0;\n"
+               "@p0 mov r0, 4;\n"
+               "add r1, r0, 1;");
+    TypeInfo t = a.aa.defType(3);
+    EXPECT_EQ(t.kind, ValKind::Affine);
+    EXPECT_GE(t.conds, 1);
+}
+
+TEST(AffineAnalysis, BlockResidency)
+{
+    Analysis a("shl r2, tid.x, 2;\nadd r2, r2, $A;\n"
+               "ld.global.u32 r3, [r2];\n"
+               "setp.lt p0, r3, 0;\n"
+               "@p0 bra SKIP;\n"
+               "add r4, tid.x, 1;\n"
+               "SKIP:\n"
+               "mov r5, 0;");
+    // The guarded block is under data-dependent control: not resident.
+    EXPECT_FALSE(a.aa.blockAffineResident(a.cfg.blockOf(5)));
+    // Entry and the reconvergence block are resident.
+    EXPECT_TRUE(a.aa.blockAffineResident(a.cfg.blockOf(0)));
+    EXPECT_TRUE(a.aa.blockAffineResident(a.cfg.blockOf(7)));
+}
+
+TEST(AffineAnalysis, ModTupleThroughArithmetic)
+{
+    Analysis a("mod r0, tid.x, $n;\n"
+               "shl r1, r0, 2;\n"
+               "add r2, r1, $A;");
+    EXPECT_TRUE(a.aa.defType(0).hasMod);
+    EXPECT_TRUE(a.aa.defType(2).hasMod);
+    EXPECT_EQ(a.aa.defType(2).kind, ValKind::Affine);
+}
+
+} // namespace

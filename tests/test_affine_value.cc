@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Divergent affine value tests: variant creation via overlay/select
+ * (the DCRF mechanism of Section 4.6), variant-wise arithmetic, the
+ * 4-variant budget, and exact per-thread evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dac/affine_value.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+MaskSet
+masks(std::initializer_list<ThreadMask> ms)
+{
+    return MaskSet(ms);
+}
+
+TEST(MaskSetOps, Basics)
+{
+    MaskSet a = masks({0xff, 0x0f});
+    MaskSet b = masks({0x0f, 0xff});
+    EXPECT_EQ(maskSetAnd(a, b), masks({0x0f, 0x0f}));
+    EXPECT_EQ(maskSetAndNot(a, b), masks({0xf0, 0x00}));
+    EXPECT_EQ(maskSetOr(a, b), masks({0xff, 0xff}));
+    EXPECT_TRUE(maskSetAny(a));
+    EXPECT_TRUE(maskSetEmpty(masks({0, 0})));
+    EXPECT_FALSE(maskSetEmpty(a));
+}
+
+TEST(AffineValue, UniformEvaluation)
+{
+    AffineValue v = AffineValue::uniform(AffineTuple::scalar(9));
+    EXPECT_TRUE(v.isUniform());
+    EXPECT_EQ(v.evalThread(0, 5, {5, 0, 0}, {}), 9);
+    EXPECT_EQ(v.evalThread(1, 31, {31, 0, 0}, {}), 9);
+}
+
+TEST(AffineValue, OverlayCreatesVariants)
+{
+    const MaskSet full = masks({fullMask, fullMask});
+    AffineValue v = AffineValue::uniform(AffineTuple::scalar(1));
+    // Threads of warp 0's lower half take value 2.
+    MaskSet m = masks({0x0000ffff, 0});
+    ASSERT_TRUE(v.overlay(AffineValue::uniform(AffineTuple::scalar(2)), m,
+                          full));
+    EXPECT_EQ(v.numVariants(), 2);
+    EXPECT_EQ(v.evalThread(0, 3, {3, 0, 0}, {}), 2);
+    EXPECT_EQ(v.evalThread(0, 20, {20, 0, 0}, {}), 1);
+    EXPECT_EQ(v.evalThread(1, 3, {3, 0, 0}, {}), 1);
+}
+
+TEST(AffineValue, OverlayFullMaskReplaces)
+{
+    const MaskSet full = masks({fullMask});
+    AffineValue v = AffineValue::uniform(AffineTuple::scalar(1));
+    ASSERT_TRUE(v.overlay(AffineValue::uniform(AffineTuple::scalar(2)),
+                          full, full));
+    EXPECT_TRUE(v.isUniform());
+    EXPECT_EQ(v.onlyTuple().base, 2);
+}
+
+TEST(AffineValue, NormalizeMergesIdenticalTuples)
+{
+    const MaskSet full = masks({fullMask});
+    AffineValue v = AffineValue::uniform(AffineTuple::scalar(1));
+    // Overlaying the same value keeps it uniform after normalization.
+    ASSERT_TRUE(v.overlay(AffineValue::uniform(AffineTuple::scalar(1)),
+                          masks({0xff}), full));
+    EXPECT_TRUE(v.isUniform());
+}
+
+TEST(AffineValue, SelectPaperFigure14)
+{
+    // Path A: offset = tid*4; Path B: offset = 0 (Figure 14's case).
+    const MaskSet full = masks({fullMask});
+    AffineTuple a;
+    a.tidOff[0] = 4;
+    AffineValue addrA = AffineValue::uniform(a);
+    AffineValue addrB = AffineValue::uniform(AffineTuple::scalar(0));
+    MaskSet takeA = masks({0x000000ff});
+    auto sel = AffineValue::select(addrA, addrB, takeA, full);
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_EQ(sel->numVariants(), 2);
+    EXPECT_EQ(sel->evalThread(0, 2, {2, 0, 0}, {}), 8);   // path A
+    EXPECT_EQ(sel->evalThread(0, 12, {12, 0, 0}, {}), 0); // path B
+}
+
+TEST(AffineValue, ApplyUniformFastPath)
+{
+    const MaskSet full = masks({fullMask});
+    AffineValue a = AffineValue::uniform(AffineTuple::tid(0));
+    AffineValue b = AffineValue::uniform(AffineTuple::scalar(100));
+    auto r = AffineValue::apply(Opcode::Add, a, b, {}, full);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->isUniform());
+    EXPECT_EQ(r->evalThread(0, 7, {7, 0, 0}, {}), 107);
+}
+
+TEST(AffineValue, ApplyDistributesOverVariants)
+{
+    const MaskSet full = masks({fullMask});
+    AffineValue a = AffineValue::uniform(AffineTuple::scalar(10));
+    ASSERT_TRUE(a.overlay(AffineValue::uniform(AffineTuple::scalar(20)),
+                          masks({0xffff0000}), full));
+    AffineValue b = AffineValue::uniform(AffineTuple::tid(0));
+    auto r = AffineValue::apply(Opcode::Add, a, b, {}, full);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->numVariants(), 2);
+    EXPECT_EQ(r->evalThread(0, 1, {1, 0, 0}, {}), 11);
+    EXPECT_EQ(r->evalThread(0, 17, {17, 0, 0}, {}), 37);
+}
+
+TEST(AffineValue, ApplyVariantCrossProduct)
+{
+    const MaskSet full = masks({fullMask});
+    AffineValue a = AffineValue::uniform(AffineTuple::scalar(1));
+    ASSERT_TRUE(a.overlay(AffineValue::uniform(AffineTuple::scalar(2)),
+                          masks({0x0000ffff}), full));
+    AffineValue b = AffineValue::uniform(AffineTuple::scalar(10));
+    ASSERT_TRUE(b.overlay(AffineValue::uniform(AffineTuple::scalar(20)),
+                          masks({0x00ff00ff}), full));
+    auto r = AffineValue::apply(Opcode::Add, a, b, {}, full);
+    ASSERT_TRUE(r.has_value());
+    // Four regions: 2+20, 2+10, 1+20, 1+10.
+    EXPECT_EQ(r->evalThread(0, 0, {0, 0, 0}, {}), 22);
+    EXPECT_EQ(r->evalThread(0, 10, {10, 0, 0}, {}), 12);
+    EXPECT_EQ(r->evalThread(0, 18, {18, 0, 0}, {}), 21);
+    EXPECT_EQ(r->evalThread(0, 26, {26, 0, 0}, {}), 11);
+}
+
+TEST(AffineValue, VariantBudgetExceededFails)
+{
+    const MaskSet full = masks({fullMask});
+    AffineValue v = AffineValue::uniform(AffineTuple::scalar(0));
+    // Carve five distinct regions: the fifth overlay must fail.
+    for (int i = 0; i < 4; ++i) {
+        ThreadMask m = 0x3fu << (i * 6);
+        bool ok = v.overlay(
+            AffineValue::uniform(AffineTuple::scalar(i + 1)),
+            masks({m}), full);
+        if (i < 3)
+            ASSERT_TRUE(ok) << i;
+        else
+            EXPECT_FALSE(ok);
+    }
+}
+
+TEST(AffineValue, ApplyFailsOnNonRepresentable)
+{
+    const MaskSet full = masks({fullMask});
+    AffineValue a = AffineValue::uniform(AffineTuple::tid(0));
+    auto r = AffineValue::apply(Opcode::Mul, a, a, {}, full);
+    EXPECT_FALSE(r.has_value());
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Scalar ALU semantics tests, including the gpuMod/gpuDiv pair's
+ * algebraic invariants which the affine mod-type tuples rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "sim/alu.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+TEST(Alu, BasicArithmetic)
+{
+    EXPECT_EQ(aluCompute(Opcode::Mov, 42), 42);
+    EXPECT_EQ(aluCompute(Opcode::Add, 3, 4), 7);
+    EXPECT_EQ(aluCompute(Opcode::Sub, 3, 4), -1);
+    EXPECT_EQ(aluCompute(Opcode::Mul, -3, 4), -12);
+    EXPECT_EQ(aluCompute(Opcode::Mad, 2, 3, 10), 16);
+}
+
+TEST(Alu, ShiftsAndBitwise)
+{
+    EXPECT_EQ(aluCompute(Opcode::Shl, 1, 10), 1024);
+    EXPECT_EQ(aluCompute(Opcode::Shr, -8, 1), -4); // arithmetic
+    EXPECT_EQ(aluCompute(Opcode::And, 0b1100, 0b1010), 0b1000);
+    EXPECT_EQ(aluCompute(Opcode::Or, 0b1100, 0b1010), 0b1110);
+    EXPECT_EQ(aluCompute(Opcode::Xor, 0b1100, 0b1010), 0b0110);
+    EXPECT_EQ(aluCompute(Opcode::Not, 0), -1);
+}
+
+TEST(Alu, ShiftAmountsMask)
+{
+    // Shift counts wrap at 64 as on hardware.
+    EXPECT_EQ(aluCompute(Opcode::Shl, 3, 64), 3);
+    EXPECT_EQ(aluCompute(Opcode::Shr, 3, 65), 1);
+}
+
+TEST(Alu, MinMaxAbsSel)
+{
+    EXPECT_EQ(aluCompute(Opcode::Min, -2, 5), -2);
+    EXPECT_EQ(aluCompute(Opcode::Max, -2, 5), 5);
+    EXPECT_EQ(aluCompute(Opcode::Abs, -7), 7);
+    EXPECT_EQ(aluCompute(Opcode::Abs, 7), 7);
+    EXPECT_EQ(aluCompute(Opcode::Sel, 1, 2, 1), 1);
+    EXPECT_EQ(aluCompute(Opcode::Sel, 1, 2, 0), 2);
+}
+
+TEST(Alu, Comparisons)
+{
+    EXPECT_TRUE(cmpCompute(CmpOp::Eq, 3, 3));
+    EXPECT_TRUE(cmpCompute(CmpOp::Ne, 3, 4));
+    EXPECT_TRUE(cmpCompute(CmpOp::Lt, -1, 0));
+    EXPECT_TRUE(cmpCompute(CmpOp::Le, 0, 0));
+    EXPECT_TRUE(cmpCompute(CmpOp::Gt, 1, 0));
+    EXPECT_TRUE(cmpCompute(CmpOp::Ge, 1, 1));
+    EXPECT_FALSE(cmpCompute(CmpOp::Lt, 0, 0));
+}
+
+TEST(Alu, DivModByZeroFaults)
+{
+    EXPECT_THROW(gpuDiv(1, 0), FatalError);
+    EXPECT_THROW(gpuMod(1, 0), FatalError);
+}
+
+/** gpuMod returns values in [0, b) for positive divisors. */
+class ModProperty : public ::testing::TestWithParam<std::pair<RegVal,
+                                                              RegVal>>
+{
+};
+
+TEST_P(ModProperty, ModInRangeAndDivConsistent)
+{
+    auto [a, b] = GetParam();
+    RegVal m = gpuMod(a, b);
+    RegVal q = gpuDiv(a, b);
+    EXPECT_GE(m, 0);
+    EXPECT_LT(m, b);
+    // Fundamental identity: a == q*b + m.
+    EXPECT_EQ(q * b + m, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModProperty,
+    ::testing::Values(std::pair<RegVal, RegVal>{0, 7},
+                      std::pair<RegVal, RegVal>{6, 7},
+                      std::pair<RegVal, RegVal>{7, 7},
+                      std::pair<RegVal, RegVal>{13, 7},
+                      std::pair<RegVal, RegVal>{-1, 7},
+                      std::pair<RegVal, RegVal>{-7, 7},
+                      std::pair<RegVal, RegVal>{-13, 7},
+                      std::pair<RegVal, RegVal>{1 << 20, 397},
+                      std::pair<RegVal, RegVal>{624, 397},
+                      std::pair<RegVal, RegVal>{123456789, 1024}));
+
+/** The mod-tuple algebra assumes (x + k*d) mod d == x mod d. */
+TEST(Alu, ModPeriodicity)
+{
+    for (RegVal x = -20; x <= 20; ++x)
+        for (RegVal d : {3, 8, 397})
+            EXPECT_EQ(gpuMod(x + 5 * d, d), gpuMod(x, d));
+}
+
+/** c*(x mod d) is what the tuple's modScale field computes. */
+TEST(Alu, ModScaleDistributes)
+{
+    for (RegVal x : {-9, -1, 0, 5, 100})
+        for (RegVal c : {-3, 2, 7})
+            EXPECT_EQ(c * gpuMod(x, 16), gpuMod(x, 16) * c);
+}
+
+} // namespace

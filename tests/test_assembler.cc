@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Assembler unit tests: syntax acceptance, operand forms, label
+ * resolution, error reporting, and disassembly stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/assembler.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+Kernel
+asm1(const std::string &body)
+{
+    return assemble(".kernel t\n.param A B n\n" + body + "\nexit;\n");
+}
+
+TEST(Assembler, ParsesKernelHeader)
+{
+    Kernel k = assemble(".kernel foo\n.param x y\n.shared 128\nexit;\n");
+    EXPECT_EQ(k.name, "foo");
+    EXPECT_EQ(k.params, (std::vector<std::string>{"x", "y"}));
+    EXPECT_EQ(k.sharedBytes, 128);
+    ASSERT_EQ(k.numInsts(), 1);
+    EXPECT_TRUE(k.insts[0].isExit());
+}
+
+TEST(Assembler, CountsRegistersAndPredicates)
+{
+    Kernel k = asm1("mov r7, 4;\nsetp.lt p2, r7, 9;");
+    EXPECT_EQ(k.numRegs, 8);
+    EXPECT_EQ(k.numPreds, 3);
+}
+
+TEST(Assembler, AluOperandKinds)
+{
+    Kernel k = asm1("add r0, tid.x, $A;\nmul r1, r0, -12;");
+    EXPECT_EQ(k.insts[0].op, Opcode::Add);
+    EXPECT_TRUE(k.insts[0].src[0].isSpecial());
+    EXPECT_EQ(k.insts[0].src[0].sreg, SpecialReg::TidX);
+    EXPECT_TRUE(k.insts[0].src[1].isParam());
+    EXPECT_EQ(k.insts[0].src[1].index, 0);
+    EXPECT_TRUE(k.insts[1].src[1].isImm());
+    EXPECT_EQ(k.insts[1].src[1].imm, -12);
+}
+
+TEST(Assembler, HexImmediates)
+{
+    Kernel k = asm1("mov r0, 0x1f;\nmov r1, -0x10;");
+    EXPECT_EQ(k.insts[0].src[0].imm, 31);
+    EXPECT_EQ(k.insts[1].src[0].imm, -16);
+}
+
+TEST(Assembler, AllSpecialRegisters)
+{
+    Kernel k = asm1("add r0, tid.y, tid.z;\n"
+                    "add r1, ntid.x, ntid.y;\n"
+                    "add r2, ctaid.y, ctaid.z;\n"
+                    "add r3, nctaid.x, nctaid.z;");
+    EXPECT_EQ(k.insts[0].src[0].sreg, SpecialReg::TidY);
+    EXPECT_EQ(k.insts[0].src[1].sreg, SpecialReg::TidZ);
+    EXPECT_EQ(k.insts[1].src[0].sreg, SpecialReg::NtidX);
+    EXPECT_EQ(k.insts[2].src[1].sreg, SpecialReg::CtaidZ);
+    EXPECT_EQ(k.insts[3].src[1].sreg, SpecialReg::NctaidZ);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    Kernel k = asm1("ld.global.u32 r1, [r0];\n"
+                    "ld.global.u32 r2, [r0+64];\n"
+                    "ld.global.u32 r3, [r0-4];\n"
+                    "st.shared.u16 [r1+2], r3;");
+    EXPECT_EQ(k.insts[0].addrOffset, 0);
+    EXPECT_EQ(k.insts[1].addrOffset, 64);
+    EXPECT_EQ(k.insts[2].addrOffset, -4);
+    EXPECT_EQ(k.insts[3].space, MemSpace::Shared);
+    EXPECT_EQ(k.insts[3].width, MemWidth::U16);
+}
+
+TEST(Assembler, MemoryWidths)
+{
+    Kernel k = asm1("ld.global.u8 r1, [r0];\n"
+                    "ld.global.s16 r2, [r0];\n"
+                    "ld.global.u64 r3, [r0];\n"
+                    "ld.global.s32 r4, [r0];\n"
+                    "ld.global r5, [r0];");
+    EXPECT_EQ(k.insts[0].width, MemWidth::U8);
+    EXPECT_EQ(k.insts[1].width, MemWidth::S16);
+    EXPECT_EQ(k.insts[2].width, MemWidth::U64);
+    EXPECT_EQ(k.insts[3].width, MemWidth::S32);
+    EXPECT_EQ(k.insts[4].width, MemWidth::U32); // default
+}
+
+TEST(Assembler, LocalSpaceAliasesGlobal)
+{
+    Kernel k = asm1("ld.local.u32 r1, [r0];");
+    EXPECT_EQ(k.insts[0].space, MemSpace::Global);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Kernel k = asm1("mov r0, 0;\nL1:\nadd r0, r0, 1;\nsetp.lt p0, r0, 5;\n"
+                    "@p0 bra L1;\n@!p0 bra L2;\nL2:\nmov r1, r0;");
+    EXPECT_EQ(k.insts[3].op, Opcode::Bra);
+    EXPECT_EQ(k.insts[3].target, 1);
+    EXPECT_EQ(k.insts[3].guardPred, 0);
+    EXPECT_FALSE(k.insts[3].guardNeg);
+    EXPECT_TRUE(k.insts[4].guardNeg);
+    EXPECT_EQ(k.insts[4].target, 5);
+}
+
+TEST(Assembler, ForwardBranch)
+{
+    Kernel k = asm1("bra DONE;\nmov r0, 1;\nDONE:\nmov r1, 2;");
+    EXPECT_EQ(k.insts[0].target, 2);
+    EXPECT_EQ(k.insts[0].guardPred, -1);
+}
+
+TEST(Assembler, GuardedAlu)
+{
+    Kernel k = asm1("setp.eq p1, r0, 0;\n@p1 add r0, r0, 1;");
+    EXPECT_EQ(k.insts[1].guardPred, 1);
+    EXPECT_EQ(k.insts[1].op, Opcode::Add);
+}
+
+TEST(Assembler, SetpComparisons)
+{
+    Kernel k = asm1("setp.eq p0, r0, r1;\nsetp.ne p0, r0, r1;\n"
+                    "setp.lt p0, r0, r1;\nsetp.le p0, r0, r1;\n"
+                    "setp.gt p0, r0, r1;\nsetp.ge p0, r0, r1;");
+    EXPECT_EQ(k.insts[0].cmp, CmpOp::Eq);
+    EXPECT_EQ(k.insts[1].cmp, CmpOp::Ne);
+    EXPECT_EQ(k.insts[2].cmp, CmpOp::Lt);
+    EXPECT_EQ(k.insts[3].cmp, CmpOp::Le);
+    EXPECT_EQ(k.insts[4].cmp, CmpOp::Gt);
+    EXPECT_EQ(k.insts[5].cmp, CmpOp::Ge);
+}
+
+TEST(Assembler, SelAndMad)
+{
+    Kernel k = asm1("setp.lt p0, r0, r1;\nsel r2, r0, r1, p0;\n"
+                    "mad r3, r0, r1, r2;");
+    EXPECT_EQ(k.insts[1].op, Opcode::Sel);
+    EXPECT_TRUE(k.insts[1].src[2].isPred());
+    EXPECT_EQ(k.insts[2].op, Opcode::Mad);
+}
+
+TEST(Assembler, DacInstructionForms)
+{
+    Kernel k = asm1("enq.data.u32 [r0+8];\nenq.addr.u64 [r1];\n"
+                    "setp.lt p0, r0, r1;\nenq.pred p0;\n"
+                    "ld.deq.u32 r2;\nst.deq.u32 r3;\ndeq.pred p1;");
+    EXPECT_EQ(k.insts[0].op, Opcode::EnqData);
+    EXPECT_EQ(k.insts[0].addrOffset, 8);
+    EXPECT_EQ(k.insts[1].op, Opcode::EnqAddr);
+    EXPECT_EQ(k.insts[1].width, MemWidth::U64);
+    EXPECT_EQ(k.insts[3].op, Opcode::EnqPred);
+    EXPECT_EQ(k.insts[4].op, Opcode::LdDeq);
+    EXPECT_EQ(k.insts[5].op, Opcode::StDeq);
+    EXPECT_EQ(k.insts[6].op, Opcode::DeqPred);
+    EXPECT_TRUE(k.insts[6].dst.isPred());
+}
+
+TEST(Assembler, CommentsAndMultiStatementLines)
+{
+    Kernel k = asm1("mov r0, 1; add r1, r0, 2; // trailing comment\n"
+                    "// whole-line comment\n"
+                    "sub r2, r1, r0;");
+    EXPECT_EQ(k.numInsts(), 4); // 3 + exit
+}
+
+TEST(Assembler, BarParses)
+{
+    Kernel k = asm1("bar;");
+    EXPECT_TRUE(k.insts[0].isBarrier());
+    EXPECT_FALSE(k.insts[0].epochCounted);
+}
+
+// ----- error cases ---------------------------------------------------------
+
+TEST(AssemblerErrors, UndeclaredParam)
+{
+    EXPECT_THROW(asm1("mov r0, $zzz;"), FatalError);
+}
+
+TEST(AssemblerErrors, UndefinedLabel)
+{
+    EXPECT_THROW(asm1("bra NOWHERE;"), FatalError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(asm1("X:\nmov r0, 1;\nX:\nmov r1, 2;"), FatalError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_THROW(asm1("add r0, r1;"), FatalError);
+    EXPECT_THROW(asm1("mov r0, r1, r2;"), FatalError);
+}
+
+TEST(AssemblerErrors, BadDestination)
+{
+    EXPECT_THROW(asm1("add p0, r1, r2;"), FatalError);
+    EXPECT_THROW(asm1("setp.lt r0, r1, r2;"), FatalError);
+}
+
+TEST(AssemblerErrors, SetpNeedsComparison)
+{
+    EXPECT_THROW(asm1("setp p0, r1, r2;"), FatalError);
+}
+
+TEST(AssemblerErrors, BadMemoryOperand)
+{
+    EXPECT_THROW(asm1("ld.global.u32 r0, r1;"), FatalError);
+    EXPECT_THROW(asm1("ld.global.u32 r0, [r1+x];"), FatalError);
+}
+
+TEST(AssemblerErrors, BadWidth)
+{
+    EXPECT_THROW(asm1("ld.global.u17 r0, [r1];"), FatalError);
+}
+
+TEST(AssemblerErrors, UnknownInstruction)
+{
+    EXPECT_THROW(asm1("frobnicate r0, r1;"), FatalError);
+}
+
+TEST(AssemblerErrors, MissingExit)
+{
+    EXPECT_THROW(assemble(".kernel t\nmov r0, 1;\n"), FatalError);
+}
+
+TEST(AssemblerErrors, GuardMustBePredicate)
+{
+    EXPECT_THROW(asm1("@r0 bra X;\nX:\nmov r0, 1;"), FatalError);
+}
+
+TEST(Assembler, DisassemblyRoundTrips)
+{
+    const char *src = R"(
+.kernel rt
+.param A n
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;
+LOOP:
+    shl r2, r1, 2;
+    add r3, $A, r2;
+    ld.global.u32 r4, [r3+4];
+    max r5, r4, 0;
+    st.global.u32 [r3], r5;
+    setp.lt p0, r1, $n;
+    @p0 bra LOOP;
+    exit;
+)";
+    Kernel k1 = assemble(src);
+    // Disassemble, strip the header line, and re-assemble: the result
+    // must be structurally identical.
+    std::string dis = k1.disassemble();
+    std::string body;
+    bool first = true;
+    for (std::size_t pos = 0; pos < dis.size();) {
+        std::size_t nl = dis.find('\n', pos);
+        std::string line = dis.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (first) {
+            first = false;
+            continue;
+        }
+        // Instruction lines look like "  12: add r1, ...".
+        std::size_t colon = line.find(": ");
+        if (line.size() > 2 && line[2] != ' ' &&
+            colon == std::string::npos) {
+            body += line + "\n"; // label line
+        } else if (colon != std::string::npos) {
+            std::string inst = line.substr(colon + 2);
+            // Branch targets disassemble as raw PCs; tag them.
+            if (inst.rfind("bra ", 0) == 0 ||
+                inst.find(" bra ") != std::string::npos) {
+                continue; // skip branches (numeric targets)
+            }
+            body += inst + ";\n";
+        }
+    }
+    // At minimum the disassembly must mention every opcode used.
+    EXPECT_NE(dis.find("ld.global.u32 r4, [r3+4]"), std::string::npos);
+    EXPECT_NE(dis.find("max r5, r4, 0"), std::string::npos);
+    EXPECT_NE(dis.find("setp.lt p0, r1, $n"), std::string::npos);
+    EXPECT_NE(dis.find("@p0 bra 2"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Baseline-technique unit tests: the MTA prefetcher's stride
+ * training/throttling and the reaching-definitions dataflow that the
+ * compiler baselines share.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/mta.h"
+#include "compiler/cfg.h"
+#include "compiler/reaching_defs.h"
+#include "isa/assembler.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+struct MtaFixture : ::testing::Test
+{
+    GpuConfig gcfg;
+    MtaConfig mcfg;
+    RunStats stats;
+    MemorySystem ms{gcfg, &stats};
+    MtaPrefetcher pf{0, mcfg, ms, stats};
+
+    MtaFixture() { ms.enablePrefetchBuffer(mcfg); }
+};
+
+TEST_F(MtaFixture, TrainsIntraWarpStride)
+{
+    // Same PC, same warp, constant stride: prefetches after the
+    // confirmation threshold.
+    Addr stride = 4 * 128;
+    for (int i = 0; i < 3; ++i)
+        pf.observe(/*pc=*/7, /*warp=*/3, static_cast<Addr>(i) * stride,
+                   0);
+    EXPECT_GT(stats.prefetchesIssued, 0u);
+    // The prefetched line is the next in the stream.
+    AccessResult r = ms.load(0, 3 * stride, 10000, Requester::Demand);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(stats.prefetchHits, 1u);
+}
+
+TEST_F(MtaFixture, NoPrefetchWithoutConfirmation)
+{
+    pf.observe(7, 3, 0, 0);
+    pf.observe(7, 3, 128, 0);     // first delta
+    EXPECT_EQ(stats.prefetchesIssued, 0u);
+}
+
+TEST_F(MtaFixture, IrregularStreamStaysQuiet)
+{
+    Addr irregular[] = {0, 512, 128, 4096, 64 * 128, 7 * 128};
+    for (Addr a : irregular)
+        pf.observe(9, 0, a, 0);
+    EXPECT_EQ(stats.prefetchesIssued, 0u);
+}
+
+TEST_F(MtaFixture, InterWarpStrideDetected)
+{
+    // Successive warps touch consecutive lines at the same PC.
+    for (int w = 0; w < 4; ++w)
+        pf.observe(11, w, static_cast<Addr>(w) * 128, 0);
+    EXPECT_GT(stats.prefetchesIssued, 0u);
+}
+
+TEST_F(MtaFixture, ThrottleHalvesDegree)
+{
+    int start = pf.currentDegree();
+    // Flood the buffer with never-used prefetches by training a
+    // stride and issuing far more than the 16KB buffer holds (time
+    // advances so in-flight prefetches retire and free MSHRs).
+    for (int i = 0; i < 600; ++i)
+        pf.observe(13, 0, static_cast<Addr>(i) * 128,
+                   static_cast<Cycle>(i) * 600);
+    EXPECT_LT(pf.currentDegree(), start);
+    EXPECT_GT(stats.prefetchUnused, 0u);
+}
+
+TEST_F(MtaFixture, ResetClearsTraining)
+{
+    for (int i = 0; i < 3; ++i)
+        pf.observe(7, 3, static_cast<Addr>(i) * 128, 0);
+    std::uint64_t issued = stats.prefetchesIssued;
+    pf.reset();
+    pf.observe(7, 3, 10 * 128, 0);
+    pf.observe(7, 3, 11 * 128, 0);
+    EXPECT_EQ(stats.prefetchesIssued, issued); // needs re-confirmation
+}
+
+// ----- reaching definitions ---------------------------------------------------
+
+struct RdFixture
+{
+    Kernel kernel;
+    Cfg cfg;
+    ReachingDefs rd;
+
+    explicit RdFixture(const std::string &body)
+        : kernel(assemble(".kernel t\n.param A\n" + body + "\nexit;\n")),
+          cfg(analyzeControlFlow(kernel)), rd(kernel, cfg)
+    {
+    }
+};
+
+TEST(ReachingDefs, StraightLineKills)
+{
+    RdFixture f("mov r0, 1;\nmov r0, 2;\nadd r1, r0, 0;");
+    auto defs = f.rd.reachingRegDefs(2, 0);
+    ASSERT_EQ(defs.size(), 1u);
+    EXPECT_EQ(defs[0], 1); // only the second mov reaches
+}
+
+TEST(ReachingDefs, EntryDefForUnwritten)
+{
+    RdFixture f("add r1, r9, 0;");
+    auto defs = f.rd.reachingRegDefs(0, 9);
+    ASSERT_EQ(defs.size(), 1u);
+    EXPECT_TRUE(f.rd.isEntryDef(defs[0]));
+}
+
+TEST(ReachingDefs, DiamondMergesTwoDefs)
+{
+    RdFixture f("setp.lt p0, tid.x, 4;\n"
+                "@p0 bra T;\n"
+                "mov r0, 1;\n"
+                "bra J;\n"
+                "T:\n"
+                "mov r0, 2;\n"
+                "J:\n"
+                "add r1, r0, 0;");
+    auto defs = f.rd.reachingRegDefs(6, 0);
+    EXPECT_EQ(defs.size(), 2u);
+}
+
+TEST(ReachingDefs, GuardedWriteDoesNotKill)
+{
+    RdFixture f("mov r0, 1;\n"
+                "setp.lt p0, tid.x, 4;\n"
+                "@p0 mov r0, 2;\n"
+                "add r1, r0, 0;");
+    auto defs = f.rd.reachingRegDefs(3, 0);
+    EXPECT_EQ(defs.size(), 2u); // both movs reach
+}
+
+TEST(ReachingDefs, LoopCarriedDefsMergeAtHead)
+{
+    RdFixture f("mov r0, 0;\n"
+                "L:\n"
+                "add r0, r0, 1;\n"
+                "setp.lt p0, r0, 9;\n"
+                "@p0 bra L;");
+    auto defs = f.rd.reachingRegDefs(1, 0);
+    EXPECT_EQ(defs.size(), 2u); // init + back edge
+}
+
+TEST(ReachingDefs, PredicateDefsTracked)
+{
+    RdFixture f("setp.lt p0, tid.x, 4;\n"
+                "setp.gt p0, tid.x, 20;\n"
+                "@p0 mov r0, 1;");
+    auto defs = f.rd.reachingPredDefs(2, 0);
+    ASSERT_EQ(defs.size(), 1u);
+    EXPECT_EQ(defs[0], 1);
+}
+
+} // namespace

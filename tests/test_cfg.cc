@@ -1,0 +1,157 @@
+/**
+ * @file
+ * CFG construction, post-dominance / reconvergence, and control-
+ * dependence tests on the canonical shapes: straight line, diamond,
+ * loop, nested loop, early exit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/cfg.h"
+#include "isa/assembler.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+Kernel
+build(const std::string &body)
+{
+    return assemble(".kernel t\n.param A n\n" + body + "\nexit;\n");
+}
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    Kernel k = build("mov r0, 1;\nadd r1, r0, 2;");
+    Cfg cfg(k);
+    EXPECT_EQ(cfg.numBlocks(), 1);
+    EXPECT_EQ(cfg.blocks()[0].first, 0);
+    EXPECT_EQ(cfg.blocks()[0].last, 2);
+}
+
+TEST(Cfg, DiamondReconvergesAtJoin)
+{
+    // if (p0) r0=1 else r0=2; join
+    Kernel k = build("setp.lt p0, tid.x, 16;\n"
+                     "@p0 bra THEN;\n"
+                     "mov r0, 2;\n"
+                     "bra JOIN;\n"
+                     "THEN:\n"
+                     "mov r0, 1;\n"
+                     "JOIN:\n"
+                     "add r1, r0, 0;");
+    analyzeControlFlow(k);
+    Cfg cfg(k);
+    // The conditional branch at pc 1 must reconverge at JOIN (pc 5).
+    EXPECT_EQ(k.insts[1].reconvergePc, 5);
+    // Both sides are control-dependent on the branch block.
+    int thenBlk = cfg.blockOf(4);
+    int elseBlk = cfg.blockOf(2);
+    int joinBlk = cfg.blockOf(5);
+    int brBlk = cfg.blockOf(1);
+    EXPECT_EQ(cfg.controlDeps(thenBlk), std::vector<int>{brBlk});
+    EXPECT_EQ(cfg.controlDeps(elseBlk), std::vector<int>{brBlk});
+    EXPECT_TRUE(cfg.controlDeps(joinBlk).empty());
+}
+
+TEST(Cfg, LoopReconvergesAtExit)
+{
+    Kernel k = build("mov r0, 0;\n"
+                     "L:\n"
+                     "add r0, r0, 1;\n"
+                     "setp.lt p0, r0, 10;\n"
+                     "@p0 bra L;\n"
+                     "mov r1, r0;");
+    analyzeControlFlow(k);
+    // The backward branch (pc 3) reconverges at the fall-through.
+    EXPECT_EQ(k.insts[3].reconvergePc, 4);
+}
+
+TEST(Cfg, LoopBodyControlDependsOnLatch)
+{
+    Kernel k = build("mov r0, 0;\n"
+                     "L:\n"
+                     "add r0, r0, 1;\n"
+                     "setp.lt p0, r0, 10;\n"
+                     "@p0 bra L;\n"
+                     "mov r1, r0;");
+    Cfg cfg(k);
+    int bodyBlk = cfg.blockOf(1);
+    auto deps = cfg.controlDeps(bodyBlk);
+    // The loop body is control-dependent on its own latch branch.
+    ASSERT_EQ(deps.size(), 1u);
+    EXPECT_EQ(deps[0], cfg.blockOf(3));
+}
+
+TEST(Cfg, NestedDiamondInLoop)
+{
+    Kernel k = build("mov r0, 0;\n"
+                     "L:\n"
+                     "setp.lt p1, tid.x, 8;\n"
+                     "@p1 bra SKIP;\n"
+                     "add r1, r1, 1;\n"
+                     "SKIP:\n"
+                     "add r0, r0, 1;\n"
+                     "setp.lt p0, r0, 4;\n"
+                     "@p0 bra L;");
+    analyzeControlFlow(k);
+    Cfg cfg(k);
+    // Inner branch (pc 2) reconverges at SKIP (pc 4).
+    EXPECT_EQ(k.insts[2].reconvergePc, 4);
+    // The `add r1` block depends only on the inner branch: it does
+    // not post-dominate the latch's back-edge target (Ferrante CD).
+    auto deps = cfg.controlDeps(cfg.blockOf(3));
+    ASSERT_EQ(deps.size(), 1u);
+    EXPECT_EQ(deps[0], cfg.blockOf(2));
+}
+
+TEST(Cfg, MultipleExits)
+{
+    Kernel k = build("setp.lt p0, tid.x, 8;\n"
+                     "@!p0 bra OUT;\n"
+                     "mov r0, 1;\n"
+                     "exit;\n"
+                     "OUT:\n"
+                     "mov r0, 2;");
+    analyzeControlFlow(k);
+    // Branch at pc 1 has no common post-dominator other than exit.
+    EXPECT_EQ(k.insts[1].reconvergePc, -1);
+}
+
+TEST(Cfg, RpoStartsAtEntry)
+{
+    Kernel k = build("bra B;\nA:\nmov r0, 1;\nexit;\nB:\nbra A;");
+    Cfg cfg(k);
+    ASSERT_FALSE(cfg.rpo().empty());
+    EXPECT_EQ(cfg.rpo().front(), 0);
+}
+
+TEST(Cfg, PostDominatesSelf)
+{
+    Kernel k = build("mov r0, 1;");
+    Cfg cfg(k);
+    EXPECT_TRUE(cfg.postDominates(0, 0));
+}
+
+TEST(Cfg, DotOutputMentionsAllBlocks)
+{
+    Kernel k = build("setp.lt p0, tid.x, 8;\n@p0 bra X;\nmov r0, 1;\n"
+                     "X:\nmov r1, 2;");
+    Cfg cfg(k);
+    std::string dot = cfg.toDot(k);
+    for (int b = 0; b < cfg.numBlocks(); ++b)
+        EXPECT_NE(dot.find("b" + std::to_string(b)), std::string::npos);
+}
+
+TEST(Cfg, FallthroughConditionalToNext)
+{
+    // A conditional branch whose target IS the fall-through.
+    Kernel k = build("setp.lt p0, tid.x, 8;\n@p0 bra N;\nN:\nmov r0, 1;");
+    Cfg cfg(k);
+    // Successor list is deduplicated.
+    int brBlk = cfg.blockOf(1);
+    EXPECT_EQ(cfg.blocks()[brBlk].succs.size(), 1u);
+}
+
+} // namespace

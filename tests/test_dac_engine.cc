@@ -1,0 +1,236 @@
+/**
+ * @file
+ * DAC engine unit tests: ATQ/PWAQ/PWPQ queue mechanics, per-warp
+ * FIFO delivery order, expansion of tuples into warp address records,
+ * early-fetch line locking, the uncoalesced-record fallback, and
+ * barrier-epoch gating (paper Sections 4.1-4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dac/engine.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+struct EngineFixture : ::testing::Test
+{
+    GpuConfig gcfg;
+    DacConfig dcfg;
+    RunStats stats;
+    MemorySystem mem{gcfg, &stats};
+    DacEngine eng{0, gcfg, dcfg, mem, stats};
+    BatchInfo batch;
+    std::vector<int> epochs;
+    std::vector<int> passed;
+
+    void
+    makeBatch(int ctas, int warps_per_cta)
+    {
+        batch = BatchInfo{};
+        batch.grid = {ctas, 1, 1};
+        batch.block = {warps_per_cta * warpSize, 1, 1};
+        batch.numCtas = ctas;
+        for (int c = 0; c < ctas; ++c) {
+            for (int w = 0; w < warps_per_cta; ++w) {
+                WarpSlot s;
+                s.ctaSlot = c;
+                s.ctaId = {c, 0, 0};
+                s.warpInCta = w;
+                s.valid = fullMask;
+                batch.warps.push_back(s);
+            }
+        }
+        eng.startBatch(&batch);
+        epochs.assign(static_cast<std::size_t>(ctas), 0);
+        passed.assign(static_cast<std::size_t>(ctas), 0);
+    }
+
+    /** A unit-stride address tuple: base + 4*(ctaid*ntid + tid). */
+    AffineValue
+    strideTuple(Addr base)
+    {
+        AffineTuple t;
+        t.base = static_cast<RegVal>(base);
+        t.tidOff[0] = 4;
+        t.ctaOff[0] = 4 * batch.block.x;
+        return AffineValue::uniform(t);
+    }
+
+    MaskSet
+    allActive()
+    {
+        return batch.validMasks();
+    }
+};
+
+TEST_F(EngineFixture, EnqueueCapacity)
+{
+    makeBatch(1, 1);
+    for (int i = 0; i < dcfg.atqEntries; ++i) {
+        ASSERT_TRUE(eng.canEnq());
+        eng.enqAddr(strideTuple(0x1000), MemWidth::U32, false,
+                    allActive(), epochs);
+    }
+    EXPECT_FALSE(eng.canEnq());
+}
+
+TEST_F(EngineFixture, ExpandsCorrectAddresses)
+{
+    makeBatch(2, 2); // 4 warps
+    eng.enqAddr(strideTuple(0x1000), MemWidth::U32, false, allActive(),
+                epochs);
+    for (int i = 0; i < 8; ++i)
+        eng.cycle(static_cast<Cycle>(i), passed);
+    // Warp 3 = CTA 1, warp-in-cta 1: thread lane 5 has
+    // tid.x = 32 + 5 = 37, ctaid = 1.
+    const DacEngine::AddrRecord *rec = eng.frontAddr(3);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_FALSE(rec->isData);
+    EXPECT_EQ(rec->mask, fullMask);
+    EXPECT_EQ(rec->addrs[5], 0x1000u + 4 * (64 * 1 + 37));
+    // Unit stride: 32 consecutive words = 1 line.
+    EXPECT_EQ(rec->lines.size(), 1u);
+}
+
+TEST_F(EngineFixture, PerWarpFifoOrder)
+{
+    makeBatch(1, 2);
+    eng.enqAddr(strideTuple(0x10000), MemWidth::U32, false, allActive(),
+                epochs);
+    eng.enqAddr(strideTuple(0x20000), MemWidth::U32, false, allActive(),
+                epochs);
+    for (int i = 0; i < 16; ++i)
+        eng.cycle(static_cast<Cycle>(i), passed);
+    const DacEngine::AddrRecord *r0 = eng.frontAddr(0);
+    ASSERT_NE(r0, nullptr);
+    EXPECT_EQ(lineAlign(r0->addrs[0]), 0x10000u);
+    eng.popAddr(0);
+    r0 = eng.frontAddr(0);
+    ASSERT_NE(r0, nullptr);
+    EXPECT_EQ(lineAlign(r0->addrs[0]), 0x20000u);
+}
+
+TEST_F(EngineFixture, InactiveWarpsGetNoRecord)
+{
+    makeBatch(1, 2);
+    MaskSet active = allActive();
+    active[1] = 0; // warp 1 inactive at the enq
+    eng.enqAddr(strideTuple(0x1000), MemWidth::U32, false, active,
+                epochs);
+    for (int i = 0; i < 8; ++i)
+        eng.cycle(static_cast<Cycle>(i), passed);
+    EXPECT_NE(eng.frontAddr(0), nullptr);
+    EXPECT_EQ(eng.frontAddr(1), nullptr);
+}
+
+TEST_F(EngineFixture, DataRecordsFetchAndLock)
+{
+    makeBatch(1, 1);
+    eng.enqAddr(strideTuple(0x4000), MemWidth::U32, true, allActive(),
+                epochs);
+    for (int i = 0; i < 4; ++i)
+        eng.cycle(static_cast<Cycle>(i), passed);
+    const DacEngine::AddrRecord *rec = eng.frontAddr(0);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->isData);
+    EXPECT_TRUE(rec->earlyFetched);
+    EXPECT_GT(rec->ready, 0u);
+    EXPECT_EQ(stats.affineLoadRequests, 1u);
+    // The fetched line is locked in L1 until the consumer unlocks.
+    EXPECT_FALSE(mem.linePresent(0, 0x8000)); // sanity: other lines no
+    EXPECT_TRUE(mem.linePresent(0, lineAlign(0x4000)));
+}
+
+TEST_F(EngineFixture, UncoalescedRecordSkipsEarlyFetch)
+{
+    makeBatch(1, 1);
+    AffineTuple t;
+    t.base = 0x100000;
+    t.tidOff[0] = 4096; // one line per lane: 32 lines
+    eng.enqAddr(AffineValue::uniform(t), MemWidth::U32, true,
+                allActive(), epochs);
+    for (int i = 0; i < 4; ++i)
+        eng.cycle(static_cast<Cycle>(i), passed);
+    const DacEngine::AddrRecord *rec = eng.frontAddr(0);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->isData);
+    EXPECT_FALSE(rec->earlyFetched);
+    EXPECT_EQ(rec->lines.size(), 32u);
+    EXPECT_EQ(stats.affineLoadRequests, 0u);
+}
+
+TEST_F(EngineFixture, PredicateRecordsCarryMask)
+{
+    makeBatch(1, 2);
+    MaskSet bits = {0x0000ffff, 0xff00ff00};
+    MaskSet active = {fullMask, 0x0f0f0f0f};
+    eng.enqPred(bits, active, epochs);
+    for (int i = 0; i < 8; ++i)
+        eng.cycle(static_cast<Cycle>(i), passed);
+    const DacEngine::PredRecord *p0 = eng.frontPred(0);
+    ASSERT_NE(p0, nullptr);
+    EXPECT_EQ(p0->bits, 0x0000ffffu);
+    EXPECT_EQ(p0->mask, fullMask);
+    const DacEngine::PredRecord *p1 = eng.frontPred(1);
+    ASSERT_NE(p1, nullptr);
+    EXPECT_EQ(p1->bits, 0xff00ff00u);
+    EXPECT_EQ(p1->mask, 0x0f0f0f0fu);
+    eng.popPred(0);
+    eng.popPred(1);
+    EXPECT_TRUE(eng.empty());
+}
+
+TEST_F(EngineFixture, BarrierEpochGatesDelivery)
+{
+    makeBatch(1, 1);
+    std::vector<int> after_bar = {1}; // enqueued after one barrier
+    eng.enqAddr(strideTuple(0x4000), MemWidth::U32, true, allActive(),
+                after_bar);
+    for (int i = 0; i < 8; ++i)
+        eng.cycle(static_cast<Cycle>(i), passed); // CTA has passed 0
+    EXPECT_EQ(eng.frontAddr(0), nullptr); // gated
+    EXPECT_EQ(stats.affineLoadRequests, 0u);
+    passed[0] = 1; // the CTA passes its barrier
+    for (int i = 8; i < 12; ++i)
+        eng.cycle(static_cast<Cycle>(i), passed);
+    EXPECT_NE(eng.frontAddr(0), nullptr); // delivered + fetched
+    EXPECT_EQ(stats.affineLoadRequests, 1u);
+}
+
+TEST_F(EngineFixture, PwaqCapacityBlocksDelivery)
+{
+    makeBatch(1, 1); // 1 warp: pwaq cap = 192 entries
+    int cap = dcfg.pwaqPerWarp(1);
+    for (int i = 0; i < dcfg.atqEntries; ++i)
+        eng.enqAddr(strideTuple(0x1000), MemWidth::U32, false,
+                    allActive(), epochs);
+    for (int i = 0; i < 400; ++i)
+        eng.cycle(static_cast<Cycle>(i), passed);
+    // Delivered at most the per-warp capacity; the rest wait in the
+    // ATQ (here ATQ(24) < cap(192), so everything drains).
+    int delivered = 0;
+    while (eng.frontAddr(0)) {
+        eng.popAddr(0);
+        ++delivered;
+    }
+    EXPECT_EQ(delivered, std::min(dcfg.atqEntries, cap));
+    EXPECT_TRUE(eng.empty());
+}
+
+TEST_F(EngineFixture, ExpansionRateLimited)
+{
+    makeBatch(4, 2); // 8 warps
+    eng.enqAddr(strideTuple(0x1000), MemWidth::U32, false, allActive(),
+                epochs);
+    // One cycle delivers at most expansionsPerCycle records.
+    eng.cycle(0, passed);
+    int visible = 0;
+    for (int w = 0; w < 8; ++w)
+        visible += eng.frontAddr(w) != nullptr;
+    EXPECT_LE(visible, dcfg.expansionsPerCycle);
+}
+
+} // namespace

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Decoupler tests: stream construction for the paper's running
+ * example (Figures 4/7), candidate selection, dead-code elimination,
+ * branch/barrier replication, and the bail-out paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/decoupler.h"
+#include "isa/assembler.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+Kernel
+build(const std::string &src)
+{
+    return assemble(src);
+}
+
+int
+countOp(const Kernel &k, Opcode op)
+{
+    int n = 0;
+    for (const Instruction &i : k.insts)
+        if (i.op == op)
+            ++n;
+    return n;
+}
+
+/** The paper's Figure 4b kernel. */
+const char *figure4 = R"(
+.kernel example_kernel
+.param A B dim num
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;
+    shl r2, r1, 2;
+    add r3, $A, r2;
+    add r4, $B, r2;
+    mov r5, 0;
+LOOP:
+    ld.global.u32 r6, [r3];
+    add r7, r6, 1;
+    st.global.u32 [r4], r7;
+    add r5, r5, 1;
+    mul r8, $num, 4;
+    add r3, r8, r3;
+    add r4, r8, r4;
+    setp.ne p0, $dim, r5;
+    @p0 bra LOOP;
+    exit;
+)";
+
+TEST(Decoupler, Figure7Shape)
+{
+    Kernel k = build(figure4);
+    DecoupledKernel d = decouple(k, DacConfig{});
+    ASSERT_TRUE(d.anyDecoupled);
+    EXPECT_EQ(d.numDecoupledLoads, 1);
+    EXPECT_EQ(d.numDecoupledStores, 1);
+    EXPECT_EQ(d.numDecoupledPreds, 1);
+
+    // Affine stream: enq forms present, no memory instructions left.
+    EXPECT_EQ(countOp(d.affine, Opcode::EnqData), 1);
+    EXPECT_EQ(countOp(d.affine, Opcode::EnqAddr), 1);
+    EXPECT_EQ(countOp(d.affine, Opcode::EnqPred), 1);
+    EXPECT_EQ(countOp(d.affine, Opcode::Ld), 0);
+    EXPECT_EQ(countOp(d.affine, Opcode::St), 0);
+
+    // Non-affine stream matches Figure 7b: ld.deq, add, st.deq,
+    // deq.pred, bra, exit — the address arithmetic is gone.
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::LdDeq), 1);
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::StDeq), 1);
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::DeqPred), 1);
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::Bra), 1);
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::Mul), 0);
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::Shl), 0);
+    EXPECT_EQ(d.nonAffine.numInsts(), 6);
+}
+
+TEST(Decoupler, CoverageMarksCountRemovedWork)
+{
+    Kernel k = build(figure4);
+    DecoupledKernel d = decouple(k, DacConfig{});
+    int covered = 0;
+    for (bool c : d.coveredByDac)
+        covered += c;
+    // ld, st, setp, and the removed address/induction arithmetic.
+    EXPECT_GE(covered, 8);
+    // The branch is replicated, not covered.
+    for (int pc = 0; pc < k.numInsts(); ++pc) {
+        if (k.insts[pc].isBranch()) {
+            EXPECT_FALSE(d.coveredByDac[pc]);
+        }
+    }
+}
+
+TEST(Decoupler, SharedInstructionsStayInBothStreams)
+{
+    // r1 (the thread index) feeds both a decoupled address and a
+    // non-affine computation: its def must remain in the non-affine
+    // stream while also appearing in the affine stream.
+    Kernel k = build(R"(
+.kernel t
+.param A
+    mul r0, ctaid.x, ntid.x;
+    add r1, tid.x, r0;
+    shl r2, r1, 2;
+    add r3, $A, r2;
+    ld.global.u32 r4, [r3];
+    mul r5, r4, r1;
+    st.global.u32 [r3], r5;
+    exit;
+)");
+    DecoupledKernel d = decouple(k, DacConfig{});
+    ASSERT_TRUE(d.anyDecoupled);
+    // add r1 appears in both streams.
+    EXPECT_GE(countOp(d.affine, Opcode::Add), 2);
+    EXPECT_GE(countOp(d.nonAffine, Opcode::Add), 1);
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::LdDeq), 1);
+}
+
+TEST(Decoupler, DataDependentAddressesNotDecoupled)
+{
+    // A pointer chase: the second load's address is loaded data.
+    Kernel k = build(R"(
+.kernel t
+.param A
+    shl r0, tid.x, 2;
+    add r1, $A, r0;
+    ld.global.u32 r2, [r1];
+    shl r3, r2, 2;
+    add r4, $A, r3;
+    ld.global.u32 r5, [r4];
+    st.global.u32 [r1], r5;
+    exit;
+)");
+    DecoupledKernel d = decouple(k, DacConfig{});
+    ASSERT_TRUE(d.anyDecoupled);
+    EXPECT_EQ(d.numDecoupledLoads, 1); // only the first load
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::Ld), 1); // gather remains
+}
+
+TEST(Decoupler, DataDependentControlSuppressesRegion)
+{
+    // An affine load guarded by a data-dependent branch must not
+    // decouple; one before the branch must.
+    Kernel k = build(R"(
+.kernel t
+.param A B
+    shl r0, tid.x, 2;
+    add r1, $A, r0;
+    ld.global.u32 r2, [r1];
+    setp.lt p0, r2, 0;
+    @p0 bra SKIP;
+    add r3, $B, r0;
+    ld.global.u32 r4, [r3];
+    st.global.u32 [r3], r4;
+SKIP:
+    exit;
+)");
+    DecoupledKernel d = decouple(k, DacConfig{});
+    ASSERT_TRUE(d.anyDecoupled);
+    EXPECT_EQ(d.numDecoupledLoads, 1);
+    // The affine stream must NOT contain the data-dependent branch.
+    EXPECT_EQ(countOp(d.affine, Opcode::Bra), 0);
+    // The non-affine stream keeps it.
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::Bra), 1);
+}
+
+TEST(Decoupler, NothingDecoupledDegradesGracefully)
+{
+    // All addresses data-dependent: DAC falls back to the baseline.
+    Kernel k = build(R"(
+.kernel t
+.param A
+    shl r0, tid.x, 2;
+    add r1, $A, r0;
+    ld.global.u32 r2, [r1];
+    shl r3, r2, 2;
+    add r4, $A, r3;
+    ld.global.u32 r5, [r4];
+    shl r6, r5, 2;
+    add r7, $A, r6;
+    st.global.u32 [r7], r2;
+    exit;
+)");
+    // Note: the FIRST load is affine, so force full fallback with a
+    // divergent exit instead.
+    Kernel k2 = build(R"(
+.kernel t
+.param A
+    shl r0, tid.x, 2;
+    add r1, $A, r0;
+    ld.global.u32 r2, [r1];
+    setp.lt p0, r2, 0;
+    @p0 exit;
+    st.global.u32 [r1], r2;
+    exit;
+)");
+    DecoupledKernel d2 = decouple(k2, DacConfig{});
+    EXPECT_FALSE(d2.anyDecoupled);
+    EXPECT_EQ(d2.nonAffine.numInsts(), k2.numInsts());
+    // The trivial affine stream is a bare exit.
+    ASSERT_EQ(d2.affine.numInsts(), 1);
+    EXPECT_TRUE(d2.affine.insts[0].isExit());
+    (void)k;
+}
+
+TEST(Decoupler, BarriersReplicatedAndEpochCounted)
+{
+    Kernel k = build(R"(
+.kernel t
+.param A
+.shared 512
+    shl r0, tid.x, 2;
+    add r1, $A, r0;
+    ld.global.u32 r2, [r1];
+    st.shared.u32 [r0], r2;
+    bar;
+    ld.shared.u32 r3, [r0];
+    st.global.u32 [r1], r3;
+    exit;
+)");
+    DecoupledKernel d = decouple(k, DacConfig{});
+    ASSERT_TRUE(d.anyDecoupled);
+    ASSERT_EQ(countOp(d.affine, Opcode::Bar), 1);
+    ASSERT_EQ(countOp(d.nonAffine, Opcode::Bar), 1);
+    for (const Instruction &i : d.affine.insts) {
+        if (i.isBarrier()) {
+            EXPECT_TRUE(i.epochCounted);
+        }
+    }
+    for (const Instruction &i : d.nonAffine.insts) {
+        if (i.isBarrier()) {
+            EXPECT_TRUE(i.epochCounted);
+        }
+    }
+    // Shared-memory accesses never decouple.
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::Ld), 1);
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::St), 1);
+}
+
+TEST(Decoupler, UnusedPredicateEnqueueDropped)
+{
+    // The decoupled predicate's only consumer is the affine-stream
+    // branch; the non-affine warp needs it too (for its own branch) —
+    // but here there is no branch at all, so no enq.pred/deq.pred.
+    Kernel k = build(R"(
+.kernel t
+.param A n
+    shl r0, tid.x, 2;
+    add r1, $A, r0;
+    setp.lt p0, tid.x, $n;
+    @p0 ld.global.u32 r2, [r1];
+    @p0 st.global.u32 [r1], r2;
+    exit;
+)");
+    DecoupledKernel d = decouple(k, DacConfig{});
+    ASSERT_TRUE(d.anyDecoupled);
+    // p0 is needed by the non-affine deq guard, so it IS enqueued.
+    EXPECT_EQ(countOp(d.affine, Opcode::EnqPred), 1);
+    EXPECT_EQ(countOp(d.nonAffine, Opcode::DeqPred), 1);
+}
+
+TEST(Decoupler, DivergentTupleWithinBudgetDecouples)
+{
+    // Figure 14's divergent base-offset pair: one affine condition.
+    Kernel k = build(R"(
+.kernel t
+.param A n
+    setp.lt p0, tid.x, $n;
+    mov r0, 0;
+    @p0 shl r0, tid.x, 2;
+    add r1, $A, r0;
+    ld.global.u32 r2, [r1];
+    st.global.u32 [r1], r2;
+    exit;
+)");
+    DecoupledKernel d = decouple(k, DacConfig{});
+    EXPECT_TRUE(d.anyDecoupled);
+    EXPECT_EQ(d.numDecoupledLoads, 1);
+}
+
+TEST(Decoupler, MinMaxClampDecouples)
+{
+    Kernel k = build(R"(
+.kernel t
+.param A w
+    sub r0, tid.x, 1;
+    max r0, r0, 0;
+    sub r1, $w, 1;
+    min r2, tid.x, r1;
+    add r3, r0, r2;
+    shl r3, r3, 2;
+    add r4, $A, r3;
+    ld.global.u32 r5, [r4];
+    st.global.u32 [r4], r5;
+    exit;
+)");
+    DecoupledKernel d = decouple(k, DacConfig{});
+    EXPECT_TRUE(d.anyDecoupled);
+    EXPECT_EQ(d.numDecoupledLoads, 1);
+    EXPECT_GE(countOp(d.affine, Opcode::Max), 1);
+    EXPECT_GE(countOp(d.affine, Opcode::Min), 1);
+}
+
+TEST(Decoupler, ThreeConditionsExceedBudget)
+{
+    // Three nested clamps exceed the two-condition budget: the load
+    // must stay on the non-affine warps.
+    Kernel k = build(R"(
+.kernel t
+.param A w
+    sub r0, tid.x, 1;
+    max r0, r0, 0;
+    min r0, r0, $w;
+    max r0, r0, 2;
+    shl r1, r0, 2;
+    add r2, $A, r1;
+    ld.global.u32 r3, [r2];
+    st.global.u32 [r2], r3;
+    exit;
+)");
+    DecoupledKernel d = decouple(k, DacConfig{});
+    EXPECT_EQ(d.numDecoupledLoads, 0);
+}
+
+TEST(Decoupler, ModAddressDecouples)
+{
+    Kernel k = build(R"(
+.kernel t
+.param A ring
+    mod r0, tid.x, $ring;
+    shl r1, r0, 2;
+    add r2, $A, r1;
+    ld.global.u32 r3, [r2];
+    shl r4, tid.x, 2;
+    add r5, $A, r4;
+    st.global.u32 [r5], r3;
+    exit;
+)");
+    DecoupledKernel d = decouple(k, DacConfig{});
+    EXPECT_EQ(d.numDecoupledLoads, 1);
+    EXPECT_EQ(d.numDecoupledStores, 1);
+}
+
+TEST(PotentialAffine, Figure6Classification)
+{
+    Kernel k = build(figure4);
+    PotentialAffine pa = classifyPotentialAffine(k);
+    EXPECT_EQ(pa.totalInsts, k.numInsts());
+    EXPECT_EQ(pa.memory, 2);  // ld + st, both affine addresses
+    EXPECT_EQ(pa.branch, 2);  // setp + bra
+    EXPECT_GE(pa.arithmetic, 7);
+    EXPECT_GT(pa.fraction(), 0.5);
+}
+
+TEST(PotentialAffine, IndirectKernelScoresLow)
+{
+    Kernel k = build(R"(
+.kernel t
+.param A
+    shl r0, tid.x, 2;
+    add r1, $A, r0;
+    ld.global.u32 r2, [r1];
+    shl r3, r2, 2;
+    add r4, $A, r3;
+    ld.global.u32 r5, [r4];
+    mul r6, r5, r2;
+    st.global.u32 [r1], r6;
+    exit;
+)");
+    PotentialAffine pa = classifyPotentialAffine(k);
+    EXPECT_EQ(pa.memory, 2); // first ld + st (affine), gather is not
+    EXPECT_LT(pa.fraction(), 0.8);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Energy model tests: the event-count accounting, the Fig 21
+ * breakdown structure, and the Table-1 DAC overhead energies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+TEST(Energy, ZeroStatsZeroEnergy)
+{
+    RunStats s;
+    EnergyBreakdown e = computeEnergy(s);
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(Energy, ComponentsAccumulate)
+{
+    RunStats s;
+    s.laneOps = 100;
+    s.regFileAccesses = 10;
+    s.cycles = 1000;
+    EnergyParams p;
+    EnergyBreakdown e = computeEnergy(s, p);
+    EXPECT_DOUBLE_EQ(e.alu, 100 * p.aluPj);
+    EXPECT_DOUBLE_EQ(e.reg, 10 * p.regPj);
+    EXPECT_DOUBLE_EQ(e.staticEnergy, 1000 * p.staticPjPerCycle);
+    EXPECT_DOUBLE_EQ(e.total(), e.alu + e.reg + e.staticEnergy);
+    EXPECT_DOUBLE_EQ(e.dynamic(), e.alu + e.reg);
+}
+
+TEST(Energy, DacOverheadUsesTable1Energies)
+{
+    RunStats s;
+    s.atqAccesses = 1;
+    s.pwaqAccesses = 1;
+    s.pwpqAccesses = 1;
+    s.affineStackAccesses = 1;
+    EnergyParams p;
+    EnergyBreakdown e = computeEnergy(s, p);
+    // Table 1: 5.3 + 3.4 + 1.5 + 2.7 pJ.
+    EXPECT_DOUBLE_EQ(e.dacOverhead, 5.3 + 3.4 + 1.5 + 2.7);
+}
+
+TEST(Energy, MemoryHierarchyCounts)
+{
+    RunStats s;
+    s.l1Hits = 2;
+    s.l1Misses = 1;
+    s.l2Hits = 1;
+    s.l2Misses = 1;
+    s.dramAccesses = 1;
+    s.sharedAccesses = 2;
+    EnergyParams p;
+    EnergyBreakdown e = computeEnergy(s, p);
+    EXPECT_DOUBLE_EQ(e.otherDynamic, 3 * p.l1Pj + 2 * p.l2Pj +
+                                         p.dramPj + 2 * p.sharedPj);
+}
+
+TEST(Energy, ExpansionOpsChargedToOverhead)
+{
+    RunStats s;
+    s.expansionAluOps = 10;
+    EnergyParams p;
+    EnergyBreakdown e = computeEnergy(s, p);
+    EXPECT_DOUBLE_EQ(e.dacOverhead, 10 * p.aluPj);
+    EXPECT_DOUBLE_EQ(e.alu, 0.0);
+}
+
+TEST(RunStats, AddMergesEveryCounter)
+{
+    RunStats a, b;
+    a.warpInsts = 1;
+    a.affineWarpInsts = 2;
+    a.l1Hits = 3;
+    a.dacBatches = 4;
+    b.warpInsts = 10;
+    b.affineWarpInsts = 20;
+    b.l1Hits = 30;
+    b.dacBatches = 40;
+    a.add(b);
+    EXPECT_EQ(a.warpInsts, 11u);
+    EXPECT_EQ(a.affineWarpInsts, 22u);
+    EXPECT_EQ(a.totalWarpInsts(), 33u);
+    EXPECT_EQ(a.l1Hits, 33u);
+    EXPECT_EQ(a.dacBatches, 44u);
+}
+
+} // namespace

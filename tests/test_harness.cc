@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Harness-level tests: RunOptions behaviour (perfect memory, scaling,
+ * technique selection), per-launch parameters, and the derived
+ * decoupling summary the benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+TEST(Harness, PerfectMemoryIsFaster)
+{
+    RunOptions opt;
+    opt.scale = 0.12;
+    RunOutcome real = runWorkload("LIB", opt);
+    opt.perfectMemory = true;
+    RunOutcome perfect = runWorkload("LIB", opt);
+    EXPECT_LT(perfect.stats.cycles, real.stats.cycles);
+    EXPECT_EQ(perfect.stats.dramAccesses, 0u);
+    // Functional results are unaffected by the memory model.
+    EXPECT_EQ(perfect.checksums, real.checksums);
+}
+
+TEST(Harness, ScaleChangesWorkAmount)
+{
+    RunOptions small, big;
+    small.scale = 0.12;
+    big.scale = 0.3;
+    RunOutcome s = runWorkload("SP", small);
+    RunOutcome b = runWorkload("SP", big);
+    EXPECT_GT(b.stats.warpInsts, s.stats.warpInsts);
+}
+
+TEST(Harness, DecouplingSummaryExposed)
+{
+    RunOptions opt;
+    opt.scale = 0.12;
+    opt.tech = Technique::Dac;
+    RunOutcome r = runWorkload("LIB", opt);
+    EXPECT_TRUE(r.anyDecoupled);
+    EXPECT_GT(r.numDecoupledLoads, 0);
+    EXPECT_GT(r.numDecoupledStores, 0);
+    EXPECT_GT(r.numDecoupledPreds, 0);
+}
+
+TEST(Harness, PerLaunchParamsDriveIteration)
+{
+    // BFS uses one parameter set per frontier level; its distance
+    // array must show several distinct levels afterwards.
+    RunOptions opt;
+    opt.scale = 0.12;
+    RunOutcome r = runWorkload("BFS", opt);
+    EXPECT_FALSE(r.checksums.empty());
+    // A second identical run is deterministic.
+    RunOutcome r2 = runWorkload("BFS", opt);
+    EXPECT_EQ(r.checksums, r2.checksums);
+    EXPECT_EQ(r.stats.cycles, r2.stats.cycles);
+}
+
+TEST(Harness, DeterministicAcrossRepeats)
+{
+    for (const char *name : {"FFT", "HS", "MC"}) {
+        RunOptions opt;
+        opt.scale = 0.12;
+        opt.tech = Technique::Dac;
+        RunOutcome a = runWorkload(name, opt);
+        RunOutcome b = runWorkload(name, opt);
+        EXPECT_EQ(a.stats.cycles, b.stats.cycles) << name;
+        EXPECT_EQ(a.checksums, b.checksums) << name;
+    }
+}
+
+TEST(Harness, MultipleLaunchesAccumulateStats)
+{
+    // SR1 launches twice: cycles and instructions accumulate.
+    RunOptions opt;
+    opt.scale = 0.12;
+    RunOutcome r = runWorkload("SR1", opt);
+    EXPECT_GT(r.stats.warpInsts, 0u);
+    EXPECT_GT(r.stats.cycles, 0u);
+}
+
+} // namespace

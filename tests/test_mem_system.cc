@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Memory hierarchy tests: tag array replacement and DAC lock
+ * counters, MSHR limiting and merging, L2/DRAM latency and bandwidth,
+ * the MTA prefetch buffer path, and the perfect-memory mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/coalescer.h"
+#include "mem/gpu_memory.h"
+#include "mem/mem_system.h"
+#include "mem/tag_array.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+CacheConfig
+smallCache(int lines, int ways)
+{
+    CacheConfig c;
+    c.sizeBytes = lines * lineSizeBytes;
+    c.ways = ways;
+    c.hitLatency = 1;
+    return c;
+}
+
+TEST(TagArray, HitAfterFill)
+{
+    TagArray t(smallCache(8, 2));
+    EXPECT_EQ(t.find(0), nullptr);
+    ASSERT_NE(t.fill(0).line, nullptr);
+    EXPECT_NE(t.find(0), nullptr);
+    EXPECT_NE(t.access(0), nullptr);
+}
+
+TEST(TagArray, LruEviction)
+{
+    TagArray t(smallCache(4, 2)); // 2 sets x 2 ways
+    // Three lines mapping to set 0 (set = line index % 2).
+    Addr a = 0 * lineSizeBytes, b = 2 * lineSizeBytes,
+         c = 4 * lineSizeBytes;
+    t.fill(a);
+    t.fill(b);
+    t.access(a); // a is now MRU
+    auto res = t.fill(c);
+    EXPECT_TRUE(res.evictedValid);
+    EXPECT_NE(t.find(a), nullptr); // survived
+    EXPECT_EQ(t.find(b), nullptr); // evicted (LRU)
+    EXPECT_NE(t.find(c), nullptr);
+}
+
+TEST(TagArray, LockedLinesNotEvicted)
+{
+    TagArray t(smallCache(4, 2));
+    Addr a = 0, b = 2 * lineSizeBytes, c = 4 * lineSizeBytes,
+         d = 6 * lineSizeBytes;
+    t.fill(a).line->lockCount = 1;
+    t.fill(b);
+    t.fill(c); // evicts b (a is locked)
+    EXPECT_NE(t.find(a), nullptr);
+    EXPECT_EQ(t.find(b), nullptr);
+    // Lock c too: now the whole set is locked; fills must fail.
+    t.find(c)->lockCount = 1;
+    EXPECT_EQ(t.fill(d).line, nullptr);
+}
+
+TEST(TagArray, LockSaturation)
+{
+    TagArray t(smallCache(6, 3)); // 2 sets x 3 ways
+    Addr a = 0, b = 2 * lineSizeBytes, c = 4 * lineSizeBytes;
+    t.fill(a).line->lockCount = 1;
+    EXPECT_FALSE(t.lockSaturated(a));
+    t.fill(b).line->lockCount = 1;
+    // ways-1 = 2 locked: saturated (cannot lock a third).
+    EXPECT_TRUE(t.lockSaturated(c));
+    EXPECT_EQ(t.lockedLines(), 2);
+}
+
+TEST(TagArray, PrefetchUnusedEvictionTracking)
+{
+    TagArray t(smallCache(2, 1)); // direct-mapped, 2 sets
+    auto f = t.fill(0);
+    f.line->prefetched = true;
+    auto res = t.fill(2 * lineSizeBytes); // same set, evicts
+    EXPECT_TRUE(res.evictedPrefetchedUnused);
+    // A referenced prefetched line does not count as unused.
+    auto g = t.fill(4 * lineSizeBytes);
+    g.line->prefetched = true;
+    t.access(4 * lineSizeBytes);
+    auto res2 = t.fill(6 * lineSizeBytes);
+    EXPECT_FALSE(res2.evictedPrefetchedUnused);
+}
+
+// ----- coalescer -----------------------------------------------------------
+
+TEST(Coalescer, UnitStrideOneLine)
+{
+    std::array<Addr, warpSize> addrs{};
+    for (int i = 0; i < warpSize; ++i)
+        addrs[i] = 0x1000 + 4 * i;
+    auto lines = coalesce(addrs, fullMask, 4);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], 0x1000u);
+}
+
+TEST(Coalescer, StrideTwoLines)
+{
+    std::array<Addr, warpSize> addrs{};
+    for (int i = 0; i < warpSize; ++i)
+        addrs[i] = 0x1000 + 8 * i;
+    EXPECT_EQ(coalesce(addrs, fullMask, 4).size(), 2u);
+}
+
+TEST(Coalescer, ScatteredLines)
+{
+    std::array<Addr, warpSize> addrs{};
+    for (int i = 0; i < warpSize; ++i)
+        addrs[i] = static_cast<Addr>(i) * 1024;
+    EXPECT_EQ(coalesce(addrs, fullMask, 4).size(), 32u);
+}
+
+TEST(Coalescer, RespectsActiveMask)
+{
+    std::array<Addr, warpSize> addrs{};
+    for (int i = 0; i < warpSize; ++i)
+        addrs[i] = static_cast<Addr>(i) * 1024;
+    EXPECT_EQ(coalesce(addrs, 0x3, 4).size(), 2u);
+    EXPECT_EQ(coalesce(addrs, 0, 4).size(), 0u);
+}
+
+TEST(Coalescer, StraddlingAccessTakesTwoLines)
+{
+    std::array<Addr, warpSize> addrs{};
+    addrs[0] = lineSizeBytes - 2;
+    auto lines = coalesce(addrs, 0x1, 4);
+    ASSERT_EQ(lines.size(), 2u);
+}
+
+TEST(Coalescer, BroadcastOneLine)
+{
+    std::array<Addr, warpSize> addrs{};
+    addrs.fill(0x4000);
+    EXPECT_EQ(coalesce(addrs, fullMask, 4).size(), 1u);
+}
+
+// ----- memory system timing -------------------------------------------------
+
+struct MemFixture : ::testing::Test
+{
+    GpuConfig cfg;
+    RunStats stats;
+
+    MemFixture()
+    {
+        cfg.numSms = 2;
+    }
+};
+
+TEST_F(MemFixture, MissThenHit)
+{
+    MemorySystem ms(cfg, &stats);
+    AccessResult miss = ms.load(0, 0x1000 & ~127ull, 0,
+                                Requester::Demand);
+    ASSERT_TRUE(miss.accepted);
+    EXPECT_FALSE(miss.l1Hit);
+    EXPECT_GT(miss.ready, static_cast<Cycle>(cfg.dram.latency));
+    // Second access to the same line after arrival: an L1 hit.
+    AccessResult hit = ms.load(0, 0x1000 & ~127ull, miss.ready + 1,
+                               Requester::Demand);
+    EXPECT_TRUE(hit.l1Hit);
+    EXPECT_EQ(hit.ready, miss.ready + 1 + cfg.l1.hitLatency);
+    EXPECT_EQ(stats.l1Hits, 1u);
+    EXPECT_EQ(stats.l1Misses, 1u);
+}
+
+TEST_F(MemFixture, MshrMergeBeforeArrival)
+{
+    MemorySystem ms(cfg, &stats);
+    AccessResult first = ms.load(0, 0, 0, Requester::Demand);
+    // Another request for the same line while in flight merges.
+    AccessResult merge = ms.load(0, 0, 5, Requester::Demand);
+    EXPECT_TRUE(merge.accepted);
+    EXPECT_EQ(merge.ready, first.ready);
+    EXPECT_EQ(stats.l1Misses, 1u); // no extra miss traffic
+    EXPECT_EQ(stats.dramAccesses, 1u);
+}
+
+TEST_F(MemFixture, MshrLimitRejects)
+{
+    MemorySystem ms(cfg, &stats);
+    int accepted = 0;
+    for (int i = 0; i < cfg.l1.mshrs + 8; ++i) {
+        AccessResult r = ms.load(0, static_cast<Addr>(i) * 128, 0,
+                                 Requester::Demand);
+        accepted += r.accepted;
+    }
+    EXPECT_EQ(accepted, cfg.l1.mshrs);
+    EXPECT_EQ(ms.freeMshrs(0, 0), 0);
+    // MSHRs free up once data arrives.
+    EXPECT_GT(ms.freeMshrs(0, 100000), 0);
+}
+
+TEST_F(MemFixture, L2HitIsFasterThanDram)
+{
+    MemorySystem ms(cfg, &stats);
+    AccessResult cold = ms.load(0, 0, 0, Requester::Demand);
+    // SM 1 misses L1 but hits the shared L2.
+    AccessResult warm = ms.load(1, 0, cold.ready + 1, Requester::Demand);
+    EXPECT_FALSE(warm.l1Hit);
+    EXPECT_LT(warm.ready - (cold.ready + 1),
+              static_cast<Cycle>(cfg.dram.latency));
+    EXPECT_EQ(stats.l2Hits, 1u);
+}
+
+TEST_F(MemFixture, DramBandwidthSerializes)
+{
+    MemorySystem ms(cfg, &stats);
+    // Many lines on the same partition (stride by partitions*line).
+    Addr stride = static_cast<Addr>(cfg.dram.partitions) * 128;
+    Cycle last = 0;
+    const int n = 20;
+    for (int i = 0; i < n; ++i) {
+        AccessResult r =
+            ms.load(0, static_cast<Addr>(i) * stride, 0,
+                    Requester::Demand);
+        last = std::max(last, r.ready);
+    }
+    // The last response is delayed by the per-line service interval.
+    EXPECT_GE(last, static_cast<Cycle>(cfg.dram.latency +
+                                       (n - 1) * cfg.dram.cyclesPerLine));
+}
+
+TEST_F(MemFixture, LockUnlockRoundTrip)
+{
+    MemorySystem ms(cfg, &stats);
+    ms.load(0, 0, 0, Requester::DacEarly);
+    ASSERT_TRUE(ms.canLock(0, 0));
+    ms.lock(0, 0);
+    ms.unlock(0, 0);
+    EXPECT_TRUE(ms.canLock(0, 0));
+}
+
+TEST_F(MemFixture, LockSaturationBlocksNewLocks)
+{
+    MemorySystem ms(cfg, &stats);
+    // Fill one set with locked lines: set index repeats every
+    // numSets lines.
+    int sets = cfg.l1.numSets();
+    for (int w = 0; w < cfg.l1.ways - 1; ++w) {
+        Addr line = static_cast<Addr>(w) * sets * 128;
+        ms.load(0, line, 0, Requester::DacEarly);
+        ASSERT_TRUE(ms.canLock(0, line));
+        ms.lock(0, line);
+    }
+    Addr another = static_cast<Addr>(cfg.l1.ways) * sets * 128;
+    EXPECT_FALSE(ms.canLock(0, another));
+    // An already-locked line may be locked again.
+    EXPECT_TRUE(ms.canLock(0, 0));
+}
+
+TEST_F(MemFixture, PrefetchBufferServesDemand)
+{
+    MtaConfig mta;
+    MemorySystem ms(cfg, &stats);
+    ms.enablePrefetchBuffer(mta);
+    ms.prefetch(0, 0x2000 & ~127ull, 0);
+    EXPECT_EQ(stats.prefetchesIssued, 1u);
+    AccessResult r = ms.load(0, 0x2000 & ~127ull, 10000,
+                             Requester::Demand);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(stats.prefetchHits, 1u);
+    EXPECT_LE(r.ready, 10000u + 4);
+}
+
+TEST_F(MemFixture, PrefetchSharesMshrs)
+{
+    MtaConfig mta;
+    MemorySystem ms(cfg, &stats);
+    ms.enablePrefetchBuffer(mta);
+    for (int i = 0; i < cfg.l1.mshrs; ++i)
+        ms.prefetch(0, static_cast<Addr>(i) * 128, 0);
+    // All MSHRs consumed by prefetches: demand misses rejected...
+    AccessResult r = ms.load(0, 1 << 20, 0, Requester::Demand);
+    EXPECT_FALSE(r.accepted);
+    // ...and further prefetches silently dropped.
+    std::uint64_t before = stats.prefetchesIssued;
+    ms.prefetch(0, 1 << 21, 0);
+    EXPECT_EQ(stats.prefetchesIssued, before);
+}
+
+TEST_F(MemFixture, PerfectMemoryAlwaysHits)
+{
+    cfg.perfectMemory = true;
+    MemorySystem ms(cfg, &stats);
+    for (int i = 0; i < 100; ++i) {
+        AccessResult r = ms.load(0, static_cast<Addr>(i) * 128, 0,
+                                 Requester::Demand);
+        EXPECT_TRUE(r.accepted);
+        EXPECT_EQ(r.ready, static_cast<Cycle>(cfg.l1.hitLatency));
+    }
+    EXPECT_EQ(stats.dramAccesses, 0u);
+}
+
+TEST_F(MemFixture, StoresConsumeBandwidthNotMshrs)
+{
+    MemorySystem ms(cfg, &stats);
+    for (int i = 0; i < 100; ++i)
+        ms.store(0, static_cast<Addr>(i) * 128, 0);
+    EXPECT_EQ(ms.freeMshrs(0, 0), cfg.l1.mshrs);
+    EXPECT_EQ(stats.dramAccesses, 100u);
+}
+
+// ----- functional backing store ---------------------------------------------
+
+TEST(GpuMemory, TypedAccessWidths)
+{
+    GpuMemory m;
+    m.store(100, -2, MemWidth::S8);
+    EXPECT_EQ(m.load(100, MemWidth::S8), -2);
+    EXPECT_EQ(m.load(100, MemWidth::U8), 254);
+    m.store(200, 0x12345678, MemWidth::U32);
+    EXPECT_EQ(m.load(200, MemWidth::U32), 0x12345678);
+    EXPECT_EQ(m.load(200, MemWidth::U16), 0x5678);
+    m.store(300, -1, MemWidth::U64);
+    EXPECT_EQ(m.load(300, MemWidth::U64), -1);
+}
+
+TEST(GpuMemory, SparsePagesDefaultZero)
+{
+    GpuMemory m;
+    EXPECT_EQ(m.load(1ull << 40, MemWidth::U32), 0);
+}
+
+TEST(GpuMemory, AllocatorAlignsAndSeparates)
+{
+    GpuMemory m;
+    Addr a = m.alloc(100);
+    Addr b = m.alloc(100);
+    EXPECT_EQ(a % 256, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(GpuMemory, ChecksumDetectsChanges)
+{
+    GpuMemory m;
+    Addr a = m.alloc(64);
+    auto c1 = m.checksum(a, 64);
+    m.writeByte(a + 13, 7);
+    EXPECT_NE(m.checksum(a, 64), c1);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * SIMT reconvergence stack tests (baseline per-warp stack and the
+ * batch-wide Affine SIMT Stack of Section 4.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dac/affine_stack.h"
+#include "sim/simt_stack.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+TEST(SimtStack, StraightLineAdvance)
+{
+    SimtStack s;
+    s.reset(fullMask);
+    EXPECT_EQ(s.pc(), 0);
+    s.advance(1);
+    s.advance(2);
+    EXPECT_EQ(s.pc(), 2);
+    EXPECT_EQ(s.mask(), fullMask);
+    EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, DivergeAndReconverge)
+{
+    SimtStack s;
+    s.reset(fullMask);
+    s.advance(5);
+    // Branch at 5: taken -> 10, fallthrough 6, reconverge at 20.
+    s.diverge(10, 6, 20, 0x0000ffff, 0xffff0000);
+    EXPECT_EQ(s.pc(), 10);
+    EXPECT_EQ(s.mask(), 0x0000ffffu);
+    EXPECT_EQ(s.depth(), 3);
+    // Taken path runs to the reconvergence point.
+    s.advance(11);
+    s.advance(20); // pops the taken entry
+    EXPECT_EQ(s.pc(), 6);
+    EXPECT_EQ(s.mask(), 0xffff0000u);
+    s.advance(7);
+    s.advance(20); // pops the not-taken entry
+    EXPECT_EQ(s.pc(), 20);
+    EXPECT_EQ(s.mask(), fullMask);
+    EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, NestedDivergence)
+{
+    SimtStack s;
+    s.reset(fullMask);
+    s.diverge(10, 1, 30, 0x000000ff, 0xffffff00);
+    EXPECT_EQ(s.mask(), 0x000000ffu);
+    // Nested split on the taken path.
+    s.diverge(20, 11, 25, 0x0000000f, 0x000000f0);
+    EXPECT_EQ(s.mask(), 0x0000000fu);
+    s.advance(25);
+    EXPECT_EQ(s.mask(), 0x000000f0u);
+    EXPECT_EQ(s.pc(), 11);
+    s.advance(25);
+    EXPECT_EQ(s.mask(), 0x000000ffu);
+    EXPECT_EQ(s.pc(), 25);
+    s.advance(30);
+    EXPECT_EQ(s.mask(), 0xffffff00u);
+    EXPECT_EQ(s.pc(), 1);
+}
+
+TEST(SimtStack, RetirePartial)
+{
+    SimtStack s;
+    s.reset(fullMask);
+    EXPECT_FALSE(s.retire(0x0000ffff));
+    EXPECT_EQ(s.mask(), 0xffff0000u);
+    EXPECT_TRUE(s.retire(0xffff0000));
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SimtStack, RetireInsideDivergence)
+{
+    SimtStack s;
+    s.reset(fullMask);
+    s.diverge(10, 1, 30, 0x00ff, 0xff00);
+    // The whole taken path exits.
+    EXPECT_FALSE(s.retire(0x00ff));
+    EXPECT_EQ(s.mask(), 0xff00u);
+    EXPECT_EQ(s.pc(), 1);
+}
+
+TEST(SimtStack, NoReconvergencePoint)
+{
+    SimtStack s;
+    s.reset(fullMask);
+    s.diverge(10, 1, -1, 0x00ff, 0xff00);
+    // Both paths run until exit; nothing pops on ordinary PCs.
+    s.advance(11);
+    s.advance(12);
+    EXPECT_EQ(s.mask(), 0x00ffu);
+    EXPECT_FALSE(s.retire(0x00ff));
+    EXPECT_EQ(s.mask(), 0xff00u);
+}
+
+// ----- Affine SIMT Stack (mask sets over a warp batch) ---------------------
+
+TEST(AffineStack, MirrorsWholeBatch)
+{
+    AffineStack s;
+    MaskSet init = {fullMask, fullMask, 0x0000ffff};
+    s.reset(init);
+    EXPECT_EQ(s.mask(), init);
+    // Divergence splits different warps differently.
+    MaskSet taken = {0x000000ff, 0, 0x000000ff};
+    MaskSet nottaken = maskSetAndNot(init, taken);
+    s.diverge(10, 1, 20, taken, nottaken);
+    EXPECT_EQ(s.mask(), taken);
+    s.advance(20);
+    EXPECT_EQ(s.mask(), nottaken);
+    s.advance(20);
+    EXPECT_EQ(s.mask(), init);
+}
+
+TEST(AffineStack, RetireEndsBatch)
+{
+    AffineStack s;
+    MaskSet init = {fullMask, 0x3};
+    s.reset(init);
+    EXPECT_FALSE(s.retire({fullMask, 0x1}));
+    EXPECT_TRUE(s.retire({0, 0x2}));
+}
+
+TEST(AffineStack, CountsWlsAndPwsAccesses)
+{
+    AffineStack s;
+    s.reset({fullMask, fullMask});
+    auto before = s.accesses();
+    // A split where warp 0 is partial (needs a PWS) and warp 1 is
+    // all-taken (WLS-only).
+    s.diverge(10, 1, 20, {0x00ff, fullMask}, {0xff00, 0});
+    auto after = s.accesses();
+    EXPECT_GT(after.wls, before.wls);
+    EXPECT_GT(after.pws, before.pws);
+    // Exactly two PWS touches: warp 0 in each pushed path entry.
+    EXPECT_EQ(after.pws - before.pws, 2u);
+}
+
+TEST(AffineStack, TracksMaxDepth)
+{
+    AffineStack s;
+    s.reset({fullMask});
+    s.diverge(10, 1, 20, {0x1}, {fullMask & ~1u});
+    EXPECT_GE(s.maxDepthSeen(), 3);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Whole-suite property tests: for every one of the 29 benchmarks
+ * (Table 2) and every machine variant, the final-memory checksums
+ * must be bit-identical to the baseline — the decoupling/prefetching
+ * mechanisms are pure optimizations — and basic structural properties
+ * of each run (instruction counts, affine coverage) must hold.
+ *
+ * Runs at reduced scale to keep the suite fast; the bench binaries
+ * re-run everything at full scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+constexpr double testScale = 0.12;
+
+struct Case
+{
+    std::string workload;
+    Technique tech;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    return info.param.workload + "_" +
+           techniqueName(info.param.tech);
+}
+
+class WorkloadEquivalence : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadEquivalence, MatchesBaselineChecksums)
+{
+    const auto &[name, tech] = GetParam();
+    RunOptions opt;
+    opt.scale = testScale;
+    RunOutcome base = runWorkload(name, opt);
+    opt.tech = tech;
+    RunOutcome other = runWorkload(name, opt);
+    ASSERT_EQ(other.checksums.size(), base.checksums.size());
+    EXPECT_EQ(other.checksums, base.checksums);
+    EXPECT_GT(other.stats.cycles, 0u);
+    EXPECT_GT(other.stats.warpInsts, 0u);
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const Workload &w : allWorkloads())
+        for (Technique t :
+             {Technique::Cae, Technique::Mta, Technique::Dac})
+            cases.push_back({w.name, t});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadEquivalence,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+// ----- per-workload structural checks ---------------------------------------
+
+class WorkloadStructure : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadStructure, DacReducesOrPreservesWork)
+{
+    RunOptions opt;
+    opt.scale = testScale;
+    RunOutcome base = runWorkload(GetParam(), opt);
+    opt.tech = Technique::Dac;
+    RunOutcome dac = runWorkload(GetParam(), opt);
+    // Non-affine warps never execute more than the baseline.
+    EXPECT_LE(dac.stats.warpInsts, base.stats.warpInsts);
+    if (dac.anyDecoupled) {
+        EXPECT_GT(dac.stats.affineWarpInsts, 0u);
+        EXPECT_LE(dac.stats.warpInsts, base.stats.warpInsts);
+    } else {
+        EXPECT_EQ(dac.stats.warpInsts, base.stats.warpInsts);
+    }
+    // Every early fetch is accounted inside total load requests.
+    EXPECT_LE(dac.stats.affineLoadRequests, dac.stats.loadRequests);
+}
+
+TEST_P(WorkloadStructure, CaeExecutesSameInstructionCount)
+{
+    RunOptions opt;
+    opt.scale = testScale;
+    RunOutcome base = runWorkload(GetParam(), opt);
+    opt.tech = Technique::Cae;
+    RunOutcome cae = runWorkload(GetParam(), opt);
+    // CAE accelerates issue but does not remove instructions (paper
+    // Section 5.3).
+    EXPECT_EQ(cae.stats.warpInsts, base.stats.warpInsts);
+    EXPECT_LE(cae.stats.caeAffineInsts, cae.stats.warpInsts);
+    EXPECT_LE(cae.stats.cycles, base.stats.cycles * 101 / 100 + 2000);
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadStructure,
+                         ::testing::ValuesIn(allNames()),
+                         [](const auto &info) { return info.param; });
+
+// ----- suite-level sanity ----------------------------------------------------
+
+TEST(WorkloadRegistry, HasTable2Composition)
+{
+    const auto &all = allWorkloads();
+    EXPECT_EQ(all.size(), 29u);
+    int mem = 0;
+    for (const Workload &w : all)
+        mem += w.memoryIntensive;
+    EXPECT_EQ(mem, 18);
+    // Abbreviations are unique.
+    for (std::size_t i = 0; i < all.size(); ++i)
+        for (std::size_t j = i + 1; j < all.size(); ++j)
+            EXPECT_NE(all[i].name, all[j].name);
+}
+
+TEST(WorkloadRegistry, FindByName)
+{
+    EXPECT_EQ(findWorkload("LIB").fullName, "libor market model");
+    EXPECT_THROW(findWorkload("NOPE"), FatalError);
+}
+
+TEST(WorkloadRegistry, SuitesMatchTable2)
+{
+    EXPECT_EQ(findWorkload("CP").suite, 'G');
+    EXPECT_EQ(findWorkload("SG").suite, 'R');
+    EXPECT_EQ(findWorkload("BT").suite, 'C');
+    EXPECT_EQ(findWorkload("MC").suite, 'P');
+}
+
+} // namespace
