@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dac.dir/ablation_dac.cc.o"
+  "CMakeFiles/ablation_dac.dir/ablation_dac.cc.o.d"
+  "ablation_dac"
+  "ablation_dac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

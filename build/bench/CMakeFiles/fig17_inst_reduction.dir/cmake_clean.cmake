@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_inst_reduction.dir/fig17_inst_reduction.cc.o"
+  "CMakeFiles/fig17_inst_reduction.dir/fig17_inst_reduction.cc.o.d"
+  "fig17_inst_reduction"
+  "fig17_inst_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_inst_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_affine_coverage.dir/fig18_affine_coverage.cc.o"
+  "CMakeFiles/fig18_affine_coverage.dir/fig18_affine_coverage.cc.o.d"
+  "fig18_affine_coverage"
+  "fig18_affine_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_affine_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

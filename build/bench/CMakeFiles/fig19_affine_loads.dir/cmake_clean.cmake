@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_affine_loads.dir/fig19_affine_loads.cc.o"
+  "CMakeFiles/fig19_affine_loads.dir/fig19_affine_loads.cc.o.d"
+  "fig19_affine_loads"
+  "fig19_affine_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_affine_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_mta_coverage.dir/fig20_mta_coverage.cc.o"
+  "CMakeFiles/fig20_mta_coverage.dir/fig20_mta_coverage.cc.o.d"
+  "fig20_mta_coverage"
+  "fig20_mta_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_mta_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_potential_affine.dir/fig6_potential_affine.cc.o"
+  "CMakeFiles/fig6_potential_affine.dir/fig6_potential_affine.cc.o.d"
+  "fig6_potential_affine"
+  "fig6_potential_affine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_potential_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

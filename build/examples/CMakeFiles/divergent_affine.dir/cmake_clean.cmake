@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divergent_affine.dir/divergent_affine.cpp.o"
+  "CMakeFiles/divergent_affine.dir/divergent_affine.cpp.o.d"
+  "divergent_affine"
+  "divergent_affine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divergent_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

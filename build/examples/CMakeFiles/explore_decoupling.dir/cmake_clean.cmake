@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_decoupling.dir/explore_decoupling.cpp.o"
+  "CMakeFiles/explore_decoupling.dir/explore_decoupling.cpp.o.d"
+  "explore_decoupling"
+  "explore_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/mta.cc" "src/CMakeFiles/dacsim.dir/baselines/mta.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/baselines/mta.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/dacsim.dir/common/config.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/common/config.cc.o.d"
+  "/root/repo/src/compiler/affine_types.cc" "src/CMakeFiles/dacsim.dir/compiler/affine_types.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/compiler/affine_types.cc.o.d"
+  "/root/repo/src/compiler/cfg.cc" "src/CMakeFiles/dacsim.dir/compiler/cfg.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/compiler/cfg.cc.o.d"
+  "/root/repo/src/compiler/decoupler.cc" "src/CMakeFiles/dacsim.dir/compiler/decoupler.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/compiler/decoupler.cc.o.d"
+  "/root/repo/src/compiler/reaching_defs.cc" "src/CMakeFiles/dacsim.dir/compiler/reaching_defs.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/compiler/reaching_defs.cc.o.d"
+  "/root/repo/src/dac/affine_tuple.cc" "src/CMakeFiles/dacsim.dir/dac/affine_tuple.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/dac/affine_tuple.cc.o.d"
+  "/root/repo/src/dac/affine_value.cc" "src/CMakeFiles/dacsim.dir/dac/affine_value.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/dac/affine_value.cc.o.d"
+  "/root/repo/src/dac/affine_warp.cc" "src/CMakeFiles/dacsim.dir/dac/affine_warp.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/dac/affine_warp.cc.o.d"
+  "/root/repo/src/dac/engine.cc" "src/CMakeFiles/dacsim.dir/dac/engine.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/dac/engine.cc.o.d"
+  "/root/repo/src/energy/energy.cc" "src/CMakeFiles/dacsim.dir/energy/energy.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/energy/energy.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/dacsim.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/harness/runner.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/dacsim.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/dacsim.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/dacsim.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/operand.cc" "src/CMakeFiles/dacsim.dir/isa/operand.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/isa/operand.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/dacsim.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/CMakeFiles/dacsim.dir/sim/gpu.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/sim/gpu.cc.o.d"
+  "/root/repo/src/sim/sm.cc" "src/CMakeFiles/dacsim.dir/sim/sm.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/sim/sm.cc.o.d"
+  "/root/repo/src/workloads/w_aes.cc" "src/CMakeFiles/dacsim.dir/workloads/w_aes.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_aes.cc.o.d"
+  "/root/repo/src/workloads/w_bfs.cc" "src/CMakeFiles/dacsim.dir/workloads/w_bfs.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_bfs.cc.o.d"
+  "/root/repo/src/workloads/w_bp.cc" "src/CMakeFiles/dacsim.dir/workloads/w_bp.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_bp.cc.o.d"
+  "/root/repo/src/workloads/w_bs.cc" "src/CMakeFiles/dacsim.dir/workloads/w_bs.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_bs.cc.o.d"
+  "/root/repo/src/workloads/w_bt.cc" "src/CMakeFiles/dacsim.dir/workloads/w_bt.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_bt.cc.o.d"
+  "/root/repo/src/workloads/w_cfd.cc" "src/CMakeFiles/dacsim.dir/workloads/w_cfd.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_cfd.cc.o.d"
+  "/root/repo/src/workloads/w_cp.cc" "src/CMakeFiles/dacsim.dir/workloads/w_cp.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_cp.cc.o.d"
+  "/root/repo/src/workloads/w_cs.cc" "src/CMakeFiles/dacsim.dir/workloads/w_cs.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_cs.cc.o.d"
+  "/root/repo/src/workloads/w_fft.cc" "src/CMakeFiles/dacsim.dir/workloads/w_fft.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_fft.cc.o.d"
+  "/root/repo/src/workloads/w_hi.cc" "src/CMakeFiles/dacsim.dir/workloads/w_hi.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_hi.cc.o.d"
+  "/root/repo/src/workloads/w_hs.cc" "src/CMakeFiles/dacsim.dir/workloads/w_hs.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_hs.cc.o.d"
+  "/root/repo/src/workloads/w_img.cc" "src/CMakeFiles/dacsim.dir/workloads/w_img.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_img.cc.o.d"
+  "/root/repo/src/workloads/w_km.cc" "src/CMakeFiles/dacsim.dir/workloads/w_km.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_km.cc.o.d"
+  "/root/repo/src/workloads/w_lbm.cc" "src/CMakeFiles/dacsim.dir/workloads/w_lbm.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_lbm.cc.o.d"
+  "/root/repo/src/workloads/w_lib.cc" "src/CMakeFiles/dacsim.dir/workloads/w_lib.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_lib.cc.o.d"
+  "/root/repo/src/workloads/w_lud.cc" "src/CMakeFiles/dacsim.dir/workloads/w_lud.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_lud.cc.o.d"
+  "/root/repo/src/workloads/w_mc.cc" "src/CMakeFiles/dacsim.dir/workloads/w_mc.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_mc.cc.o.d"
+  "/root/repo/src/workloads/w_mq.cc" "src/CMakeFiles/dacsim.dir/workloads/w_mq.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_mq.cc.o.d"
+  "/root/repo/src/workloads/w_mt.cc" "src/CMakeFiles/dacsim.dir/workloads/w_mt.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_mt.cc.o.d"
+  "/root/repo/src/workloads/w_pf.cc" "src/CMakeFiles/dacsim.dir/workloads/w_pf.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_pf.cc.o.d"
+  "/root/repo/src/workloads/w_sc.cc" "src/CMakeFiles/dacsim.dir/workloads/w_sc.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_sc.cc.o.d"
+  "/root/repo/src/workloads/w_sg.cc" "src/CMakeFiles/dacsim.dir/workloads/w_sg.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_sg.cc.o.d"
+  "/root/repo/src/workloads/w_sp.cc" "src/CMakeFiles/dacsim.dir/workloads/w_sp.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_sp.cc.o.d"
+  "/root/repo/src/workloads/w_spv.cc" "src/CMakeFiles/dacsim.dir/workloads/w_spv.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_spv.cc.o.d"
+  "/root/repo/src/workloads/w_sr1.cc" "src/CMakeFiles/dacsim.dir/workloads/w_sr1.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_sr1.cc.o.d"
+  "/root/repo/src/workloads/w_sr2.cc" "src/CMakeFiles/dacsim.dir/workloads/w_sr2.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_sr2.cc.o.d"
+  "/root/repo/src/workloads/w_st.cc" "src/CMakeFiles/dacsim.dir/workloads/w_st.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_st.cc.o.d"
+  "/root/repo/src/workloads/w_sto.cc" "src/CMakeFiles/dacsim.dir/workloads/w_sto.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_sto.cc.o.d"
+  "/root/repo/src/workloads/w_tp.cc" "src/CMakeFiles/dacsim.dir/workloads/w_tp.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/w_tp.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/dacsim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/dacsim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

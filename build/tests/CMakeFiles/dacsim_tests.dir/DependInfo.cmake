@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_affine_tuple.cc" "tests/CMakeFiles/dacsim_tests.dir/test_affine_tuple.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_affine_tuple.cc.o.d"
+  "/root/repo/tests/test_affine_types.cc" "tests/CMakeFiles/dacsim_tests.dir/test_affine_types.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_affine_types.cc.o.d"
+  "/root/repo/tests/test_affine_value.cc" "tests/CMakeFiles/dacsim_tests.dir/test_affine_value.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_affine_value.cc.o.d"
+  "/root/repo/tests/test_affine_warp.cc" "tests/CMakeFiles/dacsim_tests.dir/test_affine_warp.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_affine_warp.cc.o.d"
+  "/root/repo/tests/test_alu.cc" "tests/CMakeFiles/dacsim_tests.dir/test_alu.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_alu.cc.o.d"
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/dacsim_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/dacsim_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_cfg.cc" "tests/CMakeFiles/dacsim_tests.dir/test_cfg.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_cfg.cc.o.d"
+  "/root/repo/tests/test_dac_engine.cc" "tests/CMakeFiles/dacsim_tests.dir/test_dac_engine.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_dac_engine.cc.o.d"
+  "/root/repo/tests/test_decoupler.cc" "tests/CMakeFiles/dacsim_tests.dir/test_decoupler.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_decoupler.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/dacsim_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/dacsim_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_gpu.cc" "tests/CMakeFiles/dacsim_tests.dir/test_gpu.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_gpu.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/dacsim_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_mem_system.cc" "tests/CMakeFiles/dacsim_tests.dir/test_mem_system.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_mem_system.cc.o.d"
+  "/root/repo/tests/test_simt_stack.cc" "tests/CMakeFiles/dacsim_tests.dir/test_simt_stack.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_simt_stack.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/dacsim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/dacsim_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dacsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
