@@ -28,10 +28,14 @@ dacSpeedup(const std::string &name,
 {
     RunOptions opt;
     opt.scale = 0.5;
+    opt.faults = bench::faultPlanFor(name);
     tweak(opt);
     RunOutcome base = runWorkload(name, opt);
     opt.tech = Technique::Dac;
     RunOutcome dac = runWorkload(name, opt);
+    if (!bench::reportRun("ablation", name, Technique::Baseline, base) ||
+        !bench::reportRun("ablation", name, Technique::Dac, dac))
+        return 0.0; // rendered as 0.00x; details already on stderr
     require(dac.checksums == base.checksums, "ablation broke ", name);
     return static_cast<double>(base.stats.cycles) /
            static_cast<double>(dac.stats.cycles);
@@ -46,10 +50,8 @@ row(const char *label, const std::function<void(RunOptions &)> &tweak)
     std::printf("\n");
 }
 
-} // namespace
-
 int
-main()
+run()
 {
     bench::printHeader("DAC design-choice ablations (DAC speedup)");
     std::printf("%-34s %8s %8s %8s\n", "configuration", "SP", "HS",
@@ -93,4 +95,12 @@ main()
                 "addresses need 1-2 conditions), expansion throughput "
                 "matters little beyond 2/cycle.\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain("ablation_dac", run);
 }

@@ -1,8 +1,12 @@
 /**
  * @file
  * Shared helpers for the figure/table reproduction binaries: category
- * partitions matching Table 2, geometric means, and simple fixed-
- * width table printing in the spirit of the paper's figures.
+ * partitions matching Table 2, geometric means, simple fixed-width
+ * table printing in the spirit of the paper's figures, and the
+ * crash-isolation utilities every driver uses — a guarded main that
+ * turns uncaught simulator errors into diagnostics instead of aborts,
+ * JSON error reports for failed runs within a sweep, and fault-plan
+ * injection from the environment (DACSIM_FAULTS / DACSIM_FAULT_BENCHES).
  */
 
 #ifndef DACSIM_BENCH_BENCH_UTIL_H
@@ -10,6 +14,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,6 +69,110 @@ printBar(const std::string &label, double value, double unit_per_char,
     for (int i = 0; i < n && i < 60; ++i)
         std::printf("#");
     std::printf("\n");
+}
+
+// ----- crash isolation & fault injection ---------------------------------
+
+/**
+ * Fault plan for one benchmark of a sweep, read from the environment:
+ * DACSIM_FAULTS holds a FaultPlan::parse() spec, DACSIM_FAULT_BENCHES
+ * an optional comma-separated list of benchmark abbreviations the plan
+ * applies to (unset or empty: all benchmarks). Returns an empty plan
+ * when no injection is requested for @p bench.
+ */
+inline FaultPlan
+faultPlanFor(const std::string &bench)
+{
+    const char *spec = std::getenv("DACSIM_FAULTS");
+    if (spec == nullptr || *spec == '\0')
+        return {};
+    if (const char *only = std::getenv("DACSIM_FAULT_BENCHES");
+        only != nullptr && *only != '\0') {
+        std::string list(only);
+        bool match = false;
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+            std::size_t sep = list.find(',', pos);
+            if (sep == std::string::npos)
+                sep = list.size();
+            if (list.substr(pos, sep - pos) == bench) {
+                match = true;
+                break;
+            }
+            pos = sep + 1;
+        }
+        if (!match)
+            return {};
+    }
+    return FaultPlan::parse(spec);
+}
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Emit a one-line JSON error report to stderr for a failed or degraded
+ * run and return whether the sweep may use the outcome's numbers.
+ * Clean runs print nothing.
+ */
+inline bool
+reportRun(const char *figure, const std::string &bench, Technique tech,
+          const RunOutcome &out)
+{
+    if (out.error.ok())
+        return true;
+    std::fprintf(
+        stderr,
+        "{\"figure\":\"%s\",\"bench\":\"%s\",\"tech\":\"%s\","
+        "\"status\":\"%s\",\"kind\":\"%s\",\"cycle\":%llu,"
+        "\"what\":\"%s\"}\n",
+        figure, jsonEscape(bench).c_str(), techniqueName(tech),
+        out.fellBack ? "fallback" : "error",
+        runErrorKindName(out.error.kind),
+        static_cast<unsigned long long>(out.error.cycle),
+        jsonEscape(out.error.what).c_str());
+    return out.ok();
+}
+
+/**
+ * Run @p body with top-level FatalError/PanicError isolation: an
+ * uncaught simulator error prints a diagnostic (instead of a bare
+ * std::terminate abort) and exits non-zero.
+ */
+inline int
+guardedMain(const char *name, const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s: user error: %s\n", name, e.what());
+    } catch (const PanicError &e) {
+        std::fprintf(stderr, "%s: simulator bug: %s\n", name, e.what());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: unexpected error: %s\n", name, e.what());
+    }
+    return 1;
 }
 
 } // namespace dacsim::bench

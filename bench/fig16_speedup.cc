@@ -7,6 +7,11 @@
  * Paper reference points: DAC global 1.407x; compute panel DAC 1.34x
  * vs CAE 1.15x (their implementation 1.11x in the text); memory panel
  * DAC 1.44x vs MTA 1.16x.
+ *
+ * The sweep is crash-isolated: a run that fails (or degrades to
+ * baseline under fault injection) is reported as a JSON error line on
+ * stderr and excluded from the means; the remaining benchmarks still
+ * complete.
  */
 
 #include <cstdio>
@@ -30,23 +35,40 @@ panel(const char *title, const std::vector<std::string> &names,
     for (const std::string &n : names) {
         RunOptions opt;
         opt.scale = bench::figureScale;
+        opt.faults = bench::faultPlanFor(n);
         RunOutcome base = runWorkload(n, opt);
+        if (!bench::reportRun("fig16", n, Technique::Baseline, base)) {
+            std::printf("%-5s %8s %8s %8s  (baseline failed: %s)\n",
+                        n.c_str(), "-", "-", "-",
+                        runErrorKindName(base.error.kind));
+            continue;
+        }
         std::map<Technique, double> row;
         for (Technique t :
              {Technique::Cae, Technique::Mta, Technique::Dac}) {
             opt.tech = t;
             RunOutcome r = runWorkload(n, opt);
+            if (!bench::reportRun("fig16", n, t, r))
+                continue; // structured error already emitted
             require(r.checksums == base.checksums,
                     "result mismatch on ", n);
             row[t] = static_cast<double>(base.stats.cycles) /
                      static_cast<double>(r.stats.cycles);
         }
+        auto cell = [&](Technique t) {
+            return row.count(t) ? row[t] : 0.0;
+        };
         std::printf("%-5s %7.2fx %7.2fx %7.2fx\n", n.c_str(),
-                    row[Technique::Cae], row[Technique::Mta],
-                    row[Technique::Dac]);
-        cae.push_back(row[Technique::Cae]);
-        mta.push_back(row[Technique::Mta]);
-        dac.push_back(row[Technique::Dac]);
+                    cell(Technique::Cae), cell(Technique::Mta),
+                    cell(Technique::Dac));
+        // Failed techniques are excluded from the means rather than
+        // polluting them with zeros.
+        if (row.count(Technique::Cae))
+            cae.push_back(row[Technique::Cae]);
+        if (row.count(Technique::Mta))
+            mta.push_back(row[Technique::Mta]);
+        if (row.count(Technique::Dac))
+            dac.push_back(row[Technique::Dac]);
         table[n] = row;
     }
     std::printf("%-5s %7.2fx %7.2fx %7.2fx  (geometric mean)\n", "MEAN",
@@ -57,10 +79,8 @@ panel(const char *title, const std::vector<std::string> &names,
     global[2].insert(global[2].end(), dac.begin(), dac.end());
 }
 
-} // namespace
-
 int
-main()
+run()
 {
     bench::printHeader(
         "Figure 16: Speedup of CAE, MTA, and DAC over the baseline");
@@ -77,4 +97,12 @@ main()
     std::printf("(paper: DAC 1.407x overall; compute DAC 1.34x / CAE "
                 "1.11x; memory DAC 1.44x / MTA 1.16x)\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain("fig16_speedup", run);
 }

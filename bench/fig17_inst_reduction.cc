@@ -13,8 +13,11 @@
 
 using namespace dacsim;
 
+namespace
+{
+
 int
-main()
+run()
 {
     bench::printHeader(
         "Figure 17: DAC Warp Instructions Normalized to Baseline");
@@ -25,9 +28,15 @@ main()
     for (const Workload &w : allWorkloads()) {
         RunOptions opt;
         opt.scale = bench::figureScale;
+        opt.faults = bench::faultPlanFor(w.name);
         RunOutcome base = runWorkload(w, opt);
         opt.tech = Technique::Dac;
         RunOutcome dac = runWorkload(w, opt);
+        if (!bench::reportRun("fig17", w.name, Technique::Baseline,
+                              base) ||
+            !bench::reportRun("fig17", w.name, Technique::Dac, dac)) {
+            continue;
+        }
         double b = static_cast<double>(base.stats.warpInsts);
         double na = static_cast<double>(dac.stats.warpInsts) / b;
         double aff = static_cast<double>(dac.stats.affineWarpInsts) / b;
@@ -58,4 +67,12 @@ main()
                 "instructions on average (paper: ~9)\n",
                 bench::geomean(replaced));
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain("fig17_inst_reduction", run);
 }

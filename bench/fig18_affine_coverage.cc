@@ -14,8 +14,11 @@
 
 using namespace dacsim;
 
+namespace
+{
+
 int
-main()
+run()
 {
     bench::printHeader(
         "Figure 18: Affine Instruction Coverage (compute-intensive)");
@@ -25,14 +28,19 @@ main()
     for (const std::string &n : bench::benchNames(false)) {
         RunOptions opt;
         opt.scale = bench::figureScale;
+        opt.faults = bench::faultPlanFor(n);
         // Baseline run carries the DAC coverage marks (Fig 18's
         // metric is defined against baseline execution).
         RunOutcome base = runWorkload(n, opt);
+        opt.tech = Technique::Cae;
+        RunOutcome cae = runWorkload(n, opt);
+        if (!bench::reportRun("fig18", n, Technique::Baseline, base) ||
+            !bench::reportRun("fig18", n, Technique::Cae, cae)) {
+            continue;
+        }
         double b = static_cast<double>(base.stats.warpInsts);
         double dac =
             static_cast<double>(base.stats.affineCoveredInsts) / b;
-        opt.tech = Technique::Cae;
-        RunOutcome cae = runWorkload(n, opt);
         double caeC = static_cast<double>(cae.stats.caeAffineInsts) /
                       static_cast<double>(cae.stats.warpInsts);
         std::printf("%-5s %7.1f%% %7.1f%%\n", n.c_str(), 100.0 * caeC,
@@ -45,4 +53,12 @@ main()
                 100.0 * bench::geomean(dacCov));
     std::printf("(paper: DAC 34%%, CAE 25%%)\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain("fig18_affine_coverage", run);
 }

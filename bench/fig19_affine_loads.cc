@@ -11,8 +11,11 @@
 
 using namespace dacsim;
 
+namespace
+{
+
 int
-main()
+run()
 {
     bench::printHeader(
         "Figure 19: Affine Load Requests on DAC (memory-intensive)");
@@ -23,8 +26,11 @@ main()
     for (const std::string &n : bench::benchNames(true)) {
         RunOptions opt;
         opt.scale = bench::figureScale;
+        opt.faults = bench::faultPlanFor(n);
         opt.tech = Technique::Dac;
         RunOutcome r = runWorkload(n, opt);
+        if (!bench::reportRun("fig19", n, Technique::Dac, r))
+            continue;
         double share = r.stats.loadRequests
                            ? static_cast<double>(
                                  r.stats.affineLoadRequests) /
@@ -40,10 +46,19 @@ main()
     double mean = 0;
     for (double s : shares)
         mean += s;
-    mean /= static_cast<double>(shares.size());
+    if (!shares.empty())
+        mean /= static_cast<double>(shares.size());
     std::printf("%-5s %32.1f%%  (arithmetic mean)\n", "MEAN",
                 100.0 * mean);
     std::printf("(paper: 79.8%% of global/local loads issued by the "
                 "affine warp; BFS/BT low, streaming kernels near 100%%)\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain("fig19_affine_loads", run);
 }

@@ -12,8 +12,11 @@
 
 using namespace dacsim;
 
+namespace
+{
+
 int
-main()
+run()
 {
     bench::printHeader(
         "Figure 20: MTA Prefetcher Coverage (memory-intensive)");
@@ -24,8 +27,11 @@ main()
     for (const std::string &n : bench::benchNames(true)) {
         RunOptions opt;
         opt.scale = bench::figureScale;
+        opt.faults = bench::faultPlanFor(n);
         opt.tech = Technique::Mta;
         RunOutcome r = runWorkload(n, opt);
+        if (!bench::reportRun("fig20", n, Technique::Mta, r))
+            continue;
         double denom = static_cast<double>(r.stats.prefetchHits +
                                            r.stats.l1Misses);
         double cov = denom > 0 ? static_cast<double>(r.stats.prefetchHits) /
@@ -42,10 +48,19 @@ main()
     double mean = 0;
     for (double c : covs)
         mean += c;
-    mean /= static_cast<double>(covs.size());
+    if (!covs.empty())
+        mean /= static_cast<double>(covs.size());
     std::printf("%-5s %42.1f%%  (arithmetic mean)\n", "MEAN",
                 100.0 * mean);
     std::printf("(paper: high coverage on regular streams, throttled "
                 "or useless on irregular ones)\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain("fig20_mta_coverage", run);
 }

@@ -16,8 +16,11 @@
 
 using namespace dacsim;
 
+namespace
+{
+
 int
-main()
+run()
 {
     bench::printHeader(
         "Figure 21: DAC Energy Normalized to the Baseline GPU");
@@ -28,9 +31,15 @@ main()
     for (const Workload &w : allWorkloads()) {
         RunOptions opt;
         opt.scale = bench::figureScale;
+        opt.faults = bench::faultPlanFor(w.name);
         RunOutcome base = runWorkload(w, opt);
         opt.tech = Technique::Dac;
         RunOutcome dac = runWorkload(w, opt);
+        if (!bench::reportRun("fig21", w.name, Technique::Baseline,
+                              base) ||
+            !bench::reportRun("fig21", w.name, Technique::Dac, dac)) {
+            continue;
+        }
         EnergyBreakdown eb = computeEnergy(base.stats);
         EnergyBreakdown ed = computeEnergy(dac.stats);
         double bt = eb.total();
@@ -54,4 +63,12 @@ main()
                 "(paper: 0.96%%)\n",
                 100.0 * bench::geomean(overheads));
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain("fig21_energy", run);
 }

@@ -13,8 +13,11 @@
 
 using namespace dacsim;
 
+namespace
+{
+
 int
-main()
+run()
 {
     bench::printHeader("Figure 6: Potentially Affine Static Instructions");
     std::printf("%-5s %6s %6s %6s %8s   (%% of static instructions)\n",
@@ -36,4 +39,12 @@ main()
                 "(paper: about half)\n",
                 100.0 * bench::geomean(fractions));
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain("fig6_potential_affine", run);
 }

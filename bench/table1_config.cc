@@ -13,8 +13,11 @@
 
 using namespace dacsim;
 
+namespace
+{
+
 int
-main()
+run()
 {
     GpuConfig g;
     DacConfig d;
@@ -71,4 +74,12 @@ main()
                 "fetch up to %d lines/record\n",
                 d.expansionsPerCycle, DacEngine::maxEarlyFetchLines);
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain("table1_config", run);
 }

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 gate: build and run the full test suite twice — a plain
+# RelWithDebInfo build, then an ASan+UBSan build. Fails on the first
+# error of either pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== asan+ubsan build =="
+cmake -B build-san -S . -DDACSIM_SANITIZE=address,undefined >/dev/null
+cmake --build build-san -j
+(cd build-san && ctest --output-on-failure -j)
+
+echo "All checks passed."

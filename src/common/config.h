@@ -84,6 +84,10 @@ struct GpuConfig
      * L1-hit latency and unlimited bandwidth; used to classify benchmarks
      * as memory- vs compute-intensive (paper Section 5.1.2). */
     bool perfectMemory = false;
+
+    /** Deadlock watchdog: abort a launch after this many cycles without
+     * any instruction issuing anywhere, dumping per-SM warp states. */
+    std::uint64_t watchdogCycles = 1u << 20;
 };
 
 /** DAC hardware provisioning (paper Table 1 / Section 4.8). */

@@ -1,0 +1,171 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dacsim
+{
+
+namespace
+{
+
+/** splitmix64: a cheap, high-quality deterministic mixer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+int
+FaultPlan::stolenMshrs(int sm, Cycle now) const
+{
+    std::uint64_t stolen = 0;
+    for (const FaultEvent &e : events_)
+        if (e.kind == FaultKind::MshrSteal && active(e, sm, now))
+            stolen = std::max(stolen, e.magnitude);
+    return static_cast<int>(stolen);
+}
+
+Cycle
+FaultPlan::dramJitter(Addr line, Cycle now) const
+{
+    Cycle extra = 0;
+    for (const FaultEvent &e : events_) {
+        if (e.kind != FaultKind::DramJitter || e.magnitude == 0 ||
+            !active(e, /*sm=*/-1, now)) {
+            continue;
+        }
+        std::uint64_t h = mix64(seed_ ^ mix64(line) ^ mix64(now));
+        extra = std::max<Cycle>(extra, h % (e.magnitude + 1));
+    }
+    return extra;
+}
+
+bool
+FaultPlan::tagLockBlocked(int sm, Cycle now) const
+{
+    for (const FaultEvent &e : events_)
+        if (e.kind == FaultKind::TagLockBlock && active(e, sm, now))
+            return true;
+    return false;
+}
+
+bool
+FaultPlan::affineBackpressure(int sm, Cycle now) const
+{
+    for (const FaultEvent &e : events_)
+        if (e.kind == FaultKind::AffineBackpressure && active(e, sm, now))
+            return true;
+    return false;
+}
+
+bool
+FaultPlan::affineInvalidate(Cycle now) const
+{
+    for (const FaultEvent &e : events_)
+        if (e.kind == FaultKind::AffineInvalidate && now >= e.begin &&
+            now < e.end) {
+            return true;
+        }
+    return false;
+}
+
+const char *
+FaultPlan::kindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::MshrSteal: return "mshr";
+      case FaultKind::DramJitter: return "jitter";
+      case FaultKind::TagLockBlock: return "taglock";
+      case FaultKind::AffineBackpressure: return "backpressure";
+      case FaultKind::AffineInvalidate: return "invalidate";
+    }
+    return "?";
+}
+
+namespace
+{
+
+FaultKind
+kindFromName(const std::string &s)
+{
+    for (FaultKind k :
+         {FaultKind::MshrSteal, FaultKind::DramJitter,
+          FaultKind::TagLockBlock, FaultKind::AffineBackpressure,
+          FaultKind::AffineInvalidate}) {
+        if (s == FaultPlan::kindName(k))
+            return k;
+    }
+    fatal("unknown fault kind '", s, "'");
+}
+
+std::uint64_t
+parseU64(const std::string &s, const char *what)
+{
+    require(!s.empty(), "fault spec: empty ", what);
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s.c_str(), &end, 0);
+    require(end != nullptr && *end == '\0', "fault spec: bad ", what, " '",
+            s, "'");
+    return v;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t sep = spec.find(';', pos);
+        if (sep == std::string::npos)
+            sep = spec.size();
+        std::string item = spec.substr(pos, sep - pos);
+        pos = sep + 1;
+        if (item.empty())
+            continue;
+
+        if (item.rfind("seed=", 0) == 0) {
+            plan.setSeed(parseU64(item.substr(5), "seed"));
+            continue;
+        }
+
+        std::size_t at = item.find('@');
+        require(at != std::string::npos, "fault spec: item '", item,
+                "' has no '@window'");
+        FaultEvent e;
+        e.kind = kindFromName(item.substr(0, at));
+        std::string rest = item.substr(at + 1);
+
+        std::size_t slash = rest.find('/');
+        if (slash != std::string::npos) {
+            e.sm = static_cast<int>(
+                parseU64(rest.substr(slash + 1), "sm id"));
+            rest = rest.substr(0, slash);
+        }
+        std::size_t colon = rest.find(':');
+        if (colon != std::string::npos) {
+            e.magnitude = parseU64(rest.substr(colon + 1), "magnitude");
+            rest = rest.substr(0, colon);
+        }
+        std::size_t dash = rest.find('-');
+        if (dash != std::string::npos) {
+            e.begin = parseU64(rest.substr(0, dash), "window begin");
+            e.end = parseU64(rest.substr(dash + 1), "window end");
+            require(e.begin < e.end, "fault spec: empty window in '", item,
+                    "'");
+        } else {
+            e.begin = parseU64(rest, "window begin");
+        }
+        plan.add(e);
+    }
+    return plan;
+}
+
+} // namespace dacsim

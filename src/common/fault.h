@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * A FaultPlan is a seeded list of fault events that microarchitectural
+ * hooks (memory system, DAC engine, SM) consult during simulation.
+ * Every decision is a pure function of (seed, event list, query
+ * arguments), so a stress scenario is exactly reproducible: the same
+ * plan on the same workload produces bit-identical statistics.
+ *
+ * Supported fault kinds model the structural hazards DAC's evaluation
+ * cares about: MSHR exhaustion, DRAM latency jitter, L1 tag-lock
+ * contention, affine-queue back-pressure, and a forced affine-warp
+ * invalidation that exercises the DAC-to-baseline degradation path.
+ */
+
+#ifndef DACSIM_COMMON_FAULT_H
+#define DACSIM_COMMON_FAULT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace dacsim
+{
+
+enum class FaultKind
+{
+    /** Steal `magnitude` L1 MSHR entries while active. */
+    MshrSteal,
+    /** Add hash-derived extra DRAM latency in [0, magnitude]. */
+    DramJitter,
+    /** Report every L1 set as lock-saturated to the AEU. */
+    TagLockBlock,
+    /** Report the ATQ as full to the affine warp (enq back-pressure). */
+    AffineBackpressure,
+    /** Invalidate the affine warp once the window opens: the DAC
+     * engine raises an unrecoverable fault and the run degrades to
+     * baseline execution (harness fallback). */
+    AffineInvalidate,
+};
+
+/** One injected fault, active over the half-open window [begin, end). */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::DramJitter;
+    Cycle begin = 0;
+    Cycle end = ~static_cast<Cycle>(0);
+    /** Kind-specific intensity (entries stolen, max extra cycles). */
+    std::uint64_t magnitude = 0;
+    /** Restrict to one SM (-1: all SMs). */
+    int sm = -1;
+};
+
+/** Thrown by a hook when an injected fault is unrecoverable by design
+ * (currently only AffineInvalidate). */
+class InjectedFaultError : public PanicError
+{
+  public:
+    InjectedFaultError(FaultKind kind, Cycle cycle, const std::string &msg)
+        : PanicError(msg), kind_(kind), cycle_(cycle)
+    {
+    }
+
+    FaultKind kind() const { return kind_; }
+    Cycle cycle() const { return cycle_; }
+
+  private:
+    FaultKind kind_;
+    Cycle cycle_;
+};
+
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+    explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+    void add(const FaultEvent &e) { events_.push_back(e); }
+    bool empty() const { return events_.empty(); }
+    std::uint64_t seed() const { return seed_; }
+    void setSeed(std::uint64_t s) { seed_ = s; }
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    // ----- hook queries ---------------------------------------------------
+
+    /** L1 MSHR entries stolen from SM @p sm at @p now. */
+    int stolenMshrs(int sm, Cycle now) const;
+
+    /** Deterministic extra DRAM latency for @p line at @p now. */
+    Cycle dramJitter(Addr line, Cycle now) const;
+
+    /** AEU may not lock any line on SM @p sm this cycle. */
+    bool tagLockBlocked(int sm, Cycle now) const;
+
+    /** ATQ reports full to SM @p sm's affine warp this cycle. */
+    bool affineBackpressure(int sm, Cycle now) const;
+
+    /** The affine warp must be invalidated at (or after) @p now. */
+    bool affineInvalidate(Cycle now) const;
+
+    // ----- construction from a textual spec -------------------------------
+
+    /**
+     * Parse a plan from a spec string, e.g.
+     *   "seed=42;mshr@0-200000:30;jitter@0:400;invalidate@5000"
+     * Items are ';'-separated. Each fault item is
+     *   kind '@' begin [ '-' end ] [ ':' magnitude ] [ '/' sm ]
+     * with kinds mshr, jitter, taglock, backpressure, invalidate.
+     * Throws FatalError on malformed input.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    static const char *kindName(FaultKind k);
+
+  private:
+    std::uint64_t seed_ = 0x9e3779b97f4a7c15ull;
+    std::vector<FaultEvent> events_;
+
+    bool active(const FaultEvent &e, int sm, Cycle now) const
+    {
+        return now >= e.begin && now < e.end && (e.sm < 0 || e.sm == sm);
+    }
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_COMMON_FAULT_H

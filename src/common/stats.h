@@ -72,6 +72,11 @@ struct RunStats
     /** CTA batches executed (the affine warp runs once per batch). */
     std::uint64_t dacBatches = 0;
 
+    // ----- robustness -----------------------------------------------------
+    /** Times an injected fault altered a microarchitectural decision
+     * (MSHRs withheld, DRAM latency inflated, locks refused, ...). */
+    std::uint64_t faultsInjected = 0;
+
     /** Total dynamic warp instructions across both streams. */
     std::uint64_t totalWarpInsts() const
     {
@@ -110,6 +115,7 @@ struct RunStats
         enqStallCycles += o.enqStallCycles;
         deqStallCycles += o.deqStallCycles;
         dacBatches += o.dacBatches;
+        faultsInjected += o.faultsInjected;
     }
 };
 

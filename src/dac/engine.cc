@@ -1,9 +1,11 @@
 #include "dac/engine.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/log.h"
 #include "mem/coalescer.h"
+#include "sim/audit.h"
 
 namespace dacsim
 {
@@ -31,6 +33,12 @@ DacEngine::startBatch(const BatchInfo *batch)
 bool
 DacEngine::canEnq() const
 {
+    if (faults_ && faults_->affineBackpressure(smId_, lastCycle_)) {
+        // Injected back-pressure: the ATQ reports full to the affine
+        // warp, which stalls exactly as it would on a real full queue.
+        ++stats_.faultsInjected;
+        return false;
+    }
     return static_cast<int>(atq_.size()) < dcfg_.atqEntries;
 }
 
@@ -121,7 +129,7 @@ DacEngine::deliverTo(AtqEntry &entry, int w, Cycle now,
         // retries next cycle without touching cache state.
         int needed = 0;
         for (Addr line : rec.lines) {
-            if (!mem_.canLock(smId_, line))
+            if (!mem_.canLock(smId_, line, now))
                 return false;
             if (!mem_.linePresent(smId_, line))
                 ++needed;
@@ -152,6 +160,7 @@ DacEngine::deliverTo(AtqEntry &entry, int w, Cycle now,
 void
 DacEngine::cycle(Cycle now, const std::vector<int> &cta_bar_passed)
 {
+    lastCycle_ = now;
     int budget = dcfg_.expansionsPerCycle;
     while (budget > 0) {
         if (atq_.empty())
@@ -226,6 +235,45 @@ DacEngine::popPred(int warp)
     ensure(!q.empty(), "popPred on empty PWPQ");
     ++stats_.pwpqAccesses;
     q.pop_front();
+}
+
+void
+DacEngine::audit(Cycle now) const
+{
+    AuditContext ctx;
+    ctx.cycle = now;
+    ctx.sm = smId_;
+
+    ctx.structure = "atq";
+    auditCheck(static_cast<int>(atq_.size()) <= dcfg_.atqEntries, ctx,
+               "occupancy ", atq_.size(), " exceeds ", dcfg_.atqEntries,
+               " entries");
+
+    for (std::size_t w = 0; w < pwaq_.size(); ++w) {
+        ctx.warp = static_cast<int>(w);
+        ctx.structure = "pwaq";
+        auditCheck(static_cast<int>(pwaq_[w].size()) <= pwaqCap_, ctx,
+                   "occupancy ", pwaq_[w].size(), " exceeds per-warp cap ",
+                   pwaqCap_);
+        ctx.structure = "pwpq";
+        auditCheck(static_cast<int>(pwpq_[w].size()) <= pwpqCap_, ctx,
+                   "occupancy ", pwpq_[w].size(), " exceeds per-warp cap ",
+                   pwpqCap_);
+    }
+}
+
+std::string
+DacEngine::dumpState() const
+{
+    std::ostringstream os;
+    os << "atq=" << atq_.size() << "/" << dcfg_.atqEntries;
+    std::size_t aq = 0, pq = 0;
+    for (const auto &q : pwaq_)
+        aq += q.size();
+    for (const auto &q : pwpq_)
+        pq += q.size();
+    os << " pwaq=" << aq << " pwpq=" << pq;
+    return os.str();
 }
 
 bool

@@ -15,9 +15,11 @@
 
 #include <array>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/fault.h"
 #include "common/stats.h"
 #include "dac/affine_value.h"
 #include "mem/mem_system.h"
@@ -99,6 +101,16 @@ class DacEngine
     /** Expansion work remains (keeps the SM's clock running). */
     bool busy() const { return !empty(); }
 
+    /** Install a fault plan (affine-queue back-pressure; nullptr:
+     * fault-free). The plan must outlive the simulation. */
+    void setFaultPlan(const FaultPlan *faults) { faults_ = faults; }
+
+    /** Audit queue-credit conservation; throws AuditError on violation. */
+    void audit(Cycle now) const;
+
+    /** Occupancy snapshot included in watchdog / audit state dumps. */
+    std::string dumpState() const;
+
   private:
     enum class EntryKind
     {
@@ -129,7 +141,11 @@ class DacEngine
     const DacConfig &dcfg_;
     MemorySystem &mem_;
     RunStats &stats_;
+    const FaultPlan *faults_ = nullptr;
     const BatchInfo *batch_ = nullptr;
+    /** Last cycle() timestamp; canEnq() has no time argument, so the
+     * back-pressure fault window is evaluated against this. */
+    Cycle lastCycle_ = 0;
 
     std::deque<AtqEntry> atq_;
     std::vector<std::deque<AddrRecord>> pwaq_;

@@ -2,13 +2,32 @@
 
 #include "common/log.h"
 #include "compiler/cfg.h"
+#include "sim/audit.h"
 #include "sim/gpu.h"
 
 namespace dacsim
 {
 
+const char *
+runErrorKindName(RunErrorKind k)
+{
+    switch (k) {
+      case RunErrorKind::None: return "none";
+      case RunErrorKind::Fatal: return "fatal";
+      case RunErrorKind::Panic: return "panic";
+      case RunErrorKind::Audit: return "audit";
+      case RunErrorKind::Deadlock: return "deadlock";
+      case RunErrorKind::FaultInjected: return "fault-injected";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** One uninstrumented run on the machine variant @p tech. */
 RunOutcome
-runWorkload(const Workload &wl, const RunOptions &opt)
+runOnce(const Workload &wl, const RunOptions &opt, Technique tech)
 {
     GpuMemory gmem;
     PreparedWorkload prep = wl.prepare(gmem, opt.scale);
@@ -21,18 +40,20 @@ runWorkload(const Workload &wl, const RunOptions &opt)
     GpuConfig gcfg = opt.gpu;
     gcfg.perfectMemory = opt.perfectMemory;
 
-    Gpu gpu(gcfg, opt.tech, opt.dac, opt.cae, opt.mta, gmem);
+    Gpu gpu(gcfg, tech, opt.dac, opt.cae, opt.mta, gmem);
+    if (!opt.faults.empty())
+        gpu.setFaultPlan(&opt.faults);
 
     LaunchInfo li;
     li.grid = prep.grid;
     li.block = prep.block;
     li.params = &prep.params;
-    if (opt.tech == Technique::Dac) {
+    if (tech == Technique::Dac) {
         li.kernel = &dec.nonAffine;
         li.affineKernel = &dec.affine;
     } else {
         li.kernel = &prep.kernel;
-        if (opt.tech == Technique::Baseline)
+        if (tech == Technique::Baseline)
             li.coverageMarks = &dec.coveredByDac;
     }
 
@@ -57,10 +78,77 @@ runWorkload(const Workload &wl, const RunOptions &opt)
     return out;
 }
 
+/** Map a caught simulator exception to a structured RunError. */
+RunError
+classify(const std::exception &e)
+{
+    RunError err;
+    err.what = e.what();
+    if (auto *f = dynamic_cast<const InjectedFaultError *>(&e)) {
+        err.kind = RunErrorKind::FaultInjected;
+        err.cycle = f->cycle();
+    } else if (auto *a = dynamic_cast<const AuditError *>(&e)) {
+        err.kind = RunErrorKind::Audit;
+        err.cycle = a->context().cycle;
+    } else if (auto *d = dynamic_cast<const DeadlockError *>(&e)) {
+        err.kind = RunErrorKind::Deadlock;
+        err.cycle = d->cycle();
+    } else if (dynamic_cast<const FatalError *>(&e) != nullptr) {
+        err.kind = RunErrorKind::Fatal;
+    } else {
+        err.kind = RunErrorKind::Panic;
+    }
+    return err;
+}
+
+} // namespace
+
+RunOutcome
+runWorkload(const Workload &wl, const RunOptions &opt)
+{
+    if (!opt.trapErrors)
+        return runOnce(wl, opt, opt.tech);
+
+    try {
+        return runOnce(wl, opt, opt.tech);
+    } catch (const std::exception &e) {
+        RunError err = classify(e);
+        // Graceful degradation: under an active fault plan, a DAC run
+        // whose affine engine hit an unrecoverable fault re-executes on
+        // the baseline machine (mirroring the paper's "not all kernels
+        // decouple" path). Clean-run panics stay visible as errors —
+        // they are simulator bugs, not environmental stress.
+        if (opt.tech == Technique::Dac && !opt.faults.empty() &&
+            err.kind != RunErrorKind::Fatal) {
+            try {
+                RunOutcome fb = runOnce(wl, opt, Technique::Baseline);
+                fb.error = err;
+                fb.fellBack = true;
+                return fb;
+            } catch (const std::exception &) {
+                // The baseline run failed under the same fault plan;
+                // report the original DAC error below.
+            }
+        }
+        RunOutcome out;
+        out.error = err;
+        return out;
+    }
+}
+
 RunOutcome
 runWorkload(const std::string &name, const RunOptions &opt)
 {
-    return runWorkload(findWorkload(name), opt);
+    if (!opt.trapErrors)
+        return runWorkload(findWorkload(name), opt);
+    try {
+        return runWorkload(findWorkload(name), opt);
+    } catch (const std::exception &e) {
+        // findWorkload itself fatals on unknown names.
+        RunOutcome out;
+        out.error = classify(e);
+        return out;
+    }
 }
 
 } // namespace dacsim

@@ -2,14 +2,24 @@
  * @file
  * Experiment harness: run one workload on one machine variant and
  * collect statistics plus output checksums.
+ *
+ * runWorkload() is crash-isolated: simulator errors (bad input, panics,
+ * audit failures, watchdog deadlocks, injected faults) are caught and
+ * returned as a structured RunError instead of propagating, so a batch
+ * sweep survives any single run. When a fault plan is active and the
+ * DAC engine reports an unrecoverable fault, the run degrades to
+ * baseline execution (the paper's own "not all kernels decouple" path)
+ * and is marked fellBack.
  */
 
 #ifndef DACSIM_HARNESS_RUNNER_H
 #define DACSIM_HARNESS_RUNNER_H
 
+#include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/fault.h"
 #include "common/stats.h"
 #include "compiler/decoupler.h"
 #include "workloads/workload.h"
@@ -28,6 +38,35 @@ struct RunOptions
     DacConfig dac{};
     CaeConfig cae{};
     MtaConfig mta{};
+    /** Deterministic fault plan applied to the run (empty: fault-free). */
+    FaultPlan faults{};
+    /** When false, simulator errors propagate as exceptions instead of
+     * being recorded in RunOutcome::error (tests drive this). */
+    bool trapErrors = true;
+};
+
+/** How a run failed (None: it completed). */
+enum class RunErrorKind
+{
+    None,
+    Fatal,          ///< user error: bad input or configuration
+    Panic,          ///< internal invariant violation (simulator bug)
+    Audit,          ///< structured invariant-auditor failure
+    Deadlock,       ///< the watchdog fired (liveness lost)
+    FaultInjected,  ///< an injected fault was unrecoverable by design
+};
+
+const char *runErrorKindName(RunErrorKind k);
+
+/** Structured record of a failed (or degraded) run. */
+struct RunError
+{
+    RunErrorKind kind = RunErrorKind::None;
+    std::string what;
+    /** Cycle of the failure when known (0 otherwise). */
+    Cycle cycle = 0;
+
+    bool ok() const { return kind == RunErrorKind::None; }
 };
 
 struct RunOutcome
@@ -40,6 +79,15 @@ struct RunOutcome
     int numDecoupledLoads = 0;
     int numDecoupledStores = 0;
     int numDecoupledPreds = 0;
+    /** Why the run failed; kind None when it completed. A fallback run
+     * completed on the baseline machine but records the DAC error. */
+    RunError error;
+    /** The DAC run hit an unrecoverable fault and was re-executed on
+     * the baseline machine (stats/checksums are the baseline's). */
+    bool fellBack = false;
+
+    /** The run produced usable stats/checksums (clean or fallback). */
+    bool ok() const { return error.ok() || fellBack; }
 };
 
 /** Run @p wl under @p opt to completion. */

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "sim/audit.h"
 
 namespace dacsim
 {
@@ -67,10 +68,33 @@ MemorySystem::l2Access(Addr line_addr, Cycle arrive, bool is_store)
                            dramNextFree_[p]);
     dramNextFree_[p] = start + cfg_.dram.cyclesPerLine;
     Cycle ready = start + cfg_.dram.latency;
+    if (faults_) {
+        // Injected DRAM latency spike/jitter (deterministic in the
+        // plan seed, the line address, and the arrival cycle).
+        Cycle extra = faults_->dramJitter(line_addr, arrive);
+        if (extra > 0) {
+            ready += extra;
+            ++stats_->faultsInjected;
+        }
+    }
     // Reserve the L2 line now; data logically arrives at `ready`.
     if (!is_store)
         l2.fill(line_addr);
     return ready;
+}
+
+int
+MemorySystem::mshrCapacity(int sm_id, Cycle now) const
+{
+    int cap = cfg_.l1.mshrs;
+    if (faults_) {
+        int stolen = faults_->stolenMshrs(sm_id, now);
+        if (stolen > 0) {
+            cap = std::max(0, cap - stolen);
+            ++stats_->faultsInjected;
+        }
+    }
+    return cap;
 }
 
 int
@@ -80,8 +104,9 @@ MemorySystem::freeMshrs(int sm_id, Cycle now)
         return cfg_.l1.mshrs;
     SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
     pruneOutstanding(sm, now);
-    return cfg_.l1.mshrs - static_cast<int>(sm.outstanding.size() +
-                                            sm.pfOutstanding.size());
+    return mshrCapacity(sm_id, now) -
+           static_cast<int>(sm.outstanding.size() +
+                            sm.pfOutstanding.size());
 }
 
 bool
@@ -146,7 +171,8 @@ MemorySystem::load(int sm_id, Addr line_addr, Cycle now, Requester req)
 
     // True miss: need a free MSHR (shared with in-flight prefetches).
     if (static_cast<int>(sm.outstanding.size() +
-                         sm.pfOutstanding.size()) >= cfg_.l1.mshrs) {
+                         sm.pfOutstanding.size()) >=
+        mshrCapacity(sm_id, now)) {
         return res; // not accepted; requester retries
     }
 
@@ -186,10 +212,14 @@ MemorySystem::store(int sm_id, Addr line_addr, Cycle now)
 }
 
 bool
-MemorySystem::canLock(int sm_id, Addr line_addr)
+MemorySystem::canLock(int sm_id, Addr line_addr, Cycle now)
 {
     if (cfg_.perfectMemory)
         return true;
+    if (faults_ && faults_->tagLockBlocked(sm_id, now)) {
+        ++stats_->faultsInjected;
+        return false;
+    }
     SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
     TagArray::Line *line = sm.l1.find(line_addr);
     if (line && line->lockCount > 0)
@@ -250,7 +280,8 @@ MemorySystem::prefetch(int sm_id, Addr line_addr, Cycle now)
     // Prefetches are ordinary memory requests: they compete for the
     // same MSHRs as demand misses and are dropped under pressure.
     if (static_cast<int>(sm.outstanding.size() +
-                         sm.pfOutstanding.size()) >= cfg_.l1.mshrs) {
+                         sm.pfOutstanding.size()) >=
+        mshrCapacity(sm_id, now)) {
         return;
     }
     ++stats_->prefetchesIssued;
@@ -271,6 +302,49 @@ MemorySystem::takeUnusedEvictions(int sm_id)
 {
     SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
     return std::exchange(sm.unusedEvictions, 0);
+}
+
+void
+MemorySystem::audit(Cycle now) const
+{
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        const SmState &sm = sms_[i];
+        AuditContext ctx;
+        ctx.cycle = now;
+        ctx.sm = static_cast<int>(i);
+
+        // MSHR credit conservation: in-flight misses never exceed the
+        // architected entry count (fault injection only withholds
+        // capacity from *new* misses, it cannot mint extra entries).
+        ctx.structure = "mshr";
+        auditCheck(static_cast<int>(sm.outstanding.size() +
+                                    sm.pfOutstanding.size()) <=
+                       cfg_.l1.mshrs,
+                   ctx, "occupancy ", sm.outstanding.size(), "+",
+                   sm.pfOutstanding.size(), " exceeds ", cfg_.l1.mshrs,
+                   " entries");
+
+        // Lock-counter sanity: a lock count on an invalid line means a
+        // lock/unlock pairing bug; a whole set locked means the AEU's
+        // saturation pre-check was bypassed.
+        ctx.structure = "l1-locks";
+        for (int set = 0; set < sm.l1.numSets(); ++set) {
+            int locked = 0;
+            for (int w = 0; w < sm.l1.ways(); ++w) {
+                const TagArray::Line &line =
+                    sm.l1.lineAt(set, w);
+                auditCheck(line.valid || line.lockCount == 0, ctx,
+                           "invalid line holds lockCount=",
+                           line.lockCount, " (set ", set, " way ", w,
+                           ")");
+                if (line.valid && line.lockCount > 0)
+                    ++locked;
+            }
+            auditCheck(locked < sm.l1.ways() || sm.l1.ways() == 1, ctx,
+                       "every way of set ", set,
+                       " is locked: deadlock-avoidance rule violated");
+        }
+    }
 }
 
 void

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/fault.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "mem/tag_array.h"
@@ -65,7 +66,7 @@ class MemorySystem
     // ----- DAC line locking (Section 4.2) --------------------------------
 
     /** May the AEU lock this line without risking deadlock? */
-    bool canLock(int sm, Addr line_addr);
+    bool canLock(int sm, Addr line_addr, Cycle now = 0);
     /** Increment the line's lock counter (line must be resident). */
     void lock(int sm, Addr line_addr);
     /** Decrement the lock counter on deq.data. */
@@ -82,6 +83,14 @@ class MemorySystem
 
     /** Drop all cached state (between independent runs). */
     void reset();
+
+    /** Install a fault plan consulted by every timing decision
+     * (nullptr: fault-free). The plan must outlive the simulation. */
+    void setFaultPlan(const FaultPlan *faults) { faults_ = faults; }
+
+    /** Audit credit conservation (MSHR occupancy within capacity,
+     * lock counters sane); throws AuditError on violation. */
+    void audit(Cycle now) const;
 
     const TagArray &l1(int sm) const { return sms_[sm].l1; }
 
@@ -100,6 +109,7 @@ class MemorySystem
 
     const GpuConfig &cfg_;
     RunStats *stats_;
+    const FaultPlan *faults_ = nullptr;
     std::vector<SmState> sms_;
     /** One L2 slice per memory partition. */
     std::vector<TagArray> l2_;
@@ -110,6 +120,8 @@ class MemorySystem
     /** Timing through L2 (+DRAM on miss); returns data-ready cycle. */
     Cycle l2Access(Addr line_addr, Cycle arrive, bool is_store);
     void pruneOutstanding(SmState &sm, Cycle now);
+    /** L1 MSHR capacity after fault injection withholds entries. */
+    int mshrCapacity(int sm_id, Cycle now) const;
 };
 
 } // namespace dacsim

@@ -144,6 +144,14 @@ class TagArray
             l = Line{};
     }
 
+    /** Direct line inspection (auditors / diagnostics only). */
+    const Line &
+    lineAt(int set, int way) const
+    {
+        return lines_[static_cast<std::size_t>(set) * ways_ +
+                      static_cast<std::size_t>(way)];
+    }
+
     /** Total locked lines (diagnostics). */
     int
     lockedLines() const

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Invariant auditors: structured internal-consistency checks.
+ *
+ * Where ensure()/panic() produce a bare message, an audit failure
+ * carries the machine state needed to localize the bug — cycle, SM,
+ * warp, and the offending structure — both as typed fields (for the
+ * harness's RunError) and formatted into what().
+ *
+ * The simulator calls auditCheck() from its periodic conservation
+ * sweeps: scoreboard entries drain, SIMT stacks balance at kernel
+ * exit, MSHR/queue credits conserve, and every decoupled record is
+ * eventually consumed.
+ */
+
+#ifndef DACSIM_SIM_AUDIT_H
+#define DACSIM_SIM_AUDIT_H
+
+#include <sstream>
+#include <string>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace dacsim
+{
+
+/** Where an invariant violation was observed. */
+struct AuditContext
+{
+    /** The offending structure ("scoreboard", "simt-stack", "mshr",
+     * "atq", "pwaq", "barrier", ...). */
+    const char *structure = "?";
+    Cycle cycle = 0;
+    int sm = -1;
+    int warp = -1;
+};
+
+/** An invariant violation with a structured state dump. */
+class AuditError : public PanicError
+{
+  public:
+    AuditError(const AuditContext &ctx, const std::string &details)
+        : PanicError(format(ctx, details)), ctx_(ctx)
+    {
+    }
+
+    const AuditContext &context() const { return ctx_; }
+
+  private:
+    AuditContext ctx_;
+
+    static std::string
+    format(const AuditContext &ctx, const std::string &details)
+    {
+        std::ostringstream os;
+        os << "audit: " << ctx.structure << " invariant violated [cycle="
+           << ctx.cycle;
+        if (ctx.sm >= 0)
+            os << " sm=" << ctx.sm;
+        if (ctx.warp >= 0)
+            os << " warp=" << ctx.warp;
+        os << "]: " << details;
+        return os.str();
+    }
+};
+
+/** The deadlock watchdog fired; what() carries per-SM warp states. */
+class DeadlockError : public PanicError
+{
+  public:
+    DeadlockError(Cycle cycle, const std::string &msg)
+        : PanicError(msg), cycle_(cycle)
+    {
+    }
+
+    Cycle cycle() const { return cycle_; }
+
+  private:
+    Cycle cycle_;
+};
+
+/** Fail an audit: throw an AuditError carrying @p ctx. */
+template <typename... Args>
+[[noreturn]] void
+auditFail(const AuditContext &ctx, const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    throw AuditError(ctx, os.str());
+}
+
+/** Assert an audited invariant, or auditFail() with the details. */
+template <typename... Args>
+void
+auditCheck(bool cond, const AuditContext &ctx, const Args &...args)
+{
+    if (!cond)
+        auditFail(ctx, args...);
+}
+
+} // namespace dacsim
+
+#endif // DACSIM_SIM_AUDIT_H

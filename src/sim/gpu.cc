@@ -1,6 +1,9 @@
 #include "sim/gpu.h"
 
+#include <sstream>
+
 #include "common/log.h"
+#include "sim/audit.h"
 
 namespace dacsim
 {
@@ -18,6 +21,15 @@ Gpu::Gpu(const GpuConfig &gcfg, Technique tech, const DacConfig &dcfg,
     }
 }
 
+void
+Gpu::setFaultPlan(const FaultPlan *faults)
+{
+    faults_ = faults != nullptr && !faults->empty() ? faults : nullptr;
+    mem_->setFaultPlan(faults_);
+    for (auto &sm : sms_)
+        sm->setFaultPlan(faults_);
+}
+
 std::uint64_t
 Gpu::totalProgress() const
 {
@@ -27,6 +39,15 @@ Gpu::totalProgress() const
     return p;
 }
 
+std::string
+Gpu::dumpState() const
+{
+    std::ostringstream os;
+    for (const auto &sm : sms_)
+        os << sm->dumpWarpStates();
+    return os.str();
+}
+
 const RunStats &
 Gpu::launch(const LaunchInfo &launch)
 {
@@ -34,6 +55,7 @@ Gpu::launch(const LaunchInfo &launch)
     require(launch.params != nullptr, "launch without parameters");
     require(tech_ != Technique::Dac || launch.affineKernel != nullptr,
             "DAC launch without an affine stream");
+    require(gcfg_.watchdogCycles > 0, "watchdog window must be positive");
 
     CtaDispatcher dispatcher(launch.grid.count(), gcfg_.numSms);
     for (auto &sm : sms_)
@@ -41,7 +63,7 @@ Gpu::launch(const LaunchInfo &launch)
 
     std::uint64_t lastProgress = totalProgress();
     Cycle lastProgressCycle = cycle_;
-    constexpr Cycle watchdogWindow = 1u << 20;
+    const Cycle watchdogWindow = gcfg_.watchdogCycles;
 
     bool running = true;
     while (running) {
@@ -53,15 +75,19 @@ Gpu::launch(const LaunchInfo &launch)
         ++cycle_;
 
         if ((cycle_ & 0xfff) == 0) {
+            mem_->audit(cycle_);
             std::uint64_t p = totalProgress();
             if (p != lastProgress) {
                 lastProgress = p;
                 lastProgressCycle = cycle_;
-            } else {
-                ensure(cycle_ - lastProgressCycle < watchdogWindow,
-                       "deadlock: no instruction issued for ",
-                       watchdogWindow, " cycles in kernel '",
-                       launch.kernel->name, "'");
+            } else if (cycle_ - lastProgressCycle >= watchdogWindow) {
+                std::ostringstream os;
+                os << "panic: deadlock: no instruction issued for "
+                   << watchdogWindow << " cycles in kernel '"
+                   << launch.kernel->name << "' (cycle " << cycle_
+                   << "); per-SM warp states:\n"
+                   << dumpState();
+                throw DeadlockError(cycle_, os.str());
             }
         }
     }

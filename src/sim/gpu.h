@@ -8,9 +8,11 @@
 #define DACSIM_SIM_GPU_H
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/fault.h"
 #include "common/stats.h"
 #include "mem/gpu_memory.h"
 #include "mem/mem_system.h"
@@ -36,6 +38,14 @@ class Gpu
     Technique technique() const { return tech_; }
     MemorySystem &memorySystem() { return *mem_; }
 
+    /** Install a fault plan consulted by the memory system and the SMs
+     * (empty or nullptr: fault-free). Call before launch(); the plan
+     * must outlive the Gpu. */
+    void setFaultPlan(const FaultPlan *faults);
+
+    /** Per-SM warp states (the watchdog's structured dump). */
+    std::string dumpState() const;
+
   private:
     GpuConfig gcfg_;
     Technique tech_;
@@ -43,6 +53,7 @@ class Gpu
     CaeConfig ccfg_;
     MtaConfig mcfg_;
     RunStats stats_;
+    const FaultPlan *faults_ = nullptr;
     std::unique_ptr<MemorySystem> mem_;
     std::vector<std::unique_ptr<Sm>> sms_;
     Cycle cycle_ = 0;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <sstream>
 
 #include "common/log.h"
 #include "common/trace.h"
 #include "mem/coalescer.h"
 #include "sim/alu.h"
+#include "sim/audit.h"
 
 namespace dacsim
 {
@@ -39,6 +41,44 @@ Sm::Sm(int id, const GpuConfig &gcfg, Technique tech, const DacConfig &dcfg,
     } else if (tech_ == Technique::Mta) {
         mta_ = std::make_unique<MtaPrefetcher>(id_, mcfg, mem_, stats_);
     }
+}
+
+void
+Sm::setFaultPlan(const FaultPlan *faults)
+{
+    faults_ = faults;
+    if (dacEngine_)
+        dacEngine_->setFaultPlan(faults);
+}
+
+std::string
+Sm::dumpWarpStates() const
+{
+    std::ostringstream os;
+    os << "  sm" << id_ << ":";
+    if (!batchActive_) {
+        os << " (no batch resident)\n";
+        return os.str();
+    }
+    os << " liveWarps=" << liveWarps_;
+    if (dacEngine_)
+        os << " " << dacEngine_->dumpState()
+           << (affineWarp_->finished() ? " affine=done" : " affine=live");
+    os << "\n";
+    for (std::size_t wi = 0; wi < warps_.size(); ++wi) {
+        const Warp &w = warps_[wi];
+        if (w.finished)
+            continue;
+        os << "    w" << wi << ": pc=" << w.stack.pc() << " mask=" << std::hex
+           << (w.stack.mask() & w.valid) << std::dec
+           << " stackDepth=" << w.stack.depth();
+        if (w.atBarrier)
+            os << " atBarrier";
+        if (!w.replayLines.empty())
+            os << " replayPending=" << w.replayLines.size();
+        os << "\n";
+    }
+    return os.str();
 }
 
 void
@@ -141,7 +181,7 @@ Sm::launchBatch(Cycle now)
 }
 
 void
-Sm::finishBatchIfDone()
+Sm::finishBatchIfDone(Cycle now)
 {
     if (!batchActive_ || liveWarps_ > 0)
         return;
@@ -149,9 +189,15 @@ Sm::finishBatchIfDone()
         if (!affineWarp_->finished())
             return; // let the affine warp run out (it has no consumers
                     // left only if streams matched; checked below)
-        ensure(dacEngine_->empty(),
-               "DAC queues not drained at batch end: affine and "
-               "non-affine streams disagreed");
+        // Every decoupled record must have been consumed by now: the
+        // affine and non-affine streams describe the same execution.
+        AuditContext ctx;
+        ctx.structure = "dac-queues";
+        ctx.cycle = now;
+        ctx.sm = id_;
+        auditCheck(dacEngine_->empty(), ctx,
+                   "undrained at batch end (", dacEngine_->dumpState(),
+                   "): affine and non-affine streams disagreed");
     }
     batchActive_ = false;
 }
@@ -616,6 +662,18 @@ Sm::warpFinished(int wi)
     Warp &w = warps_[static_cast<std::size_t>(wi)];
     if (w.finished)
         return;
+    // SIMT stack balance: a warp only finishes once every divergence
+    // path has retired; a leftover entry means push/pop went skew.
+    AuditContext ctx;
+    ctx.structure = "simt-stack";
+    ctx.cycle = now_;
+    ctx.sm = id_;
+    ctx.warp = wi;
+    auditCheck(w.stack.empty(), ctx, "depth ", w.stack.depth(),
+               " at warp exit (expected empty)");
+    ctx.structure = "ldst-replay";
+    auditCheck(w.replayLines.empty(), ctx, w.replayLines.size(),
+               " replay lines pending at warp exit");
     w.finished = true;
     --liveWarps_;
     Cta &cta = ctas_[static_cast<std::size_t>(w.ctaSlot)];
@@ -729,7 +787,7 @@ Sm::tryIssue(int wi, int sched, Cycle now)
     schedBusyUntil_[static_cast<std::size_t>(sched)] =
         now + static_cast<Cycle>(cae ? ccfg_.affineIssueCycles
                                      : gcfg_.sched.warpIssueCycles);
-    finishBatchIfDone();
+    finishBatchIfDone(now);
     return true;
 }
 
@@ -765,12 +823,31 @@ Sm::serviceReplays(Cycle now)
 void
 Sm::cycle(Cycle now)
 {
+    now_ = now;
     if (!batchActive_) {
         if (dispatcher_ && !dispatcher_->exhausted())
             launchBatch(now);
         if (!batchActive_)
             return;
     }
+
+    // Injected affine-warp invalidation: the DAC engine reports an
+    // unrecoverable fault; the harness degrades the run to baseline.
+    if (tech_ == Technique::Dac && faults_ && !affineFaulted_ &&
+        faults_->affineInvalidate(now)) {
+        affineFaulted_ = true;
+        ++stats_.faultsInjected;
+        throw InjectedFaultError(
+            FaultKind::AffineInvalidate, now,
+            "fault: affine warp invalidated on sm " + std::to_string(id_) +
+                " at cycle " + std::to_string(now) +
+                " (injected); DAC cannot continue this kernel");
+    }
+
+    // Periodic conservation sweep (cheap relative to the 4096-cycle
+    // interval; keeps invariant drift from surviving to batch end).
+    if ((now & 0xfff) == 0)
+        audit(now);
 
     if (tech_ == Technique::Dac)
         dacEngine_->cycle(now, ctaBarPassed());
@@ -790,7 +867,7 @@ Sm::cycle(Cycle now)
             ++progress_;
             schedBusyUntil_[0] =
                 now + static_cast<Cycle>(gcfg_.sched.warpIssueCycles);
-            finishBatchIfDone();
+            finishBatchIfDone(now);
             continue;
         }
 
@@ -811,7 +888,62 @@ Sm::cycle(Cycle now)
         }
     }
 
-    finishBatchIfDone();
+    finishBatchIfDone(now);
+}
+
+void
+Sm::audit(Cycle now) const
+{
+    if (!batchActive_)
+        return;
+    AuditContext ctx;
+    ctx.cycle = now;
+    ctx.sm = id_;
+
+    // Barrier conservation per CTA: arrivals never exceed live warps,
+    // and live-warp counts stay within the CTA's warp allotment.
+    for (std::size_t c = 0; c < ctas_.size(); ++c) {
+        const Cta &cta = ctas_[c];
+        ctx.structure = "barrier";
+        auditCheck(cta.barArrived <= cta.liveWarps, ctx, "cta slot ", c,
+                   ": ", cta.barArrived, " arrivals but only ",
+                   cta.liveWarps, " live warps");
+        auditCheck(cta.liveWarps >= 0 && cta.liveWarps <= warpsPerCta_,
+                   ctx, "cta slot ", c, ": liveWarps ", cta.liveWarps,
+                   " outside [0, ", warpsPerCta_, "]");
+    }
+
+    // Scoreboard drain: a blocked-forever destination register is only
+    // legal while its LD/ST replay is pending; anything else means the
+    // writeback that should clear it was lost.
+    int live = 0;
+    for (std::size_t wi = 0; wi < warps_.size(); ++wi) {
+        const Warp &w = warps_[wi];
+        if (w.finished)
+            continue;
+        ++live;
+        ctx.warp = static_cast<int>(wi);
+        ctx.structure = "scoreboard";
+        for (std::size_t r = 0; r < w.regReady.size(); ++r) {
+            auditCheck(w.regReady[r] != farFuture ||
+                           !w.replayLines.empty(),
+                       ctx, "r", r,
+                       " blocked forever with no replay pending");
+        }
+        ctx.structure = "simt-stack";
+        auditCheck(!w.stack.empty(), ctx,
+                   "live warp with an empty SIMT stack");
+        auditCheck(w.stack.depth() <= 2 * warpSize, ctx,
+                   "stack depth ", w.stack.depth(),
+                   " exceeds any legal divergence nesting");
+    }
+    ctx.warp = -1;
+    ctx.structure = "warp-accounting";
+    auditCheck(live == liveWarps_, ctx, "counted ", live,
+               " unfinished warps but liveWarps_=", liveWarps_);
+
+    if (dacEngine_)
+        dacEngine_->audit(now);
 }
 
 } // namespace dacsim

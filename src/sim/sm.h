@@ -12,10 +12,12 @@
 #include <algorithm>
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/mta.h"
 #include "common/config.h"
+#include "common/fault.h"
 #include "common/stats.h"
 #include "dac/affine_warp.h"
 #include "dac/engine.h"
@@ -106,6 +108,14 @@ class Sm
     /** Monotone counter for the top-level deadlock watchdog. */
     std::uint64_t progress() const { return progress_; }
 
+    /** Install a fault plan (forwarded to the DAC engine; nullptr:
+     * fault-free). The plan must outlive the simulation. */
+    void setFaultPlan(const FaultPlan *faults);
+
+    /** One line per resident warp (pc, masks, blockers) for the
+     * watchdog's structured state dump. */
+    std::string dumpWarpStates() const;
+
   private:
     struct Cta
     {
@@ -150,6 +160,9 @@ class Sm
     std::unique_ptr<DacEngine> dacEngine_;
     std::unique_ptr<AffineWarp> affineWarp_;
     std::unique_ptr<MtaPrefetcher> mta_;
+    const FaultPlan *faults_ = nullptr;
+    /** The injected affine-warp invalidation fired (fires once). */
+    bool affineFaulted_ = false;
 
     // ----- per-launch state -------------------------------------------------
     LaunchInfo launch_;
@@ -167,10 +180,12 @@ class Sm
     std::array<Cycle, 2> schedBusyUntil_{};
     std::array<int, 2> schedNext_{}; ///< round-robin pointers
     std::uint64_t progress_ = 0;
+    /** Current cycle (for audit contexts raised below issue level). */
+    Cycle now_ = 0;
 
     // ----- batch management ----------------------------------------------
     void launchBatch(Cycle now);
-    void finishBatchIfDone();
+    void finishBatchIfDone(Cycle now);
     std::vector<int> ctaBarPassed() const;
 
     // ----- interpreter helpers ---------------------------------------------
@@ -205,6 +220,9 @@ class Sm
     void warpFinished(int wi);
 
     void serviceReplays(Cycle now);
+
+    /** Periodic conservation checks (scoreboard, barriers, queues). */
+    void audit(Cycle now) const;
 };
 
 } // namespace dacsim

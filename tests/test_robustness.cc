@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Robustness tests: fault-plan parsing and determinism, result
+ * preservation under each injected fault kind, the deadlock watchdog's
+ * structured dump, the DAC-to-baseline fallback, and the crash-isolated
+ * runWorkload contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "compiler/cfg.h"
+#include "harness/runner.h"
+#include "isa/assembler.h"
+#include "mem/gpu_memory.h"
+#include "sim/audit.h"
+#include "sim/gpu.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+// A small, fast run of a memory-intensive streaming benchmark — the
+// fault hooks under test all sit on the memory/DAC path.
+RunOptions
+smallRun(Technique tech)
+{
+    RunOptions opt;
+    opt.tech = tech;
+    opt.scale = 0.25;
+    return opt;
+}
+
+constexpr const char *kBench = "SP";
+
+TEST(FaultPlanParse, RoundTrip)
+{
+    FaultPlan p = FaultPlan::parse(
+        "seed=42;mshr@0-200000:30;jitter@0:400;invalidate@5000/2");
+    EXPECT_EQ(p.seed(), 42u);
+    ASSERT_EQ(p.events().size(), 3u);
+
+    const FaultEvent &mshr = p.events()[0];
+    EXPECT_EQ(mshr.kind, FaultKind::MshrSteal);
+    EXPECT_EQ(mshr.begin, 0u);
+    EXPECT_EQ(mshr.end, 200000u);
+    EXPECT_EQ(mshr.magnitude, 30u);
+    EXPECT_EQ(mshr.sm, -1);
+
+    const FaultEvent &jit = p.events()[1];
+    EXPECT_EQ(jit.kind, FaultKind::DramJitter);
+    EXPECT_EQ(jit.end, ~static_cast<Cycle>(0)); // open-ended window
+    EXPECT_EQ(jit.magnitude, 400u);
+
+    const FaultEvent &inv = p.events()[2];
+    EXPECT_EQ(inv.kind, FaultKind::AffineInvalidate);
+    EXPECT_EQ(inv.begin, 5000u);
+    EXPECT_EQ(inv.sm, 2);
+}
+
+TEST(FaultPlanParse, KindNames)
+{
+    EXPECT_STREQ(FaultPlan::kindName(FaultKind::MshrSteal), "mshr");
+    EXPECT_STREQ(FaultPlan::kindName(FaultKind::DramJitter), "jitter");
+    EXPECT_STREQ(FaultPlan::kindName(FaultKind::TagLockBlock),
+                 "taglock");
+    EXPECT_STREQ(FaultPlan::kindName(FaultKind::AffineBackpressure),
+                 "backpressure");
+    EXPECT_STREQ(FaultPlan::kindName(FaultKind::AffineInvalidate),
+                 "invalidate");
+}
+
+TEST(FaultPlanParse, MalformedSpecIsFatal)
+{
+    EXPECT_THROW(FaultPlan::parse("bogus@0"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("mshr"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("mshr@"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("jitter@10:x"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("seed="), FatalError);
+}
+
+TEST(FaultPlan, WindowAndSmFiltering)
+{
+    FaultPlan p = FaultPlan::parse("mshr@100-200:8/1");
+    EXPECT_EQ(p.stolenMshrs(1, 99), 0);
+    EXPECT_EQ(p.stolenMshrs(1, 100), 8);  // [begin, end) inclusive start
+    EXPECT_EQ(p.stolenMshrs(1, 199), 8);
+    EXPECT_EQ(p.stolenMshrs(1, 200), 0);  // exclusive end
+    EXPECT_EQ(p.stolenMshrs(0, 150), 0);  // wrong SM
+}
+
+TEST(FaultPlan, JitterIsDeterministic)
+{
+    FaultPlan a = FaultPlan::parse("seed=7;jitter@0:100");
+    FaultPlan b = FaultPlan::parse("seed=7;jitter@0:100");
+    FaultPlan c = FaultPlan::parse("seed=8;jitter@0:100");
+    bool anyDiffers = false;
+    for (Cycle now = 0; now < 64; ++now) {
+        Cycle j = a.dramJitter(0x1000, now);
+        EXPECT_EQ(j, b.dramJitter(0x1000, now));
+        EXPECT_LE(j, 100u);
+        anyDiffers |= j != c.dramJitter(0x1000, now);
+    }
+    EXPECT_TRUE(anyDiffers) << "seed should perturb the jitter stream";
+}
+
+TEST(FaultInjection, SameSeedSameStats)
+{
+    RunOptions opt = smallRun(Technique::Dac);
+    opt.faults = FaultPlan::parse("seed=3;mshr@0-50000:24;jitter@0:200");
+    RunOutcome a = runWorkload(kBench, opt);
+    RunOutcome b = runWorkload(kBench, opt);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.faultsInjected, b.stats.faultsInjected);
+    EXPECT_EQ(a.checksums, b.checksums);
+}
+
+TEST(FaultInjection, MshrStealPreservesResults)
+{
+    RunOptions clean = smallRun(Technique::Dac);
+    RunOutcome ref = runWorkload(kBench, clean);
+    ASSERT_TRUE(ref.ok());
+
+    RunOptions opt = smallRun(Technique::Dac);
+    opt.faults = FaultPlan::parse("mshr@0:28");
+    RunOutcome r = runWorkload(kBench, opt);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.fellBack);
+    EXPECT_GT(r.stats.faultsInjected, 0u);
+    EXPECT_EQ(r.checksums, ref.checksums)
+        << "timing faults must not change functional results";
+    EXPECT_GE(r.stats.cycles, ref.stats.cycles);
+}
+
+TEST(FaultInjection, DramJitterPreservesResults)
+{
+    RunOptions clean = smallRun(Technique::Baseline);
+    RunOutcome ref = runWorkload(kBench, clean);
+    ASSERT_TRUE(ref.ok());
+
+    RunOptions opt = smallRun(Technique::Baseline);
+    opt.faults = FaultPlan::parse("jitter@0:300");
+    RunOutcome r = runWorkload(kBench, opt);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r.stats.faultsInjected, 0u);
+    EXPECT_EQ(r.checksums, ref.checksums);
+    EXPECT_GE(r.stats.cycles, ref.stats.cycles);
+}
+
+TEST(FaultInjection, TagLockAndBackpressurePreserveResults)
+{
+    RunOptions clean = smallRun(Technique::Dac);
+    RunOutcome ref = runWorkload(kBench, clean);
+    ASSERT_TRUE(ref.ok());
+
+    RunOptions opt = smallRun(Technique::Dac);
+    opt.faults =
+        FaultPlan::parse("taglock@0-20000;backpressure@1000-30000");
+    RunOutcome r = runWorkload(kBench, opt);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.fellBack);
+    EXPECT_EQ(r.checksums, ref.checksums);
+}
+
+TEST(Fallback, AffineInvalidateDegradesToBaseline)
+{
+    RunOptions base = smallRun(Technique::Baseline);
+    RunOutcome ref = runWorkload(kBench, base);
+    ASSERT_TRUE(ref.ok());
+
+    RunOptions opt = smallRun(Technique::Dac);
+    opt.faults = FaultPlan::parse("invalidate@1000");
+    RunOutcome r = runWorkload(kBench, opt);
+    EXPECT_TRUE(r.fellBack);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.error.kind, RunErrorKind::FaultInjected);
+    EXPECT_GE(r.error.cycle, 1000u);
+    EXPECT_EQ(r.checksums, ref.checksums)
+        << "the fallback run is a plain baseline execution";
+    EXPECT_EQ(r.stats.cycles, ref.stats.cycles);
+}
+
+TEST(Fallback, UntrappedInvalidateThrowsInjectedFaultError)
+{
+    RunOptions opt = smallRun(Technique::Dac);
+    opt.faults = FaultPlan::parse("invalidate@1000");
+    opt.trapErrors = false;
+    EXPECT_THROW(runWorkload(kBench, opt), InjectedFaultError);
+}
+
+TEST(Watchdog, LivelockDumpsWarpStates)
+{
+    // Same hand-built starved-dequeue livelock as GpuWatchdog in
+    // test_gpu.cc, but with a tightened watchdog window and a check of
+    // the structured DeadlockError contract.
+    GpuMemory gmem;
+    Kernel na = assemble(".kernel na\n.param out\nld.deq.u32 r0;\n"
+                         "exit;\n");
+    analyzeControlFlow(na);
+    Kernel aff = assemble(".kernel aff\n.param out\nexit;\n");
+    analyzeControlFlow(aff);
+    GpuConfig gcfg;
+    gcfg.numSms = 1;
+    gcfg.watchdogCycles = 1u << 14;
+    Gpu gpu(gcfg, Technique::Dac, DacConfig{}, CaeConfig{}, MtaConfig{},
+            gmem);
+    std::vector<RegVal> params = {0x100000};
+    LaunchInfo li;
+    li.grid = {1, 1, 1};
+    li.block = {32, 1, 1};
+    li.params = &params;
+    li.kernel = &na;
+    li.affineKernel = &aff;
+    try {
+        gpu.launch(li);
+        FAIL() << "expected the watchdog to fire";
+    } catch (const DeadlockError &e) {
+        EXPECT_GE(e.cycle(), 1u << 14);
+        std::string what = e.what();
+        EXPECT_NE(what.find("deadlock"), std::string::npos);
+        EXPECT_NE(what.find("warp"), std::string::npos)
+            << "the dump should carry per-warp states: " << what;
+        EXPECT_NE(what.find("pc="), std::string::npos) << what;
+    }
+}
+
+TEST(Runner, UnknownWorkloadIsTrappedFatal)
+{
+    RunOptions opt;
+    RunOutcome r = runWorkload("NOPE", opt);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error.kind, RunErrorKind::Fatal);
+    EXPECT_FALSE(r.error.what.empty());
+
+    opt.trapErrors = false;
+    EXPECT_THROW(runWorkload("NOPE", opt), FatalError);
+}
+
+TEST(Audit, ErrorCarriesStructuredContext)
+{
+    AuditContext ctx;
+    ctx.structure = "scoreboard";
+    ctx.cycle = 1234;
+    ctx.sm = 3;
+    ctx.warp = 7;
+    try {
+        auditCheck(false, ctx, "entry never drained: r", 5);
+        FAIL() << "auditCheck(false, ...) must throw";
+    } catch (const AuditError &e) {
+        EXPECT_STREQ(e.context().structure, "scoreboard");
+        EXPECT_EQ(e.context().cycle, 1234u);
+        EXPECT_EQ(e.context().sm, 3);
+        EXPECT_EQ(e.context().warp, 7);
+        std::string what = e.what();
+        EXPECT_NE(what.find("scoreboard"), std::string::npos);
+        EXPECT_NE(what.find("cycle=1234"), std::string::npos);
+        EXPECT_NE(what.find("sm=3"), std::string::npos);
+        EXPECT_NE(what.find("warp=7"), std::string::npos);
+        EXPECT_NE(what.find("entry never drained: r5"),
+                  std::string::npos);
+    }
+    // AuditError is a PanicError so legacy catch sites still work.
+    EXPECT_THROW(auditCheck(false, ctx, "x"), PanicError);
+    EXPECT_NO_THROW(auditCheck(true, ctx, "x"));
+}
+
+TEST(Audit, CleanRunsPassAllAuditors)
+{
+    // The periodic auditors run every 4096 cycles on every machine;
+    // a clean sweep over all four techniques must not trip any.
+    for (Technique t : {Technique::Baseline, Technique::Cae,
+                        Technique::Mta, Technique::Dac}) {
+        RunOptions opt = smallRun(t);
+        opt.trapErrors = false; // let any audit failure surface loudly
+        RunOutcome r = runWorkload(kBench, opt);
+        EXPECT_TRUE(r.ok()) << techniqueName(t);
+    }
+}
+
+} // namespace
