@@ -21,33 +21,25 @@ namespace
 {
 
 const char *benches[] = {"SP", "HS", "FFT"};
+constexpr std::size_t benchCount = 3;
+
+/** One ablation row: a label and a config tweak applied to all runs. */
+struct Row
+{
+    const char *label;
+    std::function<void(RunOptions &)> tweak;
+};
 
 double
-dacSpeedup(const std::string &name,
-           const std::function<void(RunOptions &)> &tweak)
+dacSpeedup(const std::string &name, const RunOutcome &base,
+           const RunOutcome &dac)
 {
-    RunOptions opt;
-    opt.scale = 0.5;
-    opt.faults = bench::faultPlanFor(name);
-    tweak(opt);
-    RunOutcome base = runWorkload(name, opt);
-    opt.tech = Technique::Dac;
-    RunOutcome dac = runWorkload(name, opt);
     if (!bench::reportRun("ablation", name, Technique::Baseline, base) ||
         !bench::reportRun("ablation", name, Technique::Dac, dac))
         return 0.0; // rendered as 0.00x; details already on stderr
     require(dac.checksums == base.checksums, "ablation broke ", name);
     return static_cast<double>(base.stats.cycles) /
            static_cast<double>(dac.stats.cycles);
-}
-
-void
-row(const char *label, const std::function<void(RunOptions &)> &tweak)
-{
-    std::printf("%-34s", label);
-    for (const char *b : benches)
-        std::printf(" %7.2fx", dacSpeedup(b, tweak));
-    std::printf("\n");
 }
 
 int
@@ -57,38 +49,66 @@ run()
     std::printf("%-34s %8s %8s %8s\n", "configuration", "SP", "HS",
                 "FFT");
 
-    row("default (Table 1)", [](RunOptions &) {});
+    const std::vector<Row> rows = {
+        {"default (Table 1)", [](RunOptions &) {}},
 
-    // Queue provisioning: the run-ahead window.
-    row("ATQ 6 entries (was 24)",
-        [](RunOptions &o) { o.dac.atqEntries = 6; });
-    row("PWAQ/PWPQ 48 entries (was 192)", [](RunOptions &o) {
-        o.dac.pwaqEntries = 48;
-        o.dac.pwpqEntries = 48;
-    });
-    row("PWAQ/PWPQ 768 entries (4x)", [](RunOptions &o) {
-        o.dac.pwaqEntries = 768;
-        o.dac.pwpqEntries = 768;
-    });
+        // Queue provisioning: the run-ahead window.
+        {"ATQ 6 entries (was 24)",
+         [](RunOptions &o) { o.dac.atqEntries = 6; }},
+        {"PWAQ/PWPQ 48 entries (was 192)",
+         [](RunOptions &o) {
+             o.dac.pwaqEntries = 48;
+             o.dac.pwpqEntries = 48;
+         }},
+        {"PWAQ/PWPQ 768 entries (4x)",
+         [](RunOptions &o) {
+             o.dac.pwaqEntries = 768;
+             o.dac.pwpqEntries = 768;
+         }},
 
-    // Expansion throughput (the paper adds 2 ALUs).
-    row("1 expansion/cycle (was 2)",
-        [](RunOptions &o) { o.dac.expansionsPerCycle = 1; });
-    row("4 expansions/cycle",
-        [](RunOptions &o) { o.dac.expansionsPerCycle = 4; });
+        // Expansion throughput (the paper adds 2 ALUs).
+        {"1 expansion/cycle (was 2)",
+         [](RunOptions &o) { o.dac.expansionsPerCycle = 1; }},
+        {"4 expansions/cycle",
+         [](RunOptions &o) { o.dac.expansionsPerCycle = 4; }},
 
-    // Divergence support (Section 4.6): without divergent tuples the
-    // clamped/selected addresses of HS and FFT cannot decouple.
-    row("no divergent conditions",
-        [](RunOptions &o) { o.dac.maxDivergentConditions = 0; });
-    row("1 divergent condition",
-        [](RunOptions &o) { o.dac.maxDivergentConditions = 1; });
+        // Divergence support (Section 4.6): without divergent tuples
+        // the clamped/selected addresses of HS and FFT cannot decouple.
+        {"no divergent conditions",
+         [](RunOptions &o) { o.dac.maxDivergentConditions = 0; }},
+        {"1 divergent condition",
+         [](RunOptions &o) { o.dac.maxDivergentConditions = 1; }},
 
-    // Run-ahead depth is ultimately MSHR-bound.
-    row("16 MSHRs (was 32)",
-        [](RunOptions &o) { o.gpu.l1.mshrs = 16; });
-    row("64 MSHRs",
-        [](RunOptions &o) { o.gpu.l1.mshrs = 64; });
+        // Run-ahead depth is ultimately MSHR-bound.
+        {"16 MSHRs (was 32)",
+         [](RunOptions &o) { o.gpu.l1.mshrs = 16; }},
+        {"64 MSHRs", [](RunOptions &o) { o.gpu.l1.mshrs = 64; }},
+    };
+
+    std::vector<bench::SweepJob> jobs;
+    for (const Row &r : rows) {
+        for (const char *b : benches) {
+            bench::SweepJob j;
+            j.bench = b;
+            j.opt.scale = 0.5;
+            j.opt.faults = bench::faultPlanFor(b);
+            r.tweak(j.opt);
+            jobs.push_back(j);
+            j.opt.tech = Technique::Dac;
+            jobs.push_back(std::move(j));
+        }
+    }
+    std::vector<RunOutcome> outs = bench::runSweep(jobs);
+
+    for (std::size_t ri = 0; ri < rows.size(); ++ri) {
+        std::printf("%-34s", rows[ri].label);
+        for (std::size_t bi = 0; bi < benchCount; ++bi) {
+            std::size_t at = (ri * benchCount + bi) * 2;
+            std::printf(" %7.2fx",
+                        dacSpeedup(benches[bi], outs[at], outs[at + 1]));
+        }
+        std::printf("\n");
+    }
 
     std::printf("\nExpected shape: queue/MSHR cuts hurt SP (run-ahead "
                 "bound), divergence cuts hurt HS and FFT (their "

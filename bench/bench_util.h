@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "harness/runner.h"
+#include "harness/sweep.h"
 
 namespace dacsim::bench
 {
@@ -64,11 +65,38 @@ inline void
 printBar(const std::string &label, double value, double unit_per_char,
          const std::string &suffix)
 {
-    std::printf("%-5s %7s |", label.c_str(), suffix.c_str());
+    std::printf("%-5s %8.2f %-7s |", label.c_str(), value,
+                suffix.c_str());
     int n = static_cast<int>(value / unit_per_char);
     for (int i = 0; i < n && i < 60; ++i)
         std::printf("#");
     std::printf("\n");
+}
+
+// ----- parallel sweeps ----------------------------------------------------
+
+/** One independent run of a sweep: a benchmark under given options. */
+struct SweepJob
+{
+    std::string bench;
+    RunOptions opt;
+};
+
+/**
+ * Execute every job concurrently on DACSIM_JOBS workers (default: the
+ * hardware concurrency) and return the outcomes in job order. The
+ * runs are shared-nothing, so the result — and every simulated
+ * statistic in it — is byte-identical to running the jobs serially;
+ * callers do all printing/reporting afterwards, on their own thread.
+ */
+inline std::vector<RunOutcome>
+runSweep(const std::vector<SweepJob> &jobs)
+{
+    std::vector<RunOutcome> out(jobs.size());
+    parallelFor(jobs.size(), [&](std::size_t i) {
+        out[i] = runWorkload(jobs[i].bench, jobs[i].opt);
+    });
+    return out;
 }
 
 // ----- crash isolation & fault injection ---------------------------------

@@ -8,6 +8,10 @@
  * vs CAE 1.15x (their implementation 1.11x in the text); memory panel
  * DAC 1.44x vs MTA 1.16x.
  *
+ * All (benchmark, technique) runs execute concurrently on DACSIM_JOBS
+ * workers; printing and error reporting happen afterwards on the main
+ * thread, in the same deterministic order a serial sweep would use.
+ *
  * The sweep is crash-isolated: a run that fails (or degrades to
  * baseline under fault injection) is reported as a JSON error line on
  * stderr and excluded from the means; the remaining benchmarks still
@@ -24,19 +28,22 @@ using namespace dacsim;
 namespace
 {
 
+constexpr Technique techOrder[] = {Technique::Baseline, Technique::Cae,
+                                   Technique::Mta, Technique::Dac};
+constexpr std::size_t techCount = 4;
+
 void
 panel(const char *title, const std::vector<std::string> &names,
-      std::map<std::string, std::map<Technique, double>> &table,
+      const std::vector<RunOutcome> &outs, std::size_t first,
       std::vector<double> (&global)[3])
 {
     std::printf("\n--- %s ---\n", title);
     std::printf("%-5s %8s %8s %8s\n", "bench", "CAE", "MTA", "DAC");
     std::vector<double> cae, mta, dac;
-    for (const std::string &n : names) {
-        RunOptions opt;
-        opt.scale = bench::figureScale;
-        opt.faults = bench::faultPlanFor(n);
-        RunOutcome base = runWorkload(n, opt);
+    for (std::size_t ni = 0; ni < names.size(); ++ni) {
+        const std::string &n = names[ni];
+        const RunOutcome *row0 = &outs[first + ni * techCount];
+        const RunOutcome &base = row0[0];
         if (!bench::reportRun("fig16", n, Technique::Baseline, base)) {
             std::printf("%-5s %8s %8s %8s  (baseline failed: %s)\n",
                         n.c_str(), "-", "-", "-",
@@ -44,10 +51,9 @@ panel(const char *title, const std::vector<std::string> &names,
             continue;
         }
         std::map<Technique, double> row;
-        for (Technique t :
-             {Technique::Cae, Technique::Mta, Technique::Dac}) {
-            opt.tech = t;
-            RunOutcome r = runWorkload(n, opt);
+        for (std::size_t ti = 1; ti < techCount; ++ti) {
+            Technique t = techOrder[ti];
+            const RunOutcome &r = row0[ti];
             if (!bench::reportRun("fig16", n, t, r))
                 continue; // structured error already emitted
             require(r.checksums == base.checksums,
@@ -69,7 +75,6 @@ panel(const char *title, const std::vector<std::string> &names,
             mta.push_back(row[Technique::Mta]);
         if (row.count(Technique::Dac))
             dac.push_back(row[Technique::Dac]);
-        table[n] = row;
     }
     std::printf("%-5s %7.2fx %7.2fx %7.2fx  (geometric mean)\n", "MEAN",
                 bench::geomean(cae), bench::geomean(mta),
@@ -84,12 +89,29 @@ run()
 {
     bench::printHeader(
         "Figure 16: Speedup of CAE, MTA, and DAC over the baseline");
-    std::map<std::string, std::map<Technique, double>> table;
+
+    std::vector<std::string> memNames = bench::benchNames(true);
+    std::vector<std::string> compNames = bench::benchNames(false);
+    std::vector<std::string> all = memNames;
+    all.insert(all.end(), compNames.begin(), compNames.end());
+
+    std::vector<bench::SweepJob> jobs;
+    for (const std::string &n : all) {
+        for (Technique t : techOrder) {
+            bench::SweepJob j;
+            j.bench = n;
+            j.opt.tech = t;
+            j.opt.scale = bench::figureScale;
+            j.opt.faults = bench::faultPlanFor(n);
+            jobs.push_back(std::move(j));
+        }
+    }
+    std::vector<RunOutcome> outs = bench::runSweep(jobs);
+
     std::vector<double> global[3];
-    panel("(a) Memory Intensive Benchmarks", bench::benchNames(true),
-          table, global);
-    panel("(b) Compute Intensive Benchmarks", bench::benchNames(false),
-          table, global);
+    panel("(a) Memory Intensive Benchmarks", memNames, outs, 0, global);
+    panel("(b) Compute Intensive Benchmarks", compNames, outs,
+          memNames.size() * techCount, global);
     std::printf("\nGLOBAL geometric means: CAE %.3fx  MTA %.3fx  "
                 "DAC %.3fx\n",
                 bench::geomean(global[0]), bench::geomean(global[1]),

@@ -24,14 +24,24 @@ run()
     std::printf("%-5s %10s %10s %10s %9s\n", "bench", "non-affine",
                 "affine", "total", "affine%");
 
+    const std::vector<Workload> &works = allWorkloads();
+    std::vector<bench::SweepJob> jobs;
+    for (const Workload &w : works) {
+        bench::SweepJob j;
+        j.bench = w.name;
+        j.opt.scale = bench::figureScale;
+        j.opt.faults = bench::faultPlanFor(w.name);
+        jobs.push_back(j);
+        j.opt.tech = Technique::Dac;
+        jobs.push_back(std::move(j));
+    }
+    std::vector<RunOutcome> outs = bench::runSweep(jobs);
+
     std::vector<double> totals, shares, replaced;
-    for (const Workload &w : allWorkloads()) {
-        RunOptions opt;
-        opt.scale = bench::figureScale;
-        opt.faults = bench::faultPlanFor(w.name);
-        RunOutcome base = runWorkload(w, opt);
-        opt.tech = Technique::Dac;
-        RunOutcome dac = runWorkload(w, opt);
+    for (std::size_t wi = 0; wi < works.size(); ++wi) {
+        const Workload &w = works[wi];
+        const RunOutcome &base = outs[wi * 2];
+        const RunOutcome &dac = outs[wi * 2 + 1];
         if (!bench::reportRun("fig17", w.name, Technique::Baseline,
                               base) ||
             !bench::reportRun("fig17", w.name, Technique::Dac, dac)) {

@@ -24,16 +24,26 @@ run()
         "Figure 18: Affine Instruction Coverage (compute-intensive)");
     std::printf("%-5s %8s %8s\n", "bench", "CAE", "DAC");
 
-    std::vector<double> caeCov, dacCov;
-    for (const std::string &n : bench::benchNames(false)) {
-        RunOptions opt;
-        opt.scale = bench::figureScale;
-        opt.faults = bench::faultPlanFor(n);
+    std::vector<std::string> names = bench::benchNames(false);
+    std::vector<bench::SweepJob> jobs;
+    for (const std::string &n : names) {
+        bench::SweepJob j;
+        j.bench = n;
+        j.opt.scale = bench::figureScale;
+        j.opt.faults = bench::faultPlanFor(n);
         // Baseline run carries the DAC coverage marks (Fig 18's
         // metric is defined against baseline execution).
-        RunOutcome base = runWorkload(n, opt);
-        opt.tech = Technique::Cae;
-        RunOutcome cae = runWorkload(n, opt);
+        jobs.push_back(j);
+        j.opt.tech = Technique::Cae;
+        jobs.push_back(std::move(j));
+    }
+    std::vector<RunOutcome> outs = bench::runSweep(jobs);
+
+    std::vector<double> caeCov, dacCov;
+    for (std::size_t ni = 0; ni < names.size(); ++ni) {
+        const std::string &n = names[ni];
+        const RunOutcome &base = outs[ni * 2];
+        const RunOutcome &cae = outs[ni * 2 + 1];
         if (!bench::reportRun("fig18", n, Technique::Baseline, base) ||
             !bench::reportRun("fig18", n, Technique::Cae, cae)) {
             continue;

@@ -22,13 +22,22 @@ run()
     std::printf("%-5s %10s %12s %9s\n", "bench", "affine", "total",
                 "share");
 
+    std::vector<std::string> names = bench::benchNames(true);
+    std::vector<bench::SweepJob> jobs;
+    for (const std::string &n : names) {
+        bench::SweepJob j;
+        j.bench = n;
+        j.opt.scale = bench::figureScale;
+        j.opt.faults = bench::faultPlanFor(n);
+        j.opt.tech = Technique::Dac;
+        jobs.push_back(std::move(j));
+    }
+    std::vector<RunOutcome> outs = bench::runSweep(jobs);
+
     std::vector<double> shares;
-    for (const std::string &n : bench::benchNames(true)) {
-        RunOptions opt;
-        opt.scale = bench::figureScale;
-        opt.faults = bench::faultPlanFor(n);
-        opt.tech = Technique::Dac;
-        RunOutcome r = runWorkload(n, opt);
+    for (std::size_t ni = 0; ni < names.size(); ++ni) {
+        const std::string &n = names[ni];
+        const RunOutcome &r = outs[ni];
         if (!bench::reportRun("fig19", n, Technique::Dac, r))
             continue;
         double share = r.stats.loadRequests

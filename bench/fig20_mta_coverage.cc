@@ -23,13 +23,22 @@ run()
     std::printf("%-5s %10s %10s %10s %9s\n", "bench", "pf-hits",
                 "l1-misses", "issued", "coverage");
 
+    std::vector<std::string> names = bench::benchNames(true);
+    std::vector<bench::SweepJob> jobs;
+    for (const std::string &n : names) {
+        bench::SweepJob j;
+        j.bench = n;
+        j.opt.scale = bench::figureScale;
+        j.opt.faults = bench::faultPlanFor(n);
+        j.opt.tech = Technique::Mta;
+        jobs.push_back(std::move(j));
+    }
+    std::vector<RunOutcome> outs = bench::runSweep(jobs);
+
     std::vector<double> covs;
-    for (const std::string &n : bench::benchNames(true)) {
-        RunOptions opt;
-        opt.scale = bench::figureScale;
-        opt.faults = bench::faultPlanFor(n);
-        opt.tech = Technique::Mta;
-        RunOutcome r = runWorkload(n, opt);
+    for (std::size_t ni = 0; ni < names.size(); ++ni) {
+        const std::string &n = names[ni];
+        const RunOutcome &r = outs[ni];
         if (!bench::reportRun("fig20", n, Technique::Mta, r))
             continue;
         double denom = static_cast<double>(r.stats.prefetchHits +

@@ -23,11 +23,21 @@ run()
     std::printf("%-5s %6s %6s %6s %8s   (%% of static instructions)\n",
                 "bench", "arith", "mem", "branch", "total");
 
-    std::vector<double> fractions;
-    for (const Workload &w : allWorkloads()) {
+    const std::vector<Workload> &works = allWorkloads();
+    std::vector<PotentialAffine> cls(works.size());
+    // Preparation and classification are shared-nothing, so the
+    // per-workload analysis parallelizes like a sweep; printing stays
+    // serial below.
+    parallelFor(works.size(), [&](std::size_t i) {
         GpuMemory gmem;
-        PreparedWorkload prep = w.prepare(gmem, 0.1);
-        PotentialAffine pa = classifyPotentialAffine(prep.kernel);
+        PreparedWorkload prep = works[i].prepare(gmem, 0.1);
+        cls[i] = classifyPotentialAffine(prep.kernel);
+    });
+
+    std::vector<double> fractions;
+    for (std::size_t wi = 0; wi < works.size(); ++wi) {
+        const Workload &w = works[wi];
+        const PotentialAffine &pa = cls[wi];
         double tot = static_cast<double>(pa.totalInsts);
         std::printf("%-5s %5.1f%% %5.1f%% %5.1f%% %7.1f%%\n",
                     w.name.c_str(), 100.0 * pa.arithmetic / tot,

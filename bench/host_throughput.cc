@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Host (simulator) throughput benchmark — tracks how fast dacsim
+ * itself runs, as opposed to what it simulates. Reports simulated
+ * kilo-cycles per wall-clock second and warp-instructions per second,
+ * split by benchmark category, plus an A/B measurement of the
+ * idle-cycle fast-forward optimization on a memory-intensive workload
+ * (whose long idle windows are exactly what fast-forward elides).
+ *
+ * Every run is checked to be simulation-identical across the A/B: the
+ * full RunStats and output checksums must match with fast-forward on
+ * and off, so a regression in the exactness of the optimization fails
+ * the benchmark rather than silently skewing results.
+ *
+ * Runs execute serially so per-run wall times are undistorted; the
+ * DACSIM_JOBS setting is recorded as metadata only. Results are
+ * written to BENCH_host_throughput.json in the working directory for
+ * tracking across commits (scripts/check.sh validates the file).
+ *
+ * --quick: two workloads per category at reduced scale, for CI smoke.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+double
+now()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct CategoryResult
+{
+    int runs = 0;
+    double wallSeconds = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t warpInsts = 0;
+
+    double kcyclesPerSec() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(cycles) / wallSeconds / 1e3
+                   : 0.0;
+    }
+    double winstsPerSec() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(warpInsts) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/** Baseline + DAC, timed per run, summed into a category aggregate. */
+CategoryResult
+timeCategory(const char *tag, const std::vector<std::string> &names,
+             double scale)
+{
+    CategoryResult res;
+    for (const std::string &n : names) {
+        for (Technique t : {Technique::Baseline, Technique::Dac}) {
+            RunOptions opt;
+            opt.scale = scale;
+            opt.tech = t;
+            double t0 = now();
+            RunOutcome r = runWorkload(n, opt);
+            double dt = now() - t0;
+            if (!bench::reportRun("host_throughput", n, t, r))
+                continue;
+            ++res.runs;
+            res.wallSeconds += dt;
+            res.cycles += r.stats.cycles;
+            res.warpInsts += r.stats.totalWarpInsts();
+        }
+    }
+    std::printf("%-18s %3d runs %8.2fs %10.0f kcyc/s %12.0f winst/s\n",
+                tag, res.runs, res.wallSeconds, res.kcyclesPerSec(),
+                res.winstsPerSec());
+    return res;
+}
+
+struct FastForwardAb
+{
+    std::string bench;
+    int runs = 0;
+    double secondsOff = 0.0;
+    double secondsOn = 0.0;
+
+    double speedup() const
+    {
+        return secondsOn > 0 ? secondsOff / secondsOn : 0.0;
+    }
+};
+
+/**
+ * Every memory-intensive workload with fast-forward off then on;
+ * requires bit-identical simulated stats and output checksums across
+ * each pair. Aggregated over the whole category so the wall-time
+ * delta is well above timer noise (a single workload runs for only a
+ * fraction of a second at paper scale).
+ *
+ * The A/B runs at reduced scale: fast-forward elides whole-GPU idle
+ * windows, which exist when occupancy is low (small grids, kernel
+ * tails). At full paper scale 720 resident warps keep some scheduler
+ * busy nearly every cycle, so there is little to skip and the
+ * measurement would only show timer noise.
+ */
+FastForwardAb
+fastForwardAb(const std::vector<std::string> &benches, double scale)
+{
+    FastForwardAb ab;
+    ab.bench = "memory-intensive (all)";
+    RunOptions opt;
+    opt.scale = scale;
+
+    for (const std::string &bench : benches) {
+        opt.gpu.fastForward = false;
+        double t0 = now();
+        RunOutcome off = runWorkload(bench, opt);
+        double offSec = now() - t0;
+
+        opt.gpu.fastForward = true;
+        t0 = now();
+        RunOutcome on = runWorkload(bench, opt);
+        double onSec = now() - t0;
+
+        require(off.error.ok() && on.error.ok(),
+                "fast-forward A/B run failed on ", bench);
+        require(off.stats == on.stats,
+                "fast-forward changed simulated stats on ", bench);
+        require(off.checksums == on.checksums,
+                "fast-forward changed outputs on ", bench);
+        std::printf("%-18s ff-off %6.2fs  ff-on %6.2fs  -> %.2fx "
+                    "(stats bit-identical)\n",
+                    bench.c_str(), offSec, onSec,
+                    onSec > 0 ? offSec / onSec : 0.0);
+        ++ab.runs;
+        ab.secondsOff += offSec;
+        ab.secondsOn += onSec;
+    }
+    std::printf("%-18s ff-off %6.2fs  ff-on %6.2fs  -> %.2fx\n",
+                "total", ab.secondsOff, ab.secondsOn, ab.speedup());
+    return ab;
+}
+
+void
+writeJson(const char *path, bool quick, double scale,
+          const CategoryResult &mem, const CategoryResult &comp,
+          const FastForwardAb &ab)
+{
+    std::FILE *f = std::fopen(path, "w");
+    require(f != nullptr, "cannot write ", path);
+    auto cat = [&](const char *key, const CategoryResult &c,
+                   const char *trail) {
+        std::fprintf(f,
+                     "    \"%s\": {\"runs\": %d, \"wall_seconds\": %.3f, "
+                     "\"kcycles_per_sec\": %.1f, \"winsts_per_sec\": "
+                     "%.1f}%s\n",
+                     key, c.runs, c.wallSeconds, c.kcyclesPerSec(),
+                     c.winstsPerSec(), trail);
+    };
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"host_throughput\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"scale\": %.3f,\n", scale);
+    std::fprintf(f, "  \"jobs\": %d,\n", sweepJobs());
+    std::fprintf(f, "  \"categories\": {\n");
+    cat("memory_intensive", mem, ",");
+    cat("compute_intensive", comp, "");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"fast_forward\": {\"bench\": \"%s\", "
+                 "\"runs\": %d, "
+                 "\"seconds_off\": %.3f, \"seconds_on\": %.3f, "
+                 "\"speedup\": %.3f, \"stats_identical\": true}\n",
+                 ab.bench.c_str(), ab.runs, ab.secondsOff, ab.secondsOn,
+                 ab.speedup());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+}
+
+int
+run(bool quick)
+{
+    bench::printHeader(quick
+                           ? "Host throughput (quick smoke)"
+                           : "Host throughput (full benchmark set)");
+
+    std::vector<std::string> memNames = bench::benchNames(true);
+    std::vector<std::string> compNames = bench::benchNames(false);
+    double scale = quick ? 0.25 : bench::figureScale;
+    if (quick) {
+        // First two of each category, in Table 2 order: deterministic
+        // and cheap, yet still one streaming and one irregular kernel.
+        memNames.resize(std::min<std::size_t>(2, memNames.size()));
+        compNames.resize(std::min<std::size_t>(2, compNames.size()));
+    }
+
+    std::printf("%-18s %8s %9s %16s %20s\n", "category", "runs", "wall",
+                "sim throughput", "inst throughput");
+    CategoryResult mem =
+        timeCategory("memory-intensive", memNames, scale);
+    CategoryResult comp =
+        timeCategory("compute-intensive", compNames, scale);
+
+    std::printf("\nfast-forward A/B (memory-intensive workloads, "
+                "low occupancy):\n");
+    FastForwardAb ab = fastForwardAb(memNames, scale * 0.25);
+
+    writeJson("BENCH_host_throughput.json", quick, scale, mem, comp, ab);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    return bench::guardedMain("host_throughput",
+                              [quick]() { return run(quick); });
+}

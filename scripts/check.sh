@@ -16,4 +16,14 @@ cmake -B build-san -S . -DDACSIM_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j
 (cd build-san && ctest --output-on-failure -j)
 
+echo "== release throughput smoke =="
+# Host sim-speed tracking (DESIGN.md §8): the quick benchmark must run
+# and emit a well-formed BENCH_host_throughput.json.
+cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-rel -j --target host_throughput
+(cd build-rel && bench/host_throughput --quick)
+test -s build-rel/BENCH_host_throughput.json
+grep -q '"kcycles_per_sec"' build-rel/BENCH_host_throughput.json
+grep -q '"winsts_per_sec"' build-rel/BENCH_host_throughput.json
+
 echo "All checks passed."

@@ -88,6 +88,16 @@ struct GpuConfig
     /** Deadlock watchdog: abort a launch after this many cycles without
      * any instruction issuing anywhere, dumping per-SM warp states. */
     std::uint64_t watchdogCycles = 1u << 20;
+
+    /**
+     * Host-side idle-cycle fast-forward: when no SM can make progress
+     * before a provable future cycle, the run loop jumps the clock
+     * there instead of stepping empty cycles. Never changes simulated
+     * behaviour or statistics (jumped cycles are exact no-ops, and the
+     * jump is clamped to the 4096-cycle audit/watchdog boundaries).
+     * Automatically disabled while a fault plan is installed.
+     */
+    bool fastForward = true;
 };
 
 /** DAC hardware provisioning (paper Table 1 / Section 4.8). */

@@ -83,6 +83,11 @@ struct RunStats
         return warpInsts + affineWarpInsts;
     }
 
+    /** Field-wise equality: used to prove host-side optimizations
+     * (fast-forward, parallel sweeps) leave simulated results
+     * bit-identical. */
+    bool operator==(const RunStats &) const = default;
+
     /** Merge counters of another run (e.g. across kernel launches). */
     void
     add(const RunStats &o)

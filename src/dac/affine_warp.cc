@@ -285,6 +285,29 @@ AffineWarp::ready(Cycle now) const
     return true;
 }
 
+Cycle
+AffineWarp::nextReadyCycle() const
+{
+    if (finished_)
+        return ~static_cast<Cycle>(0);
+    const Instruction &inst = current();
+    Cycle t = 0;
+    auto consider = [&](const Operand &op) {
+        if (op.isReg())
+            t = std::max(t, regReady_[static_cast<std::size_t>(op.index)]);
+        else if (op.isPred())
+            t = std::max(t,
+                         predReady_[static_cast<std::size_t>(op.index)]);
+    };
+    if (inst.guardPred >= 0)
+        t = std::max(t,
+                     predReady_[static_cast<std::size_t>(inst.guardPred)]);
+    for (int i = 0; i < numSources(inst.op); ++i)
+        consider(inst.src[i]);
+    consider(inst.dst);
+    return t;
+}
+
 void
 AffineWarp::step(Cycle now)
 {

@@ -44,6 +44,14 @@ class AffineWarp
      * ATQ space for enq instructions). */
     bool ready(Cycle now) const;
 
+    /**
+     * First cycle at which the next instruction's scoreboard
+     * dependences clear (ready() holds from then on, ATQ space
+     * permitting). ~Cycle(0) when finished. Used by the idle-cycle
+     * fast-forward to bound how far the SM clock may jump.
+     */
+    Cycle nextReadyCycle() const;
+
     /** Issue and functionally execute one instruction. */
     void step(Cycle now);
 

@@ -24,6 +24,12 @@ DacEngine::startBatch(const BatchInfo *batch)
     atq_.clear();
     pwaq_.assign(batch->numWarps(), {});
     pwpq_.assign(batch->numWarps(), {});
+    parkedAddr_.assign(static_cast<std::size_t>(batch->numWarps()), false);
+    parkedPred_.assign(static_cast<std::size_t>(batch->numWarps()), false);
+    lockWaitEpoch_.assign(static_cast<std::size_t>(batch->numWarps()),
+                          ~0ull);
+    mshrRetryAt_.assign(static_cast<std::size_t>(batch->numWarps()), 0);
+    scanIdle_ = false;
     // The fixed SRAM budget is partitioned among the *resident* warps
     // (Table 1's 192 entries are per SM, not per warp slot).
     pwaqCap_ = std::max(1, dcfg_.pwaqPerWarp(batch->numWarps()));
@@ -104,8 +110,10 @@ DacEngine::deliverTo(AtqEntry &entry, int w, Cycle now,
 
     if (entry.kind == EntryKind::Pred) {
         auto &q = pwpq_[static_cast<std::size_t>(w)];
-        if (static_cast<int>(q.size()) >= pwpqCap_)
+        if (static_cast<int>(q.size()) >= pwpqCap_) {
+            parkedPred_[static_cast<std::size_t>(w)] = true;
             return false;
+        }
         PredRecord rec;
         rec.bits = entry.bits[static_cast<std::size_t>(w)];
         rec.mask = entry.active[static_cast<std::size_t>(w)];
@@ -116,10 +124,22 @@ DacEngine::deliverTo(AtqEntry &entry, int w, Cycle now,
     }
 
     auto &q = pwaq_[static_cast<std::size_t>(w)];
-    if (static_cast<int>(q.size()) >= pwaqCap_)
+    if (static_cast<int>(q.size()) >= pwaqCap_) {
+        parkedAddr_[static_cast<std::size_t>(w)] = true;
         return false;
+    }
 
-    AddrRecord rec = expandAddrs(entry, w);
+    const std::size_t wi = static_cast<std::size_t>(w);
+    if (entry.expanded.empty()) {
+        std::size_t n = static_cast<std::size_t>(batch_->numWarps());
+        entry.expanded.resize(n);
+        entry.expandedValid.assign(n, false);
+    }
+    if (!entry.expandedValid[wi]) {
+        entry.expanded[wi] = expandAddrs(entry, w);
+        entry.expandedValid[wi] = true;
+    }
+    AddrRecord &rec = entry.expanded[wi];
     rec.earlyFetched =
         rec.isData &&
         rec.lines.size() <= static_cast<std::size_t>(maxEarlyFetchLines);
@@ -127,15 +147,26 @@ DacEngine::deliverTo(AtqEntry &entry, int w, Cycle now,
         // Pre-check (non-mutating): every line lockable, and enough
         // MSHRs for the ones not already resident. On failure the AEU
         // retries next cycle without touching cache state.
+        const std::size_t wix = static_cast<std::size_t>(w);
         int needed = 0;
         for (Addr line : rec.lines) {
-            if (!mem_.canLock(smId_, line, now))
+            switch (mem_.earlyFetchProbe(smId_, line, now)) {
+              case MemorySystem::EarlyFetchProbe::Blocked:
+                if (!faults_)
+                    lockWaitEpoch_[wix] = mem_.unlockEpoch(smId_);
                 return false;
-            if (!mem_.linePresent(smId_, line))
+              case MemorySystem::EarlyFetchProbe::NeedsMshr:
                 ++needed;
+                break;
+              case MemorySystem::EarlyFetchProbe::Present:
+                break;
+            }
         }
-        if (mem_.freeMshrs(smId_, now) < needed)
+        if (mem_.freeMshrs(smId_, now) < needed) {
+            if (!faults_)
+                mshrRetryAt_[wix] = mem_.nextMshrRelease(smId_, now);
             return false;
+        }
         Cycle ready = now;
         for (Addr line : rec.lines) {
             AccessResult r = mem_.load(smId_, line, now,
@@ -161,30 +192,60 @@ void
 DacEngine::cycle(Cycle now, const std::vector<int> &cta_bar_passed)
 {
     lastCycle_ = now;
+    if (scanIdle_) {
+        if (popCount_ == scanPops_ &&
+            mem_.unlockEpoch(smId_) == scanEpoch_ && now < scanWake_)
+            return;
+        scanIdle_ = false;
+    }
     int budget = dcfg_.expansionsPerCycle;
     while (budget > 0) {
         if (atq_.empty())
             return;
         AtqEntry &entry = atq_.front();
         const int n = batch_->numWarps();
-        if (entry.delivered.empty())
+        if (entry.delivered.empty()) {
             entry.delivered.assign(static_cast<std::size_t>(n), false);
+            entry.undelivered = n;
+        }
 
         // Round-robin over the head entry's still-pending warps,
         // skipping those whose queue is full or whose CTA has not
         // passed the required barrier yet.
+        const std::vector<bool> &parked =
+            entry.kind == EntryKind::Pred ? parkedPred_ : parkedAddr_;
         bool progressed = false;
         bool pending = false;
+        bool anyLive = false; // a deliverTo attempt actually ran
+        Cycle wake = ~static_cast<Cycle>(0);
         for (int t = 0; t < n && budget > 0; ++t) {
             int w = (entry.nextWarp + t) % n;
             if (entry.delivered[static_cast<std::size_t>(w)])
                 continue;
             if (entry.active[static_cast<std::size_t>(w)] == 0) {
                 entry.delivered[static_cast<std::size_t>(w)] = true;
+                --entry.undelivered;
                 continue;
             }
+            if (parked[static_cast<std::size_t>(w)]) {
+                pending = true; // still undelivered; retried after a pop
+                continue;
+            }
+            if (now < mshrRetryAt_[static_cast<std::size_t>(w)]) {
+                pending = true; // pre-check outcome provably unchanged
+                wake = std::min(wake,
+                                mshrRetryAt_[static_cast<std::size_t>(w)]);
+                continue;
+            }
+            if (lockWaitEpoch_[static_cast<std::size_t>(w)] ==
+                mem_.unlockEpoch(smId_)) {
+                pending = true; // blocked until an unlock-to-zero
+                continue;
+            }
+            anyLive = true;
             if (deliverTo(entry, w, now, cta_bar_passed)) {
                 entry.delivered[static_cast<std::size_t>(w)] = true;
+                --entry.undelivered;
                 entry.nextWarp = (w + 1) % n;
                 --budget;
                 progressed = true;
@@ -192,16 +253,27 @@ DacEngine::cycle(Cycle now, const std::vector<int> &cta_bar_passed)
                 pending = true;
             }
         }
-        bool done = true;
-        for (bool d : entry.delivered)
-            done = done && d;
-        if (done) {
+        if (entry.undelivered == 0) {
             atq_.pop_front();
             ++stats_.atqAccesses;
+            // The next head entry's records have different lines, so
+            // the pre-check parking state does not carry over.
+            std::fill(lockWaitEpoch_.begin(), lockWaitEpoch_.end(), ~0ull);
+            std::fill(mshrRetryAt_.begin(), mshrRetryAt_.end(), Cycle{0});
             continue;
         }
-        if (!progressed || pending)
+        if (!progressed || pending) {
+            // Latch scan-idle only after a full no-op pass: nothing was
+            // attempted (so no state moved) and every undelivered warp
+            // is parked on an explicit wake source.
+            if (!progressed && !anyLive && pending) {
+                scanIdle_ = true;
+                scanPops_ = popCount_;
+                scanEpoch_ = mem_.unlockEpoch(smId_);
+                scanWake_ = wake;
+            }
             return; // everything reachable this cycle is blocked
+        }
     }
 }
 
@@ -219,6 +291,8 @@ DacEngine::popAddr(int warp)
     ensure(!q.empty(), "popAddr on empty PWAQ");
     ++stats_.pwaqAccesses;
     q.pop_front();
+    parkedAddr_[static_cast<std::size_t>(warp)] = false;
+    ++popCount_;
 }
 
 const DacEngine::PredRecord *
@@ -235,6 +309,8 @@ DacEngine::popPred(int warp)
     ensure(!q.empty(), "popPred on empty PWPQ");
     ++stats_.pwpqAccesses;
     q.pop_front();
+    parkedPred_[static_cast<std::size_t>(warp)] = false;
+    ++popCount_;
 }
 
 void

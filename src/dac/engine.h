@@ -22,6 +22,7 @@
 #include "common/fault.h"
 #include "common/stats.h"
 #include "dac/affine_value.h"
+#include "mem/coalescer.h"
 #include "mem/mem_system.h"
 #include "sim/batch.h"
 
@@ -44,7 +45,7 @@ class DacEngine
          * poorly-coalesced records (> maxEarlyFetchLines lines), which
          * the consuming warp loads on demand instead. */
         bool earlyFetched = false;
-        std::vector<Addr> lines;  ///< coalesced lines (locked when fetched)
+        LineSet lines;            ///< coalesced lines (locked when fetched)
         Cycle ready = 0;          ///< data-arrival cycle (earlyFetched)
     };
 
@@ -101,6 +102,11 @@ class DacEngine
     /** Expansion work remains (keeps the SM's clock running). */
     bool busy() const { return !empty(); }
 
+    /** ATQ entries are still being expanded: the engine may mutate
+     * queue/cache state on any upcoming cycle, so the SM must be
+     * stepped cycle-by-cycle (no fast-forward). */
+    bool expansionPending() const { return !atq_.empty(); }
+
     /** Install a fault plan (affine-queue back-pressure; nullptr:
      * fault-free). The plan must outlive the simulation. */
     void setFaultPlan(const FaultPlan *faults) { faults_ = faults; }
@@ -133,7 +139,16 @@ class DacEngine
          * among CTAs to avoid stalls); per-warp FIFO order still
          * holds because entries retire strictly in order. */
         std::vector<bool> delivered;
+        int undelivered = -1; ///< warps left to serve (-1: not yet init)
         int nextWarp = 0; ///< round-robin scan position
+        /** Host-side retry cache: the lane expansion of a warp's
+         * record depends only on immutable entry/batch state, so a
+         * delivery blocked on locks, MSHRs, or queue space reuses it
+         * instead of re-evaluating 32 lanes + coalescing every cycle.
+         * The modeled AEU cost (expansionAluOps) is unaffected — it
+         * is charged per successful delivery. */
+        std::vector<AddrRecord> expanded;
+        std::vector<bool> expandedValid;
     };
 
     int smId_;
@@ -152,6 +167,41 @@ class DacEngine
     std::vector<std::deque<PredRecord>> pwpq_;
     int pwaqCap_ = 0;
     int pwpqCap_ = 0;
+    /**
+     * Host-side retry parking: a delivery that failed because the
+     * warp's queue was full cannot succeed until that warp pops (the
+     * engine is the only producer), so the scan skips the warp until
+     * popAddr/popPred clears the flag. The skipped attempts would all
+     * fail at the queue-occupancy check — before any stats or fault
+     * accounting — so simulated results are unchanged.
+     */
+    std::vector<bool> parkedAddr_;
+    std::vector<bool> parkedPred_;
+    /**
+     * Parking for head-entry deliveries blocked inside the early-fetch
+     * pre-check (fault-free runs only; the pre-check does fault
+     * accounting, so under a fault plan every attempt runs live).
+     * Blocked on canLock: saturation persists until an unlock drops a
+     * line to zero, so retry only when the SM's unlock epoch moves.
+     * Blocked on MSHRs: free-vs-needed can only improve at an MSHR
+     * expiry (every line fill is paired with an insert), so retry at
+     * nextMshrRelease. Both vectors are per warp and reset when the
+     * head entry retires (the next entry has different lines).
+     */
+    std::vector<std::uint64_t> lockWaitEpoch_; ///< ~0ull: not parked
+    std::vector<Cycle> mshrRetryAt_;
+    /**
+     * Whole-scan idle latch: a complete pass that found every
+     * undelivered warp parked (no deliverTo attempted) cannot change
+     * outcome until one of the wake sources fires — a pop (popCount_),
+     * an unlock-to-zero (the SM unlock epoch), or the earliest parked
+     * MSHR retry time. Until then cycle() returns immediately.
+     */
+    bool scanIdle_ = false;
+    std::uint64_t popCount_ = 0;
+    std::uint64_t scanPops_ = 0;
+    std::uint64_t scanEpoch_ = 0;
+    Cycle scanWake_ = 0;
 
     /** Try to deliver the head entry's record to warp @p w.
      * @return true on success (progress made). */

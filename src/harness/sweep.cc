@@ -1,0 +1,79 @@
+#include "harness/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace dacsim
+{
+
+int
+sweepJobs()
+{
+    if (const char *env = std::getenv("DACSIM_JOBS");
+        env != nullptr && *env != '\0') {
+        int n = std::atoi(env);
+        return n > 0 ? n : 1;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+            int jobs)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 0)
+        jobs = sweepJobs();
+    // Materialize the workload registry before any worker can race to
+    // build it lazily (it is the only lazily-initialized process-wide
+    // structure the runner touches).
+    allWorkloads();
+
+    if (jobs == 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errLock;
+    std::exception_ptr firstError;
+    std::size_t firstErrorIndex = n;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(errLock);
+                if (i < firstErrorIndex) {
+                    firstErrorIndex = i;
+                    firstError = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    std::size_t count = std::min(static_cast<std::size_t>(jobs), n);
+    pool.reserve(count);
+    for (std::size_t t = 0; t < count; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace dacsim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Parallel sweep execution for independent simulation runs.
+ *
+ * Figure/table reproductions run many independent (workload,
+ * technique) pairs; runWorkload() is shared-nothing (each run builds
+ * its own GpuMemory, Gpu, MemorySystem, and RunStats), so the pairs
+ * can execute concurrently. parallelFor() provides the thread pool;
+ * results are deterministic because each task writes only its own
+ * index's slot and all reporting/printing stays on the calling thread.
+ *
+ * Thread-safety contract (see DESIGN.md §8): tasks must not touch
+ * stdout/stderr or any shared mutable state; the one process-wide
+ * mutable structure, the workload registry, is built eagerly before
+ * workers start.
+ */
+
+#ifndef DACSIM_HARNESS_SWEEP_H
+#define DACSIM_HARNESS_SWEEP_H
+
+#include <cstddef>
+#include <functional>
+
+namespace dacsim
+{
+
+/**
+ * Worker threads a sweep uses: the DACSIM_JOBS environment variable
+ * when set (clamped to >= 1), otherwise the hardware concurrency.
+ */
+int sweepJobs();
+
+/**
+ * Run body(0) .. body(n-1) on up to @p jobs worker threads (0: use
+ * sweepJobs()). Blocks until every task finished. Tasks are claimed
+ * in index order from a shared counter; any task's exception is
+ * rethrown on the calling thread (the lowest-index one wins, so a
+ * failing sweep fails deterministically). With jobs <= 1 the bodies
+ * run inline on the calling thread.
+ */
+void parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+                 int jobs = 0);
+
+} // namespace dacsim
+
+#endif // DACSIM_HARNESS_SWEEP_H

@@ -7,105 +7,6 @@
 namespace dacsim
 {
 
-int
-memWidthBytes(MemWidth w)
-{
-    switch (w) {
-      case MemWidth::U8: case MemWidth::S8: return 1;
-      case MemWidth::U16: case MemWidth::S16: return 2;
-      case MemWidth::U32: case MemWidth::S32: return 4;
-      case MemWidth::U64: return 8;
-    }
-    panic("bad MemWidth");
-}
-
-bool
-memWidthSigned(MemWidth w)
-{
-    switch (w) {
-      case MemWidth::S8: case MemWidth::S16: case MemWidth::S32:
-        return true;
-      default:
-        return false;
-    }
-}
-
-int
-numSources(Opcode op)
-{
-    switch (op) {
-      case Opcode::Mov:
-      case Opcode::Not:
-      case Opcode::Abs:
-        return 1;
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::Mul:
-      case Opcode::Shl:
-      case Opcode::Shr:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor:
-      case Opcode::Min:
-      case Opcode::Max:
-      case Opcode::Div:
-      case Opcode::Mod:
-      case Opcode::Setp:
-        return 2;
-      case Opcode::Mad:
-      case Opcode::Sel:
-        return 3;
-      case Opcode::Bra:
-      case Opcode::Bar:
-      case Opcode::Exit:
-        return 0;
-      case Opcode::Ld:
-        return 1;   // address
-      case Opcode::St:
-        return 2;   // address, value
-      case Opcode::EnqData:
-      case Opcode::EnqAddr:
-        return 1;   // address tuple
-      case Opcode::EnqPred:
-        return 1;   // predicate register
-      case Opcode::LdDeq:
-      case Opcode::DeqPred:
-        return 0;
-      case Opcode::StDeq:
-        return 1;   // value
-    }
-    panic("bad Opcode");
-}
-
-bool
-writesPredicate(Opcode op)
-{
-    return op == Opcode::Setp || op == Opcode::DeqPred;
-}
-
-bool
-affineEligibleAlu(Opcode op)
-{
-    switch (op) {
-      case Opcode::Mov:
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::Mul:
-      case Opcode::Mad:
-      case Opcode::Shl:
-      case Opcode::Shr:
-      case Opcode::Mod:
-      case Opcode::Div:
-      case Opcode::Min:
-      case Opcode::Max:
-      case Opcode::Abs:
-      case Opcode::Sel:
-        return true;
-      default:
-        return false;
-    }
-}
-
 const std::string &
 opcodeName(Opcode op)
 {

@@ -3,19 +3,70 @@
  * Memory access coalescing: collapse the per-thread addresses of one
  * warp memory instruction into the minimal set of 128B line
  * transactions, as Fermi's LD/ST unit does.
+ *
+ * coalesce() runs once per issued global memory instruction and per
+ * AEU record expansion, so it is one of the simulator's hottest paths.
+ * The result set is bounded by the warp geometry (each of the 32 lanes
+ * contributes at most two lines), which lets the whole computation run
+ * in a fixed std::array scratch with insertion-dedup — no heap
+ * allocation, no sort.
  */
 
 #ifndef DACSIM_MEM_COALESCER_H
 #define DACSIM_MEM_COALESCER_H
 
-#include <algorithm>
 #include <array>
-#include <vector>
+#include <cstddef>
 
+#include "common/log.h"
 #include "common/types.h"
 
 namespace dacsim
 {
+
+/**
+ * The sorted-unique line addresses of one warp access. Fixed-capacity
+ * (2 lines per lane is the hardware bound); iterable like a container.
+ */
+class LineSet
+{
+  public:
+    using value_type = Addr;
+    using const_iterator = const Addr *;
+
+    const_iterator begin() const { return lines_.data(); }
+    const_iterator end() const { return lines_.data() + count_; }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    Addr operator[](std::size_t i) const { return lines_[i]; }
+
+    /** Insert keeping the set sorted and duplicate-free. */
+    void
+    insert(Addr line)
+    {
+        // Warp accesses are overwhelmingly ascending: check the tail
+        // first so unit-stride patterns are O(1) appends.
+        if (count_ == 0 || line > lines_[count_ - 1]) {
+            ensure(count_ < lines_.size(), "line set overflow");
+            lines_[count_++] = line;
+            return;
+        }
+        std::size_t pos = count_;
+        while (pos > 0 && lines_[pos - 1] > line)
+            --pos;
+        if (pos > 0 && lines_[pos - 1] == line)
+            return; // duplicate
+        ensure(count_ < lines_.size(), "line set overflow");
+        for (std::size_t i = count_; i > pos; --i)
+            lines_[i] = lines_[i - 1];
+        lines_[pos] = line;
+        ++count_;
+    }
+
+  private:
+    std::array<Addr, 2 * warpSize> lines_{};
+    std::size_t count_ = 0;
+};
 
 /**
  * Compute the unique cache-line addresses touched by a warp access.
@@ -26,22 +77,25 @@ namespace dacsim
  *                   boundary contributes both lines).
  * @return sorted unique line addresses.
  */
-inline std::vector<Addr>
+inline LineSet
 coalesce(const std::array<Addr, warpSize> &addrs, ThreadMask active,
          int access_size)
 {
-    std::vector<Addr> lines;
+    LineSet lines;
     for (int lane = 0; lane < warpSize; ++lane) {
         if (!(active >> lane & 1))
             continue;
-        Addr first = lineAlign(addrs[lane]);
-        Addr last = lineAlign(addrs[lane] + access_size - 1);
-        lines.push_back(first);
+        Addr first = lineAlign(addrs[static_cast<std::size_t>(lane)]);
+        Addr last = lineAlign(addrs[static_cast<std::size_t>(lane)] +
+                              access_size - 1);
+        lines.insert(first);
         if (last != first)
-            lines.push_back(last);
+            lines.insert(last);
     }
-    std::sort(lines.begin(), lines.end());
-    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    // Everything downstream (MSHR merge, AEU locking, replay resume)
+    // assumes a sorted duplicate-free transaction list.
+    for (std::size_t i = 1; i < lines.size(); ++i)
+        ensure(lines[i - 1] < lines[i], "coalesce output not sorted-unique");
     return lines;
 }
 

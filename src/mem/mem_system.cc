@@ -37,20 +37,25 @@ MemorySystem::partitionOf(Addr line_addr) const
 }
 
 void
-MemorySystem::pruneOutstanding(SmState &sm, Cycle now)
+MemorySystem::MshrTable::insert(Addr line, Cycle ready, Cycle now)
 {
-    for (auto it = sm.outstanding.begin(); it != sm.outstanding.end();) {
-        if (it->second <= now)
-            it = sm.outstanding.erase(it);
-        else
-            ++it;
+    cacheUntil = 0; // live set changes: invalidate the count cache
+    Slot *dead = nullptr;
+    for (Slot &s : slots) {
+        if (s.ready > now) {
+            if (s.line == line) {
+                // A re-miss of a line whose reservation was evicted
+                // while in flight: assignment semantics, one entry.
+                s.ready = ready;
+                return;
+            }
+        } else if (dead == nullptr) {
+            dead = &s;
+        }
     }
-    for (auto it = sm.pfOutstanding.begin(); it != sm.pfOutstanding.end();) {
-        if (it->second <= now)
-            it = sm.pfOutstanding.erase(it);
-        else
-            ++it;
-    }
+    ensure(dead != nullptr, "MSHR insert without a free slot");
+    dead->line = line;
+    dead->ready = ready;
 }
 
 Cycle
@@ -102,11 +107,9 @@ MemorySystem::freeMshrs(int sm_id, Cycle now)
 {
     if (cfg_.perfectMemory)
         return cfg_.l1.mshrs;
-    SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
-    pruneOutstanding(sm, now);
+    const SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
     return mshrCapacity(sm_id, now) -
-           static_cast<int>(sm.outstanding.size() +
-                            sm.pfOutstanding.size());
+           (sm.outstanding.live(now) + sm.pfOutstanding.live(now));
 }
 
 bool
@@ -135,15 +138,12 @@ MemorySystem::load(int sm_id, Addr line_addr, Cycle now, Requester req)
         return res;
     }
 
-    pruneOutstanding(sm, now);
-
     // L1 probe. A tag hit whose fill is still in flight behaves as an
     // MSHR merge: the access completes when the original fill does.
     if (sm.l1.access(line_addr)) {
         res.accepted = true;
-        auto it = sm.outstanding.find(line_addr);
-        if (it != sm.outstanding.end()) {
-            res.ready = std::max(it->second,
+        if (const auto *mshr = sm.outstanding.find(line_addr, now)) {
+            res.ready = std::max(mshr->ready,
                                  now + static_cast<Cycle>(
                                            cfg_.l1.hitLatency));
         } else {
@@ -158,9 +158,9 @@ MemorySystem::load(int sm_id, Addr line_addr, Cycle now, Requester req)
     if (req == Requester::Demand && sm.pfBuffer) {
         if (sm.pfBuffer->access(line_addr)) {
             res.accepted = true;
-            auto it = sm.pfOutstanding.find(line_addr);
-            res.ready = it != sm.pfOutstanding.end()
-                            ? std::max(it->second,
+            const auto *mshr = sm.pfOutstanding.find(line_addr, now);
+            res.ready = mshr != nullptr
+                            ? std::max(mshr->ready,
                                        now + static_cast<Cycle>(
                                                  cfg_.l1.hitLatency))
                             : now + cfg_.l1.hitLatency + 1;
@@ -170,8 +170,7 @@ MemorySystem::load(int sm_id, Addr line_addr, Cycle now, Requester req)
     }
 
     // True miss: need a free MSHR (shared with in-flight prefetches).
-    if (static_cast<int>(sm.outstanding.size() +
-                         sm.pfOutstanding.size()) >=
+    if (sm.outstanding.live(now) + sm.pfOutstanding.live(now) >=
         mshrCapacity(sm_id, now)) {
         return res; // not accepted; requester retries
     }
@@ -179,7 +178,7 @@ MemorySystem::load(int sm_id, Addr line_addr, Cycle now, Requester req)
     ++stats_->l1Misses;
     Cycle ready = l2Access(line_addr, now + cfg_.nocLatency, false) +
                   cfg_.nocLatency;
-    sm.outstanding[line_addr] = ready;
+    sm.outstanding.insert(line_addr, ready, now);
     // Reserve the L1 line at request time (fill-on-miss). If every way
     // of the set is locked the refill bypasses L1, which is safe: the
     // data goes straight to the requester.
@@ -227,6 +226,24 @@ MemorySystem::canLock(int sm_id, Addr line_addr, Cycle now)
     return !sm.l1.lockSaturated(line_addr);
 }
 
+MemorySystem::EarlyFetchProbe
+MemorySystem::earlyFetchProbe(int sm_id, Addr line_addr, Cycle now)
+{
+    if (cfg_.perfectMemory)
+        return EarlyFetchProbe::Present;
+    if (faults_ && faults_->tagLockBlocked(sm_id, now)) {
+        ++stats_->faultsInjected;
+        return EarlyFetchProbe::Blocked;
+    }
+    SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
+    TagArray::Line *line = sm.l1.find(line_addr);
+    if (line && line->lockCount > 0)
+        return EarlyFetchProbe::Present; // locked lines stay lockable
+    if (sm.l1.lockSaturated(line_addr))
+        return EarlyFetchProbe::Blocked;
+    return line ? EarlyFetchProbe::Present : EarlyFetchProbe::NeedsMshr;
+}
+
 void
 MemorySystem::lock(int sm_id, Addr line_addr)
 {
@@ -251,8 +268,11 @@ MemorySystem::unlock(int sm_id, Addr line_addr)
         return;
     SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
     TagArray::Line *line = sm.l1.find(line_addr);
-    if (line && line->lockCount > 0)
+    if (line && line->lockCount > 0) {
         --line->lockCount;
+        if (line->lockCount == 0)
+            ++sm.unlockEpoch; // set saturation may have cleared
+    }
 }
 
 void
@@ -273,21 +293,19 @@ MemorySystem::prefetch(int sm_id, Addr line_addr, Cycle now)
     ensure(sm.pfBuffer != nullptr, "prefetch without a buffer");
     if (cfg_.perfectMemory)
         return;
-    pruneOutstanding(sm, now);
     // Drop redundant prefetches.
     if (sm.l1.find(line_addr) || sm.pfBuffer->find(line_addr))
         return;
     // Prefetches are ordinary memory requests: they compete for the
     // same MSHRs as demand misses and are dropped under pressure.
-    if (static_cast<int>(sm.outstanding.size() +
-                         sm.pfOutstanding.size()) >=
+    if (sm.outstanding.live(now) + sm.pfOutstanding.live(now) >=
         mshrCapacity(sm_id, now)) {
         return;
     }
     ++stats_->prefetchesIssued;
     Cycle ready = l2Access(line_addr, now + cfg_.nocLatency, false) +
                   cfg_.nocLatency;
-    sm.pfOutstanding[line_addr] = ready;
+    sm.pfOutstanding.insert(line_addr, ready, now);
     auto fill = sm.pfBuffer->fill(line_addr);
     if (fill.line)
         fill.line->prefetched = true;
@@ -317,11 +335,10 @@ MemorySystem::audit(Cycle now) const
         // architected entry count (fault injection only withholds
         // capacity from *new* misses, it cannot mint extra entries).
         ctx.structure = "mshr";
-        auditCheck(static_cast<int>(sm.outstanding.size() +
-                                    sm.pfOutstanding.size()) <=
-                       cfg_.l1.mshrs,
-                   ctx, "occupancy ", sm.outstanding.size(), "+",
-                   sm.pfOutstanding.size(), " exceeds ", cfg_.l1.mshrs,
+        int demand = sm.outstanding.live(now);
+        int pf = sm.pfOutstanding.live(now);
+        auditCheck(demand + pf <= cfg_.l1.mshrs, ctx, "occupancy ",
+                   demand, "+", pf, " exceeds ", cfg_.l1.mshrs,
                    " entries");
 
         // Lock-counter sanity: a lock count on an invalid line means a
@@ -357,10 +374,21 @@ MemorySystem::reset()
             sm.pfBuffer->flush();
         sm.pfOutstanding.clear();
         sm.unusedEvictions = 0;
+        sm.unlockEpoch = 0;
     }
     for (auto &slice : l2_)
         slice.flush();
     std::fill(dramNextFree_.begin(), dramNextFree_.end(), 0);
+}
+
+Cycle
+MemorySystem::nextMshrRelease(int sm_id, Cycle now) const
+{
+    if (cfg_.perfectMemory)
+        return now + 1;
+    const SmState &sm = sms_[static_cast<std::size_t>(sm_id)];
+    return std::min(sm.outstanding.nextRelease(now),
+                    sm.pfOutstanding.nextRelease(now));
 }
 
 } // namespace dacsim

@@ -18,8 +18,8 @@
 #ifndef DACSIM_MEM_MEM_SYSTEM_H
 #define DACSIM_MEM_MEM_SYSTEM_H
 
+#include <algorithm>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
@@ -60,6 +60,23 @@ class MemorySystem
     /** Is the line resident in the SM's L1 tags? (no LRU update). */
     bool linePresent(int sm, Addr line_addr) const;
 
+    /** Combined answer of the AEU's per-line pre-check. */
+    enum class EarlyFetchProbe
+    {
+        Blocked,    ///< line may not be locked (saturation or fault)
+        Present,    ///< lockable and resident (no MSHR needed)
+        NeedsMshr,  ///< lockable but absent (fetch consumes an MSHR)
+    };
+
+    /**
+     * One-lookup fusion of canLock() + linePresent() for the AEU's
+     * early-fetch pre-check, which probes every line of a record on
+     * every blocked retry. Semantically identical to calling the two
+     * probes in that order (including the fault-injection accounting
+     * of canLock); it just avoids walking the L1 set twice.
+     */
+    EarlyFetchProbe earlyFetchProbe(int sm, Addr line_addr, Cycle now);
+
     /** Issue one line store transaction (fire-and-forget). */
     void store(int sm, Addr line_addr, Cycle now);
 
@@ -84,9 +101,29 @@ class MemorySystem
     /** Drop all cached state (between independent runs). */
     void reset();
 
+    /**
+     * Earliest cycle after @p now at which an in-flight miss of SM
+     * @p sm completes and frees its MSHR (the wake-up event for a
+     * replay-blocked warp). Returns ~Cycle(0) when nothing is in
+     * flight.
+     */
+    Cycle nextMshrRelease(int sm, Cycle now) const;
+
     /** Install a fault plan consulted by every timing decision
      * (nullptr: fault-free). The plan must outlive the simulation. */
     void setFaultPlan(const FaultPlan *faults) { faults_ = faults; }
+
+    /**
+     * Count of unlock() calls on SM @p sm that dropped a line's lock
+     * count to zero. Lock saturation of a set can only clear at such
+     * an event (locked lines are never evicted, and no new line can
+     * be locked in an already-saturated set), so the AEU uses this as
+     * the exact wake condition for deliveries blocked on canLock.
+     */
+    std::uint64_t unlockEpoch(int sm) const
+    {
+        return sms_[static_cast<std::size_t>(sm)].unlockEpoch;
+    }
 
     /** Audit credit conservation (MSHR occupancy within capacity,
      * lock counters sane); throws AuditError on violation. */
@@ -95,16 +132,108 @@ class MemorySystem
     const TagArray &l1(int sm) const { return sms_[sm].l1; }
 
   private:
+    /**
+     * Flat MSHR file: one slot per architected entry, sized from the
+     * configured MSHR count. A slot is live while `ready > now`;
+     * expiry is lazy (no eager pruning walk on the load path — a dead
+     * slot is simply reusable storage). This mirrors the eager-prune
+     * unordered_map semantics exactly while keeping lookups as a
+     * bounded linear scan over a few cache lines.
+     */
+    struct MshrTable
+    {
+        struct Slot
+        {
+            Addr line = 0;
+            Cycle ready = 0;
+        };
+        std::vector<Slot> slots;
+
+        /**
+         * Memoized live() result. The live set only changes at an
+         * insert or when the earliest in-flight completion expires, so
+         * a count taken at cycle t stays exact for every cycle in
+         * [t, min ready among live). Within that window live() is O(1)
+         * — it is probed on every blocked issue retry, which dominated
+         * host time before the cache. `cacheUntil` doubles as the
+         * min-ready value nextRelease() wants (~Cycle(0) if none live).
+         */
+        mutable Cycle cacheFrom = 1;   ///< window [cacheFrom, cacheUntil)
+        mutable Cycle cacheUntil = 0;  ///< starts empty: first call scans
+        mutable int cachedLive = 0;
+
+        void
+        init(int n)
+        {
+            slots.assign(static_cast<std::size_t>(n), {});
+            cacheUntil = 0;
+        }
+
+        void
+        clear()
+        {
+            std::fill(slots.begin(), slots.end(), Slot{});
+            cacheUntil = 0;
+        }
+
+        int
+        live(Cycle now) const
+        {
+            if (now >= cacheFrom && now < cacheUntil)
+                return cachedLive;
+            int n = 0;
+            Cycle next = ~static_cast<Cycle>(0);
+            for (const Slot &s : slots) {
+                if (s.ready > now) {
+                    ++n;
+                    next = std::min(next, s.ready);
+                }
+            }
+            cacheFrom = now;
+            cacheUntil = next;
+            cachedLive = n;
+            return n;
+        }
+
+        /** The live in-flight entry for @p line, if any. */
+        const Slot *
+        find(Addr line, Cycle now) const
+        {
+            for (const Slot &s : slots)
+                if (s.ready > now && s.line == line)
+                    return &s;
+            return nullptr;
+        }
+
+        /** Record an in-flight miss; overwrites a live same-line entry
+         * (the map-assignment semantics), else reuses any dead slot.
+         * The caller's capacity check guarantees one exists. */
+        void insert(Addr line, Cycle ready, Cycle now);
+
+        /** Min completion cycle among live entries (~Cycle(0): none). */
+        Cycle
+        nextRelease(Cycle now) const
+        {
+            live(now); // refresh cacheUntil = min ready among live
+            return cacheUntil;
+        }
+    };
+
     struct SmState
     {
         TagArray l1;
-        /** line -> data-ready cycle, one entry per in-flight MSHR. */
-        std::unordered_map<Addr, Cycle> outstanding;
+        /** In-flight demand/DAC-early misses, one live slot per MSHR. */
+        MshrTable outstanding;
         std::unique_ptr<TagArray> pfBuffer;
-        std::unordered_map<Addr, Cycle> pfOutstanding;
+        MshrTable pfOutstanding;
         std::uint64_t unusedEvictions = 0;
+        std::uint64_t unlockEpoch = 0; ///< see unlockEpoch()
 
-        explicit SmState(const CacheConfig &c) : l1(c) {}
+        explicit SmState(const CacheConfig &c) : l1(c)
+        {
+            outstanding.init(c.mshrs);
+            pfOutstanding.init(c.mshrs);
+        }
     };
 
     const GpuConfig &cfg_;
@@ -119,7 +248,6 @@ class MemorySystem
     int partitionOf(Addr line_addr) const;
     /** Timing through L2 (+DRAM on miss); returns data-ready cycle. */
     Cycle l2Access(Addr line_addr, Cycle arrive, bool is_store);
-    void pruneOutstanding(SmState &sm, Cycle now);
     /** L1 MSHR capacity after fault injection withholds entries. */
     int mshrCapacity(int sm_id, Cycle now) const;
 };

@@ -65,6 +65,33 @@ Gpu::launch(const LaunchInfo &launch)
     Cycle lastProgressCycle = cycle_;
     const Cycle watchdogWindow = gcfg_.watchdogCycles;
 
+    // Idle-cycle fast-forward (see DESIGN.md §8). Only legal without a
+    // fault plan: fault windows are defined per simulated cycle.
+    const bool ff = gcfg_.fastForward && faults_ == nullptr;
+    std::uint64_t ffLastProgress = lastProgress;
+    constexpr Cycle never = ~static_cast<Cycle>(0);
+
+    // The audit/watchdog block every run executes when the clock
+    // reaches a 4096-cycle boundary; fast-forward jumps clamp to the
+    // next boundary so this fires at exactly the same cycles as a
+    // fully stepped run.
+    auto boundaryCheck = [&]() {
+        mem_->audit(cycle_);
+        std::uint64_t p = totalProgress();
+        if (p != lastProgress) {
+            lastProgress = p;
+            lastProgressCycle = cycle_;
+        } else if (cycle_ - lastProgressCycle >= watchdogWindow) {
+            std::ostringstream os;
+            os << "panic: deadlock: no instruction issued for "
+               << watchdogWindow << " cycles in kernel '"
+               << launch.kernel->name << "' (cycle " << cycle_
+               << "); per-SM warp states:\n"
+               << dumpState();
+            throw DeadlockError(cycle_, os.str());
+        }
+    };
+
     bool running = true;
     while (running) {
         running = false;
@@ -74,21 +101,30 @@ Gpu::launch(const LaunchInfo &launch)
         }
         ++cycle_;
 
-        if ((cycle_ & 0xfff) == 0) {
-            mem_->audit(cycle_);
+        if ((cycle_ & 0xfff) == 0)
+            boundaryCheck();
+
+        if (ff && running) {
             std::uint64_t p = totalProgress();
-            if (p != lastProgress) {
-                lastProgress = p;
-                lastProgressCycle = cycle_;
-            } else if (cycle_ - lastProgressCycle >= watchdogWindow) {
-                std::ostringstream os;
-                os << "panic: deadlock: no instruction issued for "
-                   << watchdogWindow << " cycles in kernel '"
-                   << launch.kernel->name << "' (cycle " << cycle_
-                   << "); per-SM warp states:\n"
-                   << dumpState();
-                throw DeadlockError(cycle_, os.str());
+            if (p == ffLastProgress) {
+                // The cycle just stepped was idle: every SM agrees no
+                // state or statistic can change before `next`, so the
+                // cycles in between are exact no-ops.
+                Cycle next = never;
+                for (auto &sm : sms_) {
+                    next = std::min(next, sm->nextEventCycle(cycle_ - 1));
+                    if (next <= cycle_)
+                        break; // no jump possible: skip the remaining SMs
+                }
+                Cycle boundary = ((cycle_ >> 12) + 1) << 12;
+                Cycle target = std::min(next, boundary);
+                if (target > cycle_) {
+                    cycle_ = target;
+                    if ((cycle_ & 0xfff) == 0)
+                        boundaryCheck();
+                }
             }
+            ffLastProgress = p;
         }
     }
 

@@ -106,14 +106,13 @@ Sm::busy() const
            (dispatcher_ != nullptr && !dispatcher_->exhausted());
 }
 
-std::vector<int>
+const std::vector<int> &
 Sm::ctaBarPassed() const
 {
-    std::vector<int> v;
-    v.reserve(ctas_.size());
-    for (const Cta &c : ctas_)
-        v.push_back(c.barPassed);
-    return v;
+    ctaBarScratch_.resize(ctas_.size());
+    for (std::size_t i = 0; i < ctas_.size(); ++i)
+        ctaBarScratch_[i] = ctas_[i].barPassed;
+    return ctaBarScratch_;
 }
 
 void
@@ -481,8 +480,7 @@ Sm::execMemory(int wi, Warp &w, const Instruction &inst, ThreadMask eff,
     }
 
     // Global memory.
-    std::vector<Addr> lines =
-        coalesce(addrs, eff, memWidthBytes(inst.width));
+    LineSet lines = coalesce(addrs, eff, memWidthBytes(inst.width));
 
     if (inst.op == Opcode::St) {
         for (int lane = 0; lane < warpSize; ++lane) {
@@ -889,6 +887,71 @@ Sm::cycle(Cycle now)
     }
 
     finishBatchIfDone(now);
+}
+
+Cycle
+Sm::nextEventCycle(Cycle now) const
+{
+    // A batch boundary (next launchBatch) is an event one cycle away.
+    if (!batchActive_)
+        return busy() ? now + 1 : farFuture;
+    // Fault windows are evaluated per cycle; never skip under a plan.
+    if (faults_)
+        return now + 1;
+    // Pending ATQ expansion may deliver records / fetch lines on any
+    // cycle; the engine must be stepped.
+    if (dacEngine_ && dacEngine_->expansionPending())
+        return now + 1;
+
+    Cycle next = farFuture;
+
+    // The affine warp issues on scheduler 0 with priority.
+    if (affineWarp_ && !affineWarp_->finished()) {
+        next = std::min(next, std::max(affineWarp_->nextReadyCycle(),
+                                       schedBusyUntil_[0]));
+    }
+
+    const Kernel &k = *launch_.kernel;
+    const int nsched = gcfg_.sched.schedulersPerSm;
+    for (std::size_t wi = 0; wi < warps_.size(); ++wi) {
+        const Warp &w = warps_[wi];
+        if (w.finished || w.atBarrier)
+            continue;
+        if (!w.replayLines.empty()) {
+            // Replays retry as soon as an in-flight miss frees a MSHR.
+            next = std::min(next, mem_.nextMshrRelease(id_, now));
+            continue;
+        }
+        const Instruction &inst =
+            k.insts[static_cast<std::size_t>(w.stack.pc())];
+        // First cycle the warp's scoreboard dependences clear. From
+        // then on the scheduler attempts it every free cycle; even a
+        // failed deq attempt is an event (it counts a stall cycle),
+        // so the attempt cycle itself is the bound.
+        Cycle t = 0;
+        auto consider = [&](const Operand &op) {
+            if (op.isReg()) {
+                t = std::max(
+                    t, w.regReady[static_cast<std::size_t>(op.index)]);
+            } else if (op.isPred()) {
+                t = std::max(
+                    t, w.predReady[static_cast<std::size_t>(op.index)]);
+            }
+        };
+        if (inst.guardPred >= 0) {
+            t = std::max(t, w.predReady[static_cast<std::size_t>(
+                                inst.guardPred)]);
+        }
+        for (int i = 0; i < numSources(inst.op); ++i)
+            consider(inst.src[i]);
+        consider(inst.dst);
+        t = std::max(t, schedBusyUntil_[static_cast<std::size_t>(
+                            static_cast<int>(wi) % nsched)]);
+        next = std::min(next, t);
+        if (next <= now + 1)
+            return now + 1; // a warp attempts next cycle: no skip
+    }
+    return std::max(next, now + 1);
 }
 
 void

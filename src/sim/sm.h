@@ -105,6 +105,17 @@ class Sm
 
     void cycle(Cycle now);
 
+    /**
+     * A lower bound (> @p now) on the next cycle at which stepping
+     * this SM could change any simulated state or statistic; ~Cycle(0)
+     * when no future event exists. Cycles strictly before the returned
+     * bound are exact no-ops, so the GPU clock may skip them without
+     * altering results. Conservative: returns now+1 whenever per-cycle
+     * effects cannot be ruled out (fault plans, pending ATQ expansion,
+     * deq retries that count stall cycles).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Monotone counter for the top-level deadlock watchdog. */
     std::uint64_t progress() const { return progress_; }
 
@@ -174,6 +185,7 @@ class Sm
     bool batchActive_ = false;
     BatchInfo batch_;
     std::vector<Cta> ctas_;
+    mutable std::vector<int> ctaBarScratch_; ///< see ctaBarPassed()
     std::vector<Warp> warps_;
     int liveWarps_ = 0;
 
@@ -186,7 +198,10 @@ class Sm
     // ----- batch management ----------------------------------------------
     void launchBatch(Cycle now);
     void finishBatchIfDone(Cycle now);
-    std::vector<int> ctaBarPassed() const;
+    /** Per-CTA-slot barrier-pass counts for the engine's fetch gate.
+     * Refills a member scratch vector (called every DAC cycle; a
+     * fresh allocation per call dominated the engine's host cost). */
+    const std::vector<int> &ctaBarPassed() const;
 
     // ----- interpreter helpers ---------------------------------------------
     Idx3 tidOf(const Warp &w, int lane) const;

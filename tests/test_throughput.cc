@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Host-throughput layer tests: the idle-cycle fast-forward and the
+ * parallel sweep must be pure host-side optimizations — every
+ * simulated statistic and output checksum stays bit-identical with
+ * them on or off, at any worker count, with or without an active
+ * fault-injection plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "harness/runner.h"
+#include "harness/sweep.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+RunOutcome
+runWith(const char *bench, Technique tech, bool fastForward,
+        double scale = 0.15)
+{
+    RunOptions opt;
+    opt.scale = scale;
+    opt.tech = tech;
+    opt.gpu.fastForward = fastForward;
+    return runWorkload(bench, opt);
+}
+
+void
+expectIdentical(const RunOutcome &a, const RunOutcome &b,
+                const char *what)
+{
+    EXPECT_TRUE(a.error.ok()) << what;
+    EXPECT_TRUE(b.error.ok()) << what;
+    EXPECT_TRUE(a.stats == b.stats) << what;
+    EXPECT_EQ(a.checksums, b.checksums) << what;
+}
+
+TEST(FastForward, OnByDefaultInConfig)
+{
+    EXPECT_TRUE(GpuConfig{}.fastForward);
+}
+
+TEST(FastForward, MemoryIntensiveStatsIdentical)
+{
+    // SP's long memory-latency idle windows are where fast-forward
+    // actually jumps; the full RunStats must still match exactly.
+    for (Technique t : {Technique::Baseline, Technique::Dac}) {
+        RunOutcome off = runWith("SP", t, false);
+        RunOutcome on = runWith("SP", t, true);
+        expectIdentical(off, on, "SP");
+    }
+}
+
+TEST(FastForward, ComputeIntensiveStatsIdentical)
+{
+    for (Technique t : {Technique::Baseline, Technique::Cae}) {
+        RunOutcome off = runWith("BS", t, false);
+        RunOutcome on = runWith("BS", t, true);
+        expectIdentical(off, on, "BS");
+    }
+}
+
+TEST(FastForward, MtaPrefetcherStatsIdentical)
+{
+    // The MTA prefetch buffer and its MSHR pool exercise the
+    // pfOutstanding release path of the next-event computation.
+    RunOutcome off = runWith("LIB", Technique::Mta, false);
+    RunOutcome on = runWith("LIB", Technique::Mta, true);
+    expectIdentical(off, on, "LIB/MTA");
+}
+
+TEST(Sweep, JobsRespectsEnvironment)
+{
+    // parallelFor with an explicit jobs argument bypasses the env; the
+    // env path itself is covered by sweepJobs() clamping to >= 1.
+    EXPECT_GE(sweepJobs(), 1);
+}
+
+TEST(Sweep, ParallelMatchesSerial)
+{
+    struct Job
+    {
+        const char *bench;
+        Technique tech;
+    };
+    const Job jobs[] = {
+        {"SP", Technique::Baseline}, {"SP", Technique::Dac},
+        {"BS", Technique::Baseline}, {"BS", Technique::Cae},
+        {"LIB", Technique::Mta},     {"FFT", Technique::Dac},
+    };
+    constexpr std::size_t n = sizeof jobs / sizeof jobs[0];
+
+    auto sweep = [&](int workers) {
+        std::vector<RunOutcome> out(n);
+        parallelFor(
+            n,
+            [&](std::size_t i) {
+                out[i] = runWith(jobs[i].bench, jobs[i].tech, true, 0.12);
+            },
+            workers);
+        return out;
+    };
+    std::vector<RunOutcome> serial = sweep(1);
+    std::vector<RunOutcome> parallel = sweep(4);
+    for (std::size_t i = 0; i < n; ++i)
+        expectIdentical(serial[i], parallel[i], jobs[i].bench);
+}
+
+TEST(Sweep, ParallelMatchesSerialUnderFaultPlan)
+{
+    // Fault injection disables fast-forward internally and perturbs
+    // the memory system deterministically; a parallel sweep must still
+    // reproduce the serial outcomes bit-for-bit, including the
+    // injected-fault counters.
+    FaultPlan plan =
+        FaultPlan::parse("seed=7;mshr@0-50000:16;jitter@0:300");
+    auto sweep = [&](int workers) {
+        const char *benches[] = {"SP", "LIB", "FFT"};
+        std::vector<RunOutcome> out(3);
+        parallelFor(
+            3,
+            [&](std::size_t i) {
+                RunOptions opt;
+                opt.scale = 0.12;
+                opt.tech = Technique::Dac;
+                opt.faults = plan;
+                out[i] = runWorkload(benches[i], opt);
+            },
+            workers);
+        return out;
+    };
+    std::vector<RunOutcome> serial = sweep(1);
+    std::vector<RunOutcome> parallel = sweep(4);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(serial[i].stats == parallel[i].stats);
+        EXPECT_EQ(serial[i].checksums, parallel[i].checksums);
+        EXPECT_EQ(serial[i].fellBack, parallel[i].fellBack);
+        EXPECT_EQ(serial[i].error.kind, parallel[i].error.kind);
+    }
+}
+
+TEST(Sweep, LowestIndexExceptionWins)
+{
+    try {
+        parallelFor(
+            8,
+            [](std::size_t i) {
+                if (i == 2 || i == 5)
+                    throw std::runtime_error(i == 2 ? "two" : "five");
+            },
+            4);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ("two", e.what());
+    }
+}
+
+TEST(Sweep, InlineWhenSingleJob)
+{
+    // jobs=1 must run on the calling thread (printing-safety for
+    // callers that rely on it).
+    std::vector<int> order;
+    parallelFor(3, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+                1);
+    EXPECT_EQ((std::vector<int>{0, 1, 2}), order);
+}
+
+} // namespace
