@@ -12,14 +12,17 @@
 #ifndef DACSIM_BENCH_BENCH_UTIL_H
 #define DACSIM_BENCH_BENCH_UTIL_H
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "harness/journal.h"
 #include "harness/runner.h"
 #include "harness/sweep.h"
 
@@ -82,19 +85,79 @@ struct SweepJob
     RunOptions opt;
 };
 
+/** Snapshot/journal directory for sweeps (DACSIM_CHECKPOINT_DIR), or
+ * empty when checkpointing is off. */
+inline std::string
+checkpointDir()
+{
+    const char *d = std::getenv("DACSIM_CHECKPOINT_DIR");
+    return (d != nullptr && *d != '\0') ? std::string(d) : std::string();
+}
+
 /**
  * Execute every job concurrently on DACSIM_JOBS workers (default: the
  * hardware concurrency) and return the outcomes in job order. The
  * runs are shared-nothing, so the result — and every simulated
  * statistic in it — is byte-identical to running the jobs serially;
  * callers do all printing/reporting afterwards, on their own thread.
+ *
+ * When @p figure is given and DACSIM_CHECKPOINT_DIR is set, the sweep
+ * is resumable (DESIGN.md §9): completed points are journalled to
+ * `<dir>/<figure>.sweep.journal` and served from disk on a restart, so
+ * a killed sweep re-runs only its missing points and reproduces its
+ * report byte-identically. Each point also checkpoints its simulator
+ * state to `<dir>/<figure>-<index>.snap`, so a restart resumes the
+ * point that was mid-flight at the kill from its last snapshot. The
+ * DACSIM_SWEEP_ABORT_AFTER=<n> knob kills the process (as a kill -9
+ * would, skipping all cleanup) after n freshly computed points — it
+ * exists so tests and scripts/check.sh can exercise the kill/restart
+ * path deterministically.
  */
 inline std::vector<RunOutcome>
-runSweep(const std::vector<SweepJob> &jobs)
+runSweep(const std::vector<SweepJob> &jobs, const char *figure = nullptr)
 {
     std::vector<RunOutcome> out(jobs.size());
+    const std::string dir = figure != nullptr ? checkpointDir() : "";
+    if (dir.empty()) {
+        parallelFor(jobs.size(), [&](std::size_t i) {
+            out[i] = runWorkload(jobs[i].bench, jobs[i].opt);
+        });
+        return out;
+    }
+
+    SweepJournal journal(dir + "/" + figure + ".sweep.journal");
+    long abortAfter = 0;
+    if (const char *a = std::getenv("DACSIM_SWEEP_ABORT_AFTER");
+        a != nullptr && *a != '\0')
+        abortAfter = std::atol(a);
+    std::atomic<long> fresh{0};
     parallelFor(jobs.size(), [&](std::size_t i) {
-        out[i] = runWorkload(jobs[i].bench, jobs[i].opt);
+        std::string key = std::to_string(i) + "|" + jobs[i].bench + "|" +
+                          techniqueName(jobs[i].opt.tech);
+        if (journal.lookup(key, &out[i]))
+            return; // completed before the kill: byte-exact from disk
+        SweepJob j = jobs[i];
+        j.opt.checkpoint.dir = dir;
+        j.opt.checkpoint.tag =
+            std::string(figure) + "-" + std::to_string(i);
+        // A restart first tries the point's own snapshot, so the run
+        // that was mid-flight at the kill continues instead of
+        // restarting from cycle 0 (results are bit-identical either
+        // way; see CheckpointRoundTrip tests).
+        j.opt.checkpoint.resume = true;
+        out[i] = runWorkload(j.bench, j.opt);
+        if (out[i].error.kind == RunErrorKind::Fatal) {
+            // A stale or incompatible snapshot (config changed between
+            // sweeps sharing a directory) must not poison the point:
+            // re-run it from scratch.
+            j.opt.checkpoint.resume = false;
+            out[i] = runWorkload(j.bench, j.opt);
+        }
+        journal.record(key, out[i]);
+        if (abortAfter > 0 &&
+            fresh.fetch_add(1, std::memory_order_relaxed) + 1 >=
+                abortAfter)
+            std::_Exit(3); // simulate a kill: no cleanup, journal holds
     });
     return out;
 }
@@ -170,16 +233,24 @@ reportRun(const char *figure, const std::string &bench, Technique tech,
 {
     if (out.error.ok())
         return true;
+    // fault_seed / checkpoint / last_hash give a failed run enough
+    // context to reproduce: re-run with the same seed, resume from the
+    // named snapshot, and compare hash chains up to last_hash.
     std::fprintf(
         stderr,
         "{\"figure\":\"%s\",\"bench\":\"%s\",\"tech\":\"%s\","
         "\"status\":\"%s\",\"kind\":\"%s\",\"cycle\":%llu,"
-        "\"what\":\"%s\"}\n",
+        "\"what\":\"%s\",\"fault_seed\":%llu,\"checkpoint\":\"%s\","
+        "\"last_hash\":\"%016llx\",\"resumed\":%s}\n",
         figure, jsonEscape(bench).c_str(), techniqueName(tech),
         out.fellBack ? "fallback" : "error",
         runErrorKindName(out.error.kind),
         static_cast<unsigned long long>(out.error.cycle),
-        jsonEscape(out.error.what).c_str());
+        jsonEscape(out.error.what).c_str(),
+        static_cast<unsigned long long>(out.faultSeed),
+        jsonEscape(out.checkpointId).c_str(),
+        static_cast<unsigned long long>(out.lastStateHash),
+        out.resumed ? "true" : "false");
     return out.ok();
 }
 

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * dacsim-bisect — divergence localization and checkpoint round-trip
+ * smoke (DESIGN.md §9).
+ *
+ * Two runs of the same workload fold a state hash every 4096-cycle
+ * audit boundary, so their hash chains agree exactly up to the first
+ * interval in which simulated state diverged and disagree from then on
+ * (each link folds the previous one). That monotone structure lets
+ * this tool *binary-search* the chains for the first divergent link,
+ * then *replay* the reference run from the nearest snapshot at or
+ * before that link to confirm the divergence reproduces from saved
+ * state — localizing a determinism regression to one 4096-cycle
+ * window without stepping either full run again.
+ *
+ * Modes:
+ *   dacsim-bisect --localize <bench> <tech> [--perturb <cycle>]
+ *       Reference run vs a run whose hash digest is artificially
+ *       perturbed in the interval covering <cycle> (default: mid-run)
+ *       via GpuConfig::hashPerturbCycle; reports the first divergent
+ *       interval and replay-confirms it. Exits 0 when the located
+ *       interval contains the perturbation point.
+ *   dacsim-bisect --roundtrip <bench> <tech>
+ *       Checkpoint round-trip smoke for scripts/check.sh: kill the run
+ *       at its midpoint (haltAtCycle), auto-resume from the snapshot,
+ *       and require bit-identical stats, checksums, and hash chain
+ *       versus an uninterrupted run.
+ *
+ * Snapshots land in DACSIM_CHECKPOINT_DIR (default: a bisect-ck
+ * subdirectory of the working directory).
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+bool
+parseTech(const char *name, Technique *out)
+{
+    auto eqNoCase = [](const char *a, const char *b) {
+        for (; *a != '\0' && *b != '\0'; ++a, ++b)
+            if (std::tolower(static_cast<unsigned char>(*a)) !=
+                std::tolower(static_cast<unsigned char>(*b)))
+                return false;
+        return *a == *b;
+    };
+    for (Technique t : {Technique::Baseline, Technique::Cae,
+                        Technique::Mta, Technique::Dac}) {
+        if (eqNoCase(name, techniqueName(t))) {
+            *out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+snapshotDir()
+{
+    std::string dir = bench::checkpointDir();
+    if (dir.empty())
+        dir = "bisect-ck";
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+RunOptions
+baseOptions(Technique tech)
+{
+    RunOptions opt;
+    opt.tech = tech;
+    // Small machine at full workload scale (the configuration the
+    // CheckpointRoundTrip tests lock): long enough in simulated time
+    // that every benchmark crosses several audit boundaries, yet quick
+    // on the host even in Debug/sanitized builds.
+    opt.gpu.numSms = 2;
+    opt.scale = 1.0;
+    return opt;
+}
+
+/** Index of the first link where the chains disagree (or the shorter
+ * length), found by binary search: chain equality is monotone because
+ * every link folds its predecessor. */
+std::size_t
+firstDivergentLink(const std::vector<HashLink> &a,
+                   const std::vector<HashLink> &b)
+{
+    std::size_t lo = 0, hi = std::min(a.size(), b.size());
+    // Invariant: links before lo match, links at/after hi diverge (or
+    // are past the end).
+    while (lo < hi) {
+        std::size_t mid = lo + (hi - lo) / 2;
+        if (a[mid].cycle == b[mid].cycle && a[mid].hash == b[mid].hash)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+int
+localize(const std::string &bench, Technique tech, Cycle perturb)
+{
+    const std::string dir = snapshotDir();
+
+    bench::printHeader("dacsim-bisect: localize first divergent "
+                       "interval (" +
+                       bench + ", " + techniqueName(tech) + ")");
+
+    // Reference run, checkpointing every audit boundary so a snapshot
+    // exists near any interval the search might need to replay.
+    RunOptions ref = baseOptions(tech);
+    ref.checkpoint.dir = dir;
+    ref.checkpoint.tag = "bisect-ref";
+    ref.checkpoint.everyCycles = 4096;
+    RunOutcome a = runWorkload(bench, ref);
+    require(a.ok(), "reference run failed: ", a.error.what);
+    require(a.hashChain.size() >= 2, "run too short to bisect (",
+            a.hashChain.size(), " hash links)");
+
+    if (perturb == 0) // default: perturb the middle interval
+        perturb = a.hashChain[a.hashChain.size() / 2].cycle;
+    std::printf("reference: %zu hash links over %llu cycles; "
+                "perturbing the digest at cycle %llu\n",
+                a.hashChain.size(),
+                static_cast<unsigned long long>(a.stats.cycles),
+                static_cast<unsigned long long>(perturb));
+
+    // Suspect run: identical except the digest perturbation — a
+    // stand-in for any single-interval determinism regression.
+    RunOptions sus = baseOptions(tech);
+    sus.gpu.hashPerturbCycle = perturb;
+    RunOutcome b = runWorkload(bench, sus);
+    require(b.ok(), "suspect run failed: ", b.error.what);
+
+    std::size_t k = firstDivergentLink(a.hashChain, b.hashChain);
+    if (k == a.hashChain.size() && k == b.hashChain.size()) {
+        std::printf("chains identical (%zu links): no divergence\n", k);
+        return 2;
+    }
+    Cycle lo = k > 0 ? a.hashChain[k - 1].cycle : 0;
+    Cycle hi = k < a.hashChain.size() ? a.hashChain[k].cycle
+                                      : a.stats.cycles;
+    std::printf("first divergent link: %zu of %zu -> interval (%llu, "
+                "%llu]\n",
+                k, a.hashChain.size(),
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi));
+
+    // Replay-confirm from the nearest snapshot at or before the
+    // interval. Chain links can sit at launch-end cycles, but
+    // snapshots only land on 4096-cycle audit boundaries — so halt a
+    // fresh reference run at the last boundary at or before `lo`
+    // (which leaves its snapshot there), then restore that snapshot
+    // into a perturbed machine and check the divergence reproduces at
+    // link k. Any restore point <= lo works: replay regenerates the
+    // links in between bit-identically.
+    const Cycle haltB = lo & ~static_cast<Cycle>(0xfff);
+    bool confirmed = true;
+    if (k > 0 && haltB > 0) {
+        // A stale replay snapshot from a previous bisect would satisfy
+        // resume= before the halt ever fires: clear it.
+        std::filesystem::remove(dir + "/bisect-replay.snap");
+        RunOptions cut = baseOptions(tech);
+        cut.checkpoint.dir = dir;
+        cut.checkpoint.tag = "bisect-replay";
+        cut.checkpoint.everyCycles = 4096;
+        cut.checkpoint.haltAtCycle = haltB;
+        cut.checkpoint.resume = true; // defeat the in-process auto-retry
+        RunOutcome halted = runWorkload(bench, cut);
+        require(halted.error.kind == RunErrorKind::Halted,
+                "replay setup: expected a halt, got ",
+                runErrorKindName(halted.error.kind));
+
+        RunOptions replay = baseOptions(tech);
+        replay.gpu.hashPerturbCycle = perturb;
+        replay.checkpoint.dir = dir;
+        replay.checkpoint.tag = "bisect-replay";
+        replay.checkpoint.resume = true;
+        RunOutcome c = runWorkload(bench, replay);
+        require(c.ok() && c.resumed, "replay from snapshot failed: ",
+                c.error.what);
+        confirmed = c.hashChain.size() > k &&
+                    c.hashChain[k - 1].hash == a.hashChain[k - 1].hash &&
+                    c.hashChain[k].hash != a.hashChain[k].hash &&
+                    c.hashChain[k].hash == b.hashChain[k].hash;
+        std::printf("replay from snapshot at cycle %llu: divergence "
+                    "%s\n",
+                    static_cast<unsigned long long>(haltB),
+                    confirmed ? "reproduced" : "NOT reproduced");
+    }
+
+    bool inWindow = perturb > lo && perturb <= hi;
+    std::printf("localized interval %s the perturbation point %llu\n",
+                inWindow ? "contains" : "MISSES",
+                static_cast<unsigned long long>(perturb));
+    return confirmed && inWindow ? 0 : 1;
+}
+
+int
+roundtrip(const std::string &bench, Technique tech)
+{
+    const std::string dir = snapshotDir();
+
+    bench::printHeader("dacsim-bisect: checkpoint round-trip smoke (" +
+                       bench + ", " + techniqueName(tech) + ")");
+
+    RunOutcome clean = runWorkload(bench, baseOptions(tech));
+    require(clean.ok(), "clean run failed: ", clean.error.what);
+    require(clean.stats.cycles > 2 * 4096, "run too short (",
+            clean.stats.cycles, " cycles) for a mid-run snapshot");
+
+    RunOptions ck = baseOptions(tech);
+    ck.checkpoint.dir = dir;
+    ck.checkpoint.tag = "roundtrip-" + bench;
+    ck.checkpoint.everyCycles = 4096;
+    ck.checkpoint.haltAtCycle = clean.stats.cycles / 2;
+    RunOutcome res = runWorkload(bench, ck);
+    require(res.ok(), "resumed run failed: ", res.error.what);
+    require(res.resumed, "run was not killed/resumed (halt at ",
+            ck.checkpoint.haltAtCycle, ")");
+
+    bool same = res.stats == clean.stats &&
+                res.checksums == clean.checksums &&
+                res.hashChain.size() == clean.hashChain.size();
+    for (std::size_t i = 0; same && i < res.hashChain.size(); ++i)
+        same = res.hashChain[i].cycle == clean.hashChain[i].cycle &&
+               res.hashChain[i].hash == clean.hashChain[i].hash;
+    std::printf("killed at cycle %llu, resumed from %s: stats/"
+                "checksums/hash chain %s (%zu links)\n",
+                static_cast<unsigned long long>(ck.checkpoint.haltAtCycle),
+                res.checkpointId.c_str(),
+                same ? "bit-identical" : "DIVERGED",
+                res.hashChain.size());
+    return same ? 0 : 1;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dacsim-bisect --localize <bench> <tech> [--perturb N]\n"
+        "       dacsim-bisect --roundtrip <bench> <tech>\n"
+        "  <tech>: baseline | cae | mta | dac\n");
+    return 64;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::guardedMain("dacsim-bisect", [&]() -> int {
+        if (argc < 4)
+            return usage();
+        const std::string mode = argv[1];
+        const std::string bench = argv[2];
+        Technique tech;
+        if (!parseTech(argv[3], &tech))
+            return usage();
+        if (mode == "--roundtrip")
+            return roundtrip(bench, tech);
+        if (mode == "--localize") {
+            Cycle perturb = 0;
+            for (int i = 4; i + 1 < argc; ++i)
+                if (std::strcmp(argv[i], "--perturb") == 0)
+                    perturb = std::strtoull(argv[i + 1], nullptr, 0);
+            return localize(bench, tech, perturb);
+        }
+        return usage();
+    });
+}

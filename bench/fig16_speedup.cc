@@ -11,14 +11,19 @@
  * All (benchmark, technique) runs execute concurrently on DACSIM_JOBS
  * workers; printing and error reporting happen afterwards on the main
  * thread, in the same deterministic order a serial sweep would use.
+ * The results are also written to BENCH_fig16.json — every number in
+ * it derives only from simulated state, so the file is byte-identical
+ * across reruns.
  *
- * The sweep is crash-isolated: a run that fails (or degrades to
- * baseline under fault injection) is reported as a JSON error line on
- * stderr and excluded from the means; the remaining benchmarks still
- * complete.
+ * The sweep is crash-isolated and resumable: a run that fails (or
+ * degrades to baseline under fault injection) is reported as a JSON
+ * error line on stderr and excluded from the means, and with
+ * DACSIM_CHECKPOINT_DIR set a killed sweep restarts from its journal
+ * (see DESIGN.md §9), reproducing BENCH_fig16.json byte-identically.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "bench_util.h"
@@ -32,66 +37,140 @@ constexpr Technique techOrder[] = {Technique::Baseline, Technique::Cae,
                                    Technique::Mta, Technique::Dac};
 constexpr std::size_t techCount = 4;
 
-void
+/** One benchmark's speedups; a missing technique key means it failed. */
+struct Row
+{
+    std::string bench;
+    bool baseOk = false;
+    std::map<Technique, double> speed;
+};
+
+std::vector<double>
+collect(const std::vector<Row> &rows, Technique t)
+{
+    std::vector<double> v;
+    for (const Row &r : rows)
+        if (r.speed.count(t))
+            v.push_back(r.speed.at(t));
+    return v;
+}
+
+std::vector<Row>
 panel(const char *title, const std::vector<std::string> &names,
-      const std::vector<RunOutcome> &outs, std::size_t first,
-      std::vector<double> (&global)[3])
+      const std::vector<RunOutcome> &outs, std::size_t first)
 {
     std::printf("\n--- %s ---\n", title);
     std::printf("%-5s %8s %8s %8s\n", "bench", "CAE", "MTA", "DAC");
-    std::vector<double> cae, mta, dac;
+    std::vector<Row> rows;
     for (std::size_t ni = 0; ni < names.size(); ++ni) {
-        const std::string &n = names[ni];
+        Row row;
+        row.bench = names[ni];
         const RunOutcome *row0 = &outs[first + ni * techCount];
         const RunOutcome &base = row0[0];
-        if (!bench::reportRun("fig16", n, Technique::Baseline, base)) {
+        if (!bench::reportRun("fig16", row.bench, Technique::Baseline,
+                              base)) {
             std::printf("%-5s %8s %8s %8s  (baseline failed: %s)\n",
-                        n.c_str(), "-", "-", "-",
+                        row.bench.c_str(), "-", "-", "-",
                         runErrorKindName(base.error.kind));
+            rows.push_back(std::move(row));
             continue;
         }
-        std::map<Technique, double> row;
+        row.baseOk = true;
         for (std::size_t ti = 1; ti < techCount; ++ti) {
             Technique t = techOrder[ti];
             const RunOutcome &r = row0[ti];
-            if (!bench::reportRun("fig16", n, t, r))
+            if (!bench::reportRun("fig16", row.bench, t, r))
                 continue; // structured error already emitted
             require(r.checksums == base.checksums,
-                    "result mismatch on ", n);
-            row[t] = static_cast<double>(base.stats.cycles) /
-                     static_cast<double>(r.stats.cycles);
+                    "result mismatch on ", row.bench);
+            row.speed[t] = static_cast<double>(base.stats.cycles) /
+                           static_cast<double>(r.stats.cycles);
         }
         auto cell = [&](Technique t) {
-            return row.count(t) ? row[t] : 0.0;
+            return row.speed.count(t) ? row.speed[t] : 0.0;
         };
-        std::printf("%-5s %7.2fx %7.2fx %7.2fx\n", n.c_str(),
+        std::printf("%-5s %7.2fx %7.2fx %7.2fx\n", row.bench.c_str(),
                     cell(Technique::Cae), cell(Technique::Mta),
                     cell(Technique::Dac));
-        // Failed techniques are excluded from the means rather than
-        // polluting them with zeros.
-        if (row.count(Technique::Cae))
-            cae.push_back(row[Technique::Cae]);
-        if (row.count(Technique::Mta))
-            mta.push_back(row[Technique::Mta]);
-        if (row.count(Technique::Dac))
-            dac.push_back(row[Technique::Dac]);
+        rows.push_back(std::move(row));
     }
+    // Failed techniques are excluded from the means rather than
+    // polluting them with zeros.
     std::printf("%-5s %7.2fx %7.2fx %7.2fx  (geometric mean)\n", "MEAN",
-                bench::geomean(cae), bench::geomean(mta),
-                bench::geomean(dac));
-    global[0].insert(global[0].end(), cae.begin(), cae.end());
-    global[1].insert(global[1].end(), mta.begin(), mta.end());
-    global[2].insert(global[2].end(), dac.begin(), dac.end());
+                bench::geomean(collect(rows, Technique::Cae)),
+                bench::geomean(collect(rows, Technique::Mta)),
+                bench::geomean(collect(rows, Technique::Dac)));
+    return rows;
+}
+
+void
+writeJson(const char *path, bool quick, double scale,
+          const std::vector<Row> &mem, const std::vector<Row> &comp)
+{
+    std::FILE *f = std::fopen(path, "w");
+    require(f != nullptr, "cannot write ", path);
+    auto emitPanel = [&](const char *key, const std::vector<Row> &rows,
+                         const char *trail) {
+        std::fprintf(f, "    \"%s\": {\n      \"rows\": [\n", key);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            auto cell = [&](Technique t) {
+                return r.speed.count(t) ? r.speed.at(t) : 0.0;
+            };
+            std::fprintf(f,
+                         "        {\"bench\": \"%s\", \"ok\": %s, "
+                         "\"cae\": %.6f, \"mta\": %.6f, \"dac\": "
+                         "%.6f}%s\n",
+                         bench::jsonEscape(r.bench).c_str(),
+                         r.baseOk ? "true" : "false",
+                         cell(Technique::Cae), cell(Technique::Mta),
+                         cell(Technique::Dac),
+                         i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "      ],\n      \"geomean\": {\"cae\": %.6f, "
+                     "\"mta\": %.6f, \"dac\": %.6f}\n    }%s\n",
+                     bench::geomean(collect(rows, Technique::Cae)),
+                     bench::geomean(collect(rows, Technique::Mta)),
+                     bench::geomean(collect(rows, Technique::Dac)),
+                     trail);
+    };
+    std::vector<Row> all = mem;
+    all.insert(all.end(), comp.begin(), comp.end());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"fig16\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"scale\": %.3f,\n", scale);
+    std::fprintf(f, "  \"panels\": {\n");
+    emitPanel("memory_intensive", mem, ",");
+    emitPanel("compute_intensive", comp, "");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"global_geomean\": {\"cae\": %.6f, \"mta\": %.6f, "
+                 "\"dac\": %.6f}\n",
+                 bench::geomean(collect(all, Technique::Cae)),
+                 bench::geomean(collect(all, Technique::Mta)),
+                 bench::geomean(collect(all, Technique::Dac)));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
 }
 
 int
-run()
+run(bool quick)
 {
     bench::printHeader(
         "Figure 16: Speedup of CAE, MTA, and DAC over the baseline");
 
     std::vector<std::string> memNames = bench::benchNames(true);
     std::vector<std::string> compNames = bench::benchNames(false);
+    double scale = quick ? 0.25 : bench::figureScale;
+    if (quick) {
+        // First two of each category, in Table 2 order: deterministic
+        // and cheap, for the scripts/check.sh kill/restart smoke.
+        memNames.resize(std::min<std::size_t>(2, memNames.size()));
+        compNames.resize(std::min<std::size_t>(2, compNames.size()));
+    }
     std::vector<std::string> all = memNames;
     all.insert(all.end(), compNames.begin(), compNames.end());
 
@@ -101,30 +180,39 @@ run()
             bench::SweepJob j;
             j.bench = n;
             j.opt.tech = t;
-            j.opt.scale = bench::figureScale;
+            j.opt.scale = scale;
             j.opt.faults = bench::faultPlanFor(n);
             jobs.push_back(std::move(j));
         }
     }
-    std::vector<RunOutcome> outs = bench::runSweep(jobs);
+    std::vector<RunOutcome> outs = bench::runSweep(jobs, "fig16");
 
-    std::vector<double> global[3];
-    panel("(a) Memory Intensive Benchmarks", memNames, outs, 0, global);
-    panel("(b) Compute Intensive Benchmarks", compNames, outs,
-          memNames.size() * techCount, global);
+    std::vector<Row> mem =
+        panel("(a) Memory Intensive Benchmarks", memNames, outs, 0);
+    std::vector<Row> comp =
+        panel("(b) Compute Intensive Benchmarks", compNames, outs,
+              memNames.size() * techCount);
+    std::vector<Row> allRows = mem;
+    allRows.insert(allRows.end(), comp.begin(), comp.end());
     std::printf("\nGLOBAL geometric means: CAE %.3fx  MTA %.3fx  "
                 "DAC %.3fx\n",
-                bench::geomean(global[0]), bench::geomean(global[1]),
-                bench::geomean(global[2]));
+                bench::geomean(collect(allRows, Technique::Cae)),
+                bench::geomean(collect(allRows, Technique::Mta)),
+                bench::geomean(collect(allRows, Technique::Dac)));
     std::printf("(paper: DAC 1.407x overall; compute DAC 1.34x / CAE "
                 "1.11x; memory DAC 1.44x / MTA 1.16x)\n");
+    writeJson("BENCH_fig16.json", quick, scale, mem, comp);
     return 0;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    return bench::guardedMain("fig16_speedup", run);
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    return bench::guardedMain("fig16_speedup", [&] { return run(quick); });
 }

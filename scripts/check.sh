@@ -11,10 +11,25 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== debug checkpoint round-trip smoke =="
+# Snapshot at mid-run, kill, restore, and require bit-identical final
+# stats and hash chain (DESIGN.md §9) — one memory-bound and one
+# compute-bound workload, with and without DAC.
+cmake -B build-dbg -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-dbg -j --target dacsim_bisect
+(cd build-dbg && rm -rf bisect-ck \
+    && bench/dacsim-bisect --roundtrip SP dac \
+    && bench/dacsim-bisect --roundtrip BS baseline)
+
 echo "== asan+ubsan build =="
 cmake -B build-san -S . -DDACSIM_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j
 (cd build-san && ctest --output-on-failure -j)
+
+echo "== sanitized checkpoint round-trip smoke =="
+(cd build-san && rm -rf bisect-ck \
+    && bench/dacsim-bisect --roundtrip SP dac \
+    && bench/dacsim-bisect --roundtrip BS baseline)
 
 echo "== release throughput smoke =="
 # Host sim-speed tracking (DESIGN.md §8): the quick benchmark must run
@@ -25,5 +40,26 @@ cmake --build build-rel -j --target host_throughput
 test -s build-rel/BENCH_host_throughput.json
 grep -q '"kcycles_per_sec"' build-rel/BENCH_host_throughput.json
 grep -q '"winsts_per_sec"' build-rel/BENCH_host_throughput.json
+
+echo "== resumable sweep smoke =="
+# A sweep killed mid-run (DACSIM_SWEEP_ABORT_AFTER simulates kill -9
+# after n fresh points) must restart from its journal and reproduce
+# BENCH_fig16.json byte-identically (DESIGN.md §9).
+cmake --build build-rel -j --target fig16_speedup
+(
+    cd build-rel
+    rm -rf sweep-ck BENCH_fig16.json && mkdir sweep-ck
+    DACSIM_CHECKPOINT_DIR=sweep-ck bench/fig16_speedup --quick >/dev/null
+    cp BENCH_fig16.json BENCH_fig16.ref.json
+    rm -rf sweep-ck BENCH_fig16.json && mkdir sweep-ck
+    tries=0
+    until DACSIM_CHECKPOINT_DIR=sweep-ck DACSIM_SWEEP_ABORT_AFTER=3 \
+        bench/fig16_speedup --quick >/dev/null; do
+        tries=$((tries + 1))
+        test "$tries" -le 20 || { echo "sweep never completed"; exit 1; }
+    done
+    echo "sweep finished after $tries kills"
+    cmp BENCH_fig16.ref.json BENCH_fig16.json
+)
 
 echo "All checks passed."

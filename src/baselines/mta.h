@@ -26,6 +26,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 class MtaPrefetcher
 {
   public:
@@ -69,6 +71,8 @@ class MtaPrefetcher
 
     void train(StrideEntry &e, Addr line, Cycle now);
     void throttle();
+
+    friend class StateIo;
 };
 
 } // namespace dacsim

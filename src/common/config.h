@@ -98,6 +98,17 @@ struct GpuConfig
      * Automatically disabled while a fault plan is installed.
      */
     bool fastForward = true;
+
+    /**
+     * Divergence-localization test knob (0: off): XOR a constant into
+     * the state digest of the one 4096-cycle interval containing this
+     * cycle. The perturbation corrupts only the hash chain — never the
+     * simulation — giving `dacsim-bisect` and the checkpoint tests a
+     * run whose first divergent interval is known exactly. Not part of
+     * the snapshot config fingerprint, so a perturbed run may resume a
+     * clean run's snapshot.
+     */
+    Cycle hashPerturbCycle = 0;
 };
 
 /** DAC hardware provisioning (paper Table 1 / Section 4.8). */

@@ -1,0 +1,242 @@
+#include "common/snapshot.h"
+
+#include <array>
+#include <cstring>
+
+namespace dacsim
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+// ----- SnapshotWriter -----------------------------------------------------
+
+void
+SnapshotWriter::begin(const std::string &name)
+{
+    ensure(!open_, "snapshot section '", curName_, "' still open");
+    curName_ = name;
+    buf_.clear();
+    open_ = true;
+}
+
+void
+SnapshotWriter::end()
+{
+    ensure(open_, "snapshot end() without begin()");
+    sections_.push_back({curName_, buf_});
+    buf_.clear();
+    open_ = false;
+}
+
+void
+SnapshotWriter::putU32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+SnapshotWriter::putU64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+SnapshotWriter::putString(const std::string &s)
+{
+    putU32(static_cast<std::uint32_t>(s.size()));
+    putBytes(s.data(), s.size());
+}
+
+void
+SnapshotWriter::putBytes(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + len);
+}
+
+void
+SnapshotWriter::finish(std::ostream &os)
+{
+    ensure(!open_, "snapshot finish() with section '", curName_, "' open");
+    auto writeU32 = [&](std::uint32_t v) {
+        char b[4];
+        for (int i = 0; i < 4; ++i)
+            b[i] = static_cast<char>(v >> (8 * i));
+        os.write(b, 4);
+    };
+    auto writeU64 = [&](std::uint64_t v) {
+        char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<char>(v >> (8 * i));
+        os.write(b, 8);
+    };
+    os.write(magic, 8);
+    writeU32(static_cast<std::uint32_t>(sections_.size()));
+    for (const Section &s : sections_) {
+        writeU32(static_cast<std::uint32_t>(s.name.size()));
+        os.write(s.name.data(),
+                 static_cast<std::streamsize>(s.name.size()));
+        writeU64(s.payload.size());
+        writeU32(crc32(s.payload.data(), s.payload.size()));
+        os.write(reinterpret_cast<const char *>(s.payload.data()),
+                 static_cast<std::streamsize>(s.payload.size()));
+    }
+    require(os.good(), "snapshot write failed (stream error)");
+}
+
+// ----- SnapshotReader -----------------------------------------------------
+
+SnapshotReader::SnapshotReader(std::istream &is)
+{
+    auto readExact = [&](void *dst, std::size_t n) {
+        is.read(static_cast<char *>(dst), static_cast<std::streamsize>(n));
+        require(static_cast<std::size_t>(is.gcount()) == n,
+                "snapshot truncated");
+    };
+    auto readU32 = [&]() {
+        std::uint8_t b[4];
+        readExact(b, 4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+        return v;
+    };
+    auto readU64 = [&]() {
+        std::uint8_t b[8];
+        readExact(b, 8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return v;
+    };
+
+    char m[8];
+    readExact(m, 8);
+    require(std::memcmp(m, SnapshotWriter::magic, 8) == 0,
+            "not a dacsim snapshot (bad magic)");
+    std::uint32_t count = readU32();
+    require(count < 100000, "snapshot section count implausible: ", count);
+    sections_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Section s;
+        std::uint32_t nameLen = readU32();
+        require(nameLen < 256, "snapshot section name too long");
+        s.name.resize(nameLen);
+        readExact(s.name.data(), nameLen);
+        std::uint64_t payloadLen = readU64();
+        std::uint32_t crc = readU32();
+        s.payload.resize(payloadLen);
+        readExact(s.payload.data(), payloadLen);
+        require(crc32(s.payload.data(), s.payload.size()) == crc,
+                "snapshot section '", s.name, "' failed its CRC check");
+        sections_.push_back(std::move(s));
+    }
+}
+
+void
+SnapshotReader::section(const std::string &name)
+{
+    ensure(cur_ == nullptr, "snapshot section still open");
+    require(next_ < sections_.size(), "snapshot missing section '", name,
+            "'");
+    require(sections_[next_].name == name, "snapshot section order: "
+            "expected '", name, "', found '", sections_[next_].name, "'");
+    cur_ = &sections_[next_++];
+    pos_ = 0;
+}
+
+void
+SnapshotReader::need(std::size_t n) const
+{
+    ensure(cur_ != nullptr, "snapshot read outside a section");
+    require(pos_ + n <= cur_->payload.size(), "snapshot section '",
+            cur_->name, "' underruns (corrupt or version-skewed)");
+}
+
+std::uint8_t
+SnapshotReader::getU8()
+{
+    need(1);
+    return cur_->payload[pos_++];
+}
+
+std::uint32_t
+SnapshotReader::getU32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(cur_->payload[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+SnapshotReader::getU64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(cur_->payload[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+std::string
+SnapshotReader::getString()
+{
+    std::uint32_t len = getU32();
+    need(len);
+    std::string s(reinterpret_cast<const char *>(&cur_->payload[pos_]),
+                  len);
+    pos_ += len;
+    return s;
+}
+
+void
+SnapshotReader::getBytes(void *data, std::size_t len)
+{
+    need(len);
+    std::memcpy(data, &cur_->payload[pos_], len);
+    pos_ += len;
+}
+
+void
+SnapshotReader::endSection()
+{
+    ensure(cur_ != nullptr, "endSection() outside a section");
+    require(pos_ == cur_->payload.size(), "snapshot section '", cur_->name,
+            "' has ", cur_->payload.size() - pos_, " trailing bytes");
+    cur_ = nullptr;
+}
+
+} // namespace dacsim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Versioned binary snapshot container (DESIGN.md §9).
+ *
+ * A snapshot is a sequence of named sections, each protected by a
+ * CRC32 over its payload. Integers are encoded explicitly
+ * little-endian, so a snapshot written on one host restores on any
+ * other. Sections are written and read strictly in order; a name or
+ * CRC mismatch raises FatalError (a snapshot is user input — it may
+ * be truncated by a kill — never a simulator bug).
+ *
+ * The same file also provides StateHash, the FNV-1a folder behind the
+ * rolling state-hash chain: a cheap digest of architectural state the
+ * run loop folds every audit cadence so two runs can be compared
+ * interval-by-interval instead of only at end of run.
+ */
+
+#ifndef DACSIM_COMMON_SNAPSHOT_H
+#define DACSIM_COMMON_SNAPSHOT_H
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+
+namespace dacsim
+{
+
+/** CRC32 (IEEE polynomial, bit-reflected) of a byte buffer. */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+/** Incremental FNV-1a digest of 64-bit words. */
+class StateHash
+{
+  public:
+    void
+    fold(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xff;
+            h_ *= 1099511628211ull;
+        }
+    }
+
+    void fold(std::int64_t v) { fold(static_cast<std::uint64_t>(v)); }
+    void fold(std::uint32_t v) { fold(static_cast<std::uint64_t>(v)); }
+    void fold(int v) { fold(static_cast<std::uint64_t>(v)); }
+    void fold(bool v) { fold(static_cast<std::uint64_t>(v)); }
+
+    std::uint64_t value() const { return h_; }
+
+    /** Chain @p link onto a running hash (order-sensitive mix). */
+    static std::uint64_t
+    mix(std::uint64_t chain, std::uint64_t link)
+    {
+        StateHash h;
+        h.h_ = chain;
+        h.fold(link);
+        return h.value();
+    }
+
+  private:
+    std::uint64_t h_ = 1469598103934665603ull;
+};
+
+/**
+ * Writes a sectioned snapshot. Sections are buffered and emitted on
+ * finish(), preceded by the 8-byte magic and a section count, so a
+ * crash while writing never leaves a header claiming more data than
+ * exists (the harness additionally writes to a temp file and renames).
+ */
+class SnapshotWriter
+{
+  public:
+    static constexpr char magic[9] = "DACSNP01";
+
+    /** Open a new section; subsequent put*() calls append to it. */
+    void begin(const std::string &name);
+    /** Close the current section (computes its CRC). */
+    void end();
+
+    void putU8(std::uint8_t v) { buf_.push_back(v); }
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putI64(std::int64_t v) { putU64(static_cast<std::uint64_t>(v)); }
+    void putBool(bool v) { putU8(v ? 1 : 0); }
+    void putString(const std::string &s);
+    void putBytes(const void *data, std::size_t len);
+
+    /** Emit magic, section count, and every section to @p os. */
+    void finish(std::ostream &os);
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::vector<Section> sections_;
+    std::string curName_;
+    std::vector<std::uint8_t> buf_;
+    bool open_ = false;
+};
+
+/**
+ * Reads a sectioned snapshot written by SnapshotWriter. The stream is
+ * consumed eagerly in the constructor so truncation is detected up
+ * front; section() then hands out payloads strictly in written order.
+ */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(std::istream &is);
+
+    /** Enter the next section; fatal if its name is not @p name. */
+    void section(const std::string &name);
+
+    std::uint8_t getU8();
+    std::uint32_t getU32();
+    std::uint64_t getU64();
+    std::int64_t getI64() { return static_cast<std::int64_t>(getU64()); }
+    bool getBool() { return getU8() != 0; }
+    std::string getString();
+    void getBytes(void *data, std::size_t len);
+
+    /** Fatal unless the current section was consumed exactly. */
+    void endSection();
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::vector<Section> sections_;
+    std::size_t next_ = 0;      ///< next section index
+    const Section *cur_ = nullptr;
+    std::size_t pos_ = 0;       ///< read offset within cur_
+
+    void need(std::size_t n) const;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_COMMON_SNAPSHOT_H

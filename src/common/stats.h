@@ -76,6 +76,11 @@ struct RunStats
     /** Times an injected fault altered a microarchitectural decision
      * (MSHRs withheld, DRAM latency inflated, locks refused, ...). */
     std::uint64_t faultsInjected = 0;
+    /** Rolling state-hash chain head: a digest of architectural state
+     * folded in every audit cadence (4096 cycles) and at each launch
+     * end. Two runs that agree here executed identically interval by
+     * interval, not just in their final counters (DESIGN.md §9). */
+    std::uint64_t stateHash = 0;
 
     /** Total dynamic warp instructions across both streams. */
     std::uint64_t totalWarpInsts() const
@@ -121,8 +126,63 @@ struct RunStats
         deqStallCycles += o.deqStallCycles;
         dacBatches += o.dacBatches;
         faultsInjected += o.faultsInjected;
+        // Hash chains don't sum; combining runs re-chains the heads.
+        stateHash = stateHash * 1099511628211ull ^ o.stateHash;
     }
 };
+
+/** One link of the state-hash chain: the chain head after the fold at
+ * @ref cycle. Runs are compared link by link; the first differing link
+ * names the 4096-cycle interval where they diverged. */
+struct HashLink
+{
+    Cycle cycle = 0;
+    std::uint64_t hash = 0;
+
+    bool operator==(const HashLink &) const = default;
+};
+
+/**
+ * Visit every RunStats counter as (name, field) pairs, in declaration
+ * order. The single authoritative field list behind snapshot
+ * serialization, sweep-journal encoding, golden-stats fixtures, and
+ * the state digest — adding a counter here keeps all four in sync.
+ */
+template <typename Stats, typename Fn>
+void
+visitStats(Stats &s, Fn &&fn)
+{
+    fn("cycles", s.cycles);
+    fn("warpInsts", s.warpInsts);
+    fn("affineWarpInsts", s.affineWarpInsts);
+    fn("caeAffineInsts", s.caeAffineInsts);
+    fn("affineCoveredInsts", s.affineCoveredInsts);
+    fn("laneOps", s.laneOps);
+    fn("regFileAccesses", s.regFileAccesses);
+    fn("loadRequests", s.loadRequests);
+    fn("affineLoadRequests", s.affineLoadRequests);
+    fn("storeRequests", s.storeRequests);
+    fn("sharedAccesses", s.sharedAccesses);
+    fn("l1Hits", s.l1Hits);
+    fn("l1Misses", s.l1Misses);
+    fn("l2Hits", s.l2Hits);
+    fn("l2Misses", s.l2Misses);
+    fn("dramAccesses", s.dramAccesses);
+    fn("prefetchesIssued", s.prefetchesIssued);
+    fn("prefetchHits", s.prefetchHits);
+    fn("prefetchUnused", s.prefetchUnused);
+    fn("prefetchCovered", s.prefetchCovered);
+    fn("atqAccesses", s.atqAccesses);
+    fn("pwaqAccesses", s.pwaqAccesses);
+    fn("pwpqAccesses", s.pwpqAccesses);
+    fn("affineStackAccesses", s.affineStackAccesses);
+    fn("expansionAluOps", s.expansionAluOps);
+    fn("enqStallCycles", s.enqStallCycles);
+    fn("deqStallCycles", s.deqStallCycles);
+    fn("dacBatches", s.dacBatches);
+    fn("faultsInjected", s.faultsInjected);
+    fn("stateHash", s.stateHash);
+}
 
 } // namespace dacsim
 

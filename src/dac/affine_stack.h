@@ -22,6 +22,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 class AffineStack
 {
   public:
@@ -98,6 +100,8 @@ class AffineStack
     const AccessCounts &accesses() const { return accesses_; }
 
   private:
+    friend class StateIo;
+
     std::vector<Entry> entries_;
     AccessCounts accesses_;
     int maxDepth_ = 1;

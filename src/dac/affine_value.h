@@ -28,6 +28,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 /** One thread mask per warp of the batch. */
 using MaskSet = std::vector<ThreadMask>;
 
@@ -164,6 +166,8 @@ class AffineValue
                                              const MaskSet &full);
 
   private:
+    friend class StateIo;
+
     std::vector<AffineVariant> variants_;
 
     /** Convert a uniform value into explicit-mask form. */

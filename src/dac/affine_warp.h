@@ -28,6 +28,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 class AffineWarp
 {
   public:
@@ -103,6 +105,8 @@ class AffineWarp
                   Cycle now);
     void execBranch(const Instruction &inst, const MaskSet &active);
     void execEnq(const Instruction &inst, const MaskSet &active);
+
+    friend class StateIo;
 };
 
 } // namespace dacsim

@@ -29,6 +29,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 class DacEngine
 {
   public:
@@ -210,6 +212,8 @@ class DacEngine
 
     /** Build the address record for warp @p w from an entry. */
     AddrRecord expandAddrs(const AtqEntry &entry, int w) const;
+
+    friend class StateIo;
 };
 
 } // namespace dacsim

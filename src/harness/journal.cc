@@ -1,0 +1,227 @@
+#include "harness/journal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/snapshot.h"
+
+namespace dacsim
+{
+
+namespace
+{
+
+/** Percent-encode so a field never contains space, %, or newlines. */
+std::string
+pct(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (c == ' ' || c == '%' || c == '\n' || c == '\r' || c < 0x20) {
+            char buf[4];
+            std::snprintf(buf, sizeof buf, "%%%02x", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+std::string
+unpct(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '%' && i + 2 < s.size()) {
+            out += static_cast<char>(
+                std::stoi(s.substr(i + 1, 2), nullptr, 16));
+            i += 2;
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+encodeOutcome(const RunOutcome &out)
+{
+    std::ostringstream os;
+    os << "o1";
+    visitStats(out.stats, [&](const char *name, const std::uint64_t &v) {
+        os << ' ' << name << '=' << v;
+    });
+    os << " cksums=";
+    for (std::size_t i = 0; i < out.checksums.size(); ++i)
+        os << (i ? "," : "") << out.checksums[i];
+    os << " dec=" << (out.anyDecoupled ? 1 : 0)
+       << " dl=" << out.numDecoupledLoads
+       << " ds=" << out.numDecoupledStores
+       << " dp=" << out.numDecoupledPreds
+       << " err=" << static_cast<int>(out.error.kind)
+       << " ecyc=" << out.error.cycle
+       << " ewhat=" << pct(out.error.what)
+       << " fb=" << (out.fellBack ? 1 : 0)
+       << " lhash=" << out.lastStateHash
+       << " ckid=" << pct(out.checkpointId)
+       << " fseed=" << out.faultSeed
+       << " res=" << (out.resumed ? 1 : 0);
+    return os.str();
+}
+
+bool
+decodeOutcome(const std::string &payload, RunOutcome *out)
+{
+    std::istringstream is(payload);
+    std::string tag;
+    if (!(is >> tag) || tag != "o1")
+        return false;
+    RunOutcome o;
+    // Stats fields must appear in visitStats order: collect pointers
+    // first, then match the stream's key=value tokens against them.
+    std::vector<std::pair<std::string, std::uint64_t *>> statFields;
+    visitStats(o.stats, [&](const char *name, std::uint64_t &v) {
+        statFields.emplace_back(name, &v);
+    });
+    std::size_t nextStat = 0;
+    std::string tok;
+    while (is >> tok) {
+        std::size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            return false;
+        std::string key = tok.substr(0, eq);
+        std::string val = tok.substr(eq + 1);
+        try {
+            if (nextStat < statFields.size() &&
+                key == statFields[nextStat].first) {
+                *statFields[nextStat].second = std::stoull(val);
+                ++nextStat;
+            } else if (key == "cksums") {
+                std::size_t pos = 0;
+                while (pos < val.size()) {
+                    std::size_t sep = val.find(',', pos);
+                    if (sep == std::string::npos)
+                        sep = val.size();
+                    o.checksums.push_back(
+                        std::stoull(val.substr(pos, sep - pos)));
+                    pos = sep + 1;
+                }
+            } else if (key == "dec") {
+                o.anyDecoupled = val == "1";
+            } else if (key == "dl") {
+                o.numDecoupledLoads = std::stoi(val);
+            } else if (key == "ds") {
+                o.numDecoupledStores = std::stoi(val);
+            } else if (key == "dp") {
+                o.numDecoupledPreds = std::stoi(val);
+            } else if (key == "err") {
+                o.error.kind = static_cast<RunErrorKind>(std::stoi(val));
+            } else if (key == "ecyc") {
+                o.error.cycle = std::stoull(val);
+            } else if (key == "ewhat") {
+                o.error.what = unpct(val);
+            } else if (key == "fb") {
+                o.fellBack = val == "1";
+            } else if (key == "lhash") {
+                o.lastStateHash = std::stoull(val);
+            } else if (key == "ckid") {
+                o.checkpointId = unpct(val);
+            } else if (key == "fseed") {
+                o.faultSeed = std::stoull(val);
+            } else if (key == "res") {
+                o.resumed = val == "1";
+            } else {
+                return false; // unknown key: different format version
+            }
+        } catch (const std::exception &) {
+            return false; // non-numeric value where one was required
+        }
+    }
+    if (nextStat != statFields.size())
+        return false; // stats incomplete: torn or older-layout line
+    *out = std::move(o);
+    return true;
+}
+
+SweepJournal::SweepJournal(const std::string &path) : path_(path)
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (in.good()) {
+        // Remember whether the file ends mid-line (torn final write),
+        // so the next record() starts on a fresh line instead of
+        // gluing itself onto the torn tail.
+        in.seekg(0, std::ios::end);
+        if (in.tellg() > 0) {
+            in.seekg(-1, std::ios::end);
+            char last = 0;
+            in.get(last);
+            unterminated_ = last != '\n';
+        }
+        in.clear();
+        in.seekg(0);
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        // Line layout: "J1 <crc32-hex> <key> <payload...>".
+        std::istringstream is(line);
+        std::string tag, crcHex, key;
+        if (!(is >> tag >> crcHex >> key) || tag != "J1")
+            continue;
+        std::size_t body = line.find(key);
+        if (body == std::string::npos)
+            continue;
+        std::uint32_t want = 0;
+        try {
+            want = static_cast<std::uint32_t>(
+                std::stoul(crcHex, nullptr, 16));
+        } catch (const std::exception &) {
+            continue;
+        }
+        std::string rest = line.substr(body);
+        if (crc32(rest.data(), rest.size()) != want)
+            continue; // torn or corrupt line: ignore
+        std::string payload = rest.substr(
+            rest.size() > key.size() ? key.size() + 1 : key.size());
+        RunOutcome out;
+        if (decodeOutcome(payload, &out))
+            done_[unpct(key)] = std::move(out);
+    }
+}
+
+bool
+SweepJournal::lookup(const std::string &key, RunOutcome *out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = done_.find(key);
+    if (it == done_.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+void
+SweepJournal::record(const std::string &key, const RunOutcome &out)
+{
+    std::string rest = pct(key) + " " + encodeOutcome(out);
+    char crcHex[16];
+    std::snprintf(crcHex, sizeof crcHex, "%08x",
+                  crc32(rest.data(), rest.size()));
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ofstream os(path_, std::ios::app);
+    if (unterminated_) {
+        os << '\n'; // terminate a torn tail left by a killed writer
+        unterminated_ = false;
+    }
+    os << "J1 " << crcHex << ' ' << rest << '\n';
+    os.flush();
+    done_[key] = out;
+}
+
+} // namespace dacsim

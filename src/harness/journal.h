@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Resumable-sweep journal (DESIGN.md §9).
+ *
+ * A sweep journal records one CRC-protected text line per completed
+ * sweep point, keyed by the job's identity, so a killed sweep restarts
+ * from the journal: already-recorded points are served from disk
+ * (byte-identical to the original outcome — the encoding is exact for
+ * every field reporting consumes) and only the missing points re-run.
+ *
+ * The format is append-only and self-verifying: a line whose CRC does
+ * not match (e.g. a torn final line from a kill mid-write) is ignored,
+ * as is anything else unparsable; later records for the same key win.
+ */
+
+#ifndef DACSIM_HARNESS_JOURNAL_H
+#define DACSIM_HARNESS_JOURNAL_H
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "harness/runner.h"
+
+namespace dacsim
+{
+
+/** Encode a run outcome as a single journal payload line (no \n). The
+ * hash chain itself is not journalled — only its head survives (in
+ * lastStateHash); sweeps compare chains via golden fixtures instead. */
+std::string encodeOutcome(const RunOutcome &out);
+
+/** Inverse of encodeOutcome(); false when @p payload is malformed. */
+bool decodeOutcome(const std::string &payload, RunOutcome *out);
+
+class SweepJournal
+{
+  public:
+    /** Open (and load) the journal at @p path, creating it if absent. */
+    explicit SweepJournal(const std::string &path);
+
+    /** Completed outcome for @p key, if one was journalled. */
+    bool lookup(const std::string &key, RunOutcome *out) const;
+
+    /** Journal @p out as the completed result for @p key (thread-safe;
+     * flushed per record so a kill loses at most the torn last line). */
+    void record(const std::string &key, const RunOutcome &out);
+
+    /** Number of completed points loaded or recorded. */
+    std::size_t size() const { return done_.size(); }
+
+  private:
+    std::string path_;
+    bool unterminated_ = false;
+    mutable std::mutex mu_;
+    std::map<std::string, RunOutcome> done_;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_HARNESS_JOURNAL_H

@@ -1,5 +1,9 @@
 #include "harness/runner.h"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "common/log.h"
 #include "compiler/cfg.h"
 #include "sim/audit.h"
@@ -18,6 +22,7 @@ runErrorKindName(RunErrorKind k)
       case RunErrorKind::Audit: return "audit";
       case RunErrorKind::Deadlock: return "deadlock";
       case RunErrorKind::FaultInjected: return "fault-injected";
+      case RunErrorKind::Halted: return "halted";
     }
     return "?";
 }
@@ -25,9 +30,35 @@ runErrorKindName(RunErrorKind k)
 namespace
 {
 
+/** Diagnostics runOnce() keeps updated as it goes, so they survive an
+ * exception and reach the per-run error report (bench_util). */
+struct RunDiag
+{
+    std::string checkpointId;
+    std::uint64_t lastHash = 0;
+    bool resumed = false;
+};
+
+/** Write a snapshot atomically: temp file + rename, so a kill mid-write
+ * never leaves a corrupt file under the final snapshot name. */
+void
+writeSnapshot(const Gpu &gpu, const std::string &path)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        require(os.good(), "cannot open snapshot file ", tmp);
+        gpu.saveSnapshot(os);
+        require(os.good(), "snapshot write to ", tmp, " failed");
+    }
+    require(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "cannot rename snapshot into place: ", path);
+}
+
 /** One uninstrumented run on the machine variant @p tech. */
 RunOutcome
-runOnce(const Workload &wl, const RunOptions &opt, Technique tech)
+runOnce(const Workload &wl, const RunOptions &opt, Technique tech,
+        RunDiag *diag)
 {
     GpuMemory gmem;
     PreparedWorkload prep = wl.prepare(gmem, opt.scale);
@@ -44,27 +75,84 @@ runOnce(const Workload &wl, const RunOptions &opt, Technique tech)
     if (!opt.faults.empty())
         gpu.setFaultPlan(&opt.faults);
 
-    LaunchInfo li;
-    li.grid = prep.grid;
-    li.block = prep.block;
-    li.params = &prep.params;
-    if (tech == Technique::Dac) {
-        li.kernel = &dec.nonAffine;
-        li.affineKernel = &dec.affine;
-    } else {
-        li.kernel = &prep.kernel;
-        if (tech == Technique::Baseline)
-            li.coverageMarks = &dec.coveredByDac;
+    const std::uint64_t numLaunches =
+        prep.launchParams.empty()
+            ? static_cast<std::uint64_t>(prep.launches)
+            : prep.launchParams.size();
+    auto makeLi = [&](std::uint64_t i) {
+        require(i < numLaunches, "snapshot refers to launch ", i,
+                " of a run with only ", numLaunches);
+        LaunchInfo li;
+        li.grid = prep.grid;
+        li.block = prep.block;
+        li.params = prep.launchParams.empty() ? &prep.params
+                                              : &prep.launchParams[i];
+        if (tech == Technique::Dac) {
+            li.kernel = &dec.nonAffine;
+            li.affineKernel = &dec.affine;
+        } else {
+            li.kernel = &prep.kernel;
+            if (tech == Technique::Baseline)
+                li.coverageMarks = &dec.coveredByDac;
+        }
+        return li;
+    };
+
+    // ----- checkpoint/resume (DESIGN.md §9) ---------------------------
+    const CheckpointOptions &ck = opt.checkpoint;
+    const std::string snapPath =
+        ck.dir.empty() ? "" : ck.dir + "/" + ck.tag + ".snap";
+    std::uint64_t firstLaunch = 0;
+    bool resumed = false;
+    if (ck.resume && !snapPath.empty()) {
+        std::ifstream in(snapPath, std::ios::binary);
+        if (in.good()) {
+            firstLaunch = gpu.restoreSnapshot(in, makeLi);
+            resumed = true;
+            if (diag) {
+                diag->checkpointId = snapPath;
+                diag->resumed = true;
+            }
+        }
     }
 
-    if (!prep.launchParams.empty()) {
-        for (const auto &params : prep.launchParams) {
-            li.params = &params;
-            gpu.launch(li);
+    if (!snapPath.empty() || (ck.haltAtCycle != 0 && !resumed)) {
+        Cycle every = std::max<Cycle>(ck.everyCycles, 1);
+        Cycle nextSnap =
+            snapPath.empty() ? ~static_cast<Cycle>(0) : every;
+        if (resumed) {
+            // Resume past already-written snapshots: next one is due
+            // at the first period boundary after the restore point.
+            const auto &chain = gpu.hashChain();
+            Cycle at = chain.empty() ? 0 : chain.back().cycle;
+            nextSnap = (at / every + 1) * every;
         }
-    } else {
-        for (int i = 0; i < prep.launches; ++i)
-            gpu.launch(li);
+        const Cycle halt = resumed ? 0 : ck.haltAtCycle;
+        gpu.setBoundaryHook([diag, snapPath, every, nextSnap,
+                             halt](Gpu &g, Cycle now) mutable {
+            if (diag)
+                diag->lastHash = g.stats().stateHash;
+            if (!snapPath.empty() && now >= nextSnap) {
+                writeSnapshot(g, snapPath);
+                nextSnap = (now / every + 1) * every;
+                if (diag)
+                    diag->checkpointId = snapPath;
+            }
+            if (halt != 0 && now >= halt) {
+                std::ostringstream os;
+                os << "run halted at cycle " << now
+                   << " (checkpoint kill knob, haltAtCycle=" << halt
+                   << ")";
+                throw HaltError(now, os.str());
+            }
+        });
+    }
+
+    for (std::uint64_t i = firstLaunch; i < numLaunches; ++i) {
+        LaunchInfo li = makeLi(i);
+        gpu.launch(li);
+        if (diag)
+            diag->lastHash = gpu.stats().stateHash;
     }
 
     RunOutcome out;
@@ -75,6 +163,14 @@ runOnce(const Workload &wl, const RunOptions &opt, Technique tech)
     out.numDecoupledPreds = dec.numDecoupledPreds;
     for (auto [base, bytes] : prep.outputs)
         out.checksums.push_back(gmem.checksum(base, bytes));
+    out.hashChain = gpu.hashChain();
+    out.lastStateHash = out.stats.stateHash;
+    out.faultSeed = opt.faults.empty() ? 0 : opt.faults.seed();
+    out.resumed = resumed;
+    if (diag)
+        out.checkpointId = diag->checkpointId;
+    else if (resumed)
+        out.checkpointId = snapPath;
     return out;
 }
 
@@ -84,7 +180,10 @@ classify(const std::exception &e)
 {
     RunError err;
     err.what = e.what();
-    if (auto *f = dynamic_cast<const InjectedFaultError *>(&e)) {
+    if (auto *h = dynamic_cast<const HaltError *>(&e)) {
+        err.kind = RunErrorKind::Halted;
+        err.cycle = h->cycle();
+    } else if (auto *f = dynamic_cast<const InjectedFaultError *>(&e)) {
         err.kind = RunErrorKind::FaultInjected;
         err.cycle = f->cycle();
     } else if (auto *a = dynamic_cast<const AuditError *>(&e)) {
@@ -101,39 +200,86 @@ classify(const std::exception &e)
     return err;
 }
 
+/** Copy the surviving diagnostics into a failed outcome. */
+void
+annotate(RunOutcome &out, const RunDiag &diag, const RunOptions &opt)
+{
+    out.lastStateHash = diag.lastHash;
+    out.checkpointId = diag.checkpointId;
+    out.resumed = diag.resumed;
+    out.faultSeed = opt.faults.empty() ? 0 : opt.faults.seed();
+}
+
+/** A snapshot file the failed run left behind, if any. */
+bool
+snapshotExists(const CheckpointOptions &ck)
+{
+    if (ck.dir.empty())
+        return false;
+    std::ifstream in(ck.dir + "/" + ck.tag + ".snap", std::ios::binary);
+    return in.good();
+}
+
 } // namespace
 
 RunOutcome
 runWorkload(const Workload &wl, const RunOptions &opt)
 {
+    RunDiag diag;
     if (!opt.trapErrors)
-        return runOnce(wl, opt, opt.tech);
+        return runOnce(wl, opt, opt.tech, &diag);
 
+    RunError err;
     try {
-        return runOnce(wl, opt, opt.tech);
+        return runOnce(wl, opt, opt.tech, &diag);
     } catch (const std::exception &e) {
-        RunError err = classify(e);
-        // Graceful degradation: under an active fault plan, a DAC run
-        // whose affine engine hit an unrecoverable fault re-executes on
-        // the baseline machine (mirroring the paper's "not all kernels
-        // decouple" path). Clean-run panics stay visible as errors —
-        // they are simulator bugs, not environmental stress.
-        if (opt.tech == Technique::Dac && !opt.faults.empty() &&
-            err.kind != RunErrorKind::Fatal) {
-            try {
-                RunOutcome fb = runOnce(wl, opt, Technique::Baseline);
-                fb.error = err;
-                fb.fellBack = true;
-                return fb;
-            } catch (const std::exception &) {
-                // The baseline run failed under the same fault plan;
-                // report the original DAC error below.
-            }
-        }
-        RunOutcome out;
-        out.error = err;
-        return out;
+        err = classify(e);
     }
+
+    // Crash recovery: when the failed run has a snapshot on disk,
+    // retry once from it before giving up. Fatal errors are config/
+    // input problems a retry cannot fix; everything else (a kill, a
+    // panic from environmental stress, an injected fault) may be
+    // transient relative to the last checkpoint.
+    if (err.kind != RunErrorKind::Fatal && !opt.checkpoint.resume &&
+        snapshotExists(opt.checkpoint)) {
+        RunOptions retry = opt;
+        retry.checkpoint.resume = true;
+        RunDiag rdiag;
+        try {
+            return runOnce(wl, retry, opt.tech, &rdiag);
+        } catch (const std::exception &e) {
+            err = classify(e);
+            diag = rdiag;
+        }
+    }
+
+    // Graceful degradation: under an active fault plan, a DAC run
+    // whose affine engine hit an unrecoverable fault re-executes on
+    // the baseline machine (mirroring the paper's "not all kernels
+    // decouple" path). Clean-run panics stay visible as errors —
+    // they are simulator bugs, not environmental stress.
+    if (opt.tech == Technique::Dac && !opt.faults.empty() &&
+        err.kind != RunErrorKind::Fatal &&
+        err.kind != RunErrorKind::Halted) {
+        try {
+            RunOptions fbOpt = opt;
+            fbOpt.checkpoint = CheckpointOptions{}; // fresh machine
+            RunDiag fdiag;
+            RunOutcome fb = runOnce(wl, fbOpt, Technique::Baseline,
+                                    &fdiag);
+            fb.error = err;
+            fb.fellBack = true;
+            return fb;
+        } catch (const std::exception &) {
+            // The baseline run failed under the same fault plan;
+            // report the original DAC error below.
+        }
+    }
+    RunOutcome out;
+    out.error = err;
+    annotate(out, diag, opt);
+    return out;
 }
 
 RunOutcome

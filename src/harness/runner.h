@@ -15,6 +15,7 @@
 #ifndef DACSIM_HARNESS_RUNNER_H
 #define DACSIM_HARNESS_RUNNER_H
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,43 @@
 
 namespace dacsim
 {
+
+/** Where and how often runWorkload() checkpoints (DESIGN.md §9). */
+struct CheckpointOptions
+{
+    /** Directory snapshots are written to; empty disables them. */
+    std::string dir;
+    /** Snapshot file stem: snapshots land at `<dir>/<tag>.snap`
+     * (written to a temp file and renamed, so a kill mid-write never
+     * leaves a corrupt snapshot under the final name). */
+    std::string tag = "run";
+    /** Snapshot period in simulated cycles; effective cadence is the
+     * first 4096-cycle audit boundary at or after each multiple. */
+    Cycle everyCycles = 1u << 16;
+    /** Restore `<dir>/<tag>.snap` before running when it exists. */
+    bool resume = false;
+    /**
+     * Test knob (0: off): abort the run with HaltError at the first
+     * audit boundary at or past this cycle — a deterministic stand-in
+     * for a mid-run kill. Ignored when a snapshot was restored, so an
+     * auto-retried run completes.
+     */
+    Cycle haltAtCycle = 0;
+};
+
+/** Thrown by CheckpointOptions::haltAtCycle (the simulated kill). */
+class HaltError : public std::runtime_error
+{
+  public:
+    HaltError(Cycle cycle, const std::string &msg)
+        : std::runtime_error(msg), cycle_(cycle)
+    {
+    }
+    Cycle cycle() const { return cycle_; }
+
+  private:
+    Cycle cycle_;
+};
 
 struct RunOptions
 {
@@ -43,6 +81,8 @@ struct RunOptions
     /** When false, simulator errors propagate as exceptions instead of
      * being recorded in RunOutcome::error (tests drive this). */
     bool trapErrors = true;
+    /** Checkpoint/resume policy (disabled by default). */
+    CheckpointOptions checkpoint{};
 };
 
 /** How a run failed (None: it completed). */
@@ -54,6 +94,7 @@ enum class RunErrorKind
     Audit,          ///< structured invariant-auditor failure
     Deadlock,       ///< the watchdog fired (liveness lost)
     FaultInjected,  ///< an injected fault was unrecoverable by design
+    Halted,         ///< the haltAtCycle knob fired (simulated kill)
 };
 
 const char *runErrorKindName(RunErrorKind k);
@@ -85,6 +126,20 @@ struct RunOutcome
     /** The DAC run hit an unrecoverable fault and was re-executed on
      * the baseline machine (stats/checksums are the baseline's). */
     bool fellBack = false;
+
+    // ----- checkpoint / hash-chain diagnostics (DESIGN.md §9) -----------
+    /** The full state-hash chain of the run (empty on early failure). */
+    std::vector<HashLink> hashChain;
+    /** Last folded state hash (the chain head; 0 before the first fold).
+     * Valid even when the run failed — it names the last interval the
+     * run completed, for the per-run error report. */
+    std::uint64_t lastStateHash = 0;
+    /** Path of the last snapshot written or restored ("" when none). */
+    std::string checkpointId;
+    /** Seed of the fault plan the run executed under (0: fault-free). */
+    std::uint64_t faultSeed = 0;
+    /** The run restored a snapshot instead of starting from cycle 0. */
+    bool resumed = false;
 
     /** The run produced usable stats/checksums (clean or fallback). */
     bool ok() const { return error.ok() || fellBack; }

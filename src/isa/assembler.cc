@@ -234,10 +234,14 @@ Parser::parseDirective(const std::string &text)
     std::string word;
     is >> word;
     if (word == ".kernel") {
+        if (!kernel_.name.empty())
+            err("duplicate .kernel directive (one kernel per source)");
         is >> kernel_.name;
         if (kernel_.name.empty())
             err(".kernel needs a name");
     } else if (word == ".param") {
+        if (kernel_.name.empty())
+            err(".param before .kernel");
         std::string p;
         while (is >> p) {
             if (kernel_.paramSlot(p) >= 0)
@@ -245,9 +249,10 @@ Parser::parseDirective(const std::string &text)
             kernel_.params.push_back(p);
         }
     } else if (word == ".shared") {
+        if (kernel_.name.empty())
+            err(".shared before .kernel");
         int bytes = -1;
-        is >> bytes;
-        if (bytes < 0)
+        if (!(is >> bytes) || bytes < 0)
             err(".shared needs a byte count");
         kernel_.sharedBytes = bytes;
     } else {
@@ -441,6 +446,13 @@ Parser::parseLine(std::string text)
         if (text.empty())
             return;
     }
+
+    // Every statement must be ';'-terminated: anything after the last
+    // ';' is a truncated or unterminated instruction, not a statement.
+    if (kernel_.name.empty())
+        err("instruction before .kernel");
+    if (text.back() != ';')
+        err("missing ';' after '" + text + "'");
 
     // Split on ';' — multiple statements per line are allowed.
     for (auto &stmt : split(text, ';')) {

@@ -23,6 +23,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 class GpuMemory
 {
   public:
@@ -120,6 +122,8 @@ class GpuMemory
     }
 
   private:
+    friend class StateIo;
+
     std::unordered_map<Addr, std::array<std::uint8_t, pageSize>> pages_;
     Addr brk_ = 0x10000;
 

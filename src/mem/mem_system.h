@@ -31,6 +31,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 /** Who initiated a memory transaction (for statistics & policies). */
 enum class Requester
 {
@@ -244,6 +246,8 @@ class MemorySystem
     std::vector<TagArray> l2_;
     /** Per-partition next-free cycle for line transfers (bandwidth). */
     std::vector<Cycle> dramNextFree_;
+
+    friend class StateIo;
 
     int partitionOf(Addr line_addr) const;
     /** Timing through L2 (+DRAM on miss); returns data-ready cycle. */

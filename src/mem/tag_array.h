@@ -21,6 +21,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 class TagArray
 {
   public:
@@ -164,6 +166,8 @@ class TagArray
     }
 
   private:
+    friend class StateIo;
+
     int ways_;
     int sets_;
     std::vector<Line> lines_;

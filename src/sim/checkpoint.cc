@@ -1,0 +1,1089 @@
+/**
+ * @file
+ * Checkpoint/restore and state digest for the whole GPU model
+ * (DESIGN.md §9).
+ *
+ * StateIo is the one friend class every state-bearing component grants
+ * access to; all serialization logic lives here so the field lists
+ * stay reviewable in one place. Three operations share those lists:
+ *
+ *  - save():    full architectural + microarchitectural state to a
+ *               CRC-sectioned snapshot (common/snapshot.h).
+ *  - restore(): the inverse, into a freshly constructed Gpu with a
+ *               matching configuration fingerprint. Host-side memo
+ *               caches (MSHR live-count memo, AEU retry parking, ATQ
+ *               expansion caches) are deliberately NOT serialized —
+ *               they are reset to their cold state, which is
+ *               results-transparent by construction.
+ *  - digest():  a cheap rolling hash of architectural state folded at
+ *               every 4096-cycle audit boundary. Only fast-forward-
+ *               invariant state participates, so the chain is
+ *               identical with FF on and off.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "common/snapshot.h"
+#include "sim/gpu.h"
+
+namespace dacsim
+{
+
+class StateIo
+{
+  public:
+    static void save(const Gpu &g, std::ostream &os);
+    static std::uint64_t
+    restore(Gpu &g, std::istream &is,
+            const std::function<LaunchInfo(std::uint64_t)> &li_for);
+    static std::uint64_t digest(const Gpu &g);
+
+  private:
+    static constexpr std::uint32_t version = 1;
+
+    static std::uint64_t fingerprint(const Gpu &g);
+
+    // ----- small aggregates ------------------------------------------------
+    static void putMaskSet(SnapshotWriter &w, const MaskSet &m);
+    static MaskSet getMaskSet(SnapshotReader &r);
+    static void putAffineValue(SnapshotWriter &w, const AffineValue &v);
+    static AffineValue getAffineValue(SnapshotReader &r);
+    static void putTagArray(SnapshotWriter &w, const TagArray &t);
+    static void getTagArray(SnapshotReader &r, TagArray &t);
+    static void putMshrTable(SnapshotWriter &w,
+                             const MemorySystem::MshrTable &m);
+    static void getMshrTable(SnapshotReader &r, MemorySystem::MshrTable &m);
+    static void putAddrRecord(SnapshotWriter &w,
+                              const DacEngine::AddrRecord &rec);
+    static DacEngine::AddrRecord getAddrRecord(SnapshotReader &r);
+
+    // ----- subsystems ------------------------------------------------------
+    static void saveMem(SnapshotWriter &w, const MemorySystem &mem);
+    static void restoreMem(SnapshotReader &r, MemorySystem &mem);
+    static void saveGmem(SnapshotWriter &w, const GpuMemory &gm);
+    static void restoreGmem(SnapshotReader &r, GpuMemory &gm);
+    static void saveSm(SnapshotWriter &w, const Sm &sm);
+    static void restoreSm(SnapshotReader &r, Sm &sm);
+    static void saveEngine(SnapshotWriter &w, const DacEngine &e);
+    static void restoreEngine(SnapshotReader &r, DacEngine &e,
+                              const BatchInfo *batch);
+    static void saveAffine(SnapshotWriter &w, const AffineWarp &a);
+    static void restoreAffine(SnapshotReader &r, AffineWarp &a,
+                              const Sm &sm);
+    static void saveMta(SnapshotWriter &w, const MtaPrefetcher &m);
+    static void restoreMta(SnapshotReader &r, MtaPrefetcher &m);
+};
+
+// ---------------------------------------------------------------------------
+// Configuration fingerprint
+// ---------------------------------------------------------------------------
+
+std::uint64_t
+StateIo::fingerprint(const Gpu &g)
+{
+    StateHash h;
+    h.fold(static_cast<int>(g.tech_));
+    const GpuConfig &c = g.gcfg_;
+    h.fold(c.numSms);
+    h.fold(c.maxWarpsPerSm);
+    h.fold(c.lanesPerSm);
+    h.fold(c.maxCtasPerSm);
+    h.fold(c.aluLatency);
+    h.fold(c.sharedLatency);
+    h.fold(c.nocLatency);
+    h.fold(c.sched.schedulersPerSm);
+    h.fold(c.sched.warpIssueCycles);
+    for (const CacheConfig *cc : {&c.l1, &c.l2}) {
+        h.fold(cc->sizeBytes);
+        h.fold(cc->ways);
+        h.fold(cc->mshrs);
+        h.fold(cc->hitLatency);
+    }
+    h.fold(c.dram.latency);
+    h.fold(c.dram.partitions);
+    h.fold(c.dram.cyclesPerLine);
+    h.fold(c.dram.queueDepth);
+    h.fold(c.perfectMemory);
+    h.fold(c.watchdogCycles);
+    // fastForward and hashPerturbCycle are deliberately excluded: both
+    // are results-transparent host knobs, so runs differing only in
+    // them may exchange snapshots (the bisect harness depends on it).
+    const DacConfig &d = g.dcfg_;
+    h.fold(d.atqEntries);
+    h.fold(d.pwaqEntries);
+    h.fold(d.pwpqEntries);
+    h.fold(d.stackDepth);
+    h.fold(d.maxDivergentConditions);
+    h.fold(d.expansionsPerCycle);
+    const CaeConfig &ca = g.ccfg_;
+    h.fold(ca.affineUnits);
+    h.fold(ca.affineIssueCycles);
+    const MtaConfig &m = g.mcfg_;
+    h.fold(m.bufferBytes);
+    h.fold(m.tableEntries);
+    h.fold(m.trainThreshold);
+    h.fold(m.maxDegree);
+    h.fold(m.throttleEvictions);
+    h.fold(m.throttleWindow);
+    return h.value();
+}
+
+// ---------------------------------------------------------------------------
+// Small aggregates
+// ---------------------------------------------------------------------------
+
+void
+StateIo::putMaskSet(SnapshotWriter &w, const MaskSet &m)
+{
+    w.putU32(static_cast<std::uint32_t>(m.size()));
+    for (ThreadMask t : m)
+        w.putU32(t);
+}
+
+MaskSet
+StateIo::getMaskSet(SnapshotReader &r)
+{
+    MaskSet m(r.getU32());
+    for (ThreadMask &t : m)
+        t = r.getU32();
+    return m;
+}
+
+void
+StateIo::putAffineValue(SnapshotWriter &w, const AffineValue &v)
+{
+    w.putU32(static_cast<std::uint32_t>(v.variants_.size()));
+    for (const AffineVariant &var : v.variants_) {
+        const AffineTuple &t = var.tuple;
+        w.putI64(t.base);
+        for (int d = 0; d < 3; ++d)
+            w.putI64(t.tidOff[static_cast<std::size_t>(d)]);
+        for (int d = 0; d < 3; ++d)
+            w.putI64(t.ctaOff[static_cast<std::size_t>(d)]);
+        w.putBool(t.hasMod);
+        w.putI64(t.modScale);
+        w.putI64(t.modBase);
+        for (int d = 0; d < 3; ++d)
+            w.putI64(t.modTidOff[static_cast<std::size_t>(d)]);
+        for (int d = 0; d < 3; ++d)
+            w.putI64(t.modCtaOff[static_cast<std::size_t>(d)]);
+        w.putI64(t.divisor);
+        w.putBool(var.cond != nullptr);
+        if (var.cond)
+            putMaskSet(w, *var.cond);
+    }
+}
+
+AffineValue
+StateIo::getAffineValue(SnapshotReader &r)
+{
+    AffineValue v;
+    v.variants_.clear();
+    std::uint32_t n = r.getU32();
+    require(n >= 1 && n <= AffineValue::maxVariants,
+            "snapshot: affine value with ", n, " variants");
+    for (std::uint32_t i = 0; i < n; ++i) {
+        AffineVariant var;
+        AffineTuple &t = var.tuple;
+        t.base = r.getI64();
+        for (int d = 0; d < 3; ++d)
+            t.tidOff[static_cast<std::size_t>(d)] = r.getI64();
+        for (int d = 0; d < 3; ++d)
+            t.ctaOff[static_cast<std::size_t>(d)] = r.getI64();
+        t.hasMod = r.getBool();
+        t.modScale = r.getI64();
+        t.modBase = r.getI64();
+        for (int d = 0; d < 3; ++d)
+            t.modTidOff[static_cast<std::size_t>(d)] = r.getI64();
+        for (int d = 0; d < 3; ++d)
+            t.modCtaOff[static_cast<std::size_t>(d)] = r.getI64();
+        t.divisor = r.getI64();
+        if (r.getBool())
+            var.cond = std::make_shared<const MaskSet>(getMaskSet(r));
+        v.variants_.push_back(std::move(var));
+    }
+    return v;
+}
+
+void
+StateIo::putTagArray(SnapshotWriter &w, const TagArray &t)
+{
+    w.putU32(static_cast<std::uint32_t>(t.ways_));
+    w.putU32(static_cast<std::uint32_t>(t.sets_));
+    w.putU64(t.tick_);
+    for (const TagArray::Line &l : t.lines_) {
+        w.putU64(l.addr);
+        w.putBool(l.valid);
+        w.putU64(l.lastUse);
+        w.putI64(l.lockCount);
+        w.putBool(l.prefetched);
+        w.putBool(l.referenced);
+    }
+}
+
+void
+StateIo::getTagArray(SnapshotReader &r, TagArray &t)
+{
+    int ways = static_cast<int>(r.getU32());
+    int sets = static_cast<int>(r.getU32());
+    require(ways == t.ways_ && sets == t.sets_,
+            "snapshot: cache geometry mismatch (", ways, "x", sets,
+            " saved vs ", t.ways_, "x", t.sets_, " configured)");
+    t.tick_ = r.getU64();
+    for (TagArray::Line &l : t.lines_) {
+        l.addr = r.getU64();
+        l.valid = r.getBool();
+        l.lastUse = r.getU64();
+        l.lockCount = static_cast<int>(r.getI64());
+        l.prefetched = r.getBool();
+        l.referenced = r.getBool();
+    }
+}
+
+void
+StateIo::putMshrTable(SnapshotWriter &w, const MemorySystem::MshrTable &m)
+{
+    w.putU32(static_cast<std::uint32_t>(m.slots.size()));
+    for (const auto &s : m.slots) {
+        w.putU64(s.line);
+        w.putU64(s.ready);
+    }
+}
+
+void
+StateIo::getMshrTable(SnapshotReader &r, MemorySystem::MshrTable &m)
+{
+    std::uint32_t n = r.getU32();
+    require(n == m.slots.size(), "snapshot: MSHR count mismatch (", n,
+            " saved vs ", m.slots.size(), " configured)");
+    for (auto &s : m.slots) {
+        s.line = r.getU64();
+        s.ready = r.getU64();
+    }
+    // Host-side live-count memo: cold restart (results-transparent).
+    m.cacheFrom = 1;
+    m.cacheUntil = 0;
+    m.cachedLive = 0;
+}
+
+void
+StateIo::putAddrRecord(SnapshotWriter &w, const DacEngine::AddrRecord &rec)
+{
+    for (Addr a : rec.addrs)
+        w.putU64(a);
+    w.putU32(rec.mask);
+    w.putU8(static_cast<std::uint8_t>(rec.width));
+    w.putBool(rec.isData);
+    w.putBool(rec.earlyFetched);
+    w.putU32(static_cast<std::uint32_t>(rec.lines.size()));
+    for (Addr l : rec.lines)
+        w.putU64(l);
+    w.putU64(rec.ready);
+}
+
+DacEngine::AddrRecord
+StateIo::getAddrRecord(SnapshotReader &r)
+{
+    DacEngine::AddrRecord rec;
+    for (Addr &a : rec.addrs)
+        a = r.getU64();
+    rec.mask = r.getU32();
+    rec.width = static_cast<MemWidth>(r.getU8());
+    rec.isData = r.getBool();
+    rec.earlyFetched = r.getBool();
+    std::uint32_t n = r.getU32();
+    for (std::uint32_t i = 0; i < n; ++i)
+        rec.lines.insert(r.getU64()); // stored sorted: O(1) appends
+    rec.ready = r.getU64();
+    return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Global memory
+// ---------------------------------------------------------------------------
+
+void
+StateIo::saveGmem(SnapshotWriter &w, const GpuMemory &gm)
+{
+    w.putU64(gm.brk_);
+    std::vector<Addr> keys;
+    keys.reserve(gm.pages_.size());
+    for (const auto &[page, bytes] : gm.pages_)
+        keys.push_back(page);
+    std::sort(keys.begin(), keys.end());
+    w.putU64(keys.size());
+    for (Addr k : keys) {
+        w.putU64(k);
+        w.putBytes(gm.pages_.at(k).data(), GpuMemory::pageSize);
+    }
+}
+
+void
+StateIo::restoreGmem(SnapshotReader &r, GpuMemory &gm)
+{
+    gm.brk_ = r.getU64();
+    gm.pages_.clear();
+    std::uint64_t n = r.getU64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr k = r.getU64();
+        r.getBytes(gm.pages_[k].data(), GpuMemory::pageSize);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory system
+// ---------------------------------------------------------------------------
+
+void
+StateIo::saveMem(SnapshotWriter &w, const MemorySystem &mem)
+{
+    w.putU32(static_cast<std::uint32_t>(mem.sms_.size()));
+    for (const auto &s : mem.sms_) {
+        putTagArray(w, s.l1);
+        putMshrTable(w, s.outstanding);
+        w.putBool(s.pfBuffer != nullptr);
+        if (s.pfBuffer) {
+            putTagArray(w, *s.pfBuffer);
+            putMshrTable(w, s.pfOutstanding);
+        }
+        w.putU64(s.unusedEvictions);
+        w.putU64(s.unlockEpoch);
+    }
+    w.putU32(static_cast<std::uint32_t>(mem.l2_.size()));
+    for (const TagArray &t : mem.l2_)
+        putTagArray(w, t);
+    w.putU32(static_cast<std::uint32_t>(mem.dramNextFree_.size()));
+    for (Cycle c : mem.dramNextFree_)
+        w.putU64(c);
+}
+
+void
+StateIo::restoreMem(SnapshotReader &r, MemorySystem &mem)
+{
+    std::uint32_t nsm = r.getU32();
+    require(nsm == mem.sms_.size(), "snapshot: SM count mismatch in "
+            "memory system (", nsm, " vs ", mem.sms_.size(), ")");
+    for (auto &s : mem.sms_) {
+        getTagArray(r, s.l1);
+        getMshrTable(r, s.outstanding);
+        bool pf = r.getBool();
+        require(pf == (s.pfBuffer != nullptr),
+                "snapshot: prefetch-buffer presence mismatch");
+        if (s.pfBuffer) {
+            getTagArray(r, *s.pfBuffer);
+            getMshrTable(r, s.pfOutstanding);
+        }
+        s.unusedEvictions = r.getU64();
+        s.unlockEpoch = r.getU64();
+    }
+    std::uint32_t nl2 = r.getU32();
+    require(nl2 == mem.l2_.size(), "snapshot: L2 slice count mismatch");
+    for (TagArray &t : mem.l2_)
+        getTagArray(r, t);
+    std::uint32_t nd = r.getU32();
+    require(nd == mem.dramNextFree_.size(),
+            "snapshot: DRAM partition count mismatch");
+    for (Cycle &c : mem.dramNextFree_)
+        c = r.getU64();
+}
+
+// ---------------------------------------------------------------------------
+// DAC engine + affine warp
+// ---------------------------------------------------------------------------
+
+void
+StateIo::saveEngine(SnapshotWriter &w, const DacEngine &e)
+{
+    w.putBool(e.batch_ != nullptr);
+    w.putU64(e.lastCycle_);
+    w.putI64(e.pwaqCap_);
+    w.putI64(e.pwpqCap_);
+    w.putU32(static_cast<std::uint32_t>(e.atq_.size()));
+    for (const DacEngine::AtqEntry &en : e.atq_) {
+        w.putU8(static_cast<std::uint8_t>(en.kind));
+        putAffineValue(w, en.value);
+        putMaskSet(w, en.bits);
+        putMaskSet(w, en.active);
+        w.putU8(static_cast<std::uint8_t>(en.width));
+        w.putU32(static_cast<std::uint32_t>(en.epochs.size()));
+        for (int ep : en.epochs)
+            w.putI64(ep);
+        w.putU32(static_cast<std::uint32_t>(en.delivered.size()));
+        for (bool d : en.delivered)
+            w.putBool(d);
+        w.putI64(en.undelivered);
+        w.putI64(en.nextWarp);
+        // expanded/expandedValid: host-side retry caches, rebuilt
+        // lazily from immutable entry state — not serialized.
+    }
+    w.putU32(static_cast<std::uint32_t>(e.pwaq_.size()));
+    for (const auto &q : e.pwaq_) {
+        w.putU32(static_cast<std::uint32_t>(q.size()));
+        for (const DacEngine::AddrRecord &rec : q)
+            putAddrRecord(w, rec);
+    }
+    w.putU32(static_cast<std::uint32_t>(e.pwpq_.size()));
+    for (const auto &q : e.pwpq_) {
+        w.putU32(static_cast<std::uint32_t>(q.size()));
+        for (const DacEngine::PredRecord &rec : q) {
+            w.putU32(rec.bits);
+            w.putU32(rec.mask);
+        }
+    }
+}
+
+void
+StateIo::restoreEngine(SnapshotReader &r, DacEngine &e,
+                       const BatchInfo *batch)
+{
+    bool hadBatch = r.getBool();
+    e.batch_ = hadBatch ? batch : nullptr;
+    e.lastCycle_ = r.getU64();
+    e.pwaqCap_ = static_cast<int>(r.getI64());
+    e.pwpqCap_ = static_cast<int>(r.getI64());
+    e.atq_.clear();
+    std::uint32_t natq = r.getU32();
+    for (std::uint32_t i = 0; i < natq; ++i) {
+        DacEngine::AtqEntry en;
+        en.kind = static_cast<DacEngine::EntryKind>(r.getU8());
+        en.value = getAffineValue(r);
+        en.bits = getMaskSet(r);
+        en.active = getMaskSet(r);
+        en.width = static_cast<MemWidth>(r.getU8());
+        en.epochs.resize(r.getU32());
+        for (int &ep : en.epochs)
+            ep = static_cast<int>(r.getI64());
+        en.delivered.resize(r.getU32());
+        for (std::size_t d = 0; d < en.delivered.size(); ++d)
+            en.delivered[d] = r.getBool();
+        en.undelivered = static_cast<int>(r.getI64());
+        en.nextWarp = static_cast<int>(r.getI64());
+        e.atq_.push_back(std::move(en));
+    }
+    std::uint32_t nw = r.getU32();
+    e.pwaq_.assign(nw, {});
+    for (auto &q : e.pwaq_) {
+        std::uint32_t qs = r.getU32();
+        for (std::uint32_t i = 0; i < qs; ++i)
+            q.push_back(getAddrRecord(r));
+    }
+    std::uint32_t np = r.getU32();
+    require(np == nw, "snapshot: PWAQ/PWPQ warp count mismatch");
+    e.pwpq_.assign(np, {});
+    for (auto &q : e.pwpq_) {
+        std::uint32_t qs = r.getU32();
+        for (std::uint32_t i = 0; i < qs; ++i) {
+            DacEngine::PredRecord rec;
+            rec.bits = r.getU32();
+            rec.mask = r.getU32();
+            q.push_back(rec);
+        }
+    }
+    // Host-side retry parking and scan-idle latches restart cold: a
+    // skipped-vs-attempted delivery differs only in host work, never
+    // in simulated state or stats (see engine.h).
+    e.parkedAddr_.assign(nw, false);
+    e.parkedPred_.assign(nw, false);
+    e.lockWaitEpoch_.assign(nw, ~0ull);
+    e.mshrRetryAt_.assign(nw, 0);
+    e.scanIdle_ = false;
+    e.popCount_ = 0;
+    e.scanPops_ = 0;
+    e.scanEpoch_ = 0;
+    e.scanWake_ = 0;
+}
+
+void
+StateIo::saveAffine(SnapshotWriter &w, const AffineWarp &a)
+{
+    w.putBool(a.code_ != nullptr);
+    w.putU32(static_cast<std::uint32_t>(a.stack_.entries_.size()));
+    for (const AffineStack::Entry &en : a.stack_.entries_) {
+        w.putI64(en.pc);
+        w.putI64(en.rpc);
+        putMaskSet(w, en.mask);
+    }
+    w.putU64(a.stack_.accesses_.wls);
+    w.putU64(a.stack_.accesses_.pws);
+    w.putI64(a.stack_.maxDepth_);
+    putMaskSet(w, a.valid_);
+    w.putU32(static_cast<std::uint32_t>(a.regs_.size()));
+    for (const AffineValue &v : a.regs_)
+        putAffineValue(w, v);
+    for (Cycle c : a.regReady_)
+        w.putU64(c);
+    w.putU32(static_cast<std::uint32_t>(a.preds_.size()));
+    for (const MaskSet &m : a.preds_)
+        putMaskSet(w, m);
+    for (Cycle c : a.predReady_)
+        w.putU64(c);
+    w.putU32(static_cast<std::uint32_t>(a.ctaEpochs_.size()));
+    for (int ep : a.ctaEpochs_)
+        w.putI64(ep);
+    w.putBool(a.finished_);
+}
+
+void
+StateIo::restoreAffine(SnapshotReader &r, AffineWarp &a, const Sm &sm)
+{
+    bool hadCode = r.getBool();
+    a.code_ = hadCode ? sm.launch_.affineKernel : nullptr;
+    a.batch_ = hadCode ? &sm.batch_ : nullptr;
+    a.params_ = hadCode ? sm.launch_.params : nullptr;
+    a.stack_.entries_.resize(r.getU32());
+    for (AffineStack::Entry &en : a.stack_.entries_) {
+        en.pc = static_cast<int>(r.getI64());
+        en.rpc = static_cast<int>(r.getI64());
+        en.mask = getMaskSet(r);
+    }
+    a.stack_.accesses_.wls = r.getU64();
+    a.stack_.accesses_.pws = r.getU64();
+    a.stack_.maxDepth_ = static_cast<int>(r.getI64());
+    a.valid_ = getMaskSet(r);
+    a.regs_.assign(r.getU32(), AffineValue{});
+    for (AffineValue &v : a.regs_)
+        v = getAffineValue(r);
+    a.regReady_.assign(a.regs_.size(), 0);
+    for (Cycle &c : a.regReady_)
+        c = r.getU64();
+    a.preds_.assign(r.getU32(), MaskSet{});
+    for (MaskSet &m : a.preds_)
+        m = getMaskSet(r);
+    a.predReady_.assign(a.preds_.size(), 0);
+    for (Cycle &c : a.predReady_)
+        c = r.getU64();
+    a.ctaEpochs_.resize(r.getU32());
+    for (int &ep : a.ctaEpochs_)
+        ep = static_cast<int>(r.getI64());
+    a.finished_ = r.getBool();
+}
+
+// ---------------------------------------------------------------------------
+// MTA prefetcher
+// ---------------------------------------------------------------------------
+
+void
+StateIo::saveMta(SnapshotWriter &w, const MtaPrefetcher &m)
+{
+    auto putEntry = [&](const MtaPrefetcher::StrideEntry &e) {
+        w.putU64(e.lastLine);
+        w.putI64(e.stride);
+        w.putI64(e.confidence);
+        w.putBool(e.valid);
+    };
+    // unordered_map iteration order is host-dependent: emit sorted.
+    std::vector<std::uint64_t> intra;
+    for (const auto &[k, v] : m.intraWarp_)
+        intra.push_back(k);
+    std::sort(intra.begin(), intra.end());
+    w.putU32(static_cast<std::uint32_t>(intra.size()));
+    for (std::uint64_t k : intra) {
+        w.putU64(k);
+        putEntry(m.intraWarp_.at(k));
+    }
+    std::vector<int> inter;
+    for (const auto &[k, v] : m.interWarp_)
+        inter.push_back(k);
+    std::sort(inter.begin(), inter.end());
+    w.putU32(static_cast<std::uint32_t>(inter.size()));
+    for (int k : inter) {
+        w.putI64(k);
+        putEntry(m.interWarp_.at(k));
+    }
+    std::vector<int> last;
+    for (const auto &[k, v] : m.lastWarp_)
+        last.push_back(k);
+    std::sort(last.begin(), last.end());
+    w.putU32(static_cast<std::uint32_t>(last.size()));
+    for (int k : last) {
+        w.putI64(k);
+        w.putI64(m.lastWarp_.at(k));
+    }
+    w.putI64(m.degree_);
+    w.putI64(m.window_);
+}
+
+void
+StateIo::restoreMta(SnapshotReader &r, MtaPrefetcher &m)
+{
+    auto getEntry = [&]() {
+        MtaPrefetcher::StrideEntry e;
+        e.lastLine = r.getU64();
+        e.stride = r.getI64();
+        e.confidence = static_cast<int>(r.getI64());
+        e.valid = r.getBool();
+        return e;
+    };
+    m.intraWarp_.clear();
+    std::uint32_t ni = r.getU32();
+    for (std::uint32_t i = 0; i < ni; ++i) {
+        std::uint64_t k = r.getU64();
+        m.intraWarp_[k] = getEntry();
+    }
+    m.interWarp_.clear();
+    std::uint32_t nx = r.getU32();
+    for (std::uint32_t i = 0; i < nx; ++i) {
+        int k = static_cast<int>(r.getI64());
+        m.interWarp_[k] = getEntry();
+    }
+    m.lastWarp_.clear();
+    std::uint32_t nl = r.getU32();
+    for (std::uint32_t i = 0; i < nl; ++i) {
+        int k = static_cast<int>(r.getI64());
+        m.lastWarp_[k] = static_cast<int>(r.getI64());
+    }
+    m.degree_ = static_cast<int>(r.getI64());
+    m.window_ = static_cast<int>(r.getI64());
+}
+
+// ---------------------------------------------------------------------------
+// One SM
+// ---------------------------------------------------------------------------
+
+void
+StateIo::saveSm(SnapshotWriter &w, const Sm &sm)
+{
+    w.putBool(sm.affineFaulted_);
+    w.putBool(sm.batchActive_);
+    w.putI64(sm.liveWarps_);
+    w.putU64(sm.progress_);
+    w.putU64(sm.now_);
+    for (Cycle c : sm.schedBusyUntil_)
+        w.putU64(c);
+    for (int n : sm.schedNext_)
+        w.putI64(n);
+
+    w.putI64(sm.batch_.numCtas);
+    w.putU32(static_cast<std::uint32_t>(sm.batch_.warps.size()));
+    for (const WarpSlot &s : sm.batch_.warps) {
+        w.putI64(s.ctaSlot);
+        w.putI64(s.ctaId.x);
+        w.putI64(s.ctaId.y);
+        w.putI64(s.ctaId.z);
+        w.putI64(s.warpInCta);
+        w.putU32(s.valid);
+    }
+
+    w.putU32(static_cast<std::uint32_t>(sm.ctas_.size()));
+    for (const Sm::Cta &c : sm.ctas_) {
+        w.putI64(c.id.x);
+        w.putI64(c.id.y);
+        w.putI64(c.id.z);
+        w.putI64(c.liveWarps);
+        w.putI64(c.barArrived);
+        w.putI64(c.barPassed);
+        w.putBool(c.barEpochCounted);
+        w.putU32(static_cast<std::uint32_t>(c.shared.size()));
+        if (!c.shared.empty())
+            w.putBytes(c.shared.data(), c.shared.size());
+    }
+
+    w.putU32(static_cast<std::uint32_t>(sm.warps_.size()));
+    for (const Sm::Warp &wp : sm.warps_) {
+        w.putI64(wp.ctaSlot);
+        w.putI64(wp.warpInCta);
+        w.putU32(wp.valid);
+        w.putU32(static_cast<std::uint32_t>(wp.stack.entries_.size()));
+        for (const SimtStack::Entry &en : wp.stack.entries_) {
+            w.putI64(en.pc);
+            w.putI64(en.rpc);
+            w.putU32(en.mask);
+        }
+        w.putU32(static_cast<std::uint32_t>(wp.regs.size()));
+        for (RegVal v : wp.regs)
+            w.putI64(v);
+        w.putU32(static_cast<std::uint32_t>(wp.preds.size()));
+        for (ThreadMask p : wp.preds)
+            w.putU32(p);
+        w.putU32(static_cast<std::uint32_t>(wp.regReady.size()));
+        for (Cycle c : wp.regReady)
+            w.putU64(c);
+        w.putU32(static_cast<std::uint32_t>(wp.predReady.size()));
+        for (Cycle c : wp.predReady)
+            w.putU64(c);
+        w.putBool(wp.finished);
+        w.putBool(wp.atBarrier);
+        w.putU32(static_cast<std::uint32_t>(wp.replayLines.size()));
+        for (Addr a : wp.replayLines)
+            w.putU64(a);
+        w.putU64(wp.replayReady);
+        w.putI64(wp.replayDstReg);
+        w.putI64(wp.replayPc);
+    }
+
+    w.putBool(sm.dacEngine_ != nullptr);
+    if (sm.dacEngine_) {
+        saveEngine(w, *sm.dacEngine_);
+        saveAffine(w, *sm.affineWarp_);
+    }
+    w.putBool(sm.mta_ != nullptr);
+    if (sm.mta_)
+        saveMta(w, *sm.mta_);
+}
+
+void
+StateIo::restoreSm(SnapshotReader &r, Sm &sm)
+{
+    sm.affineFaulted_ = r.getBool();
+    sm.batchActive_ = r.getBool();
+    sm.liveWarps_ = static_cast<int>(r.getI64());
+    sm.progress_ = r.getU64();
+    sm.now_ = r.getU64();
+    for (Cycle &c : sm.schedBusyUntil_)
+        c = r.getU64();
+    for (int &n : sm.schedNext_)
+        n = static_cast<int>(r.getI64());
+
+    sm.batch_ = BatchInfo{};
+    sm.batch_.grid = sm.launch_.grid;
+    sm.batch_.block = sm.launch_.block;
+    sm.batch_.numCtas = static_cast<int>(r.getI64());
+    sm.batch_.warps.resize(r.getU32());
+    for (WarpSlot &s : sm.batch_.warps) {
+        s.ctaSlot = static_cast<int>(r.getI64());
+        s.ctaId.x = static_cast<int>(r.getI64());
+        s.ctaId.y = static_cast<int>(r.getI64());
+        s.ctaId.z = static_cast<int>(r.getI64());
+        s.warpInCta = static_cast<int>(r.getI64());
+        s.valid = r.getU32();
+    }
+
+    sm.ctas_.assign(r.getU32(), Sm::Cta{});
+    for (Sm::Cta &c : sm.ctas_) {
+        c.id.x = static_cast<int>(r.getI64());
+        c.id.y = static_cast<int>(r.getI64());
+        c.id.z = static_cast<int>(r.getI64());
+        c.liveWarps = static_cast<int>(r.getI64());
+        c.barArrived = static_cast<int>(r.getI64());
+        c.barPassed = static_cast<int>(r.getI64());
+        c.barEpochCounted = r.getBool();
+        c.shared.assign(r.getU32(), 0);
+        if (!c.shared.empty())
+            r.getBytes(c.shared.data(), c.shared.size());
+    }
+
+    sm.warps_.assign(r.getU32(), Sm::Warp{});
+    for (Sm::Warp &wp : sm.warps_) {
+        wp.ctaSlot = static_cast<int>(r.getI64());
+        wp.warpInCta = static_cast<int>(r.getI64());
+        wp.valid = r.getU32();
+        wp.stack.entries_.resize(r.getU32());
+        for (SimtStack::Entry &en : wp.stack.entries_) {
+            en.pc = static_cast<int>(r.getI64());
+            en.rpc = static_cast<int>(r.getI64());
+            en.mask = r.getU32();
+        }
+        wp.regs.assign(r.getU32(), 0);
+        for (RegVal &v : wp.regs)
+            v = r.getI64();
+        wp.preds.assign(r.getU32(), 0);
+        for (ThreadMask &p : wp.preds)
+            p = r.getU32();
+        wp.regReady.assign(r.getU32(), 0);
+        for (Cycle &c : wp.regReady)
+            c = r.getU64();
+        wp.predReady.assign(r.getU32(), 0);
+        for (Cycle &c : wp.predReady)
+            c = r.getU64();
+        wp.finished = r.getBool();
+        wp.atBarrier = r.getBool();
+        wp.replayLines.assign(r.getU32(), 0);
+        for (Addr &a : wp.replayLines)
+            a = r.getU64();
+        wp.replayReady = r.getU64();
+        wp.replayDstReg = static_cast<int>(r.getI64());
+        wp.replayPc = static_cast<int>(r.getI64());
+    }
+
+    bool hasEngine = r.getBool();
+    require(hasEngine == (sm.dacEngine_ != nullptr),
+            "snapshot: technique mismatch (DAC engine presence)");
+    if (sm.dacEngine_) {
+        restoreEngine(r, *sm.dacEngine_, &sm.batch_);
+        restoreAffine(r, *sm.affineWarp_, sm);
+    }
+    bool hasMta = r.getBool();
+    require(hasMta == (sm.mta_ != nullptr),
+            "snapshot: technique mismatch (MTA presence)");
+    if (sm.mta_)
+        restoreMta(r, *sm.mta_);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-GPU save / restore
+// ---------------------------------------------------------------------------
+
+void
+StateIo::save(const Gpu &g, std::ostream &os)
+{
+    require(!g.sms_.empty(), "snapshot of a GPU with no SMs");
+    const LaunchInfo &li = g.sms_.front()->launch_;
+    require(li.kernel != nullptr,
+            "snapshot before any launch started (nothing to save)");
+
+    SnapshotWriter w;
+
+    w.begin("meta");
+    w.putU32(version);
+    w.putU64(fingerprint(g));
+    w.putString(li.kernel->name);
+    w.putU32(static_cast<std::uint32_t>(li.kernel->numInsts()));
+    w.putBool(li.affineKernel != nullptr);
+    if (li.affineKernel) {
+        w.putString(li.affineKernel->name);
+        w.putU32(static_cast<std::uint32_t>(li.affineKernel->numInsts()));
+    }
+    for (int v : {li.grid.x, li.grid.y, li.grid.z, li.block.x, li.block.y,
+                  li.block.z})
+        w.putI64(v);
+    w.putU64(g.launchesDone_);
+    w.putU64(g.cycle_);
+    w.end();
+
+    w.begin("run");
+    visitStats(g.stats_, [&](const char *, const std::uint64_t &v) {
+        w.putU64(v);
+    });
+    w.putU32(static_cast<std::uint32_t>(g.hashChain_.size()));
+    for (const HashLink &l : g.hashChain_) {
+        w.putU64(l.cycle);
+        w.putU64(l.hash);
+    }
+    w.putU64(g.watchdogProgress_);
+    w.putU64(g.watchdogCycle_);
+    w.putBool(g.dispatcher_.has_value());
+    if (g.dispatcher_) {
+        w.putI64(g.dispatcher_->total_);
+        w.putI64(g.dispatcher_->next_);
+    }
+    w.end();
+
+    w.begin("gmem");
+    saveGmem(w, g.gmem_);
+    w.end();
+
+    w.begin("mem");
+    saveMem(w, *g.mem_);
+    w.end();
+
+    for (std::size_t i = 0; i < g.sms_.size(); ++i) {
+        w.begin("sm" + std::to_string(i));
+        saveSm(w, *g.sms_[i]);
+        w.end();
+    }
+
+    w.finish(os);
+}
+
+std::uint64_t
+StateIo::restore(Gpu &g, std::istream &is,
+                 const std::function<LaunchInfo(std::uint64_t)> &li_for)
+{
+    SnapshotReader r(is);
+
+    r.section("meta");
+    std::uint32_t v = r.getU32();
+    require(v == version, "snapshot: version ", v, " (expected ",
+            version, ")");
+    std::uint64_t fp = r.getU64();
+    require(fp == fingerprint(g),
+            "snapshot: machine configuration fingerprint mismatch");
+    std::string kname = r.getString();
+    std::uint32_t kinsts = r.getU32();
+    bool hasAffine = r.getBool();
+    std::string aname;
+    std::uint32_t ainsts = 0;
+    if (hasAffine) {
+        aname = r.getString();
+        ainsts = r.getU32();
+    }
+    Dim3 grid, block;
+    grid.x = static_cast<int>(r.getI64());
+    grid.y = static_cast<int>(r.getI64());
+    grid.z = static_cast<int>(r.getI64());
+    block.x = static_cast<int>(r.getI64());
+    block.y = static_cast<int>(r.getI64());
+    block.z = static_cast<int>(r.getI64());
+    std::uint64_t launchesDone = r.getU64();
+    Cycle cycle = r.getU64();
+    r.endSection();
+
+    LaunchInfo li = li_for(launchesDone);
+    require(li.kernel != nullptr, "snapshot: resolver produced no kernel "
+            "for launch ", launchesDone);
+    require(li.kernel->name == kname &&
+                static_cast<std::uint32_t>(li.kernel->numInsts()) == kinsts,
+            "snapshot: kernel mismatch ('", kname, "', ", kinsts,
+            " insts saved vs '", li.kernel->name, "', ",
+            li.kernel->numInsts(), ")");
+    require(hasAffine == (li.affineKernel != nullptr),
+            "snapshot: affine stream presence mismatch");
+    if (hasAffine) {
+        require(li.affineKernel->name == aname &&
+                    static_cast<std::uint32_t>(
+                        li.affineKernel->numInsts()) == ainsts,
+                "snapshot: affine kernel mismatch");
+    }
+    require(li.grid == grid && li.block == block,
+            "snapshot: launch geometry mismatch");
+
+    r.section("run");
+    visitStats(g.stats_, [&](const char *, std::uint64_t &sv) {
+        sv = r.getU64();
+    });
+    g.hashChain_.resize(r.getU32());
+    for (HashLink &l : g.hashChain_) {
+        l.cycle = r.getU64();
+        l.hash = r.getU64();
+    }
+    g.watchdogProgress_ = r.getU64();
+    g.watchdogCycle_ = r.getU64();
+    bool hasDispatcher = r.getBool();
+    require(hasDispatcher, "snapshot: no dispatcher state (snapshot was "
+            "not taken during or after a launch)");
+    long long total = r.getI64();
+    long long next = r.getI64();
+    require(total == li.grid.count(), "snapshot: dispatcher total ",
+            total, " does not match grid (", li.grid.count(), " CTAs)");
+    r.endSection();
+
+    g.dispatcher_.emplace(total, g.gcfg_.numSms);
+    g.dispatcher_->next_ = next;
+
+    // beginKernel before restoring raw fields: it installs the
+    // launch/dispatcher pointers and per-launch geometry the restored
+    // state hangs off, and resets everything it touches to a state the
+    // snapshot then overwrites.
+    for (auto &sm : g.sms_)
+        sm->beginKernel(li, &*g.dispatcher_);
+
+    r.section("gmem");
+    restoreGmem(r, g.gmem_);
+    r.endSection();
+
+    r.section("mem");
+    restoreMem(r, *g.mem_);
+    r.endSection();
+
+    for (std::size_t i = 0; i < g.sms_.size(); ++i) {
+        r.section("sm" + std::to_string(i));
+        restoreSm(r, *g.sms_[i]);
+        r.endSection();
+    }
+
+    g.cycle_ = cycle;
+    g.launchesDone_ = launchesDone;
+    g.resumed_ = true;
+    return launchesDone;
+}
+
+// ---------------------------------------------------------------------------
+// Architectural-state digest (the hash-chain link)
+// ---------------------------------------------------------------------------
+
+std::uint64_t
+StateIo::digest(const Gpu &g)
+{
+    // Everything folded here must be invariant under the idle-cycle
+    // fast-forward (jumped cycles are exact no-ops for all of it) and
+    // restored exactly by restore(), so clean, fast-forwarded, and
+    // resumed runs produce identical chains. Sm::now_ is deliberately
+    // absent: an FF jump lands on a boundary without stepping the SMs,
+    // so their last-stepped timestamps differ while all simulated
+    // state agrees.
+    StateHash h;
+    h.fold(g.cycle_);
+    visitStats(g.stats_, [&](const char *, const std::uint64_t &v) {
+        h.fold(v);
+    });
+    if (g.dispatcher_)
+        h.fold(static_cast<std::int64_t>(g.dispatcher_->next_));
+
+    for (const auto &smp : g.sms_) {
+        const Sm &sm = *smp;
+        h.fold(sm.batchActive_);
+        h.fold(sm.liveWarps_);
+        h.fold(sm.progress_);
+        for (Cycle c : sm.schedBusyUntil_)
+            h.fold(c);
+        for (int n : sm.schedNext_)
+            h.fold(n);
+        for (const Sm::Cta &c : sm.ctas_) {
+            h.fold(c.liveWarps);
+            h.fold(c.barArrived);
+            h.fold(c.barPassed);
+            h.fold(c.barEpochCounted);
+        }
+        for (const Sm::Warp &wp : sm.warps_) {
+            h.fold(wp.finished);
+            if (wp.finished)
+                continue;
+            h.fold(static_cast<std::uint64_t>(wp.stack.entries_.size()));
+            for (const SimtStack::Entry &en : wp.stack.entries_) {
+                h.fold(en.pc);
+                h.fold(en.rpc);
+                h.fold(en.mask);
+            }
+            h.fold(wp.atBarrier);
+            h.fold(static_cast<std::uint64_t>(wp.replayLines.size()));
+            h.fold(wp.replayReady);
+            h.fold(wp.replayDstReg);
+        }
+        if (sm.dacEngine_) {
+            const DacEngine &e = *sm.dacEngine_;
+            h.fold(static_cast<std::uint64_t>(e.atq_.size()));
+            for (const DacEngine::AtqEntry &en : e.atq_) {
+                h.fold(en.undelivered);
+                h.fold(en.nextWarp);
+            }
+            for (const auto &q : e.pwaq_)
+                h.fold(static_cast<std::uint64_t>(q.size()));
+            for (const auto &q : e.pwpq_)
+                h.fold(static_cast<std::uint64_t>(q.size()));
+            const AffineWarp &a = *sm.affineWarp_;
+            h.fold(a.finished_);
+            if (!a.finished_ && !a.stack_.entries_.empty())
+                h.fold(a.stack_.entries_.back().pc);
+            h.fold(static_cast<std::uint64_t>(a.stack_.entries_.size()));
+            for (int ep : a.ctaEpochs_)
+                h.fold(ep);
+        }
+    }
+
+    const MemorySystem &mem = *g.mem_;
+    for (const auto &s : mem.sms_) {
+        h.fold(s.outstanding.live(g.cycle_));
+        h.fold(s.unlockEpoch);
+        h.fold(s.unusedEvictions);
+    }
+    for (Cycle c : mem.dramNextFree_)
+        h.fold(c);
+    return h.value();
+}
+
+// ---------------------------------------------------------------------------
+// Gpu forwarding methods
+// ---------------------------------------------------------------------------
+
+void
+Gpu::saveSnapshot(std::ostream &os) const
+{
+    StateIo::save(*this, os);
+}
+
+std::uint64_t
+Gpu::restoreSnapshot(std::istream &is,
+                     const std::function<LaunchInfo(std::uint64_t)>
+                         &launch_info_for)
+{
+    return StateIo::restore(*this, is, launch_info_for);
+}
+
+std::uint64_t
+Gpu::digestState() const
+{
+    return StateIo::digest(*this);
+}
+
+} // namespace dacsim

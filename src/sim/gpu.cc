@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "common/snapshot.h"
 #include "sim/audit.h"
 
 namespace dacsim
@@ -10,7 +11,8 @@ namespace dacsim
 
 Gpu::Gpu(const GpuConfig &gcfg, Technique tech, const DacConfig &dcfg,
          const CaeConfig &ccfg, const MtaConfig &mcfg, GpuMemory &gmem)
-    : gcfg_(gcfg), tech_(tech), dcfg_(dcfg), ccfg_(ccfg), mcfg_(mcfg)
+    : gcfg_(gcfg), tech_(tech), dcfg_(dcfg), ccfg_(ccfg), mcfg_(mcfg),
+      gmem_(gmem)
 {
     mem_ = std::make_unique<MemorySystem>(gcfg_, &stats_);
     if (tech_ == Technique::Mta)
@@ -48,6 +50,22 @@ Gpu::dumpState() const
     return os.str();
 }
 
+void
+Gpu::foldHash()
+{
+    std::uint64_t d = digestState();
+    if (gcfg_.hashPerturbCycle != 0) {
+        // Artificial divergence for bisect testing: corrupt the digest
+        // of exactly the interval containing the perturb cycle.
+        Cycle lo = hashChain_.empty() ? 0 : hashChain_.back().cycle;
+        if (gcfg_.hashPerturbCycle > lo &&
+            gcfg_.hashPerturbCycle <= cycle_)
+            d ^= 0x5ca1ab1edeadbeefull;
+    }
+    stats_.stateHash = StateHash::mix(stats_.stateHash, d);
+    hashChain_.push_back({cycle_, stats_.stateHash});
+}
+
 const RunStats &
 Gpu::launch(const LaunchInfo &launch)
 {
@@ -57,18 +75,23 @@ Gpu::launch(const LaunchInfo &launch)
             "DAC launch without an affine stream");
     require(gcfg_.watchdogCycles > 0, "watchdog window must be positive");
 
-    CtaDispatcher dispatcher(launch.grid.count(), gcfg_.numSms);
-    for (auto &sm : sms_)
-        sm->beginKernel(launch, &dispatcher);
-
-    std::uint64_t lastProgress = totalProgress();
-    Cycle lastProgressCycle = cycle_;
+    // A restored launch continues mid-flight: its dispatcher, SM
+    // batches, and watchdog state arrived with the snapshot.
+    const bool resumed = resumed_;
+    resumed_ = false;
+    if (!resumed) {
+        dispatcher_.emplace(launch.grid.count(), gcfg_.numSms);
+        for (auto &sm : sms_)
+            sm->beginKernel(launch, &*dispatcher_);
+        watchdogProgress_ = totalProgress();
+        watchdogCycle_ = cycle_;
+    }
     const Cycle watchdogWindow = gcfg_.watchdogCycles;
 
     // Idle-cycle fast-forward (see DESIGN.md §8). Only legal without a
     // fault plan: fault windows are defined per simulated cycle.
     const bool ff = gcfg_.fastForward && faults_ == nullptr;
-    std::uint64_t ffLastProgress = lastProgress;
+    std::uint64_t ffLastProgress = totalProgress();
     constexpr Cycle never = ~static_cast<Cycle>(0);
 
     // The audit/watchdog block every run executes when the clock
@@ -77,11 +100,14 @@ Gpu::launch(const LaunchInfo &launch)
     // fully stepped run.
     auto boundaryCheck = [&]() {
         mem_->audit(cycle_);
+        foldHash();
+        if (hook_)
+            hook_(*this, cycle_);
         std::uint64_t p = totalProgress();
-        if (p != lastProgress) {
-            lastProgress = p;
-            lastProgressCycle = cycle_;
-        } else if (cycle_ - lastProgressCycle >= watchdogWindow) {
+        if (p != watchdogProgress_) {
+            watchdogProgress_ = p;
+            watchdogCycle_ = cycle_;
+        } else if (cycle_ - watchdogCycle_ >= watchdogWindow) {
             std::ostringstream os;
             os << "panic: deadlock: no instruction issued for "
                << watchdogWindow << " cycles in kernel '"
@@ -92,7 +118,13 @@ Gpu::launch(const LaunchInfo &launch)
         }
     };
 
-    bool running = true;
+    // A snapshot can land on the exact boundary at which the last warp
+    // finished (the loop below was about to exit when it was written).
+    // A restored run must then finalize without stepping the idle SMs
+    // once more, or it would end one cycle later than the original.
+    bool running = !resumed;
+    for (auto &sm : sms_)
+        running = running || sm->busy();
     while (running) {
         running = false;
         for (auto &sm : sms_) {
@@ -129,6 +161,10 @@ Gpu::launch(const LaunchInfo &launch)
     }
 
     stats_.cycles = cycle_;
+    ++launchesDone_;
+    // Close the launch's chain so even sub-4096-cycle runs have a
+    // comparable link (and end states always get audited by hash).
+    foldHash();
     return stats_;
 }
 

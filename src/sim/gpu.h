@@ -1,13 +1,18 @@
 /**
  * @file
  * Top-level GPU model: the SM array plus the shared memory system,
- * with a cycle-stepped run loop and a deadlock watchdog.
+ * with a cycle-stepped run loop, a deadlock watchdog, a rolling
+ * state-hash chain, and checkpoint/restore (DESIGN.md §9).
  */
 
 #ifndef DACSIM_SIM_GPU_H
 #define DACSIM_SIM_GPU_H
 
+#include <functional>
+#include <istream>
 #include <memory>
+#include <optional>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -21,6 +26,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 class Gpu
 {
   public:
@@ -31,6 +38,8 @@ class Gpu
      * Run one kernel launch to completion and return the cumulative
      * statistics so far. Successive launches keep cache state warm
      * (as on real hardware) and accumulate into the same counters.
+     * After restoreSnapshot(), the first launch() continues the
+     * interrupted launch instead of starting it over.
      */
     const RunStats &launch(const LaunchInfo &launch);
 
@@ -46,7 +55,51 @@ class Gpu
     /** Per-SM warp states (the watchdog's structured dump). */
     std::string dumpState() const;
 
+    // ----- state-hash chain & checkpointing (DESIGN.md §9) ---------------
+
+    /** Every fold of the rolling state hash so far: one link per
+     * 4096-cycle audit boundary plus one per launch end. */
+    const std::vector<HashLink> &hashChain() const { return hashChain_; }
+
+    /** Fully completed launch() calls (a snapshot taken mid-launch
+     * restores into the same count, so the harness knows where to
+     * rejoin its launch loop). */
+    std::uint64_t launchesDone() const { return launchesDone_; }
+
+    /**
+     * Hook invoked at every 4096-cycle audit boundary, after the
+     * memory audit and hash fold but before the watchdog check. The
+     * harness uses it to write periodic snapshots and track the last
+     * folded hash; a throwing hook aborts the launch (the
+     * kill-mid-run test knob).
+     */
+    using BoundaryHook = std::function<void(Gpu &, Cycle)>;
+    void setBoundaryHook(BoundaryHook hook) { hook_ = std::move(hook); }
+
+    /**
+     * Serialize the complete architectural + microarchitectural state
+     * to a versioned, CRC-protected snapshot. Legal at any audit
+     * boundary (i.e. from the boundary hook) or between launches.
+     */
+    void saveSnapshot(std::ostream &os) const;
+
+    /**
+     * Restore a snapshot into this freshly constructed Gpu. The
+     * machine configuration must match the snapshot's fingerprint.
+     * @p launch_info_for maps a launch index to the LaunchInfo the
+     * original run used for it (the harness rebuilds these
+     * deterministically); it is invoked once, for the launch the
+     * snapshot interrupted. Returns that launch index; the next
+     * launch() call resumes it mid-flight.
+     */
+    std::uint64_t
+    restoreSnapshot(std::istream &is,
+                    const std::function<LaunchInfo(std::uint64_t)>
+                        &launch_info_for);
+
   private:
+    friend class StateIo;
+
     GpuConfig gcfg_;
     Technique tech_;
     DacConfig dcfg_;
@@ -54,11 +107,29 @@ class Gpu
     MtaConfig mcfg_;
     RunStats stats_;
     const FaultPlan *faults_ = nullptr;
+    GpuMemory &gmem_;
     std::unique_ptr<MemorySystem> mem_;
     std::vector<std::unique_ptr<Sm>> sms_;
     Cycle cycle_ = 0;
 
+    /** CTA dispatcher of the current launch (members, not locals, so
+     * snapshots can capture mid-launch run-loop state). */
+    std::optional<CtaDispatcher> dispatcher_;
+    std::uint64_t watchdogProgress_ = 0;
+    Cycle watchdogCycle_ = 0;
+
+    std::vector<HashLink> hashChain_;
+    std::uint64_t launchesDone_ = 0;
+    /** restoreSnapshot() succeeded; the next launch() continues the
+     * interrupted launch instead of re-dispatching it. */
+    bool resumed_ = false;
+    BoundaryHook hook_;
+
     std::uint64_t totalProgress() const;
+    /** Digest of architectural state (implemented with StateIo). */
+    std::uint64_t digestState() const;
+    /** Fold the current state digest into the hash chain. */
+    void foldHash();
 };
 
 } // namespace dacsim

@@ -20,6 +20,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 class SimtStack
 {
   public:
@@ -106,6 +108,8 @@ class SimtStack
     const std::vector<Entry> &entries() const { return entries_; }
 
   private:
+    friend class StateIo;
+
     std::vector<Entry> entries_;
 
     const Entry &

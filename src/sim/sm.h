@@ -30,6 +30,8 @@
 namespace dacsim
 {
 
+class StateIo;
+
 /** Everything an SM needs to run one kernel launch. */
 struct LaunchInfo
 {
@@ -86,6 +88,8 @@ class CtaDispatcher
     bool exhausted() const { return next_ >= total_; }
 
   private:
+    friend class StateIo;
+
     long long total_;
     int numSms_;
     long long next_ = 0;
@@ -238,6 +242,8 @@ class Sm
 
     /** Periodic conservation checks (scoreboard, barriers, queues). */
     void audit(Cycle now) const;
+
+    friend class StateIo;
 };
 
 } // namespace dacsim

@@ -294,4 +294,66 @@ LOOP:
     EXPECT_NE(dis.find("@p0 bra 2"), std::string::npos);
 }
 
+// ----- hardening smoke ----------------------------------------------------
+// Malformed and truncated sources must produce a structured FatalError
+// with a diagnostic — never a crash, never silent acceptance. These are
+// the inputs a fuzzer or a hand-edited .ptxasm file is most likely to
+// produce.
+
+TEST(AssemblerHardening, MalformedInputsGiveStructuredErrors)
+{
+    const struct
+    {
+        const char *label;
+        const char *source;
+    } cases[] = {
+        {"empty source", ""},
+        {"whitespace only", "\n   \n\t\n"},
+        {"instruction before .kernel", "mov r0, 1;\nexit;\n"},
+        {".kernel without a name", ".kernel\n.param a\nexit;\n"},
+        {"duplicate .kernel", ".kernel t\n.kernel u\n.param a\nexit;\n"},
+        {".param before .kernel", ".param a\n.kernel t\nexit;\n"},
+        {"no instructions", ".kernel t\n.param a\n"},
+        {"missing final exit", ".kernel t\n.param a\nmov r0, 1;\n"},
+        {"truncated mid-instruction", ".kernel t\n.param a\nmov r0"},
+        {"truncated mid-opcode", ".kernel t\n.param a\nld.glo"},
+        {"missing source operand", ".kernel t\n.param a\nmov r0,;\nexit;\n"},
+        {"missing destination", ".kernel t\n.param a\nmov , 1;\nexit;\n"},
+        {"missing comma", ".kernel t\n.param a\nmov r0 1;\nexit;\n"},
+        {"missing semicolon", ".kernel t\n.param a\nexit\n"},
+        {"undefined branch target", ".kernel t\n.param a\nbra nowhere;\nexit;\n"},
+        {"duplicate label", ".kernel t\n.param a\nX:\nX:\nexit;\n"},
+        {"unterminated mem operand",
+         ".kernel t\n.param a\nld.global.u32 r0, [r1;\nexit;\n"},
+        {"garbage mem displacement",
+         ".kernel t\n.param a\nld.global.u32 r0, [r1+zz];\nexit;\n"},
+        {"bare param sigil", ".kernel t\n.param a\nmov r0, $;\nexit;\n"},
+        {"unknown param", ".kernel t\n.param a\nmov r0, $zz;\nexit;\n"},
+        {"unknown special register",
+         ".kernel t\n.param a\nmov r0, tid.w;\nexit;\n"},
+        {"empty guard", ".kernel t\n.param a\n@ mov r0, 1;\nexit;\n"},
+        {"guard on a register",
+         ".kernel t\n.param a\n@r0 mov r0, 1;\nexit;\n"},
+        {"bad setp comparison",
+         ".kernel t\n.param a\nsetp.zz p0, r0, r1;\nexit;\n"},
+        {"non-numeric .shared",
+         ".kernel t\n.param a\n.shared lots\nexit;\n"},
+        {"binary garbage", "\x01\x02\xff\xfe\x7f{];;@@\x03"},
+    };
+    for (const auto &c : cases) {
+        SCOPED_TRACE(c.label);
+        try {
+            assemble(c.source);
+            ADD_FAILURE() << "silently accepted: " << c.label;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find_first_not_of(" \t\n"),
+                      std::string::npos)
+                << "diagnostic must not be empty";
+        } catch (const std::exception &e) {
+            ADD_FAILURE() << "unstructured error (" << e.what()
+                          << ") for: " << c.label;
+        }
+    }
+}
+
 } // namespace

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Checkpoint/restore, state-hash chain, resumable-run, and sweep
+ * journal tests (DESIGN.md §9).
+ *
+ * The core acceptance property: a run interrupted at an arbitrary
+ * audit boundary and resumed from its snapshot produces bit-identical
+ * final statistics, output checksums, and state-hash chain to the
+ * uninterrupted run — for compute- and memory-bound workloads, with
+ * and without DAC, and with fault injection active.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/journal.h"
+#include "harness/runner.h"
+#include "sim/gpu.h"
+
+namespace fs = std::filesystem;
+using namespace dacsim;
+
+namespace
+{
+
+/** Per-test scratch directory, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        std::string name = std::string("dacsim_ckpt_") +
+                           info->test_suite_name() + "_" + info->name();
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        path = fs::temp_directory_path() / name;
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+};
+
+/** Small-machine options so each run stays fast but still spans many
+ * audit boundaries. */
+RunOptions
+smallOpt(Technique tech)
+{
+    RunOptions opt;
+    opt.tech = tech;
+    opt.gpu.numSms = 2;
+    opt.scale = 1.0;
+    return opt;
+}
+
+void
+expectSameResults(const RunOutcome &a, const RunOutcome &b)
+{
+    EXPECT_TRUE(a.stats == b.stats);
+    EXPECT_EQ(a.checksums, b.checksums);
+    EXPECT_EQ(a.hashChain, b.hashChain);
+    EXPECT_EQ(a.lastStateHash, b.lastStateHash);
+}
+
+/**
+ * The round-trip matrix body: run @p bench clean, then again with a
+ * simulated kill mid-run (haltAtCycle) and checkpointing on; the
+ * harness auto-retries from the snapshot and must reproduce the clean
+ * run bit-identically.
+ */
+void
+roundTrip(const std::string &bench, Technique tech, const char *faults)
+{
+    TempDir tmp;
+    RunOptions opt = smallOpt(tech);
+    if (faults != nullptr)
+        opt.faults = FaultPlan::parse(faults);
+
+    RunOutcome clean = runWorkload(bench, opt);
+    ASSERT_TRUE(clean.ok()) << clean.error.what;
+    ASSERT_GT(clean.stats.cycles, 3u * 4096)
+        << bench << " too short to checkpoint mid-run";
+
+    RunOptions ck = opt;
+    ck.checkpoint.dir = tmp.path.string();
+    ck.checkpoint.tag = bench;
+    ck.checkpoint.everyCycles = 4096; // snapshot every audit boundary
+    ck.checkpoint.haltAtCycle = clean.stats.cycles / 2;
+
+    RunOutcome resumed = runWorkload(bench, ck);
+    ASSERT_TRUE(resumed.ok()) << resumed.error.what;
+    EXPECT_TRUE(resumed.resumed)
+        << "halt knob never fired or retry did not restore";
+    expectSameResults(clean, resumed);
+}
+
+} // namespace
+
+// ----- round-trip matrix ---------------------------------------------------
+
+TEST(CheckpointRoundTrip, MemoryBoundBaseline)
+{
+    roundTrip("SP", Technique::Baseline, nullptr);
+}
+
+TEST(CheckpointRoundTrip, MemoryBoundDac)
+{
+    roundTrip("SP", Technique::Dac, nullptr);
+}
+
+TEST(CheckpointRoundTrip, ComputeBoundBaseline)
+{
+    roundTrip("BS", Technique::Baseline, nullptr);
+}
+
+TEST(CheckpointRoundTrip, ComputeBoundDac)
+{
+    roundTrip("BS", Technique::Dac, nullptr);
+}
+
+TEST(CheckpointRoundTrip, MemoryBoundDacWithFaults)
+{
+    roundTrip("SP", Technique::Dac, "seed=7;mshr@0-400000:12");
+}
+
+TEST(CheckpointRoundTrip, ComputeBoundBaselineWithFaults)
+{
+    roundTrip("BS", Technique::Baseline, "seed=9;mshr@0-400000:8");
+}
+
+TEST(CheckpointRoundTrip, MtaWithPrefetchBuffer)
+{
+    roundTrip("SP", Technique::Mta, nullptr);
+}
+
+// ----- multi-launch workloads ---------------------------------------------
+
+TEST(CheckpointRoundTrip, MultiLaunchWorkload)
+{
+    // BFS re-launches with per-launch parameters; the snapshot must
+    // record which launch it interrupted and the resume must rejoin
+    // the launch loop there.
+    roundTrip("BFS", Technique::Baseline, nullptr);
+}
+
+// ----- hash chain properties ----------------------------------------------
+
+TEST(HashChain, FastForwardInvariant)
+{
+    RunOptions off = smallOpt(Technique::Dac);
+    off.gpu.fastForward = false;
+    RunOptions on = smallOpt(Technique::Dac);
+    on.gpu.fastForward = true;
+    RunOutcome a = runWorkload("SP", off);
+    RunOutcome b = runWorkload("SP", on);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(a.stats == b.stats);
+    EXPECT_EQ(a.hashChain, b.hashChain);
+}
+
+TEST(HashChain, HasLinkPerBoundaryAndLaunch)
+{
+    RunOutcome out = runWorkload("SP", smallOpt(Technique::Baseline));
+    ASSERT_TRUE(out.ok());
+    ASSERT_FALSE(out.hashChain.empty());
+    // One link per 4096-cycle boundary crossed, plus one per launch.
+    EXPECT_GE(out.hashChain.size(), out.stats.cycles / 4096);
+    EXPECT_EQ(out.hashChain.back().cycle, out.stats.cycles);
+    EXPECT_EQ(out.hashChain.back().hash, out.stats.stateHash);
+    // The chain is strictly ordered in time.
+    for (std::size_t i = 1; i < out.hashChain.size(); ++i)
+        EXPECT_LE(out.hashChain[i - 1].cycle, out.hashChain[i].cycle);
+}
+
+TEST(HashChain, PerturbationLocalizesToOneInterval)
+{
+    RunOptions opt = smallOpt(Technique::Baseline);
+    RunOutcome clean = runWorkload("BS", opt);
+    ASSERT_TRUE(clean.ok());
+    ASSERT_GT(clean.stats.cycles, 3u * 4096);
+
+    Cycle divergeAt = clean.stats.cycles / 2;
+    RunOptions pert = opt;
+    pert.gpu.hashPerturbCycle = divergeAt;
+    RunOutcome bad = runWorkload("BS", pert);
+    ASSERT_TRUE(bad.ok());
+
+    // Simulation itself is untouched: stats except the hash agree.
+    RunStats cleanNoHash = clean.stats;
+    RunStats badNoHash = bad.stats;
+    cleanNoHash.stateHash = badNoHash.stateHash = 0;
+    EXPECT_TRUE(cleanNoHash == badNoHash);
+    EXPECT_EQ(clean.checksums, bad.checksums);
+
+    // The chains agree up to the interval containing divergeAt and
+    // differ from that link onwards (the chain is cumulative).
+    ASSERT_EQ(clean.hashChain.size(), bad.hashChain.size());
+    std::size_t first = clean.hashChain.size();
+    for (std::size_t i = 0; i < clean.hashChain.size(); ++i) {
+        if (clean.hashChain[i].hash != bad.hashChain[i].hash) {
+            first = i;
+            break;
+        }
+    }
+    ASSERT_LT(first, clean.hashChain.size()) << "perturbation not seen";
+    const Cycle lo =
+        first == 0 ? 0 : clean.hashChain[first - 1].cycle;
+    const Cycle hi = clean.hashChain[first].cycle;
+    EXPECT_GT(divergeAt, lo);
+    EXPECT_LE(divergeAt, hi);
+    for (std::size_t i = first; i < clean.hashChain.size(); ++i)
+        EXPECT_NE(clean.hashChain[i].hash, bad.hashChain[i].hash);
+}
+
+// ----- snapshot format robustness -----------------------------------------
+
+TEST(SnapshotFormat, TruncatedSnapshotIsFatalNotCrash)
+{
+    TempDir tmp;
+    RunOptions opt = smallOpt(Technique::Baseline);
+    opt.checkpoint.dir = tmp.path.string();
+    opt.checkpoint.tag = "t";
+    opt.checkpoint.everyCycles = 4096;
+    RunOutcome out = runWorkload("BS", opt);
+    ASSERT_TRUE(out.ok());
+    fs::path snap = tmp.path / "t.snap";
+    ASSERT_TRUE(fs::exists(snap));
+
+    // Truncate the snapshot and try to restore it.
+    auto size = fs::file_size(snap);
+    fs::resize_file(snap, size / 2);
+    RunOptions resume = opt;
+    resume.checkpoint.resume = true;
+    RunOutcome bad = runWorkload("BS", resume);
+    EXPECT_EQ(bad.error.kind, RunErrorKind::Fatal);
+    EXPECT_NE(bad.error.what.find("snapshot"), std::string::npos);
+}
+
+TEST(SnapshotFormat, CorruptSectionIsFatalNotCrash)
+{
+    TempDir tmp;
+    RunOptions opt = smallOpt(Technique::Baseline);
+    opt.checkpoint.dir = tmp.path.string();
+    opt.checkpoint.tag = "t";
+    opt.checkpoint.everyCycles = 4096;
+    ASSERT_TRUE(runWorkload("BS", opt).ok());
+    fs::path snap = tmp.path / "t.snap";
+
+    // Flip one byte in the middle: some section CRC must catch it.
+    std::fstream f(snap, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(snap) / 2));
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(-1, std::ios::cur);
+    c = static_cast<char>(c ^ 0x5a);
+    f.write(&c, 1);
+    f.close();
+
+    RunOptions resume = opt;
+    resume.checkpoint.resume = true;
+    RunOutcome bad = runWorkload("BS", resume);
+    EXPECT_EQ(bad.error.kind, RunErrorKind::Fatal);
+}
+
+TEST(SnapshotFormat, WrongWorkloadRestoreIsFatal)
+{
+    TempDir tmp;
+    RunOptions opt = smallOpt(Technique::Baseline);
+    opt.checkpoint.dir = tmp.path.string();
+    opt.checkpoint.tag = "shared";
+    opt.checkpoint.everyCycles = 4096;
+    ASSERT_TRUE(runWorkload("BS", opt).ok());
+
+    // Same tag, different workload: an identity check must fire. For
+    // SP (single-launch) the launch-index bound trips first, because
+    // the BS snapshot was taken during its second launch; either way
+    // the diagnostic names the snapshot as the culprit.
+    RunOptions resume = opt;
+    resume.checkpoint.resume = true;
+    RunOutcome bad = runWorkload("SP", resume);
+    EXPECT_EQ(bad.error.kind, RunErrorKind::Fatal);
+    EXPECT_NE(bad.error.what.find("snapshot"), std::string::npos);
+}
+
+TEST(SnapshotFormat, WrongConfigRestoreIsFatal)
+{
+    TempDir tmp;
+    RunOptions opt = smallOpt(Technique::Baseline);
+    opt.checkpoint.dir = tmp.path.string();
+    opt.checkpoint.tag = "cfg";
+    opt.checkpoint.everyCycles = 4096;
+    ASSERT_TRUE(runWorkload("BS", opt).ok());
+
+    RunOptions resume = opt;
+    resume.checkpoint.resume = true;
+    resume.gpu.numSms = 3; // different machine
+    RunOutcome bad = runWorkload("BS", resume);
+    EXPECT_EQ(bad.error.kind, RunErrorKind::Fatal);
+    EXPECT_NE(bad.error.what.find("fingerprint"), std::string::npos);
+}
+
+// ----- error-report fields -------------------------------------------------
+
+TEST(RunDiagnostics, HaltedRunReportsCheckpointAndHash)
+{
+    TempDir tmp;
+    RunOptions opt = smallOpt(Technique::Baseline);
+    RunOutcome clean = runWorkload("BS", opt);
+    ASSERT_TRUE(clean.ok());
+
+    // Halt with checkpointing disabled so no auto-retry can rescue the
+    // run; the error outcome still carries the last folded hash.
+    RunOptions halt = opt;
+    halt.checkpoint.haltAtCycle = clean.stats.cycles / 2;
+    halt.faults = FaultPlan::parse("seed=11;mshr@1-2:1");
+    RunOutcome out = runWorkload("BS", halt);
+    ASSERT_FALSE(out.error.ok());
+    EXPECT_EQ(out.error.kind, RunErrorKind::Halted);
+    EXPECT_GE(out.error.cycle, halt.checkpoint.haltAtCycle);
+    EXPECT_NE(out.lastStateHash, 0u);
+    EXPECT_EQ(out.faultSeed, 11u);
+    EXPECT_TRUE(out.checkpointId.empty());
+}
+
+// ----- journal -------------------------------------------------------------
+
+TEST(Journal, OutcomeEncodeDecodeRoundTrip)
+{
+    RunOutcome out;
+    out.stats.cycles = 123456;
+    out.stats.warpInsts = 999;
+    out.stats.stateHash = 0xdeadbeefcafe1234ull;
+    out.checksums = {1, 2, 0xffffffffffffffffull};
+    out.anyDecoupled = true;
+    out.numDecoupledLoads = 3;
+    out.numDecoupledStores = 2;
+    out.numDecoupledPreds = 1;
+    out.error.kind = RunErrorKind::FaultInjected;
+    out.error.cycle = 777;
+    out.error.what = "a message with spaces, %, and\nnewlines";
+    out.fellBack = true;
+    out.lastStateHash = out.stats.stateHash;
+    out.checkpointId = "/tmp/some dir/x.snap";
+    out.faultSeed = 42;
+    out.resumed = true;
+
+    RunOutcome back;
+    ASSERT_TRUE(decodeOutcome(encodeOutcome(out), &back));
+    EXPECT_TRUE(out.stats == back.stats);
+    EXPECT_EQ(out.checksums, back.checksums);
+    EXPECT_EQ(out.anyDecoupled, back.anyDecoupled);
+    EXPECT_EQ(out.numDecoupledLoads, back.numDecoupledLoads);
+    EXPECT_EQ(out.error.kind, back.error.kind);
+    EXPECT_EQ(out.error.cycle, back.error.cycle);
+    EXPECT_EQ(out.error.what, back.error.what);
+    EXPECT_EQ(out.fellBack, back.fellBack);
+    EXPECT_EQ(out.lastStateHash, back.lastStateHash);
+    EXPECT_EQ(out.checkpointId, back.checkpointId);
+    EXPECT_EQ(out.faultSeed, back.faultSeed);
+    EXPECT_EQ(out.resumed, back.resumed);
+}
+
+TEST(Journal, RejectsMalformedPayloads)
+{
+    RunOutcome out;
+    EXPECT_FALSE(decodeOutcome("", &out));
+    EXPECT_FALSE(decodeOutcome("o2 cycles=1", &out));
+    EXPECT_FALSE(decodeOutcome("o1 cycles=1", &out)); // stats incomplete
+    std::string good = encodeOutcome(RunOutcome{});
+    EXPECT_TRUE(decodeOutcome(good, &out));
+    EXPECT_FALSE(decodeOutcome(good.substr(0, good.size() / 2), &out));
+    EXPECT_FALSE(decodeOutcome(good + " bogus=1", &out));
+}
+
+TEST(Journal, SurvivesKillAndTornLine)
+{
+    TempDir tmp;
+    std::string path = (tmp.path / "sweep.journal").string();
+    RunOutcome a;
+    a.stats.cycles = 10;
+    a.stats.stateHash = 111;
+    RunOutcome b;
+    b.stats.cycles = 20;
+    b.stats.stateHash = 222;
+    {
+        SweepJournal j(path);
+        j.record("SP|Dac|0", a);
+        j.record("BS|Baseline|1", b);
+    }
+    // Simulate a kill mid-write: append half a record.
+    {
+        SweepJournal scratch(path);
+        scratch.record("LUD|Dac|2", a);
+    }
+    {
+        std::ifstream in(path);
+        std::string all((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+        std::ofstream os(path, std::ios::trunc);
+        os << all.substr(0, all.size() - 25); // torn final line
+    }
+    SweepJournal j(path);
+    EXPECT_EQ(j.size(), 2u);
+    RunOutcome got;
+    ASSERT_TRUE(j.lookup("SP|Dac|0", &got));
+    EXPECT_TRUE(got.stats == a.stats);
+    ASSERT_TRUE(j.lookup("BS|Baseline|1", &got));
+    EXPECT_TRUE(got.stats == b.stats);
+    EXPECT_FALSE(j.lookup("LUD|Dac|2", &got));
+    // The torn line does not poison later appends.
+    j.record("LUD|Dac|2", b);
+    SweepJournal reload(path);
+    EXPECT_EQ(reload.size(), 3u);
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Golden-stats regression lock (DESIGN.md §9).
+ *
+ * Locks the complete RunStats, output checksums, and the tail of the
+ * state-hash chain for one compute-bound (BS) and one memory-bound
+ * (SP) workload, on both the baseline and DAC machines, against
+ * committed fixtures in tests/golden/. Any perf PR that changes
+ * simulated behaviour shows up as a diff here — interval by interval
+ * via the chain tail, not just in end-of-run counters.
+ *
+ * Regenerate the fixtures after an *intentional* model change with:
+ *   DACSIM_UPDATE_GOLDEN=1 ./tests/dacsim_tests --gtest_filter='Golden.*'
+ * and commit the diff; the test fails on any mismatch otherwise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "harness/runner.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+/** Links of the chain tail locked by the fixture. */
+constexpr std::size_t tailLinks = 8;
+
+std::string
+render(const std::string &bench, Technique tech, const RunOutcome &out)
+{
+    std::ostringstream os;
+    os << "bench=" << bench << " tech=" << techniqueName(tech)
+       << " sms=2 scale=1\n";
+    visitStats(out.stats, [&](const char *name, const std::uint64_t &v) {
+        os << name << "=" << v << "\n";
+    });
+    os << "checksums=";
+    for (std::size_t i = 0; i < out.checksums.size(); ++i)
+        os << (i ? "," : "") << out.checksums[i];
+    os << "\n";
+    std::size_t first = out.hashChain.size() > tailLinks
+                            ? out.hashChain.size() - tailLinks
+                            : 0;
+    for (std::size_t i = first; i < out.hashChain.size(); ++i) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "chain cycle=%llu hash=%016llx\n",
+                      static_cast<unsigned long long>(
+                          out.hashChain[i].cycle),
+                      static_cast<unsigned long long>(
+                          out.hashChain[i].hash));
+        os << buf;
+    }
+    return os.str();
+}
+
+void
+checkGolden(const std::string &bench, Technique tech)
+{
+    RunOptions opt;
+    opt.tech = tech;
+    opt.gpu.numSms = 2; // small but multi-SM, matching the fixtures
+    opt.scale = 1.0;
+    RunOutcome out = runWorkload(bench, opt);
+    ASSERT_TRUE(out.ok()) << out.error.what;
+    std::string live = render(bench, tech, out);
+
+    std::string path = std::string(DACSIM_GOLDEN_DIR) + "/" + bench +
+                       "_" + techniqueName(tech) + ".txt";
+    if (const char *upd = std::getenv("DACSIM_UPDATE_GOLDEN");
+        upd != nullptr && *upd == '1') {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(os.good()) << "cannot write " << path;
+        os << live;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing fixture " << path
+        << " (regenerate with DACSIM_UPDATE_GOLDEN=1)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(live, want.str())
+        << "simulated behaviour changed for " << bench << "/"
+        << techniqueName(tech)
+        << "; if intentional, regenerate with DACSIM_UPDATE_GOLDEN=1 "
+           "and commit the fixture diff";
+}
+
+TEST(Golden, ComputeBoundBaseline) { checkGolden("BS", Technique::Baseline); }
+TEST(Golden, ComputeBoundDac) { checkGolden("BS", Technique::Dac); }
+TEST(Golden, MemoryBoundBaseline) { checkGolden("SP", Technique::Baseline); }
+TEST(Golden, MemoryBoundDac) { checkGolden("SP", Technique::Dac); }
+
+} // namespace

@@ -227,6 +227,47 @@ TEST(Watchdog, LivelockDumpsWarpStates)
     }
 }
 
+TEST(Watchdog, FastForwardFiresAtSameCycle)
+{
+    // Idle-cycle fast-forward clamps its jumps to 4096-cycle audit
+    // boundaries, so a deadlocked kernel must trip the watchdog at
+    // exactly the same simulated cycle whether fast-forward skipped
+    // the idle stretch or stepped through it cycle by cycle.
+    auto deadlockCycle = [](bool ff) -> Cycle {
+        GpuMemory gmem;
+        Kernel na = assemble(".kernel na\n.param out\nld.deq.u32 r0;\n"
+                             "exit;\n");
+        analyzeControlFlow(na);
+        Kernel aff = assemble(".kernel aff\n.param out\nexit;\n");
+        analyzeControlFlow(aff);
+        GpuConfig gcfg;
+        gcfg.numSms = 1;
+        gcfg.watchdogCycles = 1u << 14;
+        gcfg.fastForward = ff;
+        Gpu gpu(gcfg, Technique::Dac, DacConfig{}, CaeConfig{},
+                MtaConfig{}, gmem);
+        std::vector<RegVal> params = {0x100000};
+        LaunchInfo li;
+        li.grid = {1, 1, 1};
+        li.block = {32, 1, 1};
+        li.params = &params;
+        li.kernel = &na;
+        li.affineKernel = &aff;
+        try {
+            gpu.launch(li);
+        } catch (const DeadlockError &e) {
+            return e.cycle();
+        }
+        ADD_FAILURE() << "expected the watchdog to fire (ff=" << ff
+                      << ")";
+        return 0;
+    };
+    Cycle stepped = deadlockCycle(false);
+    Cycle fastForwarded = deadlockCycle(true);
+    EXPECT_GE(stepped, 1u << 14);
+    EXPECT_EQ(stepped, fastForwarded);
+}
+
 TEST(Runner, UnknownWorkloadIsTrappedFatal)
 {
     RunOptions opt;
