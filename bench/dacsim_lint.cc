@@ -1,0 +1,136 @@
+/**
+ * @file
+ * dacsim-lint: run the kernel-IR static-analysis framework
+ * (DESIGN.md §10) over every registered workload kernel.
+ *
+ * Usage:
+ *   dacsim-lint [--json FILE] [--json-one FILE] [--quiet] [WORKLOAD...]
+ *
+ * With no WORKLOAD arguments all 29 benchmarks are linted. The text
+ * report goes to stdout; --json additionally writes one combined JSON
+ * document, and --json-one (valid with exactly one workload) writes
+ * that kernel's report in the same single-report format as the golden
+ * fixtures under tests/golden/. The exit status is non-zero when any
+ * kernel has an unsuppressed error-severity finding, so the tool can
+ * gate CI (scripts/check.sh).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/checkers.h"
+#include "analysis/pass_manager.h"
+#include "common/log.h"
+#include "workloads/workload.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+/** Scale small enough to prepare every workload quickly, large enough
+ * that every kernel keeps its full structure. */
+constexpr double kLintScale = 0.05;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: dacsim-lint [--json FILE] [--json-one FILE] "
+                 "[--quiet] [WORKLOAD...]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath;
+    std::string jsonOnePath;
+    bool quiet = false;
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (++i >= argc)
+                return usage();
+            jsonPath = argv[i];
+        } else if (std::strcmp(argv[i], "--json-one") == 0) {
+            if (++i >= argc)
+                return usage();
+            jsonOnePath = argv[i];
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else if (argv[i][0] == '-') {
+            return usage();
+        } else {
+            names.emplace_back(argv[i]);
+        }
+    }
+
+    std::vector<const Workload *> todo;
+    if (names.empty()) {
+        for (const Workload &wl : allWorkloads())
+            todo.push_back(&wl);
+    } else {
+        for (const std::string &n : names)
+            todo.push_back(&findWorkload(n));
+    }
+
+    PassManager pm = PassManager::withAllCheckers();
+    std::vector<LintReport> reports;
+    int errors = 0, warnings = 0, suppressed = 0;
+    for (const Workload *wl : todo) {
+        GpuMemory gmem;
+        PreparedWorkload prep;
+        try {
+            prep = wl->prepare(gmem, kLintScale);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "dacsim-lint: cannot prepare %s: %s\n",
+                         wl->name.c_str(), e.what());
+            return 2;
+        }
+        AnalysisContext ctx(prep.kernel, DacConfig{},
+                            {true, prep.block});
+        LintReport rep = pm.run(ctx);
+        errors += rep.numErrors;
+        warnings += rep.numWarnings;
+        suppressed += rep.numSuppressed;
+        if (!quiet || !rep.clean())
+            std::fputs(rep.renderText().c_str(), stdout);
+        reports.push_back(std::move(rep));
+    }
+
+    std::printf("dacsim-lint: %zu kernel(s), %d error(s), %d warning(s), "
+                "%d suppressed\n",
+                reports.size(), errors, warnings, suppressed);
+
+    if (!jsonPath.empty()) {
+        std::ofstream os(jsonPath, std::ios::trunc);
+        if (!os.good()) {
+            std::fprintf(stderr, "dacsim-lint: cannot write %s\n",
+                         jsonPath.c_str());
+            return 2;
+        }
+        os << renderJsonReportList(reports) << "\n";
+    }
+    if (!jsonOnePath.empty()) {
+        if (reports.size() != 1) {
+            std::fprintf(stderr,
+                         "dacsim-lint: --json-one needs exactly one "
+                         "workload\n");
+            return 2;
+        }
+        std::ofstream os(jsonOnePath, std::ios::trunc);
+        if (!os.good()) {
+            std::fprintf(stderr, "dacsim-lint: cannot write %s\n",
+                         jsonOnePath.c_str());
+            return 2;
+        }
+        os << reports.front().renderJson() << "\n";
+    }
+    return errors > 0 ? 1 : 0;
+}

@@ -21,10 +21,31 @@ cmake --build build-dbg -j --target dacsim_bisect
     && bench/dacsim-bisect --roundtrip SP dac \
     && bench/dacsim-bisect --roundtrip BS baseline)
 
+echo "== static analysis (debug build) =="
+# dacsim-lint over all registered kernels (DESIGN.md §10): exits
+# non-zero on any unsuppressed error-severity finding, and the JSON
+# reports for the golden-fixture kernels must match byte-for-byte
+# (refresh with DACSIM_UPDATE_GOLDEN=1 via the GoldenLint tests).
+cmake --build build-dbg -j --target dacsim_lint
+(
+    cd build-dbg
+    bench/dacsim-lint --quiet --json lint-report.json
+    for k in PF HI; do
+        bench/dacsim-lint --quiet --json-one "lint-$k.json" "$k" >/dev/null
+        cmp "lint-$k.json" "../tests/golden/lint_$k.json"
+    done
+)
+
 echo "== asan+ubsan build =="
 cmake -B build-san -S . -DDACSIM_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j
 (cd build-san && ctest --output-on-failure -j)
+
+echo "== static analysis (sanitized build) =="
+# Re-run the linter itself under ASan+UBSan: the analyses walk every
+# kernel, so this doubles as a memory-safety pass over src/analysis/.
+cmake --build build-san -j --target dacsim_lint
+(cd build-san && bench/dacsim-lint --quiet >/dev/null)
 
 echo "== sanitized checkpoint round-trip smoke =="
 (cd build-san && rm -rf bisect-ck \

@@ -1,0 +1,464 @@
+#include "analysis/addr_expr.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "isa/opcode.h"
+
+namespace dacsim
+{
+
+namespace
+{
+
+/** Saturating interval bound to keep products away from overflow. */
+constexpr long long boundCap = 1ll << 40;
+
+long long
+clampBound(long long v)
+{
+    return std::max(-boundCap, std::min(boundCap, v));
+}
+
+} // namespace
+
+bool
+AddrExpr::threadInvariant() const
+{
+    return known && tid[0] == 0 && tid[1] == 0 && tid[2] == 0;
+}
+
+bool
+AddrExpr::pureInterval() const
+{
+    return threadInvariant() && sym.empty();
+}
+
+bool
+AddrExpr::operator==(const AddrExpr &o) const
+{
+    if (known != o.known)
+        return false;
+    if (!known)
+        return true;
+    return bounded == o.bounded && tid[0] == o.tid[0] &&
+           tid[1] == o.tid[1] && tid[2] == o.tid[2] && sym == o.sym &&
+           (!bounded || (lo == o.lo && hi == o.hi));
+}
+
+std::string
+AddrExpr::toString(const Kernel &kernel) const
+{
+    if (!known)
+        return "<unknown>";
+    std::ostringstream os;
+    bool first = true;
+    auto term = [&](long long c, const std::string &name) {
+        if (c == 0)
+            return;
+        if (!first)
+            os << " + ";
+        first = false;
+        if (c != 1)
+            os << c << "*";
+        os << name;
+    };
+    static const char *dims = "xyz";
+    for (int d = 0; d < 3; ++d)
+        term(tid[d], std::string("tid.") + dims[d]);
+    for (const auto &[key, c] : sym) {
+        std::string name;
+        if (key >= symNctaidBase)
+            name = std::string("nctaid.") + dims[key - symNctaidBase];
+        else if (key >= symNtidBase)
+            name = std::string("ntid.") + dims[key - symNtidBase];
+        else if (key >= symCtaidBase)
+            name = std::string("ctaid.") + dims[key - symCtaidBase];
+        else if (key < static_cast<int>(kernel.params.size()))
+            name = "$" + kernel.params[static_cast<std::size_t>(key)];
+        else
+            name = "$p" + std::to_string(key);
+        term(c, name);
+    }
+    if (!bounded) {
+        os << (first ? "" : " + ") << "[unbounded]";
+    } else if (lo != 0 || hi != 0 || first) {
+        if (!first)
+            os << " + ";
+        if (lo == hi)
+            os << lo;
+        else
+            os << "[" << lo << "," << hi << "]";
+    }
+    return os.str();
+}
+
+AddrExpr
+addExpr(const AddrExpr &a, const AddrExpr &b)
+{
+    if (!a.known || !b.known)
+        return AddrExpr::unknown();
+    AddrExpr r;
+    r.known = true;
+    for (int d = 0; d < 3; ++d)
+        r.tid[d] = a.tid[d] + b.tid[d];
+    r.sym = a.sym;
+    for (const auto &[k, c] : b.sym) {
+        r.sym[k] += c;
+        if (r.sym[k] == 0)
+            r.sym.erase(k);
+    }
+    r.bounded = a.bounded && b.bounded;
+    if (r.bounded) {
+        r.lo = clampBound(a.lo + b.lo);
+        r.hi = clampBound(a.hi + b.hi);
+    }
+    return r;
+}
+
+AddrExpr
+scaleExpr(const AddrExpr &a, long long c)
+{
+    if (!a.known)
+        return AddrExpr::unknown();
+    if (c == 0)
+        return AddrExpr::constant(0);
+    AddrExpr r;
+    r.known = true;
+    for (int d = 0; d < 3; ++d)
+        r.tid[d] = a.tid[d] * c;
+    for (const auto &[k, v] : a.sym)
+        r.sym[k] = v * c;
+    r.bounded = a.bounded;
+    if (r.bounded) {
+        long long x = clampBound(a.lo * c), y = clampBound(a.hi * c);
+        r.lo = std::min(x, y);
+        r.hi = std::max(x, y);
+    }
+    return r;
+}
+
+namespace
+{
+
+AddrExpr
+negExpr(const AddrExpr &a)
+{
+    return scaleExpr(a, -1);
+}
+
+/** Join for the fixpoint; @p widen forces loop-carried intervals to
+ * unbounded instead of growing them forever. */
+AddrExpr
+joinExpr(const AddrExpr &a, const AddrExpr &b, bool widen)
+{
+    if (!a.known || !b.known)
+        return AddrExpr::unknown();
+    bool sameShape = a.tid[0] == b.tid[0] && a.tid[1] == b.tid[1] &&
+                     a.tid[2] == b.tid[2] && a.sym == b.sym;
+    if (!sameShape)
+        return AddrExpr::unknown();
+    AddrExpr r = a;
+    r.bounded = a.bounded && b.bounded;
+    if (r.bounded) {
+        if (widen && (a.lo != b.lo || a.hi != b.hi)) {
+            r.bounded = false;
+            r.lo = r.hi = 0;
+        } else {
+            r.lo = std::min(a.lo, b.lo);
+            r.hi = std::max(a.hi, b.hi);
+        }
+    } else {
+        r.lo = r.hi = 0;
+    }
+    return r;
+}
+
+} // namespace
+
+AddrExprAnalysis::AddrExprAnalysis(const Kernel &kernel, const Cfg &cfg,
+                                   const ReachingDefs &rd)
+    : kernel_(kernel), rd_(rd)
+{
+    const int numDefs =
+        kernel.numInsts() + kernel.numRegs + kernel.numPreds;
+    defExpr_.assign(static_cast<std::size_t>(numDefs), AddrExpr{});
+    defSet_.assign(static_cast<std::size_t>(numDefs), false);
+    // Entry pseudo-definitions: registers read before any write are 0.
+    for (int d = kernel.numInsts(); d < numDefs; ++d) {
+        defExpr_[static_cast<std::size_t>(d)] = AddrExpr::constant(0);
+        defSet_[static_cast<std::size_t>(d)] = true;
+    }
+    runFixpoint(cfg);
+}
+
+AddrExpr
+AddrExprAnalysis::srcExpr(int pc, const Operand &op) const
+{
+    switch (op.kind) {
+      case Operand::Kind::Imm:
+        return AddrExpr::constant(op.imm);
+      case Operand::Kind::Param: {
+        AddrExpr e;
+        e.known = true;
+        e.sym[op.index] = 1;
+        return e;
+      }
+      case Operand::Kind::Special: {
+        AddrExpr e;
+        e.known = true;
+        int d = specialRegDim(op.sreg);
+        if (isTidReg(op.sreg))
+            e.tid[d] = 1;
+        else if (isCtaidReg(op.sreg))
+            e.sym[symCtaidBase + d] = 1;
+        else if (op.sreg == SpecialReg::NtidX ||
+                 op.sreg == SpecialReg::NtidY ||
+                 op.sreg == SpecialReg::NtidZ)
+            e.sym[symNtidBase + d] = 1;
+        else
+            e.sym[symNctaidBase + d] = 1;
+        return e;
+      }
+      case Operand::Kind::Reg: {
+        AddrExpr acc;
+        bool first = true;
+        for (int d : rd_.reachingRegDefs(pc, op.index)) {
+            if (!defSet_[static_cast<std::size_t>(d)])
+                continue; // bottom: path never executed yet
+            const AddrExpr &e = defExpr_[static_cast<std::size_t>(d)];
+            acc = first ? e : joinExpr(acc, e, false);
+            first = false;
+        }
+        return first ? AddrExpr::unknown() : acc;
+      }
+      default:
+        return AddrExpr::unknown();
+    }
+}
+
+AddrExpr
+AddrExprAnalysis::addrOf(int pc) const
+{
+    const Instruction &inst = kernel_.insts[pc];
+    AddrExpr base = srcExpr(pc, inst.src[0]);
+    return addExpr(base, AddrExpr::constant(inst.addrOffset));
+}
+
+AddrExpr
+AddrExprAnalysis::transfer(int pc, bool widen) const
+{
+    const Instruction &inst = kernel_.insts[pc];
+    auto src = [&](int i) { return srcExpr(pc, inst.src[i]); };
+    (void)widen;
+    switch (inst.op) {
+      case Opcode::Mov:
+        return src(0);
+      case Opcode::Add:
+        return addExpr(src(0), src(1));
+      case Opcode::Sub:
+        return addExpr(src(0), negExpr(src(1)));
+      case Opcode::Shl: {
+        AddrExpr b = src(1);
+        if (b.isConst() && b.lo >= 0 && b.lo < 40)
+            return scaleExpr(src(0), 1ll << b.lo);
+        return AddrExpr::unknown();
+      }
+      case Opcode::Shr: {
+        AddrExpr a = src(0), b = src(1);
+        if (a.pureInterval() && a.bounded && a.lo >= 0 && b.isConst() &&
+            b.lo >= 0 && b.lo < 63) {
+            AddrExpr r;
+            r.known = true;
+            r.lo = a.lo >> b.lo;
+            r.hi = a.hi >> b.lo;
+            return r;
+        }
+        return AddrExpr::unknown();
+      }
+      case Opcode::Mul: {
+        AddrExpr a = src(0), b = src(1);
+        if (b.isConst())
+            return scaleExpr(a, b.lo);
+        if (a.isConst())
+            return scaleExpr(b, a.lo);
+        return AddrExpr::unknown();
+      }
+      case Opcode::Mad: {
+        AddrExpr a = src(0), b = src(1), c = src(2);
+        AddrExpr prod = AddrExpr::unknown();
+        if (b.isConst())
+            prod = scaleExpr(a, b.lo);
+        else if (a.isConst())
+            prod = scaleExpr(b, a.lo);
+        return addExpr(prod, c);
+      }
+      case Opcode::And: {
+        AddrExpr a = src(0), b = src(1);
+        // x & (2^k - 1) lies in [0, mask] whatever x is.
+        for (const AddrExpr *m : {&b, &a}) {
+            if (m->isConst() && m->lo >= 0 &&
+                ((m->lo + 1) & m->lo) == 0) {
+                AddrExpr r;
+                r.known = true;
+                r.lo = 0;
+                r.hi = m->lo;
+                return r;
+            }
+        }
+        return AddrExpr::unknown();
+      }
+      case Opcode::Mod: {
+        AddrExpr a = src(0), b = src(1);
+        if (b.isConst() && b.lo > 0) {
+            AddrExpr r;
+            r.known = true;
+            if (a.pureInterval() && a.bounded && a.lo >= 0) {
+                r.lo = 0;
+                r.hi = std::min(a.hi, b.lo - 1);
+            } else {
+                r.lo = -(b.lo - 1);
+                r.hi = b.lo - 1;
+            }
+            return r;
+        }
+        return AddrExpr::unknown();
+      }
+      case Opcode::Min:
+      case Opcode::Max: {
+        AddrExpr a = src(0), b = src(1);
+        if (a.pureInterval() && a.bounded && b.pureInterval() &&
+            b.bounded) {
+            AddrExpr r;
+            r.known = true;
+            if (inst.op == Opcode::Min) {
+                r.lo = std::min(a.lo, b.lo);
+                r.hi = std::min(a.hi, b.hi);
+            } else {
+                r.lo = std::max(a.lo, b.lo);
+                r.hi = std::max(a.hi, b.hi);
+            }
+            return r;
+        }
+        return AddrExpr::unknown();
+      }
+      case Opcode::Abs: {
+        AddrExpr a = src(0);
+        if (a.pureInterval() && a.bounded) {
+            AddrExpr r;
+            r.known = true;
+            r.lo = a.lo >= 0 ? a.lo : (a.hi <= 0 ? -a.hi : 0);
+            r.hi = std::max(std::llabs(a.lo), std::llabs(a.hi));
+            return r;
+        }
+        return AddrExpr::unknown();
+      }
+      default:
+        // Loads, division, bitwise mixes, sel, deq: not derivable.
+        return AddrExpr::unknown();
+    }
+}
+
+void
+AddrExprAnalysis::runFixpoint(const Cfg &cfg)
+{
+    // Instruction order: blocks in RPO, instructions in block order.
+    std::vector<int> order;
+    for (int b : cfg.rpo()) {
+        const BasicBlock &bb = cfg.blocks()[static_cast<std::size_t>(b)];
+        for (int pc = bb.first; pc <= bb.last; ++pc)
+            order.push_back(pc);
+    }
+
+    // A few exact passes, then widening joins until stable. The
+    // lattice after widening has finite height (bounded -> unbounded
+    // -> unknown), so this terminates.
+    for (int pass = 0;; ++pass) {
+        const bool widen = pass >= 3;
+        bool changed = false;
+        for (int pc : order) {
+            const Instruction &inst = kernel_.insts[pc];
+            if (!inst.dst.isReg())
+                continue;
+            AddrExpr next = transfer(pc, widen);
+            auto i = static_cast<std::size_t>(pc);
+            if (!defSet_[i]) {
+                defSet_[i] = true;
+                defExpr_[i] = next;
+                changed = true;
+            } else if (!(defExpr_[i] == next)) {
+                defExpr_[i] = widen ? joinExpr(defExpr_[i], next, true)
+                                    : next;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+        ensure(pass < 64, "addr-expr fixpoint failed to converge");
+    }
+}
+
+namespace
+{
+
+/** Does a nonzero multiple m = c*k of |c|, with |k| <= kMax, fall in
+ * the open interval (wLo, wHi)? */
+bool
+multipleInWindow(long long c, long long wLo, long long wHi, long long kMax)
+{
+    const long long g = std::llabs(c);
+    if (g == 0 || kMax <= 0)
+        return false;
+    // Positive multiples g*k in (lo, hi); negative ones are the
+    // positive multiples of the mirrored window.
+    auto existsPositive = [&](long long lo, long long hi) {
+        long long k = lo < g ? 1 : lo / g + 1; // smallest k with g*k > lo
+        return k <= kMax && g * k < hi;
+    };
+    return existsPositive(wLo, wHi) || existsPositive(-wHi, -wLo);
+}
+
+} // namespace
+
+bool
+mayConflictAcrossLanes(const AddrExpr &a, int widthA, const AddrExpr &b,
+                       int widthB, const Dim3 *block)
+{
+    if (!a.known || !b.known)
+        return true;
+    if (a.sym != b.sym)
+        return true; // unknown base difference
+    // Only the x dimension is modelled precisely; any thread-varying
+    // y/z term is handled conservatively.
+    if (a.tid[1] != 0 || a.tid[2] != 0 || b.tid[1] != 0 || b.tid[2] != 0)
+        return true;
+    if (a.tid[0] != b.tid[0])
+        return true; // differing strides: gcd lattice, assume overlap
+    if (!a.bounded || !b.bounded)
+        return true; // residual unbounded: any delta reachable
+
+    // AddrA(t) - AddrB(u) = c*(t - u) + dRes with
+    // dRes in [a.lo - b.hi, a.hi - b.lo]; overlap iff the difference
+    // falls in (-widthB, widthA).
+    const long long c = a.tid[0];
+    const long long dLo = a.lo - b.hi, dHi = a.hi - b.lo;
+
+    // Threads differing only in y/z (or unknown block shape) have
+    // t.x == u.x: the tid term cancels entirely.
+    bool multiRow = block == nullptr || block->y > 1 || block->z > 1;
+    if (multiRow || c == 0) {
+        if (dHi > -widthB && dLo < widthA)
+            return true;
+        if (c == 0)
+            return false;
+    }
+
+    long long kMax = block ? block->x - 1
+                           : std::numeric_limits<long long>::max() / 2;
+    // c*k must land in (-widthB - dHi, widthA - dLo) for some k != 0.
+    return multipleInWindow(c, -widthB - dHi, widthA - dLo, kMax);
+}
+
+} // namespace dacsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Symbolic affine address expressions (DESIGN.md §10).
+ *
+ * Where the compiler's AffineAnalysis classifies values on the
+ * Scalar/Affine/NonAffine lattice, this analysis derives *concrete*
+ * symbolic linear forms for them:
+ *
+ *     addr = sum_d tid[d]*tid.d  +  sum_s sym[s]*symbol_s  +  residual
+ *
+ * with the residual tracked as an integer interval [lo, hi] (constants,
+ * mask-bounded data terms, bounded selections) or marked unbounded
+ * (loop counters after widening). Symbols are kernel parameters,
+ * ctaid.*, ntid.* and nctaid.* — all thread-invariant within a CTA.
+ *
+ * The shared-memory race checker uses the thread-varying tid
+ * coefficients plus the residual interval to decide whether two
+ * accesses from distinct lanes can collide; the coalescing checker
+ * grades global accesses by their tid.x stride.
+ */
+
+#ifndef DACSIM_ANALYSIS_ADDR_EXPR_H
+#define DACSIM_ANALYSIS_ADDR_EXPR_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/reaching_defs.h"
+#include "isa/instruction.h"
+#include "sim/dim3.h"
+
+namespace dacsim
+{
+
+/** Symbol keys for the thread-invariant terms of an AddrExpr. */
+enum : int
+{
+    symCtaidBase = 1000,  ///< +d for ctaid.d
+    symNtidBase = 1100,   ///< +d for ntid.d
+    symNctaidBase = 1200, ///< +d for nctaid.d
+};
+
+struct AddrExpr
+{
+    /** False: nothing is known about the value (may be anything). */
+    bool known = false;
+    /** The residual interval [lo, hi] is valid; false after widening
+     * (loop-carried terms): residual may be any integer. */
+    bool bounded = true;
+    /** Coefficients of tid.x/y/z — the thread-varying part. */
+    long long tid[3] = {0, 0, 0};
+    /** Coefficients of symbolic thread-invariant terms (param slot or
+     * sym*Base + dim). */
+    std::map<int, long long> sym;
+    /** Residual interval (meaningful only when bounded). */
+    long long lo = 0, hi = 0;
+
+    static AddrExpr
+    constant(long long v)
+    {
+        AddrExpr e;
+        e.known = true;
+        e.lo = e.hi = v;
+        return e;
+    }
+
+    static AddrExpr unknown() { return AddrExpr{}; }
+
+    /** Known with zero tid coefficients (uniform across the CTA)? */
+    bool threadInvariant() const;
+    /** Pure interval: no tid terms and no symbols. */
+    bool pureInterval() const;
+    /** Pure single constant? */
+    bool isConst() const { return pureInterval() && bounded && lo == hi; }
+
+    bool operator==(const AddrExpr &o) const;
+
+    /** Debug rendering, e.g. "4*tid.x + $out + [0,60]". */
+    std::string toString(const Kernel &kernel) const;
+};
+
+/** a + b (unknown-propagating). */
+AddrExpr addExpr(const AddrExpr &a, const AddrExpr &b);
+/** a scaled by constant c. */
+AddrExpr scaleExpr(const AddrExpr &a, long long c);
+
+/**
+ * Whole-kernel derivation: a forward fixpoint over definition sites
+ * using reaching definitions, with interval widening on loop-carried
+ * values.
+ */
+class AddrExprAnalysis
+{
+  public:
+    AddrExprAnalysis(const Kernel &kernel, const Cfg &cfg,
+                     const ReachingDefs &rd);
+
+    /** Expression of source operand @p op as seen at @p pc. */
+    AddrExpr srcExpr(int pc, const Operand &op) const;
+
+    /** Address expression of the memory instruction at @p pc
+     * (base operand plus immediate displacement). */
+    AddrExpr addrOf(int pc) const;
+
+  private:
+    const Kernel &kernel_;
+    const ReachingDefs &rd_;
+    /** Per definition site; index layout matches ReachingDefs. */
+    std::vector<AddrExpr> defExpr_;
+    std::vector<bool> defSet_; ///< false: def never computed (bottom)
+
+    void runFixpoint(const Cfg &cfg);
+    AddrExpr transfer(int pc, bool widen) const;
+};
+
+/**
+ * Can accesses through @p a (@p widthA bytes) and @p b (@p widthB
+ * bytes) from two *distinct* threads of one CTA touch overlapping
+ * bytes? @p block bounds the thread-id deltas when non-null; pass
+ * nullptr when launch dimensions are unknown (conservative).
+ * Conservative: returns true whenever overlap cannot be excluded.
+ */
+bool mayConflictAcrossLanes(const AddrExpr &a, int widthA, const AddrExpr &b,
+                            int widthB, const Dim3 *block);
+
+} // namespace dacsim
+
+#endif // DACSIM_ANALYSIS_ADDR_EXPR_H

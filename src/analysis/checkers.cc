@@ -1,0 +1,462 @@
+#include "analysis/checkers.h"
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/soundness.h"
+#include "compiler/decoupler.h"
+
+namespace dacsim
+{
+
+namespace
+{
+
+std::string
+regName(bool is_pred, int index)
+{
+    return (is_pred ? "p" : "r") + std::to_string(index);
+}
+
+/** Iterate the PCs of every block reachable from the entry. */
+template <typename Fn>
+void
+forEachReachablePc(const AnalysisContext &ctx, Fn fn)
+{
+    const auto &blocks = ctx.cfg().blocks();
+    for (int b : ctx.cfg().rpo()) {
+        const BasicBlock &bb = blocks[static_cast<std::size_t>(b)];
+        for (int pc = bb.first; pc <= bb.last; ++pc)
+            fn(pc, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DAC-W001: possibly-uninitialized register read.
+// ---------------------------------------------------------------------------
+
+class UninitChecker final : public Checker
+{
+  public:
+    const char *name() const override { return "uninit"; }
+
+    void
+    run(const AnalysisContext &ctx, DiagnosticEngine &eng) const override
+    {
+        const Kernel &k = ctx.kernel();
+        forEachReachablePc(ctx, [&](int pc, int b) {
+            const Instruction &inst = k.insts[static_cast<std::size_t>(pc)];
+            // One finding per (pc, register), even when an operand
+            // appears in several source slots.
+            std::set<std::pair<bool, int>> flagged;
+            auto check = [&](bool is_pred, int index) {
+                if (!flagged.insert({is_pred, index}).second)
+                    return;
+                std::vector<int> defs =
+                    is_pred ? ctx.rd().reachingPredDefs(pc, index)
+                            : ctx.rd().reachingRegDefs(pc, index);
+                bool any_entry = false;
+                bool all_entry = true;
+                for (int d : defs) {
+                    if (ctx.rd().isEntryDef(d))
+                        any_entry = true;
+                    else
+                        all_entry = false;
+                }
+                if (!any_entry)
+                    return;
+                std::string n = regName(is_pred, index);
+                std::string path = all_entry
+                                       ? "is never written before this read"
+                                       : "may be read before any write on "
+                                         "some path";
+                eng.report("DAC-W001", Severity::Warning, pc, b,
+                           n + " " + path +
+                               " (uninitialized registers read as zero)",
+                           "initialize " + n +
+                               " explicitly before this instruction");
+            };
+            for (int i = 0; i < numSources(inst.op); ++i) {
+                const Operand &op = inst.src[i];
+                if (op.isReg())
+                    check(false, op.index);
+                else if (op.isPred())
+                    check(true, op.index);
+            }
+            if (inst.guardPred >= 0)
+                check(true, inst.guardPred);
+        });
+    }
+};
+
+// ---------------------------------------------------------------------------
+// DAC-E002: barrier under thread-divergent control flow.
+// ---------------------------------------------------------------------------
+
+class BarrierDivergenceChecker final : public Checker
+{
+  public:
+    const char *name() const override { return "barrier-divergence"; }
+
+    void
+    run(const AnalysisContext &ctx, DiagnosticEngine &eng) const override
+    {
+        const Kernel &k = ctx.kernel();
+        const Cfg &cfg = ctx.cfg();
+        const int nb = cfg.numBlocks();
+
+        // Transitive divergence: a block is divergent when any branch it
+        // is control-dependent on has a non-uniform (non-Scalar) guard,
+        // or when that branch's own block is divergent. divWitness
+        // records one offending branch PC for the message.
+        std::vector<int> divWitness(static_cast<std::size_t>(nb), -1);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (int b : cfg.rpo()) {
+                if (divWitness[static_cast<std::size_t>(b)] >= 0)
+                    continue;
+                for (int br : cfg.controlDeps(b)) {
+                    int term = cfg.blocks()[static_cast<std::size_t>(br)].last;
+                    const Instruction &bi =
+                        k.insts[static_cast<std::size_t>(term)];
+                    bool nonuniform = bi.guardPred >= 0 &&
+                                      !ctx.aa().guardType(term).isScalar();
+                    int inherited = divWitness[static_cast<std::size_t>(br)];
+                    if (nonuniform || inherited >= 0) {
+                        divWitness[static_cast<std::size_t>(b)] =
+                            nonuniform ? term : inherited;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        forEachReachablePc(ctx, [&](int pc, int b) {
+            const Instruction &inst = k.insts[static_cast<std::size_t>(pc)];
+            if (!inst.isBarrier())
+                return;
+            if (inst.guardPred >= 0 &&
+                !ctx.aa().guardType(pc).isScalar()) {
+                eng.report("DAC-E002", Severity::Error, pc, b,
+                           "barrier guarded by non-uniform predicate p" +
+                               std::to_string(inst.guardPred) +
+                               ": threads of one CTA may disagree on "
+                               "reaching it",
+                           "make the guard uniform or drop it");
+                return;
+            }
+            int w = divWitness[static_cast<std::size_t>(b)];
+            if (w >= 0) {
+                eng.report(
+                    "DAC-E002", Severity::Error, pc, b,
+                    "barrier executes under thread-divergent control "
+                    "flow (divergent branch at pc " +
+                        std::to_string(w) + ")",
+                    "hoist the bar out of the divergent region or make "
+                    "the branch condition uniform");
+            }
+        });
+    }
+};
+
+// ---------------------------------------------------------------------------
+// DAC-W003: static shared-memory race.
+// ---------------------------------------------------------------------------
+
+class SharedRaceChecker final : public Checker
+{
+  public:
+    const char *name() const override { return "shared-race"; }
+
+    void
+    run(const AnalysisContext &ctx, DiagnosticEngine &eng) const override
+    {
+        const Kernel &k = ctx.kernel();
+        const int n = k.numInsts();
+
+        struct Access
+        {
+            int pc;
+            int block;
+            bool isStore;
+            int bytes;
+            AddrExpr expr;
+        };
+        std::vector<Access> accs;
+        forEachReachablePc(ctx, [&](int pc, int b) {
+            const Instruction &inst = k.insts[static_cast<std::size_t>(pc)];
+            if (!inst.isMemory() || inst.space != MemSpace::Shared)
+                return;
+            accs.push_back({pc, b, inst.isStore(),
+                            memWidthBytes(inst.width), ctx.addr().addrOf(pc)});
+        });
+        if (accs.empty())
+            return;
+
+        // Barrier-free reachability between instructions: BFS over the
+        // instruction-level successor graph, never expanding through a
+        // bar (the bar ends the synchronization interval).
+        auto succsOf = [&](int pc) {
+            std::vector<int> s;
+            const Instruction &inst = k.insts[static_cast<std::size_t>(pc)];
+            if (inst.isBarrier())
+                return s;
+            if (inst.isBranch() && inst.target >= 0)
+                s.push_back(inst.target);
+            if (inst.fallsThrough() && pc + 1 < n)
+                s.push_back(pc + 1);
+            return s;
+        };
+        auto reaches = [&](int from, int to) {
+            std::vector<bool> seen(static_cast<std::size_t>(n), false);
+            std::vector<int> work = succsOf(from);
+            while (!work.empty()) {
+                int pc = work.back();
+                work.pop_back();
+                if (seen[static_cast<std::size_t>(pc)])
+                    continue;
+                seen[static_cast<std::size_t>(pc)] = true;
+                if (pc == to)
+                    return true;
+                for (int s : succsOf(pc))
+                    work.push_back(s);
+            }
+            return false;
+        };
+
+        const Dim3 *block =
+            ctx.launch().known ? &ctx.launch().block : nullptr;
+
+        for (std::size_t i = 0; i < accs.size(); ++i) {
+            for (std::size_t j = i; j < accs.size(); ++j) {
+                const Access &a = accs[i];
+                const Access &b = accs[j];
+                if (!a.isStore && !b.isStore)
+                    continue; // load/load pairs never race
+                // Same synchronization interval? A single instruction
+                // races with itself across lanes; distinct instructions
+                // race only when one reaches the other without a bar.
+                if (i != j && !reaches(a.pc, b.pc) && !reaches(b.pc, a.pc))
+                    continue;
+                if (!mayConflictAcrossLanes(a.expr, a.bytes, b.expr,
+                                            b.bytes, block))
+                    continue;
+                const Access &at = a.isStore ? a : b;  // anchor: a store
+                const Access &other = a.isStore ? b : a;
+                std::ostringstream msg;
+                if (i == j) {
+                    msg << "shared store may touch the same bytes from "
+                           "two lanes (addr "
+                        << at.expr.toString(k) << ")";
+                } else {
+                    msg << "shared " << (at.isStore ? "store" : "access")
+                        << " (addr " << at.expr.toString(k)
+                        << ") may race with the shared "
+                        << (other.isStore ? "store" : "load") << " at pc "
+                        << other.pc << " (addr " << other.expr.toString(k)
+                        << "); no barrier separates them";
+                }
+                eng.report("DAC-W003", Severity::Warning, at.pc, at.block,
+                           msg.str(),
+                           "insert `bar;` between the accesses or make "
+                           "the per-lane indices provably disjoint");
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// DAC-W004 / DAC-W005: unreachable blocks and dead stores.
+// ---------------------------------------------------------------------------
+
+class DeadCodeChecker final : public Checker
+{
+  public:
+    const char *name() const override { return "dead-code"; }
+
+    void
+    run(const AnalysisContext &ctx, DiagnosticEngine &eng) const override
+    {
+        const Kernel &k = ctx.kernel();
+        const Cfg &cfg = ctx.cfg();
+
+        for (int b = 0; b < cfg.numBlocks(); ++b) {
+            if (ctx.dom().reachable(b))
+                continue;
+            const BasicBlock &bb = cfg.blocks()[static_cast<std::size_t>(b)];
+            eng.report("DAC-W004", Severity::Warning, bb.first, b,
+                       "basic block b" + std::to_string(b) + " (pc " +
+                           std::to_string(bb.first) + ".." +
+                           std::to_string(bb.last) +
+                           ") is unreachable from the entry",
+                       "delete the block or add a path to it");
+        }
+
+        forEachReachablePc(ctx, [&](int pc, int b) {
+            const Instruction &inst = k.insts[static_cast<std::size_t>(pc)];
+            // Pure computations only: memory, queue, and control
+            // instructions have effects beyond their destination.
+            if (inst.isMemory() || inst.isBranch() || inst.isBarrier() ||
+                inst.isExit() || inst.isEnq() || inst.isDeq())
+                return;
+            bool dead = false;
+            std::string n;
+            if (inst.dst.isReg() && !ctx.liveness().liveOutReg(
+                                        pc, inst.dst.index)) {
+                dead = true;
+                n = regName(false, inst.dst.index);
+            } else if (inst.dst.isPred() && !ctx.liveness().liveOutPred(
+                                                pc, inst.dst.index)) {
+                dead = true;
+                n = regName(true, inst.dst.index);
+            }
+            if (!dead)
+                return;
+            eng.report("DAC-W005", Severity::Warning, pc, b,
+                       "result " + n + " of `" + ctx.instText(pc) +
+                           "` is never read (dead store)",
+                       "delete this instruction");
+        });
+    }
+};
+
+// ---------------------------------------------------------------------------
+// DAC-I006: global-access coalescing grade.
+// ---------------------------------------------------------------------------
+
+class CoalescingChecker final : public Checker
+{
+  public:
+    const char *name() const override { return "coalescing"; }
+
+    void
+    run(const AnalysisContext &ctx, DiagnosticEngine &eng) const override
+    {
+        const Kernel &k = ctx.kernel();
+        // With known launch bounds and block.x a multiple of the warp
+        // size, tid.y/z are constant within any warp and their address
+        // terms cannot affect intra-warp coalescing.
+        bool yzWarpUniform =
+            ctx.launch().known && ctx.launch().block.x % warpSize == 0;
+
+        forEachReachablePc(ctx, [&](int pc, int b) {
+            const Instruction &inst = k.insts[static_cast<std::size_t>(pc)];
+            if (!inst.isMemory() || inst.space != MemSpace::Global)
+                return;
+            const AddrExpr e = ctx.addr().addrOf(pc);
+            const int bytes = memWidthBytes(inst.width);
+            const char *what = inst.isStore() ? "store" : "load";
+
+            if (!e.known) {
+                eng.report("DAC-I006", Severity::Info, pc, b,
+                           std::string("global ") + what +
+                               " address is data-dependent; coalescing "
+                               "not statically gradable");
+                return;
+            }
+            if ((e.tid[1] != 0 || e.tid[2] != 0) && !yzWarpUniform) {
+                eng.report("DAC-I006", Severity::Info, pc, b,
+                           std::string("global ") + what +
+                               " address varies with tid.y/z; grade "
+                               "depends on launch shape");
+                return;
+            }
+            long long c = e.tid[0] < 0 ? -e.tid[0] : e.tid[0];
+            if (c == 0) {
+                eng.report("DAC-I006", Severity::Info, pc, b,
+                           std::string("global ") + what +
+                               " address is uniform across the warp "
+                               "(broadcast): one transaction");
+                return;
+            }
+            if (c == bytes) {
+                eng.report("DAC-I006", Severity::Info, pc, b,
+                           std::string("global ") + what +
+                               " is fully coalesced (unit stride of " +
+                               std::to_string(bytes) + " bytes)");
+                return;
+            }
+            // Estimated 128-byte transactions for one 32-lane warp.
+            long long span = c * (warpSize - 1) + bytes;
+            long long tx = (span + lineSizeBytes - 1) / lineSizeBytes;
+            if (tx > warpSize)
+                tx = warpSize;
+            std::string msg = "global " + std::string(what) +
+                              " has tid.x stride " + std::to_string(c) +
+                              " bytes (access width " +
+                              std::to_string(bytes) + "): ~" +
+                              std::to_string(tx) +
+                              " transactions per warp";
+            if (tx >= 8) {
+                eng.report("DAC-I006", Severity::Warning, pc, b,
+                           msg + "; poorly coalesced",
+                           "restructure toward unit stride or stage "
+                           "through shared memory");
+            } else {
+                eng.report("DAC-I006", Severity::Info, pc, b, msg);
+            }
+        });
+    }
+};
+
+// ---------------------------------------------------------------------------
+// DAC-E007: decoupler soundness (implementation in soundness.cc).
+// ---------------------------------------------------------------------------
+
+class DecouplerSoundnessChecker final : public Checker
+{
+  public:
+    const char *name() const override { return "decoupler-soundness"; }
+
+    void
+    run(const AnalysisContext &ctx, DiagnosticEngine &eng) const override
+    {
+        DecoupledKernel dec = decouple(ctx.kernel(), ctx.dacConfig());
+        auditDecoupling(ctx, dec, eng);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Checker>
+makeUninitChecker()
+{
+    return std::make_unique<UninitChecker>();
+}
+
+std::unique_ptr<Checker>
+makeBarrierDivergenceChecker()
+{
+    return std::make_unique<BarrierDivergenceChecker>();
+}
+
+std::unique_ptr<Checker>
+makeSharedRaceChecker()
+{
+    return std::make_unique<SharedRaceChecker>();
+}
+
+std::unique_ptr<Checker>
+makeDeadCodeChecker()
+{
+    return std::make_unique<DeadCodeChecker>();
+}
+
+std::unique_ptr<Checker>
+makeCoalescingChecker()
+{
+    return std::make_unique<CoalescingChecker>();
+}
+
+std::unique_ptr<Checker>
+makeDecouplerSoundnessChecker()
+{
+    return std::make_unique<DecouplerSoundnessChecker>();
+}
+
+} // namespace dacsim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The built-in checker catalog (DESIGN.md §10):
+ *
+ *   DAC-W001  possibly-uninitialized register read
+ *   DAC-E002  barrier under divergent (non-uniform) control flow
+ *   DAC-W003  static shared-memory race
+ *   DAC-W004  unreachable basic block
+ *   DAC-W005  dead store (pure result never read)
+ *   DAC-I006  global-access coalescing grade (info; warning when poor)
+ *   DAC-E007  decoupler soundness violation (see soundness.h)
+ */
+
+#ifndef DACSIM_ANALYSIS_CHECKERS_H
+#define DACSIM_ANALYSIS_CHECKERS_H
+
+#include <memory>
+
+#include "analysis/pass_manager.h"
+
+namespace dacsim
+{
+
+std::unique_ptr<Checker> makeUninitChecker();
+std::unique_ptr<Checker> makeBarrierDivergenceChecker();
+std::unique_ptr<Checker> makeSharedRaceChecker();
+std::unique_ptr<Checker> makeDeadCodeChecker();
+std::unique_ptr<Checker> makeCoalescingChecker();
+std::unique_ptr<Checker> makeDecouplerSoundnessChecker();
+
+} // namespace dacsim
+
+#endif // DACSIM_ANALYSIS_CHECKERS_H

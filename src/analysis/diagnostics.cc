@@ -1,0 +1,175 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+namespace dacsim
+{
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+DiagnosticEngine::DiagnosticEngine(const Kernel &kernel) : kernel_(kernel)
+{
+}
+
+bool
+DiagnosticEngine::suppressedAt(int pc, const std::string &rule) const
+{
+    auto it = kernel_.lintAllows.find(pc);
+    if (it == kernel_.lintAllows.end())
+        return false;
+    for (const std::string &r : it->second)
+        if (r == rule || r == "*")
+            return true;
+    return false;
+}
+
+void
+DiagnosticEngine::report(const std::string &rule, Severity sev, int pc,
+                         int block, const std::string &message,
+                         const std::string &fixit)
+{
+    Diagnostic d;
+    d.rule = rule;
+    d.severity = sev;
+    d.kernel = kernel_.name;
+    d.pc = pc;
+    d.block = block;
+    d.message = message;
+    d.fixit = fixit;
+    d.suppressed = suppressedAt(pc, rule);
+    findings_.push_back(std::move(d));
+}
+
+LintReport
+DiagnosticEngine::finish() const
+{
+    LintReport rep;
+    rep.kernel = kernel_.name;
+    rep.findings = findings_;
+    std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         return std::tie(a.pc, a.rule, a.message) <
+                                std::tie(b.pc, b.rule, b.message);
+                     });
+    for (const Diagnostic &d : rep.findings) {
+        if (d.suppressed) {
+            ++rep.numSuppressed;
+            continue;
+        }
+        switch (d.severity) {
+          case Severity::Error: ++rep.numErrors; break;
+          case Severity::Warning: ++rep.numWarnings; break;
+          case Severity::Info: ++rep.numInfos; break;
+        }
+    }
+    return rep;
+}
+
+std::string
+LintReport::renderText() const
+{
+    std::ostringstream os;
+    os << "kernel " << kernel << ": " << numErrors << " error(s), "
+       << numWarnings << " warning(s), " << numInfos << " info(s)";
+    if (numSuppressed)
+        os << ", " << numSuppressed << " suppressed";
+    os << "\n";
+    for (const Diagnostic &d : findings) {
+        os << "  " << kernel << ":";
+        if (d.pc >= 0)
+            os << d.pc;
+        else
+            os << "-";
+        os << " [" << d.rule << "] " << severityName(d.severity);
+        if (d.suppressed)
+            os << " (suppressed)";
+        os << ": " << d.message << "\n";
+        if (!d.fixit.empty())
+            os << "      fix-it: " << d.fixit << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+LintReport::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\"kernel\": \"" << jsonEscape(kernel) << "\",\n"
+       << " \"errors\": " << numErrors << ", \"warnings\": " << numWarnings
+       << ", \"infos\": " << numInfos
+       << ", \"suppressed\": " << numSuppressed << ",\n"
+       << " \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Diagnostic &d = findings[i];
+        os << (i ? ",\n  " : "\n  ");
+        os << "{\"rule\": \"" << d.rule << "\", \"severity\": \""
+           << severityName(d.severity) << "\", \"pc\": " << d.pc
+           << ", \"block\": " << d.block << ", \"suppressed\": "
+           << (d.suppressed ? "true" : "false") << ", \"message\": \""
+           << jsonEscape(d.message) << "\", \"fixit\": \""
+           << jsonEscape(d.fixit) << "\"}";
+    }
+    os << (findings.empty() ? "]}" : "\n ]}");
+    return os.str();
+}
+
+std::string
+renderJsonReportList(const std::vector<LintReport> &reports)
+{
+    std::ostringstream os;
+    int errors = 0, warnings = 0;
+    for (const LintReport &r : reports) {
+        errors += r.numErrors;
+        warnings += r.numWarnings;
+    }
+    os << "{\"errors\": " << errors << ", \"warnings\": " << warnings
+       << ",\n \"kernels\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        os << reports[i].renderJson() << (i + 1 < reports.size() ? ",\n"
+                                                                 : "\n");
+    os << "]}\n";
+    return os.str();
+}
+
+} // namespace dacsim

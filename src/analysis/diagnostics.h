@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Structured diagnostics for the kernel-IR static-analysis framework
+ * (DESIGN.md §10).
+ *
+ * Checkers report findings through a DiagnosticEngine; finish() seals
+ * them into an immutable LintReport with deterministic ordering, text
+ * and JSON renderings, and severity counts. Findings carry a stable
+ * rule ID (e.g. "DAC-W005") so suppressions and golden fixtures stay
+ * valid across message-wording changes.
+ *
+ * Suppression: a kernel-source comment `// lint:allow(RULE[, RULE...])`
+ * on (or immediately before) an instruction marks that instruction's
+ * findings for the listed rules as suppressed. Suppressed findings
+ * remain in the report (flagged) but do not count toward the severity
+ * totals or the lint exit status.
+ */
+
+#ifndef DACSIM_ANALYSIS_DIAGNOSTICS_H
+#define DACSIM_ANALYSIS_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace dacsim
+{
+
+enum class Severity
+{
+    Info,
+    Warning,
+    Error,
+};
+
+const char *severityName(Severity s);
+
+/** One immutable finding. */
+struct Diagnostic
+{
+    std::string rule;      ///< stable ID, e.g. "DAC-W005"
+    Severity severity = Severity::Warning;
+    std::string kernel;    ///< kernel name
+    int pc = -1;           ///< instruction index; -1 for kernel-level
+    int block = -1;        ///< basic-block id; -1 when not applicable
+    std::string message;
+    std::string fixit;     ///< suggested fix ("" when none)
+    bool suppressed = false;
+};
+
+/** Sealed result of one kernel's analysis. */
+struct LintReport
+{
+    std::string kernel;
+    /** Sorted by (pc, rule, message); suppressed findings included. */
+    std::vector<Diagnostic> findings;
+    int numErrors = 0;     ///< active (unsuppressed) errors
+    int numWarnings = 0;
+    int numInfos = 0;
+    int numSuppressed = 0;
+
+    bool clean() const { return numErrors == 0; }
+
+    /** Human-readable report (one finding per line plus a summary). */
+    std::string renderText() const;
+    /** One JSON object (stable key order, sorted findings). */
+    std::string renderJson() const;
+};
+
+/**
+ * Collects findings for one kernel. The engine applies the kernel's
+ * `lint:allow` pragmas as findings arrive; checkers never see or
+ * mutate previously reported findings.
+ */
+class DiagnosticEngine
+{
+  public:
+    /** @p kernel supplies the name and the suppression pragmas. */
+    explicit DiagnosticEngine(const Kernel &kernel);
+
+    /** Report one finding at instruction @p pc (-1: kernel-level). */
+    void report(const std::string &rule, Severity sev, int pc, int block,
+                const std::string &message, const std::string &fixit = "");
+
+    /** Seal: sort, count, and return the immutable report. */
+    LintReport finish() const;
+
+  private:
+    const Kernel &kernel_;
+    std::vector<Diagnostic> findings_;
+
+    bool suppressedAt(int pc, const std::string &rule) const;
+};
+
+/** Combined multi-kernel JSON document (array under "kernels"). */
+std::string renderJsonReportList(const std::vector<LintReport> &reports);
+
+} // namespace dacsim
+
+#endif // DACSIM_ANALYSIS_DIAGNOSTICS_H

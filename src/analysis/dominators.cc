@@ -1,0 +1,69 @@
+#include "analysis/dominators.h"
+
+namespace dacsim
+{
+
+DomTree::DomTree(const Cfg &cfg)
+{
+    const int nb = cfg.numBlocks();
+    idom_.assign(static_cast<std::size_t>(nb), -1);
+    if (nb == 0)
+        return;
+
+    // Position of each block in reverse post-order, for intersect().
+    std::vector<int> rpoIndex(static_cast<std::size_t>(nb), -1);
+    const std::vector<int> &rpo = cfg.rpo();
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpoIndex[static_cast<std::size_t>(a)] >
+                   rpoIndex[static_cast<std::size_t>(b)])
+                a = idom_[static_cast<std::size_t>(a)];
+            while (rpoIndex[static_cast<std::size_t>(b)] >
+                   rpoIndex[static_cast<std::size_t>(a)])
+                b = idom_[static_cast<std::size_t>(b)];
+        }
+        return a;
+    };
+
+    idom_[0] = 0; // sentinel: entry is its own idom during iteration
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo) {
+            if (b == 0)
+                continue;
+            int newIdom = -1;
+            for (int p : cfg.blocks()[static_cast<std::size_t>(b)].preds) {
+                if (idom_[static_cast<std::size_t>(p)] < 0)
+                    continue; // predecessor not yet reached
+                newIdom = newIdom < 0 ? p : intersect(p, newIdom);
+            }
+            if (newIdom >= 0 &&
+                idom_[static_cast<std::size_t>(b)] != newIdom) {
+                idom_[static_cast<std::size_t>(b)] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    idom_[0] = -1; // restore the public convention
+}
+
+bool
+DomTree::dominates(int a, int b) const
+{
+    if (!reachable(b))
+        return false;
+    while (true) {
+        if (a == b)
+            return true;
+        int up = idom_.at(static_cast<std::size_t>(b));
+        if (up < 0)
+            return false;
+        b = up;
+    }
+}
+
+} // namespace dacsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Forward dominator tree over a Cfg (DESIGN.md §10).
+ *
+ * The Cfg already computes *post*-dominators (for SIMT reconvergence);
+ * the analysis framework also needs forward dominance — e.g. to tell
+ * which blocks are reachable at all, and whether a barrier separates
+ * two accesses on every path. Implemented with the Cooper-Harvey-
+ * Kennedy iterative algorithm over the reverse post-order the Cfg
+ * already exposes.
+ */
+
+#ifndef DACSIM_ANALYSIS_DOMINATORS_H
+#define DACSIM_ANALYSIS_DOMINATORS_H
+
+#include <vector>
+
+#include "compiler/cfg.h"
+
+namespace dacsim
+{
+
+class DomTree
+{
+  public:
+    explicit DomTree(const Cfg &cfg);
+
+    /** Immediate dominator of block @p b; -1 for the entry block and
+     * for blocks unreachable from the entry. */
+    int idom(int b) const { return idom_.at(static_cast<std::size_t>(b)); }
+
+    /** Is block @p b reachable from the entry block? */
+    bool
+    reachable(int b) const
+    {
+        return b == 0 || idom_.at(static_cast<std::size_t>(b)) >= 0;
+    }
+
+    /** Does @p a dominate @p b (a == b counts)? False when @p b is
+     * unreachable. */
+    bool dominates(int a, int b) const;
+
+  private:
+    std::vector<int> idom_;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,124 @@
+#include "analysis/liveness.h"
+
+namespace dacsim
+{
+
+namespace
+{
+
+void
+setBit(std::vector<std::uint64_t> &v, int i)
+{
+    v[static_cast<std::size_t>(i >> 6)] |= 1ull << (i & 63);
+}
+
+void
+clearBit(std::vector<std::uint64_t> &v, int i)
+{
+    v[static_cast<std::size_t>(i >> 6)] &= ~(1ull << (i & 63));
+}
+
+bool
+orInto(std::vector<std::uint64_t> &dst, const std::vector<std::uint64_t> &src)
+{
+    bool changed = false;
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+        std::uint64_t merged = dst[i] | src[i];
+        changed |= merged != dst[i];
+        dst[i] = merged;
+    }
+    return changed;
+}
+
+} // namespace
+
+Liveness::Liveness(const Kernel &kernel, const Cfg &cfg)
+    : numRegs_(kernel.numRegs),
+      words_((kernel.numRegs + kernel.numPreds + 63) / 64)
+{
+    const int n = kernel.numInsts();
+    liveOut_.assign(static_cast<std::size_t>(n),
+                    std::vector<std::uint64_t>(
+                        static_cast<std::size_t>(words_), 0));
+    if (n == 0 || words_ == 0)
+        return;
+
+    auto useOf = [&](int pc, std::vector<std::uint64_t> &live) {
+        const Instruction &inst = kernel.insts[pc];
+        for (int i = 0; i < numSources(inst.op); ++i) {
+            const Operand &op = inst.src[i];
+            if (op.isReg())
+                setBit(live, op.index);
+            else if (op.isPred())
+                setBit(live, numRegs_ + op.index);
+        }
+        if (inst.guardPred >= 0)
+            setBit(live, numRegs_ + inst.guardPred);
+    };
+    auto defOf = [&](int pc, std::vector<std::uint64_t> &live) {
+        const Instruction &inst = kernel.insts[pc];
+        if (inst.guardPred >= 0)
+            return; // guarded defs do not kill
+        if (inst.dst.isReg())
+            clearBit(live, inst.dst.index);
+        else if (inst.dst.isPred())
+            clearBit(live, numRegs_ + inst.dst.index);
+    };
+
+    // Block-level fixpoint.
+    const auto &blocks = cfg.blocks();
+    const std::size_t nb = blocks.size();
+    std::vector<std::vector<std::uint64_t>> blockIn(
+        nb, std::vector<std::uint64_t>(static_cast<std::size_t>(words_), 0));
+    std::vector<std::vector<std::uint64_t>> blockOut = blockIn;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Post-order-ish: iterate RPO backwards for fast convergence.
+        const std::vector<int> &rpo = cfg.rpo();
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            int b = *it;
+            auto &out = blockOut[static_cast<std::size_t>(b)];
+            for (int s : blocks[static_cast<std::size_t>(b)].succs)
+                changed |= orInto(out, blockIn[static_cast<std::size_t>(s)]);
+            std::vector<std::uint64_t> live = out;
+            for (int pc = blocks[static_cast<std::size_t>(b)].last;
+                 pc >= blocks[static_cast<std::size_t>(b)].first; --pc) {
+                defOf(pc, live);
+                useOf(pc, live);
+            }
+            changed |= orInto(blockIn[static_cast<std::size_t>(b)], live);
+        }
+    }
+
+    // Per-instruction live-out, one backward pass per block.
+    for (std::size_t b = 0; b < nb; ++b) {
+        std::vector<std::uint64_t> live = blockOut[b];
+        for (int pc = blocks[b].last; pc >= blocks[b].first; --pc) {
+            liveOut_[static_cast<std::size_t>(pc)] = live;
+            defOf(pc, live);
+            useOf(pc, live);
+        }
+    }
+}
+
+bool
+Liveness::bit(int pc, int idx) const
+{
+    const auto &v = liveOut_.at(static_cast<std::size_t>(pc));
+    return (v[static_cast<std::size_t>(idx >> 6)] >> (idx & 63)) & 1;
+}
+
+bool
+Liveness::liveOutReg(int pc, int reg) const
+{
+    return bit(pc, reg);
+}
+
+bool
+Liveness::liveOutPred(int pc, int pred) const
+{
+    return bit(pc, numRegs_ + pred);
+}
+
+} // namespace dacsim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Backward liveness of general and predicate registers over a kernel
+ * (DESIGN.md §10). Used by the dead-store checker: a pure ALU result
+ * whose destination is not live out of its instruction can never be
+ * observed.
+ *
+ * Guarded definitions are treated as non-killing (the incumbent value
+ * survives for threads failing the guard), matching the reaching-defs
+ * lattice in src/compiler.
+ */
+
+#ifndef DACSIM_ANALYSIS_LIVENESS_H
+#define DACSIM_ANALYSIS_LIVENESS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/cfg.h"
+#include "isa/instruction.h"
+
+namespace dacsim
+{
+
+class Liveness
+{
+  public:
+    Liveness(const Kernel &kernel, const Cfg &cfg);
+
+    /** Is register @p reg live just after instruction @p pc? */
+    bool liveOutReg(int pc, int reg) const;
+    /** Is predicate @p pred live just after instruction @p pc? */
+    bool liveOutPred(int pc, int pred) const;
+
+  private:
+    int numRegs_;
+    int words_;
+    /** Live-out bitset per instruction: regs then predicates. */
+    std::vector<std::vector<std::uint64_t>> liveOut_;
+
+    bool bit(int pc, int idx) const;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_ANALYSIS_LIVENESS_H

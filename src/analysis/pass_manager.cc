@@ -1,0 +1,67 @@
+#include "analysis/pass_manager.h"
+
+#include <utility>
+
+#include "analysis/checkers.h"
+
+namespace dacsim
+{
+
+AnalysisContext::AnalysisContext(const Kernel &kernel, const DacConfig &dac,
+                                 LaunchBoundsHint launch)
+    : kernel_(kernel),
+      dac_(dac),
+      launch_(launch),
+      cfg_(analyzeControlFlow(kernel_)),
+      rd_(kernel_, cfg_),
+      aa_(kernel_, cfg_, rd_, dac_.maxDivergentConditions),
+      dom_(cfg_),
+      live_(kernel_, cfg_),
+      addr_(kernel_, cfg_, rd_)
+{
+}
+
+std::string
+AnalysisContext::instText(int pc) const
+{
+    return instToString(kernel_.insts.at(static_cast<std::size_t>(pc)),
+                        kernel_.params);
+}
+
+void
+PassManager::add(std::unique_ptr<Checker> checker)
+{
+    checkers_.push_back(std::move(checker));
+}
+
+LintReport
+PassManager::run(const AnalysisContext &ctx) const
+{
+    DiagnosticEngine eng(ctx.kernel());
+    for (const auto &c : checkers_)
+        c->run(ctx, eng);
+    return eng.finish();
+}
+
+LintReport
+PassManager::run(const Kernel &kernel, const DacConfig &dac,
+                 LaunchBoundsHint launch) const
+{
+    AnalysisContext ctx(kernel, dac, launch);
+    return run(ctx);
+}
+
+PassManager
+PassManager::withAllCheckers()
+{
+    PassManager pm;
+    pm.add(makeUninitChecker());
+    pm.add(makeBarrierDivergenceChecker());
+    pm.add(makeSharedRaceChecker());
+    pm.add(makeDeadCodeChecker());
+    pm.add(makeCoalescingChecker());
+    pm.add(makeDecouplerSoundnessChecker());
+    return pm;
+}
+
+} // namespace dacsim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The static-analysis pass manager (DESIGN.md §10).
+ *
+ * An AnalysisContext bundles every IR-level analysis the checkers
+ * consume — CFG with post-dominators, forward dominator tree,
+ * reaching definitions, affine types, liveness, and symbolic address
+ * expressions — computed once per kernel and shared read-only.
+ * Checkers are stateless visitors that report findings through a
+ * DiagnosticEngine; the PassManager runs a checker pipeline over one
+ * kernel and seals the result into an immutable LintReport.
+ */
+
+#ifndef DACSIM_ANALYSIS_PASS_MANAGER_H
+#define DACSIM_ANALYSIS_PASS_MANAGER_H
+
+#include <memory>
+#include <vector>
+
+#include "analysis/addr_expr.h"
+#include "analysis/diagnostics.h"
+#include "analysis/dominators.h"
+#include "analysis/liveness.h"
+#include "common/config.h"
+#include "compiler/affine_types.h"
+#include "compiler/cfg.h"
+#include "compiler/reaching_defs.h"
+
+namespace dacsim
+{
+
+/** Optional launch dimensions, when the caller knows them (workload
+ * registry, harness). Unknown dimensions make the race checker
+ * conservative. */
+struct LaunchBoundsHint
+{
+    bool known = false;
+    Dim3 block{};
+};
+
+class AnalysisContext
+{
+  public:
+    AnalysisContext(const Kernel &kernel, const DacConfig &dac,
+                    LaunchBoundsHint launch = {});
+
+    const Kernel &kernel() const { return kernel_; }
+    const Cfg &cfg() const { return cfg_; }
+    const ReachingDefs &rd() const { return rd_; }
+    const AffineAnalysis &aa() const { return aa_; }
+    const DomTree &dom() const { return dom_; }
+    const Liveness &liveness() const { return live_; }
+    const AddrExprAnalysis &addr() const { return addr_; }
+    const DacConfig &dacConfig() const { return dac_; }
+    const LaunchBoundsHint &launch() const { return launch_; }
+
+    /** instToString with this kernel's parameter names. */
+    std::string instText(int pc) const;
+
+  private:
+    Kernel kernel_; ///< analysed private copy (reconvergence PCs set)
+    DacConfig dac_;
+    LaunchBoundsHint launch_;
+    Cfg cfg_;
+    ReachingDefs rd_;
+    AffineAnalysis aa_;
+    DomTree dom_;
+    Liveness live_;
+    AddrExprAnalysis addr_;
+};
+
+/** One stateless checker; registered with a PassManager. */
+class Checker
+{
+  public:
+    virtual ~Checker() = default;
+    virtual const char *name() const = 0;
+    virtual void run(const AnalysisContext &ctx,
+                     DiagnosticEngine &eng) const = 0;
+};
+
+class PassManager
+{
+  public:
+    PassManager() = default;
+
+    void add(std::unique_ptr<Checker> checker);
+
+    const std::vector<std::unique_ptr<Checker>> &
+    checkers() const
+    {
+        return checkers_;
+    }
+
+    /** Run every registered checker over @p ctx and seal the report. */
+    LintReport run(const AnalysisContext &ctx) const;
+
+    /** Convenience: build the context, then run. */
+    LintReport run(const Kernel &kernel, const DacConfig &dac,
+                   LaunchBoundsHint launch = {}) const;
+
+    /** The full pipeline: all six checkers (DESIGN.md §10 catalog). */
+    static PassManager withAllCheckers();
+
+  private:
+    std::vector<std::unique_ptr<Checker>> checkers_;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_ANALYSIS_PASS_MANAGER_H

@@ -1,0 +1,326 @@
+#include "analysis/soundness.h"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dacsim
+{
+
+namespace
+{
+
+constexpr const char *kRule = "DAC-E007";
+
+/** One queue operation, in static program order of its stream. */
+struct QueueOp
+{
+    int origPc;
+    int guardPred;
+    bool guardNeg;
+};
+
+std::vector<QueueOp>
+queueOps(const Kernel &stream, const std::vector<int> &origPc, Opcode op)
+{
+    std::vector<QueueOp> out;
+    for (int pc = 0; pc < stream.numInsts(); ++pc) {
+        const Instruction &inst = stream.insts[static_cast<std::size_t>(pc)];
+        if (inst.op != op)
+            continue;
+        int o = pc < static_cast<int>(origPc.size())
+                    ? origPc[static_cast<std::size_t>(pc)]
+                    : -1;
+        out.push_back({o, inst.guardPred, inst.guardNeg});
+    }
+    return out;
+}
+
+/**
+ * Independent backward slice from the seeds of a decoupled
+ * instruction, walking reaching definitions. Returns false (and
+ * reports) when the slice is not affine-closed or leaves the affine
+ * stream.
+ */
+bool
+auditSlice(const AnalysisContext &ctx, const DecoupledKernel &dec,
+           int pc, const std::vector<Operand> &seeds, DiagnosticEngine &eng)
+{
+    const Kernel &k = ctx.kernel();
+    std::set<int> visited;
+    std::vector<std::pair<int, Operand>> work;
+    for (const Operand &s : seeds)
+        work.emplace_back(pc, s);
+
+    bool ok = true;
+    while (!work.empty() && ok) {
+        auto [usePc, op] = work.back();
+        work.pop_back();
+        std::vector<int> defs;
+        if (op.isReg())
+            defs = ctx.rd().reachingRegDefs(usePc, op.index);
+        else if (op.isPred())
+            defs = ctx.rd().reachingPredDefs(usePc, op.index);
+        else
+            continue;
+        for (int d : defs) {
+            if (ctx.rd().isEntryDef(d) || !visited.insert(d).second)
+                continue;
+            const Instruction &di = k.insts[static_cast<std::size_t>(d)];
+            if (di.isLoad() || di.isDeq()) {
+                eng.report(kRule, Severity::Error, pc,
+                           ctx.cfg().blockOf(pc),
+                           "decoupled instruction's slice crosses the "
+                           "memory result at pc " +
+                               std::to_string(d) +
+                               " — not computable by the affine warp");
+                ok = false;
+                break;
+            }
+            if (ctx.aa().defType(d).isNonAffine()) {
+                eng.report(kRule, Severity::Error, pc,
+                           ctx.cfg().blockOf(pc),
+                           "decoupled instruction depends on the "
+                           "non-affine value defined at pc " +
+                               std::to_string(d));
+                ok = false;
+                break;
+            }
+            if (!dec.inAffineStream[static_cast<std::size_t>(d)]) {
+                eng.report(kRule, Severity::Error, pc,
+                           ctx.cfg().blockOf(pc),
+                           "slice instruction at pc " + std::to_string(d) +
+                               " was not placed in the affine stream "
+                               "(produced-before-consumed violated)");
+                ok = false;
+                break;
+            }
+            for (int i = 0; i < numSources(di.op); ++i)
+                work.emplace_back(d, di.src[i]);
+            if (di.guardPred >= 0)
+                work.emplace_back(d, Operand::pred(di.guardPred));
+        }
+    }
+    return ok;
+}
+
+void
+auditQueueKind(const Kernel &affine, const std::vector<int> &affOrig,
+               const Kernel &nonAffine, const std::vector<int> &naOrig,
+               Opcode enq, Opcode deq, const char *what,
+               DiagnosticEngine &eng)
+{
+    std::vector<QueueOp> prod = queueOps(affine, affOrig, enq);
+    std::vector<QueueOp> cons = queueOps(nonAffine, naOrig, deq);
+    if (prod.size() != cons.size()) {
+        eng.report(kRule, Severity::Error, -1, -1,
+                   std::string(what) + " queue imbalance: " +
+                       std::to_string(prod.size()) + " enq in the affine "
+                       "stream vs " + std::to_string(cons.size()) +
+                       " deq in the non-affine stream");
+        return;
+    }
+    for (std::size_t i = 0; i < prod.size(); ++i) {
+        if (prod[i].origPc != cons[i].origPc) {
+            eng.report(kRule, Severity::Error, cons[i].origPc, -1,
+                       std::string(what) + " queue order mismatch at "
+                       "position " + std::to_string(i) + ": affine "
+                       "stream enqueues for original pc " +
+                           std::to_string(prod[i].origPc) +
+                           " but non-affine stream dequeues for pc " +
+                           std::to_string(cons[i].origPc));
+            return;
+        }
+        if (prod[i].guardPred != cons[i].guardPred ||
+            (prod[i].guardPred >= 0 &&
+             prod[i].guardNeg != cons[i].guardNeg)) {
+            eng.report(kRule, Severity::Error, cons[i].origPc, -1,
+                       std::string(what) + " guard mismatch for original "
+                       "pc " + std::to_string(cons[i].origPc) +
+                           ": producer and consumer are predicated "
+                           "differently");
+        }
+    }
+}
+
+} // namespace
+
+void
+auditDecoupling(const AnalysisContext &ctx, const DecoupledKernel &dec,
+                DiagnosticEngine &eng)
+{
+    const Kernel &k = ctx.kernel();
+    const int n = k.numInsts();
+    const int maxConds = ctx.dacConfig().maxDivergentConditions;
+
+    if (!dec.anyDecoupled) {
+        // Degenerate case: nothing was decoupled; the non-affine stream
+        // must be the untouched original.
+        for (int pc = 0; pc < n; ++pc) {
+            if (dec.decoupled[static_cast<std::size_t>(pc)]) {
+                eng.report(kRule, Severity::Error, pc, ctx.cfg().blockOf(pc),
+                           "kernel reported as undecoupled but pc " +
+                               std::to_string(pc) + " is marked decoupled");
+            }
+        }
+        if (dec.nonAffine.numInsts() != n) {
+            eng.report(kRule, Severity::Error, -1, -1,
+                       "undecoupled kernel's non-affine stream does not "
+                       "match the original instruction count");
+        }
+        return;
+    }
+
+    // 1. Independent affine typing and slice closure per decoupled pc.
+    for (int pc = 0; pc < n; ++pc) {
+        if (!dec.decoupled[static_cast<std::size_t>(pc)])
+            continue;
+        const Instruction &inst = k.insts[static_cast<std::size_t>(pc)];
+        int b = ctx.cfg().blockOf(pc);
+        std::vector<Operand> seeds;
+        bool typeOk = true;
+        switch (inst.op) {
+          case Opcode::Ld:
+          case Opcode::St:
+            if (inst.space != MemSpace::Global) {
+                eng.report(kRule, Severity::Error, pc, b,
+                           "decoupled memory access is not in the global "
+                           "space");
+                typeOk = false;
+            }
+            if (!ctx.aa().srcType(pc, inst.src[0]).affineOk(maxConds)) {
+                eng.report(kRule, Severity::Error, pc, b,
+                           "decoupled access address is not affine-"
+                           "trackable per independent re-analysis");
+                typeOk = false;
+            }
+            seeds.push_back(inst.src[0]);
+            break;
+          case Opcode::Setp:
+            if (!ctx.aa().defType(pc).affineOk(maxConds)) {
+                eng.report(kRule, Severity::Error, pc, b,
+                           "decoupled predicate is not affine-trackable "
+                           "per independent re-analysis");
+                typeOk = false;
+            }
+            seeds.push_back(inst.src[0]);
+            seeds.push_back(inst.src[1]);
+            break;
+          default:
+            eng.report(kRule, Severity::Error, pc, b,
+                       "instruction `" + ctx.instText(pc) +
+                           "` is not a decoupleable kind (ld/st/setp)");
+            typeOk = false;
+            break;
+        }
+        if (inst.guardPred >= 0 &&
+            !ctx.aa().guardType(pc).affineOk(maxConds)) {
+            eng.report(kRule, Severity::Error, pc, b,
+                       "decoupled instruction's guard predicate is not "
+                       "affine-trackable");
+            typeOk = false;
+        }
+        if (typeOk) {
+            if (inst.guardPred >= 0)
+                seeds.push_back(Operand::pred(inst.guardPred));
+            auditSlice(ctx, dec, pc, seeds, eng);
+        }
+    }
+
+    // 2. Affine-stream purity: the affine warp never touches memory
+    // directly and never consumes queues.
+    for (int pc = 0; pc < dec.affine.numInsts(); ++pc) {
+        const Instruction &inst =
+            dec.affine.insts[static_cast<std::size_t>(pc)];
+        if (inst.isMemory() || inst.op == Opcode::DeqPred) {
+            eng.report(kRule, Severity::Error, -1, -1,
+                       "affine stream contains a direct memory/dequeue "
+                       "instruction at its pc " + std::to_string(pc) +
+                           " (`" +
+                           instToString(inst, dec.affine.params) + "`)");
+        }
+    }
+
+    // 3. Queue discipline, per queue kind.
+    auditQueueKind(dec.affine, dec.affineOrigPc, dec.nonAffine,
+                   dec.nonAffineOrigPc, Opcode::EnqData, Opcode::LdDeq,
+                   "load", eng);
+    auditQueueKind(dec.affine, dec.affineOrigPc, dec.nonAffine,
+                   dec.nonAffineOrigPc, Opcode::EnqAddr, Opcode::StDeq,
+                   "store", eng);
+    auditQueueKind(dec.affine, dec.affineOrigPc, dec.nonAffine,
+                   dec.nonAffineOrigPc, Opcode::EnqPred, Opcode::DeqPred,
+                   "predicate", eng);
+
+    // 4a. Control replication: every branch controlling a decoupled
+    // instruction's block must appear in both streams.
+    std::set<int> affPcs(dec.affineOrigPc.begin(), dec.affineOrigPc.end());
+    std::set<int> naPcs(dec.nonAffineOrigPc.begin(),
+                        dec.nonAffineOrigPc.end());
+    std::set<int> checkedBranches;
+    for (int pc = 0; pc < n; ++pc) {
+        if (!dec.decoupled[static_cast<std::size_t>(pc)])
+            continue;
+        int b = ctx.cfg().blockOf(pc);
+        for (int br : ctx.cfg().controlDeps(b)) {
+            int term = ctx.cfg().blocks()[static_cast<std::size_t>(br)].last;
+            if (!ctx.kernel().insts[static_cast<std::size_t>(term)]
+                     .isBranch())
+                continue;
+            if (!checkedBranches.insert(term).second)
+                continue;
+            if (!affPcs.count(term) || !naPcs.count(term)) {
+                eng.report(kRule, Severity::Error, term, br,
+                           "branch controlling the decoupled access at "
+                           "pc " + std::to_string(pc) +
+                               " is not replicated in both streams");
+            }
+        }
+    }
+
+    // 4b. Barrier alignment: the affine stream's barriers must be
+    // exactly the original barriers whose non-affine replica is
+    // epoch-counted, in the same order, and every affine barrier must
+    // itself be epoch-counted.
+    std::vector<int> affBars;
+    for (int pc = 0; pc < dec.affine.numInsts(); ++pc) {
+        const Instruction &inst =
+            dec.affine.insts[static_cast<std::size_t>(pc)];
+        if (!inst.isBarrier())
+            continue;
+        if (!inst.epochCounted) {
+            eng.report(kRule, Severity::Error,
+                       dec.affineOrigPc[static_cast<std::size_t>(pc)], -1,
+                       "affine-stream barrier is not epoch-counted");
+        }
+        affBars.push_back(dec.affineOrigPc[static_cast<std::size_t>(pc)]);
+    }
+    std::vector<int> naBars;
+    for (int pc = 0; pc < dec.nonAffine.numInsts(); ++pc) {
+        const Instruction &inst =
+            dec.nonAffine.insts[static_cast<std::size_t>(pc)];
+        if (inst.isBarrier() && inst.epochCounted)
+            naBars.push_back(
+                dec.nonAffineOrigPc[static_cast<std::size_t>(pc)]);
+    }
+    if (affBars != naBars) {
+        eng.report(kRule, Severity::Error, -1, -1,
+                   "epoch-counted barrier sequences of the two streams "
+                   "disagree (" + std::to_string(affBars.size()) +
+                       " affine vs " + std::to_string(naBars.size()) +
+                       " non-affine)");
+    }
+}
+
+LintReport
+auditDecoupling(const Kernel &kernel, const DacConfig &cfg)
+{
+    AnalysisContext ctx(kernel, cfg);
+    DiagnosticEngine eng(ctx.kernel());
+    DecoupledKernel dec = decouple(ctx.kernel(), cfg);
+    auditDecoupling(ctx, dec, eng);
+    return eng.finish();
+}
+
+} // namespace dacsim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The decoupler soundness auditor (rule DAC-E007, DESIGN.md §10).
+ *
+ * Independently re-derives what the decoupling pass must have proven
+ * and cross-checks its output:
+ *
+ *  1. every decoupled instruction's address/predicate really is
+ *     affine-trackable under the configured condition budget, and its
+ *     backward slice is affine-closed (no loads, no non-affine defs)
+ *     and fully materialized in the affine stream;
+ *  2. the affine stream contains no direct memory instructions and no
+ *     dequeues — it communicates with memory only through enq.*;
+ *  3. queue traffic is produced before it is consumed: the static
+ *     enq.data/enq.addr/enq.pred sequences of the affine stream line
+ *     up one-to-one (by original PC, in program order, with matching
+ *     guards) with the ld.deq/st.deq/deq.pred sequences of the
+ *     non-affine stream;
+ *  4. every branch controlling a decoupled instruction is replicated
+ *     in both streams, and epoch-counted barriers agree.
+ *
+ * Any disagreement with decoupler.cc is reported as a hard error.
+ */
+
+#ifndef DACSIM_ANALYSIS_SOUNDNESS_H
+#define DACSIM_ANALYSIS_SOUNDNESS_H
+
+#include "analysis/diagnostics.h"
+#include "analysis/pass_manager.h"
+#include "compiler/decoupler.h"
+
+namespace dacsim
+{
+
+/** Audit @p dec (produced from ctx.kernel()) and report DAC-E007
+ * findings into @p eng. */
+void auditDecoupling(const AnalysisContext &ctx, const DecoupledKernel &dec,
+                     DiagnosticEngine &eng);
+
+/** Convenience wrapper: decouple @p kernel, audit, and seal a report.
+ * Used by the harness under DACSIM_LINT=1. */
+LintReport auditDecoupling(const Kernel &kernel, const DacConfig &cfg);
+
+} // namespace dacsim
+
+#endif // DACSIM_ANALYSIS_SOUNDNESS_H

@@ -61,14 +61,17 @@ class Decoupling
         int pc, const std::vector<Operand> &seeds) const;
     std::vector<Operand> seedsOf(int pc, CandKind kind) const;
 
-    Kernel buildAffineStream(const std::vector<bool> &deq_pred_live) const;
+    Kernel buildAffineStream(const std::vector<bool> &deq_pred_live,
+                             std::vector<int> &orig_out) const;
     Kernel buildNonAffineStream(std::vector<bool> &present_out,
-                                std::vector<bool> &deq_pred_live_out) const;
+                                std::vector<bool> &deq_pred_live_out,
+                                std::vector<int> &orig_out) const;
 
     static Kernel emitProjection(const Kernel &base,
                                  const std::vector<std::pair<int,
                                      Instruction>> &emitted,
-                                 const std::string &suffix);
+                                 const std::string &suffix,
+                                 std::vector<int> &orig_out);
 };
 
 bool
@@ -255,7 +258,8 @@ Kernel
 Decoupling::emitProjection(
     const Kernel &base,
     const std::vector<std::pair<int, Instruction>> &emitted,
-    const std::string &suffix)
+    const std::string &suffix,
+    std::vector<int> &orig_out)
 {
     Kernel out;
     out.name = base.name + suffix;
@@ -264,7 +268,8 @@ Decoupling::emitProjection(
     out.params = base.params;
     out.sharedBytes = base.sharedBytes;
 
-    std::vector<int> orig;
+    std::vector<int> &orig = orig_out;
+    orig.clear();
     orig.reserve(emitted.size());
     for (const auto &[opc, inst] : emitted) {
         orig.push_back(opc);
@@ -289,7 +294,8 @@ Decoupling::emitProjection(
 
 Kernel
 Decoupling::buildNonAffineStream(std::vector<bool> &present_out,
-                                 std::vector<bool> &deq_pred_live_out) const
+                                 std::vector<bool> &deq_pred_live_out,
+                                 std::vector<int> &orig_out) const
 {
     const int n = kernel_.numInsts();
     // Replace decoupled instructions in place (same PC positions) so
@@ -370,11 +376,12 @@ Decoupling::buildNonAffineStream(std::vector<bool> &present_out,
             deq_pred_live_out[pc] = true;
         emitted.emplace_back(pc, replaced[pc]);
     }
-    return emitProjection(kernel_, emitted, ".na");
+    return emitProjection(kernel_, emitted, ".na", orig_out);
 }
 
 Kernel
-Decoupling::buildAffineStream(const std::vector<bool> &deq_pred_live) const
+Decoupling::buildAffineStream(const std::vector<bool> &deq_pred_live,
+                              std::vector<int> &orig_out) const
 {
     std::vector<std::pair<int, Instruction>> emitted;
     for (int pc = 0; pc < kernel_.numInsts(); ++pc) {
@@ -427,7 +434,7 @@ Decoupling::buildAffineStream(const std::vector<bool> &deq_pred_live) const
             break;
         }
     }
-    return emitProjection(kernel_, emitted, ".aff");
+    return emitProjection(kernel_, emitted, ".aff", orig_out);
 }
 
 DecoupledKernel
@@ -449,6 +456,10 @@ Decoupling::run()
     if (!feasible) {
         // Nothing decoupled: DAC degenerates to the baseline.
         out.nonAffine = kernel_;
+        out.nonAffineOrigPc.resize(static_cast<std::size_t>(n));
+        for (int pc = 0; pc < n; ++pc)
+            out.nonAffineOrigPc[static_cast<std::size_t>(pc)] = pc;
+        out.affineOrigPc = {-1}; // the synthesized trivial exit
         Kernel trivial;
         trivial.name = kernel_.name + ".aff";
         trivial.numRegs = kernel_.numRegs;
@@ -464,8 +475,9 @@ Decoupling::run()
     }
 
     std::vector<bool> present, deqPredLive;
-    out.nonAffine = buildNonAffineStream(present, deqPredLive);
-    out.affine = buildAffineStream(deqPredLive);
+    out.nonAffine =
+        buildNonAffineStream(present, deqPredLive, out.nonAffineOrigPc);
+    out.affine = buildAffineStream(deqPredLive, out.affineOrigPc);
     out.anyDecoupled = true;
 
     for (int pc = 0; pc < n; ++pc) {

@@ -48,6 +48,16 @@ struct DecoupledKernel
      * instructions count toward DAC's affine coverage (Fig 18). */
     std::vector<bool> coveredByDac;
 
+    // ----- per-emitted-instruction provenance ---------------------------
+    /** For each instruction of `affine`: the original PC it was emitted
+     * from (-1 for synthesized instructions, e.g. the trivial exit of an
+     * undecoupled kernel). An EnqPred shares the PC of its setp. Used by
+     * the decoupler-soundness auditor (DESIGN.md §10) to align the two
+     * streams' queue operations. */
+    std::vector<int> affineOrigPc;
+    /** Same, for `nonAffine`. */
+    std::vector<int> nonAffineOrigPc;
+
     // ----- static summary -------------------------------------------------
     int numDecoupledLoads = 0;
     int numDecoupledStores = 0;

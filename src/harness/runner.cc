@@ -4,6 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include <cstdlib>
+
+#include "analysis/soundness.h"
 #include "common/log.h"
 #include "compiler/cfg.h"
 #include "sim/audit.h"
@@ -67,6 +70,20 @@ runOnce(const Workload &wl, const RunOptions &opt, Technique tech,
     // Decouple unconditionally: DAC needs the streams; baseline runs
     // use the coverage marks to measure Fig 18's coverage metric.
     DecoupledKernel dec = decouple(prep.kernel, opt.dac);
+
+    // With DACSIM_LINT=1, audit the decoupling (rule DAC-E007,
+    // DESIGN.md §10) before simulating anything on top of it.
+    if (const char *lint = std::getenv("DACSIM_LINT");
+        lint != nullptr && lint[0] == '1') {
+        AnalysisContext ctx(prep.kernel, opt.dac,
+                            {true, prep.block});
+        DiagnosticEngine eng(ctx.kernel());
+        auditDecoupling(ctx, dec, eng);
+        LintReport rep = eng.finish();
+        if (!rep.clean())
+            fatal("decoupler soundness audit failed for ", prep.kernel.name,
+                  ":\n", rep.renderText());
+    }
 
     GpuConfig gcfg = opt.gpu;
     gcfg.perfectMemory = opt.perfectMemory;

@@ -57,6 +57,13 @@ class Parser
     int line_ = 0;
     /** bra instructions awaiting label resolution: pc -> label. */
     std::vector<std::pair<int, std::string>> fixups_;
+    /** Rules from a standalone `// lint:allow(...)` pragma line,
+     * waiting to attach to the next instruction. */
+    std::vector<std::string> carryAllows_;
+
+    /** Extract `lint:allow(A, B)` rule names from a comment. */
+    static std::vector<std::string> parseAllowPragma(
+        const std::string &comment);
 
     [[noreturn]] void
     err(const std::string &msg) const
@@ -413,15 +420,57 @@ Parser::parseInstruction(const std::string &text)
     kernel_.insts.push_back(inst);
 }
 
+std::vector<std::string>
+Parser::parseAllowPragma(const std::string &comment)
+{
+    std::vector<std::string> rules;
+    std::size_t at = comment.find("lint:allow(");
+    if (at == std::string::npos)
+        return rules;
+    std::size_t open = at + std::string("lint:allow(").size() - 1;
+    std::size_t close = comment.find(')', open);
+    if (close == std::string::npos)
+        return rules;
+    for (const std::string &part :
+         split(comment.substr(open + 1, close - open - 1), ',')) {
+        std::string r = trim(part);
+        if (!r.empty())
+            rules.push_back(r);
+    }
+    return rules;
+}
+
 void
 Parser::parseLine(std::string text)
 {
-    // Strip comments.
-    if (auto pos = text.find("//"); pos != std::string::npos)
+    // Strip comments, harvesting any lint:allow(...) pragma first.
+    std::vector<std::string> allows;
+    if (auto pos = text.find("//"); pos != std::string::npos) {
+        allows = parseAllowPragma(text.substr(pos));
         text = text.substr(0, pos);
+    }
+    const int firstPc = kernel_.numInsts();
+    // Rules attach to every instruction on this line, or — from a
+    // standalone pragma line — to the next instruction parsed.
+    if (!allows.empty())
+        carryAllows_.insert(carryAllows_.end(), allows.begin(),
+                            allows.end());
+    auto attachAllows = [&] {
+        if (carryAllows_.empty())
+            return;
+        for (int pc = firstPc; pc < kernel_.numInsts(); ++pc) {
+            auto &dst = kernel_.lintAllows[pc];
+            dst.insert(dst.end(), carryAllows_.begin(),
+                       carryAllows_.end());
+        }
+        if (kernel_.numInsts() > firstPc)
+            carryAllows_.clear();
+    };
     text = trim(text);
-    if (text.empty())
+    if (text.empty()) {
+        attachAllows();
         return;
+    }
 
     if (text[0] == '.') {
         parseDirective(text);
@@ -460,6 +509,7 @@ Parser::parseLine(std::string text)
         if (!s.empty())
             parseInstruction(s);
     }
+    attachAllows();
 }
 
 void

@@ -113,6 +113,13 @@ struct Kernel
     int sharedBytes = 0;
     /** Label name -> instruction index (kept for diagnostics). */
     std::map<std::string, int> labels;
+    /**
+     * Static-analysis suppressions: instruction index -> rule IDs
+     * allowed there, from `// lint:allow(RULE)` source pragmas
+     * (DESIGN.md §10). Consulted by the DiagnosticEngine only; the
+     * simulator ignores it.
+     */
+    std::map<int, std::vector<std::string>> lintAllows;
 
     int numInsts() const { return static_cast<int>(insts.size()); }
 

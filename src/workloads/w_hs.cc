@@ -73,7 +73,6 @@ const char *src = R"(
     add r30, r12, r29;
     mul r31, r30, 121;
     shr r31, r31, 7;            // amb drift
-    shl r32, r1, 0;
     add r33, $out, r10;
     st.global.u32 [r33], r31;
     exit;

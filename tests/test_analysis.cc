@@ -1,0 +1,666 @@
+/**
+ * @file
+ * Tests of the kernel-IR static-analysis framework (DESIGN.md §10):
+ * the supporting analyses (dominators, liveness, address expressions),
+ * each checker with at least one positive and one negative case, the
+ * `lint:allow` suppression pragma, report determinism, the decoupler
+ * soundness auditor (including agreement with decoupler.cc over every
+ * registered workload), and golden lint-report fixtures for two
+ * workloads (text + JSON), refreshable with DACSIM_UPDATE_GOLDEN=1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/checkers.h"
+#include "analysis/pass_manager.h"
+#include "analysis/soundness.h"
+#include "compiler/decoupler.h"
+#include "isa/assembler.h"
+#include "workloads/workload.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+LintReport
+lint(const std::string &src, LaunchBoundsHint launch = {})
+{
+    PassManager pm = PassManager::withAllCheckers();
+    return pm.run(assemble(src), DacConfig{}, launch);
+}
+
+int
+countRule(const LintReport &rep, const std::string &rule,
+          bool suppressed = false)
+{
+    int n = 0;
+    for (const Diagnostic &d : rep.findings)
+        if (d.rule == rule && d.suppressed == suppressed)
+            ++n;
+    return n;
+}
+
+/** Prepare one workload at test scale and lint it with launch bounds. */
+LintReport
+lintWorkload(const std::string &name)
+{
+    GpuMemory gmem;
+    PreparedWorkload prep = findWorkload(name).prepare(gmem, 0.05);
+    PassManager pm = PassManager::withAllCheckers();
+    AnalysisContext ctx(prep.kernel, DacConfig{}, {true, prep.block});
+    return pm.run(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Supporting analyses.
+// ---------------------------------------------------------------------------
+
+TEST(DomTree, DiamondDominance)
+{
+    Kernel k = assemble(R"(
+.kernel t
+    mov r0, tid.x;
+    setp.lt p0, r0, 7;
+    @p0 bra ELSE;
+    mov r1, 1;
+    bra JOIN;
+ELSE:
+    mov r1, 2;
+JOIN:
+    exit;
+)");
+    AnalysisContext ctx(k, DacConfig{});
+    const DomTree &dom = ctx.dom();
+    int head = ctx.cfg().blockOf(0);
+    int thenB = ctx.cfg().blockOf(3);
+    int elseB = ctx.cfg().blockOf(5);
+    int join = ctx.cfg().blockOf(6);
+    EXPECT_EQ(dom.idom(thenB), head);
+    EXPECT_EQ(dom.idom(elseB), head);
+    EXPECT_EQ(dom.idom(join), head); // neither arm dominates the join
+    EXPECT_TRUE(dom.dominates(head, join));
+    EXPECT_FALSE(dom.dominates(thenB, join));
+    EXPECT_TRUE(dom.reachable(elseB));
+}
+
+TEST(DomTree, UnreachableBlock)
+{
+    Kernel k = assemble(R"(
+.kernel t
+    bra END;
+    mov r0, 1;
+END:
+    exit;
+)");
+    AnalysisContext ctx(k, DacConfig{});
+    int deadB = ctx.cfg().blockOf(1);
+    EXPECT_FALSE(ctx.dom().reachable(deadB));
+    EXPECT_EQ(ctx.dom().idom(deadB), -1);
+    EXPECT_FALSE(ctx.dom().dominates(0, deadB));
+}
+
+TEST(Liveness, DeadAndLiveResults)
+{
+    Kernel k = assemble(R"(
+.kernel t
+.param out
+    mov r0, 1;
+    mov r1, 2;
+    add r2, $out, 0;
+    st.global.u32 [r2], r1;
+    exit;
+)");
+    AnalysisContext ctx(k, DacConfig{});
+    EXPECT_FALSE(ctx.liveness().liveOutReg(0, 0)); // r0 never read
+    EXPECT_TRUE(ctx.liveness().liveOutReg(1, 1));  // r1 stored later
+    EXPECT_TRUE(ctx.liveness().liveOutReg(2, 2));  // address
+    EXPECT_FALSE(ctx.liveness().liveOutReg(3, 1)); // dead after the store
+}
+
+TEST(AddrExpr, AffineAddressForm)
+{
+    Kernel k = assemble(R"(
+.kernel t
+.param out
+    shl r1, tid.x, 2;
+    add r2, $out, r1;
+    st.global.u32 [r2], 0;
+    exit;
+)");
+    AnalysisContext ctx(k, DacConfig{});
+    AddrExpr e = ctx.addr().addrOf(2);
+    ASSERT_TRUE(e.known);
+    EXPECT_TRUE(e.bounded);
+    EXPECT_EQ(e.tid[0], 4);
+    EXPECT_EQ(e.tid[1], 0);
+    ASSERT_EQ(e.sym.size(), 1u);
+    EXPECT_EQ(e.sym.begin()->first, 0); // param slot 0
+    EXPECT_EQ(e.sym.begin()->second, 1);
+    EXPECT_EQ(e.lo, 0);
+    EXPECT_EQ(e.hi, 0);
+}
+
+TEST(AddrExpr, AndMaskBoundsDataDependentIndex)
+{
+    Kernel k = assemble(R"(
+.kernel t
+.param in
+.shared 64
+    add r0, $in, 0;
+    ld.global.u32 r1, [r0];
+    and r2, r1, 7;
+    shl r3, r2, 2;
+    st.shared.u32 [r3], 1;
+    exit;
+)");
+    AnalysisContext ctx(k, DacConfig{});
+    AddrExpr e = ctx.addr().addrOf(4);
+    ASSERT_TRUE(e.known);
+    EXPECT_TRUE(e.bounded);
+    EXPECT_TRUE(e.pureInterval());
+    EXPECT_EQ(e.lo, 0);
+    EXPECT_EQ(e.hi, 28);
+}
+
+TEST(AddrExpr, LaneConflictPredicate)
+{
+    AddrExpr a;
+    a.known = true;
+    a.tid[0] = 4; // 4*tid.x
+    AddrExpr b = a;
+    Dim3 block{128, 1, 1};
+    // Equal unit-stride lanes never overlap.
+    EXPECT_FALSE(mayConflictAcrossLanes(a, 4, b, 4, &block));
+    // A two-byte offset makes neighbouring lanes overlap.
+    b.lo = b.hi = 2;
+    EXPECT_TRUE(mayConflictAcrossLanes(a, 4, b, 4, &block));
+    // Unknown addresses are conservatively conflicting.
+    EXPECT_TRUE(mayConflictAcrossLanes(AddrExpr::unknown(), 4, a, 4,
+                                       &block));
+}
+
+// ---------------------------------------------------------------------------
+// DAC-W001: possibly-uninitialized reads.
+// ---------------------------------------------------------------------------
+
+TEST(Checkers, UninitReadPositive)
+{
+    LintReport rep = lint(R"(
+.kernel t
+.param out
+    add r1, r0, 1;
+    add r2, $out, 0;
+    st.global.u32 [r2], r1;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-W001"), 1);
+    EXPECT_EQ(rep.findings[0].pc, 0);
+}
+
+TEST(Checkers, UninitReadNegative)
+{
+    LintReport rep = lint(R"(
+.kernel t
+.param out
+    mov r0, 5;
+    add r1, r0, 1;
+    add r2, $out, 0;
+    st.global.u32 [r2], r1;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-W001"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// DAC-E002: barrier divergence.
+// ---------------------------------------------------------------------------
+
+TEST(Checkers, BarrierUnderDivergentBranchIsError)
+{
+    LintReport rep = lint(R"(
+.kernel t
+    mov r0, tid.x;
+    setp.lt p0, r0, 7;
+    @p0 bra SKIP;
+    bar;
+SKIP:
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-E002"), 1);
+    EXPECT_GE(rep.numErrors, 1);
+    EXPECT_FALSE(rep.clean());
+}
+
+TEST(Checkers, BarrierInUniformLoopIsClean)
+{
+    LintReport rep = lint(R"(
+.kernel t
+    mov r0, 0;
+LOOP:
+    bar;
+    add r0, r0, 1;
+    setp.lt p0, r0, 3;
+    @p0 bra LOOP;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-E002"), 0);
+    EXPECT_TRUE(rep.clean());
+}
+
+TEST(Checkers, GuardPredicatedBarrierIsError)
+{
+    LintReport rep = lint(R"(
+.kernel t
+    mov r0, tid.x;
+    setp.lt p0, r0, 7;
+    @p0 bar;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-E002"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// DAC-W003: shared-memory races.
+// ---------------------------------------------------------------------------
+
+TEST(Checkers, SharedStoreSameAddressRaces)
+{
+    LintReport rep = lint(R"(
+.kernel t
+.shared 64
+    mov r0, 0;
+    st.shared.u32 [r0], 1;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-W003"), 1);
+}
+
+TEST(Checkers, StridedPrivateSharedStoreIsClean)
+{
+    // The 1-D launch bound matters: with an unknown (possibly 2-D)
+    // block, two threads could share a tid.x and collide.
+    LintReport rep = lint(R"(
+.kernel t
+.shared 1024
+    shl r1, tid.x, 2;
+    st.shared.u32 [r1], 1;
+    ld.shared.u32 r2, [r1];
+    exit;
+)",
+                          {true, {128, 1, 1}});
+    EXPECT_EQ(countRule(rep, "DAC-W003"), 0);
+}
+
+TEST(Checkers, UnknownLaunchIsConservative)
+{
+    // Same kernel, no launch hint: a 2-D block would make lanes with
+    // equal tid.x collide, so the checker must warn.
+    LintReport rep = lint(R"(
+.kernel t
+.shared 1024
+    shl r1, tid.x, 2;
+    st.shared.u32 [r1], 1;
+    ld.shared.u32 r2, [r1];
+    exit;
+)");
+    EXPECT_GE(countRule(rep, "DAC-W003"), 1);
+}
+
+TEST(Checkers, BarrierSeparatesNeighbourExchange)
+{
+    const char *body = R"(
+    shl r1, tid.x, 2;
+    st.shared.u32 [r1], 1;
+    %s
+    add r2, r1, 4;
+    ld.shared.u32 r3, [r2];
+    exit;
+)";
+    auto make = [&](const char *sync) {
+        char buf[512];
+        std::snprintf(buf, sizeof buf, body, sync);
+        return std::string(".kernel t\n.shared 1024\n") + buf;
+    };
+    LaunchBoundsHint launch{true, {128, 1, 1}};
+    // Without a barrier the neighbour read races with the store...
+    EXPECT_EQ(countRule(lint(make("mov r9, 0;"), launch), "DAC-W003"), 1);
+    // ...and the bar separates the intervals.
+    EXPECT_EQ(countRule(lint(make("bar;"), launch), "DAC-W003"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// DAC-W004 / DAC-W005: dead code.
+// ---------------------------------------------------------------------------
+
+TEST(Checkers, UnreachableBlockReported)
+{
+    LintReport rep = lint(R"(
+.kernel t
+    bra END;
+    mov r0, 1;
+END:
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-W004"), 1);
+    // The unreachable instruction is not double-reported as dead.
+    EXPECT_EQ(countRule(rep, "DAC-W005"), 0);
+}
+
+TEST(Checkers, DeadStoreReported)
+{
+    LintReport rep = lint(R"(
+.kernel t
+.param out
+    mov r0, 1;
+    mov r1, 2;
+    add r2, $out, 0;
+    st.global.u32 [r2], r1;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-W005"), 1);
+    EXPECT_EQ(countRule(rep, "DAC-W004"), 0);
+    ASSERT_FALSE(rep.findings.empty());
+    bool found = false;
+    for (const Diagnostic &d : rep.findings)
+        if (d.rule == "DAC-W005") {
+            EXPECT_EQ(d.pc, 0);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(Checkers, UsedResultNotDead)
+{
+    LintReport rep = lint(R"(
+.kernel t
+.param out
+    mov r1, 2;
+    add r2, $out, 0;
+    st.global.u32 [r2], r1;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-W005"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// DAC-I006: coalescing grades.
+// ---------------------------------------------------------------------------
+
+TEST(Checkers, CoalescingGrades)
+{
+    // Unit stride: info only.
+    LintReport unit = lint(R"(
+.kernel t
+.param out
+    shl r1, tid.x, 2;
+    add r2, $out, r1;
+    st.global.u32 [r2], 0;
+    exit;
+)");
+    EXPECT_EQ(countRule(unit, "DAC-I006"), 1);
+    EXPECT_EQ(unit.numWarnings, 0);
+
+    // 64-byte stride: ~16 transactions/warp, flagged as a warning.
+    LintReport strided = lint(R"(
+.kernel t
+.param out
+    shl r1, tid.x, 6;
+    add r2, $out, r1;
+    st.global.u32 [r2], 0;
+    exit;
+)");
+    EXPECT_EQ(countRule(strided, "DAC-I006"), 1);
+    EXPECT_EQ(strided.numWarnings, 1);
+    for (const Diagnostic &d : strided.findings)
+        if (d.rule == "DAC-I006")
+            EXPECT_EQ(d.severity, Severity::Warning);
+}
+
+TEST(Checkers, BroadcastAddressIsInfo)
+{
+    LintReport rep = lint(R"(
+.kernel t
+.param in
+    add r1, $in, 0;
+    ld.global.u32 r2, [r1];
+    add r3, r2, 1;
+    st.global.u32 [r1], r3;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-I006"), 2); // broadcast load + store
+    EXPECT_EQ(rep.numWarnings, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression pragma.
+// ---------------------------------------------------------------------------
+
+TEST(Suppression, AllowPragmaSuppressesRule)
+{
+    LintReport rep = lint(R"(
+.kernel t
+.param out
+    mov r0, 1;   // lint:allow(DAC-W005) kept for clarity
+    mov r1, 2;
+    add r2, $out, 0;
+    st.global.u32 [r2], r1;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-W005"), 0);
+    EXPECT_EQ(countRule(rep, "DAC-W005", /*suppressed=*/true), 1);
+    EXPECT_EQ(rep.numWarnings, 0);
+    EXPECT_EQ(rep.numSuppressed, 1);
+    EXPECT_TRUE(rep.clean());
+}
+
+TEST(Suppression, PragmaOnPrecedingLineAndWildcard)
+{
+    LintReport rep = lint(R"(
+.kernel t
+.param out
+    // lint:allow(*)
+    mov r0, 1;
+    mov r1, 2;
+    add r2, $out, 0;
+    st.global.u32 [r2], r1;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-W005"), 0);
+    EXPECT_EQ(rep.numSuppressed, 1);
+}
+
+TEST(Suppression, OtherRulesStillFire)
+{
+    LintReport rep = lint(R"(
+.kernel t
+.param out
+    mov r0, 1;   // lint:allow(DAC-W001) wrong rule: does not match
+    mov r1, 2;
+    add r2, $out, 0;
+    st.global.u32 [r2], r1;
+    exit;
+)");
+    EXPECT_EQ(countRule(rep, "DAC-W005"), 1);
+    EXPECT_EQ(rep.numSuppressed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// DAC-E007: decoupler soundness.
+// ---------------------------------------------------------------------------
+
+TEST(Soundness, CleanOnDecoupleableKernel)
+{
+    Kernel k = assemble(R"(
+.kernel t
+.param in out
+    shl r1, tid.x, 2;
+    add r2, $in, r1;
+    ld.global.u32 r3, [r2];
+    add r4, $out, r1;
+    st.global.u32 [r4], r3;
+    exit;
+)");
+    LintReport rep = auditDecoupling(k, DacConfig{});
+    EXPECT_TRUE(rep.clean()) << rep.renderText();
+    DecoupledKernel dec = decouple(k, DacConfig{});
+    EXPECT_TRUE(dec.anyDecoupled);
+}
+
+TEST(Soundness, DetectsTamperedQueueTraffic)
+{
+    Kernel k = assemble(R"(
+.kernel t
+.param in out
+    shl r1, tid.x, 2;
+    add r2, $in, r1;
+    ld.global.u32 r3, [r2];
+    add r4, $out, r1;
+    st.global.u32 [r4], r3;
+    exit;
+)");
+    DacConfig cfg;
+    AnalysisContext ctx(k, cfg);
+    DecoupledKernel dec = decouple(k, cfg);
+    ASSERT_TRUE(dec.anyDecoupled);
+    // Drop the first enq.data from the affine stream: the non-affine
+    // ld.deq would now consume a tuple nobody produced.
+    bool dropped = false;
+    for (std::size_t i = 0; i < dec.affine.insts.size(); ++i) {
+        if (dec.affine.insts[i].op == Opcode::EnqData) {
+            dec.affine.insts.erase(dec.affine.insts.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+            dec.affineOrigPc.erase(dec.affineOrigPc.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+            dropped = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(dropped);
+    DiagnosticEngine eng(ctx.kernel());
+    auditDecoupling(ctx, dec, eng);
+    LintReport rep = eng.finish();
+    EXPECT_GE(rep.numErrors, 1);
+    EXPECT_GE(countRule(rep, "DAC-E007"), 1);
+}
+
+TEST(Soundness, DetectsFalseDecoupledMark)
+{
+    Kernel k = assemble(R"(
+.kernel t
+.param in out
+    add r0, $in, 0;
+    ld.global.u32 r1, [r0];     // data-dependent chain below
+    shl r2, r1, 2;
+    add r3, $in, r2;
+    ld.global.u32 r4, [r3];     // non-affine address
+    shl r5, tid.x, 2;
+    add r6, $out, r5;
+    st.global.u32 [r6], r4;
+    exit;
+)");
+    DacConfig cfg;
+    AnalysisContext ctx(k, cfg);
+    DecoupledKernel dec = decouple(k, cfg);
+    ASSERT_TRUE(dec.anyDecoupled);
+    ASSERT_FALSE(dec.decoupled[4]); // the data-dependent load stays put
+    // Claim the data-dependent load was decoupled: the independent
+    // re-analysis must reject it.
+    dec.decoupled[4] = true;
+    DiagnosticEngine eng(ctx.kernel());
+    auditDecoupling(ctx, dec, eng);
+    EXPECT_GE(eng.finish().numErrors, 1);
+}
+
+TEST(Soundness, AgreesWithDecouplerOnEveryWorkload)
+{
+    for (const Workload &wl : allWorkloads()) {
+        GpuMemory gmem;
+        PreparedWorkload prep = wl.prepare(gmem, 0.05);
+        LintReport rep = auditDecoupling(prep.kernel, DacConfig{});
+        EXPECT_TRUE(rep.clean())
+            << wl.name << ":\n" << rep.renderText();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-pipeline properties.
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, DeterministicReports)
+{
+    for (const char *name : {"PF", "HI", "BS"}) {
+        LintReport a = lintWorkload(name);
+        LintReport b = lintWorkload(name);
+        EXPECT_EQ(a.renderText(), b.renderText()) << name;
+        EXPECT_EQ(a.renderJson(), b.renderJson()) << name;
+    }
+}
+
+TEST(Pipeline, AllWorkloadsLintWithoutErrors)
+{
+    PassManager pm = PassManager::withAllCheckers();
+    for (const Workload &wl : allWorkloads()) {
+        GpuMemory gmem;
+        PreparedWorkload prep = wl.prepare(gmem, 0.05);
+        AnalysisContext ctx(prep.kernel, DacConfig{}, {true, prep.block});
+        LintReport rep = pm.run(ctx);
+        EXPECT_TRUE(rep.clean()) << wl.name << ":\n" << rep.renderText();
+        EXPECT_EQ(rep.numWarnings, 0)
+            << wl.name << " has unsuppressed warnings:\n"
+            << rep.renderText();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden lint-report fixtures (text + JSON) for two workloads.
+// ---------------------------------------------------------------------------
+
+void
+checkGoldenLint(const std::string &name, const std::string &ext,
+                const std::string &live)
+{
+    std::string path = std::string(DACSIM_GOLDEN_DIR) + "/lint_" + name +
+                       "." + ext;
+    if (const char *upd = std::getenv("DACSIM_UPDATE_GOLDEN");
+        upd != nullptr && *upd == '1') {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(os.good()) << "cannot write " << path;
+        os << live;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << path << " missing; regenerate with DACSIM_UPDATE_GOLDEN=1";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), live)
+        << "lint report changed for " << name
+        << "; regenerate with DACSIM_UPDATE_GOLDEN=1 if intentional";
+}
+
+class GoldenLint : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GoldenLint, TextFixture)
+{
+    std::string name = GetParam();
+    checkGoldenLint(name, "txt", lintWorkload(name).renderText());
+}
+
+TEST_P(GoldenLint, JsonFixture)
+{
+    std::string name = GetParam();
+    checkGoldenLint(name, "json", lintWorkload(name).renderJson() + "\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, GoldenLint, ::testing::Values("PF", "HI"));
+
+} // namespace

@@ -18,6 +18,7 @@
 
 #include <sstream>
 
+#include "analysis/pass_manager.h"
 #include "harness/runner.h"
 #include "compiler/cfg.h"
 #include "compiler/decoupler.h"
@@ -307,5 +308,118 @@ TEST_P(FuzzEquivalence, AllMachinesAgree)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence, ::testing::Range(1, 41));
+
+/**
+ * Analyzer fuzzing: mutate generated kernels in assembly-preserving
+ * ways (inserted barriers, duplicated/deleted/swapped instructions,
+ * injected suppression pragmas) and push them through the full static-
+ * analysis pipeline — all six checkers including the decoupler
+ * soundness audit. The mutations deliberately manufacture the
+ * pathologies the checkers hunt (divergent barriers, dead stores,
+ * reads of deleted definitions), so this exercises the reporting
+ * paths, not just the clean ones. Requirements: no crash, and two
+ * independently built pipelines render byte-identical reports.
+ */
+class FuzzLint : public ::testing::TestWithParam<int>
+{
+};
+
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &src)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(src);
+    for (std::string l; std::getline(is, l);)
+        lines.push_back(l);
+    return lines;
+}
+
+bool
+isInstLine(const std::string &l)
+{
+    return l.rfind("    ", 0) == 0 && l.find("exit") == std::string::npos;
+}
+
+void
+mutateLines(std::vector<std::string> &lines, FuzzRng &rng)
+{
+    std::vector<int> insts;
+    for (int i = 0; i < static_cast<int>(lines.size()); ++i)
+        if (isInstLine(lines[static_cast<std::size_t>(i)]))
+            insts.push_back(i);
+    if (insts.empty())
+        return;
+    auto pick = [&] {
+        return insts[static_cast<std::size_t>(
+            rng.range(0, static_cast<int>(insts.size()) - 1))];
+    };
+    int at = pick();
+    auto it = lines.begin() + at;
+    switch (rng.range(0, 4)) {
+      case 0: // a barrier, possibly under divergent control
+        lines.insert(it, "    bar;");
+        break;
+      case 1: // duplicate: the first copy often becomes a dead store
+        lines.insert(it, lines[static_cast<std::size_t>(at)]);
+        break;
+      case 2: // delete: later reads may become possibly-uninitialized
+        lines.erase(it);
+        break;
+      case 3: { // swap adjacent instruction lines
+        if (at + 1 < static_cast<int>(lines.size()) &&
+            isInstLine(lines[static_cast<std::size_t>(at) + 1]))
+            std::swap(lines[static_cast<std::size_t>(at)],
+                      lines[static_cast<std::size_t>(at) + 1]);
+        break;
+      }
+      default: // standalone pragma, carried to the next instruction
+        lines.insert(it, "    // fuzz-injected. lint:allow(*)");
+        break;
+    }
+}
+
+} // namespace
+
+TEST_P(FuzzLint, PipelineIsCrashFreeAndDeterministic)
+{
+    const auto seed = static_cast<std::uint64_t>(1000 + GetParam());
+    KernelGen gen(seed);
+    const std::string orig = gen.generate();
+
+    FuzzRng mrng(seed * 7919 + 3);
+    std::vector<std::string> lines = splitLines(orig);
+    const int muts = mrng.range(1, 4);
+    for (int i = 0; i < muts; ++i)
+        mutateLines(lines, mrng);
+    std::string mutated;
+    for (const std::string &l : lines)
+        mutated += l + "\n";
+
+    Kernel k;
+    try {
+        k = assemble(mutated);
+    } catch (const FatalError &) {
+        // The mutation broke assembly (e.g. deleted a referenced
+        // label's branch producer); lint the unmutated kernel instead.
+        mutated = orig;
+        k = assemble(orig);
+    }
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + mutated);
+
+    const LaunchBoundsHint launch{true, {96, 1, 1}};
+    auto render = [&] {
+        PassManager pm = PassManager::withAllCheckers();
+        LintReport rep = pm.run(k, DacConfig{}, launch);
+        return rep.renderText() + "\n" + rep.renderJson();
+    };
+    const std::string first = render();
+    const std::string second = render();
+    EXPECT_EQ(first, second) << "non-deterministic diagnostics";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLint, ::testing::Range(1, 41));
 
 } // namespace
