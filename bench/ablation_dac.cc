@@ -43,7 +43,7 @@ dacSpeedup(const std::string &name, const RunOutcome &base,
 }
 
 int
-run()
+run(const bench::Cli &cli)
 {
     bench::printHeader("DAC design-choice ablations (DAC speedup)");
     std::printf("%-34s %8s %8s %8s\n", "configuration", "SP", "HS",
@@ -90,8 +90,8 @@ run()
         for (const char *b : benches) {
             bench::SweepJob j;
             j.bench = b;
+            j.opt = RunOptions::fromEnv(b);
             j.opt.scale = 0.5;
-            j.opt.faults = bench::faultPlanFor(b);
             r.tweak(j.opt);
             jobs.push_back(j);
             j.opt.tech = Technique::Dac;
@@ -120,7 +120,8 @@ run()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    return bench::guardedMain("ablation_dac", run);
+    return bench::benchMain(argc, argv, "ablation_dac",
+                            [](const bench::Cli &cli) { return run(cli); });
 }

@@ -2,11 +2,13 @@
  * @file
  * Shared helpers for the figure/table reproduction binaries: category
  * partitions matching Table 2, geometric means, simple fixed-width
- * table printing in the spirit of the paper's figures, and the
- * crash-isolation utilities every driver uses — a guarded main that
+ * table printing in the spirit of the paper's figures, the shared CLI
+ * front-end every driver mounts (benchMain: --quick, --jobs, --json,
+ * --only, --timeline, --chrome-trace, --help with the DACSIM_* env
+ * registry), and the crash-isolation utilities — a guarded main that
  * turns uncaught simulator errors into diagnostics instead of aborts,
  * JSON error reports for failed runs within a sweep, and fault-plan
- * injection from the environment (DACSIM_FAULTS / DACSIM_FAULT_BENCHES).
+ * injection via RunOptions::fromEnv.
  */
 
 #ifndef DACSIM_BENCH_BENCH_UTIL_H
@@ -16,12 +18,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "harness/journal.h"
 #include "harness/runner.h"
 #include "harness/sweep.h"
@@ -90,8 +94,7 @@ struct SweepJob
 inline std::string
 checkpointDir()
 {
-    const char *d = std::getenv("DACSIM_CHECKPOINT_DIR");
-    return (d != nullptr && *d != '\0') ? std::string(d) : std::string();
+    return env().checkpointDir;
 }
 
 /**
@@ -126,10 +129,7 @@ runSweep(const std::vector<SweepJob> &jobs, const char *figure = nullptr)
     }
 
     SweepJournal journal(dir + "/" + figure + ".sweep.journal");
-    long abortAfter = 0;
-    if (const char *a = std::getenv("DACSIM_SWEEP_ABORT_AFTER");
-        a != nullptr && *a != '\0')
-        abortAfter = std::atol(a);
+    const long abortAfter = env().sweepAbortAfter;
     std::atomic<long> fresh{0};
     parallelFor(jobs.size(), [&](std::size_t i) {
         std::string key = std::to_string(i) + "|" + jobs[i].bench + "|" +
@@ -165,37 +165,16 @@ runSweep(const std::vector<SweepJob> &jobs, const char *figure = nullptr)
 // ----- crash isolation & fault injection ---------------------------------
 
 /**
- * Fault plan for one benchmark of a sweep, read from the environment:
- * DACSIM_FAULTS holds a FaultPlan::parse() spec, DACSIM_FAULT_BENCHES
- * an optional comma-separated list of benchmark abbreviations the plan
- * applies to (unset or empty: all benchmarks). Returns an empty plan
- * when no injection is requested for @p bench.
+ * Fault plan for one benchmark of a sweep: DACSIM_FAULTS holds a
+ * FaultPlan::parse() spec, DACSIM_FAULT_BENCHES an optional
+ * comma-separated list of benchmark abbreviations the plan applies to
+ * (unset or empty: all benchmarks). A thin name for the fault part of
+ * RunOptions::fromEnv(bench).
  */
 inline FaultPlan
 faultPlanFor(const std::string &bench)
 {
-    const char *spec = std::getenv("DACSIM_FAULTS");
-    if (spec == nullptr || *spec == '\0')
-        return {};
-    if (const char *only = std::getenv("DACSIM_FAULT_BENCHES");
-        only != nullptr && *only != '\0') {
-        std::string list(only);
-        bool match = false;
-        std::size_t pos = 0;
-        while (pos <= list.size()) {
-            std::size_t sep = list.find(',', pos);
-            if (sep == std::string::npos)
-                sep = list.size();
-            if (list.substr(pos, sep - pos) == bench) {
-                match = true;
-                break;
-            }
-            pos = sep + 1;
-        }
-        if (!match)
-            return {};
-    }
-    return FaultPlan::parse(spec);
+    return RunOptions::fromEnv(bench).faults;
 }
 
 inline std::string
@@ -272,6 +251,181 @@ guardedMain(const char *name, const std::function<int()> &body)
         std::fprintf(stderr, "%s: unexpected error: %s\n", name, e.what());
     }
     return 1;
+}
+
+// ----- shared CLI front-end (DESIGN.md §11) -------------------------------
+
+/** Options every figure/table driver accepts via benchMain(). */
+struct Cli
+{
+    /** Smaller sweep for smoke tests (driver-defined meaning). */
+    bool quick = false;
+    /** Sweep worker threads (0: DACSIM_JOBS / hardware concurrency). */
+    int jobs = 0;
+    /** Override the driver's JSON output path (empty: its default). */
+    std::string jsonPath;
+    /** Benchmark abbreviations to run (empty: the driver's full set). */
+    std::vector<std::string> only;
+    /** Timeline output stem: each selected run writes
+     * `<stem>-<bench>-<tech>.timeline.json` and turns on stall
+     * attribution (empty: off). */
+    std::string timelineStem;
+    /** Chrome-trace output stem: each selected run writes a Perfetto-
+     * loadable `<stem>-<bench>-<tech>.trace.json` (empty: off). */
+    std::string chromeStem;
+};
+
+inline void
+printUsage(std::FILE *f, const char *name)
+{
+    std::fprintf(f,
+                 "usage: %s [options]\n"
+                 "  --quick              smaller sweep (smoke-test mode)\n"
+                 "  --jobs N             sweep worker threads (overrides "
+                 "DACSIM_JOBS)\n"
+                 "  --json PATH          write the figure's JSON here "
+                 "instead of the default\n"
+                 "  --only A[,B,...]     run only these benchmark "
+                 "abbreviations\n"
+                 "  --timeline STEM      write "
+                 "<STEM>-<bench>-<tech>.timeline.json per run\n"
+                 "                       (enables stall attribution; "
+                 "DESIGN.md §11)\n"
+                 "  --chrome-trace STEM  write "
+                 "<STEM>-<bench>-<tech>.trace.json per run\n"
+                 "                       (load in Perfetto / "
+                 "chrome://tracing)\n"
+                 "  --help               this text\n\n%s",
+                 name, envHelpText().c_str());
+}
+
+/** Split a comma-separated list, dropping empty fields. */
+inline std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t sep = s.find(',', pos);
+        if (sep == std::string::npos)
+            sep = s.size();
+        if (sep > pos)
+            out.push_back(s.substr(pos, sep - pos));
+        pos = sep + 1;
+    }
+    return out;
+}
+
+/**
+ * The standard driver entry point: parse the shared flags, apply the
+ * --jobs override, and run @p body under guardedMain. Unknown flags
+ * print usage and exit 2; --help prints usage plus the DACSIM_* env
+ * registry and exits 0. Drivers with genuinely custom interfaces
+ * (dacsim_lint, dacsim_bisect) keep their own parsers.
+ */
+inline int
+benchMain(int argc, char **argv, const char *name,
+          const std::function<int(const Cli &)> &body)
+{
+    Cli cli;
+    auto value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: %s needs a value\n", name, flag);
+            printUsage(stderr, name);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--quick") == 0) {
+            cli.quick = true;
+        } else if (std::strcmp(a, "--jobs") == 0) {
+            cli.jobs = std::atoi(value(i, a));
+            if (cli.jobs <= 0) {
+                std::fprintf(stderr, "%s: --jobs needs a positive count\n",
+                             name);
+                return 2;
+            }
+        } else if (std::strcmp(a, "--json") == 0) {
+            cli.jsonPath = value(i, a);
+        } else if (std::strcmp(a, "--only") == 0) {
+            for (std::string &b : splitList(value(i, a)))
+                cli.only.push_back(std::move(b));
+        } else if (std::strcmp(a, "--timeline") == 0) {
+            cli.timelineStem = value(i, a);
+        } else if (std::strcmp(a, "--chrome-trace") == 0) {
+            cli.chromeStem = value(i, a);
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            printUsage(stdout, name);
+            return 0;
+        } else {
+            std::fprintf(stderr, "%s: unknown option %s\n", name, a);
+            printUsage(stderr, name);
+            return 2;
+        }
+    }
+    if (cli.jobs > 0)
+        setSweepJobsOverride(cli.jobs);
+    return guardedMain(name, [&] { return body(cli); });
+}
+
+/** True when --only is empty or names @p bench. */
+inline bool
+selected(const Cli &cli, const std::string &bench)
+{
+    if (cli.only.empty())
+        return true;
+    for (const std::string &o : cli.only)
+        if (o == bench)
+            return true;
+    return false;
+}
+
+/** Keep only the benchmarks --only selected (order preserved). */
+inline std::vector<std::string>
+filterNames(std::vector<std::string> names, const Cli &cli)
+{
+    if (cli.only.empty())
+        return names;
+    std::vector<std::string> out;
+    for (const std::string &n : names)
+        if (selected(cli, n))
+            out.push_back(n);
+    return out;
+}
+
+/** The workloads --only selected, in Table 2 order. */
+inline std::vector<Workload>
+selectWorkloads(const Cli &cli)
+{
+    std::vector<Workload> out;
+    for (const Workload &w : allWorkloads())
+        if (selected(cli, w.name))
+            out.push_back(w);
+    return out;
+}
+
+/**
+ * Turn on observability for one sweep run per the CLI: --timeline and
+ * --chrome-trace each name an output stem, expanded per (bench, tech)
+ * so parallel jobs never share a file. Either flag also enables stall
+ * attribution (which disables idle-cycle fast-forward for that run).
+ */
+inline void
+applyObs(RunOptions &opt, const Cli &cli, const std::string &bench,
+         Technique tech)
+{
+    if (cli.timelineStem.empty() && cli.chromeStem.empty())
+        return;
+    opt.obs.stalls = true;
+    if (!cli.timelineStem.empty())
+        opt.obs.timelinePath = cli.timelineStem + "-" + bench + "-" +
+                               techniqueName(tech) + ".timeline.json";
+    if (!cli.chromeStem.empty())
+        opt.obs.chromeTracePath = cli.chromeStem + "-" + bench + "-" +
+                                  techniqueName(tech) + ".trace.json";
 }
 
 } // namespace dacsim::bench

@@ -157,11 +157,12 @@ writeJson(const char *path, bool quick, double scale,
 }
 
 int
-run(bool quick)
+run(const bench::Cli &cli)
 {
     bench::printHeader(
         "Figure 16: Speedup of CAE, MTA, and DAC over the baseline");
 
+    const bool quick = cli.quick;
     std::vector<std::string> memNames = bench::benchNames(true);
     std::vector<std::string> compNames = bench::benchNames(false);
     double scale = quick ? 0.25 : bench::figureScale;
@@ -171,6 +172,8 @@ run(bool quick)
         memNames.resize(std::min<std::size_t>(2, memNames.size()));
         compNames.resize(std::min<std::size_t>(2, compNames.size()));
     }
+    memNames = bench::filterNames(std::move(memNames), cli);
+    compNames = bench::filterNames(std::move(compNames), cli);
     std::vector<std::string> all = memNames;
     all.insert(all.end(), compNames.begin(), compNames.end());
 
@@ -179,9 +182,10 @@ run(bool quick)
         for (Technique t : techOrder) {
             bench::SweepJob j;
             j.bench = n;
+            j.opt = RunOptions::fromEnv(n);
             j.opt.tech = t;
             j.opt.scale = scale;
-            j.opt.faults = bench::faultPlanFor(n);
+            bench::applyObs(j.opt, cli, n, t);
             jobs.push_back(std::move(j));
         }
     }
@@ -201,7 +205,9 @@ run(bool quick)
                 bench::geomean(collect(allRows, Technique::Dac)));
     std::printf("(paper: DAC 1.407x overall; compute DAC 1.34x / CAE "
                 "1.11x; memory DAC 1.44x / MTA 1.16x)\n");
-    writeJson("BENCH_fig16.json", quick, scale, mem, comp);
+    writeJson(cli.jsonPath.empty() ? "BENCH_fig16.json"
+                                   : cli.jsonPath.c_str(),
+              quick, scale, mem, comp);
     return 0;
 }
 
@@ -210,9 +216,5 @@ run(bool quick)
 int
 main(int argc, char **argv)
 {
-    bool quick = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--quick") == 0)
-            quick = true;
-    return bench::guardedMain("fig16_speedup", [&] { return run(quick); });
+    return bench::benchMain(argc, argv, "fig16_speedup", run);
 }

@@ -17,20 +17,20 @@ namespace
 {
 
 int
-run()
+run(const bench::Cli &cli)
 {
     bench::printHeader(
         "Figure 17: DAC Warp Instructions Normalized to Baseline");
     std::printf("%-5s %10s %10s %10s %9s\n", "bench", "non-affine",
                 "affine", "total", "affine%");
 
-    const std::vector<Workload> &works = allWorkloads();
+    const std::vector<Workload> works = bench::selectWorkloads(cli);
     std::vector<bench::SweepJob> jobs;
     for (const Workload &w : works) {
         bench::SweepJob j;
         j.bench = w.name;
+        j.opt = RunOptions::fromEnv(w.name);
         j.opt.scale = bench::figureScale;
-        j.opt.faults = bench::faultPlanFor(w.name);
         jobs.push_back(j);
         j.opt.tech = Technique::Dac;
         jobs.push_back(std::move(j));
@@ -82,7 +82,7 @@ run()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    return bench::guardedMain("fig17_inst_reduction", run);
+    return bench::benchMain(argc, argv, "fig17_inst_reduction", run);
 }

@@ -18,19 +18,20 @@ namespace
 {
 
 int
-run()
+run(const bench::Cli &cli)
 {
     bench::printHeader(
         "Figure 18: Affine Instruction Coverage (compute-intensive)");
     std::printf("%-5s %8s %8s\n", "bench", "CAE", "DAC");
 
-    std::vector<std::string> names = bench::benchNames(false);
+    std::vector<std::string> names =
+        bench::filterNames(bench::benchNames(false), cli);
     std::vector<bench::SweepJob> jobs;
     for (const std::string &n : names) {
         bench::SweepJob j;
         j.bench = n;
+        j.opt = RunOptions::fromEnv(n);
         j.opt.scale = bench::figureScale;
-        j.opt.faults = bench::faultPlanFor(n);
         // Baseline run carries the DAC coverage marks (Fig 18's
         // metric is defined against baseline execution).
         jobs.push_back(j);
@@ -68,7 +69,7 @@ run()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    return bench::guardedMain("fig18_affine_coverage", run);
+    return bench::benchMain(argc, argv, "fig18_affine_coverage", run);
 }

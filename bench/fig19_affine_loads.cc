@@ -15,20 +15,21 @@ namespace
 {
 
 int
-run()
+run(const bench::Cli &cli)
 {
     bench::printHeader(
         "Figure 19: Affine Load Requests on DAC (memory-intensive)");
     std::printf("%-5s %10s %12s %9s\n", "bench", "affine", "total",
                 "share");
 
-    std::vector<std::string> names = bench::benchNames(true);
+    std::vector<std::string> names =
+        bench::filterNames(bench::benchNames(true), cli);
     std::vector<bench::SweepJob> jobs;
     for (const std::string &n : names) {
         bench::SweepJob j;
         j.bench = n;
+        j.opt = RunOptions::fromEnv(n);
         j.opt.scale = bench::figureScale;
-        j.opt.faults = bench::faultPlanFor(n);
         j.opt.tech = Technique::Dac;
         jobs.push_back(std::move(j));
     }
@@ -67,7 +68,7 @@ run()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    return bench::guardedMain("fig19_affine_loads", run);
+    return bench::benchMain(argc, argv, "fig19_affine_loads", run);
 }

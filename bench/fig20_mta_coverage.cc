@@ -16,20 +16,21 @@ namespace
 {
 
 int
-run()
+run(const bench::Cli &cli)
 {
     bench::printHeader(
         "Figure 20: MTA Prefetcher Coverage (memory-intensive)");
     std::printf("%-5s %10s %10s %10s %9s\n", "bench", "pf-hits",
                 "l1-misses", "issued", "coverage");
 
-    std::vector<std::string> names = bench::benchNames(true);
+    std::vector<std::string> names =
+        bench::filterNames(bench::benchNames(true), cli);
     std::vector<bench::SweepJob> jobs;
     for (const std::string &n : names) {
         bench::SweepJob j;
         j.bench = n;
+        j.opt = RunOptions::fromEnv(n);
         j.opt.scale = bench::figureScale;
-        j.opt.faults = bench::faultPlanFor(n);
         j.opt.tech = Technique::Mta;
         jobs.push_back(std::move(j));
     }
@@ -69,7 +70,7 @@ run()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    return bench::guardedMain("fig20_mta_coverage", run);
+    return bench::benchMain(argc, argv, "fig20_mta_coverage", run);
 }

@@ -20,20 +20,20 @@ namespace
 {
 
 int
-run()
+run(const bench::Cli &cli)
 {
     bench::printHeader(
         "Figure 21: DAC Energy Normalized to the Baseline GPU");
     std::printf("%-5s %9s %7s %7s %7s %7s %8s\n", "bench", "overhead",
                 "ALU", "reg", "other", "static", "total");
 
-    const std::vector<Workload> &works = allWorkloads();
+    const std::vector<Workload> works = bench::selectWorkloads(cli);
     std::vector<bench::SweepJob> jobs;
     for (const Workload &w : works) {
         bench::SweepJob j;
         j.bench = w.name;
+        j.opt = RunOptions::fromEnv(w.name);
         j.opt.scale = bench::figureScale;
-        j.opt.faults = bench::faultPlanFor(w.name);
         jobs.push_back(j);
         j.opt.tech = Technique::Dac;
         jobs.push_back(std::move(j));
@@ -78,7 +78,7 @@ run()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    return bench::guardedMain("fig21_energy", run);
+    return bench::benchMain(argc, argv, "fig21_energy", run);
 }

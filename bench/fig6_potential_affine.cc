@@ -17,13 +17,13 @@ namespace
 {
 
 int
-run()
+run(const bench::Cli &cli)
 {
     bench::printHeader("Figure 6: Potentially Affine Static Instructions");
     std::printf("%-5s %6s %6s %6s %8s   (%% of static instructions)\n",
                 "bench", "arith", "mem", "branch", "total");
 
-    const std::vector<Workload> &works = allWorkloads();
+    const std::vector<Workload> works = bench::selectWorkloads(cli);
     std::vector<PotentialAffine> cls(works.size());
     // Preparation and classification are shared-nothing, so the
     // per-workload analysis parallelizes like a sweep; printing stays
@@ -54,7 +54,7 @@ run()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    return bench::guardedMain("fig6_potential_affine", run);
+    return bench::benchMain(argc, argv, "fig6_potential_affine", run);
 }

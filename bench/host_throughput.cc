@@ -192,14 +192,17 @@ writeJson(const char *path, bool quick, double scale,
 }
 
 int
-run(bool quick)
+run(const bench::Cli &cli)
 {
+    const bool quick = cli.quick;
     bench::printHeader(quick
                            ? "Host throughput (quick smoke)"
                            : "Host throughput (full benchmark set)");
 
-    std::vector<std::string> memNames = bench::benchNames(true);
-    std::vector<std::string> compNames = bench::benchNames(false);
+    std::vector<std::string> memNames =
+        bench::filterNames(bench::benchNames(true), cli);
+    std::vector<std::string> compNames =
+        bench::filterNames(bench::benchNames(false), cli);
     double scale = quick ? 0.25 : bench::figureScale;
     if (quick) {
         // First two of each category, in Table 2 order: deterministic
@@ -219,7 +222,9 @@ run(bool quick)
                 "low occupancy):\n");
     FastForwardAb ab = fastForwardAb(memNames, scale * 0.25);
 
-    writeJson("BENCH_host_throughput.json", quick, scale, mem, comp, ab);
+    writeJson(cli.jsonPath.empty() ? "BENCH_host_throughput.json"
+                                   : cli.jsonPath.c_str(),
+              quick, scale, mem, comp, ab);
     return 0;
 }
 
@@ -228,10 +233,5 @@ run(bool quick)
 int
 main(int argc, char **argv)
 {
-    bool quick = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--quick") == 0)
-            quick = true;
-    return bench::guardedMain("host_throughput",
-                              [quick]() { return run(quick); });
+    return bench::benchMain(argc, argv, "host_throughput", run);
 }

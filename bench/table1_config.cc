@@ -79,7 +79,8 @@ run()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    return bench::guardedMain("table1_config", run);
+    return bench::benchMain(argc, argv, "table1_config",
+                            [](const bench::Cli &) { return run(); });
 }

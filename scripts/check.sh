@@ -36,6 +36,21 @@ cmake --build build-dbg -j --target dacsim_lint
     done
 )
 
+echo "== observability golden (debug build) =="
+# Stall attribution + counter timeline through the real fig16 driver
+# (DESIGN.md §11): the timeline JSON must match the golden fixture
+# byte-for-byte (refresh via DACSIM_UPDATE_GOLDEN=1, ObsGolden tests)
+# and the Chrome trace must be emitted alongside it.
+cmake --build build-dbg -j --target fig16_speedup
+(
+    cd build-dbg
+    rm -f obs-SP-*.timeline.json trace-SP-*.trace.json
+    bench/fig16_speedup --only SP --timeline obs --chrome-trace trace \
+        >/dev/null
+    cmp obs-SP-DAC.timeline.json ../tests/golden/obs_timeline_SP_DAC.json
+    grep -q '"traceEvents"' trace-SP-DAC.trace.json
+)
+
 echo "== asan+ubsan build =="
 cmake -B build-san -S . -DDACSIM_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j
@@ -51,6 +66,17 @@ echo "== sanitized checkpoint round-trip smoke =="
 (cd build-san && rm -rf bisect-ck \
     && bench/dacsim-bisect --roundtrip SP dac \
     && bench/dacsim-bisect --roundtrip BS baseline)
+
+echo "== observability golden (sanitized build) =="
+cmake --build build-san -j --target fig16_speedup
+(
+    cd build-san
+    rm -f obs-SP-*.timeline.json trace-SP-*.trace.json
+    bench/fig16_speedup --only SP --timeline obs --chrome-trace trace \
+        >/dev/null
+    cmp obs-SP-DAC.timeline.json ../tests/golden/obs_timeline_SP_DAC.json
+    grep -q '"traceEvents"' trace-SP-DAC.trace.json
+)
 
 echo "== release throughput smoke =="
 # Host sim-speed tracking (DESIGN.md §8): the quick benchmark must run

@@ -1,0 +1,158 @@
+#include "common/env.h"
+
+#include <cstdio>
+#include <cstring>
+
+extern char **environ;
+
+namespace dacsim
+{
+
+const std::vector<EnvKnob> &
+envRegistry()
+{
+    static const std::vector<EnvKnob> knobs = {
+        {"DACSIM_TRACE", "bool", "0",
+         "stream one stderr line per issued instruction (deep debug; "
+         "prefer --chrome-trace)"},
+        {"DACSIM_LINT", "bool", "0",
+         "audit every run's decoupling with rule DAC-E007 before "
+         "simulating"},
+        {"DACSIM_UPDATE_GOLDEN", "bool", "0",
+         "rewrite golden fixtures instead of comparing (tests only)"},
+        {"DACSIM_JOBS", "int", "0",
+         "sweep worker threads (0: hardware concurrency)"},
+        {"DACSIM_SWEEP_ABORT_AFTER", "int", "0",
+         "kill the process after n fresh sweep points (0: off; "
+         "kill/restart testing)"},
+        {"DACSIM_FAULTS", "string", "",
+         "deterministic fault-plan spec (FaultPlan::parse) applied to "
+         "runs"},
+        {"DACSIM_FAULT_BENCHES", "string", "",
+         "comma-separated benchmarks DACSIM_FAULTS applies to (empty: "
+         "all)"},
+        {"DACSIM_CHECKPOINT_DIR", "string", "",
+         "snapshot/journal directory for resumable sweeps (empty: "
+         "off)"},
+    };
+    return knobs;
+}
+
+namespace
+{
+
+bool
+parseBool(const std::string &v)
+{
+    return !v.empty() && v[0] != '0';
+}
+
+/** Strict integer parse; false on any non-numeric trailing text. */
+bool
+parseLong(const std::string &v, long *out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    long n = std::strtol(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return false;
+    *out = n;
+    return true;
+}
+
+void
+warn(std::vector<std::string> *warnings, std::string msg)
+{
+    if (warnings)
+        warnings->push_back(std::move(msg));
+}
+
+} // namespace
+
+Env
+parseEnv(const std::vector<std::pair<std::string, std::string>> &vars,
+         std::vector<std::string> *warnings)
+{
+    Env env;
+    for (const auto &[name, value] : vars) {
+        if (name.rfind("DACSIM_", 0) != 0)
+            continue;
+        const EnvKnob *knob = nullptr;
+        for (const EnvKnob &k : envRegistry())
+            if (name == k.name) {
+                knob = &k;
+                break;
+            }
+        if (knob == nullptr) {
+            warn(warnings, "unknown environment variable " + name +
+                               " (see --help for the DACSIM_* registry)");
+            continue;
+        }
+        long n = 0;
+        if (std::strcmp(knob->type, "int") == 0 &&
+            !parseLong(value, &n)) {
+            warn(warnings, "malformed " + name + "=" + value +
+                               " (expected an integer); using default " +
+                               knob->defl);
+            continue;
+        }
+        if (name == "DACSIM_TRACE")
+            env.trace = parseBool(value);
+        else if (name == "DACSIM_LINT")
+            env.lint = parseBool(value);
+        else if (name == "DACSIM_UPDATE_GOLDEN")
+            env.updateGolden = parseBool(value);
+        else if (name == "DACSIM_JOBS")
+            env.jobs = n > 0 ? static_cast<int>(n) : 0;
+        else if (name == "DACSIM_SWEEP_ABORT_AFTER")
+            env.sweepAbortAfter = n > 0 ? n : 0;
+        else if (name == "DACSIM_FAULTS")
+            env.faults = value;
+        else if (name == "DACSIM_FAULT_BENCHES")
+            env.faultBenches = value;
+        else if (name == "DACSIM_CHECKPOINT_DIR")
+            env.checkpointDir = value;
+    }
+    return env;
+}
+
+const Env &
+env()
+{
+    static const Env parsed = [] {
+        std::vector<std::pair<std::string, std::string>> vars;
+        for (char **e = environ; e != nullptr && *e != nullptr; ++e) {
+            const char *eq = std::strchr(*e, '=');
+            if (eq == nullptr)
+                continue;
+            vars.emplace_back(
+                std::string(*e, static_cast<std::size_t>(eq - *e)),
+                std::string(eq + 1));
+        }
+        std::vector<std::string> warnings;
+        Env env = parseEnv(vars, &warnings);
+        for (const std::string &w : warnings)
+            std::fprintf(stderr, "dacsim: warning: %s\n", w.c_str());
+        return env;
+    }();
+    return parsed;
+}
+
+std::string
+envHelpText()
+{
+    std::string out = "Environment knobs (DACSIM_* registry):\n";
+    for (const EnvKnob &k : envRegistry()) {
+        char line[96];
+        std::snprintf(line, sizeof line, "  %-26s %-7s [%s]\n", k.name,
+                      k.type, k.defl);
+        out += line;
+        out += "      ";
+        out += k.help;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace dacsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The DACSIM_* environment-knob registry.
+ *
+ * Every runtime knob the simulator reads from the environment is
+ * declared exactly once in the table in env.cc — name, type, default,
+ * and help text — and parsed exactly once into an immutable Env
+ * aggregate. Call sites consult dacsim::env() instead of scattering
+ * std::getenv() strings; --help output and the DESIGN.md knob table
+ * are generated from the same registry, so documentation cannot drift
+ * from the code. Unknown DACSIM_* variables in the environment produce
+ * a warning on first use instead of being silently ignored.
+ */
+
+#ifndef DACSIM_COMMON_ENV_H
+#define DACSIM_COMMON_ENV_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dacsim
+{
+
+/** One registered knob (static metadata; see the table in env.cc). */
+struct EnvKnob
+{
+    const char *name;  ///< full variable name ("DACSIM_...")
+    const char *type;  ///< "bool", "int", or "string"
+    const char *defl;  ///< rendered default value
+    const char *help;  ///< one-line description
+};
+
+/** The registry, in documentation order. */
+const std::vector<EnvKnob> &envRegistry();
+
+/** Parsed values of every registered knob. */
+struct Env
+{
+    /** DACSIM_TRACE: stream one stderr line per issued instruction. */
+    bool trace = false;
+    /** DACSIM_LINT: audit every run's decoupling (rule DAC-E007). */
+    bool lint = false;
+    /** DACSIM_UPDATE_GOLDEN: rewrite golden fixtures instead of
+     * comparing against them (tests only). */
+    bool updateGolden = false;
+    /** DACSIM_JOBS: sweep worker threads (0: hardware concurrency). */
+    int jobs = 0;
+    /** DACSIM_SWEEP_ABORT_AFTER: _Exit(3) after n fresh sweep points
+     * (0: off) — the deterministic kill -9 stand-in. */
+    long sweepAbortAfter = 0;
+    /** DACSIM_FAULTS: FaultPlan::parse() spec ("": fault-free). */
+    std::string faults;
+    /** DACSIM_FAULT_BENCHES: comma-separated benchmark abbreviations
+     * DACSIM_FAULTS applies to ("": all benchmarks). */
+    std::string faultBenches;
+    /** DACSIM_CHECKPOINT_DIR: sweep snapshot/journal directory
+     * ("": checkpointing off). */
+    std::string checkpointDir;
+};
+
+/**
+ * Parse @p vars (full (name, value) environment slice) against the
+ * registry. Malformed values and unknown DACSIM_* names append one
+ * message each to @p warnings (when non-null) and fall back to the
+ * knob's default. Exposed separately from env() so tests can drive
+ * synthetic environments without mutating the process environment.
+ */
+Env parseEnv(const std::vector<std::pair<std::string, std::string>> &vars,
+             std::vector<std::string> *warnings);
+
+/**
+ * The process environment parsed once (first call); warnings are
+ * printed to stderr at that point. Later setenv() calls are invisible
+ * by design — knobs are read at most once, like trace.h always did.
+ */
+const Env &env();
+
+/** Formatted registry table (the body of every driver's --help). */
+std::string envHelpText();
+
+} // namespace dacsim
+
+#endif // DACSIM_COMMON_ENV_H

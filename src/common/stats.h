@@ -10,12 +10,98 @@
 #ifndef DACSIM_COMMON_STATS_H
 #define DACSIM_COMMON_STATS_H
 
+#include <array>
 #include <cstdint>
 
 #include "common/types.h"
 
 namespace dacsim
 {
+
+/**
+ * The exclusive reason an SM issue slot failed to issue on one cycle
+ * (stall attribution, DESIGN.md §11). Every idle slot is charged to
+ * exactly one reason, so the per-reason counts sum to the idle-slot
+ * total. Sync and Icache are reserved for model parity with hardware
+ * taxonomies: dacsim's ISA has no instruction fetch stage and folds
+ * SIMT-stack synchronization into barriers/branches, so both stay 0.
+ */
+enum class StallReason : int
+{
+    Scoreboard,     ///< a candidate warp waits on operand scoreboards
+    Sync,           ///< reserved: SIMT-stack sync (not modelled)
+    Barrier,        ///< candidate warps wait at a CTA barrier
+    MshrFull,       ///< a warp replays line transactions (MSHR pressure)
+    DacQueueEmpty,  ///< a deq instruction found its PWAQ/PWPQ empty
+    DacQueueFull,   ///< the affine warp is blocked on ATQ space
+    Icache,         ///< reserved: instruction fetch (not modelled)
+    Structural,     ///< no candidate warp exists for the free slot
+};
+
+inline constexpr int numStallReasons = 8;
+
+inline const char *
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::Scoreboard: return "scoreboard";
+      case StallReason::Sync: return "sync";
+      case StallReason::Barrier: return "barrier";
+      case StallReason::MshrFull: return "mshr_full";
+      case StallReason::DacQueueEmpty: return "dac_queue_empty";
+      case StallReason::DacQueueFull: return "dac_queue_full";
+      case StallReason::Icache: return "icache";
+      case StallReason::Structural: return "structural";
+    }
+    return "?";
+}
+
+/**
+ * Per-reason idle-issue-slot counters. Deliberately NOT part of
+ * visitStats(): these are host-side diagnostics (populated only when
+ * ObsOptions::stalls is on), excluded from golden-stats fixtures, the
+ * state digest, and snapshot serialization so enabling observability
+ * never perturbs hash chains or golden bytes. Zero when attribution
+ * is off.
+ */
+struct StallStats
+{
+    std::array<std::uint64_t, numStallReasons> reasons{};
+    /** Total issue slots that were free but issued nothing. Invariant:
+     * equals the sum over reasons (each idle slot is charged once). */
+    std::uint64_t idleSlots = 0;
+
+    std::uint64_t &
+    operator[](StallReason r)
+    {
+        return reasons[static_cast<std::size_t>(r)];
+    }
+    std::uint64_t
+    operator[](StallReason r) const
+    {
+        return reasons[static_cast<std::size_t>(r)];
+    }
+
+    std::uint64_t
+    reasonSum() const
+    {
+        std::uint64_t s = 0;
+        for (std::uint64_t r : reasons)
+            s += r;
+        return s;
+    }
+
+    bool operator==(const StallStats &) const = default;
+
+    void
+    add(const StallStats &o)
+    {
+        for (int i = 0; i < numStallReasons; ++i)
+            reasons[static_cast<std::size_t>(i)] +=
+                o.reasons[static_cast<std::size_t>(i)];
+        idleSlots += o.idleSlots;
+    }
+};
 
 /** Counters accumulated over one kernel run on one machine variant. */
 struct RunStats
@@ -82,6 +168,12 @@ struct RunStats
      * interval, not just in their final counters (DESIGN.md §9). */
     std::uint64_t stateHash = 0;
 
+    // ----- observability (DESIGN.md §11) ----------------------------------
+    /** Stall attribution totals. Diagnostic state outside visitStats()
+     * (see StallStats): not in goldens, digests, or snapshots, so a
+     * resumed run only counts its post-restore interval. */
+    StallStats stalls{};
+
     /** Total dynamic warp instructions across both streams. */
     std::uint64_t totalWarpInsts() const
     {
@@ -128,6 +220,7 @@ struct RunStats
         faultsInjected += o.faultsInjected;
         // Hash chains don't sum; combining runs re-chains the heads.
         stateHash = stateHash * 1099511628211ull ^ o.stateHash;
+        stalls.add(o.stalls);
     }
 };
 

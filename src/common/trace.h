@@ -2,16 +2,19 @@
  * @file
  * Opt-in execution tracing, in the spirit of gem5's DPRINTF.
  *
- * Set DACSIM_TRACE=1 in the environment to stream one line per issued
- * warp instruction (and per affine-warp step) to stderr. Zero cost
- * when disabled beyond one predictable branch per call site.
+ * Set DACSIM_TRACE=1 (common/env.h registry) to stream one line per
+ * issued warp instruction (and per affine-warp step) to stderr. This
+ * is the deep-debug path — for anything structured, prefer the
+ * --chrome-trace Perfetto export (DESIGN.md §11). Zero cost when
+ * disabled beyond one predictable branch per call site.
  */
 
 #ifndef DACSIM_COMMON_TRACE_H
 #define DACSIM_COMMON_TRACE_H
 
 #include <cstdio>
-#include <cstdlib>
+
+#include "common/env.h"
 
 namespace dacsim
 {
@@ -20,10 +23,7 @@ namespace dacsim
 inline bool
 traceEnabled()
 {
-    static const bool enabled = [] {
-        const char *v = std::getenv("DACSIM_TRACE");
-        return v != nullptr && v[0] != '\0' && v[0] != '0';
-    }();
+    static const bool enabled = env().trace;
     return enabled;
 }
 

@@ -285,6 +285,19 @@ AffineWarp::ready(Cycle now) const
     return true;
 }
 
+StallReason
+AffineWarp::stallReason(Cycle now) const
+{
+    const Instruction &inst = current();
+    // Operand waits take precedence: with a dependence outstanding the
+    // warp could not issue even with ATQ space.
+    if (nextReadyCycle() > now)
+        return StallReason::Scoreboard;
+    if (inst.isEnq() && !engine_.canEnq())
+        return StallReason::DacQueueFull;
+    return StallReason::Structural;
+}
+
 Cycle
 AffineWarp::nextReadyCycle() const
 {

@@ -57,6 +57,14 @@ class AffineWarp
     /** Issue and functionally execute one instruction. */
     void step(Cycle now);
 
+    /** Why the next instruction cannot issue right now (stall
+     * attribution; only meaningful when !finished() && !ready(now)):
+     * ATQ back-pressure or an operand scoreboard wait. */
+    StallReason stallReason(Cycle now) const;
+
+    /** Program counter of the next instruction (chrome trace). */
+    int pc() const { return stack_.pc(); }
+
     /** Barrier epochs the affine warp has recorded, per CTA slot. */
     const std::vector<int> &ctaEpochs() const { return ctaEpochs_; }
 

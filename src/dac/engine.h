@@ -109,6 +109,26 @@ class DacEngine
      * stepped cycle-by-cycle (no fast-forward). */
     bool expansionPending() const { return !atq_.empty(); }
 
+    // ----- occupancy probes (observability, DESIGN.md §11) ----------------
+
+    int atqSize() const { return static_cast<int>(atq_.size()); }
+    int
+    pwaqTotal() const
+    {
+        int n = 0;
+        for (const auto &q : pwaq_)
+            n += static_cast<int>(q.size());
+        return n;
+    }
+    int
+    pwpqTotal() const
+    {
+        int n = 0;
+        for (const auto &q : pwpq_)
+            n += static_cast<int>(q.size());
+        return n;
+    }
+
     /** Install a fault plan (affine-queue back-pressure; nullptr:
      * fault-free). The plan must outlive the simulation. */
     void setFaultPlan(const FaultPlan *faults) { faults_ = faults; }

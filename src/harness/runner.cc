@@ -2,13 +2,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
-#include <cstdlib>
-
 #include "analysis/soundness.h"
+#include "common/env.h"
 #include "common/log.h"
 #include "compiler/cfg.h"
+#include "obs/collector.h"
 #include "sim/audit.h"
 #include "sim/gpu.h"
 
@@ -71,10 +72,9 @@ runOnce(const Workload &wl, const RunOptions &opt, Technique tech,
     // use the coverage marks to measure Fig 18's coverage metric.
     DecoupledKernel dec = decouple(prep.kernel, opt.dac);
 
-    // With DACSIM_LINT=1, audit the decoupling (rule DAC-E007,
-    // DESIGN.md §10) before simulating anything on top of it.
-    if (const char *lint = std::getenv("DACSIM_LINT");
-        lint != nullptr && lint[0] == '1') {
+    // With lintAudit (DACSIM_LINT via fromEnv), audit the decoupling
+    // (rule DAC-E007, DESIGN.md §10) before simulating on top of it.
+    if (opt.lintAudit) {
         AnalysisContext ctx(prep.kernel, opt.dac,
                             {true, prep.block});
         DiagnosticEngine eng(ctx.kernel());
@@ -91,6 +91,17 @@ runOnce(const Workload &wl, const RunOptions &opt, Technique tech,
     Gpu gpu(gcfg, tech, opt.dac, opt.cae, opt.mta, gmem);
     if (!opt.faults.empty())
         gpu.setFaultPlan(&opt.faults);
+
+    // Observability (DESIGN.md §11): one collector per run, torn down
+    // with it; nullptr (the default) keeps every hot-path hook to a
+    // single predictable branch.
+    std::unique_ptr<ObsCollector> obs;
+    if (opt.obs.enabled()) {
+        obs = std::make_unique<ObsCollector>(opt.obs, gcfg.numSms,
+                                             gcfg.maxWarpsPerSm,
+                                             gcfg.sched.schedulersPerSm);
+        gpu.setObserver(obs.get());
+    }
 
     const std::uint64_t numLaunches =
         prep.launchParams.empty()
@@ -174,6 +185,11 @@ runOnce(const Workload &wl, const RunOptions &opt, Technique tech,
 
     RunOutcome out;
     out.stats = gpu.stats();
+    if (obs) {
+        obs->finalize(gpu, wl.name, techniqueName(tech), opt.scale,
+                      out.stats);
+        out.obs = obs->report();
+    }
     out.anyDecoupled = dec.anyDecoupled;
     out.numDecoupledLoads = dec.numDecoupledLoads;
     out.numDecoupledStores = dec.numDecoupledStores;
@@ -238,6 +254,42 @@ snapshotExists(const CheckpointOptions &ck)
 }
 
 } // namespace
+
+RunOptions
+RunOptions::fromEnv()
+{
+    RunOptions opt;
+    opt.lintAudit = env().lint;
+    if (!env().faults.empty())
+        opt.faults = FaultPlan::parse(env().faults);
+    return opt;
+}
+
+RunOptions
+RunOptions::fromEnv(const std::string &bench)
+{
+    RunOptions opt = fromEnv();
+    // DACSIM_FAULT_BENCHES: comma-separated benchmark abbreviations
+    // the plan applies to (empty: all).
+    const std::string &only = env().faultBenches;
+    if (opt.faults.empty() || only.empty())
+        return opt;
+    bool match = false;
+    std::size_t pos = 0;
+    while (pos <= only.size()) {
+        std::size_t sep = only.find(',', pos);
+        if (sep == std::string::npos)
+            sep = only.size();
+        if (only.substr(pos, sep - pos) == bench) {
+            match = true;
+            break;
+        }
+        pos = sep + 1;
+    }
+    if (!match)
+        opt.faults = FaultPlan{};
+    return opt;
+}
 
 RunOutcome
 runWorkload(const Workload &wl, const RunOptions &opt)

@@ -23,6 +23,7 @@
 #include "common/fault.h"
 #include "common/stats.h"
 #include "compiler/decoupler.h"
+#include "obs/obs.h"
 #include "workloads/workload.h"
 
 namespace dacsim
@@ -65,6 +66,14 @@ class HaltError : public std::runtime_error
     Cycle cycle_;
 };
 
+/**
+ * The complete configuration of one run: machine variant, workload
+ * scaling, and every cross-cutting policy (faults, checkpointing,
+ * lint auditing, observability). Every layer that used to read its
+ * own DACSIM_* variable now takes its switch from here; fromEnv()
+ * folds the process environment (common/env.h registry) into the
+ * defaults in one documented place.
+ */
 struct RunOptions
 {
     Technique tech = Technique::Baseline;
@@ -83,6 +92,24 @@ struct RunOptions
     bool trapErrors = true;
     /** Checkpoint/resume policy (disabled by default). */
     CheckpointOptions checkpoint{};
+    /** Audit the kernel's decoupling (rule DAC-E007, DESIGN.md §10)
+     * before simulating; a dirty report aborts the run. */
+    bool lintAudit = false;
+    /** Observability: stall attribution, counter timelines, Chrome
+     * trace (DESIGN.md §11; all off by default). */
+    ObsOptions obs{};
+
+    /**
+     * Defaults overridden by the process environment: lintAudit from
+     * DACSIM_LINT, faults from DACSIM_FAULTS (filtered by
+     * DACSIM_FAULT_BENCHES when @p bench is given). Checkpointing is
+     * deliberately NOT taken from the environment here: the snapshot
+     * tag must be chosen per sweep point (parallel jobs sharing one
+     * DACSIM_CHECKPOINT_DIR tag would corrupt each other), so
+     * bench_util's sweep layer owns that knob.
+     */
+    static RunOptions fromEnv();
+    static RunOptions fromEnv(const std::string &bench);
 };
 
 /** How a run failed (None: it completed). */
@@ -140,6 +167,11 @@ struct RunOutcome
     std::uint64_t faultSeed = 0;
     /** The run restored a snapshot instead of starting from cycle 0. */
     bool resumed = false;
+
+    /** Observability report (stall attribution, timeline, trace-event
+     * count); empty unless RunOptions::obs enabled something. Journal
+     * replay does not reconstruct it (diagnostics, not results). */
+    ObsReport obs;
 
     /** The run produced usable stats/checksums (clean or fallback). */
     bool ok() const { return error.ok() || fellBack; }

@@ -1,25 +1,36 @@
 #include "harness/sweep.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
 #include "workloads/workload.h"
 
 namespace dacsim
 {
 
+namespace
+{
+/** The --jobs CLI override (0: none); beats DACSIM_JOBS. */
+int jobsOverride = 0;
+} // namespace
+
+void
+setSweepJobsOverride(int n)
+{
+    jobsOverride = n > 0 ? n : 0;
+}
+
 int
 sweepJobs()
 {
-    if (const char *env = std::getenv("DACSIM_JOBS");
-        env != nullptr && *env != '\0') {
-        int n = std::atoi(env);
-        return n > 0 ? n : 1;
-    }
+    if (jobsOverride > 0)
+        return jobsOverride;
+    if (env().jobs > 0)
+        return env().jobs;
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
 }

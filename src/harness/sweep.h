@@ -25,10 +25,16 @@ namespace dacsim
 {
 
 /**
- * Worker threads a sweep uses: the DACSIM_JOBS environment variable
- * when set (clamped to >= 1), otherwise the hardware concurrency.
+ * Worker threads a sweep uses: the setSweepJobsOverride() value when
+ * set (the --jobs CLI flag), else the DACSIM_JOBS environment variable
+ * (common/env.h registry), else the hardware concurrency.
  */
 int sweepJobs();
+
+/** Override sweepJobs() (n <= 0: clear the override). Called by the
+ * shared bench CLI before any sweep starts; not thread-safe against
+ * running sweeps. */
+void setSweepJobsOverride(int n);
 
 /**
  * Run body(0) .. body(n-1) on up to @p jobs worker threads (0: use

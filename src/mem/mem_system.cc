@@ -4,10 +4,30 @@
 #include <utility>
 
 #include "common/log.h"
+#include "obs/collector.h"
 #include "sim/audit.h"
 
 namespace dacsim
 {
+
+namespace
+{
+
+const char *
+requesterName(Requester req)
+{
+    switch (req) {
+      case Requester::Demand:
+        return "demand";
+      case Requester::DacEarly:
+        return "dac-early";
+      case Requester::Prefetch:
+        return "prefetch";
+    }
+    return "?";
+}
+
+} // namespace
 
 MemorySystem::MemorySystem(const GpuConfig &cfg, RunStats *stats)
     : cfg_(cfg), stats_(stats)
@@ -125,6 +145,18 @@ MemorySystem::linePresent(int sm_id, Addr line_addr) const
 
 AccessResult
 MemorySystem::load(int sm_id, Addr line_addr, Cycle now, Requester req)
+{
+    AccessResult res = loadImpl(sm_id, line_addr, now, req);
+    // Accepted transactions become chrome-trace lifetime spans
+    // [now, ready] (DESIGN.md §11); rejections retry and re-report.
+    if (obs_ != nullptr && res.accepted)
+        obs_->memRequest(sm_id, line_addr, now, res.ready,
+                         requesterName(req), res.l1Hit);
+    return res;
+}
+
+AccessResult
+MemorySystem::loadImpl(int sm_id, Addr line_addr, Cycle now, Requester req)
 {
     ensure(line_addr % lineSizeBytes == 0, "unaligned line address");
     SmState &sm = sms_[static_cast<std::size_t>(sm_id)];

@@ -31,6 +31,7 @@
 namespace dacsim
 {
 
+class ObsCollector;
 class StateIo;
 
 /** Who initiated a memory transaction (for statistics & policies). */
@@ -114,6 +115,20 @@ class MemorySystem
     /** Install a fault plan consulted by every timing decision
      * (nullptr: fault-free). The plan must outlive the simulation. */
     void setFaultPlan(const FaultPlan *faults) { faults_ = faults; }
+
+    /** Install the observability collector (nullptr: off; DESIGN.md
+     * §11). Accepted loads report their in-flight lifetimes to it.
+     * Must outlive the simulation. */
+    void setObserver(ObsCollector *obs) { obs_ = obs; }
+
+    /** Live (in-flight) L1 MSHR entries of SM @p sm right now
+     * (non-mutating timeline probe; the lazy-expiry memo makes this
+     * O(1) within a stable window). */
+    int
+    mshrLive(int sm, Cycle now) const
+    {
+        return sms_[static_cast<std::size_t>(sm)].outstanding.live(now);
+    }
 
     /**
      * Count of unlock() calls on SM @p sm that dropped a line's lock
@@ -241,6 +256,7 @@ class MemorySystem
     const GpuConfig &cfg_;
     RunStats *stats_;
     const FaultPlan *faults_ = nullptr;
+    ObsCollector *obs_ = nullptr;
     std::vector<SmState> sms_;
     /** One L2 slice per memory partition. */
     std::vector<TagArray> l2_;
@@ -249,6 +265,8 @@ class MemorySystem
 
     friend class StateIo;
 
+    AccessResult loadImpl(int sm, Addr line_addr, Cycle now,
+                          Requester req);
     int partitionOf(Addr line_addr) const;
     /** Timing through L2 (+DRAM on miss); returns data-ready cycle. */
     Cycle l2Access(Addr line_addr, Cycle arrive, bool is_store);

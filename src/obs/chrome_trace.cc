@@ -1,0 +1,128 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace dacsim
+{
+
+namespace
+{
+
+std::string
+num(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+void
+ChromeTraceWriter::push(Cycle ts, bool meta, std::string json)
+{
+    Event e;
+    e.ts = ts;
+    e.seq = static_cast<std::uint64_t>(events_.size());
+    e.meta = meta;
+    e.json = std::move(json);
+    events_.push_back(std::move(e));
+}
+
+void
+ChromeTraceWriter::complete(int pid, int tid, Cycle ts, Cycle dur,
+                            const std::string &name,
+                            const std::string &args_json)
+{
+    push(ts, false,
+         "{\"ph\":\"X\",\"pid\":" + num(static_cast<std::uint64_t>(pid)) +
+             ",\"tid\":" + num(static_cast<std::uint64_t>(tid)) +
+             ",\"ts\":" + num(ts) + ",\"dur\":" + num(dur) +
+             ",\"name\":\"" + name + "\",\"args\":" + args_json + "}");
+}
+
+void
+ChromeTraceWriter::counter(int pid, Cycle ts, const std::string &name,
+                           const std::string &args_json)
+{
+    push(ts, false,
+         "{\"ph\":\"C\",\"pid\":" + num(static_cast<std::uint64_t>(pid)) +
+             ",\"tid\":" + num(tidCounters) + ",\"ts\":" + num(ts) +
+             ",\"name\":\"" + name + "\",\"args\":" + args_json + "}");
+}
+
+void
+ChromeTraceWriter::async(int pid, Cycle ts, Cycle ready,
+                         const std::string &cat, const std::string &name,
+                         const std::string &args_json)
+{
+    std::string id = num(nextId_++);
+    std::string common =
+        "\"pid\":" + num(static_cast<std::uint64_t>(pid)) + ",\"cat\":\"" +
+        cat + "\",\"id\":" + id + ",\"name\":\"" + name + "\"";
+    push(ts, false,
+         "{\"ph\":\"b\"," + common + ",\"ts\":" + num(ts) +
+             ",\"args\":" + args_json + "}");
+    // A zero-length lifetime still needs end >= begin; Perfetto drops
+    // negative-duration asyncs.
+    Cycle end = std::max(ready, ts);
+    push(end, false,
+         "{\"ph\":\"e\"," + common + ",\"ts\":" + num(end) +
+             ",\"args\":{}}");
+}
+
+void
+ChromeTraceWriter::processName(int pid, const std::string &name)
+{
+    push(0, true,
+         "{\"ph\":\"M\",\"pid\":" + num(static_cast<std::uint64_t>(pid)) +
+             ",\"name\":\"process_name\",\"args\":{\"name\":\"" + name +
+             "\"}}");
+}
+
+void
+ChromeTraceWriter::threadName(int pid, int tid, const std::string &name)
+{
+    push(0, true,
+         "{\"ph\":\"M\",\"pid\":" + num(static_cast<std::uint64_t>(pid)) +
+             ",\"tid\":" + num(static_cast<std::uint64_t>(tid)) +
+             ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + name +
+             "\"}}");
+}
+
+void
+ChromeTraceWriter::write(const std::string &path) const
+{
+    // Stable order: metadata first, then events by (ts, emission seq).
+    std::vector<const Event *> order;
+    order.reserve(events_.size());
+    for (const Event &e : events_)
+        order.push_back(&e);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Event *a, const Event *b) {
+                         if (a->meta != b->meta)
+                             return a->meta;
+                         if (a->ts != b->ts)
+                             return a->ts < b->ts;
+                         return a->seq < b->seq;
+                     });
+
+    std::ofstream os(path, std::ios::trunc);
+    require(os.good(), "cannot write chrome trace ", path);
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        os << order[i]->json;
+        if (i + 1 < order.size())
+            os << ',';
+        os << '\n';
+    }
+    os << "]}\n";
+    require(os.good(), "chrome trace write to ", path, " failed");
+}
+
+} // namespace dacsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Buffered Chrome trace_event JSON emitter (DESIGN.md §11).
+ *
+ * Events accumulate in memory during the run and are written at
+ * finalize time, sorted by (timestamp, emission order) so the file is
+ * deterministic and loads cleanly in Perfetto / chrome://tracing.
+ * Timestamps are simulated cycles reported in the JSON's microsecond
+ * field (1 cycle = 1 us on screen); pids map to SMs and tids to the
+ * lanes within one (schedulers, the affine warp, counters).
+ */
+
+#ifndef DACSIM_OBS_CHROME_TRACE_H
+#define DACSIM_OBS_CHROME_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dacsim
+{
+
+class ChromeTraceWriter
+{
+  public:
+    /** Fixed tids within one SM's pid (metadata names them). */
+    static constexpr int tidSchedBase = 1;  ///< scheduler s -> tid 1 + s
+    static constexpr int tidAffine = 90;
+    static constexpr int tidCounters = 91;
+
+    /** Complete event ("ph":"X"): a span of @p dur cycles. */
+    void complete(int pid, int tid, Cycle ts, Cycle dur,
+                  const std::string &name, const std::string &args_json);
+
+    /** Counter event ("ph":"C") named @p name with integer series. */
+    void counter(int pid, Cycle ts, const std::string &name,
+                 const std::string &args_json);
+
+    /** Async begin/end pair ("ph":"b"/"e"): a memory-request lifetime
+     * from @p ts to @p ready under category @p cat. */
+    void async(int pid, Cycle ts, Cycle ready, const std::string &cat,
+               const std::string &name, const std::string &args_json);
+
+    /** Name a process (SM) or thread lane in the viewer. */
+    void processName(int pid, const std::string &name);
+    void threadName(int pid, int tid, const std::string &name);
+
+    std::uint64_t events() const { return static_cast<std::uint64_t>(events_.size()); }
+
+    /** Sort and write the trace; throws on I/O failure. */
+    void write(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        Cycle ts = 0;
+        std::uint64_t seq = 0;  ///< emission order (stable tiebreak)
+        bool meta = false;      ///< metadata sorts before all events
+        std::string json;       ///< the complete record
+    };
+
+    std::vector<Event> events_;
+    std::uint64_t nextId_ = 0;
+
+    void push(Cycle ts, bool meta, std::string json);
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_OBS_CHROME_TRACE_H

@@ -1,0 +1,264 @@
+#include "obs/collector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.h"
+#include "sim/gpu.h"
+
+namespace dacsim
+{
+
+ObsCollector::ObsCollector(const ObsOptions &opt, int num_sms,
+                           int max_warps_per_sm, int scheds_per_sm)
+    : opt_(opt), numSms_(num_sms), maxWarps_(max_warps_per_sm)
+{
+    opt_.timelineEveryBoundaries =
+        std::max<Cycle>(opt_.timelineEveryBoundaries, 1);
+    opt_.timelineCapacity = std::max<std::size_t>(opt_.timelineCapacity, 1);
+    report_.maxWarpsPerSm = maxWarps_;
+    if (opt_.stalls) {
+        report_.smStalls.assign(static_cast<std::size_t>(numSms_), {});
+        report_.warpStalls.assign(
+            static_cast<std::size_t>(numSms_) * warpStride(), {});
+    }
+    if (opt_.chromeOn()) {
+        trace_ = std::make_unique<ChromeTraceWriter>();
+        for (int s = 0; s < numSms_; ++s) {
+            trace_->processName(s, "SM" + std::to_string(s));
+            for (int q = 0; q < scheds_per_sm; ++q)
+                trace_->threadName(s, ChromeTraceWriter::tidSchedBase + q,
+                                   "sched" + std::to_string(q));
+            trace_->threadName(s, ChromeTraceWriter::tidAffine,
+                               "affine warp");
+            trace_->threadName(s, ChromeTraceWriter::tidCounters,
+                               "counters");
+        }
+    }
+}
+
+void
+ObsCollector::chargeStall(int sm, int warp, StallReason reason)
+{
+    report_.stalls[reason] += 1;
+    report_.stalls.idleSlots += 1;
+    StallStats &s = report_.smStalls[static_cast<std::size_t>(sm)];
+    s[reason] += 1;
+    s.idleSlots += 1;
+    // warp == -1 names the affine warp (and the no-candidate case):
+    // it lives in the extra slot past the ordinary warp indices.
+    std::size_t slot = warp < 0 ? static_cast<std::size_t>(maxWarps_)
+                                : static_cast<std::size_t>(warp);
+    StallStats &w = report_.warpStalls[static_cast<std::size_t>(sm) *
+                                           warpStride() +
+                                       slot];
+    w[reason] += 1;
+    w.idleSlots += 1;
+}
+
+void
+ObsCollector::warpIssue(int sm, int sched, int warp, int pc,
+                        const std::string &op, Cycle now, Cycle dur)
+{
+    if (!trace_)
+        return;
+    char args[48];
+    std::snprintf(args, sizeof args, "{\"w\":%d,\"pc\":%d}", warp, pc);
+    trace_->complete(sm, ChromeTraceWriter::tidSchedBase + sched, now, dur,
+                     op, args);
+}
+
+void
+ObsCollector::affineStep(int sm, int pc, const std::string &op, Cycle now,
+                         Cycle dur, int pending_records)
+{
+    if (!trace_)
+        return;
+    char args[32];
+    std::snprintf(args, sizeof args, "{\"pc\":%d}", pc);
+    trace_->complete(sm, ChromeTraceWriter::tidAffine, now, dur, op, args);
+    // The engine's queued-but-unconsumed work is the distance the
+    // affine warp has run ahead of its consumers, in records.
+    std::snprintf(args, sizeof args, "{\"records\":%d}", pending_records);
+    trace_->counter(sm, now, "runahead", args);
+}
+
+void
+ObsCollector::memRequest(int sm, Addr line, Cycle now, Cycle ready,
+                         const char *requester, bool l1_hit)
+{
+    if (!trace_)
+        return;
+    char args[64];
+    std::snprintf(args, sizeof args, "{\"line\":\"0x%llx\",\"l1\":\"%s\"}",
+                  static_cast<unsigned long long>(line),
+                  l1_hit ? "hit" : "miss");
+    trace_->async(sm, now, ready, "mem", requester, args);
+}
+
+void
+ObsCollector::sample(const Gpu &gpu, Cycle now)
+{
+    const RunStats &s = gpu.stats();
+    TimelineSample t;
+    t.cycle = now;
+    t.warpInsts = s.totalWarpInsts();
+    t.loadRequests = s.loadRequests;
+    t.l1Misses = s.l1Misses;
+    t.deqStallCycles = s.deqStallCycles;
+    for (int i = 0; i < gpu.smCount(); ++i) {
+        Sm::ObsOccupancy occ = gpu.sm(i).obsOccupancy();
+        t.activeWarps += occ.activeWarps;
+        t.atq += occ.atq;
+        t.pwaq += occ.pwaq;
+        t.pwpq += occ.pwpq;
+        t.mshrLive += gpu.memorySystem().mshrLive(i, now);
+    }
+    if (report_.timeline.size() < opt_.timelineCapacity) {
+        report_.timeline.push_back(t);
+    } else {
+        report_.timeline[ringHead_] = t;
+        ringHead_ = (ringHead_ + 1) % opt_.timelineCapacity;
+        ++report_.timelineDropped;
+    }
+}
+
+void
+ObsCollector::boundary(const Gpu &gpu, Cycle now)
+{
+    if (!opt_.timelineOn())
+        return;
+    if (boundaries_++ % opt_.timelineEveryBoundaries == 0)
+        sample(gpu, now);
+}
+
+void
+ObsCollector::finalize(const Gpu &gpu, const std::string &bench,
+                       const char *tech, double scale, RunStats &stats)
+{
+    if (opt_.timelineOn()) {
+        // Close the timeline at the run's end cycle, so even sub-4096-
+        // cycle runs carry one sample; skip if the last boundary
+        // already sampled this cycle.
+        Cycle end = gpu.stats().cycles;
+        bool have = !report_.timeline.empty();
+        std::size_t lastIdx =
+            have ? (report_.timeline.size() == opt_.timelineCapacity
+                        ? (ringHead_ + opt_.timelineCapacity - 1) %
+                              opt_.timelineCapacity
+                        : report_.timeline.size() - 1)
+                 : 0;
+        if (!have || report_.timeline[lastIdx].cycle != end)
+            sample(gpu, end);
+        // Rotate the ring into oldest-first order.
+        std::rotate(report_.timeline.begin(),
+                    report_.timeline.begin() +
+                        static_cast<std::ptrdiff_t>(ringHead_),
+                    report_.timeline.end());
+        ringHead_ = 0;
+    }
+    stats.stalls = report_.stalls;
+    if (trace_)
+        report_.traceEvents = trace_->events();
+    if (!opt_.timelinePath.empty())
+        writeTimeline(bench, tech, scale);
+    if (trace_)
+        trace_->write(opt_.chromeTracePath);
+}
+
+void
+ObsCollector::writeTimeline(const std::string &bench, const char *tech,
+                            double scale) const
+{
+    std::FILE *f = std::fopen(opt_.timelinePath.c_str(), "w");
+    require(f != nullptr, "cannot write timeline ", opt_.timelinePath);
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"dacsim-obs-timeline-v1\",\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench.c_str());
+    std::fprintf(f, "  \"tech\": \"%s\",\n", tech);
+    std::fprintf(f, "  \"scale\": %.3f,\n", scale);
+    std::fprintf(f, "  \"boundary_cycles\": 4096,\n");
+    std::fprintf(f, "  \"sample_every_boundaries\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     opt_.timelineEveryBoundaries));
+    std::fprintf(f, "  \"dropped_samples\": %llu,\n",
+                 static_cast<unsigned long long>(report_.timelineDropped));
+    std::fprintf(f, "  \"samples\": [\n");
+    std::uint64_t prevInsts = 0;
+    Cycle prevCycle = 0;
+    for (std::size_t i = 0; i < report_.timeline.size(); ++i) {
+        const TimelineSample &t = report_.timeline[i];
+        // Per-interval IPC relative to the previous surviving sample
+        // (the first interval of a clipped ring starts mid-run).
+        double dc = static_cast<double>(t.cycle - prevCycle);
+        double ipc =
+            dc > 0 ? static_cast<double>(t.warpInsts - prevInsts) / dc
+                   : 0.0;
+        std::fprintf(f,
+                     "    {\"cycle\": %llu, \"ipc\": %.4f, "
+                     "\"warp_insts\": %llu, \"load_requests\": %llu, "
+                     "\"l1_misses\": %llu, \"deq_stall_cycles\": %llu, "
+                     "\"active_warps\": %d, \"atq\": %d, \"pwaq\": %d, "
+                     "\"pwpq\": %d, \"mshr\": %d}%s\n",
+                     static_cast<unsigned long long>(t.cycle), ipc,
+                     static_cast<unsigned long long>(t.warpInsts),
+                     static_cast<unsigned long long>(t.loadRequests),
+                     static_cast<unsigned long long>(t.l1Misses),
+                     static_cast<unsigned long long>(t.deqStallCycles),
+                     t.activeWarps, t.atq, t.pwaq, t.pwpq, t.mshrLive,
+                     i + 1 < report_.timeline.size() ? "," : "");
+        prevInsts = t.warpInsts;
+        prevCycle = t.cycle;
+    }
+    std::fprintf(f, "  ],\n");
+    if (!opt_.stalls) {
+        std::fprintf(f, "  \"stalls\": null\n");
+    } else {
+        auto emitReasons = [&](const StallStats &s) {
+            std::fprintf(f, "\"idle_slots\": %llu",
+                         static_cast<unsigned long long>(s.idleSlots));
+            for (int r = 0; r < numStallReasons; ++r)
+                std::fprintf(f, ", \"%s\": %llu",
+                             stallReasonName(static_cast<StallReason>(r)),
+                             static_cast<unsigned long long>(
+                                 s.reasons[static_cast<std::size_t>(r)]));
+        };
+        std::fprintf(f, "  \"stalls\": {\n    ");
+        emitReasons(report_.stalls);
+        std::fprintf(f, ",\n    \"per_sm\": [\n");
+        for (std::size_t i = 0; i < report_.smStalls.size(); ++i) {
+            std::fprintf(f, "      {\"sm\": %zu, ", i);
+            emitReasons(report_.smStalls[i]);
+            std::fprintf(f, "}%s\n",
+                         i + 1 < report_.smStalls.size() ? "," : "");
+        }
+        std::fprintf(f, "    ],\n    \"per_warp\": [\n");
+        // Only warp slots that stalled at all; index maxWarpsPerSm is
+        // the affine warp.
+        std::vector<std::size_t> rows;
+        for (std::size_t i = 0; i < report_.warpStalls.size(); ++i)
+            if (report_.warpStalls[i].idleSlots != 0)
+                rows.push_back(i);
+        for (std::size_t k = 0; k < rows.size(); ++k) {
+            std::size_t i = rows[k];
+            std::size_t sm = i / warpStride();
+            std::size_t warp = i % warpStride();
+            std::fprintf(f, "      {\"sm\": %zu, \"warp\": %zu, "
+                            "\"affine\": %s, ",
+                         sm, warp,
+                         warp == static_cast<std::size_t>(maxWarps_)
+                             ? "true"
+                             : "false");
+            emitReasons(report_.warpStalls[i]);
+            std::fprintf(f, "}%s\n", k + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  }\n");
+    }
+    std::fprintf(f, "}\n");
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    require(ok, "timeline write to ", opt_.timelinePath, " failed");
+}
+
+} // namespace dacsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The run-scoped observability collector (DESIGN.md §11).
+ *
+ * One ObsCollector instance is created by the harness when
+ * ObsOptions::enabled() and handed to the Gpu, which fans the pointer
+ * out to every Sm and the MemorySystem. Instrumented call sites pay a
+ * single null-pointer branch when observability is off; when on, the
+ * collector accumulates stall attribution, samples counter timelines
+ * at the 4096-cycle audit cadence, and buffers Chrome trace events.
+ * All collected state is host-side diagnostics: it never feeds the
+ * state digest, snapshots, or golden stats, so enabling observability
+ * cannot perturb simulated results.
+ */
+
+#ifndef DACSIM_OBS_COLLECTOR_H
+#define DACSIM_OBS_COLLECTOR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "obs/chrome_trace.h"
+#include "obs/obs.h"
+
+namespace dacsim
+{
+
+class Gpu;
+
+class ObsCollector
+{
+  public:
+    ObsCollector(const ObsOptions &opt, int num_sms, int max_warps_per_sm,
+                 int scheds_per_sm);
+
+    // ----- switches (hot-path call sites branch on these) ----------------
+    bool stallsOn() const { return opt_.stalls; }
+    bool chromeOn() const { return trace_ != nullptr; }
+    /** The run must step every cycle (idle slots accrue per cycle), so
+     * the Gpu disables idle-cycle fast-forward, exactly as it does
+     * under a fault plan. */
+    bool perCycle() const { return opt_.stalls; }
+
+    // ----- stall attribution ---------------------------------------------
+    /** Charge one idle issue slot of SM @p sm to @p reason, attributed
+     * to warp slot @p warp (-1: the affine warp / no candidate). */
+    void chargeStall(int sm, int warp, StallReason reason);
+
+    // ----- chrome trace ----------------------------------------------------
+    /** An ordinary warp instruction issued on @p sched. */
+    void warpIssue(int sm, int sched, int warp, int pc,
+                   const std::string &op, Cycle now, Cycle dur);
+    /** The affine warp stepped; @p pending_records is the engine's
+     * total queued work (ATQ + PWAQ + PWPQ), the runahead distance. */
+    void affineStep(int sm, int pc, const std::string &op, Cycle now,
+                    Cycle dur, int pending_records);
+    /** An accepted memory-line request: in flight [now, ready]. */
+    void memRequest(int sm, Addr line, Cycle now, Cycle ready,
+                    const char *requester, bool l1_hit);
+
+    // ----- timeline --------------------------------------------------------
+    /** Called from the Gpu at every 4096-cycle audit boundary. */
+    void boundary(const Gpu &gpu, Cycle now);
+
+    // ----- finalize --------------------------------------------------------
+    /**
+     * Take the final timeline sample, write timelinePath /
+     * chromeTracePath (when set), and fold the stall totals into
+     * @p stats. Call exactly once, after the last launch.
+     */
+    void finalize(const Gpu &gpu, const std::string &bench,
+                  const char *tech, double scale, RunStats &stats);
+
+    const ObsReport &report() const { return report_; }
+
+  private:
+    ObsOptions opt_;
+    int numSms_;
+    int maxWarps_;
+    ObsReport report_;
+    std::unique_ptr<ChromeTraceWriter> trace_;
+
+    // Timeline ring: report_.timeline is the backing store until
+    // finalize() rotates it into oldest-first order.
+    std::size_t ringHead_ = 0;
+    std::uint64_t boundaries_ = 0;
+
+    void sample(const Gpu &gpu, Cycle now);
+    void writeTimeline(const std::string &bench, const char *tech,
+                       double scale) const;
+
+    /** Per-SM warp-slot stride (+1: the affine warp's slot). */
+    std::size_t
+    warpStride() const
+    {
+        return static_cast<std::size_t>(maxWarps_) + 1;
+    }
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_OBS_COLLECTOR_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Observability options and reports (DESIGN.md §11).
+ *
+ * One ObsOptions inside RunOptions switches the whole layer: stall
+ * attribution, the periodic counter-timeline sampler, and Chrome
+ * trace_event export. Everything is off by default and costs exactly
+ * one predictable null-pointer branch per instrumented call site when
+ * off (trace.h's discipline); output is a pure function of the run
+ * configuration, so golden fixtures can cover it byte-for-byte.
+ */
+
+#ifndef DACSIM_OBS_OBS_H
+#define DACSIM_OBS_OBS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace dacsim
+{
+
+/** What the observability layer records for one run. */
+struct ObsOptions
+{
+    /**
+     * Stall attribution: charge every idle issue slot to one exclusive
+     * StallReason, per warp and per SM. Requires per-cycle stepping —
+     * the run disables idle-cycle fast-forward exactly like an active
+     * fault plan does (simulated results are unchanged either way).
+     */
+    bool stalls = false;
+    /** Sample counter timelines into a ring buffer (kept in the
+     * ObsReport even when timelinePath is empty). */
+    bool timeline = false;
+    /** Sample every n-th 4096-cycle audit boundary (>= 1). */
+    Cycle timelineEveryBoundaries = 1;
+    /** Ring capacity in samples; the oldest samples are overwritten
+     * once full (ObsReport::timelineDropped counts the overwrites). */
+    std::size_t timelineCapacity = 1u << 14;
+    /** Write the timeline (plus stall tables) as JSON here at run end
+     * (non-empty implies `timeline`). */
+    std::string timelinePath;
+    /** Write a Chrome trace_event JSON (Perfetto-loadable) here: warp
+     * issue spans, affine-warp steps + runahead counters, and memory-
+     * request lifetimes. Empty: no trace. */
+    std::string chromeTracePath;
+
+    bool
+    timelineOn() const
+    {
+        return timeline || !timelinePath.empty();
+    }
+    bool
+    chromeOn() const
+    {
+        return !chromeTracePath.empty();
+    }
+    /** Anything at all to collect (the collector exists iff true). */
+    bool
+    enabled() const
+    {
+        return stalls || timelineOn() || chromeOn();
+    }
+};
+
+/** One timeline sample, taken at a 4096-cycle audit boundary. All
+ * counter fields are cumulative; consumers difference neighbouring
+ * samples for rates (the JSON writer emits per-interval IPC). */
+struct TimelineSample
+{
+    Cycle cycle = 0;
+    std::uint64_t warpInsts = 0;        ///< non-affine + affine
+    std::uint64_t loadRequests = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t deqStallCycles = 0;
+    int activeWarps = 0;                ///< unfinished non-affine warps
+    int atq = 0;                        ///< ATQ entries awaiting expansion
+    int pwaq = 0;                       ///< delivered address records queued
+    int pwpq = 0;                       ///< delivered predicate records queued
+    int mshrLive = 0;                   ///< in-flight L1 misses (demand+DAC)
+
+    bool operator==(const TimelineSample &) const = default;
+};
+
+/** Everything the collector measured, surfaced on RunOutcome. */
+struct ObsReport
+{
+    /** Slot-exclusive stall totals (equal to RunStats::stalls). */
+    StallStats stalls;
+    /** Per-SM breakdown; sums to `stalls` field-wise. */
+    std::vector<StallStats> smStalls;
+    /** Per-(SM, warp-slot) breakdown; index sm * (maxWarpsPerSm + 1) +
+     * warp, where warp == maxWarpsPerSm is the DAC affine warp. Sums
+     * to the SM's entry field-wise. Warp slots are reused across CTA
+     * batches, so this is a per-slot (not per-CTA-warp) view. */
+    std::vector<StallStats> warpStalls;
+    int maxWarpsPerSm = 0;
+
+    /** The surviving timeline window, oldest sample first. */
+    std::vector<TimelineSample> timeline;
+    /** Samples overwritten after the ring filled. */
+    std::uint64_t timelineDropped = 0;
+
+    /** Chrome trace_event records emitted (0 when tracing is off). */
+    std::uint64_t traceEvents = 0;
+};
+
+} // namespace dacsim
+
+#endif // DACSIM_OBS_OBS_H

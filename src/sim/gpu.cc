@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/snapshot.h"
+#include "obs/collector.h"
 #include "sim/audit.h"
 
 namespace dacsim
@@ -30,6 +31,15 @@ Gpu::setFaultPlan(const FaultPlan *faults)
     mem_->setFaultPlan(faults_);
     for (auto &sm : sms_)
         sm->setFaultPlan(faults_);
+}
+
+void
+Gpu::setObserver(ObsCollector *obs)
+{
+    obs_ = obs;
+    mem_->setObserver(obs_);
+    for (auto &sm : sms_)
+        sm->setObserver(obs_);
 }
 
 std::uint64_t
@@ -89,8 +99,12 @@ Gpu::launch(const LaunchInfo &launch)
     const Cycle watchdogWindow = gcfg_.watchdogCycles;
 
     // Idle-cycle fast-forward (see DESIGN.md §8). Only legal without a
-    // fault plan: fault windows are defined per simulated cycle.
-    const bool ff = gcfg_.fastForward && faults_ == nullptr;
+    // fault plan (fault windows are defined per simulated cycle) and
+    // without stall attribution (idle issue slots accrue per cycle,
+    // DESIGN.md §11). Timelines and chrome traces compose with
+    // fast-forward: skipped cycles issue nothing and request nothing.
+    const bool ff = gcfg_.fastForward && faults_ == nullptr &&
+                    (obs_ == nullptr || !obs_->perCycle());
     std::uint64_t ffLastProgress = totalProgress();
     constexpr Cycle never = ~static_cast<Cycle>(0);
 
@@ -101,6 +115,8 @@ Gpu::launch(const LaunchInfo &launch)
     auto boundaryCheck = [&]() {
         mem_->audit(cycle_);
         foldHash();
+        if (obs_)
+            obs_->boundary(*this, cycle_);
         if (hook_)
             hook_(*this, cycle_);
         std::uint64_t p = totalProgress();

@@ -26,6 +26,7 @@
 namespace dacsim
 {
 
+class ObsCollector;
 class StateIo;
 
 class Gpu
@@ -46,11 +47,28 @@ class Gpu
     const RunStats &stats() const { return stats_; }
     Technique technique() const { return tech_; }
     MemorySystem &memorySystem() { return *mem_; }
+    const MemorySystem &memorySystem() const { return *mem_; }
+    int smCount() const { return static_cast<int>(sms_.size()); }
+    const Sm &sm(int i) const
+    {
+        return *sms_[static_cast<std::size_t>(i)];
+    }
 
     /** Install a fault plan consulted by the memory system and the SMs
      * (empty or nullptr: fault-free). Call before launch(); the plan
      * must outlive the Gpu. */
     void setFaultPlan(const FaultPlan *faults);
+
+    /**
+     * Install the observability collector (DESIGN.md §11; nullptr:
+     * observability off, the default — every instrumented site then
+     * costs one predictable branch). Fans out to the SMs and the
+     * memory system; the collector samples timelines from the
+     * 4096-cycle audit boundary and, when doing stall attribution,
+     * forces per-cycle stepping (fast-forward off, like a fault plan).
+     * Call before launch(); the collector must outlive the Gpu.
+     */
+    void setObserver(ObsCollector *obs);
 
     /** Per-SM warp states (the watchdog's structured dump). */
     std::string dumpState() const;
@@ -107,6 +125,7 @@ class Gpu
     MtaConfig mcfg_;
     RunStats stats_;
     const FaultPlan *faults_ = nullptr;
+    ObsCollector *obs_ = nullptr;
     GpuMemory &gmem_;
     std::unique_ptr<MemorySystem> mem_;
     std::vector<std::unique_ptr<Sm>> sms_;

@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "common/trace.h"
 #include "mem/coalescer.h"
+#include "obs/collector.h"
 #include "sim/alu.h"
 #include "sim/audit.h"
 
@@ -782,9 +783,12 @@ Sm::tryIssue(int wi, int sched, Cycle now)
             ++regOps;
     stats_.regFileAccesses += static_cast<std::uint64_t>(regOps);
 
-    schedBusyUntil_[static_cast<std::size_t>(sched)] =
-        now + static_cast<Cycle>(cae ? ccfg_.affineIssueCycles
-                                     : gcfg_.sched.warpIssueCycles);
+    const Cycle issueCycles = static_cast<Cycle>(
+        cae ? ccfg_.affineIssueCycles : gcfg_.sched.warpIssueCycles);
+    schedBusyUntil_[static_cast<std::size_t>(sched)] = now + issueCycles;
+    if (obs_)
+        obs_->warpIssue(id_, sched, wi, pc, opcodeName(inst.op), now,
+                        issueCycles);
     finishBatchIfDone(now);
     return true;
 }
@@ -856,15 +860,29 @@ Sm::cycle(Cycle now)
     for (int s = 0; s < gcfg_.sched.schedulersPerSm; ++s) {
         if (schedBusyUntil_[static_cast<std::size_t>(s)] > now)
             continue;
+        bool issued = false;
 
         // The affine warp issues on scheduler 0 with priority: it is
         // one warp serving all others and must run ahead.
         if (s == 0 && tech_ == Technique::Dac &&
             !affineWarp_->finished() && affineWarp_->ready(now)) {
+            int pc = 0;
+            if (obs_)
+                pc = affineWarp_->pc();
             affineWarp_->step(now);
             ++progress_;
             schedBusyUntil_[0] =
                 now + static_cast<Cycle>(gcfg_.sched.warpIssueCycles);
+            if (obs_) {
+                obs_->affineStep(
+                    id_, pc,
+                    opcodeName(launch_.affineKernel
+                                   ->insts[static_cast<std::size_t>(pc)]
+                                   .op),
+                    now, static_cast<Cycle>(gcfg_.sched.warpIssueCycles),
+                    dacEngine_->atqSize() + dacEngine_->pwaqTotal() +
+                        dacEngine_->pwpqTotal());
+            }
             finishBatchIfDone(now);
             continue;
         }
@@ -881,12 +899,115 @@ Sm::cycle(Cycle now)
             int wi = k * nsched + s;
             if (tryIssue(wi, s, now)) {
                 schedNext_[static_cast<std::size_t>(s)] = k;
+                issued = true;
                 break;
             }
+        }
+
+        // Stall attribution (DESIGN.md §11): the slot was free but
+        // nothing issued — charge exactly one reason to one candidate.
+        if (!issued && obs_ && obs_->stallsOn() && batchActive_) {
+            int warp = -1;
+            StallReason r = classifyStall(s, now, &warp);
+            obs_->chargeStall(id_, warp, r);
         }
     }
 
     finishBatchIfDone(now);
+}
+
+// --------------------------------------------------------------------------
+// Stall attribution (observability, DESIGN.md §11)
+// --------------------------------------------------------------------------
+
+bool
+Sm::deqBlocked(const Warp &w, const Instruction &inst, int wi,
+               Cycle now) const
+{
+    // Mirrors execDeq's structural checks without touching any state:
+    // which deq would return false (not issue) right now?
+    if (inst.op != Opcode::LdDeq && inst.op != Opcode::StDeq &&
+        inst.op != Opcode::DeqPred)
+        return false;
+    ThreadMask eff = effectiveMask(w, inst);
+    if (eff == 0)
+        return false; // predicated out: issues as a no-op
+    if (inst.op == Opcode::DeqPred)
+        return dacEngine_->frontPred(wi) == nullptr;
+    const DacEngine::AddrRecord *rec = dacEngine_->frontAddr(wi);
+    if (rec == nullptr)
+        return true;
+    // ld.deq additionally waits for early-fetched data in flight.
+    return inst.op == Opcode::LdDeq && rec->earlyFetched &&
+           rec->ready > now;
+}
+
+StallReason
+Sm::warpStallReason(int wi, const Warp &w, Cycle now) const
+{
+    if (w.atBarrier)
+        return StallReason::Barrier;
+    if (!w.replayLines.empty())
+        return StallReason::MshrFull;
+    const Instruction &inst = launch_.kernel->insts[
+        static_cast<std::size_t>(w.stack.pc())];
+    if (!sourcesReady(w, inst, now))
+        return StallReason::Scoreboard;
+    if (deqBlocked(w, inst, wi, now))
+        return StallReason::DacQueueEmpty;
+    // A fully ready candidate would have issued; this fallback covers
+    // only cases the model cannot express more precisely.
+    return StallReason::Structural;
+}
+
+StallReason
+Sm::classifyStall(int s, Cycle now, int *warp) const
+{
+    // Charge the most specific back-pressure reason any candidate of
+    // this scheduler is blocked on; ties go to the scan-order winner,
+    // so attribution is deterministic. Sync and Icache never win here:
+    // the model folds SIMT synchronization into barriers and has no
+    // fetch stage (documented as reserved reasons).
+    static constexpr StallReason precedence[] = {
+        StallReason::MshrFull,     StallReason::DacQueueEmpty,
+        StallReason::DacQueueFull, StallReason::Barrier,
+        StallReason::Scoreboard,   StallReason::Sync,
+        StallReason::Icache,       StallReason::Structural,
+    };
+    auto rank = [](StallReason r) {
+        for (int i = 0; i < numStallReasons; ++i)
+            if (precedence[i] == r)
+                return i;
+        return numStallReasons;
+    };
+
+    int best = numStallReasons;
+    int bestWarp = -1;
+    // The affine warp is a scheduler-0 candidate whenever it is live.
+    if (s == 0 && tech_ == Technique::Dac && !affineWarp_->finished() &&
+        !affineWarp_->ready(now)) {
+        best = rank(affineWarp_->stallReason(now));
+        bestWarp = -1;
+    }
+    const int nsched = gcfg_.sched.schedulersPerSm;
+    const int numWarps = static_cast<int>(warps_.size());
+    const int count = s < numWarps ? (numWarps - s + nsched - 1) / nsched
+                                   : 0;
+    for (int t = 0; t < count; ++t) {
+        int k = (schedNext_[static_cast<std::size_t>(s)] + t) % count;
+        int wi = k * nsched + s;
+        const Warp &w = warps_[static_cast<std::size_t>(wi)];
+        if (w.finished)
+            continue;
+        int r = rank(warpStallReason(wi, w, now));
+        if (r < best) {
+            best = r;
+            bestWarp = wi;
+        }
+    }
+    *warp = bestWarp;
+    return best < numStallReasons ? precedence[best]
+                                  : StallReason::Structural;
 }
 
 Cycle

@@ -30,6 +30,7 @@
 namespace dacsim
 {
 
+class ObsCollector;
 class StateIo;
 
 /** Everything an SM needs to run one kernel launch. */
@@ -127,6 +128,32 @@ class Sm
      * fault-free). The plan must outlive the simulation. */
     void setFaultPlan(const FaultPlan *faults);
 
+    /** Install the observability collector (nullptr: off; DESIGN.md
+     * §11). Issue slots, stall attribution, and chrome-trace spans
+     * report through it. Must outlive the simulation. */
+    void setObserver(ObsCollector *obs) { obs_ = obs; }
+
+    /** Occupancy probe for timeline sampling (DESIGN.md §11). */
+    struct ObsOccupancy
+    {
+        int activeWarps = 0; ///< unfinished warps of the resident batch
+        int atq = 0;         ///< affine tuple queue entries
+        int pwaq = 0;        ///< per-warp address queue entries (total)
+        int pwpq = 0;        ///< per-warp predicate queue entries (total)
+    };
+    ObsOccupancy
+    obsOccupancy() const
+    {
+        ObsOccupancy o;
+        o.activeWarps = liveWarps_;
+        if (dacEngine_) {
+            o.atq = dacEngine_->atqSize();
+            o.pwaq = dacEngine_->pwaqTotal();
+            o.pwpq = dacEngine_->pwpqTotal();
+        }
+        return o;
+    }
+
     /** One line per resident warp (pc, masks, blockers) for the
      * watchdog's structured state dump. */
     std::string dumpWarpStates() const;
@@ -176,6 +203,7 @@ class Sm
     std::unique_ptr<AffineWarp> affineWarp_;
     std::unique_ptr<MtaPrefetcher> mta_;
     const FaultPlan *faults_ = nullptr;
+    ObsCollector *obs_ = nullptr;
     /** The injected affine-warp invalidation fired (fires once). */
     bool affineFaulted_ = false;
 
@@ -239,6 +267,22 @@ class Sm
     void warpFinished(int wi);
 
     void serviceReplays(Cycle now);
+
+    // ----- stall attribution (observability, DESIGN.md §11) ----------------
+    /**
+     * Why scheduler @p s failed to issue this cycle, read-only, after
+     * the issue attempt came up empty. Returns the charged reason and
+     * sets @p warp to the candidate it blames (-1: the affine warp).
+     * Exactly one reason per idle slot keeps the exclusivity invariant
+     * (per-warp, per-SM, and total counts all sum to idle slots).
+     */
+    StallReason classifyStall(int s, Cycle now, int *warp) const;
+    /** The single blocking reason for one unfinished warp candidate. */
+    StallReason warpStallReason(int wi, const Warp &w, Cycle now) const;
+    /** Read-only mirror of execDeq's structural checks: would this deq
+     * instruction block right now? */
+    bool deqBlocked(const Warp &w, const Instruction &inst, int wi,
+                    Cycle now) const;
 
     /** Periodic conservation checks (scoreboard, barriers, queues). */
     void audit(Cycle now) const;

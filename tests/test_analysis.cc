@@ -20,6 +20,7 @@
 #include "analysis/checkers.h"
 #include "analysis/pass_manager.h"
 #include "analysis/soundness.h"
+#include "common/env.h"
 #include "compiler/decoupler.h"
 #include "isa/assembler.h"
 #include "workloads/workload.h"
@@ -628,8 +629,7 @@ checkGoldenLint(const std::string &name, const std::string &ext,
 {
     std::string path = std::string(DACSIM_GOLDEN_DIR) + "/lint_" + name +
                        "." + ext;
-    if (const char *upd = std::getenv("DACSIM_UPDATE_GOLDEN");
-        upd != nullptr && *upd == '1') {
+    if (env().updateGolden) {
         std::ofstream os(path, std::ios::binary | std::ios::trunc);
         ASSERT_TRUE(os.good()) << "cannot write " << path;
         os << live;

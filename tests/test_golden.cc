@@ -21,6 +21,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/env.h"
 #include "harness/runner.h"
 
 using namespace dacsim;
@@ -72,8 +73,7 @@ checkGolden(const std::string &bench, Technique tech)
 
     std::string path = std::string(DACSIM_GOLDEN_DIR) + "/" + bench +
                        "_" + techniqueName(tech) + ".txt";
-    if (const char *upd = std::getenv("DACSIM_UPDATE_GOLDEN");
-        upd != nullptr && *upd == '1') {
+    if (env().updateGolden) {
         std::ofstream os(path, std::ios::binary | std::ios::trunc);
         ASSERT_TRUE(os.good()) << "cannot write " << path;
         os << live;

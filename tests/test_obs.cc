@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Observability-layer tests (DESIGN.md §11): the DACSIM_* environment
+ * registry, RunOptions::fromEnv(), exclusive stall attribution, the
+ * counter-timeline ring, Chrome trace export, and the byte-exact
+ * golden timeline fixture (refresh with DACSIM_UPDATE_GOLDEN=1).
+ *
+ * The core acceptance property: every idle issue slot is charged to
+ * exactly one StallReason, so the per-reason counts sum to the idle
+ * slots at every level of the (total, per-SM, per-warp) hierarchy —
+ * and enabling any of it leaves the simulated results bit-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "harness/runner.h"
+
+namespace fs = std::filesystem;
+using namespace dacsim;
+
+namespace
+{
+
+using EnvVars = std::vector<std::pair<std::string, std::string>>;
+
+// ---------------------------------------------------------------------
+// Environment-knob registry
+// ---------------------------------------------------------------------
+
+TEST(EnvRegistry, DefaultsWithEmptyEnvironment)
+{
+    std::vector<std::string> warnings;
+    Env e = parseEnv({}, &warnings);
+    EXPECT_FALSE(e.trace);
+    EXPECT_FALSE(e.lint);
+    EXPECT_FALSE(e.updateGolden);
+    EXPECT_EQ(e.jobs, 0);
+    EXPECT_EQ(e.sweepAbortAfter, 0);
+    EXPECT_EQ(e.faults, "");
+    EXPECT_EQ(e.faultBenches, "");
+    EXPECT_EQ(e.checkpointDir, "");
+    EXPECT_TRUE(warnings.empty());
+}
+
+TEST(EnvRegistry, ParsesEveryKnob)
+{
+    std::vector<std::string> warnings;
+    Env e = parseEnv(
+        {
+            {"DACSIM_TRACE", "1"},
+            {"DACSIM_LINT", "true"}, // any non-'0' first char is true
+            {"DACSIM_UPDATE_GOLDEN", "0"},
+            {"DACSIM_JOBS", "7"},
+            {"DACSIM_SWEEP_ABORT_AFTER", "12"},
+            {"DACSIM_FAULTS", "mshr-drop@8192"},
+            {"DACSIM_FAULT_BENCHES", "SP,BS"},
+            {"DACSIM_CHECKPOINT_DIR", "/tmp/ckpt"},
+        },
+        &warnings);
+    EXPECT_TRUE(e.trace);
+    EXPECT_TRUE(e.lint);
+    EXPECT_FALSE(e.updateGolden);
+    EXPECT_EQ(e.jobs, 7);
+    EXPECT_EQ(e.sweepAbortAfter, 12);
+    EXPECT_EQ(e.faults, "mshr-drop@8192");
+    EXPECT_EQ(e.faultBenches, "SP,BS");
+    EXPECT_EQ(e.checkpointDir, "/tmp/ckpt");
+    EXPECT_TRUE(warnings.empty());
+}
+
+TEST(EnvRegistry, MalformedIntegerWarnsAndKeepsDefault)
+{
+    std::vector<std::string> warnings;
+    Env e = parseEnv({{"DACSIM_JOBS", "fast"}}, &warnings);
+    EXPECT_EQ(e.jobs, 0);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("DACSIM_JOBS"), std::string::npos);
+    EXPECT_NE(warnings[0].find("malformed"), std::string::npos);
+
+    // Trailing garbage is rejected too (strict parse, not atoi).
+    warnings.clear();
+    e = parseEnv({{"DACSIM_SWEEP_ABORT_AFTER", "12x"}}, &warnings);
+    EXPECT_EQ(e.sweepAbortAfter, 0);
+    EXPECT_EQ(warnings.size(), 1u);
+}
+
+TEST(EnvRegistry, UnknownDacsimVariableWarns)
+{
+    std::vector<std::string> warnings;
+    parseEnv({{"DACSIM_TYPO", "1"}}, &warnings);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("DACSIM_TYPO"), std::string::npos);
+
+    // Non-DACSIM variables are none of our business.
+    warnings.clear();
+    parseEnv({{"PATH", "/bin"}, {"HOME", "/root"}}, &warnings);
+    EXPECT_TRUE(warnings.empty());
+}
+
+TEST(EnvRegistry, NegativeCountsClampToOff)
+{
+    std::vector<std::string> warnings;
+    Env e = parseEnv(
+        {{"DACSIM_JOBS", "-3"}, {"DACSIM_SWEEP_ABORT_AFTER", "-1"}},
+        &warnings);
+    EXPECT_EQ(e.jobs, 0);
+    EXPECT_EQ(e.sweepAbortAfter, 0);
+    EXPECT_TRUE(warnings.empty());
+}
+
+TEST(EnvRegistry, HelpTextCoversEveryKnob)
+{
+    const std::string help = envHelpText();
+    ASSERT_EQ(envRegistry().size(), 8u);
+    for (const EnvKnob &k : envRegistry()) {
+        EXPECT_NE(help.find(k.name), std::string::npos) << k.name;
+        EXPECT_NE(help.find(k.help), std::string::npos) << k.name;
+    }
+}
+
+TEST(EnvRegistry, FromEnvMirrorsProcessRegistry)
+{
+    // env() is parsed once from the real process environment; fromEnv
+    // must agree with it knob for knob (checkpointing deliberately
+    // stays off — parallel sweep jobs own that wiring).
+    RunOptions opt = RunOptions::fromEnv();
+    EXPECT_EQ(opt.lintAudit, env().lint);
+    EXPECT_EQ(opt.faults.empty(), env().faults.empty());
+    EXPECT_TRUE(opt.checkpoint.dir.empty());
+    EXPECT_FALSE(opt.obs.enabled());
+}
+
+// ---------------------------------------------------------------------
+// ObsOptions switch logic
+// ---------------------------------------------------------------------
+
+TEST(ObsOptions, SwitchDerivations)
+{
+    ObsOptions o;
+    EXPECT_FALSE(o.enabled());
+    o.stalls = true;
+    EXPECT_TRUE(o.enabled());
+    EXPECT_FALSE(o.timelineOn());
+    EXPECT_FALSE(o.chromeOn());
+
+    o = ObsOptions{};
+    o.timelinePath = "x.json"; // a path implies sampling
+    EXPECT_TRUE(o.timelineOn());
+    EXPECT_TRUE(o.enabled());
+
+    o = ObsOptions{};
+    o.chromeTracePath = "x.trace.json";
+    EXPECT_TRUE(o.chromeOn());
+    EXPECT_TRUE(o.enabled());
+}
+
+// ---------------------------------------------------------------------
+// Stall attribution
+// ---------------------------------------------------------------------
+
+/** Small machine, full workload scale: fast but still multi-SM. */
+RunOptions
+obsOpt(Technique tech)
+{
+    RunOptions opt;
+    opt.tech = tech;
+    opt.gpu.numSms = 2;
+    opt.scale = 0.5;
+    opt.obs.stalls = true;
+    return opt;
+}
+
+void
+expectExclusive(const StallStats &s)
+{
+    EXPECT_EQ(s.reasonSum(), s.idleSlots);
+}
+
+/** reasons and idleSlots of @p parts must sum field-wise to @p whole. */
+void
+expectPartition(const StallStats &whole,
+                const std::vector<StallStats> &parts)
+{
+    StallStats sum;
+    for (const StallStats &p : parts)
+        sum.add(p);
+    EXPECT_EQ(sum, whole);
+}
+
+void
+checkStallHierarchy(const std::string &bench, Technique tech)
+{
+    SCOPED_TRACE(bench + "/" + techniqueName(tech));
+    RunOutcome out = runWorkload(bench, obsOpt(tech));
+    ASSERT_TRUE(out.ok()) << out.error.what;
+
+    const ObsReport &r = out.obs;
+    EXPECT_EQ(r.stalls, out.stats.stalls); // finalize folded them in
+    EXPECT_GT(r.stalls.idleSlots, 0u);
+    expectExclusive(r.stalls);
+    expectPartition(r.stalls, r.smStalls);
+
+    const std::size_t stride =
+        static_cast<std::size_t>(r.maxWarpsPerSm) + 1;
+    ASSERT_EQ(r.warpStalls.size(), r.smStalls.size() * stride);
+    for (std::size_t sm = 0; sm < r.smStalls.size(); ++sm) {
+        SCOPED_TRACE("sm " + std::to_string(sm));
+        expectExclusive(r.smStalls[sm]);
+        std::vector<StallStats> warps(
+            r.warpStalls.begin() +
+                static_cast<std::ptrdiff_t>(sm * stride),
+            r.warpStalls.begin() +
+                static_cast<std::ptrdiff_t>((sm + 1) * stride));
+        expectPartition(r.smStalls[sm], warps);
+    }
+
+    // No fetch stage and no separate SIMT-sync stall in this model.
+    EXPECT_EQ(r.stalls[StallReason::Sync], 0u);
+    EXPECT_EQ(r.stalls[StallReason::Icache], 0u);
+    if (tech == Technique::Baseline) {
+        // DAC queues do not exist on the baseline machine.
+        EXPECT_EQ(r.stalls[StallReason::DacQueueEmpty], 0u);
+        EXPECT_EQ(r.stalls[StallReason::DacQueueFull], 0u);
+    }
+}
+
+TEST(StallAttribution, ExclusivePartitionBaselineCompute)
+{
+    checkStallHierarchy("BS", Technique::Baseline);
+}
+
+TEST(StallAttribution, ExclusivePartitionBaselineMemory)
+{
+    checkStallHierarchy("SP", Technique::Baseline);
+}
+
+TEST(StallAttribution, ExclusivePartitionDacCompute)
+{
+    checkStallHierarchy("BS", Technique::Dac);
+}
+
+TEST(StallAttribution, ExclusivePartitionDacMemory)
+{
+    checkStallHierarchy("SP", Technique::Dac);
+}
+
+TEST(StallAttribution, DeterministicAcrossRuns)
+{
+    RunOutcome a = runWorkload("SP", obsOpt(Technique::Dac));
+    RunOutcome b = runWorkload("SP", obsOpt(Technique::Dac));
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.obs.stalls, b.obs.stalls);
+    EXPECT_EQ(a.obs.smStalls, b.obs.smStalls);
+    EXPECT_EQ(a.obs.warpStalls, b.obs.warpStalls);
+    EXPECT_TRUE(a.stats == b.stats);
+}
+
+TEST(StallAttribution, ObservingDoesNotPerturbSimulation)
+{
+    RunOptions plain;
+    plain.tech = Technique::Dac;
+    plain.gpu.numSms = 2;
+    plain.scale = 0.5;
+    RunOptions observed = plain;
+    observed.obs.stalls = true;
+    observed.obs.timeline = true;
+
+    RunOutcome off = runWorkload("SP", plain);
+    RunOutcome on = runWorkload("SP", observed);
+    ASSERT_TRUE(off.ok() && on.ok());
+
+    // Stall attribution forces per-cycle stepping (no fast-forward),
+    // so compare the authoritative visitStats() field list — the
+    // diagnostic `stalls` member legitimately differs.
+    std::vector<std::pair<std::string, std::uint64_t>> a, b;
+    visitStats(off.stats, [&](const char *n, auto v) {
+        a.emplace_back(n, static_cast<std::uint64_t>(v));
+    });
+    visitStats(on.stats, [&](const char *n, auto v) {
+        b.emplace_back(n, static_cast<std::uint64_t>(v));
+    });
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(off.checksums, on.checksums);
+    EXPECT_EQ(off.hashChain, on.hashChain);
+    EXPECT_EQ(off.stats.stalls.idleSlots, 0u); // off: never charged
+}
+
+// ---------------------------------------------------------------------
+// Counter timeline
+// ---------------------------------------------------------------------
+
+TEST(Timeline, SamplesAtBoundariesAndRunEnd)
+{
+    RunOptions opt = obsOpt(Technique::Dac);
+    opt.obs.timeline = true;
+    RunOutcome out = runWorkload("SP", opt);
+    ASSERT_TRUE(out.ok());
+    const std::vector<TimelineSample> &tl = out.obs.timeline;
+    ASSERT_FALSE(tl.empty());
+    for (std::size_t i = 1; i < tl.size(); ++i)
+        EXPECT_LT(tl[i - 1].cycle, tl[i].cycle);
+    EXPECT_EQ(tl.back().cycle, out.stats.cycles);
+    EXPECT_EQ(tl.back().warpInsts, out.stats.totalWarpInsts());
+    EXPECT_EQ(out.obs.timelineDropped, 0u);
+    // The run has drained: no queued DAC work can survive the end.
+    EXPECT_EQ(tl.back().atq, 0);
+    EXPECT_EQ(tl.back().pwaq, 0);
+    EXPECT_EQ(tl.back().pwpq, 0);
+}
+
+TEST(Timeline, RingOverwritesOldestWhenFull)
+{
+    RunOptions opt = obsOpt(Technique::Dac);
+    opt.obs.timeline = true;
+    opt.obs.timelineCapacity = 3;
+    RunOutcome out = runWorkload("SP", opt);
+    ASSERT_TRUE(out.ok());
+
+    RunOptions full = obsOpt(Technique::Dac);
+    full.obs.timeline = true;
+    RunOutcome ref = runWorkload("SP", full);
+    ASSERT_TRUE(ref.ok());
+    ASSERT_GT(ref.obs.timeline.size(), 3u) << "run too short to clip";
+
+    // The ring keeps the newest 3 samples, oldest first, and counts
+    // every overwrite.
+    ASSERT_EQ(out.obs.timeline.size(), 3u);
+    EXPECT_EQ(out.obs.timelineDropped, ref.obs.timeline.size() - 3u);
+    std::vector<TimelineSample> tail(ref.obs.timeline.end() - 3,
+                                     ref.obs.timeline.end());
+    EXPECT_EQ(out.obs.timeline, tail);
+}
+
+TEST(Timeline, EveryNthBoundaryThinsSampling)
+{
+    RunOptions opt = obsOpt(Technique::Dac);
+    opt.obs.timeline = true;
+    opt.obs.timelineEveryBoundaries = 4;
+    RunOutcome sparse = runWorkload("SP", opt);
+    opt.obs.timelineEveryBoundaries = 1;
+    RunOutcome dense = runWorkload("SP", opt);
+    ASSERT_TRUE(sparse.ok() && dense.ok());
+    EXPECT_LT(sparse.obs.timeline.size(), dense.obs.timeline.size());
+    // Thinned samples are a subset of the dense ones (same boundaries).
+    for (const TimelineSample &t : sparse.obs.timeline) {
+        bool found = false;
+        for (const TimelineSample &d : dense.obs.timeline)
+            if (d == t)
+                found = true;
+        EXPECT_TRUE(found) << "cycle " << t.cycle;
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON outputs
+// ---------------------------------------------------------------------
+
+/** Per-test scratch directory, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        std::string name = std::string("dacsim_obs_") +
+                           info->test_suite_name() + "_" + info->name();
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        path = fs::temp_directory_path() / name;
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+};
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Structural JSON check without a parser: every brace/bracket outside
+ * a string literal balances, and the nesting closes exactly at the
+ * final byte. Catches truncation and comma/quote slips in the
+ * hand-rolled writers.
+ */
+void
+expectBalancedJson(const std::string &text)
+{
+    std::vector<char> stack;
+    bool inString = false, escaped = false;
+    for (char c : text) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (inString) {
+            if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        switch (c) {
+          case '"': inString = true; break;
+          case '{': stack.push_back('}'); break;
+          case '[': stack.push_back(']'); break;
+          case '}':
+          case ']':
+            ASSERT_FALSE(stack.empty()) << "unbalanced " << c;
+            ASSERT_EQ(stack.back(), c);
+            stack.pop_back();
+            break;
+          default: break;
+        }
+    }
+    EXPECT_FALSE(inString);
+    EXPECT_TRUE(stack.empty()) << stack.size() << " unclosed scopes";
+    EXPECT_EQ(text.front(), '{');
+}
+
+TEST(ChromeTrace, WellFormedAndPopulated)
+{
+    TempDir tmp;
+    RunOptions opt = obsOpt(Technique::Dac);
+    opt.obs.chromeTracePath = (tmp.path / "sp.trace.json").string();
+    RunOutcome out = runWorkload("SP", opt);
+    ASSERT_TRUE(out.ok());
+    EXPECT_GT(out.obs.traceEvents, 0u);
+
+    std::string text = slurp(opt.obs.chromeTracePath);
+    ASSERT_FALSE(text.empty());
+    expectBalancedJson(text);
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    // The three streams: issue spans, affine runahead, memory spans.
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"runahead\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"b\""), std::string::npos);
+    // Thread metadata names each scheduler and the affine warp.
+    EXPECT_NE(text.find("\"affine warp\""), std::string::npos);
+}
+
+TEST(ChromeTrace, DeterministicBytes)
+{
+    TempDir tmp;
+    RunOptions opt = obsOpt(Technique::Dac);
+    opt.obs.chromeTracePath = (tmp.path / "a.trace.json").string();
+    ASSERT_TRUE(runWorkload("BS", opt).ok());
+    std::string a = slurp(opt.obs.chromeTracePath);
+    opt.obs.chromeTracePath = (tmp.path / "b.trace.json").string();
+    ASSERT_TRUE(runWorkload("BS", opt).ok());
+    EXPECT_EQ(a, slurp(opt.obs.chromeTracePath));
+}
+
+TEST(TimelineJson, WellFormed)
+{
+    TempDir tmp;
+    RunOptions opt = obsOpt(Technique::Dac);
+    opt.obs.timelinePath = (tmp.path / "sp.timeline.json").string();
+    RunOutcome out = runWorkload("SP", opt);
+    ASSERT_TRUE(out.ok());
+    std::string text = slurp(opt.obs.timelinePath);
+    ASSERT_FALSE(text.empty());
+    expectBalancedJson(text);
+    EXPECT_NE(text.find("\"dacsim-obs-timeline-v1\""), std::string::npos);
+    EXPECT_NE(text.find("\"per_sm\""), std::string::npos);
+    EXPECT_NE(text.find("\"per_warp\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Golden timeline fixture
+// ---------------------------------------------------------------------
+
+/**
+ * Byte-exact fixture for the timeline+stalls JSON, produced with the
+ * exact options the fig16 driver uses for `--only SP --timeline ...`
+ * (default machine, figure scale, DAC): scripts/check.sh cmp's the
+ * driver's output against the same file. Regenerate with
+ * DACSIM_UPDATE_GOLDEN=1 after an intentional change.
+ */
+TEST(ObsGolden, TimelineSpDacBytes)
+{
+    TempDir tmp;
+    RunOptions opt;
+    opt.tech = Technique::Dac;
+    opt.scale = 1.0; // bench::figureScale
+    opt.obs.stalls = true;
+    opt.obs.timelinePath = (tmp.path / "live.json").string();
+    RunOutcome out = runWorkload("SP", opt);
+    ASSERT_TRUE(out.ok()) << out.error.what;
+    std::string live = slurp(opt.obs.timelinePath);
+    ASSERT_FALSE(live.empty());
+
+    std::string path =
+        std::string(DACSIM_GOLDEN_DIR) + "/obs_timeline_SP_DAC.json";
+    if (env().updateGolden) {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(os.good()) << "cannot write " << path;
+        os << live;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << path << " missing; regenerate with DACSIM_UPDATE_GOLDEN=1";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(live, want.str())
+        << "obs timeline drifted from " << path
+        << "; regenerate with DACSIM_UPDATE_GOLDEN=1 if intentional";
+}
+
+} // namespace
