@@ -1,0 +1,256 @@
+/**
+ * @file
+ * dacsim-fuzz: the generative differential-fuzzing campaign driver
+ * (DESIGN.md §12).
+ *
+ * Usage:
+ *   dacsim-fuzz [--seeds N] [--first-seed N] [--jobs N] [--dir DIR]
+ *               [--timeout-ms N] [--faults SPEC] [--inject-bug]
+ *               [--no-shrink] [--fork|--in-process] [--json FILE]
+ *               [--abort-after N]
+ *   dacsim-fuzz --one SEED          run a single case, report verbosely
+ *   dacsim-fuzz --print SEED        print the generated kernel source
+ *   dacsim-fuzz --replay FILE...    replay repro/corpus files (exit 0
+ *                                   when every file passes the oracle)
+ *
+ * A campaign runs seeds [first, first+N) through the differential
+ * oracle, one crash-isolated child per case (fork+exec of this binary;
+ * --fork keeps the child in-image, --in-process disables isolation).
+ * With --dir the campaign journals every verdict and resumes
+ * byte-identically after a kill; failing cases are shrunk to
+ * self-contained repro files there. Failures print one JSON line each
+ * (PR-1 error-report schema) to stderr; the exit status is non-zero
+ * when any case failed. Defaults come from the DACSIM_FUZZ_* knobs
+ * (see --help).
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "fuzz/campaign.h"
+#include "fuzz/shrink.h"
+
+using namespace dacsim;
+using namespace dacsim::bench;
+using namespace dacsim::fuzz;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dacsim-fuzz [--seeds N] [--first-seed N] [--jobs N]\n"
+        "                   [--dir DIR] [--timeout-ms N] [--faults SPEC]\n"
+        "                   [--inject-bug] [--no-shrink] [--fork]\n"
+        "                   [--in-process] [--json FILE] [--abort-after N]\n"
+        "       dacsim-fuzz --one SEED | --print SEED | --replay FILE...\n"
+        "\n%s",
+        envHelpText().c_str());
+    return 2;
+}
+
+std::string
+selfExePath()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    return buf;
+}
+
+/** --child-case: run one oracle case and print its exact verdict
+ * encoding (the ForkExec campaign protocol). */
+int
+childCase(std::uint64_t seed, const CampaignOptions &opt)
+{
+    OracleVerdict v = runOracleSeed(seed, campaignOracleOptions(opt));
+    std::printf("%s\n", encodeVerdict(v).c_str());
+    return 0;
+}
+
+int
+oneCase(std::uint64_t seed, const CampaignOptions &opt)
+{
+    GeneratedKernel g = generateKernel(seed);
+    std::printf("seed %llu: %s\n",
+                static_cast<unsigned long long>(seed),
+                g.params.describe().c_str());
+    OracleVerdict v = runOracle(g.source, seed, campaignOracleOptions(opt));
+    std::printf("verdict: %s%s%s\n", oracleStatusName(v.status),
+                v.detail.empty() ? "" : " — ", v.detail.c_str());
+    for (const TechRecord &t : v.techs)
+        std::printf("  %-8s checksum=%016llx cycles=%llu%s%s\n",
+                    techniqueName(t.tech),
+                    static_cast<unsigned long long>(t.checksum),
+                    static_cast<unsigned long long>(t.cycles),
+                    t.fellBack ? " (fellBack)" : "",
+                    t.error != RunErrorKind::None ? " (error)" : "");
+    return v.ok() ? 0 : 1;
+}
+
+int
+replayFiles(const std::vector<std::string> &paths,
+            const CampaignOptions &opt)
+{
+    int failures = 0;
+    for (const std::string &path : paths) {
+        std::ifstream is(path);
+        if (!is.good()) {
+            std::fprintf(stderr, "dacsim-fuzz: cannot read %s\n",
+                         path.c_str());
+            ++failures;
+            continue;
+        }
+        std::ostringstream text;
+        text << is.rdbuf();
+        const std::uint64_t seed = reproSeed(text.str());
+        OracleVerdict v =
+            runOracle(text.str(), seed, campaignOracleOptions(opt));
+        std::printf("%s: %s%s%s\n", path.c_str(),
+                    oracleStatusName(v.status),
+                    v.detail.empty() ? "" : " — ", v.detail.c_str());
+        if (!v.ok())
+            ++failures;
+    }
+    return failures > 0 ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain("dacsim-fuzz", [&]() -> int {
+        CampaignOptions opt;
+        opt.numSeeds = env().fuzzSeeds;
+        opt.jobs = env().fuzzJobs > 0 ? env().fuzzJobs : env().jobs;
+        opt.dir = env().fuzzDir;
+        opt.timeoutMs = env().fuzzTimeoutMs;
+        opt.faultSpec = env().faults;
+        opt.abortAfter = env().sweepAbortAfter;
+        opt.isolation = CampaignOptions::Isolation::ForkExec;
+
+        std::string jsonPath;
+        bool haveOne = false, havePrint = false, haveChild = false;
+        std::uint64_t oneSeed = 0;
+        std::vector<std::string> replays;
+        bool replayMode = false;
+
+        auto needArg = [&](int &i) -> const char * {
+            if (++i >= argc) {
+                std::exit(usage());
+            }
+            return argv[i];
+        };
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--seeds") == 0)
+                opt.numSeeds = std::atoi(needArg(i));
+            else if (std::strcmp(argv[i], "--first-seed") == 0)
+                opt.firstSeed = std::strtoull(needArg(i), nullptr, 10);
+            else if (std::strcmp(argv[i], "--jobs") == 0)
+                opt.jobs = std::atoi(needArg(i));
+            else if (std::strcmp(argv[i], "--dir") == 0)
+                opt.dir = needArg(i);
+            else if (std::strcmp(argv[i], "--timeout-ms") == 0)
+                opt.timeoutMs = std::atoi(needArg(i));
+            else if (std::strcmp(argv[i], "--faults") == 0)
+                opt.faultSpec = needArg(i);
+            else if (std::strcmp(argv[i], "--inject-bug") == 0)
+                opt.oracle.dac.bugPerturbAffineImm = true;
+            else if (std::strcmp(argv[i], "--no-shrink") == 0)
+                opt.shrinkFailures = false;
+            else if (std::strcmp(argv[i], "--fork") == 0)
+                opt.isolation = CampaignOptions::Isolation::Fork;
+            else if (std::strcmp(argv[i], "--in-process") == 0)
+                opt.isolation = CampaignOptions::Isolation::InProcess;
+            else if (std::strcmp(argv[i], "--json") == 0)
+                jsonPath = needArg(i);
+            else if (std::strcmp(argv[i], "--abort-after") == 0)
+                opt.abortAfter = std::atol(needArg(i));
+            else if (std::strcmp(argv[i], "--one") == 0) {
+                haveOne = true;
+                oneSeed = std::strtoull(needArg(i), nullptr, 10);
+            } else if (std::strcmp(argv[i], "--print") == 0) {
+                havePrint = true;
+                oneSeed = std::strtoull(needArg(i), nullptr, 10);
+            } else if (std::strcmp(argv[i], "--child-case") == 0) {
+                haveChild = true;
+                oneSeed = std::strtoull(needArg(i), nullptr, 10);
+            } else if (std::strcmp(argv[i], "--replay") == 0) {
+                replayMode = true;
+            } else if (std::strcmp(argv[i], "--help") == 0 ||
+                       std::strcmp(argv[i], "-h") == 0) {
+                return usage();
+            } else if (argv[i][0] == '-') {
+                return usage();
+            } else if (replayMode) {
+                replays.emplace_back(argv[i]);
+            } else {
+                return usage();
+            }
+        }
+
+        if (haveChild)
+            return childCase(oneSeed, opt);
+        if (havePrint) {
+            GeneratedKernel g = generateKernel(oneSeed);
+            std::printf("// seed: %llu\n// params: %s\n%s",
+                        static_cast<unsigned long long>(oneSeed),
+                        g.params.describe().c_str(), g.source.c_str());
+            return 0;
+        }
+        if (haveOne)
+            return oneCase(oneSeed, opt);
+        if (replayMode) {
+            if (replays.empty())
+                return usage();
+            return replayFiles(replays, opt);
+        }
+
+        if (opt.isolation == CampaignOptions::Isolation::ForkExec) {
+            opt.execPath = selfExePath();
+            if (opt.execPath.empty())
+                opt.isolation = CampaignOptions::Isolation::Fork;
+        }
+
+        int done = 0;
+        opt.onCase = [&](const CaseResult &r) {
+            ++done;
+            if (caseFailed(r.status))
+                std::fprintf(stderr, "%s\n", caseFailureJson(r).c_str());
+            if (done % 100 == 0 || done == opt.numSeeds)
+                std::fprintf(stderr, "dacsim-fuzz: %d/%d cases\n", done,
+                             opt.numSeeds);
+        };
+
+        CampaignReport rep = runCampaign(opt);
+        if (!jsonPath.empty()) {
+            std::ofstream os(jsonPath, std::ios::trunc);
+            if (!os.good()) {
+                std::fprintf(stderr, "dacsim-fuzz: cannot write %s\n",
+                             jsonPath.c_str());
+                return 2;
+            }
+            os << rep.renderJson();
+        }
+        std::printf("dacsim-fuzz: %d case(s), %d match, %d failure(s), "
+                    "%d from journal, digest %016llx\n",
+                    rep.numSeeds, rep.numMatch, rep.numFailed,
+                    rep.numFromJournal,
+                    static_cast<unsigned long long>(rep.verdictDigest));
+        return rep.ok() ? 0 : 1;
+    });
+}

@@ -51,6 +51,28 @@ cmake --build build-dbg -j --target fig16_speedup
     grep -q '"traceEvents"' trace-SP-DAC.trace.json
 )
 
+echo "== fuzz campaign smoke (debug build) =="
+# Quick differential-fuzzing campaign (DESIGN.md §12): 100 seeds
+# through the crash-isolated runner must all match; the committed
+# regression corpus must replay clean; and a campaign killed mid-run
+# (--abort-after, mirroring the sweep smoke) must resume from its
+# journal and reproduce the report byte-identically.
+cmake --build build-dbg -j --target dacsim_fuzz
+(
+    cd build-dbg
+    rm -rf fuzz-ck fuzz-ck2 && mkdir fuzz-ck fuzz-ck2
+    bench/dacsim-fuzz --seeds 100 --dir fuzz-ck --json fuzz-report.json
+    bench/dacsim-fuzz --replay ../tests/corpus/*.dacasm
+    tries=0
+    until bench/dacsim-fuzz --seeds 100 --dir fuzz-ck2 --abort-after 25 \
+        --json fuzz-report2.json >/dev/null; do
+        tries=$((tries + 1))
+        test "$tries" -le 20 || { echo "campaign never completed"; exit 1; }
+    done
+    echo "campaign finished after $tries kills"
+    cmp fuzz-report.json fuzz-report2.json
+)
+
 echo "== asan+ubsan build =="
 cmake -B build-san -S . -DDACSIM_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j
@@ -61,6 +83,16 @@ echo "== static analysis (sanitized build) =="
 # kernel, so this doubles as a memory-safety pass over src/analysis/.
 cmake --build build-san -j --target dacsim_lint
 (cd build-san && bench/dacsim-lint --quiet >/dev/null)
+
+echo "== fuzz campaign smoke (sanitized build) =="
+# The generator/oracle/shrink stack under ASan+UBSan, plus the corpus.
+cmake --build build-san -j --target dacsim_fuzz
+(
+    cd build-san
+    rm -rf fuzz-ck && mkdir fuzz-ck
+    bench/dacsim-fuzz --seeds 100 --dir fuzz-ck >/dev/null
+    bench/dacsim-fuzz --replay ../tests/corpus/*.dacasm >/dev/null
+)
 
 echo "== sanitized checkpoint round-trip smoke =="
 (cd build-san && rm -rf bisect-ck \

@@ -45,6 +45,8 @@ DiagnosticEngine::report(const std::string &rule, Severity sev, int pc,
     d.severity = sev;
     d.kernel = kernel_.name;
     d.pc = pc;
+    if (pc >= 0 && pc < kernel_.numInsts())
+        d.line = kernel_.insts[static_cast<std::size_t>(pc)].srcLine;
     d.block = block;
     d.message = message;
     d.fixit = fixit;
@@ -92,6 +94,8 @@ LintReport::renderText() const
             os << d.pc;
         else
             os << "-";
+        if (d.line > 0)
+            os << " (line " << d.line << ")";
         os << " [" << d.rule << "] " << severityName(d.severity);
         if (d.suppressed)
             os << " (suppressed)";
@@ -145,6 +149,7 @@ LintReport::renderJson() const
         os << (i ? ",\n  " : "\n  ");
         os << "{\"rule\": \"" << d.rule << "\", \"severity\": \""
            << severityName(d.severity) << "\", \"pc\": " << d.pc
+           << ", \"line\": " << d.line
            << ", \"block\": " << d.block << ", \"suppressed\": "
            << (d.suppressed ? "true" : "false") << ", \"message\": \""
            << jsonEscape(d.message) << "\", \"fixit\": \""

@@ -43,6 +43,9 @@ struct Diagnostic
     Severity severity = Severity::Warning;
     std::string kernel;    ///< kernel name
     int pc = -1;           ///< instruction index; -1 for kernel-level
+    /** 1-based source line of the instruction at pc (0 when the
+     * kernel was built without source, e.g. synthesized IR). */
+    int line = 0;
     int block = -1;        ///< basic-block id; -1 when not applicable
     std::string message;
     std::string fixit;     ///< suggested fix ("" when none)

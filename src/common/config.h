@@ -127,6 +127,15 @@ struct DacConfig
     /** Records the expansion units can deliver per cycle (the design
      * adds two ALUs per SM: one in the AEU, one in the PEU). */
     int expansionsPerCycle = 2;
+    /**
+     * Test knob (fuzz oracle, DESIGN.md §12): deliberately corrupt the
+     * decoupler's output by adding one to the first immediate operand
+     * of the emitted affine stream. Exists so campaigns can prove the
+     * differential oracle catches a real decoupler bug end to end
+     * (catch → shrink → report); folded into the snapshot config
+     * fingerprint so buggy and clean runs never exchange snapshots.
+     */
+    bool bugPerturbAffineImm = false;
 
     int pwaqPerWarp(int warps) const { return pwaqEntries / warps; }
     int pwpqPerWarp(int warps) const { return pwpqEntries / warps; }

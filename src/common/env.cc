@@ -34,6 +34,16 @@ envRegistry()
         {"DACSIM_CHECKPOINT_DIR", "string", "",
          "snapshot/journal directory for resumable sweeps (empty: "
          "off)"},
+        {"DACSIM_FUZZ_SEEDS", "int", "1000",
+         "default dacsim-fuzz campaign size (seeds per campaign)"},
+        {"DACSIM_FUZZ_JOBS", "int", "0",
+         "concurrent fuzz cases (0: DACSIM_JOBS, then hardware "
+         "concurrency)"},
+        {"DACSIM_FUZZ_DIR", "string", "",
+         "dacsim-fuzz journal/repro directory (empty: ephemeral, no "
+         "resume)"},
+        {"DACSIM_FUZZ_TIMEOUT_MS", "int", "20000",
+         "per-fuzz-case watchdog deadline before the child is killed"},
     };
     return knobs;
 }
@@ -113,6 +123,14 @@ parseEnv(const std::vector<std::pair<std::string, std::string>> &vars,
             env.faultBenches = value;
         else if (name == "DACSIM_CHECKPOINT_DIR")
             env.checkpointDir = value;
+        else if (name == "DACSIM_FUZZ_SEEDS")
+            env.fuzzSeeds = n > 0 ? static_cast<int>(n) : 0;
+        else if (name == "DACSIM_FUZZ_JOBS")
+            env.fuzzJobs = n > 0 ? static_cast<int>(n) : 0;
+        else if (name == "DACSIM_FUZZ_DIR")
+            env.fuzzDir = value;
+        else if (name == "DACSIM_FUZZ_TIMEOUT_MS")
+            env.fuzzTimeoutMs = n > 0 ? static_cast<int>(n) : 20000;
     }
     return env;
 }

@@ -57,6 +57,16 @@ struct Env
     /** DACSIM_CHECKPOINT_DIR: sweep snapshot/journal directory
      * ("": checkpointing off). */
     std::string checkpointDir;
+    /** DACSIM_FUZZ_SEEDS: default dacsim-fuzz campaign size. */
+    int fuzzSeeds = 1000;
+    /** DACSIM_FUZZ_JOBS: concurrent fuzz cases (0: DACSIM_JOBS, then
+     * hardware concurrency). */
+    int fuzzJobs = 0;
+    /** DACSIM_FUZZ_DIR: campaign journal/repro directory
+     * ("": ephemeral campaign, no resume). */
+    std::string fuzzDir;
+    /** DACSIM_FUZZ_TIMEOUT_MS: per-case watchdog deadline. */
+    int fuzzTimeoutMs = 20000;
 };
 
 /**

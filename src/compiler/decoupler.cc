@@ -480,6 +480,22 @@ Decoupling::run()
     out.affine = buildAffineStream(deqPredLive, out.affineOrigPc);
     out.anyDecoupled = true;
 
+    if (dcfg_.bugPerturbAffineImm) {
+        // Deliberate decoupler bug (fuzz-oracle test knob): corrupt
+        // the first immediate the affine stream consumes.
+        for (Instruction &inst : out.affine.insts) {
+            bool done = false;
+            for (Operand &s : inst.src)
+                if (s.isImm()) {
+                    s.imm += 1;
+                    done = true;
+                    break;
+                }
+            if (done)
+                break;
+        }
+    }
+
     for (int pc = 0; pc < n; ++pc) {
         bool dec = cand_[pc] != CandKind::No;
         out.decoupled[pc] = dec;

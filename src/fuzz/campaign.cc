@@ -1,0 +1,600 @@
+#include "fuzz/campaign.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/log.h"
+#include "fuzz/shrink.h"
+#include "harness/journal.h"
+#include "harness/sweep.h"
+
+namespace dacsim::fuzz
+{
+
+const char *
+caseStatusName(CaseStatus s)
+{
+    switch (s) {
+      case CaseStatus::Match: return "match";
+      case CaseStatus::AssembleError: return "assemble-error";
+      case CaseStatus::LintDirty: return "lint-dirty";
+      case CaseStatus::RunFailure: return "run-failure";
+      case CaseStatus::Mismatch: return "mismatch";
+      case CaseStatus::Crash: return "crash";
+      case CaseStatus::Timeout: return "timeout";
+    }
+    return "?";
+}
+
+bool
+caseFailed(CaseStatus s)
+{
+    return s != CaseStatus::Match;
+}
+
+namespace
+{
+
+CaseStatus
+fromOracleStatus(OracleStatus s)
+{
+    switch (s) {
+      case OracleStatus::Match: return CaseStatus::Match;
+      case OracleStatus::AssembleError: return CaseStatus::AssembleError;
+      case OracleStatus::LintDirty: return CaseStatus::LintDirty;
+      case OracleStatus::RunFailure: return CaseStatus::RunFailure;
+      case OracleStatus::Mismatch: return CaseStatus::Mismatch;
+    }
+    return CaseStatus::Crash;
+}
+
+std::string
+jsonEsc(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** The first non-baseline technique record carrying the failure, if
+ * the verdict has one. */
+const TechRecord *
+offendingTech(const OracleVerdict &v)
+{
+    if (v.techs.empty())
+        return nullptr;
+    const std::uint64_t baseCk = v.techs.front().checksum;
+    for (const TechRecord &t : v.techs) {
+        if (t.tech == Technique::Baseline)
+            continue;
+        if (t.error != RunErrorKind::None || t.fellBack ||
+            t.checksum != baseCk)
+            return &t;
+    }
+    return nullptr;
+}
+
+/** Journal key: the seed plus a fingerprint of every option that
+ * changes a verdict, so reusing a campaign directory with different
+ * oracle settings re-runs instead of serving stale verdicts. */
+std::string
+journalKey(std::uint64_t seed, const CampaignOptions &opt)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto fold = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (char c : opt.faultSpec)
+        fold(static_cast<unsigned char>(c));
+    fold(opt.oracle.dac.bugPerturbAffineImm ? 1 : 0);
+    fold(static_cast<std::uint64_t>(opt.oracle.gpu.numSms));
+    fold(static_cast<std::uint64_t>(opt.oracle.ctas));
+    fold(static_cast<std::uint64_t>(opt.oracle.blockThreads));
+    fold(static_cast<std::uint64_t>(opt.oracle.elems));
+    fold(opt.oracle.lintGate ? 1 : 0);
+    fold(static_cast<std::uint64_t>(opt.oracle.maxCycles));
+    for (Technique t : opt.oracle.techs)
+        fold(static_cast<std::uint64_t>(t) + 2);
+    std::ostringstream os;
+    os << 's' << seed << '@' << std::hex << h;
+    return os.str();
+}
+
+/** Pipe-read loop with a deadline; returns everything the child wrote
+ * and whether the deadline expired first. */
+bool
+readWithDeadline(int fd, int timeoutMs, std::string *buf)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs);
+    char tmp[4096];
+    for (;;) {
+        const long remain =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+        if (remain <= 0)
+            return false;
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1,
+                              static_cast<int>(remain > 200 ? 200 : remain));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return true;
+        }
+        if (pr == 0)
+            continue;
+        const ssize_t n = ::read(fd, tmp, sizeof tmp);
+        if (n > 0) {
+            buf->append(tmp, static_cast<std::size_t>(n));
+        } else if (n == 0) {
+            return true; // EOF: the child closed its end (exited)
+        } else if (errno != EINTR && errno != EAGAIN) {
+            return true;
+        }
+    }
+}
+
+void
+writeAll(int fd, const std::string &s)
+{
+    std::size_t off = 0;
+    while (off < s.size()) {
+        const ssize_t n = ::write(fd, s.data() + off, s.size() - off);
+        if (n > 0)
+            off += static_cast<std::size_t>(n);
+        else if (errno != EINTR)
+            break;
+    }
+}
+
+/** The last parseable verdict line in a child's output. */
+bool
+lastVerdictLine(const std::string &buf, OracleVerdict *v)
+{
+    bool found = false;
+    std::istringstream is(buf);
+    for (std::string line; std::getline(is, line);) {
+        OracleVerdict cand;
+        if (decodeVerdict(line, &cand)) {
+            *v = std::move(cand);
+            found = true;
+        }
+    }
+    return found;
+}
+
+/** One crash-isolated attempt (Fork or ForkExec). */
+CaseResult
+runIsolatedOnce(std::uint64_t seed, const CampaignOptions &opt,
+                const OracleOptions &oracleOpt)
+{
+    CaseResult r;
+    r.seed = seed;
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        r.status = CaseStatus::Crash;
+        r.detail = std::string("pipe: ") + std::strerror(errno);
+        return r;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        r.status = CaseStatus::Crash;
+        r.detail = std::string("fork: ") + std::strerror(errno);
+        return r;
+    }
+
+    if (pid == 0) {
+        // Child. Never return: the only exits are _Exit/_exit, so no
+        // parent-side state (journals, gtest, stdio buffers) is
+        // flushed twice.
+        ::close(fds[0]);
+        if (opt.isolation == CampaignOptions::Isolation::ForkExec) {
+            ::dup2(fds[1], STDOUT_FILENO);
+            ::close(fds[1]);
+            const std::string seedStr = std::to_string(seed);
+            std::vector<const char *> argv = {opt.execPath.c_str(),
+                                              "--child-case",
+                                              seedStr.c_str()};
+            if (!opt.faultSpec.empty()) {
+                argv.push_back("--faults");
+                argv.push_back(opt.faultSpec.c_str());
+            }
+            if (opt.oracle.dac.bugPerturbAffineImm)
+                argv.push_back("--inject-bug");
+            argv.push_back(nullptr);
+            ::execv(opt.execPath.c_str(),
+                    const_cast<char *const *>(argv.data()));
+            _exit(127);
+        }
+        try {
+            OracleVerdict v = runOracleSeed(seed, oracleOpt);
+            writeAll(fds[1], encodeVerdict(v) + "\n");
+        } catch (...) {
+            // Swallow everything: an unparsable/absent verdict plus
+            // the exit status is the crash report.
+            std::_Exit(1);
+        }
+        std::_Exit(0);
+    }
+
+    // Parent.
+    ::close(fds[1]);
+    std::string buf;
+    const bool finished = readWithDeadline(fds[0], opt.timeoutMs, &buf);
+    ::close(fds[0]);
+    if (!finished)
+        ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+
+    if (!finished) {
+        r.status = CaseStatus::Timeout;
+        std::ostringstream os;
+        os << "watchdog killed the case after " << opt.timeoutMs << " ms";
+        r.detail = os.str();
+        r.verdict.seed = seed;
+        return r;
+    }
+
+    OracleVerdict v;
+    const bool haveVerdict = lastVerdictLine(buf, &v);
+    const bool cleanExit = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+    if (!haveVerdict || !cleanExit) {
+        r.status = CaseStatus::Crash;
+        std::ostringstream os;
+        if (WIFSIGNALED(wstatus))
+            os << "child killed by signal " << WTERMSIG(wstatus);
+        else if (WIFEXITED(wstatus))
+            os << "child exited with status " << WEXITSTATUS(wstatus);
+        else
+            os << "child ended abnormally";
+        if (!haveVerdict)
+            os << " (no verdict received)";
+        r.detail = os.str();
+        r.verdict.seed = seed;
+        return r;
+    }
+
+    r.status = fromOracleStatus(v.status);
+    r.detail = v.detail;
+    r.verdict = std::move(v);
+    return r;
+}
+
+CaseResult
+runCaseOnce(std::uint64_t seed, const CampaignOptions &opt,
+            const OracleOptions &oracleOpt)
+{
+    if (opt.isolation == CampaignOptions::Isolation::InProcess) {
+        CaseResult r;
+        r.seed = seed;
+        try {
+            OracleVerdict v = runOracleSeed(seed, oracleOpt);
+            r.status = fromOracleStatus(v.status);
+            r.detail = v.detail;
+            r.verdict = std::move(v);
+        } catch (const std::exception &e) {
+            r.status = CaseStatus::Crash;
+            r.detail = std::string("uncaught exception: ") + e.what();
+            r.verdict.seed = seed;
+        }
+        return r;
+    }
+    return runIsolatedOnce(seed, opt, oracleOpt);
+}
+
+/** Retry host-side failures (crash/timeout) with backoff; oracle
+ * verdicts are deterministic and never retried. */
+CaseResult
+runCaseWithRetry(std::uint64_t seed, const CampaignOptions &opt,
+                 const OracleOptions &oracleOpt)
+{
+    CaseResult r;
+    for (int attempt = 0;; ++attempt) {
+        r = runCaseOnce(seed, opt, oracleOpt);
+        r.attempts = attempt + 1;
+        const bool hostSide = r.status == CaseStatus::Crash ||
+                              r.status == CaseStatus::Timeout;
+        if (!hostSide || attempt >= opt.maxRetries)
+            return r;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(50L << attempt));
+    }
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::trunc);
+    os << text;
+}
+
+/** Shrink a deterministic failure and write its repro file; crash and
+ * timeout cases get the unshrunk source (shrinking them in the parent
+ * would reproduce the crash in the campaign process). */
+void
+writeRepro(CaseResult &r, const CampaignOptions &opt,
+           const OracleOptions &oracleOpt)
+{
+    if (opt.dir.empty() || !caseFailed(r.status))
+        return;
+    const std::string path =
+        opt.dir + "/repro-seed" + std::to_string(r.seed) + ".dacasm";
+    GeneratedKernel g = generateKernel(r.seed);
+    if (r.status == CaseStatus::Crash || r.status == CaseStatus::Timeout) {
+        std::ostringstream os;
+        os << "// dacsim-fuzz repro (unshrunk: the case "
+           << (r.status == CaseStatus::Crash ? "crashed" : "timed out")
+           << " the child process)\n"
+           << "// seed: " << r.seed << "\n"
+           << "// params: " << g.params.describe() << "\n"
+           << "// verdict: " << caseStatusName(r.status) << "\n"
+           << "// detail: " << r.detail << "\n"
+           << g.source;
+        writeFile(path, os.str());
+        r.reproPath = path;
+        return;
+    }
+    if (!opt.shrinkFailures)
+        return;
+    try {
+        ShrinkOptions so;
+        so.oracle = oracleOpt;
+        // Hunting a seeded bug means a known-good configuration
+        // exists: shrink differentially against it so the repro keeps
+        // isolating the bug (and replays clean on trunk, corpus-ready)
+        // instead of drifting onto a kernel that fails everywhere.
+        if (oracleOpt.dac.bugPerturbAffineImm) {
+            so.haveReference = true;
+            so.reference = oracleOpt;
+            so.reference.dac.bugPerturbAffineImm = false;
+        }
+        ShrinkResult sr = shrinkCase(g.source, r.seed, so);
+        writeFile(path,
+                  renderRepro(r.seed, g.params.describe(), sr));
+        r.reproPath = path;
+    } catch (const std::exception &e) {
+        r.detail += std::string(" [shrink failed: ") + e.what() + "]";
+    }
+}
+
+} // namespace
+
+std::string
+encodeCaseResult(const CaseResult &r)
+{
+    std::ostringstream os;
+    os << "c1 st=" << static_cast<int>(r.status) << " att=" << r.attempts
+       << " fseed=" << r.faultSeed
+       << " repro=" << journalEscape(r.reproPath)
+       << " detail=" << journalEscape(r.detail)
+       << " v=" << journalEscape(encodeVerdict(r.verdict));
+    return os.str();
+}
+
+bool
+decodeCaseResult(const std::string &payload, CaseResult *r)
+{
+    std::istringstream is(payload);
+    std::string tag;
+    if (!(is >> tag) || tag != "c1")
+        return false;
+    CaseResult o;
+    bool haveVerdict = false;
+    std::string tok;
+    try {
+        while (is >> tok) {
+            const std::size_t eq = tok.find('=');
+            if (eq == std::string::npos)
+                return false;
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            if (key == "st") {
+                o.status = static_cast<CaseStatus>(std::stoi(val));
+            } else if (key == "att") {
+                o.attempts = std::stoi(val);
+            } else if (key == "fseed") {
+                o.faultSeed = std::stoull(val);
+            } else if (key == "repro") {
+                o.reproPath = journalUnescape(val);
+            } else if (key == "detail") {
+                o.detail = journalUnescape(val);
+            } else if (key == "v") {
+                if (!decodeVerdict(journalUnescape(val), &o.verdict))
+                    return false;
+                haveVerdict = true;
+            } else {
+                return false; // unknown key: different format version
+            }
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    if (!haveVerdict)
+        return false;
+    o.seed = o.verdict.seed;
+    *r = std::move(o);
+    return true;
+}
+
+std::string
+caseFailureJson(const CaseResult &r)
+{
+    const TechRecord *off = offendingTech(r.verdict);
+    const char *kind = caseStatusName(r.status);
+    if (r.status == CaseStatus::RunFailure && off)
+        kind = runErrorKindName(off->error);
+    std::ostringstream os;
+    os << "{\"figure\":\"dacsim-fuzz\",\"bench\":\"seed"
+       << r.verdict.seed << "\",\"tech\":\""
+       << (off ? techniqueName(off->tech) : "-") << "\",\"status\":\""
+       << (off && off->fellBack ? "fallback" : "error")
+       << "\",\"kind\":\"" << kind << "\",\"cycle\":"
+       << (off ? off->cycles : 0) << ",\"what\":\"" << jsonEsc(r.detail)
+       << "\",\"fault_seed\":" << r.faultSeed << ",\"checkpoint\":\"\","
+       << "\"last_hash\":\"";
+    char hb[32];
+    std::snprintf(hb, sizeof hb, "%016llx",
+                  static_cast<unsigned long long>(off ? off->lastHash : 0));
+    os << hb << "\",\"resumed\":" << (r.fromJournal ? "true" : "false")
+       << ",\"seed\":" << r.verdict.seed << ",\"repro\":\""
+       << jsonEsc(r.reproPath) << "\",\"attempts\":" << r.attempts << "}";
+    return os.str();
+}
+
+OracleOptions
+campaignOracleOptions(const CampaignOptions &opt)
+{
+    OracleOptions oracle = opt.oracle;
+    if (!opt.faultSpec.empty())
+        oracle.faults = FaultPlan::parse(opt.faultSpec);
+    return oracle;
+}
+
+std::string
+CampaignReport::renderJson() const
+{
+    // Invariant under kill/resume: a pure function of the per-case
+    // results (fromJournal is deliberately excluded), so check.sh can
+    // byte-compare a straight-through run against a killed-and-resumed
+    // one.
+    int counts[7] = {0, 0, 0, 0, 0, 0, 0};
+    for (const CaseResult &c : cases)
+        ++counts[static_cast<int>(c.status)];
+    std::ostringstream os;
+    os << "{\"fuzz_campaign\":{\"first_seed\":" << firstSeed
+       << ",\"seeds\":" << numSeeds << "},\n\"counts\":{";
+    for (int s = 0; s < 7; ++s)
+        os << (s ? "," : "") << "\""
+           << caseStatusName(static_cast<CaseStatus>(s))
+           << "\":" << counts[s];
+    char hb[32];
+    std::snprintf(hb, sizeof hb, "%016llx",
+                  static_cast<unsigned long long>(verdictDigest));
+    os << "},\n\"verdict_digest\":\"" << hb << "\",\n\"failures\":[";
+    bool first = true;
+    for (const CaseResult &c : cases) {
+        if (!caseFailed(c.status))
+            continue;
+        CaseResult stable = c;
+        stable.fromJournal = false;
+        os << (first ? "\n" : ",\n") << caseFailureJson(stable);
+        first = false;
+    }
+    os << (first ? "" : "\n") << "]}\n";
+    return os.str();
+}
+
+CampaignReport
+runCampaign(const CampaignOptions &opt)
+{
+    require(opt.numSeeds >= 0, "runCampaign: negative seed count");
+    require(opt.isolation != CampaignOptions::Isolation::ForkExec ||
+                !opt.execPath.empty(),
+            "runCampaign: ForkExec isolation needs an execPath");
+
+    const OracleOptions oracleOpt = campaignOracleOptions(opt);
+    const std::uint64_t faultSeed =
+        opt.faultSpec.empty() ? 0 : oracleOpt.faults.seed();
+
+    std::unique_ptr<LineJournal> journal;
+    if (!opt.dir.empty()) {
+        ::mkdir(opt.dir.c_str(), 0777); // EEXIST is fine
+        journal = std::make_unique<LineJournal>(
+            opt.dir + "/fuzz.campaign.journal", "F1");
+    }
+
+    CampaignReport rep;
+    rep.firstSeed = opt.firstSeed;
+    rep.numSeeds = opt.numSeeds;
+    rep.cases.resize(static_cast<std::size_t>(opt.numSeeds));
+
+    std::atomic<long> fresh{0};
+    std::mutex observerMu;
+    parallelFor(
+        static_cast<std::size_t>(opt.numSeeds),
+        [&](std::size_t i) {
+            const std::uint64_t seed = opt.firstSeed + i;
+            const std::string key = journalKey(seed, opt);
+            CaseResult r;
+            std::string payload;
+            if (journal && journal->lookup(key, &payload) &&
+                decodeCaseResult(payload, &r)) {
+                r.fromJournal = true;
+            } else {
+                r = runCaseWithRetry(seed, opt, oracleOpt);
+                r.faultSeed = faultSeed;
+                writeRepro(r, opt, oracleOpt);
+                if (journal)
+                    journal->record(key, encodeCaseResult(r));
+                const long n = fresh.fetch_add(1) + 1;
+                if (opt.abortAfter > 0 && n >= opt.abortAfter)
+                    std::_Exit(3); // deterministic kill -9 stand-in
+            }
+            rep.cases[i] = r;
+            if (opt.onCase) {
+                std::lock_guard<std::mutex> lk(observerMu);
+                opt.onCase(rep.cases[i]);
+            }
+        },
+        opt.jobs);
+
+    std::uint64_t digest = 1469598103934665603ull;
+    for (const CaseResult &c : rep.cases) {
+        for (char ch : encodeCaseResult(c)) {
+            digest ^= static_cast<unsigned char>(ch);
+            digest *= 1099511628211ull;
+        }
+        digest ^= '\n';
+        digest *= 1099511628211ull;
+        if (caseFailed(c.status))
+            ++rep.numFailed;
+        else
+            ++rep.numMatch;
+        if (c.fromJournal)
+            ++rep.numFromJournal;
+    }
+    rep.verdictDigest = digest;
+    return rep;
+}
+
+} // namespace dacsim::fuzz

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Crash-isolated, resumable fuzzing campaigns (DESIGN.md §12.3).
+ *
+ * A campaign executes a contiguous seed range through the
+ * differential oracle, one crash-isolated child process per case
+ * (fork, or fork+exec of the dacsim-fuzz binary), with a per-case
+ * watchdog timeout, bounded retry with backoff on host-side flake,
+ * and a CRC-journalled progress file so a killed campaign resumes
+ * byte-identically: journalled cases are served from disk and only
+ * the missing seeds re-run. Failing cases are minimized by the
+ * shrinker and written as self-contained repro files; every failure
+ * is also rendered as a one-line JSON report in the PR-1 error-report
+ * schema.
+ */
+
+#ifndef DACSIM_FUZZ_CAMPAIGN_H
+#define DACSIM_FUZZ_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.h"
+
+namespace dacsim::fuzz
+{
+
+/** How one campaign case resolved (OracleStatus plus the two
+ * host-side outcomes only crash isolation can observe). */
+enum class CaseStatus
+{
+    Match,
+    AssembleError,
+    LintDirty,
+    RunFailure,
+    Mismatch,
+    Crash,   ///< the child died (signal / bad exit / no verdict)
+    Timeout, ///< the per-case watchdog killed the child
+};
+
+const char *caseStatusName(CaseStatus s);
+
+/** True for every status a campaign counts as a failure. */
+bool caseFailed(CaseStatus s);
+
+struct CaseResult
+{
+    std::uint64_t seed = 0;
+    CaseStatus status = CaseStatus::Match;
+    /** Oracle evidence (empty techs for Crash/Timeout). */
+    OracleVerdict verdict;
+    /** Crash/timeout diagnostics, or the verdict detail. */
+    std::string detail;
+    /** Attempts consumed (1 + retries on host-side flake). */
+    int attempts = 1;
+    /** Seed of the fault plan the case ran under (0: fault-free). */
+    std::uint64_t faultSeed = 0;
+    /** Self-contained repro file ("" when none was written). */
+    std::string reproPath;
+    /** Served from the campaign journal instead of re-running. */
+    bool fromJournal = false;
+};
+
+/** Exact text encoding of a case result (journal payload). */
+std::string encodeCaseResult(const CaseResult &r);
+bool decodeCaseResult(const std::string &payload, CaseResult *r);
+
+/** One-line JSON failure report in the PR-1 error-report schema
+ * (bench_util reportRun keys, plus seed/repro/attempts). */
+std::string caseFailureJson(const CaseResult &r);
+
+struct CampaignOptions
+{
+    std::uint64_t firstSeed = 1;
+    int numSeeds = 1000;
+    /** Concurrent cases in flight (0: sweepJobs()). */
+    int jobs = 0;
+    /** Journal + repro directory ("": ephemeral, no resume). */
+    std::string dir;
+    /** Per-case watchdog; the child is SIGKILLed at the deadline. */
+    int timeoutMs = 20000;
+    /** Retries (with backoff) after a crash/timeout/fork failure. */
+    int maxRetries = 2;
+
+    /** Crash-isolation mode for each case. */
+    enum class Isolation
+    {
+        InProcess, ///< no isolation (unit tests, --replay, shrinking)
+        Fork,      ///< fork(); the child runs the oracle in-image
+        ForkExec,  ///< fork()+exec of execPath --child-case <seed>
+    };
+    Isolation isolation = Isolation::Fork;
+    /** Binary to exec in ForkExec mode (dacsim-fuzz passes
+     * /proc/self/exe). The child inherits only --faults/--inject-bug
+     * oracle settings, so ForkExec campaigns use the default oracle
+     * configuration. */
+    std::string execPath;
+
+    /** Fault-plan spec applied to every case ("": fault-free). */
+    std::string faultSpec;
+    /** Oracle configuration (InProcess/Fork and parent-side shrink);
+     * faults are overridden from faultSpec when that is non-empty. */
+    OracleOptions oracle;
+
+    /** Shrink non-crash failures and write repro files. */
+    bool shrinkFailures = true;
+    /** Test knob mirroring DACSIM_SWEEP_ABORT_AFTER: _Exit(3) after
+     * n freshly computed cases (0: off). */
+    long abortAfter = 0;
+    /** Observer invoked (under a lock) as each case completes. */
+    std::function<void(const CaseResult &)> onCase;
+};
+
+struct CampaignReport
+{
+    std::uint64_t firstSeed = 0;
+    int numSeeds = 0;
+    std::vector<CaseResult> cases; ///< seed order
+    int numMatch = 0;
+    int numFailed = 0;
+    int numFromJournal = 0;
+    /** FNV-1a digest over every case's exact encoding, in seed order —
+     * the byte-identical-resume check in one number. */
+    std::uint64_t verdictDigest = 0;
+
+    bool ok() const { return numFailed == 0; }
+    /** Deterministic campaign summary (counts, digest, failures). */
+    std::string renderJson() const;
+};
+
+/** Run (or resume) the campaign described by @p opt. */
+CampaignReport runCampaign(const CampaignOptions &opt);
+
+/** The oracle options a campaign's cases run under (faultSpec folded
+ * into oracle.faults; shared by runCampaign, --child-case, --replay). */
+OracleOptions campaignOracleOptions(const CampaignOptions &opt);
+
+} // namespace dacsim::fuzz
+
+#endif // DACSIM_FUZZ_CAMPAIGN_H

@@ -1,0 +1,399 @@
+#include "fuzz/generator.h"
+
+#include <sstream>
+
+namespace dacsim::fuzz
+{
+
+GenParams
+GenParams::fromSeed(std::uint64_t seed)
+{
+    // A separate RNG stream from the body's, so widening one axis's
+    // range never reshuffles the statement-level choices of every
+    // existing seed.
+    FuzzRng rng(seed ^ 0x9e3779b97f4a7c15ull);
+    GenParams p;
+    p.statements = rng.range(4, 12);
+    p.divergenceDepth = rng.range(0, 2);
+    p.arithIntensity = rng.range(10, 70);
+    p.indirectionDepth = rng.chance(35) ? rng.range(2, 3) : 1;
+    p.useShared = rng.chance(30);
+    p.guardDensityPct = rng.range(0, 60);
+    p.scalarLoop = rng.chance(50);
+    return p;
+}
+
+std::string
+GenParams::describe() const
+{
+    std::ostringstream os;
+    os << "stmts=" << statements << " div=" << divergenceDepth
+       << " alu=" << arithIntensity << "% ind=" << indirectionDepth
+       << " shared=" << (useShared ? 1 : 0) << " guard=" << guardDensityPct
+       << "% loop=" << (scalarLoop ? 1 : 0) << " block=" << blockThreads;
+    return os.str();
+}
+
+namespace
+{
+
+/**
+ * Builds one kernel as assembly text. All label/register/predicate
+ * counters are members — a KernelGen instance is a pure function of
+ * (seed, params), so a campaign journal can replay any seed
+ * byte-identically in a fresh process.
+ */
+class KernelGen
+{
+  public:
+    KernelGen(std::uint64_t seed, const GenParams &params)
+        : rng_(seed), params_(params)
+    {
+    }
+
+    std::string
+    generate()
+    {
+        // r0 = global thread id; r1 = running accumulator.
+        emit("mul r0, ctaid.x, ntid.x");
+        emit("add r0, r0, tid.x");
+        emit("mov r1, 1");
+        live_ = {0, 1};
+        nextReg_ = 2;
+
+        for (int i = 0; i < params_.statements; ++i)
+            statement(0);
+
+        if (params_.useShared && !sharedDone_)
+            sharedStage(); // params said shared: guarantee one stage
+
+        if (params_.scalarLoop)
+            scalarLoop();
+
+        // Store the accumulator to the thread's own slot.
+        int a = fresh();
+        emit("shl r" + std::to_string(a) + ", r0, 2");
+        emit("add r" + std::to_string(a) + ", $OUT, r" +
+             std::to_string(a));
+        emit("st.global.u32 [r" + std::to_string(a) + "], r1");
+        emit("exit");
+
+        std::string header = ".kernel fuzz\n.param IN OUT elems\n";
+        if (sharedDone_)
+            header += ".shared " +
+                      std::to_string(4 * params_.blockThreads) + "\n";
+        return header + os_.str();
+    }
+
+  private:
+    FuzzRng rng_;
+    GenParams params_;
+    std::ostringstream os_;
+    std::vector<int> live_;
+    int nextReg_ = 0;
+    int nextPred_ = 0;
+    int nextLabel_ = 0;
+    bool sharedDone_ = false;
+
+    void
+    emit(const std::string &line)
+    {
+        os_ << "    " << line << ";\n";
+    }
+
+    int
+    fresh()
+    {
+        return nextReg_++;
+    }
+
+    std::string
+    r(int i)
+    {
+        return "r" + std::to_string(i);
+    }
+
+    std::string
+    anyLive()
+    {
+        return r(live_[static_cast<std::size_t>(
+            rng_.range(0, static_cast<int>(live_.size()) - 1))]);
+    }
+
+    std::string
+    anySource()
+    {
+        switch (rng_.range(0, 4)) {
+          case 0: return anyLive();
+          case 1: return "tid.x";
+          case 2: return "ctaid.x";
+          case 3: return std::to_string(rng_.range(-64, 64));
+          default: return "$elems";
+        }
+    }
+
+    void
+    maskInto(int reg)
+    {
+        // Keep values small (and non-negative) to dodge signed-overflow
+        // UB in products and negative mod results in addressing.
+        emit("and " + r(reg) + ", " + r(reg) + ", 1048575");
+    }
+
+    void
+    accumulate(int reg)
+    {
+        live_.push_back(reg);
+        emit("add r1, r1, " + r(reg));
+        emit("and r1, r1, 1048575");
+    }
+
+    /** One statement at divergence-nesting depth @p depth. */
+    void
+    statement(int depth)
+    {
+        if (rng_.range(1, 100) <= params_.arithIntensity) {
+            aluOp();
+            return;
+        }
+        // Shared staging and barriers only at top level: a barrier
+        // under divergent control is the DAC-E002 pathology, and the
+        // oracle requires generated kernels to lint clean.
+        if (depth == 0 && params_.useShared && !sharedDone_ &&
+            rng_.chance(35)) {
+            sharedStage();
+            return;
+        }
+        switch (rng_.range(0, 2)) {
+          case 0: gather(); break;
+          case 1:
+            if (depth < params_.divergenceDepth)
+                diamond(depth);
+            else
+                gather();
+            break;
+          default: guarded(); break;
+        }
+    }
+
+    void
+    aluOp()
+    {
+        static const char *ops[] = {"add", "sub", "mul", "min",
+                                    "max", "xor", "shl"};
+        const char *op = ops[rng_.range(0, 6)];
+        int d = fresh();
+        std::string a = anySource();
+        std::string b = std::string(op) == std::string("shl")
+                            ? std::to_string(rng_.range(0, 4))
+                            : anySource();
+        if (rng_.range(1, 100) <= params_.guardDensityPct) {
+            // Guard-density axis: initialize, then predicate the op.
+            int p = nextPred_++;
+            emit("setp.lt p" + std::to_string(p) + ", " + anySource() +
+                 ", " + anySource());
+            emit("mov " + r(d) + ", " + std::to_string(rng_.range(0, 9)));
+            os_ << "    @p" << p << " " << op << " " << r(d) << ", " << a
+                << ", " << b << ";\n";
+        } else {
+            emit(std::string(op) + " " + r(d) + ", " + a + ", " + b);
+        }
+        maskInto(d);
+        accumulate(d);
+    }
+
+    void
+    gather()
+    {
+        // addr = IN + 4 * ((expr) mod elems): masked non-negative then
+        // mod-reduced, so every load is in bounds. The indirection
+        // axis chains loads: each loaded value (masked, non-negative)
+        // becomes the next index.
+        int e = fresh();
+        emit("add " + r(e) + ", " + anySource() + ", " + anySource());
+        maskInto(e);
+        int v = e;
+        for (int level = 0; level < params_.indirectionDepth; ++level) {
+            int m = fresh();
+            emit("mod " + r(m) + ", " + r(v) + ", $elems");
+            int a = fresh();
+            emit("shl " + r(a) + ", " + r(m) + ", 2");
+            emit("add " + r(a) + ", $IN, " + r(a));
+            v = fresh();
+            emit("ld.global.u32 " + r(v) + ", [" + r(a) + "]");
+        }
+        accumulate(v);
+    }
+
+    void
+    diamond(int depth)
+    {
+        int p = nextPred_++;
+        std::string tag = "D" + std::to_string(nextLabel_++);
+        static const char *cmps[] = {"lt", "ge", "eq", "ne"};
+        emit("setp." + std::string(cmps[rng_.range(0, 3)]) + " p" +
+             std::to_string(p) + ", " + anySource() + ", " +
+             anySource());
+        int d = fresh();
+        emit("mov " + r(d) + ", " + std::to_string(rng_.range(0, 9)));
+        os_ << "    @p" << p << " bra " << tag << "T;\n";
+        emit("add " + r(d) + ", " + r(d) + ", 100");
+        if (depth + 1 < params_.divergenceDepth && rng_.chance(50))
+            statement(depth + 1); // nested divergence, fall-through arm
+        os_ << "    bra " << tag << "J;\n";
+        os_ << tag << "T:\n";
+        emit("add " + r(d) + ", " + r(d) + ", " + anySource());
+        if (depth + 1 < params_.divergenceDepth && rng_.chance(50))
+            statement(depth + 1); // nested divergence, taken arm
+        maskInto(d);
+        os_ << tag << "J:\n";
+        accumulate(d);
+    }
+
+    void
+    guarded()
+    {
+        int p = nextPred_++;
+        emit("setp.lt p" + std::to_string(p) + ", " + anySource() +
+             ", " + anySource());
+        int d = fresh();
+        emit("mov " + r(d) + ", 3");
+        os_ << "    @p" << p << " add " << r(d) << ", " << r(d) << ", "
+            << anySource() << ";\n";
+        maskInto(d);
+        accumulate(d);
+    }
+
+    /**
+     * Shared-memory staging (top level only): publish the accumulator
+     * to the thread's own slot, barrier, read the next thread's slot.
+     * Race-free — every slot is written exactly once before the
+     * barrier and only read after it.
+     */
+    void
+    sharedStage()
+    {
+        sharedDone_ = true;
+        int a = fresh();
+        emit("shl " + r(a) + ", tid.x, 2");
+        emit("st.shared.u32 [" + r(a) + "], r1");
+        emit("bar");
+        int n = fresh();
+        emit("add " + r(n) + ", tid.x, 1");
+        emit("mod " + r(n) + ", " + r(n) + ", ntid.x");
+        emit("shl " + r(n) + ", " + r(n) + ", 2");
+        int v = fresh();
+        emit("ld.shared.u32 " + r(v) + ", [" + r(n) + "]");
+        accumulate(v);
+    }
+
+    void
+    scalarLoop()
+    {
+        int p = nextPred_++;
+        int i = fresh();
+        std::string tag = "L" + std::to_string(nextLabel_++);
+        int trips = rng_.range(2, 6);
+        emit("mov " + r(i) + ", 0");
+        os_ << tag << ":\n";
+        // A small body: accumulate a gather or an ALU mix.
+        if (rng_.chance(60))
+            gather();
+        else
+            aluOp();
+        emit("add " + r(i) + ", " + r(i) + ", 1");
+        emit("setp.lt p" + std::to_string(p) + ", " + r(i) + ", " +
+             std::to_string(trips));
+        os_ << "    @p" << p << " bra " << tag << ";\n";
+    }
+};
+
+} // namespace
+
+GeneratedKernel
+generateKernel(std::uint64_t seed)
+{
+    return generateKernel(seed, GenParams::fromSeed(seed));
+}
+
+GeneratedKernel
+generateKernel(std::uint64_t seed, const GenParams &params)
+{
+    GeneratedKernel g;
+    g.seed = seed;
+    g.params = params;
+    g.source = KernelGen(seed, params).generate();
+    return g;
+}
+
+// ----- assembly-preserving mutation (analyzer fuzzing) --------------------
+
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &src)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(src);
+    for (std::string l; std::getline(is, l);)
+        lines.push_back(l);
+    return lines;
+}
+
+bool
+isInstLine(const std::string &l)
+{
+    return l.rfind("    ", 0) == 0 && l.find("exit") == std::string::npos;
+}
+
+void
+mutateLines(std::vector<std::string> &lines, FuzzRng &rng)
+{
+    std::vector<int> insts;
+    for (int i = 0; i < static_cast<int>(lines.size()); ++i)
+        if (isInstLine(lines[static_cast<std::size_t>(i)]))
+            insts.push_back(i);
+    if (insts.empty())
+        return;
+    int at = insts[static_cast<std::size_t>(
+        rng.range(0, static_cast<int>(insts.size()) - 1))];
+    auto it = lines.begin() + at;
+    switch (rng.range(0, 4)) {
+      case 0: // a barrier, possibly under divergent control
+        lines.insert(it, "    bar;");
+        break;
+      case 1: // duplicate: the first copy often becomes a dead store
+        lines.insert(it, lines[static_cast<std::size_t>(at)]);
+        break;
+      case 2: // delete: later reads may become possibly-uninitialized
+        lines.erase(it);
+        break;
+      case 3: { // swap adjacent instruction lines
+        if (at + 1 < static_cast<int>(lines.size()) &&
+            isInstLine(lines[static_cast<std::size_t>(at) + 1]))
+            std::swap(lines[static_cast<std::size_t>(at)],
+                      lines[static_cast<std::size_t>(at) + 1]);
+        break;
+      }
+      default: // standalone pragma, carried to the next instruction
+        lines.insert(it, "    // fuzz-injected. lint:allow(*)");
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+mutateSource(const std::string &source, FuzzRng &rng, int muts)
+{
+    std::vector<std::string> lines = splitLines(source);
+    for (int i = 0; i < muts; ++i)
+        mutateLines(lines, rng);
+    std::string out;
+    for (const std::string &l : lines)
+        out += l + "\n";
+    return out;
+}
+
+} // namespace dacsim::fuzz

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Parameterized kernel synthesizer for the differential-fuzzing
+ * campaign engine (DESIGN.md §12).
+ *
+ * A generated kernel is a pure function of its seed: the seed first
+ * fixes a GenParams point (the campaign's coverage axes — access
+ * pattern mix, divergence depth, arithmetic intensity, indirection
+ * depth, shared-memory staging, guard density), then drives every
+ * random choice inside the body. Generated kernels obey the oracle
+ * contract (DESIGN.md §12.1):
+ *
+ *   - `.kernel fuzz` with `.param IN OUT elems`, launched as a
+ *     6×96-thread grid by the oracle;
+ *   - every thread stores exactly one word, to its own OUT slot, so
+ *     final memory is schedule-independent;
+ *   - every load address is brought in bounds by mod-$elems indexing,
+ *     and all intermediate values are masked to 20 bits to dodge
+ *     signed-overflow UB in products;
+ *   - barriers are emitted only at top level (never under divergent
+ *     control), so the kernel lints clean (no DAC-E002).
+ *
+ * The same file exports the assembly-preserving mutator the analyzer
+ * fuzz tier uses to manufacture the pathologies the checkers hunt.
+ */
+
+#ifndef DACSIM_FUZZ_GENERATOR_H
+#define DACSIM_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dacsim::fuzz
+{
+
+/** Deterministic xorshift64 RNG; the only randomness source in the
+ * fuzz subsystem (never std::rand — seeds must replay bit-exactly). */
+class FuzzRng
+{
+  public:
+    explicit FuzzRng(std::uint64_t seed) : s_(seed * 2654435761u + 1) {}
+
+    std::uint64_t
+    next()
+    {
+        s_ ^= s_ << 13;
+        s_ ^= s_ >> 7;
+        s_ ^= s_ << 17;
+        return s_;
+    }
+
+    int
+    range(int lo, int hi) // inclusive
+    {
+        return lo + static_cast<int>(
+                        next() % static_cast<std::uint64_t>(hi - lo + 1));
+    }
+
+    bool chance(int pct) { return range(1, 100) <= pct; }
+
+  private:
+    std::uint64_t s_;
+};
+
+/** The generator's coverage axes. Every field is derived from the
+ * seed by fromSeed(), but campaigns and tests may also pin a point. */
+struct GenParams
+{
+    /** Top-level statements in the kernel body. */
+    int statements = 8;
+    /** Maximum nesting of divergent diamonds (0: straight-line). */
+    int divergenceDepth = 1;
+    /** Percent of statements that are pure ALU work (the rest are
+     * memory/divergence shapes); the arithmetic-intensity axis. */
+    int arithIntensity = 40;
+    /** Chained data-dependent loads per gather (1: direct; >1: the
+     * loaded value feeds the next index — indirect access). */
+    int indirectionDepth = 1;
+    /** Stage values through shared memory (write own slot, barrier,
+     * read a neighbour's slot — race-free by the barrier). */
+    bool useShared = false;
+    /** Percent chance an ALU statement is guarded by a fresh
+     * predicate ("@p add ..."). */
+    int guardDensityPct = 25;
+    /** Append a trailing scalar loop (trip count 2..6). */
+    bool scalarLoop = false;
+    /** Block size the kernel is generated for (the oracle's launch
+     * contract; sizes the shared-memory tile). */
+    int blockThreads = 96;
+
+    /** The campaign's seed → parameter-point map. */
+    static GenParams fromSeed(std::uint64_t seed);
+
+    /** One-line rendering for repro headers and reports. */
+    std::string describe() const;
+};
+
+/** One synthesized kernel. */
+struct GeneratedKernel
+{
+    std::uint64_t seed = 0;
+    GenParams params;
+    std::string source; ///< assembler text (assembles and lints clean)
+};
+
+/** Synthesize the kernel for @p seed (params from GenParams::fromSeed). */
+GeneratedKernel generateKernel(std::uint64_t seed);
+
+/** Synthesize with a pinned parameter point. */
+GeneratedKernel generateKernel(std::uint64_t seed, const GenParams &params);
+
+/**
+ * Assembly-preserving mutations for analyzer fuzzing: inserted
+ * barriers, duplicated/deleted/swapped instructions, injected
+ * suppression pragmas. @p muts mutations are applied in place;
+ * the result may no longer assemble (callers handle FatalError).
+ */
+std::string mutateSource(const std::string &source, FuzzRng &rng, int muts);
+
+} // namespace dacsim::fuzz
+
+#endif // DACSIM_FUZZ_GENERATOR_H

@@ -1,0 +1,275 @@
+#include "fuzz/oracle.h"
+
+#include <sstream>
+
+#include "analysis/checkers.h"
+#include "analysis/pass_manager.h"
+#include "common/log.h"
+#include "harness/journal.h"
+#include "isa/assembler.h"
+#include "mem/gpu_memory.h"
+#include "workloads/workload.h"
+
+namespace dacsim::fuzz
+{
+
+const char *
+oracleStatusName(OracleStatus s)
+{
+    switch (s) {
+      case OracleStatus::Match: return "match";
+      case OracleStatus::AssembleError: return "assemble-error";
+      case OracleStatus::LintDirty: return "lint-dirty";
+      case OracleStatus::RunFailure: return "run-failure";
+      case OracleStatus::Mismatch: return "mismatch";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Wrap one generated source as a Workload so oracle runs flow
+ * through the full harness (auditors, watchdog, faults, fallback). */
+Workload
+makeFuzzWorkload(const std::string &source, const OracleOptions &opt)
+{
+    Workload wl;
+    wl.name = "FUZZ";
+    wl.fullName = "generated fuzz kernel";
+    wl.suite = 'F';
+    const int ctas = opt.ctas, block = opt.blockThreads,
+              elems = opt.elems;
+    wl.prepare = [source, ctas, block,
+                  elems](GpuMemory &gmem, double) -> PreparedWorkload {
+        PreparedWorkload prep;
+        prep.kernel = assemble(source);
+        const std::uint64_t threads =
+            static_cast<std::uint64_t>(ctas) * block;
+        Addr in = gmem.alloc(static_cast<std::uint64_t>(elems) * 4);
+        Addr out = gmem.alloc(threads * 4);
+        for (int i = 0; i < elems; ++i)
+            gmem.store(in + 4ull * i,
+                       (static_cast<std::uint64_t>(i) * 2654435761u) &
+                           0xfffff,
+                       MemWidth::U32);
+        prep.grid = {ctas, 1, 1};
+        prep.block = {block, 1, 1};
+        prep.params = {static_cast<RegVal>(in), static_cast<RegVal>(out),
+                       elems};
+        prep.outputs = {{out, threads * 4}};
+        return prep;
+    };
+    return wl;
+}
+
+/** Structural well-formedness of one run's state-hash chain: strictly
+ * increasing fold cycles and a head equal to the final state hash.
+ * Returns "" when sound, else a diagnostic. */
+std::string
+checkChain(const RunOutcome &out)
+{
+    if (out.hashChain.empty())
+        return "empty hash chain on a completed run";
+    Cycle prev = 0;
+    bool first = true;
+    for (const HashLink &l : out.hashChain) {
+        if (!first && l.cycle <= prev)
+            return "hash-chain fold cycles not strictly increasing";
+        prev = l.cycle;
+        first = false;
+    }
+    if (out.hashChain.back().hash != out.lastStateHash)
+        return "hash-chain head disagrees with the run's last state hash";
+    return "";
+}
+
+} // namespace
+
+OracleVerdict
+runOracle(const std::string &source, std::uint64_t seed,
+          const OracleOptions &opt)
+{
+    OracleVerdict v;
+    v.seed = seed;
+
+    // 1. The source must assemble.
+    Kernel kernel;
+    try {
+        kernel = assemble(source);
+    } catch (const FatalError &e) {
+        v.status = OracleStatus::AssembleError;
+        v.detail = e.what();
+        return v;
+    }
+
+    // 2. Generated kernels must lint clean (no unsuppressed errors).
+    //    The gate runs with a clean DacConfig: it vets the kernel, not
+    //    whatever perturbation the run options are exercising.
+    if (opt.lintGate) {
+        PassManager pm = PassManager::withAllCheckers();
+        LintReport rep =
+            pm.run(kernel, DacConfig{},
+                   {true, {opt.blockThreads, 1, 1}});
+        if (!rep.clean()) {
+            v.status = OracleStatus::LintDirty;
+            for (const Diagnostic &d : rep.findings)
+                if (d.severity == Severity::Error && !d.suppressed) {
+                    v.detail = d.rule + ": " + d.message;
+                    break;
+                }
+            return v;
+        }
+    }
+
+    // 3. Differential runs, baseline first.
+    Workload wl = makeFuzzWorkload(source, opt);
+    require(!opt.techs.empty() && opt.techs.front() == Technique::Baseline,
+            "oracle technique list must start with the baseline");
+    const bool faulty = !opt.faults.empty();
+    std::uint64_t baseCk = 0;
+    bool haveBase = false;
+    for (Technique tech : opt.techs) {
+        RunOptions ro;
+        ro.tech = tech;
+        ro.gpu = opt.gpu;
+        ro.dac = opt.dac;
+        ro.faults = opt.faults;
+        ro.checkpoint.haltAtCycle = opt.maxCycles;
+        RunOutcome out = runWorkload(wl, ro);
+
+        TechRecord rec;
+        rec.tech = tech;
+        rec.error = out.error.kind;
+        rec.fellBack = out.fellBack;
+        rec.cycles = out.stats.cycles;
+        rec.lastHash = out.lastStateHash;
+        rec.chainLinks = out.hashChain.size();
+        if (!out.checksums.empty())
+            rec.checksum = out.checksums.front();
+        if (tech == Technique::Dac)
+            v.anyDecoupled = out.anyDecoupled;
+        v.techs.push_back(rec);
+
+        const char *tname = techniqueName(tech);
+        if (!out.ok()) {
+            // Under an active fault plan an unrecoverable injected
+            // fault is an accepted (loud) outcome; anything else is a
+            // failure the campaign must report.
+            if (faulty && out.error.kind == RunErrorKind::FaultInjected)
+                continue;
+            v.status = OracleStatus::RunFailure;
+            v.detail = std::string(tname) + ": " +
+                       runErrorKindName(out.error.kind) + ": " +
+                       out.error.what;
+            return v;
+        }
+        std::string chainErr = checkChain(out);
+        if (!chainErr.empty()) {
+            v.status = OracleStatus::Mismatch;
+            v.detail = std::string(tname) + ": " + chainErr;
+            return v;
+        }
+        if (tech == Technique::Baseline) {
+            baseCk = rec.checksum;
+            haveBase = true;
+        } else if (haveBase && rec.checksum != baseCk) {
+            v.status = OracleStatus::Mismatch;
+            std::ostringstream os;
+            os << tname << (out.fellBack ? " (fellBack)" : "")
+               << ": final memory diverged from baseline (" << std::hex
+               << rec.checksum << " vs " << baseCk << ")";
+            v.detail = os.str();
+            return v;
+        }
+    }
+    if (!haveBase) {
+        // The baseline itself died of the injected fault: nothing to
+        // compare against, but nothing diverged silently either.
+        v.detail = "baseline failed under the injected fault plan";
+    }
+    return v;
+}
+
+OracleVerdict
+runOracleSeed(std::uint64_t seed, const OracleOptions &opt)
+{
+    GeneratedKernel g = generateKernel(seed);
+    OracleVerdict v = runOracle(g.source, seed, opt);
+    return v;
+}
+
+// ----- exact text encoding ------------------------------------------------
+
+std::string
+encodeVerdict(const OracleVerdict &v)
+{
+    std::ostringstream os;
+    os << "v1 st=" << static_cast<int>(v.status) << " seed=" << v.seed
+       << " dec=" << (v.anyDecoupled ? 1 : 0)
+       << " detail=" << journalEscape(v.detail) << " nt=" << v.techs.size();
+    for (const TechRecord &t : v.techs)
+        os << " t=" << static_cast<int>(t.tech) << ',' << t.checksum << ','
+           << static_cast<int>(t.error) << ',' << (t.fellBack ? 1 : 0)
+           << ',' << t.cycles << ',' << t.lastHash << ',' << t.chainLinks;
+    return os.str();
+}
+
+bool
+decodeVerdict(const std::string &payload, OracleVerdict *v)
+{
+    std::istringstream is(payload);
+    std::string tag;
+    if (!(is >> tag) || tag != "v1")
+        return false;
+    OracleVerdict o;
+    std::size_t wantTechs = 0;
+    std::string tok;
+    try {
+        while (is >> tok) {
+            std::size_t eq = tok.find('=');
+            if (eq == std::string::npos)
+                return false;
+            std::string key = tok.substr(0, eq);
+            std::string val = tok.substr(eq + 1);
+            if (key == "st") {
+                o.status = static_cast<OracleStatus>(std::stoi(val));
+            } else if (key == "seed") {
+                o.seed = std::stoull(val);
+            } else if (key == "dec") {
+                o.anyDecoupled = val == "1";
+            } else if (key == "detail") {
+                o.detail = journalUnescape(val);
+            } else if (key == "nt") {
+                wantTechs = std::stoul(val);
+            } else if (key == "t") {
+                TechRecord t;
+                std::istringstream ts(val);
+                std::string f;
+                auto field = [&]() -> std::string {
+                    if (!std::getline(ts, f, ','))
+                        throw std::runtime_error("short tech record");
+                    return f;
+                };
+                t.tech = static_cast<Technique>(std::stoi(field()));
+                t.checksum = std::stoull(field());
+                t.error = static_cast<RunErrorKind>(std::stoi(field()));
+                t.fellBack = field() == "1";
+                t.cycles = std::stoull(field());
+                t.lastHash = std::stoull(field());
+                t.chainLinks = std::stoull(field());
+                o.techs.push_back(t);
+            } else {
+                return false; // unknown key: different format version
+            }
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    if (o.techs.size() != wantTechs)
+        return false; // torn line
+    *v = std::move(o);
+    return true;
+}
+
+} // namespace dacsim::fuzz

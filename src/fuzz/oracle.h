@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The differential oracle of the fuzzing campaign engine
+ * (DESIGN.md §12.2).
+ *
+ * One oracle case takes a kernel source (usually synthesized by
+ * fuzz/generator.h) and runs it under the baseline and every
+ * comparison technique (CAE, MTA, DAC) through the full harness —
+ * invariant auditors, watchdog, optional fault injection — and
+ * requires:
+ *
+ *   - the source assembles and lints clean (no unsuppressed
+ *     error-severity finding from the DESIGN.md §10 checkers);
+ *   - every run completes (or, under an active fault plan, fails with
+ *     an injected fault / degrades via the PR-1 DAC→baseline
+ *     fallback — never silently);
+ *   - final memory is bit-identical to the baseline's, for every
+ *     technique;
+ *   - each run's state-hash chain is structurally sound (strictly
+ *     increasing fold cycles, head equal to the run's last state
+ *     hash).
+ *
+ * Verdicts are value types with an exact text encoding, so the
+ * campaign runner can ship them over a pipe from a crash-isolated
+ * child and journal them for byte-identical resume.
+ */
+
+#ifndef DACSIM_FUZZ_ORACLE_H
+#define DACSIM_FUZZ_ORACLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/fault.h"
+#include "fuzz/generator.h"
+#include "harness/runner.h"
+
+namespace dacsim::fuzz
+{
+
+/** How an oracle case resolved. */
+enum class OracleStatus
+{
+    Match,         ///< every technique agreed with the baseline
+    AssembleError, ///< the source does not assemble (generator bug)
+    LintDirty,     ///< static analysis found unsuppressed errors
+    RunFailure,    ///< a run failed with no accepted fault/fallback path
+    Mismatch,      ///< checksums or hash-chain structure diverged
+};
+
+const char *oracleStatusName(OracleStatus s);
+
+/** Per-technique evidence retained in the verdict. */
+struct TechRecord
+{
+    Technique tech = Technique::Baseline;
+    std::uint64_t checksum = 0; ///< final-memory checksum (OUT range)
+    RunErrorKind error = RunErrorKind::None;
+    bool fellBack = false;
+    Cycle cycles = 0;
+    std::uint64_t lastHash = 0;
+    std::uint64_t chainLinks = 0;
+};
+
+struct OracleVerdict
+{
+    OracleStatus status = OracleStatus::Match;
+    /** First offending technique/diagnostic ("" for Match). */
+    std::string detail;
+    std::uint64_t seed = 0;
+    bool anyDecoupled = false;
+    std::vector<TechRecord> techs; ///< baseline first, run order
+
+    bool ok() const { return status == OracleStatus::Match; }
+};
+
+/** How the oracle builds and runs a case. */
+struct OracleOptions
+{
+    /** Machine scale for oracle runs (small: throughput matters). */
+    GpuConfig gpu;
+    DacConfig dac;
+    /** Fault plan applied identically to every technique's run
+     * (empty: fault-free). */
+    FaultPlan faults;
+    /** Gate each case on a clean static-analysis report first. */
+    bool lintGate = true;
+    /** Techniques to compare, baseline first (the shrinker narrows
+     * this to the offending pair to keep candidate checks cheap). */
+    std::vector<Technique> techs = {Technique::Baseline, Technique::Cae,
+                                    Technique::Mta, Technique::Dac};
+    /** Launch contract (must agree with GenParams::blockThreads). */
+    int ctas = 6;
+    int blockThreads = 96;
+    int elems = 4096;
+    /** Cycle budget per run (HaltError past it). Generated kernels
+     * finish in a few thousand cycles; the budget exists because the
+     * liveness watchdog cannot catch an infinite loop that keeps
+     * retiring instructions — which shrink candidates routinely create
+     * by dropping a loop increment. 0 disables the cap. */
+    Cycle maxCycles = 100000;
+
+    OracleOptions() { gpu.numSms = 4; }
+};
+
+/** Run the differential oracle over @p source. @p seed only labels
+ * the verdict (0 for hand-written repros). */
+OracleVerdict runOracle(const std::string &source, std::uint64_t seed,
+                        const OracleOptions &opt);
+
+/** Generate the kernel for @p seed, then run the oracle on it. */
+OracleVerdict runOracleSeed(std::uint64_t seed, const OracleOptions &opt);
+
+/** Exact single-line text encoding (journal/pipe payload). */
+std::string encodeVerdict(const OracleVerdict &v);
+
+/** Inverse of encodeVerdict(); false when @p payload is malformed. */
+bool decodeVerdict(const std::string &payload, OracleVerdict *v);
+
+} // namespace dacsim::fuzz
+
+#endif // DACSIM_FUZZ_ORACLE_H

@@ -1,0 +1,289 @@
+#include "fuzz/shrink.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "analysis/checkers.h"
+#include "analysis/pass_manager.h"
+#include "common/log.h"
+#include "isa/assembler.h"
+
+namespace dacsim::fuzz
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &src)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(src);
+    for (std::string l; std::getline(is, l);)
+        lines.push_back(l);
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const std::string &l : lines)
+        out += l + "\n";
+    return out;
+}
+
+/** Lines the drop pass may remove: instructions and labels, never
+ * directives (.kernel/.param/.shared) and never the final exit. */
+bool
+droppable(const std::string &l)
+{
+    if (l.empty() || l[0] == '.')
+        return false;
+    if (l.find("exit") != std::string::npos)
+        return false;
+    return true;
+}
+
+/** A candidate survives when it assembles, lints without unsuppressed
+ * errors, still fails the oracle with the target status, and (when a
+ * reference configuration is supplied) still passes under it. */
+class Predicate
+{
+  public:
+    Predicate(const OracleOptions &opt, std::uint64_t seed,
+              OracleStatus target, const OracleOptions *reference)
+        : opt_(opt), seed_(seed), target_(target), reference_(reference)
+    {
+    }
+
+    bool
+    stillFails(const std::string &source, OracleVerdict *verdict,
+               int *attempts) const
+    {
+        ++*attempts;
+        Kernel k;
+        try {
+            k = assemble(source);
+        } catch (const FatalError &) {
+            return false;
+        }
+        // Keep repros lint-clean (corpus entries must replay through
+        // the oracle's lint gate), unless the failure being shrunk IS
+        // a lint failure.
+        if (target_ != OracleStatus::LintDirty) {
+            PassManager pm = PassManager::withAllCheckers();
+            LintReport rep = pm.run(k, DacConfig{},
+                                    {true, {opt_.blockThreads, 1, 1}});
+            if (!rep.clean())
+                return false;
+        }
+        OracleVerdict v = runOracle(source, seed_, opt_);
+        if (v.status != target_)
+            return false;
+        // Differential check: the candidate must still isolate the
+        // configuration under shrink, not have become a kernel that
+        // fails everywhere (see ShrinkOptions::haveReference).
+        if (reference_ && !runOracle(source, seed_, *reference_).ok())
+            return false;
+        *verdict = std::move(v);
+        return true;
+    }
+
+  private:
+    OracleOptions opt_;
+    std::uint64_t seed_;
+    OracleStatus target_;
+    const OracleOptions *reference_; ///< null: no differential check
+};
+
+/**
+ * Narrow one standalone integer literal per call, scanning from
+ * @p fromLine / @p fromCol. A literal qualifies when its preceding
+ * character is not alphanumeric (so r12, u32, D0 stay untouched) and
+ * its absolute value exceeds 1. Candidates per literal, in order:
+ * 0, 1, value/2. Returns false when no further literal qualifies.
+ */
+bool
+narrowOne(std::vector<std::string> &lines, const Predicate &pred,
+          OracleVerdict *verdict, int *attempts, std::size_t *fromLine,
+          std::size_t *fromCol)
+{
+    for (std::size_t li = *fromLine; li < lines.size(); ++li) {
+        const std::string &line = lines[li];
+        if (!line.empty() && line[0] == '.')
+            continue; // directives are part of the launch contract
+        std::size_t ci = li == *fromLine ? *fromCol : 0;
+        while (ci < line.size()) {
+            if (!std::isdigit(static_cast<unsigned char>(line[ci])) &&
+                line[ci] != '-') {
+                ++ci;
+                continue;
+            }
+            std::size_t start = ci;
+            std::size_t digits = line[ci] == '-' ? ci + 1 : ci;
+            std::size_t end = digits;
+            while (end < line.size() &&
+                   std::isdigit(static_cast<unsigned char>(line[end])))
+                ++end;
+            if (end == digits ||
+                (start > 0 &&
+                 std::isalnum(static_cast<unsigned char>(
+                     line[start - 1])))) {
+                ci = end > ci ? end : ci + 1;
+                continue;
+            }
+            long long value = 0;
+            try {
+                value = std::stoll(line.substr(start, end - start));
+            } catch (const std::exception &) {
+                ci = end;
+                continue;
+            }
+            if (value != 0 && value != 1 && value != -1) {
+                const long long cands[] = {0, 1, value / 2};
+                for (long long cand : cands) {
+                    if (cand == value)
+                        continue;
+                    std::vector<std::string> trial = lines;
+                    trial[li] = line.substr(0, start) +
+                                std::to_string(cand) + line.substr(end);
+                    if (pred.stillFails(joinLines(trial), verdict,
+                                        attempts)) {
+                        lines = std::move(trial);
+                        *fromLine = li;
+                        *fromCol = start;
+                        return true;
+                    }
+                }
+            }
+            ci = end;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkCase(const std::string &source, std::uint64_t seed,
+           const ShrinkOptions &opt)
+{
+    OracleVerdict initial = runOracle(source, seed, opt.oracle);
+    require(!initial.ok(),
+            "shrinkCase: the case passes the oracle; nothing to shrink");
+
+    // Narrow the differential runs to the offending pair: candidate
+    // checks dominate shrink time and the other techniques' agreement
+    // is not part of the failure being preserved.
+    OracleOptions oopt = opt.oracle;
+    if (initial.status == OracleStatus::Mismatch ||
+        initial.status == OracleStatus::RunFailure) {
+        for (const TechRecord &t : initial.techs) {
+            bool offends = t.error != RunErrorKind::None || t.fellBack ||
+                           (!initial.techs.empty() &&
+                            t.checksum != initial.techs.front().checksum);
+            if (t.tech != Technique::Baseline && offends) {
+                oopt.techs = {Technique::Baseline, t.tech};
+                break;
+            }
+        }
+    }
+
+    // The reference check is narrowed to the same technique pair —
+    // it guards against candidates that fail everywhere, and those
+    // fail on the offending pair too.
+    OracleOptions ref;
+    if (opt.haveReference) {
+        ref = opt.reference;
+        ref.techs = oopt.techs;
+    }
+    Predicate pred(oopt, seed, initial.status,
+                   opt.haveReference ? &ref : nullptr);
+    ShrinkResult res;
+    res.verdict = initial;
+    std::vector<std::string> lines = splitLines(source);
+
+    for (res.rounds = 0; res.rounds < opt.maxRounds; ++res.rounds) {
+        bool changed = false;
+
+        // Pass 1: drop lines, front to back; stay on the same index
+        // after a successful drop (the next line slid into it).
+        std::size_t i = 0;
+        while (i < lines.size()) {
+            if (droppable(lines[i])) {
+                std::vector<std::string> trial = lines;
+                trial.erase(trial.begin() + static_cast<long>(i));
+                if (pred.stillFails(joinLines(trial), &res.verdict,
+                                    &res.attempts)) {
+                    lines = std::move(trial);
+                    ++res.droppedLines;
+                    changed = true;
+                    continue;
+                }
+            }
+            ++i;
+        }
+
+        // Pass 2: narrow integer constants, front to back.
+        std::size_t fromLine = 0, fromCol = 0;
+        while (narrowOne(lines, pred, &res.verdict, &res.attempts,
+                         &fromLine, &fromCol)) {
+            ++res.narrowedConsts;
+            changed = true;
+        }
+
+        if (!changed)
+            break; // fixed point
+    }
+
+    res.source = joinLines(lines);
+    // Re-establish the full-technique verdict for the minimized case,
+    // so the repro header reports what a replay will see.
+    res.verdict = runOracle(res.source, seed, opt.oracle);
+    return res;
+}
+
+std::string
+renderRepro(std::uint64_t seed, const std::string &paramsDesc,
+            const ShrinkResult &result)
+{
+    std::ostringstream os;
+    os << "// dacsim-fuzz repro (self-contained; replay with"
+          " `dacsim-fuzz --replay FILE`)\n";
+    os << "// seed: " << seed << "\n";
+    if (!paramsDesc.empty())
+        os << "// params: " << paramsDesc << "\n";
+    os << "// verdict: " << oracleStatusName(result.verdict.status)
+       << "\n";
+    if (!result.verdict.detail.empty())
+        os << "// detail: " << result.verdict.detail << "\n";
+    os << "// shrink: " << result.rounds << " round(s), "
+       << result.attempts << " candidate(s), " << result.droppedLines
+       << " line(s) dropped, " << result.narrowedConsts
+       << " constant(s) narrowed\n";
+    os << result.source;
+    return os.str();
+}
+
+std::uint64_t
+reproSeed(const std::string &reproText)
+{
+    std::istringstream is(reproText);
+    for (std::string line; std::getline(is, line);) {
+        const std::string tag = "// seed: ";
+        if (line.rfind(tag, 0) == 0) {
+            try {
+                return std::stoull(line.substr(tag.size()));
+            } catch (const std::exception &) {
+                return 0;
+            }
+        }
+        if (!line.empty() && line[0] != '/')
+            break; // past the header
+    }
+    return 0;
+}
+
+} // namespace dacsim::fuzz

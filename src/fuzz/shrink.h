@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic test-case minimizer for failing oracle cases
+ * (DESIGN.md §12.4).
+ *
+ * Shrinking repeatedly applies two reduction passes to the failing
+ * kernel source — dropping instruction/label lines, then narrowing
+ * integer constants — keeping a candidate only when it still
+ * assembles, still lints without unsuppressed errors, and still fails
+ * the oracle with the same status. Passes iterate to a fixed point in
+ * a fixed order with no randomness, so the same failure always
+ * shrinks to the same minimal repro (and shrinking a shrunk case is a
+ * no-op — the idempotence the regression tests pin down).
+ *
+ * The result is rendered as a self-contained repro file: a header of
+ * structured comments (seed, parameter point, verdict, shrink
+ * statistics) followed by the minimized kernel, directly replayable
+ * by `dacsim-fuzz --replay` and the corpus tier in tests/corpus/.
+ */
+
+#ifndef DACSIM_FUZZ_SHRINK_H
+#define DACSIM_FUZZ_SHRINK_H
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/oracle.h"
+
+namespace dacsim::fuzz
+{
+
+struct ShrinkOptions
+{
+    /** Oracle configuration candidates are re-checked under. Must be
+     * the configuration the case originally failed under. */
+    OracleOptions oracle;
+    /** Fixed-point bound (each round is one drop pass plus one
+     * constant-narrowing pass over the whole source). */
+    int maxRounds = 16;
+    /**
+     * Optional known-good configuration for differential shrinking.
+     * When set, an accepted candidate must also PASS the oracle under
+     * it. Without a reference, minimization can drift onto kernels
+     * that fail for an unrelated reason — e.g. dropping the store
+     * that gave every thread its own OUT slot makes final memory
+     * schedule-dependent, which mismatches under ANY configuration
+     * and so still satisfies the plain predicate. Campaigns hunting a
+     * seeded bug pass the same options with the bug knob cleared, so
+     * repros stay replayable (and committable to tests/corpus/) on
+     * trunk.
+     */
+    bool haveReference = false;
+    OracleOptions reference;
+};
+
+struct ShrinkResult
+{
+    std::string source;    ///< minimized source, still failing
+    OracleVerdict verdict; ///< the minimized source's verdict
+    int rounds = 0;        ///< fixed-point rounds executed
+    int attempts = 0;      ///< candidate oracle evaluations
+    int droppedLines = 0;  ///< source lines removed
+    int narrowedConsts = 0;///< integer constants reduced
+};
+
+/**
+ * Minimize @p source, which must currently fail the oracle under
+ * @p opt.oracle (fatals otherwise — shrinking a passing case is a
+ * caller bug). @p seed labels verdicts in the result.
+ */
+ShrinkResult shrinkCase(const std::string &source, std::uint64_t seed,
+                        const ShrinkOptions &opt);
+
+/** Render a self-contained repro file for a shrunk failure. */
+std::string renderRepro(std::uint64_t seed, const std::string &paramsDesc,
+                        const ShrinkResult &result);
+
+/** The seed recorded in a repro file header (0 when absent). */
+std::uint64_t reproSeed(const std::string &reproText);
+
+} // namespace dacsim::fuzz
+
+#endif // DACSIM_FUZZ_SHRINK_H

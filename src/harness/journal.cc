@@ -10,12 +10,8 @@
 namespace dacsim
 {
 
-namespace
-{
-
-/** Percent-encode so a field never contains space, %, or newlines. */
 std::string
-pct(const std::string &s)
+journalEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
@@ -32,7 +28,7 @@ pct(const std::string &s)
 }
 
 std::string
-unpct(const std::string &s)
+journalUnescape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
@@ -48,7 +44,89 @@ unpct(const std::string &s)
     return out;
 }
 
-} // namespace
+// ----- LineJournal --------------------------------------------------------
+
+LineJournal::LineJournal(const std::string &path, const std::string &tag)
+    : path_(path), tag_(tag)
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (in.good()) {
+        // Remember whether the file ends mid-line (torn final write),
+        // so the next record() starts on a fresh line instead of
+        // gluing itself onto the torn tail.
+        in.seekg(0, std::ios::end);
+        if (in.tellg() > 0) {
+            in.seekg(-1, std::ios::end);
+            char last = 0;
+            in.get(last);
+            unterminated_ = last != '\n';
+        }
+        in.clear();
+        in.seekg(0);
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        // Line layout: "<tag> <crc32-hex> <key> <payload...>".
+        std::istringstream is(line);
+        std::string tag, crcHex, key;
+        if (!(is >> tag >> crcHex >> key) || tag != tag_)
+            continue;
+        std::size_t body = line.find(key);
+        if (body == std::string::npos)
+            continue;
+        std::uint32_t want = 0;
+        try {
+            want = static_cast<std::uint32_t>(
+                std::stoul(crcHex, nullptr, 16));
+        } catch (const std::exception &) {
+            continue;
+        }
+        std::string rest = line.substr(body);
+        if (crc32(rest.data(), rest.size()) != want)
+            continue; // torn or corrupt line: ignore
+        std::string payload = rest.substr(
+            rest.size() > key.size() ? key.size() + 1 : key.size());
+        done_[journalUnescape(key)] = std::move(payload);
+    }
+}
+
+bool
+LineJournal::lookup(const std::string &key, std::string *payload) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = done_.find(key);
+    if (it == done_.end())
+        return false;
+    *payload = it->second;
+    return true;
+}
+
+void
+LineJournal::record(const std::string &key, const std::string &payload)
+{
+    std::string rest = journalEscape(key) + " " + payload;
+    char crcHex[16];
+    std::snprintf(crcHex, sizeof crcHex, "%08x",
+                  crc32(rest.data(), rest.size()));
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ofstream os(path_, std::ios::app);
+    if (unterminated_) {
+        os << '\n'; // terminate a torn tail left by a killed writer
+        unterminated_ = false;
+    }
+    os << tag_ << ' ' << crcHex << ' ' << rest << '\n';
+    os.flush();
+    done_[key] = payload;
+}
+
+std::size_t
+LineJournal::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_.size();
+}
+
+// ----- RunOutcome encoding (sweep layer) ----------------------------------
 
 std::string
 encodeOutcome(const RunOutcome &out)
@@ -67,10 +145,10 @@ encodeOutcome(const RunOutcome &out)
        << " dp=" << out.numDecoupledPreds
        << " err=" << static_cast<int>(out.error.kind)
        << " ecyc=" << out.error.cycle
-       << " ewhat=" << pct(out.error.what)
+       << " ewhat=" << journalEscape(out.error.what)
        << " fb=" << (out.fellBack ? 1 : 0)
        << " lhash=" << out.lastStateHash
-       << " ckid=" << pct(out.checkpointId)
+       << " ckid=" << journalEscape(out.checkpointId)
        << " fseed=" << out.faultSeed
        << " res=" << (out.resumed ? 1 : 0);
     return os.str();
@@ -126,13 +204,13 @@ decodeOutcome(const std::string &payload, RunOutcome *out)
             } else if (key == "ecyc") {
                 o.error.cycle = std::stoull(val);
             } else if (key == "ewhat") {
-                o.error.what = unpct(val);
+                o.error.what = journalUnescape(val);
             } else if (key == "fb") {
                 o.fellBack = val == "1";
             } else if (key == "lhash") {
                 o.lastStateHash = std::stoull(val);
             } else if (key == "ckid") {
-                o.checkpointId = unpct(val);
+                o.checkpointId = journalUnescape(val);
             } else if (key == "fseed") {
                 o.faultSeed = std::stoull(val);
             } else if (key == "res") {
@@ -150,78 +228,23 @@ decodeOutcome(const std::string &payload, RunOutcome *out)
     return true;
 }
 
-SweepJournal::SweepJournal(const std::string &path) : path_(path)
-{
-    std::ifstream in(path_, std::ios::binary);
-    if (in.good()) {
-        // Remember whether the file ends mid-line (torn final write),
-        // so the next record() starts on a fresh line instead of
-        // gluing itself onto the torn tail.
-        in.seekg(0, std::ios::end);
-        if (in.tellg() > 0) {
-            in.seekg(-1, std::ios::end);
-            char last = 0;
-            in.get(last);
-            unterminated_ = last != '\n';
-        }
-        in.clear();
-        in.seekg(0);
-    }
-    std::string line;
-    while (std::getline(in, line)) {
-        // Line layout: "J1 <crc32-hex> <key> <payload...>".
-        std::istringstream is(line);
-        std::string tag, crcHex, key;
-        if (!(is >> tag >> crcHex >> key) || tag != "J1")
-            continue;
-        std::size_t body = line.find(key);
-        if (body == std::string::npos)
-            continue;
-        std::uint32_t want = 0;
-        try {
-            want = static_cast<std::uint32_t>(
-                std::stoul(crcHex, nullptr, 16));
-        } catch (const std::exception &) {
-            continue;
-        }
-        std::string rest = line.substr(body);
-        if (crc32(rest.data(), rest.size()) != want)
-            continue; // torn or corrupt line: ignore
-        std::string payload = rest.substr(
-            rest.size() > key.size() ? key.size() + 1 : key.size());
-        RunOutcome out;
-        if (decodeOutcome(payload, &out))
-            done_[unpct(key)] = std::move(out);
-    }
-}
+// ----- SweepJournal -------------------------------------------------------
+
+SweepJournal::SweepJournal(const std::string &path) : lines_(path, "J1") {}
 
 bool
 SweepJournal::lookup(const std::string &key, RunOutcome *out) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = done_.find(key);
-    if (it == done_.end())
+    std::string payload;
+    if (!lines_.lookup(key, &payload))
         return false;
-    *out = it->second;
-    return true;
+    return decodeOutcome(payload, out);
 }
 
 void
 SweepJournal::record(const std::string &key, const RunOutcome &out)
 {
-    std::string rest = pct(key) + " " + encodeOutcome(out);
-    char crcHex[16];
-    std::snprintf(crcHex, sizeof crcHex, "%08x",
-                  crc32(rest.data(), rest.size()));
-    std::lock_guard<std::mutex> lock(mu_);
-    std::ofstream os(path_, std::ios::app);
-    if (unterminated_) {
-        os << '\n'; // terminate a torn tail left by a killed writer
-        unterminated_ = false;
-    }
-    os << "J1 " << crcHex << ' ' << rest << '\n';
-    os.flush();
-    done_[key] = out;
+    lines_.record(key, encodeOutcome(out));
 }
 
 } // namespace dacsim

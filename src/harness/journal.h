@@ -1,16 +1,20 @@
 /**
  * @file
- * Resumable-sweep journal (DESIGN.md §9).
+ * Resumable-run journals (DESIGN.md §9, §12.3).
  *
- * A sweep journal records one CRC-protected text line per completed
- * sweep point, keyed by the job's identity, so a killed sweep restarts
- * from the journal: already-recorded points are served from disk
- * (byte-identical to the original outcome — the encoding is exact for
- * every field reporting consumes) and only the missing points re-run.
+ * A journal records one CRC-protected text line per completed unit of
+ * work, keyed by the unit's identity, so a killed run restarts from
+ * the journal: already-recorded units are served from disk
+ * (byte-identical to the original outcome — encodings are exact for
+ * every field reporting consumes) and only the missing units re-run.
  *
  * The format is append-only and self-verifying: a line whose CRC does
  * not match (e.g. a torn final line from a kill mid-write) is ignored,
  * as is anything else unparsable; later records for the same key win.
+ *
+ * LineJournal is the generic layer (key → payload string); the sweep
+ * layer (SweepJournal, payload = encoded RunOutcome) and the fuzzing
+ * campaign engine (payload = encoded OracleVerdict) both build on it.
  */
 
 #ifndef DACSIM_HARNESS_JOURNAL_H
@@ -24,6 +28,44 @@
 
 namespace dacsim
 {
+
+/** Percent-encode so a journal field never contains a space, '%', or
+ * newline (the line format's separators). */
+std::string journalEscape(const std::string &s);
+
+/** Inverse of journalEscape(). */
+std::string journalUnescape(const std::string &s);
+
+/**
+ * Generic CRC-journalled key→payload map backed by one append-only
+ * file. @p tag versions the line format ("J1" for sweeps, "F1" for
+ * fuzz campaigns); lines with a different tag are ignored, so a
+ * journal file is self-describing.
+ */
+class LineJournal
+{
+  public:
+    /** Open (and load) the journal at @p path, creating it if absent. */
+    LineJournal(const std::string &path, const std::string &tag);
+
+    /** Completed payload for @p key, if one was journalled. */
+    bool lookup(const std::string &key, std::string *payload) const;
+
+    /** Journal @p payload as the completed result for @p key
+     * (thread-safe; flushed per record so a kill loses at most the
+     * torn last line). @p payload must not contain newlines. */
+    void record(const std::string &key, const std::string &payload);
+
+    /** Number of completed keys loaded or recorded. */
+    std::size_t size() const;
+
+  private:
+    std::string path_;
+    std::string tag_;
+    bool unterminated_ = false;
+    mutable std::mutex mu_;
+    std::map<std::string, std::string> done_;
+};
 
 /** Encode a run outcome as a single journal payload line (no \n). The
  * hash chain itself is not journalled — only its head survives (in
@@ -47,13 +89,10 @@ class SweepJournal
     void record(const std::string &key, const RunOutcome &out);
 
     /** Number of completed points loaded or recorded. */
-    std::size_t size() const { return done_.size(); }
+    std::size_t size() const { return lines_.size(); }
 
   private:
-    std::string path_;
-    bool unterminated_ = false;
-    mutable std::mutex mu_;
-    std::map<std::string, RunOutcome> done_;
+    LineJournal lines_;
 };
 
 } // namespace dacsim

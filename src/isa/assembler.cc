@@ -509,6 +509,8 @@ Parser::parseLine(std::string text)
         if (!s.empty())
             parseInstruction(s);
     }
+    for (int pc = firstPc; pc < kernel_.numInsts(); ++pc)
+        kernel_.insts[pc].srcLine = line_;
     attachAllows();
 }
 
@@ -518,7 +520,8 @@ Parser::finish()
     for (auto &[pc, label] : fixups_) {
         auto it = kernel_.labels.find(label);
         if (it == kernel_.labels.end())
-            fatal("asm: undefined label '", label, "'");
+            fatal("asm line ", kernel_.insts[pc].srcLine,
+                  ": undefined label '", label, "'");
         kernel_.insts[pc].target = it->second;
     }
     for (auto &[label, at] : kernel_.labels) {

@@ -53,6 +53,14 @@ struct Instruction
     int reconvergePc = -1;
 
     /**
+     * 1-based source line this instruction was assembled from (0 when
+     * synthesized — decoupler-emitted affine stream, tests building IR
+     * by hand). Diagnostics print it so a finding on generated fuzz
+     * source points at the offending line, not just a PC.
+     */
+    int srcLine = 0;
+
+    /**
      * For Bar under DAC: true when this barrier is replicated in both
      * streams and therefore advances the per-CTA barrier epoch used to
      * gate early memory fetches (Section 4.2). Set by the decoupler.

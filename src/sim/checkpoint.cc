@@ -116,6 +116,7 @@ StateIo::fingerprint(const Gpu &g)
     h.fold(d.stackDepth);
     h.fold(d.maxDivergentConditions);
     h.fold(d.expansionsPerCycle);
+    h.fold(d.bugPerturbAffineImm);
     const CaeConfig &ca = g.ccfg_;
     h.fold(ca.affineUnits);
     h.fold(ca.affineIssueCycles);

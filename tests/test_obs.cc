@@ -118,10 +118,25 @@ TEST(EnvRegistry, NegativeCountsClampToOff)
     EXPECT_TRUE(warnings.empty());
 }
 
+TEST(EnvRegistry, FuzzKnobsParse)
+{
+    std::vector<std::string> warnings;
+    Env e = parseEnv({{"DACSIM_FUZZ_SEEDS", "250"},
+                      {"DACSIM_FUZZ_JOBS", "4"},
+                      {"DACSIM_FUZZ_DIR", "/tmp/fz"},
+                      {"DACSIM_FUZZ_TIMEOUT_MS", "1234"}},
+                     &warnings);
+    EXPECT_EQ(e.fuzzSeeds, 250);
+    EXPECT_EQ(e.fuzzJobs, 4);
+    EXPECT_EQ(e.fuzzDir, "/tmp/fz");
+    EXPECT_EQ(e.fuzzTimeoutMs, 1234);
+    EXPECT_TRUE(warnings.empty());
+}
+
 TEST(EnvRegistry, HelpTextCoversEveryKnob)
 {
     const std::string help = envHelpText();
-    ASSERT_EQ(envRegistry().size(), 8u);
+    ASSERT_EQ(envRegistry().size(), 12u);
     for (const EnvKnob &k : envRegistry()) {
         EXPECT_NE(help.find(k.name), std::string::npos) << k.name;
         EXPECT_NE(help.find(k.help), std::string::npos) << k.name;
