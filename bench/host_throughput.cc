@@ -1,16 +1,19 @@
 /**
  * @file
  * Host (simulator) throughput benchmark — tracks how fast dacsim
- * itself runs, as opposed to what it simulates. Reports simulated
- * kilo-cycles per wall-clock second and warp-instructions per second,
- * split by benchmark category, plus an A/B measurement of the
- * idle-cycle fast-forward optimization on a memory-intensive workload
- * (whose long idle windows are exactly what fast-forward elides).
+ * itself runs, as opposed to what it simulates. Every workload ×
+ * technique pair is timed twice, once under the reference stepped
+ * core and once under the event core (DESIGN.md §13), and reports
+ * simulated kilo-cycles per wall-clock second and warp-instructions
+ * per second per category for both, plus the resulting speedup. A
+ * separate A/B measures the older idle-cycle fast-forward core on a
+ * memory-intensive workload (whose long idle windows are exactly what
+ * fast-forward elides).
  *
- * Every run is checked to be simulation-identical across the A/B: the
- * full RunStats and output checksums must match with fast-forward on
- * and off, so a regression in the exactness of the optimization fails
- * the benchmark rather than silently skewing results.
+ * Every pair is checked to be simulation-identical: the full RunStats
+ * and output checksums must match across cores, so a regression in
+ * the exactness of either optimization fails the benchmark rather
+ * than silently skewing results.
  *
  * Runs execute serially so per-run wall times are undistorted; the
  * DACSIM_JOBS setting is recorded as metadata only. Results are
@@ -41,28 +44,41 @@ now()
         .count();
 }
 
+/**
+ * Per-category aggregate of the stepped-vs-event A/B. Cycle and
+ * instruction counts are core-independent (the pairs are checked
+ * bit-identical), so one set of simulated totals serves both
+ * throughput figures.
+ */
 struct CategoryResult
 {
-    int runs = 0;
-    double wallSeconds = 0.0;
+    int runs = 0; ///< pairs (each ran once per core)
+    double steppedSeconds = 0.0;
+    double eventSeconds = 0.0;
     std::uint64_t cycles = 0;
     std::uint64_t warpInsts = 0;
 
-    double kcyclesPerSec() const
+    double kcycles(double seconds) const
     {
-        return wallSeconds > 0
-                   ? static_cast<double>(cycles) / wallSeconds / 1e3
-                   : 0.0;
+        return seconds > 0 ? static_cast<double>(cycles) / seconds / 1e3
+                           : 0.0;
     }
-    double winstsPerSec() const
+    double winsts(double seconds) const
     {
-        return wallSeconds > 0
-                   ? static_cast<double>(warpInsts) / wallSeconds
-                   : 0.0;
+        return seconds > 0 ? static_cast<double>(warpInsts) / seconds
+                           : 0.0;
+    }
+    double speedup() const
+    {
+        return eventSeconds > 0 ? steppedSeconds / eventSeconds : 0.0;
     }
 };
 
-/** Baseline + DAC, timed per run, summed into a category aggregate. */
+/**
+ * Baseline + DAC per workload, each run under the stepped core and
+ * again under the event core; requires bit-identical simulated stats
+ * and output checksums across each pair.
+ */
 CategoryResult
 timeCategory(const char *tag, const std::vector<std::string> &names,
              double scale)
@@ -73,20 +89,36 @@ timeCategory(const char *tag, const std::vector<std::string> &names,
             RunOptions opt;
             opt.scale = scale;
             opt.tech = t;
+
+            opt.gpu.simCore = SimCore::Stepped;
             double t0 = now();
-            RunOutcome r = runWorkload(n, opt);
-            double dt = now() - t0;
-            if (!bench::reportRun("host_throughput", n, t, r))
+            RunOutcome stepped = runWorkload(n, opt);
+            double steppedSec = now() - t0;
+            if (!bench::reportRun("host_throughput", n, t, stepped))
                 continue;
+
+            opt.gpu.simCore = SimCore::Event;
+            t0 = now();
+            RunOutcome event = runWorkload(n, opt);
+            double eventSec = now() - t0;
+            require(event.ok(), "event-core run failed on ", n);
+            require(stepped.stats == event.stats,
+                    "event core changed simulated stats on ", n);
+            require(stepped.checksums == event.checksums,
+                    "event core changed outputs on ", n);
+
             ++res.runs;
-            res.wallSeconds += dt;
-            res.cycles += r.stats.cycles;
-            res.warpInsts += r.stats.totalWarpInsts();
+            res.steppedSeconds += steppedSec;
+            res.eventSeconds += eventSec;
+            res.cycles += stepped.stats.cycles;
+            res.warpInsts += stepped.stats.totalWarpInsts();
         }
     }
-    std::printf("%-18s %3d runs %8.2fs %10.0f kcyc/s %12.0f winst/s\n",
-                tag, res.runs, res.wallSeconds, res.kcyclesPerSec(),
-                res.winstsPerSec());
+    std::printf("%-18s %3d pairs  stepped %7.2fs %9.0f kcyc/s  "
+                "event %7.2fs %9.0f kcyc/s  -> %.2fx\n",
+                tag, res.runs, res.steppedSeconds,
+                res.kcycles(res.steppedSeconds), res.eventSeconds,
+                res.kcycles(res.eventSeconds), res.speedup());
     return res;
 }
 
@@ -104,11 +136,11 @@ struct FastForwardAb
 };
 
 /**
- * Every memory-intensive workload with fast-forward off then on;
- * requires bit-identical simulated stats and output checksums across
- * each pair. Aggregated over the whole category so the wall-time
- * delta is well above timer noise (a single workload runs for only a
- * fraction of a second at paper scale).
+ * Every memory-intensive workload under the stepped core then the
+ * fast-forward core; requires bit-identical simulated stats and
+ * output checksums across each pair. Aggregated over the whole
+ * category so the wall-time delta is well above timer noise (a single
+ * workload runs for only a fraction of a second at paper scale).
  *
  * The A/B runs at reduced scale: fast-forward elides whole-GPU idle
  * windows, which exist when occupancy is low (small grids, kernel
@@ -125,12 +157,12 @@ fastForwardAb(const std::vector<std::string> &benches, double scale)
     opt.scale = scale;
 
     for (const std::string &bench : benches) {
-        opt.gpu.fastForward = false;
+        opt.gpu.simCore = SimCore::Stepped;
         double t0 = now();
         RunOutcome off = runWorkload(bench, opt);
         double offSec = now() - t0;
 
-        opt.gpu.fastForward = true;
+        opt.gpu.simCore = SimCore::FastForward;
         t0 = now();
         RunOutcome on = runWorkload(bench, opt);
         double onSec = now() - t0;
@@ -161,14 +193,24 @@ writeJson(const char *path, bool quick, double scale,
 {
     std::FILE *f = std::fopen(path, "w");
     require(f != nullptr, "cannot write ", path);
+    // The headline kcycles_per_sec / winsts_per_sec keys carry the
+    // event-core (default) numbers; stepped figures ride alongside so
+    // the speedup is reconstructible from the file.
     auto cat = [&](const char *key, const CategoryResult &c,
                    const char *trail) {
-        std::fprintf(f,
-                     "    \"%s\": {\"runs\": %d, \"wall_seconds\": %.3f, "
-                     "\"kcycles_per_sec\": %.1f, \"winsts_per_sec\": "
-                     "%.1f}%s\n",
-                     key, c.runs, c.wallSeconds, c.kcyclesPerSec(),
-                     c.winstsPerSec(), trail);
+        std::fprintf(
+            f,
+            "    \"%s\": {\"runs\": %d, "
+            "\"event_seconds\": %.3f, \"kcycles_per_sec\": %.1f, "
+            "\"winsts_per_sec\": %.1f, "
+            "\"stepped_seconds\": %.3f, "
+            "\"stepped_kcycles_per_sec\": %.1f, "
+            "\"stepped_winsts_per_sec\": %.1f, "
+            "\"event_speedup\": %.3f, \"stats_identical\": true}%s\n",
+            key, c.runs, c.eventSeconds, c.kcycles(c.eventSeconds),
+            c.winsts(c.eventSeconds), c.steppedSeconds,
+            c.kcycles(c.steppedSeconds), c.winsts(c.steppedSeconds),
+            c.speedup(), trail);
     };
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"host_throughput\",\n");
@@ -211,8 +253,8 @@ run(const bench::Cli &cli)
         compNames.resize(std::min<std::size_t>(2, compNames.size()));
     }
 
-    std::printf("%-18s %8s %9s %16s %20s\n", "category", "runs", "wall",
-                "sim throughput", "inst throughput");
+    std::printf("stepped vs event core (each pair checked "
+                "bit-identical):\n");
     CategoryResult mem =
         timeCategory("memory-intensive", memNames, scale);
     CategoryResult comp =

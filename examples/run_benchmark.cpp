@@ -28,7 +28,9 @@ int
 runOne(const Workload &wl, double scale)
 {
     std::printf("%-4s (%s)\n", wl.name.c_str(), wl.fullName.c_str());
-    RunOptions opt;
+    // fromEnv so DACSIM_* knobs (fault plans, lint audit, simulation
+    // core) apply to example runs too.
+    RunOptions opt = RunOptions::fromEnv(wl.name);
     opt.scale = scale;
     RunOutcome base;
     int rc = 0;
@@ -90,7 +92,7 @@ main(int argc, char **argv)
         const Workload &wl = findWorkload(name);
         if (argc > 2 && !std::isdigit(
                             static_cast<unsigned char>(argv[2][0]))) {
-            RunOptions opt;
+            RunOptions opt = RunOptions::fromEnv(wl.name);
             std::string tech = argv[2];
             opt.tech = tech == "dac"   ? Technique::Dac
                        : tech == "cae" ? Technique::Cae

@@ -51,6 +51,21 @@ cmake --build build-dbg -j --target fig16_speedup
     grep -q '"traceEvents"' trace-SP-DAC.trace.json
 )
 
+echo "== event-core parity (debug build) =="
+# The event core is a pure host-side optimization (DESIGN.md §13):
+# the quick fig16 sweep re-run with the simulation core pinned to the
+# stepped reference loop must produce a byte-identical JSON report —
+# every stat, checksum, and speedup ratio in it.
+(
+    cd build-dbg
+    rm -f fig16-stepped.json fig16-event.json
+    DACSIM_SIM_CORE=stepped bench/fig16_speedup --quick \
+        --json fig16-stepped.json >/dev/null
+    DACSIM_SIM_CORE=event bench/fig16_speedup --quick \
+        --json fig16-event.json >/dev/null
+    cmp fig16-stepped.json fig16-event.json
+)
+
 echo "== fuzz campaign smoke (debug build) =="
 # Quick differential-fuzzing campaign (DESIGN.md §12): 100 seeds
 # through the crash-isolated runner must all match; the committed
@@ -110,6 +125,19 @@ cmake --build build-san -j --target fig16_speedup
     grep -q '"traceEvents"' trace-SP-DAC.trace.json
 )
 
+echo "== event-core parity (sanitized build) =="
+# Same byte-compare under ASan+UBSan: the clock-jump loop and wake
+# caches must also be memory-clean while skipping.
+(
+    cd build-san
+    rm -f fig16-stepped.json fig16-event.json
+    DACSIM_SIM_CORE=stepped bench/fig16_speedup --quick \
+        --json fig16-stepped.json >/dev/null
+    DACSIM_SIM_CORE=event bench/fig16_speedup --quick \
+        --json fig16-event.json >/dev/null
+    cmp fig16-stepped.json fig16-event.json
+)
+
 echo "== release throughput smoke =="
 # Host sim-speed tracking (DESIGN.md §8): the quick benchmark must run
 # and emit a well-formed BENCH_host_throughput.json.
@@ -119,6 +147,8 @@ cmake --build build-rel -j --target host_throughput
 test -s build-rel/BENCH_host_throughput.json
 grep -q '"kcycles_per_sec"' build-rel/BENCH_host_throughput.json
 grep -q '"winsts_per_sec"' build-rel/BENCH_host_throughput.json
+grep -q '"event_speedup"' build-rel/BENCH_host_throughput.json
+grep -q '"stats_identical": true' build-rel/BENCH_host_throughput.json
 
 echo "== resumable sweep smoke =="
 # A sweep killed mid-run (DACSIM_SWEEP_ABORT_AFTER simulates kill -9

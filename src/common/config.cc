@@ -1,9 +1,35 @@
 #include "common/config.h"
 
+#include <cstring>
+
 #include "common/log.h"
 
 namespace dacsim
 {
+
+const char *
+simCoreName(SimCore m)
+{
+    switch (m) {
+      case SimCore::Stepped: return "stepped";
+      case SimCore::FastForward: return "fast-forward";
+      case SimCore::Event: return "event";
+    }
+    panic("unknown simulation core");
+}
+
+bool
+simCoreFromName(const char *name, SimCore *out)
+{
+    for (SimCore m :
+         {SimCore::Stepped, SimCore::FastForward, SimCore::Event}) {
+        if (std::strcmp(name, simCoreName(m)) == 0) {
+            *out = m;
+            return true;
+        }
+    }
+    return false;
+}
 
 const char *
 techniqueName(Technique t)

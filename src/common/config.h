@@ -48,6 +48,25 @@ struct DramConfig
     int queueDepth = 64;
 };
 
+/**
+ * Which inner loop Gpu::launch runs. A pure host-side choice: all
+ * three cores produce bit-identical simulated results, statistics,
+ * and state-hash chains (DESIGN.md §8, §13); they differ only in how
+ * much host work they spend per simulated cycle.
+ */
+enum class SimCore
+{
+    Stepped,     ///< tick every SM every cycle (the reference loop)
+    FastForward, ///< stepped, plus whole-GPU idle-cycle jumps (§8)
+    Event,       ///< per-SM cached-wake scheduler with clock jumps (§13)
+};
+
+/** Canonical name ("stepped", "fast-forward", "event"). */
+const char *simCoreName(SimCore m);
+
+/** Parse a canonical name; false (and *out untouched) on anything else. */
+bool simCoreFromName(const char *name, SimCore *out);
+
 /** The two-level-active warp scheduler stand-in (see DESIGN.md). */
 struct SchedulerConfig
 {
@@ -90,14 +109,18 @@ struct GpuConfig
     std::uint64_t watchdogCycles = 1u << 20;
 
     /**
-     * Host-side idle-cycle fast-forward: when no SM can make progress
-     * before a provable future cycle, the run loop jumps the clock
-     * there instead of stepping empty cycles. Never changes simulated
-     * behaviour or statistics (jumped cycles are exact no-ops, and the
-     * jump is clamped to the 4096-cycle audit/watchdog boundaries).
-     * Automatically disabled while a fault plan is installed.
+     * The simulation core driving the launch loop. Stepped ticks every
+     * SM each cycle; FastForward adds whole-GPU idle-cycle jumps
+     * (DESIGN.md §8); Event (the default) steps each SM only when its
+     * cached wake bound is due and jumps the clock to the global
+     * minimum wake cycle (DESIGN.md §13). Never changes simulated
+     * behaviour or statistics: skipped cycles are exact no-ops, and
+     * clock jumps are clamped to the 4096-cycle audit/watchdog
+     * boundaries. Per-cycle stepping is forced while a fault plan or
+     * per-cycle observability (stall attribution) is active. Host-only,
+     * so deliberately excluded from the snapshot config fingerprint.
      */
-    bool fastForward = true;
+    SimCore simCore = SimCore::Event;
 
     /**
      * Divergence-localization test knob (0: off): XOR a constant into

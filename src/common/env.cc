@@ -20,6 +20,9 @@ envRegistry()
          "simulating"},
         {"DACSIM_UPDATE_GOLDEN", "bool", "0",
          "rewrite golden fixtures instead of comparing (tests only)"},
+        {"DACSIM_SIM_CORE", "string", "",
+         "simulation core override: stepped, fast-forward, or event "
+         "(empty: config default)"},
         {"DACSIM_JOBS", "int", "0",
          "sweep worker threads (0: hardware concurrency)"},
         {"DACSIM_SWEEP_ABORT_AFTER", "int", "0",
@@ -113,7 +116,17 @@ parseEnv(const std::vector<std::pair<std::string, std::string>> &vars,
             env.lint = parseBool(value);
         else if (name == "DACSIM_UPDATE_GOLDEN")
             env.updateGolden = parseBool(value);
-        else if (name == "DACSIM_JOBS")
+        else if (name == "DACSIM_SIM_CORE") {
+            if (value.empty() || value == "stepped" ||
+                value == "fast-forward" || value == "event") {
+                env.simCore = value;
+            } else {
+                warn(warnings,
+                     "malformed " + name + "=" + value +
+                         " (expected stepped, fast-forward, or event); "
+                         "using the config default");
+            }
+        } else if (name == "DACSIM_JOBS")
             env.jobs = n > 0 ? static_cast<int>(n) : 0;
         else if (name == "DACSIM_SWEEP_ABORT_AFTER")
             env.sweepAbortAfter = n > 0 ? n : 0;

@@ -44,6 +44,9 @@ struct Env
     /** DACSIM_UPDATE_GOLDEN: rewrite golden fixtures instead of
      * comparing against them (tests only). */
     bool updateGolden = false;
+    /** DACSIM_SIM_CORE: simulation-core override ("stepped",
+     * "fast-forward", or "event"; "": keep the config default). */
+    std::string simCore;
     /** DACSIM_JOBS: sweep worker threads (0: hardware concurrency). */
     int jobs = 0;
     /** DACSIM_SWEEP_ABORT_AFTER: _Exit(3) after n fresh sweep points

@@ -31,6 +31,7 @@ AffineWarp::startBatch(const Kernel *code, const BatchInfo *batch,
     ctaEpochs_.assign(static_cast<std::size_t>(batch->numCtas), 0);
     stack_.reset(valid_);
     finished_ = false;
+    wakeValid_ = false;
 }
 
 const Instruction &
@@ -261,28 +262,20 @@ AffineWarp::execEnq(const Instruction &inst, const MaskSet &active)
 bool
 AffineWarp::ready(Cycle now) const
 {
-    if (finished_)
+    // Every operand is ready iff the max of their ready cycles has
+    // passed, so the cached wake answers the scoreboard side outright.
+    if (finished_ || nextReadyCycle() > now)
         return false;
     const Instruction &inst = current();
-    if (inst.guardPred >= 0 &&
-        predReady_[static_cast<std::size_t>(inst.guardPred)] > now) {
-        return false;
-    }
-    auto regOk = [&](const Operand &op) {
-        if (op.isReg())
-            return regReady_[static_cast<std::size_t>(op.index)] <= now;
-        if (op.isPred())
-            return predReady_[static_cast<std::size_t>(op.index)] <= now;
-        return true;
-    };
-    for (int i = 0; i < numSources(inst.op); ++i)
-        if (!regOk(inst.src[i]))
-            return false;
-    if (!regOk(inst.dst))
-        return false;
     if (inst.isEnq() && !engine_.canEnq())
         return false;
     return true;
+}
+
+bool
+AffineWarp::enqBlocked() const
+{
+    return !finished_ && current().isEnq() && !engine_.canEnq();
 }
 
 StallReason
@@ -303,6 +296,8 @@ AffineWarp::nextReadyCycle() const
 {
     if (finished_)
         return ~static_cast<Cycle>(0);
+    if (wakeValid_)
+        return wake_;
     const Instruction &inst = current();
     Cycle t = 0;
     auto consider = [&](const Operand &op) {
@@ -318,12 +313,17 @@ AffineWarp::nextReadyCycle() const
     for (int i = 0; i < numSources(inst.op); ++i)
         consider(inst.src[i]);
     consider(inst.dst);
+    wake_ = t;
+    wakeValid_ = true;
     return t;
 }
 
 void
 AffineWarp::step(Cycle now)
 {
+    // Stepping writes the scoreboard and moves the PC: the cached
+    // wake refers to an instruction that is no longer next.
+    wakeValid_ = false;
     const Instruction &inst = current();
     int pc = stack_.pc();
     MaskSet active = effectiveMask(inst);

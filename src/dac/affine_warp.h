@@ -50,9 +50,19 @@ class AffineWarp
      * First cycle at which the next instruction's scoreboard
      * dependences clear (ready() holds from then on, ATQ space
      * permitting). ~Cycle(0) when finished. Used by the idle-cycle
-     * fast-forward to bound how far the SM clock may jump.
+     * fast-forward and the event core (§13) to bound how far the SM
+     * clock may jump. Cached per instruction: the value can only move
+     * when the warp itself steps (its only scoreboard writer), which
+     * invalidates the cache.
      */
     Cycle nextReadyCycle() const;
+
+    /** The next instruction is an enq blocked on ATQ back-pressure.
+     * Such a warp has no self-wake time: it unblocks only when the
+     * engine retires its ATQ head (bounded by
+     * DacEngine::nextWakeCycle) or the SM issues, so the event core
+     * drops it from the SM's wake minimum (§13). */
+    bool enqBlocked() const;
 
     /** Issue and functionally execute one instruction. */
     void step(Cycle now);
@@ -88,6 +98,11 @@ class AffineWarp
     std::vector<Cycle> predReady_;
     std::vector<int> ctaEpochs_;
     bool finished_ = true;
+
+    /** Cached nextReadyCycle() (host-only, never serialized; restore
+     * and step() invalidate it). */
+    mutable Cycle wake_ = 0;
+    mutable bool wakeValid_ = false;
 
     const Instruction &current() const;
     /** Effective execution mask: stack mask AND guard bits. */

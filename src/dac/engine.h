@@ -13,6 +13,7 @@
 #ifndef DACSIM_DAC_ENGINE_H
 #define DACSIM_DAC_ENGINE_H
 
+#include <algorithm>
 #include <array>
 #include <deque>
 #include <string>
@@ -108,6 +109,33 @@ class DacEngine
      * queue/cache state on any upcoming cycle, so the SM must be
      * stepped cycle-by-cycle (no fast-forward). */
     bool expansionPending() const { return !atq_.empty(); }
+
+    /**
+     * The engine's wake bound for the event core (§13): the earliest
+     * cycle > @p now at which stepping the engine could change state.
+     * Every engine sub-state that can act — head-entry expansion,
+     * parked early-fetch delivery, lock-epoch waits, MSHR retries, the
+     * idle back-off scan — belongs to a non-empty ATQ (a parked
+     * delivery keeps its entry at the ATQ head until delivered), so
+     * an empty ATQ means no self-wake at all. While the whole-scan
+     * idle latch holds, cycle() is a provable no-op until the earliest
+     * parked MSHR retry (scanWake_): the latch's other wake sources —
+     * a queue pop or an unlock-to-zero — happen only on this SM's own
+     * deq issues, and any issuing warp already wakes the SM through
+     * its per-warp cache. New tail enqueues don't break the bound
+     * either: entries retire strictly in order, so nothing behind a
+     * parked head can be delivered before the head moves.
+     */
+    Cycle
+    nextWakeCycle(Cycle now) const
+    {
+        if (atq_.empty())
+            return ~static_cast<Cycle>(0);
+        if (scanIdle_ && popCount_ == scanPops_ &&
+            mem_.unlockEpoch(smId_) == scanEpoch_)
+            return std::max(scanWake_, now + 1);
+        return now + 1;
+    }
 
     // ----- occupancy probes (observability, DESIGN.md §11) ----------------
 

@@ -129,6 +129,8 @@ runOracle(const std::string &source, std::uint64_t seed,
     const bool faulty = !opt.faults.empty();
     std::uint64_t baseCk = 0;
     bool haveBase = false;
+    RunOutcome dacOut;
+    bool haveDac = false;
     for (Technique tech : opt.techs) {
         RunOptions ro;
         ro.tech = tech;
@@ -170,6 +172,10 @@ runOracle(const std::string &source, std::uint64_t seed,
             v.detail = std::string(tname) + ": " + chainErr;
             return v;
         }
+        if (tech == Technique::Dac && !out.fellBack && !faulty) {
+            dacOut = out;
+            haveDac = true;
+        }
         if (tech == Technique::Baseline) {
             baseCk = rec.checksum;
             haveBase = true;
@@ -180,6 +186,57 @@ runOracle(const std::string &source, std::uint64_t seed,
                << ": final memory diverged from baseline (" << std::hex
                << rec.checksum << " vs " << baseCk << ")";
             v.detail = os.str();
+            return v;
+        }
+    }
+    // 4. Event-core cross-check (DESIGN.md §13): the DAC case again
+    //    under the other simulation core must reproduce the exact same
+    //    simulation — checksum, cycle count, last state hash, and the
+    //    full hash chain (which pins audit boundaries, not just the
+    //    end state). A clock-jump bug that reorders or elides issue
+    //    surfaces here as a differential, not a silent skew.
+    if (opt.eventCoreCheck && haveDac) {
+        RunOptions ro;
+        ro.tech = Technique::Dac;
+        ro.gpu = opt.gpu;
+        ro.gpu.simCore = opt.gpu.simCore == SimCore::Stepped
+                             ? SimCore::Event
+                             : SimCore::Stepped;
+        ro.dac = opt.dac;
+        ro.checkpoint.haltAtCycle = opt.maxCycles;
+        RunOutcome alt = runWorkload(wl, ro);
+        const std::string label =
+            std::string("event-core (dac under ") +
+            simCoreName(ro.gpu.simCore) + ")";
+        if (!alt.ok() || alt.fellBack != dacOut.fellBack) {
+            v.status = OracleStatus::RunFailure;
+            v.detail = label + ": " + runErrorKindName(alt.error.kind) +
+                       ": " + alt.error.what;
+            return v;
+        }
+        auto mismatch = [&](const std::string &what) {
+            v.status = OracleStatus::Mismatch;
+            v.detail = label + ": " + what;
+        };
+        if (alt.checksums != dacOut.checksums) {
+            mismatch("final memory diverged across simulation cores");
+            return v;
+        }
+        if (alt.stats.cycles != dacOut.stats.cycles) {
+            std::ostringstream os;
+            os << "cycle count diverged (" << alt.stats.cycles << " vs "
+               << dacOut.stats.cycles << ")";
+            mismatch(os.str());
+            return v;
+        }
+        if (alt.lastStateHash != dacOut.lastStateHash ||
+            alt.hashChain != dacOut.hashChain) {
+            mismatch("hash chain diverged across simulation cores");
+            return v;
+        }
+        if (!(alt.stats == dacOut.stats)) {
+            mismatch("simulated statistics diverged across simulation "
+                     "cores");
             return v;
         }
     }

@@ -87,6 +87,12 @@ struct OracleOptions
     FaultPlan faults;
     /** Gate each case on a clean static-analysis report first. */
     bool lintGate = true;
+    /** Re-run the DAC case under the other simulation core (stepped
+     * vs event, DESIGN.md §13) and require a bit-identical checksum,
+     * cycle count, and hash chain. Skipped under a fault plan (faults
+     * force the stepped core, so the A/B would compare a run against
+     * itself). */
+    bool eventCoreCheck = true;
     /** Techniques to compare, baseline first (the shrinker narrows
      * this to the offending pair to keep candidate checks cheap). */
     std::vector<Technique> techs = {Technique::Baseline, Technique::Cae,

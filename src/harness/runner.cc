@@ -262,6 +262,12 @@ RunOptions::fromEnv()
     opt.lintAudit = env().lint;
     if (!env().faults.empty())
         opt.faults = FaultPlan::parse(env().faults);
+    if (!env().simCore.empty()) {
+        // parseEnv validated the value; anything else fell back to "".
+        SimCore core;
+        if (simCoreFromName(env().simCore.c_str(), &core))
+            opt.gpu.simCore = core;
+    }
     return opt;
 }
 

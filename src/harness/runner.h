@@ -102,7 +102,8 @@ struct RunOptions
     /**
      * Defaults overridden by the process environment: lintAudit from
      * DACSIM_LINT, faults from DACSIM_FAULTS (filtered by
-     * DACSIM_FAULT_BENCHES when @p bench is given). Checkpointing is
+     * DACSIM_FAULT_BENCHES when @p bench is given), gpu.simCore from
+     * DACSIM_SIM_CORE. Checkpointing is
      * deliberately NOT taken from the environment here: the snapshot
      * tag must be chosen per sweep point (parallel jobs sharing one
      * DACSIM_CHECKPOINT_DIR tag would corrupt each other), so

@@ -106,9 +106,10 @@ StateIo::fingerprint(const Gpu &g)
     h.fold(c.dram.queueDepth);
     h.fold(c.perfectMemory);
     h.fold(c.watchdogCycles);
-    // fastForward and hashPerturbCycle are deliberately excluded: both
-    // are results-transparent host knobs, so runs differing only in
-    // them may exchange snapshots (the bisect harness depends on it).
+    // simCore and hashPerturbCycle are deliberately excluded: both are
+    // results-transparent host knobs, so runs differing only in them
+    // may exchange snapshots (the bisect harness and the cross-core
+    // resume tests depend on it).
     const DacConfig &d = g.dcfg_;
     h.fold(d.atqEntries);
     h.fold(d.pwaqEntries);
@@ -558,6 +559,8 @@ StateIo::restoreAffine(SnapshotReader &r, AffineWarp &a, const Sm &sm)
     for (int &ep : a.ctaEpochs_)
         ep = static_cast<int>(r.getI64());
     a.finished_ = r.getBool();
+    // The restore wrote the scoreboard behind the wake cache's back.
+    a.wakeValid_ = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -796,6 +799,14 @@ StateIo::restoreSm(SnapshotReader &r, Sm &sm)
         wp.replayDstReg = static_cast<int>(r.getI64());
         wp.replayPc = static_cast<int>(r.getI64());
     }
+    // Host-only wake state is never serialized: the fresh Warp objects
+    // above carry invalid per-warp caches; rebuild the replay count
+    // and drop the SM-level cache so the event core rescans.
+    sm.replayPending_ = 0;
+    for (const Sm::Warp &wp : sm.warps_)
+        if (!wp.replayLines.empty())
+            ++sm.replayPending_;
+    sm.wakeValid_ = false;
 
     bool hasEngine = r.getBool();
     require(hasEngine == (sm.dacEngine_ != nullptr),

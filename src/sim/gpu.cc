@@ -98,28 +98,46 @@ Gpu::launch(const LaunchInfo &launch)
     }
     const Cycle watchdogWindow = gcfg_.watchdogCycles;
 
-    // Idle-cycle fast-forward (see DESIGN.md §8). Only legal without a
-    // fault plan (fault windows are defined per simulated cycle) and
-    // without stall attribution (idle issue slots accrue per cycle,
-    // DESIGN.md §11). Timelines and chrome traces compose with
-    // fast-forward: skipped cycles issue nothing and request nothing.
-    const bool ff = gcfg_.fastForward && faults_ == nullptr &&
-                    (obs_ == nullptr || !obs_->perCycle());
+    // Simulation-core selection (DESIGN.md §8, §13). Clock jumps are
+    // only legal without a fault plan (fault windows are defined per
+    // simulated cycle) and without per-cycle observability (idle issue
+    // slots accrue per cycle, DESIGN.md §11); either forces the
+    // reference stepped loop. Timelines and chrome traces compose with
+    // jumps: skipped cycles issue nothing and request nothing.
+    const bool perCycle = faults_ != nullptr ||
+                          (obs_ != nullptr && obs_->perCycle());
+    const SimCore core = perCycle ? SimCore::Stepped : gcfg_.simCore;
     std::uint64_t ffLastProgress = totalProgress();
     constexpr Cycle never = ~static_cast<Cycle>(0);
+    // Issue-saturated phases never yield a jump; probing the cross-SM
+    // minimum every cycle just taxes the busy loop. After enough
+    // consecutive failed probes, probe only on every 16th cycle —
+    // purely a host-side heuristic (skipping a probe means
+    // conservative stepping, never a behavior change) and a
+    // deterministic function of the cycle count, so jump points stay
+    // reproducible run to run.
+    constexpr int probePatience = 64;
+    int failedProbes = 0;
 
     // The audit/watchdog block every run executes when the clock
-    // reaches a 4096-cycle boundary; fast-forward jumps clamp to the
-    // next boundary so this fires at exactly the same cycles as a
-    // fully stepped run.
-    auto boundaryCheck = [&]() {
+    // reaches a 4096-cycle boundary; clock jumps (fast-forward and
+    // event core alike) clamp to the next boundary so this fires at
+    // exactly the same cycles as a fully stepped run. @p p is the
+    // caller's totalProgress() scan — passed in so one scan per cycle
+    // serves both this check and the fast-forward idle test.
+    auto boundaryCheck = [&](std::uint64_t p) {
+        // A sleeping SM may owe closed-form deq-stall counts for its
+        // skipped cycles (DESIGN.md §13); settle them before hashing
+        // or snapshotting so stepped and jumped chains agree link by
+        // link.
+        for (auto &sm : sms_)
+            sm->catchUpStats(cycle_);
         mem_->audit(cycle_);
         foldHash();
         if (obs_)
             obs_->boundary(*this, cycle_);
         if (hook_)
             hook_(*this, cycle_);
-        std::uint64_t p = totalProgress();
         if (p != watchdogProgress_) {
             watchdogProgress_ = p;
             watchdogCycle_ = cycle_;
@@ -142,22 +160,34 @@ Gpu::launch(const LaunchInfo &launch)
     for (auto &sm : sms_)
         running = running || sm->busy();
     while (running) {
+        // Event core: skip SMs whose cached wake lies in the future —
+        // their skipped cycles are no-ops by the nextEventCycle
+        // contract (deq-stall counts are reconstructed at wake).
+        // Boundary cycles step every SM regardless, so the
+        // SM-internal 4096-cycle audits fire at identical cycles to a
+        // stepped run (they are const, so bit-identity is unaffected).
+        const bool stepAll = core != SimCore::Event ||
+                             (cycle_ & 0xfff) == 0;
         running = false;
         for (auto &sm : sms_) {
-            sm->cycle(cycle_);
+            if (stepAll || sm->awake(cycle_))
+                sm->cycle(cycle_);
             running = running || sm->busy();
         }
         ++cycle_;
 
-        if ((cycle_ & 0xfff) == 0)
-            boundaryCheck();
-
-        if (ff && running) {
+        if (core == SimCore::FastForward) {
+            // One totalProgress() scan serves the boundary watchdog
+            // and the idle test below.
             std::uint64_t p = totalProgress();
-            if (p == ffLastProgress) {
+            if ((cycle_ & 0xfff) == 0)
+                boundaryCheck(p);
+            if (running && p == ffLastProgress) {
                 // The cycle just stepped was idle: every SM agrees no
-                // state or statistic can change before `next`, so the
-                // cycles in between are exact no-ops.
+                // state can change before `next`, so the cycles in
+                // between are no-ops — except deqStallCycles, which
+                // each SM reconstructs in closed form on its next step
+                // (Sm::accrueSkippedDeqStalls).
                 Cycle next = never;
                 for (auto &sm : sms_) {
                     next = std::min(next, sm->nextEventCycle(cycle_ - 1));
@@ -168,11 +198,39 @@ Gpu::launch(const LaunchInfo &launch)
                 Cycle target = std::min(next, boundary);
                 if (target > cycle_) {
                     cycle_ = target;
+                    // The jump stepped nothing, so progress is still p.
                     if ((cycle_ & 0xfff) == 0)
-                        boundaryCheck();
+                        boundaryCheck(p);
                 }
             }
             ffLastProgress = p;
+        } else {
+            if ((cycle_ & 0xfff) == 0)
+                boundaryCheck(totalProgress());
+
+            if (core == SimCore::Event && running &&
+                (failedProbes < probePatience || (cycle_ & 0xf) == 0)) {
+                // Advance the clock to the earliest cached SM wake.
+                // SMs stepped this cycle recompute lazily here; the
+                // early break leaves the rest dirty, which only means
+                // they are conservatively stepped next cycle.
+                Cycle next = never;
+                for (auto &sm : sms_) {
+                    next = std::min(next, sm->wakeCycle(cycle_ - 1));
+                    if (next <= cycle_)
+                        break; // an SM is due now: no jump possible
+                }
+                Cycle boundary = ((cycle_ >> 12) + 1) << 12;
+                Cycle target = std::min(next, boundary);
+                if (target > cycle_) {
+                    failedProbes = 0;
+                    cycle_ = target;
+                    if ((cycle_ & 0xfff) == 0)
+                        boundaryCheck(totalProgress());
+                } else {
+                    ++failedProbes;
+                }
+            }
         }
     }
 

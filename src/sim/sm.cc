@@ -96,6 +96,8 @@ Sm::beginKernel(const LaunchInfo &launch, CtaDispatcher *dispatcher)
     batchActive_ = false;
     schedBusyUntil_ = {0, 0};
     schedNext_ = {0, 0};
+    replayPending_ = 0;
+    wakeValid_ = false;
     if (mta_)
         mta_->reset();
 }
@@ -169,6 +171,7 @@ Sm::launchBatch(Cycle now)
     for (const Warp &w : warps_)
         if (!w.finished)
             ++liveWarps_;
+    replayPending_ = 0; // fresh warps: no LD/ST replays outstanding
 
     if (tech_ == Technique::Dac) {
         dacEngine_->startBatch(&batch_);
@@ -268,6 +271,29 @@ Sm::effectiveMask(const Warp &w, const Instruction &inst) const
         m &= inst.guardNeg ? ~p : p;
     }
     return m;
+}
+
+Cycle
+Sm::operandWake(const Warp &w, const Instruction &inst) const
+{
+    Cycle t = 0;
+    auto consider = [&](const Operand &op) {
+        if (op.isReg()) {
+            t = std::max(t,
+                         w.regReady[static_cast<std::size_t>(op.index)]);
+        } else if (op.isPred()) {
+            t = std::max(t,
+                         w.predReady[static_cast<std::size_t>(op.index)]);
+        }
+    };
+    if (inst.guardPred >= 0) {
+        t = std::max(
+            t, w.predReady[static_cast<std::size_t>(inst.guardPred)]);
+    }
+    for (int i = 0; i < numSources(inst.op); ++i)
+        consider(inst.src[i]);
+    consider(inst.dst);
+    return t;
 }
 
 bool
@@ -523,6 +549,7 @@ Sm::execMemory(int wi, Warp &w, const Instruction &inst, ThreadMask eff,
         w.replayDstReg = inst.dst.index;
         w.replayPc = w.stack.pc();
         w.regReady[static_cast<std::size_t>(inst.dst.index)] = farFuture;
+        ++replayPending_;
     } else {
         w.regReady[static_cast<std::size_t>(inst.dst.index)] = ready;
     }
@@ -601,6 +628,7 @@ Sm::execDeq(int wi, Warp &w, const Instruction &inst, ThreadMask eff,
                 w.replayPc = w.stack.pc();
                 w.regReady[static_cast<std::size_t>(inst.dst.index)] =
                     farFuture;
+                ++replayPending_;
             } else {
                 w.regReady[static_cast<std::size_t>(inst.dst.index)] =
                     ready;
@@ -707,7 +735,15 @@ Sm::tryIssue(int wi, int sched, Cycle now)
     ensure(pc >= 0 && pc < k.numInsts(), "warp PC out of range");
     const Instruction &inst = k.insts[static_cast<std::size_t>(pc)];
 
-    if (!sourcesReady(w, inst, now))
+    // Scoreboard check through the warp's cached operand-wake cycle
+    // (§13): sourcesReady(w, inst, now) ⇔ operandWake(w, inst) <= now,
+    // and the wake only moves when this warp issues or a replay drains
+    // — both of which invalidate the cache. Audited every 4096 cycles.
+    if (!w.opWakeValid) {
+        w.opWake = operandWake(w, inst);
+        w.opWakeValid = true;
+    }
+    if (w.opWake > now)
         return false;
 
     ThreadMask stackMask = w.stack.mask() & w.valid;
@@ -757,6 +793,8 @@ Sm::tryIssue(int wi, int sched, Cycle now)
     }
     if (!issued)
         return false;
+    // Issuing wrote this warp's scoreboard (and advanced its PC).
+    w.opWakeValid = false;
 
     DACSIM_TRACE_LOG("sm%-2d cyc %-8llu w%-3d pc %-3d %s%s", id_,
                      static_cast<unsigned long long>(now), wi, pc,
@@ -796,6 +834,8 @@ Sm::tryIssue(int wi, int sched, Cycle now)
 void
 Sm::serviceReplays(Cycle now)
 {
+    if (replayPending_ == 0)
+        return; // nothing in any warp's replay queue: skip the scan
     for (Warp &w : warps_) {
         if (w.replayLines.empty())
             continue;
@@ -818,6 +858,9 @@ Sm::serviceReplays(Cycle now)
             w.regReady[static_cast<std::size_t>(w.replayDstReg)] =
                 w.replayReady;
             w.replayDstReg = -1;
+            // The drain wrote the warp's scoreboard out-of-issue.
+            w.opWakeValid = false;
+            --replayPending_;
         }
     }
 }
@@ -825,12 +868,20 @@ Sm::serviceReplays(Cycle now)
 void
 Sm::cycle(Cycle now)
 {
+    const Cycle prev = now_;
     now_ = now;
+    // Stepping can change anything; the cached SM wake is stale.
+    wakeValid_ = false;
     if (!batchActive_) {
         if (dispatcher_ && !dispatcher_->exhausted())
             launchBatch(now);
         if (!batchActive_)
             return;
+    } else if (now > prev + 1) {
+        // The fast path skipped (prev, now): reconstruct the deq
+        // stalls the stepped schedule would have counted there before
+        // this step mutates anything (DESIGN.md §13).
+        accrueSkippedDeqStalls(prev, now);
     }
 
     // Injected affine-warp invalidation: the DAC engine reports an
@@ -897,6 +948,16 @@ Sm::cycle(Cycle now)
         for (int t = 0; t < count; ++t) {
             int k = (schedNext_[static_cast<std::size_t>(s)] + t) % count;
             int wi = k * nsched + s;
+            // Cheap pre-filter: skip warps tryIssue would reject before
+            // reaching any side effect — finished, parked, replaying,
+            // or (via the cached operand wake) scoreboard-blocked. Deq
+            // back-pressure is NOT filtered: a deq-blocked warp with
+            // ready operands must still attempt (it counts a stall).
+            const Warp &cand = warps_[static_cast<std::size_t>(wi)];
+            if (cand.finished || cand.atBarrier ||
+                !cand.replayLines.empty() ||
+                (cand.opWakeValid && cand.opWake > now))
+                continue;
             if (tryIssue(wi, s, now)) {
                 schedNext_[static_cast<std::size_t>(s)] = k;
                 issued = true;
@@ -940,6 +1001,73 @@ Sm::deqBlocked(const Warp &w, const Instruction &inst, int wi,
     // ld.deq additionally waits for early-fetched data in flight.
     return inst.op == Opcode::LdDeq && rec->earlyFetched &&
            rec->ready > now;
+}
+
+Cycle
+Sm::deqAttemptWake(int wi, const Warp &w, const Instruction &inst,
+                   Cycle now, Cycle ready) const
+{
+    ThreadMask eff = effectiveMask(w, inst);
+    if (eff == 0)
+        return ready; // predicated out: issues as a no-op
+    if (inst.op == Opcode::DeqPred)
+        return dacEngine_->frontPred(wi) != nullptr ? ready : farFuture;
+    const DacEngine::AddrRecord *rec = dacEngine_->frontAddr(wi);
+    if (rec == nullptr)
+        return farFuture;
+    if (inst.op == Opcode::LdDeq && rec->earlyFetched &&
+        rec->ready > now)
+        return std::max(ready, rec->ready);
+    return ready;
+}
+
+void
+Sm::catchUpStats(Cycle now)
+{
+    if (!batchActive_ || now <= now_ + 1)
+        return;
+    accrueSkippedDeqStalls(now_, now);
+    // The SM now looks exactly as a stepped run's would after its
+    // now-1 step, so the subsequent cycle() call accrues nothing
+    // twice and boundary snapshots of now_ agree between cores.
+    now_ = now - 1;
+}
+
+void
+Sm::accrueSkippedDeqStalls(Cycle prev, Cycle now)
+{
+    // The SM slept over (prev, now): no warp issued, no replay
+    // drained, and the DAC queues did not move (nextEventCycle's
+    // contract), so a warp parked at a deq was attempted — and counted
+    // exactly one deqStallCycle — on every skipped cycle its operands
+    // were ready and its scheduler slot free. Blocked-ness is constant
+    // across the gap (state is frozen and the wake bound ends the gap
+    // no later than rec->ready), so evaluating it once at the last
+    // skipped cycle stands for all of them.
+    if (tech_ != Technique::Dac)
+        return;
+    const Kernel &k = *launch_.kernel;
+    const int nsched = gcfg_.sched.schedulersPerSm;
+    for (std::size_t wi = 0; wi < warps_.size(); ++wi) {
+        const Warp &w = warps_[wi];
+        if (w.finished || w.atBarrier || !w.replayLines.empty())
+            continue;
+        const Instruction &inst =
+            k.insts[static_cast<std::size_t>(w.stack.pc())];
+        if (!inst.isDeq() ||
+            !deqBlocked(w, inst, static_cast<int>(wi), now - 1))
+            continue;
+        if (!w.opWakeValid) {
+            w.opWake = operandWake(w, inst);
+            w.opWakeValid = true;
+        }
+        Cycle start = std::max(
+            {prev + 1, w.opWake,
+             schedBusyUntil_[static_cast<std::size_t>(
+                 static_cast<int>(wi) % nsched)]});
+        if (start < now)
+            stats_.deqStallCycles += now - start;
+    }
 }
 
 StallReason
@@ -1019,56 +1147,74 @@ Sm::nextEventCycle(Cycle now) const
     // Fault windows are evaluated per cycle; never skip under a plan.
     if (faults_)
         return now + 1;
-    // Pending ATQ expansion may deliver records / fetch lines on any
-    // cycle; the engine must be stepped.
-    if (dacEngine_ && dacEngine_->expansionPending())
-        return now + 1;
 
     Cycle next = farFuture;
 
-    // The affine warp issues on scheduler 0 with priority.
-    if (affineWarp_ && !affineWarp_->finished()) {
+    // The DAC queues own their wake bound (DacEngine::nextWakeCycle):
+    // an unparked ATQ head may deliver records / fetch lines on any
+    // cycle; a scan-idle-latched one sleeps until its parked MSHR
+    // retry (its other wake sources are this SM's own issues).
+    if (dacEngine_) {
+        next = std::min(next, dacEngine_->nextWakeCycle(now));
+        if (next <= now + 1)
+            return now + 1;
+    }
+
+    // The affine warp issues on scheduler 0 with priority. When it is
+    // enq-blocked on ATQ back-pressure it has no self-wake: only the
+    // engine retiring its head frees a slot, and that cycle is already
+    // in the minimum through the engine bound above.
+    if (affineWarp_ && !affineWarp_->finished() &&
+        !affineWarp_->enqBlocked()) {
         next = std::min(next, std::max(affineWarp_->nextReadyCycle(),
                                        schedBusyUntil_[0]));
+        if (next <= now + 1)
+            return now + 1;
     }
 
     const Kernel &k = *launch_.kernel;
     const int nsched = gcfg_.sched.schedulersPerSm;
+    // One MSHR-release query serves every replaying warp of this call
+    // (the table is per-SM, so the answer cannot differ between warps).
+    Cycle mshrWake = 0;
+    bool haveMshr = false;
     for (std::size_t wi = 0; wi < warps_.size(); ++wi) {
         const Warp &w = warps_[wi];
         if (w.finished || w.atBarrier)
             continue;
         if (!w.replayLines.empty()) {
             // Replays retry as soon as an in-flight miss frees a MSHR.
-            next = std::min(next, mem_.nextMshrRelease(id_, now));
-            continue;
-        }
-        const Instruction &inst =
-            k.insts[static_cast<std::size_t>(w.stack.pc())];
-        // First cycle the warp's scoreboard dependences clear. From
-        // then on the scheduler attempts it every free cycle; even a
-        // failed deq attempt is an event (it counts a stall cycle),
-        // so the attempt cycle itself is the bound.
-        Cycle t = 0;
-        auto consider = [&](const Operand &op) {
-            if (op.isReg()) {
-                t = std::max(
-                    t, w.regReady[static_cast<std::size_t>(op.index)]);
-            } else if (op.isPred()) {
-                t = std::max(
-                    t, w.predReady[static_cast<std::size_t>(op.index)]);
+            if (!haveMshr) {
+                mshrWake = mem_.nextMshrRelease(id_, now);
+                haveMshr = true;
             }
-        };
-        if (inst.guardPred >= 0) {
-            t = std::max(t, w.predReady[static_cast<std::size_t>(
-                                inst.guardPred)]);
+            next = std::min(next, mshrWake);
+        } else {
+            // First cycle the warp's scoreboard dependences clear and
+            // its scheduler slot is free. From then on the scheduler
+            // attempts it every free cycle. The per-warp wake is
+            // cached: it only moves when the warp issues or a replay
+            // drains, both of which invalidate it.
+            const Instruction &inst =
+                k.insts[static_cast<std::size_t>(w.stack.pc())];
+            if (!w.opWakeValid) {
+                w.opWake = operandWake(w, inst);
+                w.opWakeValid = true;
+            }
+            Cycle ready = std::max(
+                w.opWake, schedBusyUntil_[static_cast<std::size_t>(
+                              static_cast<int>(wi) % nsched)]);
+            // A failed deq attempt mutates nothing but deqStallCycles,
+            // which accrueSkippedDeqStalls reconstructs in closed form
+            // at wake — so a parked deq is not an event; the cycle it
+            // could actually pop is.
+            if (inst.isDeq())
+                next = std::min(next,
+                                deqAttemptWake(static_cast<int>(wi), w,
+                                               inst, now, ready));
+            else
+                next = std::min(next, ready);
         }
-        for (int i = 0; i < numSources(inst.op); ++i)
-            consider(inst.src[i]);
-        consider(inst.dst);
-        t = std::max(t, schedBusyUntil_[static_cast<std::size_t>(
-                            static_cast<int>(wi) % nsched)]);
-        next = std::min(next, t);
         if (next <= now + 1)
             return now + 1; // a warp attempts next cycle: no skip
     }
@@ -1120,6 +1266,18 @@ Sm::audit(Cycle now) const
         auditCheck(w.stack.depth() <= 2 * warpSize, ctx,
                    "stack depth ", w.stack.depth(),
                    " exceeds any legal divergence nesting");
+        // Wake-cache coherence (§13): whenever a warp's cached operand
+        // wake claims validity it must agree with a fresh scoreboard
+        // scan of the instruction at the current PC — a stale cache
+        // would silently reorder issue under the event core.
+        if (w.opWakeValid && !w.stack.empty()) {
+            ctx.structure = "wake-cache";
+            const Instruction &inst = launch_.kernel->insts[
+                static_cast<std::size_t>(w.stack.pc())];
+            auditCheck(w.opWake == operandWake(w, inst), ctx,
+                       "cached operand wake ", w.opWake,
+                       " but scoreboard says ", operandWake(w, inst));
+        }
     }
     ctx.warp = -1;
     ctx.structure = "warp-accounting";

@@ -112,14 +112,54 @@ class Sm
 
     /**
      * A lower bound (> @p now) on the next cycle at which stepping
-     * this SM could change any simulated state or statistic; ~Cycle(0)
-     * when no future event exists. Cycles strictly before the returned
-     * bound are exact no-ops, so the GPU clock may skip them without
-     * altering results. Conservative: returns now+1 whenever per-cycle
-     * effects cannot be ruled out (fault plans, pending ATQ expansion,
-     * deq retries that count stall cycles).
+     * this SM could change any simulated state or statistic beyond the
+     * one reconstructable exception below; ~Cycle(0) when no future
+     * event exists. Cycles strictly before the returned bound are
+     * no-ops except for deqStallCycles: a warp parked at a deq whose
+     * queue is empty (or whose early-fetched data is in flight)
+     * attempts and stalls every free-slot cycle, and because nothing
+     * else moves while the SM sleeps, that accrual is a closed-form
+     * function of the gap length. cycle() reconstructs it on the next
+     * step (accrueSkippedDeqStalls), so every boundary fold still sees
+     * bit-identical statistics. Conservative: returns now+1 whenever
+     * per-cycle effects cannot be ruled out (fault plans, a deliverable
+     * ATQ head, an issuable warp).
      */
     Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Bring this SM's reconstructable statistics (deqStallCycles) up
+     * to date through cycle @p now - 1 without stepping it. Called by
+     * the boundary fold before hashing/snapshotting so a sleeping SM's
+     * pending closed-form accrual lands on the same side of the fold
+     * as in a stepped run; afterwards the SM looks exactly as if its
+     * last step had been @p now - 1.
+     */
+    void catchUpStats(Cycle now);
+
+    /**
+     * Event-core gate (DESIGN.md §13): must this SM be stepped at
+     * @p now? True whenever the cached wake bound is due or no valid
+     * bound is cached (stepping an SM always invalidates its cache, so
+     * a dirty SM is stepped until the jump phase recomputes it).
+     */
+    bool awake(Cycle now) const { return !wakeValid_ || wake_ <= now; }
+
+    /**
+     * Cached nextEventCycle(): recomputes only when the cache was
+     * invalidated (by stepping this SM or restoring a snapshot) and
+     * memoizes the bound until the next invalidation. Same contract
+     * as nextEventCycle().
+     */
+    Cycle
+    wakeCycle(Cycle now) const
+    {
+        if (!wakeValid_) {
+            wake_ = nextEventCycle(now);
+            wakeValid_ = true;
+        }
+        return wake_;
+    }
 
     /** Monotone counter for the top-level deadlock watchdog. */
     std::uint64_t progress() const { return progress_; }
@@ -187,6 +227,18 @@ class Sm
         Cycle replayReady = 0;
         int replayDstReg = -1;
         int replayPc = -1;
+        /**
+         * Host-only operand-wake cache (event core, DESIGN.md §13):
+         * first cycle every operand of the warp's current instruction
+         * is scoreboard-ready (max of the regReady/predReady entries
+         * it names, scheduler availability excluded). Valid only until
+         * the event that changes it — the warp's own issue (PC or
+         * scoreboard change) or a replay writeback. Never serialized
+         * or folded into state digests; audited against a fresh
+         * recomputation every 4096 cycles.
+         */
+        mutable Cycle opWake = 0;
+        mutable bool opWakeValid = false;
     };
 
     // ----- construction-time state -----------------------------------------
@@ -226,6 +278,15 @@ class Sm
     std::uint64_t progress_ = 0;
     /** Current cycle (for audit contexts raised below issue level). */
     Cycle now_ = 0;
+    /** Warps with a pending LD/ST replay (lets serviceReplays skip its
+     * whole-warp scan on the common no-replay cycle; recounted from
+     * replayLines on snapshot restore, never serialized). */
+    int replayPending_ = 0;
+    /** Host-only SM wake cache (event core, DESIGN.md §13): the last
+     * nextEventCycle() bound, invalidated by every step of this SM and
+     * by beginKernel/snapshot restore. Never serialized or digested. */
+    mutable Cycle wake_ = 0;
+    mutable bool wakeValid_ = false;
 
     // ----- batch management ----------------------------------------------
     void launchBatch(Cycle now);
@@ -247,6 +308,25 @@ class Sm
     bool tryIssue(int wi, int sched, Cycle now);
     bool sourcesReady(const Warp &w, const Instruction &inst,
                       Cycle now) const;
+    /** First cycle every operand @p inst names is ready in @p w (the
+     * value cached in Warp::opWake). */
+    Cycle operandWake(const Warp &w, const Instruction &inst) const;
+    /** Wake bound of a warp whose next instruction is a deq, given
+     * @p ready = first cycle its operands and scheduler slot clear
+     * (§13): @p ready if the attempt would pop (or fault) live,
+     * max(ready, rec->ready) for in-flight early-fetched data, and
+     * ~Cycle(0) for an empty queue — record delivery is the engine's
+     * (or the affine warp's) wake, already in the SM minimum. Stall
+     * accrual for the skipped attempts is reconstructed by
+     * accrueSkippedDeqStalls. */
+    Cycle deqAttemptWake(int wi, const Warp &w, const Instruction &inst,
+                         Cycle now, Cycle ready) const;
+    /** Reconstruct the deqStallCycles the stepped schedule would have
+     * counted over the skipped cycles (prev, now): while the SM slept,
+     * queue state, operand readiness, and slot busy-times were frozen,
+     * so each parked deq warp stalls once per cycle from
+     * max(prev+1, opWake, slot busy-until) to now-1. */
+    void accrueSkippedDeqStalls(Cycle prev, Cycle now);
     /** Technique: can/should this inst issue on a CAE affine unit? */
     bool caeEligible(const Warp &w, const Instruction &inst,
                      ThreadMask eff) const;

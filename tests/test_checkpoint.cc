@@ -154,17 +154,22 @@ TEST(CheckpointRoundTrip, MultiLaunchWorkload)
 
 // ----- hash chain properties ----------------------------------------------
 
-TEST(HashChain, FastForwardInvariant)
+TEST(HashChain, SimCoreInvariant)
 {
-    RunOptions off = smallOpt(Technique::Dac);
-    off.gpu.fastForward = false;
-    RunOptions on = smallOpt(Technique::Dac);
-    on.gpu.fastForward = true;
-    RunOutcome a = runWorkload("SP", off);
-    RunOutcome b = runWorkload("SP", on);
-    ASSERT_TRUE(a.ok() && b.ok());
-    EXPECT_TRUE(a.stats == b.stats);
-    EXPECT_EQ(a.hashChain, b.hashChain);
+    // The hash chain folds at 4096-cycle boundaries; every simulation
+    // core must fold identical digests at identical cycles.
+    RunOptions stepped = smallOpt(Technique::Dac);
+    stepped.gpu.simCore = SimCore::Stepped;
+    RunOutcome a = runWorkload("SP", stepped);
+    ASSERT_TRUE(a.ok());
+    for (SimCore core : {SimCore::FastForward, SimCore::Event}) {
+        RunOptions opt = smallOpt(Technique::Dac);
+        opt.gpu.simCore = core;
+        RunOutcome b = runWorkload("SP", opt);
+        ASSERT_TRUE(b.ok()) << simCoreName(core);
+        EXPECT_TRUE(a.stats == b.stats) << simCoreName(core);
+        EXPECT_EQ(a.hashChain, b.hashChain) << simCoreName(core);
+    }
 }
 
 TEST(HashChain, HasLinkPerBoundaryAndLaunch)

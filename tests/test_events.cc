@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Event-core tests (DESIGN.md §13): the wake-list scheduler must be a
+ * pure host-side optimization. Every simulated statistic, output
+ * checksum, hash-chain link, and failure cycle stays bit-identical to
+ * the reference stepped loop — across techniques, under every wake
+ * source the caches track (writebacks, MSHR releases, barrier
+ * releases, DAC queue transitions, batch launches), with fault plans
+ * and per-cycle observability forcing the stepped loop, and across a
+ * snapshot written under one core and resumed under another.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <string>
+
+#include "common/env.h"
+#include "harness/runner.h"
+#include "obs/obs.h"
+#include "sim/gpu.h"
+
+namespace fs = std::filesystem;
+using namespace dacsim;
+
+namespace
+{
+
+constexpr SimCore allCores[] = {SimCore::Stepped, SimCore::FastForward,
+                                SimCore::Event};
+
+/** Per-test scratch directory, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        std::string name = std::string("dacsim_events_") +
+                           info->test_suite_name() + "_" + info->name();
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        path = fs::temp_directory_path() / name;
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+};
+
+void
+expectIdentical(const RunOutcome &a, const RunOutcome &b,
+                const std::string &what)
+{
+    ASSERT_TRUE(a.ok()) << what << ": " << a.error.what;
+    ASSERT_TRUE(b.ok()) << what << ": " << b.error.what;
+    EXPECT_TRUE(a.stats == b.stats) << what;
+    EXPECT_EQ(a.checksums, b.checksums) << what;
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles) << what;
+    EXPECT_EQ(a.hashChain, b.hashChain) << what;
+    EXPECT_EQ(a.lastStateHash, b.lastStateHash) << what;
+}
+
+/** Run @p bench under every core and require the stepped reference. */
+void
+coreSweep(const char *bench, Technique tech, RunOptions opt,
+          double scale = 0.12)
+{
+    opt.tech = tech;
+    opt.scale = scale;
+    opt.gpu.simCore = SimCore::Stepped;
+    RunOutcome ref = runWorkload(bench, opt);
+    for (SimCore core : {SimCore::FastForward, SimCore::Event}) {
+        opt.gpu.simCore = core;
+        RunOutcome out = runWorkload(bench, opt);
+        expectIdentical(ref, out,
+                        std::string(bench) + "/" + techniqueName(tech) +
+                            "/" + simCoreName(core));
+    }
+}
+
+} // namespace
+
+// ----- configuration surface ----------------------------------------------
+
+TEST(SimCoreNames, RoundTripAndRejection)
+{
+    for (SimCore core : allCores) {
+        SimCore parsed;
+        ASSERT_TRUE(simCoreFromName(simCoreName(core), &parsed))
+            << simCoreName(core);
+        EXPECT_TRUE(parsed == core) << simCoreName(core);
+    }
+    SimCore junk;
+    EXPECT_FALSE(simCoreFromName("warp-speed", &junk));
+    EXPECT_FALSE(simCoreFromName("", &junk));
+}
+
+TEST(SimCoreEnv, KnobParsesEveryCoreName)
+{
+    for (SimCore core : allCores) {
+        std::vector<std::string> warnings;
+        Env e = parseEnv({{"DACSIM_SIM_CORE", simCoreName(core)}},
+                         &warnings);
+        EXPECT_EQ(e.simCore, simCoreName(core));
+        EXPECT_TRUE(warnings.empty()) << warnings.front();
+    }
+}
+
+TEST(SimCoreEnv, MalformedValueWarnsAndFallsBack)
+{
+    std::vector<std::string> warnings;
+    Env e = parseEnv({{"DACSIM_SIM_CORE", "turbo"}}, &warnings);
+    EXPECT_EQ(e.simCore, "");
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings.front().find("DACSIM_SIM_CORE"),
+              std::string::npos);
+}
+
+// ----- mode sweep: every technique, both workload categories --------------
+
+TEST(SimCoreSweep, MemoryIntensiveEveryTechnique)
+{
+    // SP's long memory-latency windows are where the event core jumps
+    // hardest; every technique must survive them bit-identically.
+    for (Technique t : {Technique::Baseline, Technique::Cae,
+                        Technique::Mta, Technique::Dac})
+        coreSweep("SP", t, RunOptions{});
+}
+
+TEST(SimCoreSweep, ComputeIntensiveEveryTechnique)
+{
+    // BS keeps schedulers busy nearly every cycle: the event core must
+    // degrade to per-cycle stepping without disturbing issue order.
+    for (Technique t : {Technique::Baseline, Technique::Cae,
+                        Technique::Mta, Technique::Dac})
+        coreSweep("BS", t, RunOptions{});
+}
+
+// ----- wake invalidation, one test per event source -----------------------
+
+TEST(WakeInvalidation, MshrReleaseUnderPressure)
+{
+    // A tiny MSHR table forces the LD/ST replay path constantly: warps
+    // sleep on MSHR releases, so a missed release-side invalidation
+    // would stall or reorder replays.
+    RunOptions opt;
+    opt.gpu.l1.mshrs = 2;
+    coreSweep("SP", Technique::Baseline, opt);
+    coreSweep("SP", Technique::Dac, opt);
+}
+
+TEST(WakeInvalidation, DacQueueTransitions)
+{
+    // A tiny ATQ keeps the affine warp bouncing between enq
+    // back-pressure and drain, and consumers between deq-stall and
+    // delivery — every queue push/pop edge becomes a wake event.
+    RunOptions opt;
+    opt.dac.atqEntries = 2;
+    coreSweep("SP", Technique::Dac, opt);
+    coreSweep("FFT", Technique::Dac, opt);
+}
+
+TEST(WakeInvalidation, BarrierReleases)
+{
+    // PF synchronizes every DP row with CTA barriers: warps park on
+    // atBarrier and wake on the release, which the event core must
+    // observe on the exact release cycle.
+    coreSweep("PF", Technique::Baseline, RunOptions{});
+    coreSweep("PF", Technique::Dac, RunOptions{});
+}
+
+TEST(WakeInvalidation, WritebackChains)
+{
+    // LIB/MTA exercises the prefetch buffer's writeback and release
+    // paths feeding dependent loads.
+    coreSweep("LIB", Technique::Mta, RunOptions{});
+}
+
+TEST(WakeInvalidation, DeqStallReconstruction)
+{
+    // Warps parked at a deq count one deqStallCycles per free-slot
+    // cycle; the event core does not step those cycles but
+    // reconstructs the counts in closed form at wake and settles them
+    // at boundary folds (DESIGN.md §13). SP/dac parks consumers
+    // behind in-flight early fetches constantly — require the stat to
+    // be nonzero here so the parity sweep cannot go vacuous, then
+    // require exact agreement.
+    RunOptions opt;
+    opt.tech = Technique::Dac;
+    opt.scale = 0.12;
+    opt.gpu.simCore = SimCore::Stepped;
+    RunOutcome ref = runWorkload("SP", opt);
+    ASSERT_TRUE(ref.ok()) << ref.error.what;
+    EXPECT_GT(ref.stats.deqStallCycles, 0u);
+    opt.gpu.simCore = SimCore::Event;
+    RunOutcome out = runWorkload("SP", opt);
+    ASSERT_TRUE(out.ok()) << out.error.what;
+    EXPECT_EQ(ref.stats.deqStallCycles, out.stats.deqStallCycles);
+    expectIdentical(ref, out, "SP/dac deq-stall reconstruction");
+}
+
+// ----- forced per-cycle stepping ------------------------------------------
+
+TEST(SimCoreForced, FaultPlanParity)
+{
+    // Fault windows are defined per simulated cycle: every core must
+    // force the stepped loop under a plan, reproducing the injected
+    // fault counters and outcomes exactly.
+    RunOptions opt;
+    opt.faults = FaultPlan::parse("seed=7;mshr@0-50000:16;jitter@0:300");
+    opt.tech = Technique::Dac;
+    opt.scale = 0.12;
+    opt.gpu.simCore = SimCore::Stepped;
+    RunOutcome ref = runWorkload("SP", opt);
+    opt.gpu.simCore = SimCore::Event;
+    RunOutcome out = runWorkload("SP", opt);
+    ASSERT_EQ(ref.ok(), out.ok());
+    EXPECT_TRUE(ref.stats == out.stats);
+    EXPECT_EQ(ref.checksums, out.checksums);
+    EXPECT_EQ(ref.fellBack, out.fellBack);
+    EXPECT_EQ(ref.error.kind, out.error.kind);
+}
+
+TEST(SimCoreForced, PerCycleObservabilityParity)
+{
+    // Stall attribution accrues per idle issue slot per cycle; the
+    // event core must fall back to stepping so the attribution (and
+    // everything else) matches the reference.
+    RunOptions opt;
+    opt.tech = Technique::Dac;
+    opt.scale = 0.12;
+    opt.obs.stalls = true;
+    opt.gpu.simCore = SimCore::Stepped;
+    RunOutcome ref = runWorkload("SP", opt);
+    opt.gpu.simCore = SimCore::Event;
+    RunOutcome out = runWorkload("SP", opt);
+    ASSERT_TRUE(ref.ok() && out.ok());
+    EXPECT_TRUE(ref.stats == out.stats);
+    EXPECT_EQ(ref.checksums, out.checksums);
+    EXPECT_EQ(ref.hashChain, out.hashChain);
+}
+
+// ----- snapshots cross simulation cores -----------------------------------
+
+TEST(SimCoreSnapshot, WrittenSteppedResumedUnderEvent)
+{
+    // simCore is a results-transparent host knob excluded from the
+    // snapshot config fingerprint: a snapshot written under the
+    // stepped loop must restore under the event core (and vice versa)
+    // and finish bit-identically.
+    TempDir tmp;
+    RunOptions opt;
+    opt.tech = Technique::Dac;
+    opt.gpu.numSms = 2;
+    opt.scale = 1.0;
+    opt.gpu.simCore = SimCore::Stepped;
+    opt.checkpoint.dir = tmp.path.string();
+    opt.checkpoint.tag = "xcore";
+    opt.checkpoint.everyCycles = 4096;
+    RunOutcome clean = runWorkload("SP", opt);
+    ASSERT_TRUE(clean.ok()) << clean.error.what;
+    ASSERT_GT(clean.stats.cycles, 3u * 4096);
+
+    RunOptions resume = opt;
+    resume.checkpoint.resume = true;
+    resume.gpu.simCore = SimCore::Event;
+    RunOutcome out = runWorkload("SP", resume);
+    ASSERT_TRUE(out.ok()) << out.error.what;
+    EXPECT_TRUE(out.resumed);
+    EXPECT_TRUE(clean.stats == out.stats);
+    EXPECT_EQ(clean.checksums, out.checksums);
+    EXPECT_EQ(clean.lastStateHash, out.lastStateHash);
+}
+
+TEST(SimCoreSnapshot, KillMidRunRetryUnderEvent)
+{
+    // The standard kill/auto-retry round trip, entirely under the
+    // event core: halting at an audit boundary and restoring must
+    // reproduce a clean event-core run bit for bit.
+    TempDir tmp;
+    RunOptions opt;
+    opt.tech = Technique::Dac;
+    opt.gpu.numSms = 2;
+    opt.scale = 1.0;
+    opt.gpu.simCore = SimCore::Event;
+    RunOutcome clean = runWorkload("SP", opt);
+    ASSERT_TRUE(clean.ok()) << clean.error.what;
+    ASSERT_GT(clean.stats.cycles, 3u * 4096);
+
+    RunOptions ck = opt;
+    ck.checkpoint.dir = tmp.path.string();
+    ck.checkpoint.tag = "evck";
+    ck.checkpoint.everyCycles = 4096;
+    ck.checkpoint.haltAtCycle = clean.stats.cycles / 2;
+    RunOutcome resumed = runWorkload("SP", ck);
+    ASSERT_TRUE(resumed.ok()) << resumed.error.what;
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_TRUE(clean.stats == resumed.stats);
+    EXPECT_EQ(clean.checksums, resumed.checksums);
+    EXPECT_EQ(clean.hashChain, resumed.hashChain);
+}

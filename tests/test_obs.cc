@@ -136,7 +136,7 @@ TEST(EnvRegistry, FuzzKnobsParse)
 TEST(EnvRegistry, HelpTextCoversEveryKnob)
 {
     const std::string help = envHelpText();
-    ASSERT_EQ(envRegistry().size(), 12u);
+    ASSERT_EQ(envRegistry().size(), 13u);
     for (const EnvKnob &k : envRegistry()) {
         EXPECT_NE(help.find(k.name), std::string::npos) << k.name;
         EXPECT_NE(help.find(k.help), std::string::npos) << k.name;

@@ -227,13 +227,13 @@ TEST(Watchdog, LivelockDumpsWarpStates)
     }
 }
 
-TEST(Watchdog, FastForwardFiresAtSameCycle)
+TEST(Watchdog, EveryCoreFiresAtSameCycle)
 {
-    // Idle-cycle fast-forward clamps its jumps to 4096-cycle audit
+    // Fast-forward and event-core jumps clamp to 4096-cycle audit
     // boundaries, so a deadlocked kernel must trip the watchdog at
-    // exactly the same simulated cycle whether fast-forward skipped
-    // the idle stretch or stepped through it cycle by cycle.
-    auto deadlockCycle = [](bool ff) -> Cycle {
+    // exactly the same simulated cycle whether a core skipped the
+    // idle stretch or stepped through it cycle by cycle.
+    auto deadlockCycle = [](SimCore core) -> Cycle {
         GpuMemory gmem;
         Kernel na = assemble(".kernel na\n.param out\nld.deq.u32 r0;\n"
                              "exit;\n");
@@ -243,7 +243,7 @@ TEST(Watchdog, FastForwardFiresAtSameCycle)
         GpuConfig gcfg;
         gcfg.numSms = 1;
         gcfg.watchdogCycles = 1u << 14;
-        gcfg.fastForward = ff;
+        gcfg.simCore = core;
         Gpu gpu(gcfg, Technique::Dac, DacConfig{}, CaeConfig{},
                 MtaConfig{}, gmem);
         std::vector<RegVal> params = {0x100000};
@@ -258,14 +258,14 @@ TEST(Watchdog, FastForwardFiresAtSameCycle)
         } catch (const DeadlockError &e) {
             return e.cycle();
         }
-        ADD_FAILURE() << "expected the watchdog to fire (ff=" << ff
-                      << ")";
+        ADD_FAILURE() << "expected the watchdog to fire ("
+                      << simCoreName(core) << ")";
         return 0;
     };
-    Cycle stepped = deadlockCycle(false);
-    Cycle fastForwarded = deadlockCycle(true);
+    Cycle stepped = deadlockCycle(SimCore::Stepped);
     EXPECT_GE(stepped, 1u << 14);
-    EXPECT_EQ(stepped, fastForwarded);
+    EXPECT_EQ(stepped, deadlockCycle(SimCore::FastForward));
+    EXPECT_EQ(stepped, deadlockCycle(SimCore::Event));
 }
 
 TEST(Runner, UnknownWorkloadIsTrappedFatal)

@@ -20,13 +20,13 @@ namespace
 {
 
 RunOutcome
-runWith(const char *bench, Technique tech, bool fastForward,
+runWith(const char *bench, Technique tech, SimCore core,
         double scale = 0.15)
 {
     RunOptions opt;
     opt.scale = scale;
     opt.tech = tech;
-    opt.gpu.fastForward = fastForward;
+    opt.gpu.simCore = core;
     return runWorkload(bench, opt);
 }
 
@@ -40,9 +40,9 @@ expectIdentical(const RunOutcome &a, const RunOutcome &b,
     EXPECT_EQ(a.checksums, b.checksums) << what;
 }
 
-TEST(FastForward, OnByDefaultInConfig)
+TEST(SimCore, EventByDefaultInConfig)
 {
-    EXPECT_TRUE(GpuConfig{}.fastForward);
+    EXPECT_TRUE(GpuConfig{}.simCore == SimCore::Event);
 }
 
 TEST(FastForward, MemoryIntensiveStatsIdentical)
@@ -50,8 +50,8 @@ TEST(FastForward, MemoryIntensiveStatsIdentical)
     // SP's long memory-latency idle windows are where fast-forward
     // actually jumps; the full RunStats must still match exactly.
     for (Technique t : {Technique::Baseline, Technique::Dac}) {
-        RunOutcome off = runWith("SP", t, false);
-        RunOutcome on = runWith("SP", t, true);
+        RunOutcome off = runWith("SP", t, SimCore::Stepped);
+        RunOutcome on = runWith("SP", t, SimCore::FastForward);
         expectIdentical(off, on, "SP");
     }
 }
@@ -59,8 +59,8 @@ TEST(FastForward, MemoryIntensiveStatsIdentical)
 TEST(FastForward, ComputeIntensiveStatsIdentical)
 {
     for (Technique t : {Technique::Baseline, Technique::Cae}) {
-        RunOutcome off = runWith("BS", t, false);
-        RunOutcome on = runWith("BS", t, true);
+        RunOutcome off = runWith("BS", t, SimCore::Stepped);
+        RunOutcome on = runWith("BS", t, SimCore::FastForward);
         expectIdentical(off, on, "BS");
     }
 }
@@ -69,8 +69,8 @@ TEST(FastForward, MtaPrefetcherStatsIdentical)
 {
     // The MTA prefetch buffer and its MSHR pool exercise the
     // pfOutstanding release path of the next-event computation.
-    RunOutcome off = runWith("LIB", Technique::Mta, false);
-    RunOutcome on = runWith("LIB", Technique::Mta, true);
+    RunOutcome off = runWith("LIB", Technique::Mta, SimCore::Stepped);
+    RunOutcome on = runWith("LIB", Technique::Mta, SimCore::FastForward);
     expectIdentical(off, on, "LIB/MTA");
 }
 
@@ -100,7 +100,8 @@ TEST(Sweep, ParallelMatchesSerial)
         parallelFor(
             n,
             [&](std::size_t i) {
-                out[i] = runWith(jobs[i].bench, jobs[i].tech, true, 0.12);
+                out[i] = runWith(jobs[i].bench, jobs[i].tech,
+                                 SimCore::Event, 0.12);
             },
             workers);
         return out;
