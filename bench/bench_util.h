@@ -29,6 +29,7 @@
 #include "harness/journal.h"
 #include "harness/runner.h"
 #include "harness/sweep.h"
+#include "service/client.h"
 
 namespace dacsim::bench
 {
@@ -116,9 +117,84 @@ checkpointDir()
  * exists so tests and scripts/check.sh can exercise the kill/restart
  * path deterministically.
  */
+/**
+ * The fault spec one benchmark's service job must carry: DACSIM_FAULTS
+ * when DACSIM_FAULT_BENCHES is empty or names @p bench, else "" — the
+ * same filter RunOptions::fromEnv(bench) applies locally, so a sweep
+ * routed through dacsimd runs the identical fault plans.
+ */
+inline std::string
+serviceFaultSpec(const std::string &bench)
+{
+    const std::string spec = env().faults;
+    if (spec.empty())
+        return "";
+    const std::string benches = env().faultBenches;
+    if (benches.empty())
+        return spec;
+    std::size_t pos = 0;
+    while (pos <= benches.size()) {
+        std::size_t sep = benches.find(',', pos);
+        if (sep == std::string::npos)
+            sep = benches.size();
+        if (sep > pos && benches.compare(pos, sep - pos, bench) == 0)
+            return spec;
+        pos = sep + 1;
+    }
+    return "";
+}
+
+/**
+ * Client mode of runSweep(): route every job to the dacsimd daemon at
+ * DACSIM_SERVICE_SOCKET and collect the responses. Each worker thread
+ * holds its own connection, so the daemon's pool runs the jobs
+ * concurrently; the daemon's cache/dedup machinery makes resubmitted
+ * sweeps (and daemon kill/restart mid-sweep) converge to the same
+ * byte-identical outcomes a direct run produces. Only {bench, tech,
+ * scale, faults} travel — observability and checkpoint options are
+ * host-local diagnostics and stay off on the service side.
+ */
+inline std::vector<RunOutcome>
+runSweepViaService(const std::vector<SweepJob> &jobs)
+{
+    const std::string socket = env().serviceSocket;
+    std::vector<RunOutcome> out(jobs.size());
+    std::vector<std::string> failed(jobs.size());
+    parallelFor(jobs.size(), [&](std::size_t i) {
+        service::ServiceClient cli(socket);
+        service::JobRequest rq;
+        rq.id = i + 1;
+        rq.bench = jobs[i].bench;
+        rq.tech = jobs[i].opt.tech;
+        rq.setScale(jobs[i].opt.scale);
+        rq.faultSpec = serviceFaultSpec(jobs[i].bench);
+        service::JobResponse rs;
+        std::string err;
+        if (!cli.call(rq, &rs, &err))
+            fatal("service sweep: ", err);
+        if (!rs.ok) {
+            // Structured service-level failure (the daemon already
+            // exhausted its retries): keep the PR-1 JSON report and
+            // record a deadlock-class error so reporting skips the
+            // point instead of trusting empty numbers.
+            failed[i] = rs.errorJson;
+            out[i].error.kind = RunErrorKind::Deadlock;
+            out[i].error.what = "service job failed: " + rs.errorJson;
+            return;
+        }
+        out[i] = rs.outcome;
+    });
+    for (const std::string &json : failed)
+        if (!json.empty())
+            std::fprintf(stderr, "%s\n", json.c_str());
+    return out;
+}
+
 inline std::vector<RunOutcome>
 runSweep(const std::vector<SweepJob> &jobs, const char *figure = nullptr)
 {
+    if (!env().serviceSocket.empty())
+        return runSweepViaService(jobs);
     std::vector<RunOutcome> out(jobs.size());
     const std::string dir = figure != nullptr ? checkpointDir() : "";
     if (dir.empty()) {

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * dacsimd — the simulation-service daemon and its stress client
+ * (DESIGN.md §14).
+ *
+ * Serve mode (default) listens on a unix-domain socket and executes
+ * submitted {benchmark, technique, scale, faults} jobs in
+ * fork-isolated, watchdog-guarded, retried worker children, backed by
+ * a content-addressed result cache and a durable queue (kill -9 the
+ * daemon; restart it; the backlog resumes). On exit it prints one
+ * counters line:
+ *   dacsimd: jobs=... sims=... cache_hits=... quarantined=...
+ *
+ * Stress mode (--stress N) is the service's own verifier: it submits
+ * N jobs over the socket — concurrently, cycling the benchmark/
+ * technique space — and byte-compares every response outcome against
+ * a locally computed runWorkload() of the identical job. Run it
+ * against a daemon with DACSIM_SERVICE_CHAOS set and it proves the
+ * whole failure surface (injected crashes, watchdog kills, retries,
+ * dedup, cache) never changes a single simulated bit.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <signal.h>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/journal.h"
+#include "harness/sweep.h"
+#include "service/client.h"
+#include "service/daemon.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+service::Daemon *g_daemon = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_daemon != nullptr)
+        g_daemon->requestStop();
+}
+
+void
+usage(std::FILE *f)
+{
+    std::fprintf(
+        f,
+        "usage: dacsimd [options]                    serve mode\n"
+        "       dacsimd --stress N [options]         stress-client "
+        "mode\n"
+        "  --socket PATH      unix socket (DACSIM_SERVICE_SOCKET)\n"
+        "  --dir PATH         state dir: cache + queue "
+        "(DACSIM_SERVICE_DIR)\n"
+        "  --workers N        worker pool size "
+        "(DACSIM_SERVICE_WORKERS)\n"
+        "  --timeout-ms N     per-job watchdog deadline "
+        "(DACSIM_SERVICE_TIMEOUT_MS)\n"
+        "  --retries N        retries after host-side flake "
+        "(DACSIM_SERVICE_RETRIES)\n"
+        "  --crash-limit N    deterministic failures before blacklist "
+        "(default 3)\n"
+        "  --chaos SPEC       inject failures, e.g. "
+        "crash=0.2,timeout=0.05,seed=7\n"
+        "  --abort-after N    _Exit(3) after N fresh sims (kill -9 "
+        "stand-in)\n"
+        "  --idle-exit-ms N   exit after N ms with no work (0: "
+        "serve forever)\n"
+        "  --stress N         submit N verified jobs instead of "
+        "serving\n"
+        "  --scale S          stress-job workload scale (default "
+        "0.125)\n"
+        "  --help             this text\n\n%s",
+        envHelpText().c_str());
+}
+
+int
+serveMode(const service::DaemonOptions &opt)
+{
+    service::Daemon daemon(opt);
+    std::string err;
+    if (!daemon.start(&err)) {
+        std::fprintf(stderr, "dacsimd: %s\n", err.c_str());
+        return 1;
+    }
+    g_daemon = &daemon;
+    ::signal(SIGINT, onSignal);
+    ::signal(SIGTERM, onSignal);
+    std::fprintf(stderr, "dacsimd: serving on %s (state in %s)\n",
+                 opt.socketPath.c_str(), opt.dir.c_str());
+    daemon.serve();
+    g_daemon = nullptr;
+    return 0;
+}
+
+int
+stressMode(const std::string &socketPath, int jobs, double scale)
+{
+    // The job space: every benchmark x technique at the given scale,
+    // cycled; repeats past one full cycle exercise the daemon's cache
+    // and in-flight dedup.
+    struct Point
+    {
+        std::string bench;
+        Technique tech;
+    };
+    std::vector<Point> points;
+    for (const Workload &w : allWorkloads())
+        for (Technique t : {Technique::Baseline, Technique::Cae,
+                            Technique::Mta, Technique::Dac})
+            points.push_back({w.name, t});
+
+    // Local ground truth, one simulation per unique job.
+    std::mutex truthMu;
+    std::map<std::string, std::string> truth; // "bench|tech" -> encoded
+    auto truthFor = [&](const Point &p) {
+        const std::string key =
+            p.bench + "|" + techniqueName(p.tech);
+        {
+            std::lock_guard<std::mutex> g(truthMu);
+            auto it = truth.find(key);
+            if (it != truth.end())
+                return it->second;
+        }
+        RunOptions opt;
+        opt.tech = p.tech;
+        opt.scale = scale;
+        const std::string enc = encodeOutcome(runWorkload(p.bench, opt));
+        std::lock_guard<std::mutex> g(truthMu);
+        truth[key] = enc;
+        return enc;
+    };
+
+    std::atomic<int> verified{0}, mismatches{0}, failures{0};
+    parallelFor(static_cast<std::size_t>(jobs), [&](std::size_t i) {
+        const Point &p = points[i % points.size()];
+        service::ServiceClient cli(socketPath);
+        service::JobRequest rq;
+        rq.id = i + 1;
+        rq.bench = p.bench;
+        rq.tech = p.tech;
+        rq.setScale(scale);
+        service::JobResponse rs;
+        std::string err;
+        if (!cli.call(rq, &rs, &err)) {
+            std::fprintf(stderr, "stress: job %zu: %s\n", i, err.c_str());
+            failures.fetch_add(1);
+            return;
+        }
+        if (!rs.ok) {
+            std::fprintf(stderr, "stress: job %zu failed: %s\n", i,
+                         rs.errorJson.c_str());
+            failures.fetch_add(1);
+            return;
+        }
+        if (encodeOutcome(rs.outcome) != truthFor(p)) {
+            std::fprintf(stderr,
+                         "stress: job %zu (%s/%s): service outcome "
+                         "differs from the direct run\n",
+                         i, p.bench.c_str(), techniqueName(p.tech));
+            mismatches.fetch_add(1);
+            return;
+        }
+        verified.fetch_add(1);
+    });
+    std::printf("stress: jobs=%d verified=%d mismatches=%d failures=%d\n",
+                jobs, verified.load(), mismatches.load(),
+                failures.load());
+    return mismatches.load() == 0 && failures.load() == 0 ? 0 : 1;
+}
+
+int
+run(int argc, char **argv)
+{
+    service::DaemonOptions opt = service::DaemonOptions::fromEnv();
+    int stress = 0;
+    double scale = 0.125;
+    auto value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "dacsimd: %s needs a value\n", flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--socket") == 0) {
+            opt.socketPath = value(i, a);
+        } else if (std::strcmp(a, "--dir") == 0) {
+            opt.dir = value(i, a);
+        } else if (std::strcmp(a, "--workers") == 0) {
+            opt.workers = std::atoi(value(i, a));
+        } else if (std::strcmp(a, "--timeout-ms") == 0) {
+            opt.timeoutMs = std::atoi(value(i, a));
+        } else if (std::strcmp(a, "--retries") == 0) {
+            opt.maxRetries = std::atoi(value(i, a));
+        } else if (std::strcmp(a, "--crash-limit") == 0) {
+            opt.crashLimit = std::atoi(value(i, a));
+        } else if (std::strcmp(a, "--chaos") == 0) {
+            std::string err;
+            if (!service::ChaosSpec::parse(value(i, a), &opt.chaos,
+                                           &err)) {
+                std::fprintf(stderr, "dacsimd: --chaos: %s\n",
+                             err.c_str());
+                return 2;
+            }
+        } else if (std::strcmp(a, "--abort-after") == 0) {
+            opt.abortAfter = std::atol(value(i, a));
+        } else if (std::strcmp(a, "--idle-exit-ms") == 0) {
+            opt.idleExitMs = std::atoi(value(i, a));
+        } else if (std::strcmp(a, "--stress") == 0) {
+            stress = std::atoi(value(i, a));
+            if (stress <= 0) {
+                std::fprintf(stderr,
+                             "dacsimd: --stress needs a positive job "
+                             "count\n");
+                return 2;
+            }
+        } else if (std::strcmp(a, "--scale") == 0) {
+            scale = std::atof(value(i, a));
+            if (!(scale > 0.0)) {
+                std::fprintf(stderr,
+                             "dacsimd: --scale needs a positive "
+                             "value\n");
+                return 2;
+            }
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "dacsimd: unknown option %s\n", a);
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (opt.socketPath.empty()) {
+        std::fprintf(stderr,
+                     "dacsimd: no socket (--socket or "
+                     "DACSIM_SERVICE_SOCKET)\n");
+        return 2;
+    }
+    if (stress > 0)
+        return stressMode(opt.socketPath, stress, scale);
+    if (opt.dir.empty()) {
+        std::fprintf(
+            stderr,
+            "dacsimd: no state directory (--dir or DACSIM_SERVICE_DIR)\n");
+        return 2;
+    }
+    return serveMode(opt);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::guardedMain("dacsimd", [&] { return run(argc, argv); });
+}

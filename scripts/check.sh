@@ -88,6 +88,29 @@ cmake --build build-dbg -j --target dacsim_fuzz
     cmp fuzz-report.json fuzz-report2.json
 )
 
+echo "== simulation service chaos smoke (debug build) =="
+# A 200-job stress sweep through the dacsimd daemon with ~20% injected
+# fork-child crashes and watchdog timeouts (DESIGN.md §14): every job
+# must come back byte-identical to a direct in-process run, with the
+# daemon retrying host-side flakes and the client resubmitting jobs
+# whose retry budget ran out. SIGTERM must produce a clean shutdown.
+cmake --build build-dbg -j --target dacsimd
+(
+    cd build-dbg
+    rm -rf svc
+    bench/dacsimd --socket svc/sock --dir svc \
+        --chaos crash=0.15,timeout=0.05,seed=7 --retries 3 \
+        >daemon-chaos.log &
+    daemon=$!
+    bench/dacsimd --socket svc/sock --stress 200 --scale 0.05
+    kill -TERM "$daemon"
+    wait "$daemon"
+    grep 'dacsimd: jobs=' daemon-chaos.log
+    grep -q ' crashes=0 ' daemon-chaos.log \
+        && { echo "chaos injected no crashes"; exit 1; }
+    exit 0
+)
+
 echo "== asan+ubsan build =="
 cmake -B build-san -S . -DDACSIM_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j
@@ -98,6 +121,25 @@ echo "== static analysis (sanitized build) =="
 # kernel, so this doubles as a memory-safety pass over src/analysis/.
 cmake --build build-san -j --target dacsim_lint
 (cd build-san && bench/dacsim-lint --quiet >/dev/null)
+
+echo "== simulation service smoke (sanitized build) =="
+# The daemon's codec, fork isolation, cache, and socket loop under
+# ASan+UBSan, with chaos injection exercising the crash/timeout
+# classification paths. (The service unit tests already ran under the
+# sanitized ctest pass above; this drives the real daemon binary.)
+cmake --build build-san -j --target dacsimd
+(
+    cd build-san
+    rm -rf svc
+    bench/dacsimd --socket svc/sock --dir svc \
+        --chaos crash=0.2,timeout=0.1,seed=11 --retries 3 \
+        >daemon-chaos.log &
+    daemon=$!
+    bench/dacsimd --socket svc/sock --stress 40 --scale 0.05
+    kill -TERM "$daemon"
+    wait "$daemon"
+    grep 'dacsimd: jobs=' daemon-chaos.log
+)
 
 echo "== fuzz campaign smoke (sanitized build) =="
 # The generator/oracle/shrink stack under ASan+UBSan, plus the corpus.
@@ -169,6 +211,64 @@ cmake --build build-rel -j --target fig16_speedup
     done
     echo "sweep finished after $tries kills"
     cmp BENCH_fig16.ref.json BENCH_fig16.json
+)
+
+echo "== service sweep smoke (release build) =="
+# The fig16 sweep as service traffic (DESIGN.md §14): run --quick
+# through dacsimd with ~20% injected crashes/timeouts while the daemon
+# itself is repeatedly killed (--abort-after is the in-process kill -9
+# stand-in: _Exit after a cache store, before the response) and
+# restarted — the report must byte-match a fault-free direct run.
+# Then: a rerun against the warm cache must re-simulate nothing, and a
+# deliberately corrupted cache entry must be quarantined and
+# recomputed, again byte-identically.
+cmake --build build-rel -j --target dacsimd fig16_speedup
+(
+    cd build-rel
+    rm -rf svc BENCH_fig16.json
+    bench/fig16_speedup --quick >/dev/null
+    mv BENCH_fig16.json BENCH_fig16.direct.json
+
+    # Pass 1: chaos + daemon restart loop. Each daemon exits 3 after 4
+    # completed simulations; the loop restarts it until the sweep lets
+    # it idle out (exit 0). Clients resubmit across the kills.
+    rm -f daemon-kills.log
+    (
+        until bench/dacsimd --socket svc/sock --dir svc \
+            --chaos crash=0.15,timeout=0.05,seed=3 --retries 3 \
+            --abort-after 4 --idle-exit-ms 4000 >>daemon-kills.log; do
+            :
+        done
+    ) &
+    loop=$!
+    DACSIM_SERVICE_SOCKET=svc/sock bench/fig16_speedup --quick >/dev/null
+    cmp BENCH_fig16.direct.json BENCH_fig16.json
+    wait "$loop"
+
+    # Pass 2: warm cache — every job must be served without running a
+    # single simulation.
+    rm -f BENCH_fig16.json
+    bench/dacsimd --socket svc/sock --dir svc --idle-exit-ms 2000 \
+        >daemon-hits.log &
+    daemon=$!
+    DACSIM_SERVICE_SOCKET=svc/sock bench/fig16_speedup --quick >/dev/null
+    cmp BENCH_fig16.direct.json BENCH_fig16.json
+    wait "$daemon"
+    grep -q ' sims=0 ' daemon-hits.log
+
+    # Pass 3: corrupt one cache entry — the daemon must quarantine it,
+    # recompute, and still byte-match.
+    entry=$(ls svc/cache/*.result | head -n 1)
+    printf 'X' | dd of="$entry" bs=1 seek=8 conv=notrunc 2>/dev/null
+    rm -f BENCH_fig16.json
+    bench/dacsimd --socket svc/sock --dir svc --idle-exit-ms 2000 \
+        >daemon-quarantine.log &
+    daemon=$!
+    DACSIM_SERVICE_SOCKET=svc/sock bench/fig16_speedup --quick >/dev/null
+    cmp BENCH_fig16.direct.json BENCH_fig16.json
+    wait "$daemon"
+    grep -q ' quarantined=1' daemon-quarantine.log
+    test -n "$(ls svc/cache/*.quarantined 2>/dev/null)"
 )
 
 echo "All checks passed."

@@ -47,6 +47,23 @@ envRegistry()
          "resume)"},
         {"DACSIM_FUZZ_TIMEOUT_MS", "int", "20000",
          "per-fuzz-case watchdog deadline before the child is killed"},
+        {"DACSIM_SERVICE_SOCKET", "string", "",
+         "dacsimd unix-socket path; non-empty routes bench sweeps "
+         "through the service"},
+        {"DACSIM_SERVICE_DIR", "string", "",
+         "dacsimd state directory (result cache + durable queue "
+         "journal)"},
+        {"DACSIM_SERVICE_WORKERS", "int", "0",
+         "dacsimd worker pool size (0: hardware concurrency)"},
+        {"DACSIM_SERVICE_TIMEOUT_MS", "int", "60000",
+         "per-service-job watchdog deadline before the child is "
+         "killed"},
+        {"DACSIM_SERVICE_RETRIES", "int", "2",
+         "dacsimd retries after host-side flake (crashed or hung "
+         "child)"},
+        {"DACSIM_SERVICE_CHAOS", "string", "",
+         "dacsimd injected-failure spec, e.g. "
+         "crash=0.2,timeout=0.05,seed=7 (empty: off)"},
     };
     return knobs;
 }
@@ -144,6 +161,18 @@ parseEnv(const std::vector<std::pair<std::string, std::string>> &vars,
             env.fuzzDir = value;
         else if (name == "DACSIM_FUZZ_TIMEOUT_MS")
             env.fuzzTimeoutMs = n > 0 ? static_cast<int>(n) : 20000;
+        else if (name == "DACSIM_SERVICE_SOCKET")
+            env.serviceSocket = value;
+        else if (name == "DACSIM_SERVICE_DIR")
+            env.serviceDir = value;
+        else if (name == "DACSIM_SERVICE_WORKERS")
+            env.serviceWorkers = n > 0 ? static_cast<int>(n) : 0;
+        else if (name == "DACSIM_SERVICE_TIMEOUT_MS")
+            env.serviceTimeoutMs = n > 0 ? static_cast<int>(n) : 60000;
+        else if (name == "DACSIM_SERVICE_RETRIES")
+            env.serviceRetries = n >= 0 ? static_cast<int>(n) : 2;
+        else if (name == "DACSIM_SERVICE_CHAOS")
+            env.serviceChaos = value;
     }
     return env;
 }

@@ -70,6 +70,23 @@ struct Env
     std::string fuzzDir;
     /** DACSIM_FUZZ_TIMEOUT_MS: per-case watchdog deadline. */
     int fuzzTimeoutMs = 20000;
+    /** DACSIM_SERVICE_SOCKET: dacsimd unix-socket path. For the
+     * daemon: where to listen. For bench drivers: set non-empty to
+     * route sweep runs through the service (client mode). */
+    std::string serviceSocket;
+    /** DACSIM_SERVICE_DIR: daemon state directory (result cache +
+     * durable queue journal). */
+    std::string serviceDir;
+    /** DACSIM_SERVICE_WORKERS: daemon worker pool size (0: hardware
+     * concurrency). */
+    int serviceWorkers = 0;
+    /** DACSIM_SERVICE_TIMEOUT_MS: per-job watchdog deadline. */
+    int serviceTimeoutMs = 60000;
+    /** DACSIM_SERVICE_RETRIES: daemon retries after host-side flake. */
+    int serviceRetries = 2;
+    /** DACSIM_SERVICE_CHAOS: injected-failure spec for the daemon,
+     * e.g. "crash=0.2,timeout=0.05,seed=7" ("": chaos off). */
+    std::string serviceChaos;
 };
 
 /**

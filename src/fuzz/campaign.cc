@@ -1,24 +1,17 @@
 #include "fuzz/campaign.h"
 
-#include <fcntl.h>
-#include <poll.h>
-#include <signal.h>
 #include <sys/stat.h>
 #include <sys/types.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
-#include <cerrno>
-#include <chrono>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
-#include <thread>
 
 #include "common/log.h"
 #include "fuzz/shrink.h"
+#include "harness/isolation.h"
 #include "harness/journal.h"
 #include "harness/sweep.h"
 
@@ -132,56 +125,6 @@ journalKey(std::uint64_t seed, const CampaignOptions &opt)
     return os.str();
 }
 
-/** Pipe-read loop with a deadline; returns everything the child wrote
- * and whether the deadline expired first. */
-bool
-readWithDeadline(int fd, int timeoutMs, std::string *buf)
-{
-    using Clock = std::chrono::steady_clock;
-    const Clock::time_point deadline =
-        Clock::now() + std::chrono::milliseconds(timeoutMs);
-    char tmp[4096];
-    for (;;) {
-        const long remain =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                deadline - Clock::now())
-                .count();
-        if (remain <= 0)
-            return false;
-        struct pollfd pfd = {fd, POLLIN, 0};
-        const int pr = ::poll(&pfd, 1,
-                              static_cast<int>(remain > 200 ? 200 : remain));
-        if (pr < 0) {
-            if (errno == EINTR)
-                continue;
-            return true;
-        }
-        if (pr == 0)
-            continue;
-        const ssize_t n = ::read(fd, tmp, sizeof tmp);
-        if (n > 0) {
-            buf->append(tmp, static_cast<std::size_t>(n));
-        } else if (n == 0) {
-            return true; // EOF: the child closed its end (exited)
-        } else if (errno != EINTR && errno != EAGAIN) {
-            return true;
-        }
-    }
-}
-
-void
-writeAll(int fd, const std::string &s)
-{
-    std::size_t off = 0;
-    while (off < s.size()) {
-        const ssize_t n = ::write(fd, s.data() + off, s.size() - off);
-        if (n > 0)
-            off += static_cast<std::size_t>(n);
-        else if (errno != EINTR)
-            break;
-    }
-}
-
 /** The last parseable verdict line in a child's output. */
 bool
 lastVerdictLine(const std::string &buf, OracleVerdict *v)
@@ -198,7 +141,8 @@ lastVerdictLine(const std::string &buf, OracleVerdict *v)
     return found;
 }
 
-/** One crash-isolated attempt (Fork or ForkExec). */
+/** One crash-isolated attempt (Fork or ForkExec) through the shared
+ * fork/pipe/watchdog layer (harness/isolation.h). */
 CaseResult
 runIsolatedOnce(std::uint64_t seed, const CampaignOptions &opt,
                 const OracleOptions &oracleOpt)
@@ -206,90 +150,64 @@ runIsolatedOnce(std::uint64_t seed, const CampaignOptions &opt,
     CaseResult r;
     r.seed = seed;
 
-    int fds[2];
-    if (::pipe(fds) != 0) {
-        r.status = CaseStatus::Crash;
-        r.detail = std::string("pipe: ") + std::strerror(errno);
-        return r;
-    }
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-        ::close(fds[0]);
-        ::close(fds[1]);
-        r.status = CaseStatus::Crash;
-        r.detail = std::string("fork: ") + std::strerror(errno);
-        return r;
-    }
-
-    if (pid == 0) {
-        // Child. Never return: the only exits are _Exit/_exit, so no
-        // parent-side state (journals, gtest, stdio buffers) is
-        // flushed twice.
-        ::close(fds[0]);
-        if (opt.isolation == CampaignOptions::Isolation::ForkExec) {
-            ::dup2(fds[1], STDOUT_FILENO);
-            ::close(fds[1]);
-            const std::string seedStr = std::to_string(seed);
-            std::vector<const char *> argv = {opt.execPath.c_str(),
-                                              "--child-case",
-                                              seedStr.c_str()};
-            if (!opt.faultSpec.empty()) {
-                argv.push_back("--faults");
-                argv.push_back(opt.faultSpec.c_str());
+    IsolationOptions iso;
+    iso.timeoutMs = opt.timeoutMs;
+    iso.subject = "case";
+    ChildResult cr = runForkIsolated(
+        [&](int writeFd) {
+            // Never return: the only exits are _Exit/_exit/exec, so no
+            // parent-side state (journals, gtest, stdio buffers) is
+            // flushed twice.
+            if (opt.isolation == CampaignOptions::Isolation::ForkExec) {
+                ::dup2(writeFd, STDOUT_FILENO);
+                ::close(writeFd);
+                const std::string seedStr = std::to_string(seed);
+                std::vector<const char *> argv = {opt.execPath.c_str(),
+                                                  "--child-case",
+                                                  seedStr.c_str()};
+                if (!opt.faultSpec.empty()) {
+                    argv.push_back("--faults");
+                    argv.push_back(opt.faultSpec.c_str());
+                }
+                if (opt.oracle.dac.bugPerturbAffineImm)
+                    argv.push_back("--inject-bug");
+                argv.push_back(nullptr);
+                ::execv(opt.execPath.c_str(),
+                        const_cast<char *const *>(argv.data()));
+                _exit(127);
             }
-            if (opt.oracle.dac.bugPerturbAffineImm)
-                argv.push_back("--inject-bug");
-            argv.push_back(nullptr);
-            ::execv(opt.execPath.c_str(),
-                    const_cast<char *const *>(argv.data()));
-            _exit(127);
-        }
-        try {
-            OracleVerdict v = runOracleSeed(seed, oracleOpt);
-            writeAll(fds[1], encodeVerdict(v) + "\n");
-        } catch (...) {
-            // Swallow everything: an unparsable/absent verdict plus
-            // the exit status is the crash report.
-            std::_Exit(1);
-        }
-        std::_Exit(0);
-    }
+            try {
+                OracleVerdict v = runOracleSeed(seed, oracleOpt);
+                writeAll(writeFd, encodeVerdict(v) + "\n");
+            } catch (...) {
+                // Swallow everything: an unparsable/absent verdict plus
+                // the exit status is the crash report.
+                std::_Exit(1);
+            }
+            std::_Exit(0);
+        },
+        iso);
 
-    // Parent.
-    ::close(fds[1]);
-    std::string buf;
-    const bool finished = readWithDeadline(fds[0], opt.timeoutMs, &buf);
-    ::close(fds[0]);
-    if (!finished)
-        ::kill(pid, SIGKILL);
-    int wstatus = 0;
-    while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    if (cr.outcome == ChildOutcome::HostFail) {
+        r.status = CaseStatus::Crash;
+        r.detail = cr.error;
+        return r;
     }
-
-    if (!finished) {
+    if (cr.outcome == ChildOutcome::Timeout) {
         r.status = CaseStatus::Timeout;
-        std::ostringstream os;
-        os << "watchdog killed the case after " << opt.timeoutMs << " ms";
-        r.detail = os.str();
+        r.detail = watchdogDetail(iso);
         r.verdict.seed = seed;
         return r;
     }
 
     OracleVerdict v;
-    const bool haveVerdict = lastVerdictLine(buf, &v);
-    const bool cleanExit = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
-    if (!haveVerdict || !cleanExit) {
+    const bool haveVerdict = lastVerdictLine(cr.output, &v);
+    if (!haveVerdict || !cr.cleanExit()) {
         r.status = CaseStatus::Crash;
-        std::ostringstream os;
-        if (WIFSIGNALED(wstatus))
-            os << "child killed by signal " << WTERMSIG(wstatus);
-        else if (WIFEXITED(wstatus))
-            os << "child exited with status " << WEXITSTATUS(wstatus);
-        else
-            os << "child ended abnormally";
+        std::string detail = cr.exitDetail();
         if (!haveVerdict)
-            os << " (no verdict received)";
-        r.detail = os.str();
+            detail += " (no verdict received)";
+        r.detail = std::move(detail);
         r.verdict.seed = seed;
         return r;
     }
@@ -329,16 +247,14 @@ runCaseWithRetry(std::uint64_t seed, const CampaignOptions &opt,
                  const OracleOptions &oracleOpt)
 {
     CaseResult r;
-    for (int attempt = 0;; ++attempt) {
+    RetryPolicy policy;
+    policy.maxRetries = opt.maxRetries;
+    r.attempts = retryWithBackoff(policy, [&] {
         r = runCaseOnce(seed, opt, oracleOpt);
-        r.attempts = attempt + 1;
-        const bool hostSide = r.status == CaseStatus::Crash ||
-                              r.status == CaseStatus::Timeout;
-        if (!hostSide || attempt >= opt.maxRetries)
-            return r;
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(50L << attempt));
-    }
+        return r.status != CaseStatus::Crash &&
+               r.status != CaseStatus::Timeout;
+    });
+    return r;
 }
 
 void

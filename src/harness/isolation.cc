@@ -1,0 +1,158 @@
+#include "harness/isolation.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+namespace dacsim
+{
+
+std::string
+ChildResult::exitDetail() const
+{
+    std::ostringstream os;
+    if (signaled)
+        os << "child killed by signal " << termSignal;
+    else if (exited)
+        os << "child exited with status " << exitStatus;
+    else
+        os << "child ended abnormally";
+    return os.str();
+}
+
+std::string
+watchdogDetail(const IsolationOptions &opt)
+{
+    std::ostringstream os;
+    os << "watchdog killed the " << opt.subject << " after "
+       << opt.timeoutMs << " ms";
+    return os.str();
+}
+
+void
+writeAll(int fd, const std::string &s)
+{
+    std::size_t off = 0;
+    while (off < s.size()) {
+        const ssize_t n = ::write(fd, s.data() + off, s.size() - off);
+        if (n > 0)
+            off += static_cast<std::size_t>(n);
+        else if (errno != EINTR)
+            break;
+    }
+}
+
+bool
+readWithDeadline(int fd, int timeoutMs, std::string *buf)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs);
+    char tmp[4096];
+    for (;;) {
+        const long remain =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+        if (remain <= 0)
+            return false;
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1,
+                              static_cast<int>(remain > 200 ? 200 : remain));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return true;
+        }
+        if (pr == 0)
+            continue;
+        const ssize_t n = ::read(fd, tmp, sizeof tmp);
+        if (n > 0) {
+            buf->append(tmp, static_cast<std::size_t>(n));
+        } else if (n == 0) {
+            return true; // EOF: the child closed its end (exited)
+        } else if (errno != EINTR && errno != EAGAIN) {
+            return true;
+        }
+    }
+}
+
+ChildResult
+runForkIsolated(const std::function<void(int writeFd)> &child,
+                const IsolationOptions &opt)
+{
+    ChildResult r;
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        r.outcome = ChildOutcome::HostFail;
+        r.error = std::string("pipe: ") + std::strerror(errno);
+        return r;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        r.outcome = ChildOutcome::HostFail;
+        r.error = std::string("fork: ") + std::strerror(errno);
+        return r;
+    }
+
+    if (pid == 0) {
+        // Child. The callback owns the rest of this process image and
+        // must end in _Exit/_exit/exec; as a backstop, a callback that
+        // does return (or throw) becomes a non-zero exit, classified
+        // by the caller like any other crash.
+        ::close(fds[0]);
+        try {
+            child(fds[1]);
+        } catch (...) {
+        }
+        std::_Exit(125);
+    }
+
+    // Parent.
+    ::close(fds[1]);
+    const bool finished = readWithDeadline(fds[0], opt.timeoutMs, &r.output);
+    ::close(fds[0]);
+    if (!finished)
+        ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+
+    if (!finished) {
+        r.outcome = ChildOutcome::Timeout;
+        return r;
+    }
+    r.outcome = ChildOutcome::Finished;
+    r.exited = WIFEXITED(wstatus);
+    if (r.exited)
+        r.exitStatus = WEXITSTATUS(wstatus);
+    r.signaled = WIFSIGNALED(wstatus);
+    if (r.signaled)
+        r.termSignal = WTERMSIG(wstatus);
+    return r;
+}
+
+int
+retryWithBackoff(const RetryPolicy &policy,
+                 const std::function<bool()> &attempt)
+{
+    for (int a = 0;; ++a) {
+        if (attempt() || a >= policy.maxRetries)
+            return a + 1;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(
+                static_cast<long>(policy.baseDelayMs) << a));
+    }
+}
+
+} // namespace dacsim

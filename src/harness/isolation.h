@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Process-level crash isolation primitives (DESIGN.md §12.3, §14).
+ *
+ * One unit of work runs in a fork()ed child that reports back over a
+ * pipe; the parent reads with a poll deadline and SIGKILLs the child
+ * when the watchdog expires. The child's exit status and pipe output
+ * are returned raw so callers classify failures in their own
+ * vocabulary (the fuzz campaign's CaseStatus, the service daemon's
+ * verdict taxonomy) while sharing one proven fork/pipe/watchdog
+ * implementation. retryWithBackoff() is the matching bounded-retry
+ * policy: host-side flake (a crashed or hung child) is worth retrying,
+ * deterministic simulation verdicts are not — that decision also stays
+ * with the caller, via the attempt callback's return value.
+ */
+
+#ifndef DACSIM_HARNESS_ISOLATION_H
+#define DACSIM_HARNESS_ISOLATION_H
+
+#include <functional>
+#include <string>
+
+namespace dacsim
+{
+
+/** Host-side outcome of one fork-isolated child run. */
+enum class ChildOutcome
+{
+    Finished, ///< the child exited (cleanly or not) before the deadline
+    Timeout,  ///< the watchdog SIGKILLed the child at the deadline
+    HostFail, ///< fork()/pipe() itself failed (see ChildResult::error)
+};
+
+/** What the parent observed of one fork-isolated child. */
+struct ChildResult
+{
+    ChildOutcome outcome = ChildOutcome::Finished;
+    /** Everything the child wrote to its pipe before exiting. */
+    std::string output;
+    /** Parent-side failure description (HostFail only). */
+    std::string error;
+    bool exited = false;   ///< WIFEXITED
+    int exitStatus = 0;    ///< WEXITSTATUS when exited
+    bool signaled = false; ///< WIFSIGNALED
+    int termSignal = 0;    ///< WTERMSIG when signaled
+
+    /** The child finished with _Exit(0). */
+    bool
+    cleanExit() const
+    {
+        return outcome == ChildOutcome::Finished && exited &&
+               exitStatus == 0;
+    }
+
+    /** One-sentence description of how the child ended ("child killed
+     * by signal 11", "child exited with status 127", ...). */
+    std::string exitDetail() const;
+};
+
+struct IsolationOptions
+{
+    /** Watchdog deadline; the child is SIGKILLed when it expires. */
+    int timeoutMs = 20000;
+    /** Noun used in watchdogDetail() ("case" for fuzz cases, "job"
+     * for service jobs). */
+    std::string subject = "case";
+};
+
+/** The watchdog's diagnostic sentence for @p opt ("watchdog killed
+ * the case after 20000 ms"). */
+std::string watchdogDetail(const IsolationOptions &opt);
+
+/**
+ * Fork and run @p child with the pipe's write end. The child callback
+ * must never return control to the caller's stack: it ends in _Exit /
+ * _exit (or exec), so no parent-side state — journals, stdio buffers,
+ * test frameworks — is ever flushed twice. The parent reads the pipe
+ * until EOF or the watchdog deadline, reaps the child, and returns
+ * what it saw.
+ */
+ChildResult runForkIsolated(const std::function<void(int writeFd)> &child,
+                            const IsolationOptions &opt);
+
+/** Bounded retry with exponential backoff (delays of baseDelayMs << n
+ * between attempts). */
+struct RetryPolicy
+{
+    /** Retries after the first attempt (0: single attempt). */
+    int maxRetries = 2;
+    int baseDelayMs = 50;
+};
+
+/**
+ * Invoke @p attempt until it returns true (done — success, or a
+ * deterministic failure not worth repeating) or the retries are
+ * exhausted. Returns the number of attempts consumed.
+ */
+int retryWithBackoff(const RetryPolicy &policy,
+                     const std::function<bool()> &attempt);
+
+/** Append-loop write() that survives EINTR and short writes. */
+void writeAll(int fd, const std::string &s);
+
+/**
+ * Poll-deadline read loop: append everything @p fd delivers to @p buf
+ * until EOF or a hard read error (true), or the deadline expires first
+ * (false).
+ */
+bool readWithDeadline(int fd, int timeoutMs, std::string *buf);
+
+} // namespace dacsim
+
+#endif // DACSIM_HARNESS_ISOLATION_H

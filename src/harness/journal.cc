@@ -1,5 +1,7 @@
 #include "harness/journal.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -46,47 +48,82 @@ journalUnescape(const std::string &s)
 
 // ----- LineJournal --------------------------------------------------------
 
+namespace
+{
+
+/** Parse one journal line ("<tag> <crc32-hex> <key> <payload...>");
+ * true when it verified against @p wantTag and its CRC. */
+bool
+parseJournalLine(const std::string &line, const std::string &wantTag,
+                 std::string *key, std::string *payload)
+{
+    std::istringstream is(line);
+    std::string tag, crcHex, parsedKey;
+    if (!(is >> tag >> crcHex >> parsedKey) || tag != wantTag)
+        return false;
+    // The key starts after the tag and CRC tokens; searching from that
+    // offset keeps a key that happens to repeat bytes of the tag or
+    // CRC from being found too early (which would shift the CRC'd body
+    // and reject a perfectly good line).
+    std::size_t body =
+        line.find(parsedKey, tag.size() + 1 + crcHex.size());
+    if (body == std::string::npos)
+        return false;
+    std::uint32_t want = 0;
+    try {
+        want = static_cast<std::uint32_t>(std::stoul(crcHex, nullptr, 16));
+    } catch (const std::exception &) {
+        return false;
+    }
+    std::string rest = line.substr(body);
+    if (crc32(rest.data(), rest.size()) != want)
+        return false; // torn or corrupt line
+    *payload = rest.substr(rest.size() > parsedKey.size()
+                               ? parsedKey.size() + 1
+                               : parsedKey.size());
+    *key = journalUnescape(parsedKey);
+    return true;
+}
+
+} // namespace
+
 LineJournal::LineJournal(const std::string &path, const std::string &tag)
     : path_(path), tag_(tag)
 {
-    std::ifstream in(path_, std::ios::binary);
-    if (in.good()) {
-        // Remember whether the file ends mid-line (torn final write),
-        // so the next record() starts on a fresh line instead of
-        // gluing itself onto the torn tail.
-        in.seekg(0, std::ios::end);
-        if (in.tellg() > 0) {
-            in.seekg(-1, std::ios::end);
-            char last = 0;
-            in.get(last);
-            unterminated_ = last != '\n';
+    std::string data;
+    {
+        std::ifstream in(path_, std::ios::binary);
+        if (in.good()) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            data = ss.str();
         }
-        in.clear();
-        in.seekg(0);
     }
-    std::string line;
-    while (std::getline(in, line)) {
-        // Line layout: "<tag> <crc32-hex> <key> <payload...>".
-        std::istringstream is(line);
-        std::string tag, crcHex, key;
-        if (!(is >> tag >> crcHex >> key) || tag != tag_)
-            continue;
-        std::size_t body = line.find(key);
-        if (body == std::string::npos)
-            continue;
-        std::uint32_t want = 0;
-        try {
-            want = static_cast<std::uint32_t>(
-                std::stoul(crcHex, nullptr, 16));
-        } catch (const std::exception &) {
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const std::size_t nl = data.find('\n', pos);
+        const bool terminated = nl != std::string::npos;
+        const std::string line =
+            data.substr(pos, (terminated ? nl : data.size()) - pos);
+        std::string key, payload;
+        const bool valid = parseJournalLine(line, tag_, &key, &payload);
+        if (valid)
+            done_[key] = std::move(payload);
+        if (terminated) {
+            pos = nl + 1;
             continue;
         }
-        std::string rest = line.substr(body);
-        if (crc32(rest.data(), rest.size()) != want)
-            continue; // torn or corrupt line: ignore
-        std::string payload = rest.substr(
-            rest.size() > key.size() ? key.size() + 1 : key.size());
-        done_[journalUnescape(key)] = std::move(payload);
+        // The file ends mid-line: a kill tore the final write. If the
+        // record is complete up to its missing newline (CRC verifies),
+        // keep it and let the next record() supply the terminator.
+        // Otherwise drop exactly the torn tail: truncate the file back
+        // to the last complete line so the garbage bytes never survive
+        // into later readers (fall back to terminate-on-next-record
+        // when the file cannot be truncated, e.g. read-only).
+        if (valid || ::truncate(path_.c_str(),
+                                static_cast<off_t>(pos)) != 0)
+            unterminated_ = true;
+        break;
     }
 }
 
@@ -124,6 +161,16 @@ LineJournal::size() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return done_.size();
+}
+
+void
+LineJournal::forEach(
+    const std::function<void(const std::string &, const std::string &)>
+        &fn) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[key, payload] : done_)
+        fn(key, payload);
 }
 
 // ----- RunOutcome encoding (sweep layer) ----------------------------------

@@ -20,6 +20,7 @@
 #ifndef DACSIM_HARNESS_JOURNAL_H
 #define DACSIM_HARNESS_JOURNAL_H
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -39,8 +40,16 @@ std::string journalUnescape(const std::string &s);
 /**
  * Generic CRC-journalled key→payload map backed by one append-only
  * file. @p tag versions the line format ("J1" for sweeps, "F1" for
- * fuzz campaigns); lines with a different tag are ignored, so a
- * journal file is self-describing.
+ * fuzz campaigns, "Q1" for the service queue); lines with a different
+ * tag are ignored, so a journal file is self-describing.
+ *
+ * Truncation recovery: a kill mid-write leaves at most one torn final
+ * line (partial bytes, failing its CRC). Opening the journal drops
+ * exactly that tail — every fully written record before it is kept —
+ * and truncates the file back to the last complete line, so the torn
+ * bytes never survive into later readers. When the file cannot be
+ * truncated (read-only journal), the next record() starts on a fresh
+ * line instead, which is equivalent for every reader.
  */
 class LineJournal
 {
@@ -58,6 +67,12 @@ class LineJournal
 
     /** Number of completed keys loaded or recorded. */
     std::size_t size() const;
+
+    /** Visit every (key, payload) pair, in key order, under the lock.
+     * The service's durable queue enumerates its backlog with this. */
+    void forEach(const std::function<void(const std::string &key,
+                                          const std::string &payload)> &fn)
+        const;
 
   private:
     std::string path_;

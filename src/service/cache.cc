@@ -1,0 +1,168 @@
+#include "service/cache.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/snapshot.h"
+#include "harness/journal.h"
+
+namespace dacsim::service
+{
+
+namespace
+{
+
+std::string
+crcHex(std::uint32_t crc)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08x", crc);
+    return buf;
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "dacsimd: warning: %s\n", msg.c_str());
+}
+
+} // namespace
+
+std::string
+Provenance::encode() const
+{
+    std::ostringstream os;
+    os << "bench=" << journalEscape(bench) << " tech=" << journalEscape(tech)
+       << " cfp=" << std::hex << configFp << " kfp=" << kernelFp << std::dec
+       << " att=" << attempts << " by=" << journalEscape(producer);
+    return os.str();
+}
+
+bool
+Provenance::decode(const std::string &s, Provenance *p)
+{
+    std::istringstream is(s);
+    Provenance o;
+    std::string tok;
+    try {
+        while (is >> tok) {
+            const std::size_t eq = tok.find('=');
+            if (eq == std::string::npos)
+                return false;
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            if (key == "bench")
+                o.bench = journalUnescape(val);
+            else if (key == "tech")
+                o.tech = journalUnescape(val);
+            else if (key == "cfp")
+                o.configFp = std::stoull(val, nullptr, 16);
+            else if (key == "kfp")
+                o.kernelFp = std::stoull(val, nullptr, 16);
+            else if (key == "att")
+                o.attempts = std::stoi(val);
+            else if (key == "by")
+                o.producer = journalUnescape(val);
+            else
+                return false;
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    *p = std::move(o);
+    return true;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    ::mkdir(dir_.c_str(), 0755); // fine if it already exists
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return dir_ + "/" + key + ".result";
+}
+
+bool
+ResultCache::lookup(const std::string &key, RunOutcome *out,
+                    Provenance *prov, bool *quarantinedNow)
+{
+    if (quarantinedNow)
+        *quarantinedNow = false;
+    const std::string path = entryPath(key);
+    std::ifstream in(path);
+    if (!in)
+        return false;
+
+    // Read the whole entry and validate it as one CRC-protected line.
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    const std::string text = raw.str();
+
+    auto corrupt = [&](const char *why) {
+        const std::string aside = path + ".quarantined";
+        ::rename(path.c_str(), aside.c_str());
+        quarantined_.fetch_add(1);
+        if (quarantinedNow)
+            *quarantinedNow = true;
+        warn("cache entry " + path + " " + why +
+                "; quarantined to " + aside);
+        return false;
+    };
+
+    std::istringstream is(text);
+    std::string tag, crc, provEsc, payloadEsc;
+    if (!(is >> tag >> crc >> provEsc >> payloadEsc) || tag != "R1")
+        return corrupt("is malformed");
+    const std::string body = provEsc + " " + payloadEsc;
+    if (crc != crcHex(crc32(body.data(), body.size())))
+        return corrupt("failed its CRC");
+    Provenance p;
+    if (!Provenance::decode(journalUnescape(provEsc), &p))
+        return corrupt("has unreadable provenance");
+    RunOutcome o;
+    if (!decodeOutcome(journalUnescape(payloadEsc), &o))
+        return corrupt("has an undecodable outcome");
+
+    *out = std::move(o);
+    if (prov)
+        *prov = std::move(p);
+    return true;
+}
+
+void
+ResultCache::store(const std::string &key, const RunOutcome &out,
+                   const Provenance &prov)
+{
+    const std::string body = journalEscape(prov.encode()) + " " +
+                             journalEscape(encodeOutcome(out));
+    const std::string line =
+        "R1 " + crcHex(crc32(body.data(), body.size())) + " " + body + "\n";
+
+    const std::string path = entryPath(key);
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream o(tmp, std::ios::trunc);
+        if (!o) {
+            warn("cache: cannot write " + tmp + " (entry not stored)");
+            return;
+        }
+        o << line;
+        o.flush();
+        if (!o) {
+            warn("cache: short write to " + tmp + " (entry not stored)");
+            ::unlink(tmp.c_str());
+            return;
+        }
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cache: cannot publish " + path + " (entry not stored)");
+        ::unlink(tmp.c_str());
+    }
+}
+
+} // namespace dacsim::service

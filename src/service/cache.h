@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Content-addressed, CRC-verified result cache (DESIGN.md §14.3).
+ *
+ * A cache entry maps one job identity — the configuration fingerprint
+ * + kernel fingerprint pair (sim/fingerprint.h) folded with the
+ * technique, exact workload scale bits, and fault spec — to the
+ * encoded RunOutcome the job produced, plus a provenance record naming
+ * what computed it. Every entry is a single self-verifying line (the
+ * journal line shape: tag, CRC32, payload) written atomically via
+ * temp-file + rename, so a kill can never leave a torn entry under the
+ * final name.
+ *
+ * Degradation: an entry that fails its CRC (or does not parse) is
+ * never served. It is quarantined — renamed aside with a .quarantined
+ * suffix so the evidence survives for inspection — and reported as a
+ * miss, which makes the daemon recompute and rewrite it. Corruption
+ * therefore costs one re-simulation, not a wrong answer.
+ */
+
+#ifndef DACSIM_SERVICE_CACHE_H
+#define DACSIM_SERVICE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "harness/runner.h"
+
+namespace dacsim::service
+{
+
+/** Provenance stored beside a cached outcome (diagnostics only; never
+ * part of the served result). */
+struct Provenance
+{
+    std::string bench;
+    std::string tech;
+    std::uint64_t configFp = 0;
+    std::uint64_t kernelFp = 0;
+    int attempts = 0;
+    /** Who computed it ("dacsimd pid 1234"). */
+    std::string producer;
+
+    std::string encode() const;
+    static bool decode(const std::string &s, Provenance *p);
+};
+
+class ResultCache
+{
+  public:
+    /** Open (and create) the cache directory. */
+    explicit ResultCache(std::string dir);
+
+    /**
+     * Serve the entry for @p key. True with *out filled on a verified
+     * hit. A corrupt entry is quarantined and reported as a miss
+     * (*quarantinedNow set when given, so callers can log it).
+     */
+    bool lookup(const std::string &key, RunOutcome *out,
+                Provenance *prov = nullptr,
+                bool *quarantinedNow = nullptr);
+
+    /** Store @p out for @p key (atomic: temp file + rename). */
+    void store(const std::string &key, const RunOutcome &out,
+               const Provenance &prov);
+
+    /** Entries quarantined by this process so far. */
+    std::uint64_t quarantined() const { return quarantined_.load(); }
+
+    std::string entryPath(const std::string &key) const;
+
+  private:
+    std::string dir_;
+    std::atomic<std::uint64_t> quarantined_{0};
+};
+
+} // namespace dacsim::service
+
+#endif // DACSIM_SERVICE_CACHE_H

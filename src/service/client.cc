@@ -1,0 +1,157 @@
+#include "service/client.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "harness/isolation.h"
+
+namespace dacsim::service
+{
+
+namespace
+{
+
+std::int64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+ServiceClient::ServiceClient(std::string socketPath, ClientOptions opt)
+    : path_(std::move(socketPath)), opt_(opt)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+ServiceClient::~ServiceClient()
+{
+    disconnect();
+}
+
+void
+ServiceClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+bool
+ServiceClient::ensureConnected(std::int64_t deadline, std::string *error)
+{
+    if (fd_ >= 0)
+        return true;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof addr.sun_path) {
+        if (error)
+            *error = "socket path too long: " + path_;
+        return false;
+    }
+    std::strncpy(addr.sun_path, path_.c_str(), sizeof addr.sun_path - 1);
+    for (;;) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd >= 0 &&
+            ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) == 0) {
+            fd_ = fd;
+            buf_.clear();
+            return true;
+        }
+        const int err = errno;
+        if (fd >= 0)
+            ::close(fd);
+        if (nowMs() >= deadline) {
+            if (error)
+                *error = "cannot reach dacsimd at " + path_ + ": " +
+                         std::strerror(err);
+            return false;
+        }
+        // The daemon may be restarting (kill/resume tests do exactly
+        // this): wait and retry until the deadline.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opt_.reconnectDelayMs));
+    }
+}
+
+bool
+ServiceClient::call(const JobRequest &rq, JobResponse *rs,
+                    std::string *error)
+{
+    const std::int64_t deadline = nowMs() + opt_.deadlineMs;
+    const std::string wire = frameMessage(encodeRequest(rq));
+    int resubmits = 0;
+    for (;;) {
+        if (!ensureConnected(deadline, error))
+            return false;
+        writeAll(fd_, wire);
+        // Block for one complete response frame; EOF or garbage means
+        // the daemon died (or restarted) mid-job — reconnect and
+        // resubmit the identical, idempotent request.
+        bool streamDead = false;
+        for (;;) {
+            std::string payload, detail;
+            const FrameStatus st = popFrame(&buf_, &payload, &detail);
+            if (st == FrameStatus::Ok) {
+                JobResponse got;
+                if (!decodeResponse(payload, &got)) {
+                    streamDead = true;
+                    break;
+                }
+                if (!got.ok && got.retryable &&
+                    resubmits < opt_.maxResubmits) {
+                    ++resubmits;
+                    streamDead = false;
+                    // Same connection, fresh submission: the daemon's
+                    // chaos/flake sequence advances, so this converges.
+                    writeAll(fd_, wire);
+                    continue;
+                }
+                *rs = got;
+                return true;
+            }
+            if (st != FrameStatus::NeedMore) {
+                streamDead = true;
+                break;
+            }
+            char tmp[4096];
+            const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+            if (n > 0) {
+                buf_.append(tmp, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            streamDead = true;
+            break;
+        }
+        if (streamDead) {
+            disconnect();
+            if (nowMs() >= deadline) {
+                if (error)
+                    *error = "dacsimd at " + path_ +
+                             " keeps dropping the connection";
+                return false;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opt_.reconnectDelayMs));
+        }
+    }
+}
+
+} // namespace dacsim::service

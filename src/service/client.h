@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Thin blocking client of the dacsimd service (DESIGN.md §14.5).
+ *
+ * call() frames and sends one job request and blocks for its
+ * response. The client is the resilient half of the protocol: when
+ * the daemon dies mid-job (connection refused, EOF before the
+ * response, a framing error), it reconnects with backoff — waiting
+ * out a daemon restart — and resubmits the identical request. That is
+ * always safe: requests are idempotent by construction (the daemon
+ * content-addresses them), so a resubmission either joins the
+ * in-flight job, hits the cache, or re-runs deterministically.
+ */
+
+#ifndef DACSIM_SERVICE_CLIENT_H
+#define DACSIM_SERVICE_CLIENT_H
+
+#include <string>
+
+#include "service/codec.h"
+
+namespace dacsim::service
+{
+
+struct ClientOptions
+{
+    /** Total budget for one call(), reconnects included. */
+    int deadlineMs = 120000;
+    /** Delay between reconnect attempts. */
+    int reconnectDelayMs = 100;
+    /** Resubmissions when the daemon reports a retryable failure
+     * (host-side flake that exhausted the daemon's own retries). */
+    int maxResubmits = 5;
+};
+
+class ServiceClient
+{
+  public:
+    explicit ServiceClient(std::string socketPath,
+                           ClientOptions opt = ClientOptions{});
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /**
+     * Submit @p rq and block for its response. True with *rs filled —
+     * including ok == false responses carrying a structured error.
+     * False with *error set only when the service stays unreachable
+     * past the deadline or speaks an unintelligible protocol.
+     */
+    bool call(const JobRequest &rq, JobResponse *rs, std::string *error);
+
+  private:
+    bool ensureConnected(std::int64_t deadline, std::string *error);
+    void disconnect();
+
+    std::string path_;
+    ClientOptions opt_;
+    int fd_ = -1;
+    std::string buf_;
+};
+
+} // namespace dacsim::service
+
+#endif // DACSIM_SERVICE_CLIENT_H

@@ -1,0 +1,258 @@
+#include "service/codec.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/snapshot.h"
+#include "harness/journal.h"
+
+namespace dacsim::service
+{
+
+namespace
+{
+
+void
+putU32(std::string *out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getU32(const std::string &s, std::size_t off)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(s[off + i]))
+             << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::string
+frameMessage(const std::string &payload)
+{
+    std::string out;
+    out.reserve(12 + payload.size());
+    putU32(&out, frameMagic);
+    putU32(&out, static_cast<std::uint32_t>(payload.size()));
+    putU32(&out, crc32(payload.data(), payload.size()));
+    out += payload;
+    return out;
+}
+
+const char *
+frameStatusName(FrameStatus s)
+{
+    switch (s) {
+      case FrameStatus::Ok: return "ok";
+      case FrameStatus::NeedMore: return "need-more";
+      case FrameStatus::BadMagic: return "bad-magic";
+      case FrameStatus::Oversized: return "oversized";
+      case FrameStatus::BadCrc: return "bad-crc";
+    }
+    return "?";
+}
+
+FrameStatus
+popFrame(std::string *buf, std::string *payload, std::string *detail)
+{
+    if (buf->size() < 12)
+        return FrameStatus::NeedMore;
+    const std::uint32_t magic = getU32(*buf, 0);
+    if (magic != frameMagic) {
+        if (detail) {
+            std::ostringstream os;
+            os << "bad frame magic 0x" << std::hex << magic
+               << " (stream out of sync)";
+            *detail = os.str();
+        }
+        return FrameStatus::BadMagic;
+    }
+    const std::uint32_t len = getU32(*buf, 4);
+    if (len > maxFramePayload) {
+        if (detail) {
+            std::ostringstream os;
+            os << "oversized frame: " << len << " bytes (limit "
+               << maxFramePayload << ")";
+            *detail = os.str();
+        }
+        return FrameStatus::Oversized;
+    }
+    if (buf->size() < 12 + static_cast<std::size_t>(len))
+        return FrameStatus::NeedMore;
+    const std::uint32_t want = getU32(*buf, 8);
+    const std::uint32_t got = crc32(buf->data() + 12, len);
+    if (want != got) {
+        if (detail) {
+            std::ostringstream os;
+            os << "frame CRC mismatch (header " << std::hex << want
+               << ", payload " << got << ")";
+            *detail = os.str();
+        }
+        return FrameStatus::BadCrc;
+    }
+    *payload = buf->substr(12, len);
+    buf->erase(0, 12 + static_cast<std::size_t>(len));
+    return FrameStatus::Ok;
+}
+
+// ----- job request --------------------------------------------------------
+
+double
+JobRequest::scale() const
+{
+    double d = 0;
+    static_assert(sizeof d == sizeof scaleBits);
+    std::memcpy(&d, &scaleBits, sizeof d);
+    return d;
+}
+
+void
+JobRequest::setScale(double s)
+{
+    std::memcpy(&scaleBits, &s, sizeof scaleBits);
+}
+
+bool
+techniqueFromName(const std::string &name, Technique *t)
+{
+    for (Technique cand : {Technique::Baseline, Technique::Cae,
+                           Technique::Mta, Technique::Dac}) {
+        if (name == techniqueName(cand)) {
+            *t = cand;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+encodeRequest(const JobRequest &rq)
+{
+    std::ostringstream os;
+    os << "q1 id=" << rq.id << " bench=" << journalEscape(rq.bench)
+       << " tech=" << techniqueName(rq.tech) << " scale=" << std::hex
+       << rq.scaleBits << std::dec
+       << " faults=" << journalEscape(rq.faultSpec);
+    return os.str();
+}
+
+bool
+decodeRequest(const std::string &payload, JobRequest *rq,
+              std::string *error)
+{
+    auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    std::istringstream is(payload);
+    std::string tag;
+    if (!(is >> tag) || tag != "q1")
+        return fail("unknown request tag (expected q1)");
+    JobRequest o;
+    bool haveBench = false, haveTech = false;
+    std::string tok;
+    try {
+        while (is >> tok) {
+            const std::size_t eq = tok.find('=');
+            if (eq == std::string::npos)
+                return fail("malformed request field '" + tok + "'");
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            if (key == "id") {
+                o.id = std::stoull(val);
+            } else if (key == "bench") {
+                o.bench = journalUnescape(val);
+                haveBench = true;
+            } else if (key == "tech") {
+                if (!techniqueFromName(val, &o.tech))
+                    return fail("unknown technique '" + val + "'");
+                haveTech = true;
+            } else if (key == "scale") {
+                o.scaleBits = std::stoull(val, nullptr, 16);
+            } else if (key == "faults") {
+                o.faultSpec = journalUnescape(val);
+            } else {
+                return fail("unknown request key '" + key + "'");
+            }
+        }
+    } catch (const std::exception &) {
+        return fail("non-numeric value in request field '" + tok + "'");
+    }
+    if (!haveBench || o.bench.empty())
+        return fail("request names no benchmark");
+    if (!haveTech)
+        return fail("request names no technique");
+    const double s = o.scale();
+    if (!(s > 0.0) || s > 64.0)
+        return fail("request scale out of range");
+    *rq = std::move(o);
+    return true;
+}
+
+// ----- job response -------------------------------------------------------
+
+std::string
+encodeResponse(const JobResponse &rs)
+{
+    std::ostringstream os;
+    os << "p1 id=" << rs.id << " ok=" << (rs.ok ? 1 : 0)
+       << " cached=" << (rs.cached ? 1 : 0) << " att=" << rs.attempts
+       << " rt=" << (rs.retryable ? 1 : 0)
+       << " err=" << journalEscape(rs.errorJson)
+       << " o=" << journalEscape(encodeOutcome(rs.outcome));
+    return os.str();
+}
+
+bool
+decodeResponse(const std::string &payload, JobResponse *rs)
+{
+    std::istringstream is(payload);
+    std::string tag;
+    if (!(is >> tag) || tag != "p1")
+        return false;
+    JobResponse o;
+    bool haveOutcome = false;
+    std::string tok;
+    try {
+        while (is >> tok) {
+            const std::size_t eq = tok.find('=');
+            if (eq == std::string::npos)
+                return false;
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            if (key == "id") {
+                o.id = std::stoull(val);
+            } else if (key == "ok") {
+                o.ok = val == "1";
+            } else if (key == "cached") {
+                o.cached = val == "1";
+            } else if (key == "att") {
+                o.attempts = std::stoi(val);
+            } else if (key == "rt") {
+                o.retryable = val == "1";
+            } else if (key == "err") {
+                o.errorJson = journalUnescape(val);
+            } else if (key == "o") {
+                if (!decodeOutcome(journalUnescape(val), &o.outcome))
+                    return false;
+                haveOutcome = true;
+            } else {
+                return false; // unknown key: different format version
+            }
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    if (!haveOutcome)
+        return false;
+    *rs = std::move(o);
+    return true;
+}
+
+} // namespace dacsim::service

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Wire protocol of the dacsimd simulation service (DESIGN.md §14.2).
+ *
+ * Transport framing is length-prefixed and CRC-protected: every frame
+ * is a 12-byte header (magic, payload length, payload CRC32, all
+ * explicit little-endian) followed by the payload bytes. The decoder
+ * is incremental — feed it whatever the socket delivered and it either
+ * pops one complete verified frame, asks for more bytes, or reports a
+ * structured framing error (bad magic / oversized length / bad CRC).
+ * A framing error means the stream is unsynchronized and the
+ * connection must be dropped; it must never crash the daemon.
+ *
+ * Message payloads reuse the journal text codec (exact, single-line,
+ * percent-escaped fields): requests name a {bench, technique, scale,
+ * faults} job, responses carry either the full encoded RunOutcome —
+ * byte-identical to what a local runWorkload() would have produced —
+ * or a structured error report in the PR-1 JSON schema.
+ */
+
+#ifndef DACSIM_SERVICE_CODEC_H
+#define DACSIM_SERVICE_CODEC_H
+
+#include <cstdint>
+#include <string>
+
+#include "harness/runner.h"
+
+namespace dacsim::service
+{
+
+/** Frame header magic ("DSF1", little-endian on the wire). */
+inline constexpr std::uint32_t frameMagic = 0x31465344u;
+
+/** Hard payload-size ceiling; a length field above this is treated as
+ * stream corruption, not a request to allocate. */
+inline constexpr std::uint32_t maxFramePayload = 1u << 20;
+
+/** Wrap @p payload in a framed message ready for the socket. */
+std::string frameMessage(const std::string &payload);
+
+/** Incremental decode result. */
+enum class FrameStatus
+{
+    Ok,        ///< one frame popped into *payload
+    NeedMore,  ///< the buffer holds only a frame prefix so far
+    BadMagic,  ///< stream out of sync (drop the connection)
+    Oversized, ///< length field exceeds maxFramePayload
+    BadCrc,    ///< payload did not verify against its header CRC
+};
+
+const char *frameStatusName(FrameStatus s);
+
+/**
+ * Try to pop one frame off the front of @p buf (consumed bytes are
+ * erased). On Ok, *payload holds the verified payload. On BadMagic /
+ * Oversized / BadCrc, *detail describes the corruption; the buffer is
+ * left untouched so the caller can log it before closing.
+ */
+FrameStatus popFrame(std::string *buf, std::string *payload,
+                     std::string *detail);
+
+// ----- job request --------------------------------------------------------
+
+/** One simulation job: run @p bench under @p tech at @p scale. */
+struct JobRequest
+{
+    /** Client-chosen correlation id, echoed in the response. */
+    std::uint64_t id = 0;
+    std::string bench;
+    Technique tech = Technique::Baseline;
+    /** Exact bit pattern of the double workload scale (never rounds
+     * through text, so client and server run the identical job). */
+    std::uint64_t scaleBits = 0x3ff0000000000000ull; // 1.0
+    /** Fault-plan spec applied to the run ("": fault-free). */
+    std::string faultSpec;
+
+    double scale() const;
+    void setScale(double s);
+};
+
+std::string encodeRequest(const JobRequest &rq);
+
+/**
+ * Decode and validate a request payload. False on malformed input —
+ * unknown tag or key, non-numeric field, unknown technique or empty
+ * bench — with *error naming the problem (the daemon echoes it in a
+ * structured error response).
+ */
+bool decodeRequest(const std::string &payload, JobRequest *rq,
+                   std::string *error);
+
+/** Technique by its techniqueName() rendering; false when unknown. */
+bool techniqueFromName(const std::string &name, Technique *t);
+
+// ----- job response -------------------------------------------------------
+
+struct JobResponse
+{
+    std::uint64_t id = 0;
+    /** The job completed and outcome is valid; false: errorJson holds
+     * a structured failure report instead. */
+    bool ok = false;
+    /** Served from the result cache without re-simulation. */
+    bool cached = false;
+    /** Attempts the daemon's workers consumed (0 for cache hits). */
+    int attempts = 0;
+    /** The failure was host-side flake (crash/timeout): resubmitting
+     * may succeed. False for deterministic failures (malformed
+     * request, blacklisted job). Meaningful only when ok == false. */
+    bool retryable = false;
+    /** PR-1 schema JSON error report (ok == false). */
+    std::string errorJson;
+    /** The run's outcome, exactly as a local run would return it
+     * (hash chain and obs diagnostics excluded, as in journals). */
+    RunOutcome outcome;
+};
+
+std::string encodeResponse(const JobResponse &rs);
+bool decodeResponse(const std::string &payload, JobResponse *rs);
+
+} // namespace dacsim::service
+
+#endif // DACSIM_SERVICE_CODEC_H

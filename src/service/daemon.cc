@@ -1,0 +1,735 @@
+#include "service/daemon.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "common/env.h"
+#include "common/fault.h"
+#include "common/log.h"
+#include "harness/isolation.h"
+#include "sim/fingerprint.h"
+#include "workloads/workload.h"
+
+namespace dacsim::service
+{
+
+namespace
+{
+
+std::int64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::uint64_t
+fnvMix(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnvMix(std::uint64_t h, std::uint64_t v)
+{
+    return fnvMix(h, &v, sizeof v);
+}
+
+std::uint64_t
+fnvMix(std::uint64_t h, const std::string &s)
+{
+    h = fnvMix(h, static_cast<std::uint64_t>(s.size()));
+    return fnvMix(h, s.data(), s.size());
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** PR-1 report-schema JSON for a service-level failure — the same
+ * keys bench_util::reportRun() emits, so one grep covers both. */
+std::string
+failureJson(const std::string &bench, const std::string &tech,
+            const char *kind, const std::string &what)
+{
+    std::ostringstream os;
+    os << "{\"figure\":\"service\",\"bench\":\"" << jsonEscape(bench)
+       << "\",\"tech\":\"" << jsonEscape(tech)
+       << "\",\"status\":\"error\",\"kind\":\"" << kind
+       << "\",\"cycle\":0,\"what\":\"" << jsonEscape(what)
+       << "\",\"fault_seed\":0,\"checkpoint\":\"\","
+          "\"last_hash\":\"0000000000000000\",\"resumed\":false}";
+    return os.str();
+}
+
+RunOptions
+buildRunOptions(const JobRequest &rq)
+{
+    RunOptions opt;
+    opt.tech = rq.tech;
+    opt.scale = rq.scale();
+    if (!rq.faultSpec.empty())
+        opt.faults = FaultPlan::parse(rq.faultSpec);
+    return opt;
+}
+
+} // namespace
+
+// ----- chaos --------------------------------------------------------------
+
+bool
+ChaosSpec::parse(const std::string &spec, ChaosSpec *out,
+                 std::string *error)
+{
+    auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    ChaosSpec o;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t sep = spec.find(',', pos);
+        if (sep == std::string::npos)
+            sep = spec.size();
+        const std::string item = spec.substr(pos, sep - pos);
+        pos = sep + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return fail("malformed chaos item '" + item +
+                        "' (expected key=value)");
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+        char *end = nullptr;
+        if (key == "crash" || key == "timeout") {
+            const double p = std::strtod(val.c_str(), &end);
+            if (end == nullptr || *end != '\0' || !(p >= 0.0) || p > 1.0)
+                return fail("chaos " + key + " must be a probability in "
+                            "[0,1], got '" + val + "'");
+            (key == "crash" ? o.crash : o.timeout) = p;
+        } else if (key == "seed") {
+            o.seed = std::strtoull(val.c_str(), &end, 10);
+            if (end == nullptr || *end != '\0')
+                return fail("chaos seed must be an integer, got '" + val +
+                            "'");
+        } else {
+            return fail("unknown chaos key '" + key +
+                        "' (crash, timeout, seed)");
+        }
+    }
+    if (o.crash + o.timeout > 1.0)
+        return fail("chaos crash+timeout probabilities exceed 1");
+    *out = o;
+    return true;
+}
+
+DaemonOptions
+DaemonOptions::fromEnv()
+{
+    DaemonOptions o;
+    o.socketPath = env().serviceSocket;
+    o.dir = env().serviceDir;
+    o.workers = env().serviceWorkers;
+    o.timeoutMs = env().serviceTimeoutMs;
+    o.maxRetries = env().serviceRetries;
+    if (!env().serviceChaos.empty()) {
+        std::string err;
+        if (!ChaosSpec::parse(env().serviceChaos, &o.chaos, &err))
+            std::fprintf(stderr,
+                         "dacsimd: warning: DACSIM_SERVICE_CHAOS: %s "
+                         "(chaos disabled)\n",
+                         err.c_str());
+    }
+    return o;
+}
+
+// ----- daemon -------------------------------------------------------------
+
+Daemon::Daemon(DaemonOptions opt) : opt_(std::move(opt))
+{
+}
+
+Daemon::~Daemon()
+{
+    stop();
+}
+
+std::uint64_t
+Daemon::kernelFp(const JobRequest &rq)
+{
+    std::ostringstream mk;
+    mk << rq.bench << '|' << std::hex << rq.scaleBits;
+    const std::string memoKey = mk.str();
+    {
+        std::lock_guard<std::mutex> g(stateMu_);
+        auto it = kernelFps_.find(memoKey);
+        if (it != kernelFps_.end())
+            return it->second;
+    }
+    GpuMemory mem;
+    const PreparedWorkload pw =
+        findWorkload(rq.bench).prepare(mem, rq.scale());
+    const std::uint64_t fp = kernelFingerprint(pw.kernel);
+    std::lock_guard<std::mutex> g(stateMu_);
+    kernelFps_[memoKey] = fp;
+    return fp;
+}
+
+std::string
+Daemon::cacheKey(const JobRequest &rq)
+{
+    const RunOptions defaults;
+    std::uint64_t h = 1469598103934665603ull;
+    h = fnvMix(h, configFingerprint(rq.tech, defaults.gpu, defaults.dac,
+                                    defaults.cae, defaults.mta));
+    h = fnvMix(h, kernelFp(rq));
+    h = fnvMix(h, rq.bench);
+    h = fnvMix(h, std::string(techniqueName(rq.tech)));
+    h = fnvMix(h, rq.scaleBits);
+    h = fnvMix(h, rq.faultSpec);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+bool
+Daemon::start(std::string *error)
+{
+    auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    ::signal(SIGPIPE, SIG_IGN);
+    if (opt_.dir.empty())
+        return fail("service state directory not set");
+    ::mkdir(opt_.dir.c_str(), 0755);
+    cache_ = std::make_unique<ResultCache>(opt_.dir + "/cache");
+    queue_ = std::make_unique<DurableQueue>(opt_.dir + "/queue.journal");
+
+    int n = opt_.workers;
+    if (n <= 0)
+        n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0)
+        n = 2;
+    poolQueues_.resize(static_cast<std::size_t>(n));
+
+    // Resume the backlog: every job journalled submitted but never
+    // completed re-enters the pool, exactly as the dead daemon held
+    // it. A job whose result was cached before the kill (killed
+    // between the cache store and the queue's completion record) is
+    // simply marked complete — its next submission is a cache hit.
+    for (const auto &[key, enc] : queue_->pending()) {
+        JobRequest rq;
+        std::string err;
+        if (!decodeRequest(enc, &rq, &err)) {
+            std::fprintf(stderr,
+                         "dacsimd: warning: dropping unreadable backlog "
+                         "entry %s: %s\n",
+                         key.c_str(), err.c_str());
+            queue_->complete(key);
+            continue;
+        }
+        RunOutcome out;
+        {
+            std::lock_guard<std::mutex> g(cacheMu_);
+            if (cache_->lookup(key, &out)) {
+                queue_->complete(key);
+                continue;
+            }
+        }
+        {
+            std::lock_guard<std::mutex> g(stateMu_);
+            inflight_[key] = std::make_shared<Inflight>();
+        }
+        counters_.resumed.fetch_add(1);
+        submitToPool(PoolJob{key, rq});
+    }
+
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back(&Daemon::workerLoop, this, i);
+
+    if (opt_.socketPath.empty())
+        return true; // worker-pool-only mode (tests drive handle())
+    if (opt_.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+        return fail("socket path too long: " + opt_.socketPath);
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return fail(std::string("socket: ") + std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opt_.socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(opt_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        return fail("bind " + opt_.socketPath + ": " +
+                    std::strerror(errno));
+    if (::listen(listenFd_, 64) != 0)
+        return fail(std::string("listen: ") + std::strerror(errno));
+    return true;
+}
+
+bool
+Daemon::idle()
+{
+    if (activeConns_.load() != 0)
+        return false;
+    {
+        std::lock_guard<std::mutex> g(stateMu_);
+        if (!inflight_.empty())
+            return false;
+    }
+    std::lock_guard<std::mutex> g(poolMu_);
+    for (const auto &q : poolQueues_)
+        if (!q.empty())
+            return false;
+    return true;
+}
+
+void
+Daemon::serve()
+{
+    lastActivityMs_.store(nowMs());
+    while (!stopping_.load()) {
+        struct pollfd pfd = {listenFd_, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 100);
+        if (pr > 0 && (pfd.revents & POLLIN) != 0) {
+            const int cfd = ::accept(listenFd_, nullptr, nullptr);
+            if (cfd >= 0) {
+                lastActivityMs_.store(nowMs());
+                activeConns_.fetch_add(1);
+                std::lock_guard<std::mutex> g(connMu_);
+                connFds_.push_back(cfd);
+                connThreads_.emplace_back(&Daemon::connectionLoop, this,
+                                          cfd);
+            }
+        }
+        if (opt_.idleExitMs > 0 && idle() &&
+            nowMs() - lastActivityMs_.load() > opt_.idleExitMs)
+            break;
+    }
+    stop();
+    std::printf("%s\n", summaryLine().c_str());
+    std::fflush(stdout);
+}
+
+void
+Daemon::stop()
+{
+    stopping_.store(true);
+    poolCv_.notify_all();
+    stateCv_.notify_all();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    {
+        std::lock_guard<std::mutex> g(connMu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+    workers_.clear();
+    // Connection threads remove themselves from connFds_; joining
+    // under connMu_ would deadlock, so swap the list out first.
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> g(connMu_);
+        conns.swap(connThreads_);
+    }
+    for (std::thread &t : conns)
+        if (t.joinable())
+            t.join();
+}
+
+void
+Daemon::submitToPool(PoolJob job)
+{
+    {
+        std::lock_guard<std::mutex> g(poolMu_);
+        poolQueues_[poolNext_++ % poolQueues_.size()].push_back(
+            std::move(job));
+    }
+    poolCv_.notify_all();
+}
+
+void
+Daemon::workerLoop(int self)
+{
+    const auto idx = static_cast<std::size_t>(self);
+    for (;;) {
+        PoolJob job;
+        bool have = false;
+        {
+            std::unique_lock<std::mutex> lk(poolMu_);
+            poolCv_.wait(lk, [&] {
+                if (stopping_.load())
+                    return true;
+                for (const auto &q : poolQueues_)
+                    if (!q.empty())
+                        return true;
+                return false;
+            });
+            if (!poolQueues_[idx].empty()) {
+                job = std::move(poolQueues_[idx].front());
+                poolQueues_[idx].pop_front();
+                have = true;
+            } else {
+                // Steal from the busiest sibling's tail.
+                for (std::size_t j = 0; j < poolQueues_.size(); ++j) {
+                    if (j == idx || poolQueues_[j].empty())
+                        continue;
+                    job = std::move(poolQueues_[j].back());
+                    poolQueues_[j].pop_back();
+                    have = true;
+                    break;
+                }
+            }
+            if (!have && stopping_.load())
+                return;
+        }
+        if (!have)
+            continue;
+        finishJob(job.key, job.rq, runJob(job.key, job.rq));
+    }
+}
+
+JobResponse
+Daemon::runJob(const std::string &key, const JobRequest &rq)
+{
+    JobResponse rs;
+    rs.id = rq.id;
+    const RunOptions ro = buildRunOptions(rq); // validated in handle()
+    const char *lastKind = "crash";
+    std::string lastDetail;
+
+    RetryPolicy policy;
+    policy.maxRetries = opt_.maxRetries;
+    rs.attempts = retryWithBackoff(policy, [&] {
+        int chaosMode = 0; // 0 clean, 1 injected crash, 2 injected hang
+        if (opt_.chaos.enabled()) {
+            int seqNo;
+            {
+                std::lock_guard<std::mutex> g(stateMu_);
+                seqNo = chaosAttempts_[key]++;
+            }
+            const std::uint64_t h = fnvMix(
+                fnvMix(fnvMix(1469598103934665603ull, opt_.chaos.seed),
+                       key),
+                static_cast<std::uint64_t>(seqNo));
+            const double u =
+                static_cast<double>(h >> 11) / 9007199254740992.0;
+            if (u < opt_.chaos.crash)
+                chaosMode = 1;
+            else if (u < opt_.chaos.crash + opt_.chaos.timeout)
+                chaosMode = 2;
+        }
+        IsolationOptions iso;
+        iso.subject = "job";
+        iso.timeoutMs = opt_.timeoutMs;
+        if (chaosMode == 2 && iso.timeoutMs > 200)
+            iso.timeoutMs = 200; // hang fast: the kill is the point
+        const ChildResult cr = runForkIsolated(
+            [&](int fd) {
+                if (chaosMode == 1)
+                    std::_Exit(86); // injected crash: no verdict written
+                if (chaosMode == 2)
+                    for (;;) // injected hang: the watchdog SIGKILLs us
+                        ::poll(nullptr, 0, 1000);
+                const RunOutcome out = runWorkload(rq.bench, ro);
+                writeAll(fd, encodeOutcome(out));
+                std::_Exit(0);
+            },
+            iso);
+        switch (cr.outcome) {
+          case ChildOutcome::HostFail:
+            lastKind = "crash";
+            lastDetail = cr.error;
+            counters_.crashes.fetch_add(1);
+            return false;
+          case ChildOutcome::Timeout:
+            lastKind = "timeout";
+            lastDetail = watchdogDetail(iso);
+            counters_.timeouts.fetch_add(1);
+            return false;
+          case ChildOutcome::Finished:
+            break;
+        }
+        RunOutcome out;
+        if (cr.cleanExit() && decodeOutcome(cr.output, &out)) {
+            rs.ok = true;
+            rs.outcome = std::move(out);
+            return true;
+        }
+        lastKind = "crash";
+        lastDetail = cr.cleanExit()
+                         ? std::string("child returned an undecodable "
+                                       "verdict")
+                         : cr.exitDetail();
+        counters_.crashes.fetch_add(1);
+        return false;
+    });
+    counters_.retries.fetch_add(
+        static_cast<std::uint64_t>(rs.attempts - 1));
+    if (!rs.ok) {
+        rs.retryable = true;
+        rs.errorJson = failureJson(rq.bench, techniqueName(rq.tech),
+                                   lastKind, lastDetail);
+    }
+    return rs;
+}
+
+void
+Daemon::finishJob(const std::string &key, const JobRequest &rq,
+                  JobResponse rs)
+{
+    if (rs.ok) {
+        Provenance prov;
+        prov.bench = rq.bench;
+        prov.tech = techniqueName(rq.tech);
+        const RunOptions defaults;
+        prov.configFp = configFingerprint(rq.tech, defaults.gpu,
+                                          defaults.dac, defaults.cae,
+                                          defaults.mta);
+        prov.kernelFp = kernelFp(rq);
+        prov.attempts = rs.attempts;
+        prov.producer = "dacsimd pid " + std::to_string(::getpid());
+        std::lock_guard<std::mutex> g(cacheMu_);
+        cache_->store(key, rs.outcome, prov);
+    }
+    queue_->complete(key);
+    if (rs.ok) {
+        const std::uint64_t sims = counters_.sims.fetch_add(1) + 1;
+        // The kill -9 stand-in: result cached and journalled complete,
+        // but the response never reaches the client — it must
+        // reconnect, resubmit, and hit the cache.
+        if (opt_.abortAfter > 0 &&
+            sims >= static_cast<std::uint64_t>(opt_.abortAfter))
+            std::_Exit(3);
+    } else {
+        std::lock_guard<std::mutex> g(stateMu_);
+        if (++crashCounts_[key] >= opt_.crashLimit)
+            blacklistJson_[key] = rs.errorJson;
+    }
+    {
+        std::lock_guard<std::mutex> g(stateMu_);
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            it->second->rs = std::move(rs);
+            it->second->done = true;
+            inflight_.erase(it);
+        }
+    }
+    stateCv_.notify_all();
+    lastActivityMs_.store(nowMs());
+}
+
+JobResponse
+Daemon::handle(const JobRequest &rq)
+{
+    counters_.jobs.fetch_add(1);
+    lastActivityMs_.store(nowMs());
+    JobResponse rs;
+    rs.id = rq.id;
+
+    // Validate what the codec cannot: the benchmark must exist and the
+    // fault spec must parse. Both fail as structured errors.
+    try {
+        findWorkload(rq.bench);
+        if (!rq.faultSpec.empty())
+            FaultPlan::parse(rq.faultSpec);
+    } catch (const FatalError &e) {
+        counters_.badRequests.fetch_add(1);
+        rs.ok = false;
+        rs.retryable = false;
+        rs.errorJson = failureJson(rq.bench, techniqueName(rq.tech),
+                                   "bad-request", e.what());
+        return rs;
+    }
+
+    const std::string key = cacheKey(rq);
+    {
+        std::lock_guard<std::mutex> g(cacheMu_);
+        RunOutcome out;
+        if (cache_->lookup(key, &out)) {
+            counters_.cacheHits.fetch_add(1);
+            rs.ok = true;
+            rs.cached = true;
+            rs.outcome = std::move(out);
+            return rs;
+        }
+    }
+
+    std::shared_ptr<Inflight> entry;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> g(stateMu_);
+        auto bl = blacklistJson_.find(key);
+        if (bl != blacklistJson_.end()) {
+            counters_.blacklisted.fetch_add(1);
+            rs.ok = false;
+            rs.retryable = false;
+            rs.errorJson = bl->second;
+            return rs;
+        }
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            entry = it->second;
+            counters_.dedup.fetch_add(1);
+        } else {
+            entry = std::make_shared<Inflight>();
+            inflight_[key] = entry;
+            owner = true;
+        }
+    }
+    if (owner) {
+        queue_->submit(key, encodeRequest(rq));
+        submitToPool(PoolJob{key, rq});
+    }
+    {
+        std::unique_lock<std::mutex> lk(stateMu_);
+        stateCv_.wait(lk, [&] { return entry->done || stopping_.load(); });
+        if (!entry->done) {
+            rs.ok = false;
+            rs.retryable = true;
+            rs.errorJson =
+                failureJson(rq.bench, techniqueName(rq.tech), "shutdown",
+                            "daemon stopped before the job completed");
+            return rs;
+        }
+        rs = entry->rs;
+    }
+    rs.id = rq.id;
+    return rs;
+}
+
+void
+Daemon::connectionLoop(int fd)
+{
+    std::string buf;
+    char tmp[4096];
+    bool open = true;
+    while (open && !stopping_.load()) {
+        const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+        if (n == 0)
+            break;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        buf.append(tmp, static_cast<std::size_t>(n));
+        lastActivityMs_.store(nowMs());
+        while (open) {
+            std::string payload, detail;
+            const FrameStatus st = popFrame(&buf, &payload, &detail);
+            if (st == FrameStatus::NeedMore)
+                break;
+            if (st != FrameStatus::Ok) {
+                // The stream is unsynchronized: answer with a
+                // structured framing error, then drop the connection
+                // (no correlation id can be trusted).
+                counters_.badRequests.fetch_add(1);
+                JobResponse rs;
+                rs.ok = false;
+                rs.retryable = false;
+                rs.errorJson = failureJson(
+                    "?", "?", "bad-frame",
+                    std::string(frameStatusName(st)) + ": " + detail);
+                writeAll(fd, frameMessage(encodeResponse(rs)));
+                open = false;
+                break;
+            }
+            JobRequest rq;
+            std::string err;
+            if (!decodeRequest(payload, &rq, &err)) {
+                counters_.badRequests.fetch_add(1);
+                JobResponse rs;
+                rs.ok = false;
+                rs.retryable = false;
+                rs.errorJson = failureJson("?", "?", "bad-request", err);
+                writeAll(fd, frameMessage(encodeResponse(rs)));
+                continue; // framing is intact: keep the connection
+            }
+            JobResponse rs = handle(rq);
+            rs.id = rq.id;
+            writeAll(fd, frameMessage(encodeResponse(rs)));
+        }
+    }
+    ::close(fd);
+    {
+        std::lock_guard<std::mutex> g(connMu_);
+        for (auto it = connFds_.begin(); it != connFds_.end(); ++it)
+            if (*it == fd) {
+                connFds_.erase(it);
+                break;
+            }
+    }
+    activeConns_.fetch_sub(1);
+    lastActivityMs_.store(nowMs());
+}
+
+std::string
+Daemon::summaryLine() const
+{
+    std::ostringstream os;
+    os << "dacsimd: jobs=" << counters_.jobs.load()
+       << " sims=" << counters_.sims.load()
+       << " cache_hits=" << counters_.cacheHits.load()
+       << " dedup=" << counters_.dedup.load()
+       << " retries=" << counters_.retries.load()
+       << " crashes=" << counters_.crashes.load()
+       << " timeouts=" << counters_.timeouts.load()
+       << " blacklisted=" << counters_.blacklisted.load()
+       << " bad_requests=" << counters_.badRequests.load()
+       << " resumed=" << counters_.resumed.load() << " quarantined="
+       << (cache_ ? cache_->quarantined() : 0);
+    return os.str();
+}
+
+} // namespace dacsim::service

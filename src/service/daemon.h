@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The dacsimd simulation-service daemon (DESIGN.md §14).
+ *
+ * A long-lived process owning a unix-domain socket: clients submit
+ * {benchmark, technique, scale, faults} jobs (service/codec.h) and
+ * stream back the run's statistics and checksums, byte-identical to
+ * what a local runWorkload() would have produced. Each job executes in
+ * a fork-isolated worker child (harness/isolation.h) under a
+ * poll-deadline SIGKILL watchdog, drawn from a work-stealing pool;
+ * host-side flake (a crashed or hung child) is retried with
+ * exponential backoff, deterministic failures are reported as
+ * structured errors.
+ *
+ * Robustness machinery:
+ *  - content-addressed result cache keyed on the configuration
+ *    fingerprint + kernel hash (service/cache.h): resubmitting a
+ *    completed job is a CRC-verified cache hit, never a re-simulation;
+ *  - durable queue (service/queue.h): a daemon killed with -9 reopens
+ *    its journal and resumes exactly the outstanding backlog;
+ *  - in-flight dedup: identical concurrent submissions share one
+ *    simulation;
+ *  - crash blacklist: a job that keeps failing after its retry budget
+ *    is served its structured error instead of burning workers;
+ *  - chaos harness: deterministic injected crashes/timeouts
+ *    (ChaosSpec) so tests and scripts/check.sh can drive the whole
+ *    failure surface on demand.
+ */
+
+#ifndef DACSIM_SERVICE_DAEMON_H
+#define DACSIM_SERVICE_DAEMON_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.h"
+#include "service/codec.h"
+#include "service/queue.h"
+
+namespace dacsim::service
+{
+
+/**
+ * Deterministic fault injection for the service layer itself: with
+ * probability @p crash an attempt's child aborts before reporting,
+ * with probability @p timeout it hangs until the watchdog SIGKILLs
+ * it. Decisions are a pure hash of (seed, job key, attempt index), so
+ * a chaos run is reproducible and every job still eventually succeeds
+ * under retry — the injected failures delay results, never change
+ * them.
+ */
+struct ChaosSpec
+{
+    double crash = 0.0;
+    double timeout = 0.0;
+    std::uint64_t seed = 0;
+
+    bool enabled() const { return crash > 0.0 || timeout > 0.0; }
+
+    /** Parse "crash=0.2,timeout=0.05,seed=7" (any subset of keys).
+     * False with *error set on malformed input. */
+    static bool parse(const std::string &spec, ChaosSpec *out,
+                      std::string *error);
+};
+
+struct DaemonOptions
+{
+    /** Unix-domain socket path the daemon listens on. */
+    std::string socketPath;
+    /** State directory: result cache entries + the durable queue
+     * journal live here. */
+    std::string dir;
+    /** Worker pool size (0: hardware concurrency). */
+    int workers = 0;
+    /** Per-job watchdog deadline before the child is SIGKILLed. */
+    int timeoutMs = 60000;
+    /** Retries after a host-side flake (crashed/hung child). */
+    int maxRetries = 2;
+    /** Deterministic failures per job before it is blacklisted. */
+    int crashLimit = 3;
+    ChaosSpec chaos;
+    /** Test knob (0: off): _Exit(3) — a kill -9 stand-in, skipping
+     * every destructor and un-sent response — after n fresh
+     * simulations have been cached and journalled complete. */
+    long abortAfter = 0;
+    /** serve() returns after this long with no connections and no
+     * outstanding work (0: serve until stop()). */
+    int idleExitMs = 0;
+
+    /** Service knobs from the DACSIM_SERVICE_* registry folded into
+     * the defaults (socketPath/dir from SOCKET/DIR, etc.). */
+    static DaemonOptions fromEnv();
+};
+
+struct DaemonCounters
+{
+    std::atomic<std::uint64_t> jobs{0};       ///< requests handled
+    std::atomic<std::uint64_t> sims{0};       ///< fresh simulations run
+    std::atomic<std::uint64_t> cacheHits{0};  ///< served from the cache
+    std::atomic<std::uint64_t> dedup{0};      ///< joined an in-flight job
+    std::atomic<std::uint64_t> retries{0};    ///< attempts beyond the first
+    std::atomic<std::uint64_t> crashes{0};    ///< child crash attempts seen
+    std::atomic<std::uint64_t> timeouts{0};   ///< watchdog kills seen
+    std::atomic<std::uint64_t> blacklisted{0};///< served the crash blacklist
+    std::atomic<std::uint64_t> badRequests{0};///< malformed frames/requests
+    std::atomic<std::uint64_t> resumed{0};    ///< backlog jobs from the queue
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions opt);
+    ~Daemon();
+
+    /** Bind the socket, reopen cache + queue, resume the backlog, and
+     * start the worker pool. False with *error set on failure. */
+    bool start(std::string *error);
+
+    /** Accept-and-serve loop; returns after stop() or the idle-exit
+     * deadline. Prints the counters summary line on return. */
+    void serve();
+
+    /** Unblock serve() and join every worker/connection thread. */
+    void stop();
+
+    /** Async-signal-safe stop request (a plain atomic store): serve()
+     * notices within its 100 ms poll tick and shuts down cleanly. */
+    void requestStop() { stopping_.store(true); }
+
+    /**
+     * The complete request pipeline for one job — cache, blacklist,
+     * dedup, durable queue, worker pool — without a socket. serve()'s
+     * connection threads call this; tests drive it directly.
+     */
+    JobResponse handle(const JobRequest &rq);
+
+    const DaemonCounters &counters() const { return counters_; }
+
+    /** "dacsimd: jobs=... sims=... cache_hits=..." (one line). */
+    std::string summaryLine() const;
+
+    /** Compute the job's content-address (cache key) — a pure
+     * function of config fingerprint, kernel hash, technique, exact
+     * scale bits, and fault spec. Exposed for tests. */
+    std::string cacheKey(const JobRequest &rq);
+
+  private:
+    struct Inflight
+    {
+        bool done = false;
+        JobResponse rs;
+    };
+    struct PoolJob
+    {
+        std::string key;
+        JobRequest rq;
+    };
+
+    JobResponse runJob(const std::string &key, const JobRequest &rq);
+    void finishJob(const std::string &key, const JobRequest &rq,
+                   JobResponse rs);
+    void workerLoop(int self);
+    void connectionLoop(int fd);
+    void submitToPool(PoolJob job);
+    bool idle();
+    std::uint64_t kernelFp(const JobRequest &rq);
+
+    DaemonOptions opt_;
+    DaemonCounters counters_;
+    std::unique_ptr<ResultCache> cache_;
+    std::unique_ptr<DurableQueue> queue_;
+    std::mutex cacheMu_;
+
+    // Job state: in-flight dedup table, crash blacklist, chaos attempt
+    // sequence numbers, memoized kernel fingerprints.
+    std::mutex stateMu_;
+    std::condition_variable stateCv_;
+    std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+    std::map<std::string, int> crashCounts_;
+    std::map<std::string, std::string> blacklistJson_;
+    std::map<std::string, int> chaosAttempts_;
+    std::map<std::string, std::uint64_t> kernelFps_;
+
+    // Work-stealing pool: one deque per worker, round-robin submit;
+    // an idle worker drains its own deque front-first, then steals
+    // from the back of its siblings'.
+    std::mutex poolMu_;
+    std::condition_variable poolCv_;
+    std::vector<std::deque<PoolJob>> poolQueues_;
+    std::size_t poolNext_ = 0;
+    std::vector<std::thread> workers_;
+
+    // Socket plumbing.
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::mutex connMu_;
+    std::vector<int> connFds_;
+    std::vector<std::thread> connThreads_;
+    std::atomic<int> activeConns_{0};
+    std::atomic<std::int64_t> lastActivityMs_{0};
+};
+
+} // namespace dacsim::service
+
+#endif // DACSIM_SERVICE_DAEMON_H

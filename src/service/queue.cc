@@ -1,0 +1,34 @@
+#include "service/queue.h"
+
+namespace dacsim::service
+{
+
+DurableQueue::DurableQueue(const std::string &path) : journal_(path, "Q1")
+{
+}
+
+void
+DurableQueue::submit(const std::string &key,
+                     const std::string &encodedRequest)
+{
+    journal_.record(key, "p " + journalEscape(encodedRequest));
+}
+
+void
+DurableQueue::complete(const std::string &key)
+{
+    journal_.record(key, "d");
+}
+
+std::vector<std::pair<std::string, std::string>>
+DurableQueue::pending() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    journal_.forEach([&](const std::string &key, const std::string &payload) {
+        if (payload.size() >= 2 && payload[0] == 'p' && payload[1] == ' ')
+            out.emplace_back(key, journalUnescape(payload.substr(2)));
+    });
+    return out;
+}
+
+} // namespace dacsim::service

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Durable job queue of the dacsimd daemon (DESIGN.md §14.4).
+ *
+ * Built on the generic LineJournal (tag "Q1"): submitting a job
+ * appends a pending record carrying the encoded request; completing
+ * it appends a done record for the same key, which wins by the
+ * journal's last-record-wins rule. A daemon killed with outstanding
+ * jobs therefore reopens the journal, reads back exactly the pending
+ * set, and resumes the backlog — and because requests round-trip
+ * byte-exactly through the codec, the resumed jobs are the identical
+ * jobs, not reconstructions.
+ */
+
+#ifndef DACSIM_SERVICE_QUEUE_H
+#define DACSIM_SERVICE_QUEUE_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/journal.h"
+
+namespace dacsim::service
+{
+
+class DurableQueue
+{
+  public:
+    /** Open (and load) the queue journal at @p path. */
+    explicit DurableQueue(const std::string &path);
+
+    /** Journal @p encodedRequest as pending work under @p key. */
+    void submit(const std::string &key, const std::string &encodedRequest);
+
+    /** Journal @p key as done (idempotent). */
+    void complete(const std::string &key);
+
+    /** The backlog: every submitted key not yet completed, in key
+     * order, with its encoded request. */
+    std::vector<std::pair<std::string, std::string>> pending() const;
+
+  private:
+    LineJournal journal_;
+};
+
+} // namespace dacsim::service
+
+#endif // DACSIM_SERVICE_QUEUE_H

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/snapshot.h"
+#include "sim/fingerprint.h"
 #include "sim/gpu.h"
 
 namespace dacsim
@@ -82,9 +83,15 @@ class StateIo
 std::uint64_t
 StateIo::fingerprint(const Gpu &g)
 {
+    return configFingerprint(g.tech_, g.gcfg_, g.dcfg_, g.ccfg_, g.mcfg_);
+}
+
+std::uint64_t
+configFingerprint(Technique tech, const GpuConfig &c, const DacConfig &d,
+                  const CaeConfig &ca, const MtaConfig &m)
+{
     StateHash h;
-    h.fold(static_cast<int>(g.tech_));
-    const GpuConfig &c = g.gcfg_;
+    h.fold(static_cast<int>(tech));
     h.fold(c.numSms);
     h.fold(c.maxWarpsPerSm);
     h.fold(c.lanesPerSm);
@@ -109,8 +116,7 @@ StateIo::fingerprint(const Gpu &g)
     // simCore and hashPerturbCycle are deliberately excluded: both are
     // results-transparent host knobs, so runs differing only in them
     // may exchange snapshots (the bisect harness and the cross-core
-    // resume tests depend on it).
-    const DacConfig &d = g.dcfg_;
+    // resume tests depend on it) and share service cache entries.
     h.fold(d.atqEntries);
     h.fold(d.pwaqEntries);
     h.fold(d.pwpqEntries);
@@ -118,16 +124,34 @@ StateIo::fingerprint(const Gpu &g)
     h.fold(d.maxDivergentConditions);
     h.fold(d.expansionsPerCycle);
     h.fold(d.bugPerturbAffineImm);
-    const CaeConfig &ca = g.ccfg_;
     h.fold(ca.affineUnits);
     h.fold(ca.affineIssueCycles);
-    const MtaConfig &m = g.mcfg_;
     h.fold(m.bufferBytes);
     h.fold(m.tableEntries);
     h.fold(m.trainThreshold);
     h.fold(m.maxDegree);
     h.fold(m.throttleEvictions);
     h.fold(m.throttleWindow);
+    return h.value();
+}
+
+std::uint64_t
+kernelFingerprint(const Kernel &kernel)
+{
+    StateHash h;
+    auto foldString = [&h](const std::string &s) {
+        h.fold(static_cast<std::uint64_t>(s.size()));
+        for (unsigned char c : s)
+            h.fold(static_cast<std::uint64_t>(c));
+    };
+    foldString(kernel.name);
+    h.fold(kernel.numRegs);
+    h.fold(kernel.numPreds);
+    h.fold(kernel.sharedBytes);
+    h.fold(static_cast<std::uint64_t>(kernel.params.size()));
+    for (const std::string &p : kernel.params)
+        foldString(p);
+    foldString(kernel.disassemble());
     return h.value();
 }
 

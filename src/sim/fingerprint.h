@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Public fingerprints of the two identities a simulation result
+ * depends on (DESIGN.md §9, §14): the machine configuration and the
+ * kernel being run. Both are computed by the checkpoint layer
+ * (sim/checkpoint.cc) — the snapshot header has always carried the
+ * configuration fingerprint so incompatible runs never exchange
+ * snapshots; the service's content-addressed result cache keys on the
+ * pair, so a cached result can never be served to a request it does
+ * not answer.
+ */
+
+#ifndef DACSIM_SIM_FINGERPRINT_H
+#define DACSIM_SIM_FINGERPRINT_H
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "isa/instruction.h"
+
+namespace dacsim
+{
+
+/**
+ * FNV-1a digest of every configuration field that changes simulated
+ * results for @p tech. Identical to the fingerprint stored in snapshot
+ * headers; results-transparent host knobs (simCore, hashPerturbCycle)
+ * are deliberately excluded, so runs differing only in them share
+ * snapshots and cache entries.
+ */
+std::uint64_t configFingerprint(Technique tech, const GpuConfig &gpu,
+                                const DacConfig &dac, const CaeConfig &cae,
+                                const MtaConfig &mta);
+
+/** FNV-1a digest of a kernel's complete contents: name, register and
+ * shared-memory requirements, parameter slots, and the disassembly of
+ * every instruction. */
+std::uint64_t kernelFingerprint(const Kernel &kernel);
+
+} // namespace dacsim
+
+#endif // DACSIM_SIM_FINGERPRINT_H

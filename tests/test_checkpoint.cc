@@ -12,11 +12,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "harness/journal.h"
 #include "harness/runner.h"
@@ -425,4 +427,117 @@ TEST(Journal, SurvivesKillAndTornLine)
     j.record("LUD|Dac|2", b);
     SweepJournal reload(path);
     EXPECT_EQ(reload.size(), 3u);
+}
+
+// The exhaustive truncation-recovery regression: a kill mid-write can
+// tear the journal at ANY byte offset. Opening the journal must keep
+// every record whose line survived intact, drop exactly the torn
+// tail, physically truncate it away, and leave the file appendable —
+// at every possible offset, not just the ones earlier tests sampled.
+TEST(Journal, TruncationRecoveryAtEveryByteOffset)
+{
+    TempDir tmp;
+    const std::string full = (tmp.path / "full.journal").string();
+    {
+        LineJournal j(full, "T1");
+        j.record("alpha", "payload one");
+        j.record("beta", "payload two");
+        j.record("gamma", "payload three");
+    }
+    std::string bytes;
+    {
+        std::ifstream in(full, std::ios::binary);
+        bytes.assign((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    }
+    // A record survives a cut iff every byte of its line content is in
+    // the prefix; the trailing '\n' itself is optional (a line that is
+    // complete except for its newline still passes its CRC and is
+    // kept). newlineAt[k] is where record k's line content ends.
+    std::vector<std::size_t> newlineAt;
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        if (bytes[i] == '\n')
+            newlineAt.push_back(i);
+    ASSERT_EQ(newlineAt.size(), 3u);
+    auto intactRecords = [&](std::size_t n) {
+        std::size_t lines = 0;
+        for (std::size_t end : newlineAt)
+            if (n >= end)
+                ++lines;
+        return lines;
+    };
+    const std::string kv[][2] = {
+        {"alpha", "payload one"},
+        {"beta", "payload two"},
+        {"gamma", "payload three"},
+    };
+    for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+        const std::string path =
+            (tmp.path / ("cut" + std::to_string(cut) + ".journal"))
+                .string();
+        {
+            std::ofstream os(path, std::ios::binary | std::ios::trunc);
+            os << bytes.substr(0, cut);
+        }
+        const std::size_t want = intactRecords(cut);
+        {
+            LineJournal j(path, "T1");
+            ASSERT_EQ(j.size(), want) << "cut at byte " << cut;
+            std::string payload;
+            for (std::size_t k = 0; k < want; ++k) {
+                ASSERT_TRUE(j.lookup(kv[k][0], &payload))
+                    << "cut at byte " << cut;
+                EXPECT_EQ(payload, kv[k][1]);
+            }
+            // The torn bytes are physically gone: recovery only ever
+            // shrinks the file, back to the last intact record.
+            const std::size_t keptEnd =
+                want == 0 ? 0 : std::min(cut, newlineAt[want - 1] + 1);
+            EXPECT_LE(fs::file_size(path), keptEnd)
+                << "cut at byte " << cut;
+            // Recovery leaves the journal appendable and re-readable.
+            j.record("delta", "late arrival");
+        }
+        LineJournal reload(path, "T1");
+        EXPECT_EQ(reload.size(), want + 1) << "cut at byte " << cut;
+        std::string payload;
+        ASSERT_TRUE(reload.lookup("delta", &payload));
+        EXPECT_EQ(payload, "late arrival");
+    }
+}
+
+// A final line that is complete except for its newline (the kill hit
+// between the payload and the '\n') is a valid record and must be
+// kept, not dropped.
+TEST(Journal, UnterminatedButIntactFinalLineIsKept)
+{
+    TempDir tmp;
+    const std::string path = (tmp.path / "j.journal").string();
+    std::string bytes;
+    {
+        LineJournal j(path, "T1");
+        j.record("a", "one");
+        j.record("b", "two");
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    }
+    ASSERT_EQ(bytes.back(), '\n');
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << bytes.substr(0, bytes.size() - 1);
+    }
+    {
+        LineJournal j(path, "T1");
+        EXPECT_EQ(j.size(), 2u);
+        std::string payload;
+        ASSERT_TRUE(j.lookup("b", &payload));
+        EXPECT_EQ(payload, "two");
+        j.record("c", "three"); // must start on a fresh line
+    }
+    LineJournal reload(path, "T1");
+    EXPECT_EQ(reload.size(), 3u);
+    std::string payload;
+    ASSERT_TRUE(reload.lookup("c", &payload));
+    EXPECT_EQ(payload, "three");
 }

@@ -133,10 +133,29 @@ TEST(EnvRegistry, FuzzKnobsParse)
     EXPECT_TRUE(warnings.empty());
 }
 
+TEST(EnvRegistry, ServiceKnobsParse)
+{
+    std::vector<std::string> warnings;
+    Env e = parseEnv({{"DACSIM_SERVICE_SOCKET", "/tmp/dacsimd.sock"},
+                      {"DACSIM_SERVICE_DIR", "/tmp/svc"},
+                      {"DACSIM_SERVICE_WORKERS", "4"},
+                      {"DACSIM_SERVICE_TIMEOUT_MS", "2500"},
+                      {"DACSIM_SERVICE_RETRIES", "0"},
+                      {"DACSIM_SERVICE_CHAOS", "crash=0.2,seed=9"}},
+                     &warnings);
+    EXPECT_EQ(e.serviceSocket, "/tmp/dacsimd.sock");
+    EXPECT_EQ(e.serviceDir, "/tmp/svc");
+    EXPECT_EQ(e.serviceWorkers, 4);
+    EXPECT_EQ(e.serviceTimeoutMs, 2500);
+    EXPECT_EQ(e.serviceRetries, 0);
+    EXPECT_EQ(e.serviceChaos, "crash=0.2,seed=9");
+    EXPECT_TRUE(warnings.empty());
+}
+
 TEST(EnvRegistry, HelpTextCoversEveryKnob)
 {
     const std::string help = envHelpText();
-    ASSERT_EQ(envRegistry().size(), 13u);
+    ASSERT_EQ(envRegistry().size(), 19u);
     for (const EnvKnob &k : envRegistry()) {
         EXPECT_NE(help.find(k.name), std::string::npos) << k.name;
         EXPECT_NE(help.find(k.help), std::string::npos) << k.name;

@@ -1,0 +1,837 @@
+/**
+ * @file
+ * Simulation-service tests (DESIGN.md §14): the framed request codec
+ * under malformed input (including the corruption corpus in
+ * tests/corpus/service/), the CRC-verified result cache with
+ * quarantine-on-corruption, the durable queue's kill/restart resume,
+ * the shared fork-isolation primitives, and the daemon's full request
+ * pipeline — caching, in-flight dedup, chaos-injected crash/timeout
+ * retry, crash blacklisting, backlog resume, and the socket loop end
+ * to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <poll.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+#include "harness/isolation.h"
+#include "harness/journal.h"
+#include "harness/runner.h"
+#include "service/cache.h"
+#include "service/client.h"
+#include "service/codec.h"
+#include "service/daemon.h"
+#include "service/queue.h"
+
+namespace fs = std::filesystem;
+using namespace dacsim;
+using namespace dacsim::service;
+
+namespace
+{
+
+/** Per-test scratch directory, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        std::string name = std::string("dacsim_svc_") +
+                           info->test_suite_name() + "_" + info->name();
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        path = fs::temp_directory_path() / name;
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+};
+
+/** A small but real job every daemon test uses. */
+JobRequest
+smallJob(Technique tech = Technique::Baseline)
+{
+    JobRequest rq;
+    rq.id = 1;
+    rq.bench = "BS";
+    rq.tech = tech;
+    rq.setScale(0.05);
+    return rq;
+}
+
+RunOutcome
+directRun(const JobRequest &rq)
+{
+    RunOptions opt;
+    opt.tech = rq.tech;
+    opt.scale = rq.scale();
+    return runWorkload(rq.bench, opt);
+}
+
+DaemonOptions
+poolOnlyOptions(const TempDir &tmp)
+{
+    DaemonOptions opt;
+    opt.dir = (tmp.path / "state").string();
+    opt.workers = 2;
+    opt.timeoutMs = 60000;
+    return opt;
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+writeFile(const fs::path &p, const std::string &s)
+{
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << s;
+}
+
+} // namespace
+
+// ----- frame codec --------------------------------------------------------
+
+TEST(ServiceCodec, FrameRoundTrip)
+{
+    std::string buf = frameMessage("hello service");
+    std::string payload, detail;
+    EXPECT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::Ok);
+    EXPECT_EQ(payload, "hello service");
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(ServiceCodec, FrameDecodesIncrementally)
+{
+    const std::string wire = frameMessage("drip-fed payload");
+    std::string buf, payload, detail;
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+        buf.push_back(wire[i]);
+        EXPECT_EQ(popFrame(&buf, &payload, &detail),
+                  FrameStatus::NeedMore);
+    }
+    buf.push_back(wire.back());
+    EXPECT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::Ok);
+    EXPECT_EQ(payload, "drip-fed payload");
+}
+
+TEST(ServiceCodec, FrameBackToBackMessages)
+{
+    std::string buf = frameMessage("first") + frameMessage("second");
+    std::string payload, detail;
+    EXPECT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::Ok);
+    EXPECT_EQ(payload, "first");
+    EXPECT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::Ok);
+    EXPECT_EQ(payload, "second");
+    EXPECT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::NeedMore);
+}
+
+TEST(ServiceCodec, FrameRejectsBadMagic)
+{
+    std::string buf = "XYZW" + frameMessage("x").substr(4);
+    std::string payload, detail;
+    EXPECT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::BadMagic);
+    EXPECT_NE(detail.find("out of sync"), std::string::npos);
+}
+
+TEST(ServiceCodec, FrameRejectsOversizedLength)
+{
+    // A length field past the ceiling must be reported as corruption,
+    // not used as an allocation size.
+    std::string buf = frameMessage("x");
+    buf[4] = '\xff';
+    buf[5] = '\xff';
+    buf[6] = '\xff';
+    buf[7] = '\xff';
+    std::string payload, detail;
+    EXPECT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::Oversized);
+    EXPECT_NE(detail.find("oversized"), std::string::npos);
+}
+
+TEST(ServiceCodec, FrameRejectsBadCrc)
+{
+    std::string buf = frameMessage("checksummed");
+    buf[buf.size() - 1] ^= 0x20; // corrupt one payload byte
+    std::string payload, detail;
+    EXPECT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::BadCrc);
+    EXPECT_NE(detail.find("CRC"), std::string::npos);
+}
+
+TEST(ServiceCodec, MalformedCorpusNeverCrashes)
+{
+    const fs::path dir = fs::path(DACSIM_CORPUS_DIR) / "service";
+    ASSERT_TRUE(fs::exists(dir));
+    int files = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() != ".bin")
+            continue;
+        ++files;
+        std::string buf = readFile(entry.path());
+        std::string payload, detail;
+        const FrameStatus st = popFrame(&buf, &payload, &detail);
+        // Every corpus file is corrupt or incomplete: the decoder must
+        // return a structured status, never Ok — and never crash.
+        EXPECT_NE(st, FrameStatus::Ok) << entry.path();
+        if (st != FrameStatus::NeedMore) {
+            EXPECT_FALSE(detail.empty()) << entry.path();
+        }
+    }
+    EXPECT_GE(files, 5);
+}
+
+// ----- request / response codec -------------------------------------------
+
+TEST(ServiceCodec, RequestRoundTripIsExact)
+{
+    JobRequest rq;
+    rq.id = 0xdeadbeefcafeull;
+    rq.bench = "FFT";
+    rq.tech = Technique::Dac;
+    rq.setScale(0.3); // no exact binary representation: bits must survive
+    rq.faultSpec = "seed=42;mshr@0-200000:30;jitter@0:400";
+    JobRequest back;
+    std::string err;
+    ASSERT_TRUE(decodeRequest(encodeRequest(rq), &back, &err)) << err;
+    EXPECT_EQ(back.id, rq.id);
+    EXPECT_EQ(back.bench, rq.bench);
+    EXPECT_EQ(back.tech, rq.tech);
+    EXPECT_EQ(back.scaleBits, rq.scaleBits);
+    EXPECT_EQ(back.scale(), 0.3);
+    EXPECT_EQ(back.faultSpec, rq.faultSpec);
+}
+
+TEST(ServiceCodec, RequestRejectsMalformedPayloads)
+{
+    const char *bad[] = {
+        "",                                    // empty
+        "zz id=1 bench=BS tech=dac",           // unknown tag
+        "q1 id=1 tech=dac scale=3ff0000000000000", // no bench
+        "q1 id=1 bench=BS scale=3ff0000000000000", // no technique
+        "q1 id=1 bench=BS tech=warp-drive",    // unknown technique
+        "q1 id=1 bench=BS tech=dac bogus",     // field without '='
+        "q1 id=1 bench=BS tech=dac color=red", // unknown key
+        "q1 id=xyz bench=BS tech=dac",         // non-numeric id
+        "q1 id=1 bench=BS tech=dac scale=zz",  // non-numeric scale
+        "q1 id=1 bench=BS tech=dac scale=0",   // scale == 0
+        "q1 id=1 bench=BS tech=dac scale=7ff0000000000000", // scale inf
+        "q1 id=1 bench= tech=dac",             // empty bench
+    };
+    for (const char *payload : bad) {
+        JobRequest rq;
+        std::string err;
+        EXPECT_FALSE(decodeRequest(payload, &rq, &err)) << payload;
+        EXPECT_FALSE(err.empty()) << payload;
+    }
+}
+
+TEST(ServiceCodec, ResponseRoundTrip)
+{
+    JobResponse rs;
+    rs.id = 77;
+    rs.ok = true;
+    rs.cached = true;
+    rs.attempts = 3;
+    rs.retryable = false;
+    rs.errorJson = "{\"kind\":\"crash\"}";
+    rs.outcome = directRun(smallJob());
+    JobResponse back;
+    ASSERT_TRUE(decodeResponse(encodeResponse(rs), &back));
+    EXPECT_EQ(back.id, rs.id);
+    EXPECT_TRUE(back.ok);
+    EXPECT_TRUE(back.cached);
+    EXPECT_EQ(back.attempts, 3);
+    EXPECT_FALSE(back.retryable);
+    EXPECT_EQ(back.errorJson, rs.errorJson);
+    EXPECT_EQ(encodeOutcome(back.outcome), encodeOutcome(rs.outcome));
+}
+
+TEST(ServiceCodec, ResponseRejectsGarbage)
+{
+    JobResponse rs;
+    EXPECT_FALSE(decodeResponse("", &rs));
+    EXPECT_FALSE(decodeResponse("p1 id=1 ok=1", &rs)); // no outcome
+    EXPECT_FALSE(decodeResponse("p2 id=1", &rs));      // wrong tag
+    EXPECT_FALSE(decodeResponse("p1 id=1 o=garbage", &rs));
+}
+
+// ----- chaos spec ---------------------------------------------------------
+
+TEST(ServiceChaos, ParsesFullSpec)
+{
+    ChaosSpec c;
+    std::string err;
+    ASSERT_TRUE(
+        ChaosSpec::parse("crash=0.2,timeout=0.05,seed=7", &c, &err));
+    EXPECT_DOUBLE_EQ(c.crash, 0.2);
+    EXPECT_DOUBLE_EQ(c.timeout, 0.05);
+    EXPECT_EQ(c.seed, 7u);
+    EXPECT_TRUE(c.enabled());
+}
+
+TEST(ServiceChaos, RejectsMalformedSpecs)
+{
+    const char *bad[] = {"crash", "crash=2", "crash=-1", "crash=x",
+                         "seed=x", "flood=0.5", "crash=0.7,timeout=0.7"};
+    for (const char *spec : bad) {
+        ChaosSpec c;
+        std::string err;
+        EXPECT_FALSE(ChaosSpec::parse(spec, &c, &err)) << spec;
+        EXPECT_FALSE(err.empty()) << spec;
+    }
+}
+
+// ----- result cache -------------------------------------------------------
+
+TEST(ServiceCache, StoreLookupRoundTrip)
+{
+    TempDir tmp;
+    ResultCache cache((tmp.path / "cache").string());
+    const RunOutcome out = directRun(smallJob());
+    Provenance prov;
+    prov.bench = "BS";
+    prov.tech = "dac";
+    prov.configFp = 0x1234;
+    prov.kernelFp = 0x5678;
+    prov.attempts = 2;
+    prov.producer = "test";
+    cache.store("k1", out, prov);
+
+    RunOutcome got;
+    Provenance gotProv;
+    bool quarantined = true;
+    ASSERT_TRUE(cache.lookup("k1", &got, &gotProv, &quarantined));
+    EXPECT_FALSE(quarantined);
+    EXPECT_EQ(encodeOutcome(got), encodeOutcome(out));
+    EXPECT_EQ(gotProv.bench, "BS");
+    EXPECT_EQ(gotProv.tech, "dac");
+    EXPECT_EQ(gotProv.configFp, 0x1234u);
+    EXPECT_EQ(gotProv.kernelFp, 0x5678u);
+    EXPECT_EQ(gotProv.attempts, 2);
+    EXPECT_EQ(gotProv.producer, "test");
+    EXPECT_EQ(cache.quarantined(), 0u);
+}
+
+TEST(ServiceCache, MissOnUnknownKey)
+{
+    TempDir tmp;
+    ResultCache cache((tmp.path / "cache").string());
+    RunOutcome got;
+    EXPECT_FALSE(cache.lookup("nope", &got));
+    EXPECT_EQ(cache.quarantined(), 0u);
+}
+
+TEST(ServiceCache, CorruptEntryQuarantinedAndRecomputable)
+{
+    TempDir tmp;
+    ResultCache cache((tmp.path / "cache").string());
+    const RunOutcome out = directRun(smallJob());
+    cache.store("k1", out, Provenance{});
+
+    // Flip one byte inside the entry: the CRC must catch it.
+    std::string entry = readFile(cache.entryPath("k1"));
+    entry[entry.size() / 2] ^= 0x01;
+    writeFile(cache.entryPath("k1"), entry);
+
+    RunOutcome got;
+    bool quarantined = false;
+    EXPECT_FALSE(cache.lookup("k1", &got, nullptr, &quarantined));
+    EXPECT_TRUE(quarantined);
+    EXPECT_EQ(cache.quarantined(), 1u);
+    EXPECT_FALSE(fs::exists(cache.entryPath("k1")));
+    EXPECT_TRUE(fs::exists(cache.entryPath("k1") + ".quarantined"));
+
+    // Degradation, not data loss: storing again serves verified hits.
+    cache.store("k1", out, Provenance{});
+    ASSERT_TRUE(cache.lookup("k1", &got));
+    EXPECT_EQ(encodeOutcome(got), encodeOutcome(out));
+}
+
+TEST(ServiceCache, TruncatedEntryQuarantined)
+{
+    TempDir tmp;
+    ResultCache cache((tmp.path / "cache").string());
+    cache.store("k1", directRun(smallJob()), Provenance{});
+    const std::string entry = readFile(cache.entryPath("k1"));
+    writeFile(cache.entryPath("k1"), entry.substr(0, entry.size() / 3));
+    RunOutcome got;
+    EXPECT_FALSE(cache.lookup("k1", &got));
+    EXPECT_EQ(cache.quarantined(), 1u);
+}
+
+// ----- durable queue ------------------------------------------------------
+
+TEST(ServiceQueue, PendingTracksSubmitAndComplete)
+{
+    TempDir tmp;
+    DurableQueue q((tmp.path / "queue.journal").string());
+    q.submit("a", "req-a");
+    q.submit("b", "req-b");
+    q.complete("a");
+    const auto pending = q.pending();
+    ASSERT_EQ(pending.size(), 1u);
+    EXPECT_EQ(pending[0].first, "b");
+    EXPECT_EQ(pending[0].second, "req-b");
+}
+
+TEST(ServiceQueue, BacklogSurvivesReopen)
+{
+    TempDir tmp;
+    const std::string path = (tmp.path / "queue.journal").string();
+    {
+        DurableQueue q(path);
+        q.submit("a", "req-a");
+        q.submit("b", "req-b");
+        q.submit("c", "req-c");
+        q.complete("b");
+        // No clean shutdown: the journal on disk is the only state.
+    }
+    DurableQueue q(path);
+    const auto pending = q.pending();
+    ASSERT_EQ(pending.size(), 2u);
+    EXPECT_EQ(pending[0].first, "a");
+    EXPECT_EQ(pending[1].first, "c");
+}
+
+TEST(ServiceQueue, TornTailDoesNotPoisonBacklog)
+{
+    TempDir tmp;
+    const std::string path = (tmp.path / "queue.journal").string();
+    {
+        DurableQueue q(path);
+        q.submit("a", "req-a");
+    }
+    // Simulate a kill mid-append: partial bytes of a new record.
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "Q1 12ab";
+    }
+    DurableQueue q(path);
+    const auto pending = q.pending();
+    ASSERT_EQ(pending.size(), 1u);
+    EXPECT_EQ(pending[0].first, "a");
+    q.submit("b", "req-b"); // journal still writable after recovery
+    EXPECT_EQ(q.pending().size(), 2u);
+}
+
+// ----- fork isolation (shared with the fuzz campaign) ---------------------
+
+TEST(Isolation, CleanChildDeliversOutput)
+{
+    IsolationOptions iso;
+    iso.timeoutMs = 10000;
+    const ChildResult r = runForkIsolated(
+        [](int fd) {
+            writeAll(fd, "verdict bytes");
+            std::_Exit(0);
+        },
+        iso);
+    EXPECT_EQ(r.outcome, ChildOutcome::Finished);
+    EXPECT_TRUE(r.cleanExit());
+    EXPECT_EQ(r.output, "verdict bytes");
+}
+
+TEST(Isolation, CrashingChildIsClassified)
+{
+    IsolationOptions iso;
+    const ChildResult r =
+        runForkIsolated([](int) { std::_Exit(86); }, iso);
+    EXPECT_EQ(r.outcome, ChildOutcome::Finished);
+    EXPECT_FALSE(r.cleanExit());
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(r.exitStatus, 86);
+    EXPECT_EQ(r.exitDetail(), "child exited with status 86");
+}
+
+TEST(Isolation, WatchdogKillsHungChild)
+{
+    IsolationOptions iso;
+    iso.timeoutMs = 200;
+    iso.subject = "job";
+    const ChildResult r = runForkIsolated(
+        [](int) {
+            for (;;)
+                ::poll(nullptr, 0, 1000);
+        },
+        iso);
+    EXPECT_EQ(r.outcome, ChildOutcome::Timeout);
+    EXPECT_EQ(watchdogDetail(iso), "watchdog killed the job after 200 ms");
+}
+
+TEST(Isolation, RetryWithBackoffCountsAttempts)
+{
+    RetryPolicy policy;
+    policy.maxRetries = 3;
+    policy.baseDelayMs = 1;
+    int calls = 0;
+    EXPECT_EQ(retryWithBackoff(policy, [&] { return ++calls == 3; }), 3);
+    EXPECT_EQ(calls, 3);
+    calls = 0;
+    EXPECT_EQ(retryWithBackoff(policy, [&] {
+                  ++calls;
+                  return false;
+              }),
+              4); // 1 attempt + 3 retries, all failing
+    EXPECT_EQ(calls, 4);
+}
+
+// ----- daemon pipeline (in-process, no socket) ----------------------------
+
+TEST(ServiceDaemon, ComputesCachesAndServesHits)
+{
+    TempDir tmp;
+    Daemon daemon(poolOnlyOptions(tmp));
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    const JobRequest rq = smallJob();
+    const JobResponse first = daemon.handle(rq);
+    ASSERT_TRUE(first.ok) << first.errorJson;
+    EXPECT_FALSE(first.cached);
+    EXPECT_EQ(first.attempts, 1);
+    EXPECT_EQ(encodeOutcome(first.outcome),
+              encodeOutcome(directRun(rq)));
+
+    const JobResponse second = daemon.handle(rq);
+    ASSERT_TRUE(second.ok);
+    EXPECT_TRUE(second.cached);
+    EXPECT_EQ(encodeOutcome(second.outcome),
+              encodeOutcome(first.outcome));
+    EXPECT_EQ(daemon.counters().sims.load(), 1u);
+    EXPECT_EQ(daemon.counters().cacheHits.load(), 1u);
+}
+
+TEST(ServiceDaemon, CacheSurvivesDaemonRestart)
+{
+    TempDir tmp;
+    const JobRequest rq = smallJob(Technique::Dac);
+    std::string firstEncoded;
+    {
+        Daemon daemon(poolOnlyOptions(tmp));
+        std::string err;
+        ASSERT_TRUE(daemon.start(&err)) << err;
+        const JobResponse rs = daemon.handle(rq);
+        ASSERT_TRUE(rs.ok);
+        firstEncoded = encodeOutcome(rs.outcome);
+    }
+    Daemon daemon(poolOnlyOptions(tmp));
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    const JobResponse rs = daemon.handle(rq);
+    ASSERT_TRUE(rs.ok);
+    EXPECT_TRUE(rs.cached);
+    EXPECT_EQ(encodeOutcome(rs.outcome), firstEncoded);
+    EXPECT_EQ(daemon.counters().sims.load(), 0u);
+}
+
+TEST(ServiceDaemon, ConcurrentIdenticalJobsShareOneSimulation)
+{
+    TempDir tmp;
+    Daemon daemon(poolOnlyOptions(tmp));
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    const JobRequest rq = smallJob(Technique::Cae);
+    JobResponse a, b;
+    std::thread ta([&] { a = daemon.handle(rq); });
+    std::thread tb([&] { b = daemon.handle(rq); });
+    ta.join();
+    tb.join();
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(encodeOutcome(a.outcome), encodeOutcome(b.outcome));
+    // The second submission either joined the in-flight job or hit the
+    // fresh cache entry; it never re-simulated.
+    EXPECT_EQ(daemon.counters().sims.load(), 1u);
+    EXPECT_EQ(daemon.counters().dedup.load() +
+                  daemon.counters().cacheHits.load(),
+              1u);
+}
+
+TEST(ServiceDaemon, ChaosCrashesAndTimeoutsAreRetriedToSuccess)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.maxRetries = 12;
+    opt.timeoutMs = 20000;
+    std::string cerr2;
+    ASSERT_TRUE(
+        ChaosSpec::parse("crash=0.4,timeout=0.2,seed=11", &opt.chaos,
+                         &cerr2));
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    const JobRequest rq = smallJob();
+    const JobResponse rs = daemon.handle(rq);
+    ASSERT_TRUE(rs.ok) << rs.errorJson;
+    // The injected failures delayed the result but never changed it.
+    EXPECT_EQ(encodeOutcome(rs.outcome), encodeOutcome(directRun(rq)));
+    EXPECT_EQ(daemon.counters().crashes.load() +
+                  daemon.counters().timeouts.load(),
+              static_cast<std::uint64_t>(rs.attempts - 1));
+}
+
+TEST(ServiceDaemon, RepeatedCrasherIsBlacklisted)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.maxRetries = 1;
+    opt.crashLimit = 2;
+    std::string cerr2;
+    ASSERT_TRUE(ChaosSpec::parse("crash=1.0,seed=1", &opt.chaos, &cerr2));
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    const JobRequest rq = smallJob();
+    for (int i = 0; i < 2; ++i) {
+        const JobResponse rs = daemon.handle(rq);
+        EXPECT_FALSE(rs.ok);
+        EXPECT_TRUE(rs.retryable);
+        EXPECT_NE(rs.errorJson.find("\"kind\":\"crash\""),
+                  std::string::npos);
+    }
+    // The crash budget is spent: the daemon serves the structured
+    // error without burning another worker.
+    const std::uint64_t simsBefore = daemon.counters().crashes.load();
+    const JobResponse rs = daemon.handle(rq);
+    EXPECT_FALSE(rs.ok);
+    EXPECT_FALSE(rs.retryable);
+    EXPECT_EQ(daemon.counters().blacklisted.load(), 1u);
+    EXPECT_EQ(daemon.counters().crashes.load(), simsBefore);
+}
+
+TEST(ServiceDaemon, UnknownBenchmarkIsStructuredError)
+{
+    TempDir tmp;
+    Daemon daemon(poolOnlyOptions(tmp));
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    JobRequest rq = smallJob();
+    rq.bench = "NOPE";
+    const JobResponse rs = daemon.handle(rq);
+    EXPECT_FALSE(rs.ok);
+    EXPECT_FALSE(rs.retryable);
+    EXPECT_NE(rs.errorJson.find("\"kind\":\"bad-request\""),
+              std::string::npos);
+    EXPECT_EQ(daemon.counters().badRequests.load(), 1u);
+    // The daemon survives and still serves good jobs.
+    EXPECT_TRUE(daemon.handle(smallJob()).ok);
+}
+
+TEST(ServiceDaemon, MalformedFaultSpecIsStructuredError)
+{
+    TempDir tmp;
+    Daemon daemon(poolOnlyOptions(tmp));
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    JobRequest rq = smallJob();
+    rq.faultSpec = "bogus@@spec";
+    const JobResponse rs = daemon.handle(rq);
+    EXPECT_FALSE(rs.ok);
+    EXPECT_NE(rs.errorJson.find("\"kind\":\"bad-request\""),
+              std::string::npos);
+}
+
+TEST(ServiceDaemon, OutcomeWithSimulationErrorIsStillCached)
+{
+    // A run that fails *inside* the simulator (here: an unrecoverable
+    // injected fault under baseline-degradation) is a valid, complete
+    // result — exactly what a direct runWorkload() returns — and must
+    // be cached and served like any other.
+    TempDir tmp;
+    Daemon daemon(poolOnlyOptions(tmp));
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    JobRequest rq = smallJob(Technique::Dac);
+    rq.faultSpec = "invalidate@1000";
+    const JobResponse first = daemon.handle(rq);
+    ASSERT_TRUE(first.ok) << first.errorJson;
+    EXPECT_TRUE(first.outcome.fellBack);
+    const JobResponse second = daemon.handle(rq);
+    ASSERT_TRUE(second.ok);
+    EXPECT_TRUE(second.cached);
+    EXPECT_EQ(encodeOutcome(second.outcome),
+              encodeOutcome(first.outcome));
+}
+
+TEST(ServiceDaemon, QuarantinesCorruptCacheEntryAndRecomputes)
+{
+    TempDir tmp;
+    Daemon daemon(poolOnlyOptions(tmp));
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    const JobRequest rq = smallJob();
+    const JobResponse first = daemon.handle(rq);
+    ASSERT_TRUE(first.ok);
+
+    // Corrupt the entry on disk behind the daemon's back.
+    const std::string entryPath = (tmp.path / "state" / "cache" /
+                                   (daemon.cacheKey(rq) + ".result"))
+                                      .string();
+    ASSERT_TRUE(fs::exists(entryPath));
+    std::string entry = readFile(entryPath);
+    entry[entry.size() / 2] ^= 0x01;
+    writeFile(entryPath, entry);
+
+    const JobResponse second = daemon.handle(rq);
+    ASSERT_TRUE(second.ok);
+    EXPECT_FALSE(second.cached); // recomputed, not served corrupt
+    EXPECT_EQ(encodeOutcome(second.outcome),
+              encodeOutcome(first.outcome));
+    EXPECT_EQ(daemon.counters().sims.load(), 2u);
+    EXPECT_NE(daemon.summaryLine().find("quarantined=1"),
+              std::string::npos);
+    EXPECT_TRUE(fs::exists(entryPath + ".quarantined"));
+
+    // And the recomputed entry serves verified hits again.
+    const JobResponse third = daemon.handle(rq);
+    EXPECT_TRUE(third.cached);
+}
+
+TEST(ServiceDaemon, ResumesBacklogFromDurableQueue)
+{
+    TempDir tmp;
+    const std::string dir = (tmp.path / "state").string();
+    fs::create_directories(dir);
+    const JobRequest rq = smallJob(Technique::Mta);
+
+    // A dead daemon's journal: the job was submitted, never completed.
+    std::string key;
+    {
+        DaemonOptions probe = poolOnlyOptions(tmp);
+        Daemon d(probe);
+        std::string err;
+        ASSERT_TRUE(d.start(&err)) << err;
+        key = d.cacheKey(rq);
+    }
+    {
+        DurableQueue q(dir + "/queue.journal");
+        q.submit(key, encodeRequest(rq));
+    }
+
+    Daemon daemon(poolOnlyOptions(tmp));
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    EXPECT_EQ(daemon.counters().resumed.load(), 1u);
+
+    // The backlog job runs without any client attached; wait for its
+    // result to land in the cache, then a resubmission is a pure hit.
+    const std::string entry =
+        (fs::path(dir) / "cache" / (key + ".result")).string();
+    for (int i = 0; i < 600 && !fs::exists(entry); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(fs::exists(entry));
+    const JobResponse rs = daemon.handle(rq);
+    ASSERT_TRUE(rs.ok);
+    EXPECT_TRUE(rs.cached);
+    EXPECT_EQ(encodeOutcome(rs.outcome),
+              encodeOutcome(directRun(rq)));
+
+    // The queue is drained: a third daemon resumes nothing.
+    daemon.stop();
+    Daemon fresh(poolOnlyOptions(tmp));
+    ASSERT_TRUE(fresh.start(&err)) << err;
+    EXPECT_EQ(fresh.counters().resumed.load(), 0u);
+}
+
+// ----- socket end to end --------------------------------------------------
+
+TEST(ServiceSocket, EndToEndOverUnixSocket)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.socketPath = (tmp.path / "dacsimd.sock").string();
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    std::thread server([&] { daemon.serve(); });
+
+    {
+        ServiceClient cli(opt.socketPath);
+        const JobRequest rq = smallJob();
+        JobResponse rs;
+        std::string cerr2;
+        ASSERT_TRUE(cli.call(rq, &rs, &cerr2)) << cerr2;
+        ASSERT_TRUE(rs.ok) << rs.errorJson;
+        EXPECT_EQ(rs.id, rq.id);
+        EXPECT_EQ(encodeOutcome(rs.outcome),
+                  encodeOutcome(directRun(rq)));
+
+        // Same connection, second call: served from the cache.
+        JobResponse again;
+        ASSERT_TRUE(cli.call(rq, &again, &cerr2)) << cerr2;
+        EXPECT_TRUE(again.cached);
+    }
+    daemon.requestStop();
+    server.join();
+    EXPECT_EQ(daemon.counters().sims.load(), 1u);
+    EXPECT_EQ(daemon.counters().cacheHits.load(), 1u);
+}
+
+TEST(ServiceSocket, GarbageBytesGetStructuredErrorNotCrash)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.socketPath = (tmp.path / "dacsimd.sock").string();
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    std::thread server([&] { daemon.serve(); });
+
+    // Hand-rolled raw connection speaking garbage.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opt.socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    writeAll(fd, "this is not a frame and never will be");
+    std::string buf;
+    ASSERT_TRUE(readWithDeadline(fd, 10000, &buf));
+    ::close(fd);
+    std::string payload, detail;
+    ASSERT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::Ok);
+    JobResponse rs;
+    ASSERT_TRUE(decodeResponse(payload, &rs));
+    EXPECT_FALSE(rs.ok);
+    EXPECT_NE(rs.errorJson.find("bad-frame"), std::string::npos);
+    EXPECT_EQ(daemon.counters().badRequests.load(), 1u);
+
+    // The daemon shrugged it off: a well-formed client still works.
+    ServiceClient cli(opt.socketPath);
+    JobResponse good;
+    std::string cerr2;
+    ASSERT_TRUE(cli.call(smallJob(), &good, &cerr2)) << cerr2;
+    EXPECT_TRUE(good.ok);
+
+    daemon.requestStop();
+    server.join();
+}
