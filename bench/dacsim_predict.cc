@@ -1,0 +1,410 @@
+/**
+ * @file
+ * dacsim-predict: static cycle-bound and affine-coverage prediction
+ * (DESIGN.md §15) over the registered workload kernels.
+ *
+ * Usage:
+ *   dacsim-predict [--all] [--quick] [--scale S] [--json FILE]
+ *                  [--json-one FILE] [--text-one FILE] [--quiet]
+ *                  [WORKLOAD...]
+ *
+ * The default mode predicts each named workload (all 29 with no
+ * arguments) and prints the text reports; --json-one / --text-one
+ * (exactly one workload) write that kernel's report in the golden-
+ * fixture formats under tests/golden/.
+ *
+ * --all runs the validation sweep: every kernel is predicted AND
+ * simulated under baseline and DAC, the guaranteed bounds are checked
+ * against the simulated cycles, the predicted coverage against the
+ * decoupler's actual split, and the roofline estimate's accuracy
+ * (MAPE, Spearman rank correlation) is tracked. The results go to
+ * BENCH_predict.json; the exit status is non-zero on any bound or
+ * coverage violation, so scripts/check.sh can gate on it.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/predict.h"
+#include "bench_util.h"
+#include "compiler/decoupler.h"
+#include "dac/engine.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: dacsim-predict [--all] [--quick] [--scale S] "
+                 "[--json FILE]\n"
+                 "                      [--json-one FILE] [--text-one "
+                 "FILE] [--quiet] [WORKLOAD...]\n");
+    return 2;
+}
+
+/** One (kernel, technique) validation point of the --all sweep. */
+struct Point
+{
+    std::string bench;
+    Technique tech = Technique::Baseline;
+    unsigned long long bound = 0;
+    unsigned long long estimate = 0;
+    unsigned long long simCycles = 0;
+    bool capped = false;
+    bool simOk = false;
+    bool boundOk = false;
+    double issueTerm = 0, dramTerm = 0, latTerm = 0, expTerm = 0;
+};
+
+/** Spearman rank correlation (average ranks on ties). */
+double
+spearman(const std::vector<double> &a, const std::vector<double> &b)
+{
+    const std::size_t n = a.size();
+    if (n < 2 || b.size() != n)
+        return 0.0;
+    auto ranks = [&](const std::vector<double> &v) {
+        std::vector<std::size_t> idx(v.size());
+        for (std::size_t i = 0; i < v.size(); ++i)
+            idx[i] = i;
+        std::sort(idx.begin(), idx.end(), [&](std::size_t x, std::size_t y) {
+            return v[x] < v[y];
+        });
+        std::vector<double> r(v.size());
+        std::size_t i = 0;
+        while (i < idx.size()) {
+            std::size_t j = i;
+            while (j + 1 < idx.size() && v[idx[j + 1]] == v[idx[i]])
+                ++j;
+            const double avg = (static_cast<double>(i) +
+                                static_cast<double>(j)) /
+                                   2.0 +
+                               1.0;
+            for (std::size_t k = i; k <= j; ++k)
+                r[idx[k]] = avg;
+            i = j + 1;
+        }
+        return r;
+    };
+    std::vector<double> ra = ranks(a), rb = ranks(b);
+    double ma = 0, mb = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ma += ra[i];
+        mb += rb[i];
+    }
+    ma /= static_cast<double>(n);
+    mb /= static_cast<double>(n);
+    double num = 0, da = 0, db = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        num += (ra[i] - ma) * (rb[i] - mb);
+        da += (ra[i] - ma) * (ra[i] - ma);
+        db += (rb[i] - mb) * (rb[i] - mb);
+    }
+    if (da == 0 || db == 0)
+        return 0.0;
+    return num / std::sqrt(da * db);
+}
+
+/** Per-kernel coverage comparison of the --all sweep. */
+struct CoverageRow
+{
+    std::string bench;
+    double predicted = 0;
+    double actual = 0;
+    bool anyPredicted = false;
+    bool anyActual = false;
+};
+
+int
+runAll(double scale, bool quick, bool quiet, const std::string &jsonPath,
+       const std::vector<std::string> &names)
+{
+    const RunOptions base{}; // fault-free defaults: what we predict
+    std::vector<const Workload *> todo;
+    for (const std::string &n : names)
+        todo.push_back(&findWorkload(n));
+
+    // Predict every kernel first (cheap, serial), then simulate the
+    // (kernel, technique) grid concurrently.
+    std::vector<PredictReport> reps;
+    std::vector<CoverageRow> cov;
+    for (const Workload *wl : todo) {
+        GpuMemory gmem;
+        PreparedWorkload prep = wl->prepare(gmem, scale);
+        reps.push_back(predictKernel(prep.kernel, predictLaunches(prep),
+                                     base.gpu, base.dac));
+        DacSplitSummary actual =
+            dacActualSplit(decouple(prep.kernel, base.dac));
+        CoverageRow c;
+        c.bench = wl->name;
+        c.predicted = reps.back().predictedCoverage;
+        c.actual = actual.coveredFraction();
+        c.anyPredicted = reps.back().predictedAnyDecoupled;
+        c.anyActual = actual.anyDecoupled;
+        cov.push_back(c);
+    }
+
+    std::vector<bench::SweepJob> jobs;
+    for (const Workload *wl : todo) {
+        for (Technique t : {Technique::Baseline, Technique::Dac}) {
+            bench::SweepJob j;
+            j.bench = wl->name;
+            j.opt = base;
+            j.opt.tech = t;
+            j.opt.scale = scale;
+            jobs.push_back(std::move(j));
+        }
+    }
+    std::vector<RunOutcome> outs = bench::runSweep(jobs);
+
+    std::vector<Point> points;
+    int boundViolations = 0, simFailures = 0, cappedKernels = 0;
+    for (std::size_t wi = 0; wi < todo.size(); ++wi) {
+        const PredictReport &rep = reps[wi];
+        if (rep.base.capped || rep.dac.capped)
+            ++cappedKernels;
+        for (int ti = 0; ti < 2; ++ti) {
+            const Technique t =
+                ti == 0 ? Technique::Baseline : Technique::Dac;
+            const RunOutcome &out = outs[wi * 2 + ti];
+            const TechPredict &tp = ti == 0 ? rep.base : rep.dac;
+            Point p;
+            p.bench = todo[wi]->name;
+            p.tech = t;
+            p.bound = tp.boundCycles;
+            p.estimate = tp.estimateCycles;
+            p.capped = tp.capped;
+            p.issueTerm = tp.issueTerm;
+            p.dramTerm = tp.dramTerm;
+            p.latTerm = tp.latTerm;
+            p.expTerm = tp.expTerm;
+            // A fallback DAC run executed on the baseline machine: its
+            // cycles are not the DAC bound's subject.
+            p.simOk = out.error.ok() && !out.fellBack;
+            if (!p.simOk) {
+                ++simFailures;
+                bench::reportRun("predict", p.bench, t, out);
+            } else {
+                p.simCycles =
+                    static_cast<unsigned long long>(out.stats.cycles);
+                p.boundOk = p.bound >= p.simCycles;
+                if (!p.boundOk)
+                    ++boundViolations;
+            }
+            points.push_back(p);
+        }
+    }
+
+    double maxCovDiff = 0;
+    int covViolations = 0;
+    for (const CoverageRow &c : cov) {
+        const double d = std::fabs(c.predicted - c.actual);
+        maxCovDiff = std::max(maxCovDiff, d);
+        if (d > 0.05 || c.anyPredicted != c.anyActual)
+            ++covViolations;
+    }
+
+    // Estimate accuracy over the clean, uncapped points.
+    std::vector<double> est, sim;
+    double apeSum = 0;
+    int apeN = 0;
+    for (const Point &p : points) {
+        if (!p.simOk || p.capped || p.simCycles == 0)
+            continue;
+        est.push_back(static_cast<double>(p.estimate));
+        sim.push_back(static_cast<double>(p.simCycles));
+        apeSum += std::fabs(static_cast<double>(p.estimate) -
+                            static_cast<double>(p.simCycles)) /
+                  static_cast<double>(p.simCycles);
+        ++apeN;
+    }
+    const double mape = apeN ? apeSum / apeN : 0.0;
+    const double rho = spearman(est, sim);
+
+    if (!quiet) {
+        std::printf("%-5s %-8s %16s %16s %16s  %s\n", "bench", "tech",
+                    "bound", "sim", "estimate", "ok");
+        for (const Point &p : points) {
+            std::printf("%-5s %-8s %16llu %16llu %16llu  %s%s\n",
+                        p.bench.c_str(), techniqueName(p.tech), p.bound,
+                        p.simCycles, p.estimate,
+                        !p.simOk ? "sim-failed"
+                                 : (p.boundOk ? "yes" : "VIOLATION"),
+                        p.capped ? " (capped)" : "");
+        }
+        std::printf("\ncoverage (predicted vs decoupler):\n");
+        for (const CoverageRow &c : cov)
+            std::printf("%-5s predicted %6.2f%%  actual %6.2f%%  "
+                        "diff %5.2fpp%s\n",
+                        c.bench.c_str(), c.predicted * 100,
+                        c.actual * 100,
+                        std::fabs(c.predicted - c.actual) * 100,
+                        c.anyPredicted == c.anyActual ? ""
+                                                      : "  DECOUPLED-MISMATCH");
+    }
+    std::printf("\ndacsim-predict: %zu points, %d bound violation(s), "
+                "%d coverage violation(s), %d capped kernel(s), "
+                "mape %.3f, spearman %.3f\n",
+                points.size(), boundViolations, covViolations,
+                cappedKernels, mape, rho);
+
+    std::FILE *f = std::fopen(jsonPath.c_str(), "w");
+    require(f != nullptr, "cannot write ", jsonPath);
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"predict\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"scale\": %.3f,\n", scale);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        std::fprintf(f,
+                     "    {\"bench\": \"%s\", \"tech\": \"%s\", "
+                     "\"bound_cycles\": %llu, \"sim_cycles\": %llu, "
+                     "\"estimate_cycles\": %llu, \"capped\": %s, "
+                     "\"sim_ok\": %s, \"bound_ok\": %s, "
+                     "\"issue_term\": %.3f, \"dram_term\": %.3f, "
+                     "\"lat_term\": %.3f, \"exp_term\": %.3f}%s\n",
+                     bench::jsonEscape(p.bench).c_str(),
+                     techniqueName(p.tech), p.bound, p.simCycles,
+                     p.estimate, p.capped ? "true" : "false",
+                     p.simOk ? "true" : "false",
+                     p.boundOk ? "true" : "false", p.issueTerm,
+                     p.dramTerm, p.latTerm, p.expTerm,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"coverage\": [\n");
+    for (std::size_t i = 0; i < cov.size(); ++i) {
+        const CoverageRow &c = cov[i];
+        std::fprintf(f,
+                     "    {\"bench\": \"%s\", \"predicted\": %.6f, "
+                     "\"actual\": %.6f, \"diff\": %.6f}%s\n",
+                     bench::jsonEscape(c.bench).c_str(), c.predicted,
+                     c.actual, std::fabs(c.predicted - c.actual),
+                     i + 1 < cov.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"bound_violations\": %d,\n", boundViolations);
+    std::fprintf(f, "  \"coverage_violations\": %d,\n", covViolations);
+    std::fprintf(f, "  \"coverage_max_diff\": %.6f,\n", maxCovDiff);
+    std::fprintf(f, "  \"sim_failures\": %d,\n", simFailures);
+    std::fprintf(f, "  \"capped_kernels\": %d,\n", cappedKernels);
+    std::fprintf(f, "  \"sound\": %s,\n",
+                 boundViolations == 0 ? "true" : "false");
+    std::fprintf(f, "  \"mape\": %.6f,\n", mape);
+    std::fprintf(f, "  \"spearman\": %.6f\n", rho);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", jsonPath.c_str());
+
+    return (boundViolations > 0 || covViolations > 0 || simFailures > 0)
+               ? 1
+               : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool all = false, quick = false, quiet = false;
+    double scale = bench::figureScale;
+    std::string jsonPath, jsonOnePath, textOnePath;
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--all") == 0) {
+            all = true;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else if (std::strcmp(argv[i], "--scale") == 0) {
+            if (++i >= argc)
+                return usage();
+            scale = std::atof(argv[i]);
+            if (scale <= 0)
+                return usage();
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            if (++i >= argc)
+                return usage();
+            jsonPath = argv[i];
+        } else if (std::strcmp(argv[i], "--json-one") == 0) {
+            if (++i >= argc)
+                return usage();
+            jsonOnePath = argv[i];
+        } else if (std::strcmp(argv[i], "--text-one") == 0) {
+            if (++i >= argc)
+                return usage();
+            textOnePath = argv[i];
+        } else if (argv[i][0] == '-') {
+            return usage();
+        } else {
+            names.emplace_back(argv[i]);
+        }
+    }
+
+    if (names.empty())
+        for (const Workload &wl : allWorkloads())
+            names.push_back(wl.name);
+
+    return bench::guardedMain("dacsim-predict", [&]() -> int {
+        if (all) {
+            if (quick)
+                scale = 0.25;
+            return runAll(scale, quick, quiet,
+                          jsonPath.empty() ? "BENCH_predict.json"
+                                           : jsonPath,
+                          names);
+        }
+
+        const RunOptions base{};
+        std::vector<PredictReport> reps;
+        for (const std::string &n : names) {
+            const Workload &wl = findWorkload(n);
+            GpuMemory gmem;
+            PreparedWorkload prep = wl.prepare(gmem, scale);
+            PredictReport rep = predictKernel(
+                prep.kernel, predictLaunches(prep), base.gpu, base.dac);
+            if (!quiet)
+                std::fputs(rep.renderText().c_str(), stdout);
+            reps.push_back(std::move(rep));
+        }
+        if (!jsonOnePath.empty() || !textOnePath.empty()) {
+            if (reps.size() != 1) {
+                std::fprintf(stderr,
+                             "dacsim-predict: --json-one/--text-one "
+                             "need exactly one workload\n");
+                return 2;
+            }
+            if (!textOnePath.empty()) {
+                std::ofstream os(textOnePath, std::ios::trunc);
+                require(os.good(), "cannot write ", textOnePath);
+                os << reps.front().renderText();
+            }
+            if (!jsonOnePath.empty()) {
+                std::ofstream os(jsonOnePath, std::ios::trunc);
+                require(os.good(), "cannot write ", jsonOnePath);
+                os << reps.front().renderJson();
+            }
+        }
+        if (!jsonPath.empty()) {
+            std::ofstream os(jsonPath, std::ios::trunc);
+            require(os.good(), "cannot write ", jsonPath);
+            os << "[\n";
+            for (std::size_t i = 0; i < reps.size(); ++i)
+                os << reps[i].renderJson()
+                   << (i + 1 < reps.size() ? ",\n" : "\n");
+            os << "]\n";
+        }
+        return 0;
+    });
+}

@@ -36,6 +36,21 @@ cmake --build build-dbg -j --target dacsim_lint
     done
 )
 
+echo "== static prediction golden (debug build) =="
+# dacsim-predict report fixtures (DESIGN.md §15): the text and JSON
+# renderings for the golden kernels must match byte-for-byte (refresh
+# with DACSIM_UPDATE_GOLDEN=1 via the GoldenPredict tests).
+cmake --build build-dbg -j --target dacsim_predict
+(
+    cd build-dbg
+    for k in SP PF; do
+        bench/dacsim-predict --text-one "predict-$k.txt" "$k" >/dev/null
+        cmp "predict-$k.txt" "../tests/golden/predict_$k.txt"
+        bench/dacsim-predict --json-one "predict-$k.json" "$k" >/dev/null
+        cmp "predict-$k.json" "../tests/golden/predict_$k.json"
+    done
+)
+
 echo "== observability golden (debug build) =="
 # Stall attribution + counter timeline through the real fig16 driver
 # (DESIGN.md §11): the timeline JSON must match the golden fixture
@@ -122,6 +137,20 @@ echo "== static analysis (sanitized build) =="
 cmake --build build-san -j --target dacsim_lint
 (cd build-san && bench/dacsim-lint --quiet >/dev/null)
 
+echo "== static prediction golden (sanitized build) =="
+# The predictor walks every loop, address expression, and decoupled
+# stream of the golden kernels: re-check the fixtures under ASan+UBSan.
+cmake --build build-san -j --target dacsim_predict
+(
+    cd build-san
+    for k in SP PF; do
+        bench/dacsim-predict --text-one "predict-$k.txt" "$k" >/dev/null
+        cmp "predict-$k.txt" "../tests/golden/predict_$k.txt"
+        bench/dacsim-predict --json-one "predict-$k.json" "$k" >/dev/null
+        cmp "predict-$k.json" "../tests/golden/predict_$k.json"
+    done
+)
+
 echo "== simulation service smoke (sanitized build) =="
 # The daemon's codec, fork isolation, cache, and socket loop under
 # ASan+UBSan, with chaos injection exercising the crash/timeout
@@ -191,6 +220,20 @@ grep -q '"kcycles_per_sec"' build-rel/BENCH_host_throughput.json
 grep -q '"winsts_per_sec"' build-rel/BENCH_host_throughput.json
 grep -q '"event_speedup"' build-rel/BENCH_host_throughput.json
 grep -q '"stats_identical": true' build-rel/BENCH_host_throughput.json
+
+echo "== static prediction validation sweep (release build) =="
+# dacsim-predict --all (DESIGN.md §15): every kernel predicted AND
+# simulated under baseline and DAC. The guaranteed bound must dominate
+# the simulated cycles on every point (exit non-zero otherwise), the
+# predicted coverage must agree with the decoupler's split, and the
+# estimate's accuracy (MAPE, Spearman) must be recorded in the JSON.
+cmake --build build-rel -j --target dacsim_predict
+(cd build-rel && bench/dacsim-predict --all --quick --quiet)
+grep -q '"bound_violations": 0' build-rel/BENCH_predict.json
+grep -q '"coverage_violations": 0' build-rel/BENCH_predict.json
+grep -q '"sound": true' build-rel/BENCH_predict.json
+grep -q '"mape"' build-rel/BENCH_predict.json
+grep -q '"spearman"' build-rel/BENCH_predict.json
 
 echo "== resumable sweep smoke =="
 # A sweep killed mid-run (DACSIM_SWEEP_ABORT_AFTER simulates kill -9

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "analysis/dominators.h"
 #include "isa/opcode.h"
 
 namespace dacsim
@@ -70,7 +71,10 @@ AddrExpr::toString(const Kernel &kernel) const
         term(tid[d], std::string("tid.") + dims[d]);
     for (const auto &[key, c] : sym) {
         std::string name;
-        if (key >= symNctaidBase)
+        if (key >= symCtaidNtidBase)
+            name = std::string("ctaid.") + dims[key - symCtaidNtidBase] +
+                   "*ntid." + dims[key - symCtaidNtidBase];
+        else if (key >= symNctaidBase)
             name = std::string("nctaid.") + dims[key - symNctaidBase];
         else if (key >= symNtidBase)
             name = std::string("ntid.") + dims[key - symNtidBase];
@@ -149,6 +153,57 @@ negExpr(const AddrExpr &a)
     return scaleExpr(a, -1);
 }
 
+/**
+ * Product of two expressions. Constants distribute via scaleExpr; the
+ * one non-linear form the domain represents is (k*ctaid.d + c1) *
+ * (m*ntid.d + c2) — the global-thread-index base every kernel's
+ * prologue computes — folded onto the composite symCtaidNtidBase
+ * symbol. Anything else is unknown.
+ */
+AddrExpr
+mulExpr(const AddrExpr &a, const AddrExpr &b)
+{
+    if (!a.known || !b.known)
+        return AddrExpr::unknown();
+    if (b.isConst())
+        return scaleExpr(a, b.lo);
+    if (a.isConst())
+        return scaleExpr(b, a.lo);
+    // Exactly const + one symbol from [base, base+3)?
+    auto single = [](const AddrExpr &e, int base, int *d, long long *k,
+                     long long *c) {
+        if (!e.bounded || e.lo != e.hi || e.tid[0] != 0 ||
+            e.tid[1] != 0 || e.tid[2] != 0 || e.sym.size() != 1)
+            return false;
+        const auto &[key, coeff] = *e.sym.begin();
+        if (key < base || key >= base + 3)
+            return false;
+        *d = key - base;
+        *k = coeff;
+        *c = e.lo;
+        return true;
+    };
+    const AddrExpr *ord[2][2] = {{&a, &b}, {&b, &a}};
+    for (const auto &p : ord) {
+        int dc = 0, dn = 0;
+        long long k = 0, c1 = 0, m = 0, c2 = 0;
+        if (single(*p[0], symCtaidBase, &dc, &k, &c1) &&
+            single(*p[1], symNtidBase, &dn, &m, &c2) && dc == dn) {
+            AddrExpr r;
+            r.known = true;
+            if (k * m != 0)
+                r.sym[symCtaidNtidBase + dc] = k * m;
+            if (k * c2 != 0)
+                r.sym[symCtaidBase + dc] = k * c2;
+            if (c1 * m != 0)
+                r.sym[symNtidBase + dn] = c1 * m;
+            r.lo = r.hi = c1 * c2;
+            return r;
+        }
+    }
+    return AddrExpr::unknown();
+}
+
 /** Join for the fixpoint; @p widen forces loop-carried intervals to
  * unbounded instead of growing them forever. */
 AddrExpr
@@ -156,10 +211,26 @@ joinExpr(const AddrExpr &a, const AddrExpr &b, bool widen)
 {
     if (!a.known || !b.known)
         return AddrExpr::unknown();
-    bool sameShape = a.tid[0] == b.tid[0] && a.tid[1] == b.tid[1] &&
-                     a.tid[2] == b.tid[2] && a.sym == b.sym;
-    if (!sameShape)
+    if (a.tid[0] != b.tid[0] || a.tid[1] != b.tid[1] ||
+        a.tid[2] != b.tid[2])
         return AddrExpr::unknown();
+    if (a.sym != b.sym) {
+        // The lane structure (tid terms) agrees; symbolic terms that
+        // differ — a pointer advanced by a parameter-sized stride each
+        // iteration — are absorbed into the unbounded residual. Sound:
+        // the residual already means "plus any per-thread value".
+        AddrExpr r = a;
+        r.bounded = false;
+        r.lo = r.hi = 0;
+        for (auto it = r.sym.begin(); it != r.sym.end();) {
+            auto jt = b.sym.find(it->first);
+            if (jt == b.sym.end() || jt->second != it->second)
+                it = r.sym.erase(it);
+            else
+                ++it;
+        }
+        return r;
+    }
     AddrExpr r = a;
     r.bounded = a.bounded && b.bounded;
     if (r.bounded) {
@@ -248,6 +319,15 @@ AddrExprAnalysis::addrOf(int pc) const
 }
 
 AddrExpr
+AddrExprAnalysis::defExprOf(int def) const
+{
+    auto i = static_cast<std::size_t>(def);
+    if (i >= defExpr_.size() || !defSet_[i])
+        return AddrExpr::unknown();
+    return defExpr_[i];
+}
+
+AddrExpr
 AddrExprAnalysis::transfer(int pc, bool widen) const
 {
     const Instruction &inst = kernel_.insts[pc];
@@ -278,23 +358,10 @@ AddrExprAnalysis::transfer(int pc, bool widen) const
         }
         return AddrExpr::unknown();
       }
-      case Opcode::Mul: {
-        AddrExpr a = src(0), b = src(1);
-        if (b.isConst())
-            return scaleExpr(a, b.lo);
-        if (a.isConst())
-            return scaleExpr(b, a.lo);
-        return AddrExpr::unknown();
-      }
-      case Opcode::Mad: {
-        AddrExpr a = src(0), b = src(1), c = src(2);
-        AddrExpr prod = AddrExpr::unknown();
-        if (b.isConst())
-            prod = scaleExpr(a, b.lo);
-        else if (a.isConst())
-            prod = scaleExpr(b, a.lo);
-        return addExpr(prod, c);
-      }
+      case Opcode::Mul:
+        return mulExpr(src(0), src(1));
+      case Opcode::Mad:
+        return addExpr(mulExpr(src(0), src(1)), src(2));
       case Opcode::And: {
         AddrExpr a = src(0), b = src(1);
         // x & (2^k - 1) lies in [0, mask] whatever x is.
@@ -459,6 +526,263 @@ mayConflictAcrossLanes(const AddrExpr &a, int widthA, const AddrExpr &b,
                            : std::numeric_limits<long long>::max() / 2;
     // c*k must land in (-widthB - dHi, widthA - dLo) for some k != 0.
     return multipleInWindow(c, -widthB - dHi, widthA - dLo, kMax);
+}
+
+namespace
+{
+
+CmpOp
+negateCmp(CmpOp c)
+{
+    switch (c) {
+      case CmpOp::Eq: return CmpOp::Ne;
+      case CmpOp::Ne: return CmpOp::Eq;
+      case CmpOp::Lt: return CmpOp::Ge;
+      case CmpOp::Le: return CmpOp::Gt;
+      case CmpOp::Gt: return CmpOp::Le;
+      case CmpOp::Ge: return CmpOp::Lt;
+    }
+    panic("bad CmpOp");
+}
+
+/** a CC b  ==  b mirror(CC) a. */
+CmpOp
+mirrorCmp(CmpOp c)
+{
+    switch (c) {
+      case CmpOp::Lt: return CmpOp::Gt;
+      case CmpOp::Le: return CmpOp::Ge;
+      case CmpOp::Gt: return CmpOp::Lt;
+      case CmpOp::Ge: return CmpOp::Le;
+      default: return c;
+    }
+}
+
+/**
+ * Match the bottom-test induction pattern on a natural loop; fills in
+ * the trip-count fields of @p li on success. Every check here is a
+ * soundness condition: a rejected loop stays patternMatched == false
+ * and downstream consumers fall back to the conservative cap.
+ */
+void
+matchInduction(const Kernel &kernel, const Cfg &cfg, const DomTree &dom,
+               const ReachingDefs &rd, const AddrExprAnalysis &addr,
+               LoopInfo &li)
+{
+    const Instruction &br =
+        kernel.insts[static_cast<std::size_t>(li.branchPc)];
+    if (!br.isBranch() || br.guardPred < 0)
+        return;
+    const int headerPc =
+        cfg.blocks()[static_cast<std::size_t>(li.header)].first;
+    // The back edge is either the taken edge or the fall-through edge
+    // of the latch's conditional branch.
+    const bool takenBack = br.target == headerPc;
+    if (!takenBack && li.branchPc + 1 != headerPc)
+        return;
+
+    auto inLoop = [&](int b) {
+        return std::binary_search(li.blocks.begin(), li.blocks.end(), b);
+    };
+
+    // The guard must come from exactly one definition — an unguarded
+    // setp inside the loop — on every path to the latch.
+    std::vector<int> gdefs = rd.reachingPredDefs(li.branchPc, br.guardPred);
+    if (gdefs.size() != 1 || rd.isEntryDef(gdefs[0]))
+        return;
+    const int setpPc = gdefs[0];
+    const Instruction &setp =
+        kernel.insts[static_cast<std::size_t>(setpPc)];
+    if (setp.op != Opcode::Setp || setp.guardPred >= 0 ||
+        !inLoop(cfg.blockOf(setpPc)))
+        return;
+
+    for (int side = 0; side < 2; ++side) {
+        const Operand &ind = setp.src[static_cast<std::size_t>(side)];
+        const Operand &bnd = setp.src[static_cast<std::size_t>(1 - side)];
+        if (!ind.isReg())
+            continue;
+
+        // The induction operand has exactly one in-loop definition —
+        // an unguarded self-increment by a constant whose block
+        // dominates the latch (so it executes once per iteration).
+        int addPc = -1;
+        bool preIncrement = false, bad = false;
+        for (int d : rd.reachingRegDefs(setpPc, ind.index)) {
+            if (rd.isEntryDef(d) || !inLoop(cfg.blockOf(d))) {
+                preIncrement = true; // the test sees the lagging value
+                continue;
+            }
+            if (addPc >= 0 && d != addPc) {
+                bad = true;
+                break;
+            }
+            addPc = d;
+        }
+        if (bad || addPc < 0)
+            continue;
+        const Instruction &inc =
+            kernel.insts[static_cast<std::size_t>(addPc)];
+        if (inc.guardPred >= 0 ||
+            !dom.dominates(cfg.blockOf(addPc), li.latch))
+            continue;
+        long long step = 0;
+        if (inc.op == Opcode::Add || inc.op == Opcode::Sub) {
+            const Operand &a = inc.src[0], &b = inc.src[1];
+            AddrExpr ea = addr.srcExpr(addPc, a);
+            AddrExpr eb = addr.srcExpr(addPc, b);
+            if (a.isReg() && a.index == ind.index && eb.isConst())
+                step = inc.op == Opcode::Add ? eb.lo : -eb.lo;
+            else if (inc.op == Opcode::Add && b.isReg() &&
+                     b.index == ind.index && ea.isConst())
+                step = ea.lo;
+        }
+        if (step == 0)
+            continue;
+
+        // The increment may only see itself plus loop-invariant
+        // initial definitions; their join is the initial value.
+        AddrExpr init = AddrExpr::unknown();
+        bool haveInit = false, selfOk = true;
+        for (int d : rd.reachingRegDefs(addPc, ind.index)) {
+            if (d == addPc)
+                continue;
+            if (!rd.isEntryDef(d) && inLoop(cfg.blockOf(d))) {
+                selfOk = false;
+                break;
+            }
+            AddrExpr e = addr.defExprOf(d);
+            init = haveInit ? joinExpr(init, e, false) : e;
+            haveInit = true;
+        }
+        if (!selfOk || !haveInit)
+            continue;
+
+        // The bound operand must be loop-invariant.
+        bool invariant = bnd.isReg() || bnd.isImm() || bnd.isParam() ||
+                         bnd.isSpecial();
+        if (bnd.isReg()) {
+            for (int d : rd.reachingRegDefs(setpPc, bnd.index)) {
+                if (!rd.isEntryDef(d) && inLoop(cfg.blockOf(d))) {
+                    invariant = false;
+                    break;
+                }
+            }
+        }
+        if (!invariant)
+            continue;
+        AddrExpr bound = addr.srcExpr(setpPc, bnd);
+
+        // Effective continue-comparison "rI cc bound".
+        CmpOp cc = setp.cmp;
+        if (br.guardNeg)
+            cc = negateCmp(cc);
+        if (!takenBack)
+            cc = negateCmp(cc); // loop continues on guard-false
+        if (side == 1)
+            cc = mirrorCmp(cc);
+
+        long long normStep;
+        AddrExpr span;
+        switch (cc) {
+          case CmpOp::Lt:
+          case CmpOp::Le:
+            if (step <= 0)
+                continue; // counting away from the bound: no bound
+            normStep = step;
+            span = addExpr(bound, scaleExpr(init, -1));
+            break;
+          case CmpOp::Gt:
+          case CmpOp::Ge:
+            if (step >= 0)
+                continue;
+            normStep = -step;
+            span = addExpr(init, scaleExpr(bound, -1));
+            break;
+          default:
+            continue; // Eq/Ne: not a monotone count
+        }
+        li.patternMatched = true;
+        li.inductionReg = ind.index;
+        li.step = normStep;
+        li.inclusive = cc == CmpOp::Le || cc == CmpOp::Ge;
+        li.extraTrip = preIncrement ? 1 : 0;
+        li.span = span;
+        return;
+    }
+}
+
+} // namespace
+
+std::vector<LoopInfo>
+findLoops(const Kernel &kernel, const Cfg &cfg, const DomTree &dom,
+          const ReachingDefs &rd, const AddrExprAnalysis &addr)
+{
+    const int nb = cfg.numBlocks();
+    std::vector<int> rpoIndex(static_cast<std::size_t>(nb), -1);
+    const std::vector<int> &rpo = cfg.rpo();
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+
+    std::vector<LoopInfo> loops;
+    for (int u = 0; u < nb; ++u) {
+        if (rpoIndex[static_cast<std::size_t>(u)] < 0)
+            continue; // unreachable latch: never executes
+        for (int h : cfg.blocks()[static_cast<std::size_t>(u)].succs) {
+            if (h < 0 || h >= nb ||
+                rpoIndex[static_cast<std::size_t>(h)] < 0)
+                continue;
+            if (rpoIndex[static_cast<std::size_t>(h)] >
+                rpoIndex[static_cast<std::size_t>(u)])
+                continue; // forward edge
+            LoopInfo li;
+            li.header = h;
+            li.latch = u;
+            li.branchPc = cfg.blocks()[static_cast<std::size_t>(u)].last;
+            const bool natural = dom.dominates(h, u);
+            std::vector<bool> in(static_cast<std::size_t>(nb), false);
+            std::vector<int> work;
+            if (natural) {
+                // Natural loop: header plus everything that reaches
+                // the latch without passing through the header.
+                in[static_cast<std::size_t>(h)] = true;
+                if (u != h) {
+                    in[static_cast<std::size_t>(u)] = true;
+                    work.push_back(u);
+                }
+            } else {
+                // Irreducible retreating edge: the "body" is every
+                // block that can reach the latch at all — maximally
+                // conservative, never under-scoped.
+                in[static_cast<std::size_t>(u)] = true;
+                work.push_back(u);
+            }
+            while (!work.empty()) {
+                int b = work.back();
+                work.pop_back();
+                for (int p :
+                     cfg.blocks()[static_cast<std::size_t>(b)].preds) {
+                    if (!in[static_cast<std::size_t>(p)]) {
+                        in[static_cast<std::size_t>(p)] = true;
+                        work.push_back(p);
+                    }
+                }
+            }
+            in[static_cast<std::size_t>(h)] = true;
+            for (int b = 0; b < nb; ++b)
+                if (in[static_cast<std::size_t>(b)])
+                    li.blocks.push_back(b);
+            if (natural)
+                matchInduction(kernel, cfg, dom, rd, addr, li);
+            loops.push_back(std::move(li));
+        }
+    }
+    std::sort(loops.begin(), loops.end(),
+              [](const LoopInfo &a, const LoopInfo &b) {
+                  return a.header != b.header ? a.header < b.header
+                                              : a.latch < b.latch;
+              });
+    return loops;
 }
 
 } // namespace dacsim

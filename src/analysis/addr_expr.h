@@ -39,6 +39,10 @@ enum : int
     symCtaidBase = 1000,  ///< +d for ctaid.d
     symNtidBase = 1100,   ///< +d for ntid.d
     symNctaidBase = 1200, ///< +d for nctaid.d
+    /** +d for the product ctaid.d*ntid.d — the CTA base of the global
+     * thread index, the one non-linear term the domain represents
+     * (every kernel's `mul r, ctaid.x, ntid.x` prologue). */
+    symCtaidNtidBase = 1300,
 };
 
 struct AddrExpr
@@ -103,6 +107,11 @@ class AddrExprAnalysis
      * (base operand plus immediate displacement). */
     AddrExpr addrOf(int pc) const;
 
+    /** Expression of definition site @p def (index layout matches
+     * ReachingDefs); unknown when the definition was never reached
+     * during the fixpoint. Used by the loop trip-count extraction. */
+    AddrExpr defExprOf(int def) const;
+
   private:
     const Kernel &kernel_;
     const ReachingDefs &rd_;
@@ -123,6 +132,66 @@ class AddrExprAnalysis
  */
 bool mayConflictAcrossLanes(const AddrExpr &a, int widthA, const AddrExpr &b,
                             int widthB, const Dim3 *block);
+
+class DomTree;
+
+/**
+ * One loop of the CFG with its statically derived trip-count interval
+ * (DESIGN.md §15). Natural loops (back edge whose target dominates its
+ * source) are matched against the canonical bottom-test induction
+ * pattern
+ *
+ *     H:  ...body...
+ *         add  rI, rI, step        (the only in-loop def of rI)
+ *         setp.CC p, rI, bound     (the only def of p reaching the latch)
+ *         @p bra H
+ *
+ * in either test order (setp before or after the add) and with the
+ * comparison on either side. When the pattern matches, the symbolic
+ * extent `span` bounds the iteration count as
+ *
+ *     trips <= max(1, ceil(spanHi / step) + inclusive + extraTrip)
+ *
+ * once span is evaluated against concrete launch dimensions and
+ * parameter values. Irreducible retreating edges produce a pseudo-loop
+ * with patternMatched == false covering every block that can reach the
+ * edge's source, so downstream consumers stay conservative.
+ */
+struct LoopInfo
+{
+    int header = -1;          ///< header block id (back-edge target)
+    int latch = -1;           ///< latch block id (back-edge source)
+    int branchPc = -1;        ///< back-edge branch instruction
+    std::vector<int> blocks;  ///< body block ids (header included), sorted
+    /** The induction pattern matched: step/inclusive/extraTrip/span are
+     * valid. False for irreducible pseudo-loops and unrecognized
+     * shapes (data-dependent exit conditions). */
+    bool patternMatched = false;
+    int inductionReg = -1;    ///< matched induction register (-1 unknown)
+    long long step = 0;       ///< normalized positive step per iteration
+    bool inclusive = false;   ///< continue-comparison is Le/Ge
+    int extraTrip = 0;        ///< +1 when the test reads pre-increment rI
+    /** Symbolic iteration extent (exit bound minus initial value,
+     * normalized to the positive-step direction). May reference kernel
+     * parameters and grid/block symbols; unknown when the bound or the
+     * initial value is not derivable. */
+    AddrExpr span;
+
+    /** Trip count symbolically bounded (still needs span evaluation)? */
+    bool boundedSymbolically() const
+    {
+        return patternMatched && span.known && span.bounded;
+    }
+};
+
+/**
+ * Find every loop of @p cfg and derive its trip-count interval from
+ * the address-expression analysis. Deterministic order: by (header,
+ * latch) block id.
+ */
+std::vector<LoopInfo> findLoops(const Kernel &kernel, const Cfg &cfg,
+                                const DomTree &dom, const ReachingDefs &rd,
+                                const AddrExprAnalysis &addr);
 
 } // namespace dacsim
 

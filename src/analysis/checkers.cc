@@ -405,6 +405,50 @@ class CoalescingChecker final : public Checker
 };
 
 // ---------------------------------------------------------------------------
+// DAC-I008: loop trip count not statically bounded.
+// ---------------------------------------------------------------------------
+
+class LoopBoundChecker final : public Checker
+{
+  public:
+    const char *name() const override { return "loop-bound"; }
+
+    void
+    run(const AnalysisContext &ctx, DiagnosticEngine &eng) const override
+    {
+        const std::vector<LoopInfo> loops =
+            findLoops(ctx.kernel(), ctx.cfg(), ctx.dom(), ctx.rd(),
+                      ctx.addr());
+        for (const LoopInfo &l : loops) {
+            if (l.boundedSymbolically())
+                continue;
+            const int b = ctx.cfg().blockOf(l.branchPc);
+            if (!l.patternMatched) {
+                eng.report("DAC-I008", Severity::Info, l.branchPc, b,
+                           "loop exit condition does not match a counted "
+                           "induction pattern; the trip count is not "
+                           "statically bounded (static prediction charges "
+                           "the conservative cap)",
+                           "rewrite the exit test of this back-edge as a "
+                           "comparison against a counted induction "
+                           "register");
+                continue;
+            }
+            const std::string reg = "r" + std::to_string(l.inductionReg);
+            eng.report("DAC-I008", Severity::Info, l.branchPc, b,
+                       "induction register " + reg +
+                           " has a data-dependent bound; the interval "
+                           "analysis cannot bound this loop's trip count "
+                           "(static prediction charges the conservative "
+                           "cap)",
+                       "bound " + reg +
+                           " by a kernel parameter or constant so the "
+                           "interval analysis can derive the trip count");
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
 // DAC-E007: decoupler soundness (implementation in soundness.cc).
 // ---------------------------------------------------------------------------
 
@@ -457,6 +501,12 @@ std::unique_ptr<Checker>
 makeDecouplerSoundnessChecker()
 {
     return std::make_unique<DecouplerSoundnessChecker>();
+}
+
+std::unique_ptr<Checker>
+makeLoopBoundChecker()
+{
+    return std::make_unique<LoopBoundChecker>();
 }
 
 } // namespace dacsim

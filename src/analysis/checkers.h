@@ -9,6 +9,7 @@
  *   DAC-W005  dead store (pure result never read)
  *   DAC-I006  global-access coalescing grade (info; warning when poor)
  *   DAC-E007  decoupler soundness violation (see soundness.h)
+ *   DAC-I008  loop trip count not statically bounded (see predict.h)
  */
 
 #ifndef DACSIM_ANALYSIS_CHECKERS_H
@@ -27,6 +28,7 @@ std::unique_ptr<Checker> makeSharedRaceChecker();
 std::unique_ptr<Checker> makeDeadCodeChecker();
 std::unique_ptr<Checker> makeCoalescingChecker();
 std::unique_ptr<Checker> makeDecouplerSoundnessChecker();
+std::unique_ptr<Checker> makeLoopBoundChecker();
 
 } // namespace dacsim
 

@@ -61,6 +61,7 @@ PassManager::withAllCheckers()
     pm.add(makeDeadCodeChecker());
     pm.add(makeCoalescingChecker());
     pm.add(makeDecouplerSoundnessChecker());
+    pm.add(makeLoopBoundChecker());
     return pm;
 }
 

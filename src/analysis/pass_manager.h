@@ -99,7 +99,7 @@ class PassManager
     LintReport run(const Kernel &kernel, const DacConfig &dac,
                    LaunchBoundsHint launch = {}) const;
 
-    /** The full pipeline: all six checkers (DESIGN.md §10 catalog). */
+    /** The full pipeline: all seven checkers (DESIGN.md §10 catalog). */
     static PassManager withAllCheckers();
 
   private:

@@ -1,0 +1,981 @@
+#include "analysis/predict.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "analysis/addr_expr.h"
+#include "analysis/dominators.h"
+#include "common/log.h"
+#include "compiler/affine_types.h"
+#include "compiler/cfg.h"
+#include "compiler/decoupler.h"
+#include "compiler/reaching_defs.h"
+#include "dac/engine.h"
+
+namespace dacsim
+{
+
+namespace
+{
+
+/** Saturation ceiling for bound arithmetic: far above any simulatable
+ * cycle count, far below overflow under further addition. */
+constexpr unsigned long long kSat = 1ull << 62;
+
+unsigned long long
+satAdd(unsigned long long a, unsigned long long b)
+{
+    unsigned long long s = a + b;
+    return (s < a || s > kSat) ? kSat : s;
+}
+
+unsigned long long
+satMul(unsigned long long a, unsigned long long b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > kSat / b)
+        return kSat;
+    return a * b;
+}
+
+/**
+ * Maximum value an AddrExpr can take under one concrete launch:
+ * tid.d in [0, block.d-1], ctaid.d in [0, grid.d-1], ntid/nctaid
+ * exact, parameters by slot value. False when the expression is
+ * unknown, unbounded, or references a missing parameter slot.
+ */
+bool
+evalExprMax(const AddrExpr &e, const PredictLaunch &l, long long *out)
+{
+    if (!e.known || !e.bounded)
+        return false;
+    long long maxv = e.hi;
+    auto addRange = [&](long long c, long long lo, long long hi) {
+        maxv += std::max(c * lo, c * hi);
+    };
+    const long long blockDim[3] = {l.block.x, l.block.y, l.block.z};
+    const long long gridDim[3] = {l.grid.x, l.grid.y, l.grid.z};
+    for (int d = 0; d < 3; ++d)
+        if (e.tid[d] != 0)
+            addRange(e.tid[d], 0, std::max<long long>(0, blockDim[d] - 1));
+    for (const auto &[k, c] : e.sym) {
+        if (k >= symCtaidNtidBase)
+            addRange(c, 0,
+                     std::max<long long>(0,
+                                         gridDim[k - symCtaidNtidBase] -
+                                             1) *
+                         blockDim[k - symCtaidNtidBase]);
+        else if (k >= symNctaidBase)
+            addRange(c, gridDim[k - symNctaidBase],
+                     gridDim[k - symNctaidBase]);
+        else if (k >= symNtidBase)
+            addRange(c, blockDim[k - symNtidBase],
+                     blockDim[k - symNtidBase]);
+        else if (k >= symCtaidBase)
+            addRange(c, 0,
+                     std::max<long long>(0, gridDim[k - symCtaidBase] - 1));
+        else if (k >= 0 && k < static_cast<int>(l.params.size()))
+            addRange(c, l.params[static_cast<std::size_t>(k)],
+                     l.params[static_cast<std::size_t>(k)]);
+        else
+            return false;
+    }
+    *out = maxv;
+    return true;
+}
+
+/** Every IR-level analysis the predictor needs, over one stream. */
+struct StreamAnalysis
+{
+    Kernel k; ///< analysed private copy (reconvergence PCs set)
+    Cfg cfg;
+    ReachingDefs rd;
+    AffineAnalysis aa;
+    DomTree dom;
+    AddrExprAnalysis addr;
+    std::vector<LoopInfo> loops;
+
+    StreamAnalysis(const Kernel &orig, int maxConds)
+        : k(orig), cfg(analyzeControlFlow(k)), rd(k, cfg),
+          aa(k, cfg, rd, maxConds), dom(cfg), addr(k, cfg, rd),
+          loops(findLoops(k, cfg, dom, rd, addr))
+    {
+    }
+};
+
+/**
+ * Worst-case DRAM lines one warp's access at @p pc can touch. Derived
+ * from the symbolic address: the intra-warp byte span is the tid.x
+ * stride times the warp's tid.x range, plus the residual interval's
+ * spread (lanes may sit anywhere in it). An unbounded residual is
+ * warp-uniform exactly when the address value is affine (uniform base
+ * plus linear tid terms); otherwise the warp may touch warpSize
+ * distinct lines.
+ */
+int
+predictTx(const StreamAnalysis &sa, int pc, const Dim3 &block)
+{
+    const Instruction &inst = sa.k.insts[static_cast<std::size_t>(pc)];
+    const int bytes = memWidthBytes(inst.width);
+    AddrExpr e = sa.addr.addrOf(pc);
+    if (!e.known)
+        return warpSize;
+    const bool yzUniform = block.x > 0 && block.x % warpSize == 0;
+    if ((e.tid[1] != 0 || e.tid[2] != 0) && !yzUniform)
+        return warpSize;
+    long long spread = 0;
+    if (e.bounded) {
+        spread = e.hi - e.lo;
+    } else {
+        if (sa.aa.srcType(pc, inst.src[0]).isNonAffine())
+            return warpSize;
+    }
+    const long long c = std::llabs(e.tid[0]);
+    const long long xRange =
+        std::min<long long>(warpSize, std::max(1, block.x)) - 1;
+    const long long span = c * xRange + spread + bytes;
+    const long long tx = (span + lineSizeBytes - 1) / lineSizeBytes;
+    return static_cast<int>(std::min<long long>(tx, warpSize));
+}
+
+/** Evaluate every loop's per-entry trip bound for one launch. */
+void
+evalTrips(const std::vector<LoopInfo> &loops, const PredictLaunch &l,
+          std::vector<unsigned long long> *trips, std::vector<bool> *bounded)
+{
+    trips->clear();
+    bounded->clear();
+    for (const LoopInfo &li : loops) {
+        long long spanHi = 0;
+        if (li.patternMatched && evalExprMax(li.span, l, &spanHi)) {
+            long long n = spanHi <= 0
+                              ? 0
+                              : (spanHi + li.step - 1) / li.step;
+            n += (li.inclusive ? 1 : 0) + li.extraTrip;
+            if (n < 1)
+                n = 1; // a bottom-test body runs at least once
+            trips->push_back(static_cast<unsigned long long>(n));
+            bounded->push_back(true);
+        } else {
+            trips->push_back(predictTripCap);
+            bounded->push_back(false);
+        }
+    }
+}
+
+/**
+ * Map a decoupled stream's loops onto the original kernel's trip
+ * bounds via the back-edge branch's provenance (control flow is
+ * replicated, so both streams iterate exactly as the original does).
+ * Falls back to the stream's own induction match, then to the cap.
+ */
+void
+mapStreamTrips(const StreamAnalysis &stream, const std::vector<int> &origPc,
+               const StreamAnalysis &orig,
+               const std::vector<unsigned long long> &origTrips,
+               const std::vector<bool> &origBounded, const PredictLaunch &l,
+               std::vector<unsigned long long> *trips,
+               std::vector<bool> *bounded)
+{
+    std::map<int, std::size_t> byBranch;
+    for (std::size_t i = 0; i < orig.loops.size(); ++i)
+        byBranch[orig.loops[i].branchPc] = i;
+    trips->clear();
+    bounded->clear();
+    for (const LoopInfo &li : stream.loops) {
+        int obp = li.branchPc >= 0 &&
+                          li.branchPc < static_cast<int>(origPc.size())
+                      ? origPc[static_cast<std::size_t>(li.branchPc)]
+                      : -1;
+        auto it = obp >= 0 ? byBranch.find(obp) : byBranch.end();
+        if (it != byBranch.end()) {
+            trips->push_back(origTrips[it->second]);
+            bounded->push_back(origBounded[it->second]);
+            continue;
+        }
+        long long spanHi = 0;
+        if (li.patternMatched && evalExprMax(li.span, l, &spanHi)) {
+            long long n = spanHi <= 0
+                              ? 0
+                              : (spanHi + li.step - 1) / li.step;
+            n += (li.inclusive ? 1 : 0) + li.extraTrip;
+            if (n < 1)
+                n = 1;
+            trips->push_back(static_cast<unsigned long long>(n));
+            bounded->push_back(true);
+        } else {
+            trips->push_back(predictTripCap);
+            bounded->push_back(false);
+        }
+    }
+}
+
+/** Derived cost constants of one GpuConfig. */
+struct CostCtx
+{
+    int issue;     ///< scheduler occupancy per warp instruction
+    int memChain;  ///< queue-free global round trip (L1+NoC+L2+DRAM)
+    int perLine;   ///< per-DRAM-line occupancy charge (with slack)
+    int expansion; ///< DAC expansion-unit charge per delivered record
+
+    CostCtx(const GpuConfig &gpu, const DacConfig &dac)
+        : issue(gpu.sched.warpIssueCycles),
+          memChain(gpu.l1.hitLatency + 2 * gpu.nocLatency +
+                   gpu.l2.hitLatency + gpu.dram.latency),
+          perLine(gpu.dram.cyclesPerLine + 8),
+          expansion(dacExpansionCyclesPerRecord(dac))
+    {
+    }
+};
+
+/** Per-execution-unit totals of one stream for one launch. */
+struct StreamTotals
+{
+    unsigned long long bound = 0; ///< serialized cost (saturating)
+    unsigned long long linesBound = 0; ///< DRAM lines (bound)
+    double issue = 0;  ///< scheduler-occupancy cycles (estimate)
+    double lat = 0;    ///< serial dependence-chain cycles (estimate)
+    double lines = 0;  ///< DRAM lines (estimate)
+    double deqs = 0;   ///< DAC records consumed (LdDeq/StDeq/DeqPred)
+};
+
+/**
+ * Walk one stream, weighting every instruction by its loop-trip
+ * multiplier, and accumulate the sound per-warp serialized cost plus
+ * the roofline estimate terms. @p origSa/@p origPc (non-null for the
+ * decoupled non-affine stream) recover a StDeq's address expression
+ * from its original store.
+ */
+StreamTotals
+walkStream(const StreamAnalysis &sa,
+           const std::vector<unsigned long long> &trips,
+           const PredictLaunch &l, const GpuConfig &gpu, const CostCtx &cc,
+           const StreamAnalysis *origSa, const std::vector<int> *origPc)
+{
+    const int nb = sa.cfg.numBlocks();
+    std::vector<unsigned long long> mult(static_cast<std::size_t>(nb), 1);
+    for (int b = 0; b < nb; ++b)
+        if (!sa.dom.reachable(b))
+            mult[static_cast<std::size_t>(b)] = 0;
+    for (std::size_t i = 0; i < sa.loops.size(); ++i)
+        for (int b : sa.loops[i].blocks)
+            mult[static_cast<std::size_t>(b)] =
+                satMul(mult[static_cast<std::size_t>(b)], trips[i]);
+
+    StreamTotals t;
+    for (int pc = 0; pc < sa.k.numInsts(); ++pc) {
+        const unsigned long long m =
+            mult[static_cast<std::size_t>(sa.cfg.blockOf(pc))];
+        if (m == 0)
+            continue;
+        const Instruction &inst = sa.k.insts[static_cast<std::size_t>(pc)];
+        unsigned long long cost = static_cast<unsigned long long>(cc.issue);
+        int estLat = gpu.aluLatency;
+        int tx = 0;
+        switch (inst.op) {
+          case Opcode::Ld:
+          case Opcode::St:
+            if (inst.space == MemSpace::Global) {
+                tx = predictTx(sa, pc, l.block);
+                cost += static_cast<unsigned long long>(cc.memChain) +
+                        static_cast<unsigned long long>(tx) * cc.perLine;
+                estLat = inst.op == Opcode::Ld ? cc.memChain
+                                               : gpu.aluLatency;
+            } else {
+                cost += static_cast<unsigned long long>(gpu.sharedLatency);
+                estLat = gpu.sharedLatency;
+            }
+            break;
+          case Opcode::Bar:
+            cost += static_cast<unsigned long long>(gpu.sharedLatency);
+            estLat = gpu.sharedLatency;
+            break;
+          case Opcode::EnqData:
+            tx = predictTx(sa, pc, l.block);
+            cost += static_cast<unsigned long long>(gpu.aluLatency) +
+                    static_cast<unsigned long long>(cc.memChain) +
+                    static_cast<unsigned long long>(tx) * cc.perLine;
+            estLat = cc.memChain;
+            break;
+          case Opcode::EnqAddr:
+          case Opcode::EnqPred:
+            cost += static_cast<unsigned long long>(gpu.aluLatency);
+            break;
+          case Opcode::LdDeq:
+            cost += static_cast<unsigned long long>(cc.memChain) +
+                    static_cast<unsigned long long>(cc.expansion);
+            break;
+          case Opcode::StDeq: {
+            if (origSa != nullptr && origPc != nullptr && pc >= 0 &&
+                pc < static_cast<int>(origPc->size())) {
+                int opc = (*origPc)[static_cast<std::size_t>(pc)];
+                if (opc >= 0)
+                    tx = predictTx(*origSa, opc, l.block);
+            }
+            if (tx == 0)
+                tx = warpSize;
+            cost += static_cast<unsigned long long>(cc.memChain) +
+                    static_cast<unsigned long long>(cc.expansion) +
+                    static_cast<unsigned long long>(tx) * cc.perLine;
+            break;
+          }
+          case Opcode::DeqPred:
+            cost += static_cast<unsigned long long>(gpu.aluLatency) +
+                    static_cast<unsigned long long>(cc.expansion);
+            break;
+          default:
+            cost += static_cast<unsigned long long>(gpu.aluLatency);
+            break;
+        }
+        t.bound = satAdd(t.bound, satMul(m, cost));
+        t.linesBound = satAdd(t.linesBound,
+                              satMul(m, static_cast<unsigned long long>(tx)));
+        const double md = static_cast<double>(m);
+        t.issue += md * cc.issue;
+        t.lat += md * (cc.issue + estLat);
+        t.lines += md * tx;
+        if (inst.op == Opcode::LdDeq || inst.op == Opcode::StDeq ||
+            inst.op == Opcode::DeqPred)
+            t.deqs += md;
+    }
+    return t;
+}
+
+/** Launch geometry derived from grid/block and the GPU shape. */
+struct Geom
+{
+    unsigned long long ctas = 0;
+    int wpc = 0; ///< warps per CTA
+    unsigned long long warps = 0;
+    int residentCtas = 1;
+    int activeSms = 1;
+    unsigned long long waves = 1;
+};
+
+Geom
+geomOf(const PredictLaunch &l, const GpuConfig &gpu)
+{
+    Geom g;
+    g.ctas = static_cast<unsigned long long>(
+        std::max<long long>(1, l.grid.count()));
+    g.wpc = std::max(1, warpsPerCta(l.block));
+    g.warps = g.ctas * static_cast<unsigned long long>(g.wpc);
+    const int byWarps = std::max(1, gpu.maxWarpsPerSm / g.wpc);
+    g.residentCtas = std::max(1, std::min(gpu.maxCtasPerSm, byWarps));
+    g.activeSms = static_cast<int>(std::min<unsigned long long>(
+        static_cast<unsigned long long>(std::max(1, gpu.numSms)), g.ctas));
+    const unsigned long long perWave =
+        static_cast<unsigned long long>(std::max(1, gpu.numSms)) *
+        static_cast<unsigned long long>(g.residentCtas);
+    g.waves = (g.ctas + perWave - 1) / perWave;
+    return g;
+}
+
+/** The roofline estimate's terms for one launch. */
+struct EstTerms
+{
+    double issue = 0; ///< scheduler-occupancy throughput floor
+    double dram = 0;  ///< DRAM line-transfer throughput floor
+    double lat = 0;   ///< per-warp dependence-chain latency
+    double exp = 0;   ///< DAC expansion-unit throughput floor
+};
+
+EstTerms
+rooflineTerms(const Geom &g, const GpuConfig &gpu, const DacConfig &dac,
+              const StreamTotals &perWarp, const StreamTotals *affPerCta)
+{
+    const double warps = static_cast<double>(g.warps);
+    const double ctas = static_cast<double>(g.ctas);
+    double issueTotal = perWarp.issue * warps;
+    double linesTotal = perWarp.lines * warps;
+    if (affPerCta != nullptr) {
+        issueTotal += affPerCta->issue * ctas;
+        linesTotal += affPerCta->lines * ctas;
+    }
+    EstTerms t;
+    t.issue = issueTotal / (std::max(1, gpu.sched.schedulersPerSm) *
+                            std::max(1, g.activeSms));
+    t.dram = linesTotal * gpu.dram.cyclesPerLine /
+             std::max(1, gpu.dram.partitions);
+    // A warp cannot finish faster than its own dependence chain, and
+    // CTA waves run back-to-back.
+    t.lat = static_cast<double>(g.waves) * perWarp.lat;
+    if (affPerCta != nullptr) {
+        // Expansion units deliver expansionsPerCycle records per SM
+        // cycle; every non-affine dequeue consumes one record. The
+        // affine warp is one warp serving every resident CTA in turn,
+        // so its chain scales with CTAs per SM.
+        t.exp = perWarp.deqs * warps /
+                (std::max(1, dac.expansionsPerCycle) *
+                 std::max(1, g.activeSms));
+        t.lat = std::max(t.lat, affPerCta->lat * ctas /
+                                    std::max(1, g.activeSms));
+    }
+    return t;
+}
+
+/** Combine the terms into the tracked cycle estimate. Calibrated
+ * against the fig16 sweep (see BENCH_predict.json, which exports the
+ * individual terms): the issue term ranks simulated cycles best — the
+ * in-order SMs sustain roughly a third of peak issue once latency
+ * stalls and replays are charged — with a small dependence-chain tail
+ * covering occupancy-starved launches. The dram and exp terms rank
+ * poorly as predictors on this suite and stay diagnostic-only. */
+unsigned long long
+combineEstimate(const EstTerms &t, const CostCtx &cc)
+{
+    const double est = 3.0 * t.issue + 0.05 * t.lat + cc.memChain + 64.0;
+    return static_cast<unsigned long long>(
+        std::min(est, static_cast<double>(kSat)));
+}
+
+// ---------------------------------------------------------------------------
+// Independent re-derivation of the decoupling decision (coverage
+// prediction). Mirrors compiler/decoupler.cc phase by phase, but runs
+// purely on the analysis framework — the decoupler's actual split
+// (dac/engine.h, dacActualSplit) is the reference it is validated
+// against, not an input.
+// ---------------------------------------------------------------------------
+
+enum class CKind
+{
+    No,
+    Load,
+    Store,
+    Pred,
+};
+
+struct Coverage
+{
+    bool anyDecoupled = false;
+    std::vector<bool> covered;
+    int count = 0;
+};
+
+class CoverageDeriver
+{
+  public:
+    CoverageDeriver(const StreamAnalysis &sa, const DacConfig &dcfg)
+        : sa_(sa), dcfg_(dcfg)
+    {
+    }
+
+    Coverage run();
+
+  private:
+    const StreamAnalysis &sa_;
+    const DacConfig &dcfg_;
+    std::vector<bool> resident_;
+    std::vector<bool> keepBranch_;
+    std::vector<CKind> cand_;
+    std::vector<bool> slice_;
+
+    int maxConds() const { return dcfg_.maxDivergentConditions; }
+
+    bool exitsDecoupleable() const;
+    void refineResidency();
+    void findCandidates();
+    std::optional<std::vector<int>> backwardSlice(
+        int pc, const std::vector<Operand> &seeds) const;
+    std::vector<Operand> seedsOf(int pc, CKind kind) const;
+};
+
+bool
+CoverageDeriver::exitsDecoupleable() const
+{
+    for (int pc = 0; pc < sa_.k.numInsts(); ++pc) {
+        const Instruction &inst = sa_.k.insts[static_cast<std::size_t>(pc)];
+        if (!inst.isExit())
+            continue;
+        if (!sa_.aa.blockAffineResident(sa_.cfg.blockOf(pc)))
+            return false;
+        if (inst.guardPred >= 0 &&
+            !sa_.aa.guardType(pc).affineOk(maxConds()))
+            return false;
+    }
+    return true;
+}
+
+std::vector<Operand>
+CoverageDeriver::seedsOf(int pc, CKind kind) const
+{
+    const Instruction &inst = sa_.k.insts[static_cast<std::size_t>(pc)];
+    std::vector<Operand> seeds;
+    switch (kind) {
+      case CKind::Load:
+      case CKind::Store:
+        seeds.push_back(inst.src[0]); // the address
+        break;
+      case CKind::Pred:
+        seeds.push_back(inst.src[0]);
+        seeds.push_back(inst.src[1]);
+        break;
+      case CKind::No:
+        break;
+    }
+    if (inst.guardPred >= 0)
+        seeds.push_back(Operand::pred(inst.guardPred));
+    return seeds;
+}
+
+std::optional<std::vector<int>>
+CoverageDeriver::backwardSlice(int pc,
+                               const std::vector<Operand> &seeds) const
+{
+    std::set<int> inSlice;
+    std::vector<std::pair<int, Operand>> work;
+    for (const Operand &s : seeds)
+        work.emplace_back(pc, s);
+
+    while (!work.empty()) {
+        auto [usePc, op] = work.back();
+        work.pop_back();
+        std::vector<int> defs;
+        if (op.isReg())
+            defs = sa_.rd.reachingRegDefs(usePc, op.index);
+        else if (op.isPred())
+            defs = sa_.rd.reachingPredDefs(usePc, op.index);
+        else
+            continue;
+        for (int d : defs) {
+            if (sa_.rd.isEntryDef(d))
+                continue;
+            if (inSlice.count(d))
+                continue;
+            const Instruction &di =
+                sa_.k.insts[static_cast<std::size_t>(d)];
+            // The slice must be computable by the affine warp.
+            if (di.isLoad() || di.op == Opcode::DeqPred)
+                return std::nullopt;
+            if (sa_.aa.defType(d).isNonAffine())
+                return std::nullopt;
+            if (!resident_[static_cast<std::size_t>(sa_.cfg.blockOf(d))])
+                return std::nullopt;
+            if (!affineEligibleAlu(di.op) && di.op != Opcode::Setp &&
+                !(di.op == Opcode::And || di.op == Opcode::Or ||
+                  di.op == Opcode::Xor || di.op == Opcode::Not ||
+                  di.op == Opcode::Shr)) {
+                return std::nullopt;
+            }
+            inSlice.insert(d);
+            for (int i = 0; i < numSources(di.op); ++i)
+                work.emplace_back(d, di.src[static_cast<std::size_t>(i)]);
+            if (di.guardPred >= 0)
+                work.emplace_back(d, Operand::pred(di.guardPred));
+        }
+    }
+    return std::vector<int>(inSlice.begin(), inSlice.end());
+}
+
+void
+CoverageDeriver::refineResidency()
+{
+    const int nb = sa_.cfg.numBlocks();
+    resident_.assign(static_cast<std::size_t>(nb), true);
+    for (int b = 0; b < nb; ++b)
+        resident_[static_cast<std::size_t>(b)] =
+            sa_.aa.blockAffineResident(b);
+    keepBranch_.assign(static_cast<std::size_t>(sa_.k.numInsts()), false);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int pc = 0; pc < sa_.k.numInsts(); ++pc) {
+            const Instruction &inst =
+                sa_.k.insts[static_cast<std::size_t>(pc)];
+            if (!inst.isBranch())
+                continue;
+            bool keep =
+                resident_[static_cast<std::size_t>(sa_.cfg.blockOf(pc))];
+            if (keep && inst.guardPred >= 0) {
+                if (!sa_.aa.guardType(pc).affineOk(maxConds()))
+                    keep = false;
+                else
+                    keep = backwardSlice(
+                               pc, {Operand::pred(inst.guardPred)})
+                               .has_value();
+            }
+            keepBranch_[static_cast<std::size_t>(pc)] = keep;
+        }
+        for (int b = 0; b < nb; ++b) {
+            if (!resident_[static_cast<std::size_t>(b)])
+                continue;
+            for (int br : sa_.cfg.controlDeps(b)) {
+                int term =
+                    sa_.cfg.blocks()[static_cast<std::size_t>(br)].last;
+                if (!keepBranch_[static_cast<std::size_t>(term)]) {
+                    resident_[static_cast<std::size_t>(b)] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+CoverageDeriver::findCandidates()
+{
+    const int n = sa_.k.numInsts();
+    cand_.assign(static_cast<std::size_t>(n), CKind::No);
+    slice_.assign(static_cast<std::size_t>(n), false);
+
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &inst = sa_.k.insts[static_cast<std::size_t>(pc)];
+        if (!resident_[static_cast<std::size_t>(sa_.cfg.blockOf(pc))])
+            continue;
+        if (inst.guardPred >= 0 &&
+            !sa_.aa.guardType(pc).affineOk(maxConds()))
+            continue;
+
+        CKind kind = CKind::No;
+        if (inst.op == Opcode::Ld && inst.space == MemSpace::Global &&
+            sa_.aa.srcType(pc, inst.src[0]).affineOk(maxConds())) {
+            kind = CKind::Load;
+        } else if (inst.op == Opcode::St &&
+                   inst.space == MemSpace::Global &&
+                   sa_.aa.srcType(pc, inst.src[0]).affineOk(maxConds())) {
+            kind = CKind::Store;
+        } else if (inst.op == Opcode::Setp &&
+                   sa_.aa.defType(pc).affineOk(maxConds())) {
+            kind = CKind::Pred;
+        }
+        if (kind == CKind::No)
+            continue;
+
+        auto slice = backwardSlice(pc, seedsOf(pc, kind));
+        if (!slice)
+            continue;
+        cand_[static_cast<std::size_t>(pc)] = kind;
+        for (int d : *slice)
+            slice_[static_cast<std::size_t>(d)] = true;
+    }
+
+    for (int pc = 0; pc < n; ++pc) {
+        if (!keepBranch_[static_cast<std::size_t>(pc)] ||
+            sa_.k.insts[static_cast<std::size_t>(pc)].guardPred < 0)
+            continue;
+        auto slice = backwardSlice(
+            pc,
+            {Operand::pred(
+                sa_.k.insts[static_cast<std::size_t>(pc)].guardPred)});
+        ensure(slice.has_value(),
+               "predict: keepable branch with infeasible slice");
+        for (int d : *slice)
+            slice_[static_cast<std::size_t>(d)] = true;
+    }
+}
+
+Coverage
+CoverageDeriver::run()
+{
+    const int n = sa_.k.numInsts();
+    Coverage out;
+    out.covered.assign(static_cast<std::size_t>(n), false);
+
+    bool feasible = exitsDecoupleable();
+    if (feasible) {
+        refineResidency();
+        findCandidates();
+        feasible = std::any_of(cand_.begin(), cand_.end(),
+                               [](CKind k) { return k != CKind::No; });
+    }
+    if (!feasible)
+        return out;
+    out.anyDecoupled = true;
+
+    // Dead-code elimination over the non-affine projection: which
+    // instructions still execute on the non-affine warps once the
+    // decoupled ones become enq/deq pairs? Replacements drop their
+    // sources exactly as the decoupler's rewrite does (LdDeq: none,
+    // StDeq: the value, DeqPred: none); guards are preserved.
+    std::vector<bool> needed(static_cast<std::size_t>(n), false);
+    std::vector<int> work;
+    auto markNeeded = [&](int pc) {
+        if (!needed[static_cast<std::size_t>(pc)]) {
+            needed[static_cast<std::size_t>(pc)] = true;
+            work.push_back(pc);
+        }
+    };
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &inst = sa_.k.insts[static_cast<std::size_t>(pc)];
+        const CKind ck = cand_[static_cast<std::size_t>(pc)];
+        const bool memory = ck == CKind::Load || ck == CKind::Store ||
+                            (ck == CKind::No && inst.isMemory());
+        if (memory || inst.isBranch() || inst.isBarrier() || inst.isExit())
+            markNeeded(pc);
+    }
+    while (!work.empty()) {
+        int pc = work.back();
+        work.pop_back();
+        const Instruction &inst = sa_.k.insts[static_cast<std::size_t>(pc)];
+        const CKind ck = cand_[static_cast<std::size_t>(pc)];
+        auto markUse = [&](const Operand &op) {
+            std::vector<int> defs;
+            if (op.isReg())
+                defs = sa_.rd.reachingRegDefs(pc, op.index);
+            else if (op.isPred())
+                defs = sa_.rd.reachingPredDefs(pc, op.index);
+            for (int d : defs)
+                if (!sa_.rd.isEntryDef(d))
+                    markNeeded(d);
+        };
+        switch (ck) {
+          case CKind::Load:
+          case CKind::Pred:
+            break; // replacement consumes only the queue
+          case CKind::Store:
+            markUse(inst.src[1]); // the stored value
+            break;
+          case CKind::No:
+            for (int i = 0; i < numSources(inst.op); ++i)
+                markUse(inst.src[static_cast<std::size_t>(i)]);
+            break;
+        }
+        if (inst.guardPred >= 0)
+            markUse(Operand::pred(inst.guardPred));
+    }
+
+    for (int pc = 0; pc < n; ++pc) {
+        auto i = static_cast<std::size_t>(pc);
+        out.covered[i] =
+            cand_[i] != CKind::No || (slice_[i] && !needed[i]);
+        if (out.covered[i])
+            ++out.count;
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+} // namespace
+
+PredictReport
+predictKernel(const Kernel &kernel,
+              const std::vector<PredictLaunch> &launches,
+              const GpuConfig &gpu, const DacConfig &dac)
+{
+    ensure(!launches.empty(), "predictKernel: no launches");
+    const int maxConds = dac.maxDivergentConditions;
+
+    PredictReport rep;
+    rep.kernel = kernel.name;
+    rep.numLaunches = static_cast<int>(launches.size());
+
+    StreamAnalysis orig(kernel, maxConds);
+    rep.numInsts = orig.k.numInsts();
+
+    // Predicted coverage: independent re-derivation of the decoupling.
+    Coverage cov = CoverageDeriver(orig, dac).run();
+    rep.predictedCoveredInsts = cov.count;
+    rep.predictedCoverage =
+        rep.numInsts ? static_cast<double>(cov.count) / rep.numInsts : 0.0;
+    rep.predictedAnyDecoupled = cov.anyDecoupled;
+
+    // The DAC cost model walks the streams the simulator will execute.
+    DecoupledKernel dec = decouple(kernel, dac);
+    StreamAnalysis na(dec.nonAffine, maxConds);
+    StreamAnalysis aff(dec.affine, maxConds);
+
+    const CostCtx cc(gpu, dac);
+    // Per-launch startup/drain slack (pipeline fill, first-miss chain,
+    // audit-boundary rounding).
+    const unsigned long long c0 =
+        8192 + 2 * static_cast<unsigned long long>(cc.memChain);
+
+    std::vector<bool> loopBoundedAll(orig.loops.size(), true);
+    std::vector<unsigned long long> loopMaxTrips(orig.loops.size(), 0);
+
+    for (const PredictLaunch &l : launches) {
+        const Geom g = geomOf(l, gpu);
+        rep.totalCtas += g.ctas;
+        rep.totalWarps += g.warps;
+
+        std::vector<unsigned long long> trips;
+        std::vector<bool> bounded;
+        evalTrips(orig.loops, l, &trips, &bounded);
+        bool launchCapped = false;
+        for (std::size_t i = 0; i < trips.size(); ++i) {
+            if (!bounded[i]) {
+                loopBoundedAll[i] = false;
+                launchCapped = true;
+            }
+            loopMaxTrips[i] = std::max(loopMaxTrips[i], trips[i]);
+        }
+
+        // Baseline.
+        StreamTotals tb =
+            walkStream(orig, trips, l, gpu, cc, nullptr, nullptr);
+        rep.base.boundCycles = satAdd(
+            rep.base.boundCycles, satAdd(c0, satMul(tb.bound, g.warps)));
+        rep.base.capped = rep.base.capped || launchCapped;
+        const EstTerms baseTerms = rooflineTerms(g, gpu, dac, tb, nullptr);
+        rep.base.issueTerm += baseTerms.issue;
+        rep.base.dramTerm += baseTerms.dram;
+        rep.base.latTerm += baseTerms.lat;
+        rep.base.expTerm += baseTerms.exp;
+        rep.base.estimateCycles = satAdd(rep.base.estimateCycles,
+                                         combineEstimate(baseTerms, cc));
+        rep.dramLineBound =
+            satAdd(rep.dramLineBound, satMul(tb.linesBound, g.warps));
+
+        // DAC: non-affine stream on every warp, affine stream once per
+        // CTA (the SM's affine warp walks it for each resident CTA).
+        std::vector<unsigned long long> naTrips, affTrips;
+        std::vector<bool> naBounded, affBounded;
+        mapStreamTrips(na, dec.nonAffineOrigPc, orig, trips, bounded, l,
+                       &naTrips, &naBounded);
+        mapStreamTrips(aff, dec.affineOrigPc, orig, trips, bounded, l,
+                       &affTrips, &affBounded);
+        bool dacCapped = launchCapped;
+        for (bool b : naBounded)
+            dacCapped = dacCapped || !b;
+        for (bool b : affBounded)
+            dacCapped = dacCapped || !b;
+        StreamTotals tn =
+            walkStream(na, naTrips, l, gpu, cc, &orig, &dec.nonAffineOrigPc);
+        StreamTotals ta =
+            walkStream(aff, affTrips, l, gpu, cc, nullptr, nullptr);
+        unsigned long long dacBound =
+            satAdd(satMul(tn.bound, g.warps), satMul(ta.bound, g.ctas));
+        rep.dac.boundCycles =
+            satAdd(rep.dac.boundCycles, satAdd(c0, dacBound));
+        rep.dac.capped = rep.dac.capped || dacCapped;
+        const EstTerms dacTerms = rooflineTerms(g, gpu, dac, tn, &ta);
+        rep.dac.issueTerm += dacTerms.issue;
+        rep.dac.dramTerm += dacTerms.dram;
+        rep.dac.latTerm += dacTerms.lat;
+        rep.dac.expTerm += dacTerms.exp;
+        rep.dac.estimateCycles = satAdd(rep.dac.estimateCycles,
+                                        combineEstimate(dacTerms, cc));
+    }
+
+    for (std::size_t i = 0; i < orig.loops.size(); ++i) {
+        LoopPredict lp;
+        lp.header = orig.loops[i].header;
+        lp.branchPc = orig.loops[i].branchPc;
+        lp.inductionReg = orig.loops[i].inductionReg;
+        lp.bounded = loopBoundedAll[i];
+        lp.maxTrips = loopBoundedAll[i] ? loopMaxTrips[i] : 0;
+        rep.loops.push_back(lp);
+    }
+    for (int pc = 0; pc < orig.k.numInsts(); ++pc) {
+        const Instruction &inst = orig.k.insts[static_cast<std::size_t>(pc)];
+        if (!(inst.op == Opcode::Ld || inst.op == Opcode::St) ||
+            inst.space != MemSpace::Global)
+            continue;
+        AccessPredict ap;
+        ap.pc = pc;
+        ap.isStore = inst.op == Opcode::St;
+        for (const PredictLaunch &l : launches)
+            ap.txPerWarp =
+                std::max(ap.txPerWarp, predictTx(orig, pc, l.block));
+        rep.accesses.push_back(ap);
+    }
+    return rep;
+}
+
+std::string
+PredictReport::renderText() const
+{
+    std::ostringstream os;
+    os << "predict report for " << kernel << "\n";
+    os << "  insts " << numInsts << "  launches " << numLaunches
+       << "  ctas " << totalCtas << "  warps " << totalWarps << "\n";
+    os << "  loops:";
+    if (loops.empty())
+        os << " none";
+    os << "\n";
+    for (const LoopPredict &lp : loops) {
+        os << "    block " << lp.header << " branch_pc " << lp.branchPc;
+        if (lp.inductionReg >= 0)
+            os << " induction r" << lp.inductionReg;
+        if (lp.bounded)
+            os << " trips <= " << lp.maxTrips;
+        else
+            os << " trips unbounded (capped)";
+        os << "\n";
+    }
+    os << "  global accesses:";
+    if (accesses.empty())
+        os << " none";
+    os << "\n";
+    for (const AccessPredict &ap : accesses) {
+        os << "    pc " << ap.pc << " " << (ap.isStore ? "st" : "ld")
+           << " tx/warp " << ap.txPerWarp << "\n";
+    }
+    os << "  baseline bound " << base.boundCycles << " cycles (capped "
+       << (base.capped ? "yes" : "no") << "), estimate "
+       << base.estimateCycles << " cycles\n";
+    os << "  dac      bound " << dac.boundCycles << " cycles (capped "
+       << (dac.capped ? "yes" : "no") << "), estimate "
+       << dac.estimateCycles << " cycles\n";
+    os << "  predicted coverage " << predictedCoveredInsts << "/"
+       << numInsts << " insts ("
+       << fmtDouble(predictedCoverage * 100.0, 2) << "%), decoupled "
+       << (predictedAnyDecoupled ? "yes" : "no") << "\n";
+    os << "  dram line bound " << dramLineBound << "\n";
+    return os.str();
+}
+
+std::string
+PredictReport::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"kernel\": \"" << kernel << "\",\n";
+    os << "  \"num_insts\": " << numInsts << ",\n";
+    os << "  \"launches\": " << numLaunches << ",\n";
+    os << "  \"total_ctas\": " << totalCtas << ",\n";
+    os << "  \"total_warps\": " << totalWarps << ",\n";
+    os << "  \"baseline\": {\"bound_cycles\": " << base.boundCycles
+       << ", \"capped\": " << (base.capped ? 1 : 0)
+       << ", \"estimate_cycles\": " << base.estimateCycles << "},\n";
+    os << "  \"dac\": {\"bound_cycles\": " << dac.boundCycles
+       << ", \"capped\": " << (dac.capped ? 1 : 0)
+       << ", \"estimate_cycles\": " << dac.estimateCycles << "},\n";
+    os << "  \"predicted_covered_insts\": " << predictedCoveredInsts
+       << ",\n";
+    os << "  \"predicted_coverage\": "
+       << fmtDouble(predictedCoverage, 6) << ",\n";
+    os << "  \"predicted_any_decoupled\": "
+       << (predictedAnyDecoupled ? 1 : 0) << ",\n";
+    os << "  \"dram_line_bound\": " << dramLineBound << ",\n";
+    os << "  \"loops\": [";
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        const LoopPredict &lp = loops[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"header\": " << lp.header
+           << ", \"branch_pc\": " << lp.branchPc
+           << ", \"induction_reg\": " << lp.inductionReg
+           << ", \"bounded\": " << (lp.bounded ? 1 : 0)
+           << ", \"max_trips\": " << lp.maxTrips << "}";
+    }
+    os << (loops.empty() ? "" : "\n  ") << "],\n";
+    os << "  \"accesses\": [";
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        const AccessPredict &ap = accesses[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"pc\": " << ap.pc << ", \"store\": "
+           << (ap.isStore ? 1 : 0)
+           << ", \"tx_per_warp\": " << ap.txPerWarp << "}";
+    }
+    os << (accesses.empty() ? "" : "\n  ") << "],\n";
+    os << "  \"trip_cap\": " << predictTripCap << "\n";
+    os << "}";
+    return os.str();
+}
+
+} // namespace dacsim

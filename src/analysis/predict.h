@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Static performance prediction (DESIGN.md §15).
+ *
+ * Derives, without simulating, (a) a guaranteed upper bound on a
+ * kernel's simulated cycles under the baseline and DAC techniques,
+ * (b) a throughput/latency *estimate* tracked for accuracy (MAPE and
+ * rank correlation against simulated cycles), and (c) the predicted
+ * affine-coverage fraction — the share of static instructions the
+ * decoupler will move off the non-affine warps — re-derived
+ * independently from the analysis framework and validated against the
+ * decoupler's actual split (dac/engine.h, dacActualSplit).
+ *
+ * The cycle bound composes per-instruction latencies from GpuConfig,
+ * loop trip-count intervals from the widening interval-affine analysis
+ * (analysis/addr_expr.h, findLoops — unbounded loops widen the bound
+ * to the flagged predictTripCap), and per-warp DRAM transaction counts
+ * from the address-expression coalescing predicates. Soundness comes
+ * from aggregate charging: every simulated cycle is attributable to
+ * some dynamic instruction's issue slot, completion latency, or DRAM
+ * line transfer, all of which the bound charges fully serialized
+ * across every warp of every CTA (see DESIGN.md §15 for the argument).
+ */
+
+#ifndef DACSIM_ANALYSIS_PREDICT_H
+#define DACSIM_ANALYSIS_PREDICT_H
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "sim/dim3.h"
+
+namespace dacsim
+{
+
+/** One concrete launch of the kernel: grid/block dimensions plus
+ * parameter values by slot (PreparedWorkload supplies these). */
+struct PredictLaunch
+{
+    Dim3 grid;
+    Dim3 block;
+    std::vector<RegVal> params;
+};
+
+/** Conservative per-entry trip cap charged for loops whose trip count
+ * the interval analysis cannot bound (flagged via TechPredict::capped
+ * and lint rule DAC-I008). */
+inline constexpr unsigned long long predictTripCap = 1ull << 20;
+
+/** Per-technique cycle prediction. */
+struct TechPredict
+{
+    /** Guaranteed upper bound on simulated cycles. */
+    unsigned long long boundCycles = 0;
+    /** Some loop's trip count was not statically bounded: boundCycles
+     * charges predictTripCap entries per loop entry and is a true
+     * bound only while no loop actually exceeds the cap. */
+    bool capped = false;
+    /** Roofline-style estimate — NOT a bound; tracked for MAPE and
+     * rank correlation against simulated cycles (BENCH_predict.json). */
+    unsigned long long estimateCycles = 0;
+
+    // Estimate decomposition (cycles, summed over launches): the
+    // throughput and latency terms the estimate combines. Exported to
+    // BENCH_predict.json for model calibration and debugging.
+    double issueTerm = 0; ///< scheduler-occupancy throughput floor
+    double dramTerm = 0;  ///< DRAM line-transfer throughput floor
+    double latTerm = 0;   ///< per-warp dependence-chain latency
+    double expTerm = 0;   ///< DAC expansion-unit throughput floor
+};
+
+/** One loop of the original kernel, with its evaluated trip bound. */
+struct LoopPredict
+{
+    int header = -1;       ///< header block id
+    int branchPc = -1;     ///< back-edge branch pc
+    int inductionReg = -1; ///< matched induction register (-1: none)
+    bool bounded = false;  ///< trip count derived for every launch
+    /** Max per-entry trip bound over all launches (valid when bounded). */
+    unsigned long long maxTrips = 0;
+};
+
+/** One global-memory access, with its predicted coalescing cost. */
+struct AccessPredict
+{
+    int pc = -1;
+    bool isStore = false;
+    int txPerWarp = 0; ///< worst-case DRAM lines per warp access
+};
+
+struct PredictReport
+{
+    std::string kernel;
+    int numInsts = 0;
+    int numLaunches = 0;
+    unsigned long long totalCtas = 0;  ///< summed over launches
+    unsigned long long totalWarps = 0; ///< summed over launches
+
+    TechPredict base; ///< baseline technique
+    TechPredict dac;  ///< DAC technique
+
+    /** Static affine coverage predicted by the independent
+     * re-derivation of the decoupling decision. */
+    int predictedCoveredInsts = 0;
+    double predictedCoverage = 0.0; ///< fraction of static instructions
+    bool predictedAnyDecoupled = false;
+
+    /** Total predicted DRAM line transfers, baseline technique (bound). */
+    unsigned long long dramLineBound = 0;
+
+    std::vector<LoopPredict> loops;      ///< original kernel's loops
+    std::vector<AccessPredict> accesses; ///< original kernel's globals
+
+    /** Human-readable report (golden fixture format, deterministic). */
+    std::string renderText() const;
+    /** One JSON object (stable key order, deterministic). */
+    std::string renderJson() const;
+};
+
+/**
+ * Predict @p kernel's behaviour under the baseline and DAC techniques
+ * for the given launches, without simulating. @p launches must be
+ * non-empty; per-launch parameter sets model iterative re-launches.
+ */
+PredictReport predictKernel(const Kernel &kernel,
+                            const std::vector<PredictLaunch> &launches,
+                            const GpuConfig &gpu, const DacConfig &dac);
+
+} // namespace dacsim
+
+#endif // DACSIM_ANALYSIS_PREDICT_H

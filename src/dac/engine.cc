@@ -4,11 +4,37 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "compiler/decoupler.h"
 #include "mem/coalescer.h"
 #include "sim/audit.h"
 
 namespace dacsim
 {
+
+DacSplitSummary
+dacActualSplit(const DecoupledKernel &dec)
+{
+    DacSplitSummary s;
+    s.totalInsts = static_cast<int>(dec.coveredByDac.size());
+    s.anyDecoupled = dec.anyDecoupled;
+    for (int pc = 0; pc < s.totalInsts; ++pc) {
+        auto i = static_cast<std::size_t>(pc);
+        if (dec.coveredByDac[i])
+            ++s.coveredInsts;
+        if (dec.decoupled[i])
+            ++s.decoupledInsts;
+        if (dec.inAffineStream[i])
+            ++s.affineStreamInsts;
+    }
+    return s;
+}
+
+int
+dacExpansionCyclesPerRecord(const DacConfig &cfg)
+{
+    const int per = std::max(1, cfg.expansionsPerCycle);
+    return (warpSize + per - 1) / per;
+}
 
 DacEngine::DacEngine(int sm_id, const GpuConfig &gcfg, const DacConfig &dcfg,
                      MemorySystem &mem, RunStats &stats)

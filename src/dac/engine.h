@@ -31,6 +31,41 @@ namespace dacsim
 {
 
 class StateIo;
+struct DecoupledKernel;
+
+/**
+ * Static instruction-split summary derived from the decoupler's
+ * per-instruction provenance marks (DecoupledKernel::coveredByDac).
+ * This is the ground truth the static predictor's independently
+ * re-derived coverage (analysis/predict.h) is validated against.
+ */
+struct DacSplitSummary
+{
+    int totalInsts = 0;     ///< original static instructions
+    int coveredInsts = 0;   ///< no longer execute on non-affine warps
+    int decoupledInsts = 0; ///< became enq/deq pairs
+    int affineStreamInsts = 0; ///< placed in the affine stream
+    bool anyDecoupled = false;
+
+    double
+    coveredFraction() const
+    {
+        return totalInsts ? static_cast<double>(coveredInsts) / totalInsts
+                          : 0.0;
+    }
+};
+
+/** Summarize a decoupling's actual static split from its provenance. */
+DacSplitSummary dacActualSplit(const DecoupledKernel &dec);
+
+/**
+ * Cycles the expansion units are occupied delivering the per-warp
+ * records of one affine tuple to one warp: the AEU/PEU expand
+ * warpSize lanes at DacConfig::expansionsPerCycle records per cycle.
+ * Used by the static cost model (analysis/predict.h) to charge each
+ * dequeue its expansion share.
+ */
+int dacExpansionCyclesPerRecord(const DacConfig &cfg);
 
 class DacEngine
 {

@@ -1,10 +1,13 @@
 #include "fuzz/oracle.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "analysis/checkers.h"
 #include "analysis/pass_manager.h"
 #include "common/log.h"
+#include "compiler/decoupler.h"
+#include "dac/engine.h"
 #include "harness/journal.h"
 #include "isa/assembler.h"
 #include "mem/gpu_memory.h"
@@ -189,7 +192,55 @@ runOracle(const std::string &source, std::uint64_t seed,
             return v;
         }
     }
-    // 4. Event-core cross-check (DESIGN.md §13): the DAC case again
+    // 4. Static-prediction soundness (DESIGN.md §15): the predictor's
+    //    guaranteed bound must dominate the simulated cycles of every
+    //    fault-free baseline/DAC run, and its independently re-derived
+    //    coverage must agree with the decoupler's actual split. A
+    //    violation is a Mismatch, so the shrinker minimizes it like
+    //    any other differential.
+    if (opt.predictCheck && !faulty) {
+        GpuMemory pmem;
+        PreparedWorkload prep = wl.prepare(pmem, 1.0);
+        PredictReport rep = predictKernel(prep.kernel,
+                                          predictLaunches(prep), opt.gpu,
+                                          opt.dac);
+        for (const TechRecord &rec : v.techs) {
+            const TechPredict *tp = nullptr;
+            if (rec.tech == Technique::Baseline)
+                tp = &rep.base;
+            else if (rec.tech == Technique::Dac)
+                tp = &rep.dac;
+            if (tp == nullptr || tp->capped || rec.fellBack)
+                continue;
+            if (tp->boundCycles < rec.cycles) {
+                v.status = OracleStatus::Mismatch;
+                std::ostringstream os;
+                os << "predict: " << techniqueName(rec.tech)
+                   << " bound " << tp->boundCycles
+                   << " below simulated cycles " << rec.cycles;
+                v.detail = os.str();
+                return v;
+            }
+        }
+        const DacSplitSummary actual =
+            dacActualSplit(decouple(kernel, opt.dac));
+        const double diff = std::fabs(rep.predictedCoverage -
+                                      actual.coveredFraction());
+        if (diff > 0.05 ||
+            rep.predictedAnyDecoupled != actual.anyDecoupled) {
+            v.status = OracleStatus::Mismatch;
+            std::ostringstream os;
+            os << "predict: coverage diverged from the decoupler "
+               << "(predicted " << rep.predictedCoverage << " decoupled "
+               << (rep.predictedAnyDecoupled ? 1 : 0) << ", actual "
+               << actual.coveredFraction() << " decoupled "
+               << (actual.anyDecoupled ? 1 : 0) << ")";
+            v.detail = os.str();
+            return v;
+        }
+    }
+
+    // 5. Event-core cross-check (DESIGN.md §13): the DAC case again
     //    under the other simulation core must reproduce the exact same
     //    simulation — checksum, cycle count, last state hash, and the
     //    full hash chain (which pins audit boundaries, not just the

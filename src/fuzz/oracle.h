@@ -93,6 +93,13 @@ struct OracleOptions
      * force the stepped core, so the A/B would compare a run against
      * itself). */
     bool eventCoreCheck = true;
+    /** Check the static predictor (analysis/predict.h) against the
+     * actual runs: its guaranteed bound must dominate the fault-free
+     * simulated cycles of the baseline and DAC cases, and its
+     * predicted coverage must be within 5pp of the decoupler's actual
+     * split. Skipped under a fault plan (faults inflate cycles past
+     * any fault-free model). */
+    bool predictCheck = true;
     /** Techniques to compare, baseline first (the shrinker narrows
      * this to the offending pair to keep candidate checks cheap). */
     std::vector<Technique> techs = {Technique::Baseline, Technique::Cae,

@@ -130,11 +130,18 @@ techniqueFromName(const std::string &name, Technique *t)
     return false;
 }
 
+const char *
+jobKindName(JobKind k)
+{
+    return k == JobKind::Predict ? "predict" : "run";
+}
+
 std::string
 encodeRequest(const JobRequest &rq)
 {
     std::ostringstream os;
-    os << "q1 id=" << rq.id << " bench=" << journalEscape(rq.bench)
+    os << "q1 id=" << rq.id << " kind=" << jobKindName(rq.kind)
+       << " bench=" << journalEscape(rq.bench)
        << " tech=" << techniqueName(rq.tech) << " scale=" << std::hex
        << rq.scaleBits << std::dec
        << " faults=" << journalEscape(rq.faultSpec);
@@ -166,6 +173,15 @@ decodeRequest(const std::string &payload, JobRequest *rq,
             const std::string val = tok.substr(eq + 1);
             if (key == "id") {
                 o.id = std::stoull(val);
+            } else if (key == "kind") {
+                // Absent key means Run: pre-kind journal entries and
+                // clients stay decodable.
+                if (val == "run")
+                    o.kind = JobKind::Run;
+                else if (val == "predict")
+                    o.kind = JobKind::Predict;
+                else
+                    return fail("unknown job kind '" + val + "'");
             } else if (key == "bench") {
                 o.bench = journalUnescape(val);
                 haveBench = true;
@@ -202,7 +218,8 @@ encodeResponse(const JobResponse &rs)
 {
     std::ostringstream os;
     os << "p1 id=" << rs.id << " ok=" << (rs.ok ? 1 : 0)
-       << " cached=" << (rs.cached ? 1 : 0) << " att=" << rs.attempts
+       << " cached=" << (rs.cached ? 1 : 0)
+       << " est=" << (rs.estimate ? 1 : 0) << " att=" << rs.attempts
        << " rt=" << (rs.retryable ? 1 : 0)
        << " err=" << journalEscape(rs.errorJson)
        << " o=" << journalEscape(encodeOutcome(rs.outcome));
@@ -232,6 +249,8 @@ decodeResponse(const std::string &payload, JobResponse *rs)
                 o.ok = val == "1";
             } else if (key == "cached") {
                 o.cached = val == "1";
+            } else if (key == "est") {
+                o.estimate = val == "1";
             } else if (key == "att") {
                 o.attempts = std::stoi(val);
             } else if (key == "rt") {

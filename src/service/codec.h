@@ -62,11 +62,26 @@ FrameStatus popFrame(std::string *buf, std::string *payload,
 
 // ----- job request --------------------------------------------------------
 
+/** What the client wants done with the named job. */
+enum class JobKind
+{
+    /** Simulate (cache-through, queued to the worker pool). */
+    Run,
+    /** Answer from the cache when possible; otherwise return the
+     * static predictor's instant estimate (analysis/predict.h) without
+     * simulating. Estimates are marked JobResponse::estimate and are
+     * never cached. */
+    Predict,
+};
+
+const char *jobKindName(JobKind k);
+
 /** One simulation job: run @p bench under @p tech at @p scale. */
 struct JobRequest
 {
     /** Client-chosen correlation id, echoed in the response. */
     std::uint64_t id = 0;
+    JobKind kind = JobKind::Run;
     std::string bench;
     Technique tech = Technique::Baseline;
     /** Exact bit pattern of the double workload scale (never rounds
@@ -103,6 +118,9 @@ struct JobResponse
     bool ok = false;
     /** Served from the result cache without re-simulation. */
     bool cached = false;
+    /** The outcome is the static predictor's estimate, not a
+     * simulation result (predict requests on a cache miss). */
+    bool estimate = false;
     /** Attempts the daemon's workers consumed (0 for cache hits). */
     int attempts = 0;
     /** The failure was host-side flake (crash/timeout): resubmitting

@@ -605,6 +605,38 @@ Daemon::handle(const JobRequest &rq)
         }
     }
 
+    // Predict requests never simulate: on a cache miss the static
+    // predictor (analysis/predict.h) answers synchronously, in
+    // process. Estimates model the fault-free run, are flagged
+    // estimate=1, and are never cached or queued — a later run request
+    // for the same job still simulates.
+    if (rq.kind == JobKind::Predict) {
+        counters_.estimates.fetch_add(1);
+        try {
+            const RunOptions defaults;
+            GpuMemory gmem;
+            PreparedWorkload prep =
+                findWorkload(rq.bench).prepare(gmem, rq.scale());
+            PredictReport rep =
+                predictKernel(prep.kernel, predictLaunches(prep),
+                              defaults.gpu, defaults.dac);
+            const TechPredict &tp =
+                rq.tech == Technique::Dac ? rep.dac : rep.base;
+            rs.ok = true;
+            rs.estimate = true;
+            rs.outcome.stats.cycles =
+                static_cast<std::uint64_t>(tp.estimateCycles);
+            rs.outcome.anyDecoupled = rq.tech == Technique::Dac &&
+                                      rep.predictedAnyDecoupled;
+        } catch (const FatalError &e) {
+            rs.ok = false;
+            rs.retryable = false;
+            rs.errorJson = failureJson(rq.bench, techniqueName(rq.tech),
+                                       "predict-failed", e.what());
+        }
+        return rs;
+    }
+
     std::shared_ptr<Inflight> entry;
     bool owner = false;
     {

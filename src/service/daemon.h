@@ -112,6 +112,8 @@ struct DaemonCounters
     std::atomic<std::uint64_t> blacklisted{0};///< served the crash blacklist
     std::atomic<std::uint64_t> badRequests{0};///< malformed frames/requests
     std::atomic<std::uint64_t> resumed{0};    ///< backlog jobs from the queue
+    std::atomic<std::uint64_t> estimates{0};  ///< predict misses answered
+                                              ///< by the static model
 };
 
 class Daemon

@@ -1,5 +1,7 @@
 #include "workloads/workload.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "workloads/registry.h"
 
@@ -29,6 +31,20 @@ findWorkload(const std::string &name)
         if (w.name == name)
             return w;
     fatal("unknown workload '", name, "'");
+}
+
+std::vector<PredictLaunch>
+predictLaunches(const PreparedWorkload &prep)
+{
+    std::vector<PredictLaunch> launches;
+    if (!prep.launchParams.empty()) {
+        for (const std::vector<RegVal> &p : prep.launchParams)
+            launches.push_back({prep.grid, prep.block, p});
+    } else {
+        for (int i = 0; i < std::max(1, prep.launches); ++i)
+            launches.push_back({prep.grid, prep.block, prep.params});
+    }
+    return launches;
 }
 
 } // namespace dacsim

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/predict.h"
 #include "common/types.h"
 #include "isa/instruction.h"
 #include "mem/gpu_memory.h"
@@ -62,6 +63,11 @@ const std::vector<Workload> &allWorkloads();
 
 /** Look up one benchmark by abbreviation; fatals when unknown. */
 const Workload &findWorkload(const std::string &name);
+
+/** The launch sequence @p prep describes, in static-predictor form:
+ * per-launch parameter sets when present, else `launches` repeats of
+ * the single parameter vector. */
+std::vector<PredictLaunch> predictLaunches(const PreparedWorkload &prep);
 
 } // namespace dacsim
 

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Static performance prediction tests (DESIGN.md §15).
+ *
+ * Validates the predictor's three claims on real workload kernels:
+ * loop trip counts derived from the interval-affine analysis, the
+ * guaranteed cycle bound dominating actual simulated runs, and the
+ * independently re-derived affine coverage agreeing with the
+ * decoupler's split. Also locks the report's text and JSON renderings
+ * as golden fixtures (tests/golden/predict_{SP,PF}.{txt,json});
+ * regenerate after an intentional model change with:
+ *   DACSIM_UPDATE_GOLDEN=1 ./tests/dacsim_tests --gtest_filter='GoldenPredict.*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/env.h"
+#include "compiler/decoupler.h"
+#include "dac/engine.h"
+#include "harness/runner.h"
+#include "workloads/workload.h"
+
+using namespace dacsim;
+
+namespace
+{
+
+PredictReport
+predictBench(const std::string &bench, double scale)
+{
+    GpuMemory gmem;
+    PreparedWorkload prep = findWorkload(bench).prepare(gmem, scale);
+    const RunOptions defaults;
+    return predictKernel(prep.kernel, predictLaunches(prep), defaults.gpu,
+                         defaults.dac);
+}
+
+TEST(Predict, DerivesCountedLoopTripsFromLaunchParameters)
+{
+    // SP (scalar product): one counted loop over the per-thread
+    // segment — 48 iterations at full scale.
+    PredictReport sp = predictBench("SP", 1.0);
+    ASSERT_EQ(sp.loops.size(), 1u);
+    EXPECT_TRUE(sp.loops[0].bounded);
+    EXPECT_EQ(sp.loops[0].maxTrips, 48u);
+
+    // PF (pathfinder): the outer row loop (20 trips) and the inner
+    // neighbourhood scan (4 trips).
+    PredictReport pf = predictBench("PF", 1.0);
+    ASSERT_EQ(pf.loops.size(), 2u);
+    std::vector<unsigned long long> trips;
+    for (const LoopPredict &lp : pf.loops) {
+        EXPECT_TRUE(lp.bounded);
+        trips.push_back(lp.maxTrips);
+    }
+    std::sort(trips.begin(), trips.end());
+    EXPECT_EQ(trips, (std::vector<unsigned long long>{4, 20}));
+}
+
+TEST(Predict, FlagsDataDependentLoopsAsCapped)
+{
+    // BFS's frontier loop exits on a data-dependent condition: the
+    // interval analysis cannot bound it, so the bound is capped and
+    // the per-loop report says so.
+    PredictReport bfs = predictBench("BFS", 0.25);
+    EXPECT_TRUE(bfs.base.capped);
+    EXPECT_TRUE(bfs.dac.capped);
+    bool anyUnbounded = false;
+    for (const LoopPredict &lp : bfs.loops)
+        anyUnbounded = anyUnbounded || !lp.bounded;
+    EXPECT_TRUE(anyUnbounded);
+}
+
+TEST(Predict, BoundDominatesSimulatedCycles)
+{
+    // The guaranteed bound must dominate the real simulated cycle
+    // count under both techniques. Spot-checked here on a compute-
+    // bound (BS) and a memory-bound (SP) kernel at a reduced scale;
+    // dacsim-predict --all sweeps all 29 at full scale.
+    for (const char *bench : {"BS", "SP", "PF"}) {
+        PredictReport rep = predictBench(bench, 0.25);
+        for (Technique tech : {Technique::Baseline, Technique::Dac}) {
+            RunOptions opt;
+            opt.tech = tech;
+            opt.scale = 0.25;
+            RunOutcome out = runWorkload(bench, opt);
+            ASSERT_TRUE(out.ok()) << bench << ": " << out.error.what;
+            ASSERT_FALSE(out.fellBack) << bench;
+            const TechPredict &tp =
+                tech == Technique::Dac ? rep.dac : rep.base;
+            EXPECT_FALSE(tp.capped) << bench;
+            EXPECT_GE(tp.boundCycles, out.stats.cycles)
+                << bench << " under " << techniqueName(tech);
+        }
+    }
+}
+
+TEST(Predict, CoverageAgreesWithTheDecouplerOnEveryKernel)
+{
+    // The predictor re-derives the decoupling decision from the
+    // analysis framework without calling the decoupler; the acceptance
+    // criterion is agreement within 5pp, and on the current kernels
+    // the re-derivation is exact.
+    const RunOptions defaults;
+    for (const Workload &wl : allWorkloads()) {
+        GpuMemory gmem;
+        PreparedWorkload prep = wl.prepare(gmem, 0.1);
+        PredictReport rep =
+            predictKernel(prep.kernel, predictLaunches(prep),
+                          defaults.gpu, defaults.dac);
+        DacSplitSummary actual =
+            dacActualSplit(decouple(prep.kernel, defaults.dac));
+        EXPECT_EQ(rep.predictedAnyDecoupled, actual.anyDecoupled)
+            << wl.name;
+        EXPECT_LE(std::fabs(rep.predictedCoverage -
+                            actual.coveredFraction()),
+                  0.05)
+            << wl.name << ": predicted " << rep.predictedCoverage
+            << " actual " << actual.coveredFraction();
+    }
+}
+
+TEST(Predict, ReportsWorstCaseCoalescingPerAccess)
+{
+    // SP streams with a unit-stride access pattern: one line per warp
+    // access. Every global access must be graded.
+    PredictReport sp = predictBench("SP", 1.0);
+    ASSERT_FALSE(sp.accesses.empty());
+    for (const AccessPredict &ap : sp.accesses) {
+        EXPECT_GE(ap.txPerWarp, 1);
+        EXPECT_LE(ap.txPerWarp, warpSize);
+    }
+    EXPECT_EQ(sp.accesses.front().txPerWarp, 1);
+}
+
+void
+checkGoldenPredict(const std::string &bench, bool json)
+{
+    PredictReport rep = predictBench(bench, 1.0);
+    const std::string live = json ? rep.renderJson() : rep.renderText();
+
+    const std::string path = std::string(DACSIM_GOLDEN_DIR) +
+                             "/predict_" + bench +
+                             (json ? ".json" : ".txt");
+    if (env().updateGolden) {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(os.good()) << "cannot write " << path;
+        os << live;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing fixture " << path
+        << " (regenerate with DACSIM_UPDATE_GOLDEN=1)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(live, want.str())
+        << "predicted report changed for " << bench
+        << "; if intentional, regenerate with DACSIM_UPDATE_GOLDEN=1 "
+           "and commit the fixture diff";
+}
+
+TEST(GoldenPredict, MemoryBoundText) { checkGoldenPredict("SP", false); }
+TEST(GoldenPredict, MemoryBoundJson) { checkGoldenPredict("SP", true); }
+TEST(GoldenPredict, ComputeBoundText) { checkGoldenPredict("PF", false); }
+TEST(GoldenPredict, ComputeBoundJson) { checkGoldenPredict("PF", true); }
+
+} // namespace

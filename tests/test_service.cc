@@ -31,6 +31,7 @@
 #include "service/codec.h"
 #include "service/daemon.h"
 #include "service/queue.h"
+#include "workloads/workload.h"
 
 namespace fs = std::filesystem;
 using namespace dacsim;
@@ -263,6 +264,43 @@ TEST(ServiceCodec, ResponseRoundTrip)
     EXPECT_FALSE(back.retryable);
     EXPECT_EQ(back.errorJson, rs.errorJson);
     EXPECT_EQ(encodeOutcome(back.outcome), encodeOutcome(rs.outcome));
+}
+
+TEST(ServiceCodec, RequestKindRoundTrip)
+{
+    JobRequest rq = smallJob();
+    rq.kind = JobKind::Predict;
+    JobRequest back;
+    std::string err;
+    ASSERT_TRUE(decodeRequest(encodeRequest(rq), &back, &err)) << err;
+    EXPECT_EQ(back.kind, JobKind::Predict);
+
+    // A request without the key decodes as a plain run (pre-kind
+    // journal entries stay readable); an unknown kind is rejected.
+    JobRequest old;
+    ASSERT_TRUE(decodeRequest(
+        "q1 id=1 bench=BS tech=DAC scale=3ff0000000000000 faults=", &old,
+        &err))
+        << err;
+    EXPECT_EQ(old.kind, JobKind::Run);
+    EXPECT_FALSE(decodeRequest(
+        "q1 id=1 kind=guess bench=BS tech=DAC scale=3ff0000000000000",
+        &old, &err));
+}
+
+TEST(ServiceCodec, ResponseEstimateFlagRoundTrip)
+{
+    JobResponse rs;
+    rs.id = 9;
+    rs.ok = true;
+    rs.estimate = true;
+    rs.outcome = directRun(smallJob());
+    JobResponse back;
+    ASSERT_TRUE(decodeResponse(encodeResponse(rs), &back));
+    EXPECT_TRUE(back.estimate);
+    rs.estimate = false;
+    ASSERT_TRUE(decodeResponse(encodeResponse(rs), &back));
+    EXPECT_FALSE(back.estimate);
 }
 
 TEST(ServiceCodec, ResponseRejectsGarbage)
@@ -791,6 +829,66 @@ TEST(ServiceSocket, EndToEndOverUnixSocket)
     server.join();
     EXPECT_EQ(daemon.counters().sims.load(), 1u);
     EXPECT_EQ(daemon.counters().cacheHits.load(), 1u);
+}
+
+TEST(ServiceSocket, PredictAnsweredStaticallyOnMissAndFromCacheOnHit)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.socketPath = (tmp.path / "dacsimd.sock").string();
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    std::thread server([&] { daemon.serve(); });
+
+    {
+        ServiceClient cli(opt.socketPath);
+        JobRequest rq = smallJob(Technique::Dac);
+        rq.kind = JobKind::Predict;
+        std::string cerr2;
+
+        // Cold cache: the static predictor answers instantly, without
+        // simulating, and the estimate is never cached.
+        JobResponse est;
+        ASSERT_TRUE(cli.call(rq, &est, &cerr2)) << cerr2;
+        ASSERT_TRUE(est.ok) << est.errorJson;
+        EXPECT_TRUE(est.estimate);
+        EXPECT_FALSE(est.cached);
+        EXPECT_EQ(daemon.counters().sims.load(), 0u);
+        EXPECT_EQ(daemon.counters().estimates.load(), 1u);
+
+        // The estimate is exactly the static model's.
+        GpuMemory gmem;
+        PreparedWorkload prep =
+            findWorkload(rq.bench).prepare(gmem, rq.scale());
+        const RunOptions defaults;
+        PredictReport rep =
+            predictKernel(prep.kernel, predictLaunches(prep),
+                          defaults.gpu, defaults.dac);
+        EXPECT_EQ(est.outcome.stats.cycles, rep.dac.estimateCycles);
+        EXPECT_EQ(est.outcome.anyDecoupled, rep.predictedAnyDecoupled);
+
+        // A later run request still simulates (the estimate did not
+        // poison the cache) ...
+        JobRequest run = smallJob(Technique::Dac);
+        JobResponse real;
+        ASSERT_TRUE(cli.call(run, &real, &cerr2)) << cerr2;
+        ASSERT_TRUE(real.ok) << real.errorJson;
+        EXPECT_FALSE(real.estimate);
+        EXPECT_EQ(daemon.counters().sims.load(), 1u);
+
+        // ... and a predict request after it is served the real cached
+        // outcome, not an estimate.
+        JobResponse hit;
+        ASSERT_TRUE(cli.call(rq, &hit, &cerr2)) << cerr2;
+        ASSERT_TRUE(hit.ok);
+        EXPECT_TRUE(hit.cached);
+        EXPECT_FALSE(hit.estimate);
+        EXPECT_EQ(encodeOutcome(hit.outcome),
+                  encodeOutcome(real.outcome));
+    }
+    daemon.requestStop();
+    server.join();
 }
 
 TEST(ServiceSocket, GarbageBytesGetStructuredErrorNotCrash)
