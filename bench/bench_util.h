@@ -29,7 +29,8 @@
 #include "harness/journal.h"
 #include "harness/runner.h"
 #include "harness/sweep.h"
-#include "service/client.h"
+#include "obs/timeline_json.h"
+#include "service/router.h"
 
 namespace dacsim::bench
 {
@@ -145,34 +146,91 @@ serviceFaultSpec(const std::string &bench)
 }
 
 /**
- * Client mode of runSweep(): route every job to the dacsimd daemon at
- * DACSIM_SERVICE_SOCKET and collect the responses. Each worker thread
- * holds its own connection, so the daemon's pool runs the jobs
- * concurrently; the daemon's cache/dedup machinery makes resubmitted
- * sweeps (and daemon kill/restart mid-sweep) converge to the same
- * byte-identical outcomes a direct run produces. Only {bench, tech,
- * scale, faults} travel — observability and checkpoint options are
- * host-local diagnostics and stay off on the service side.
+ * Write the timeline JSON a service sweep streamed for one job. The
+ * samples section is rendered by the same writer the in-process
+ * collector uses (obs/timeline_json.h), so its bytes match a direct
+ * `--timeline` run's exactly. The per-SM/per-warp stall tables are
+ * end-of-run diagnostics that do not stream; the cumulative totals
+ * do, and close the file in their place.
+ */
+inline void
+writeStreamedTimeline(const std::string &path, const SweepJob &job,
+                      const std::vector<TimelineSample> &samples,
+                      const StallStats &stalls)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write timeline ", path);
+    TimelineMeta meta;
+    meta.bench = job.bench;
+    meta.tech = techniqueName(job.opt.tech);
+    meta.scale = job.opt.scale;
+    writeTimelinePrefix(f, meta, samples);
+    std::fprintf(f, "  \"stalls\": {\n    ");
+    writeStallReasons(f, stalls);
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+}
+
+/**
+ * Client mode of runSweep(): route every job through the shard router
+ * (DACSIM_SERVICE_SHARDS, or the single daemon at
+ * DACSIM_SERVICE_SOCKET) and collect the typed JobResults. Each
+ * worker thread holds its own router — and through it its own
+ * per-shard connections — so the daemons' pools run the jobs
+ * concurrently; content-addressed caching and client-side failover
+ * make resubmitted sweeps (and a daemon killed mid-sweep) converge to
+ * the same byte-identical outcomes a direct run produces. Jobs are
+ * stamped with the DACSIM_SERVICE_CLIENT / DACSIM_SERVICE_WEIGHT
+ * admission identity. A job that asked for a timeline
+ * (RunOptions::obs::timelinePath) sets JobSpec::progress and
+ * reassembles the streamed samples into the timeline file here —
+ * observability travels as JobProgress frames, not as host-local
+ * state; Chrome traces and checkpoint options stay host-local and
+ * off on the service side.
  */
 inline std::vector<RunOutcome>
 runSweepViaService(const std::vector<SweepJob> &jobs)
 {
-    const std::string socket = env().serviceSocket;
     std::vector<RunOutcome> out(jobs.size());
     std::vector<std::string> failed(jobs.size());
     parallelFor(jobs.size(), [&](std::size_t i) {
-        service::ServiceClient cli(socket);
-        service::JobRequest rq;
-        rq.id = i + 1;
-        rq.bench = jobs[i].bench;
-        rq.tech = jobs[i].opt.tech;
-        rq.setScale(jobs[i].opt.scale);
-        rq.faultSpec = serviceFaultSpec(jobs[i].bench);
-        service::JobResponse rs;
+        static thread_local std::unique_ptr<service::ShardRouter> router;
+        if (!router)
+            router = std::make_unique<service::ShardRouter>(
+                service::ShardRouter::shardsFromEnv());
+        service::JobSpec spec;
+        spec.id = i + 1;
+        spec.bench = jobs[i].bench;
+        spec.tech = jobs[i].opt.tech;
+        spec.setScale(jobs[i].opt.scale);
+        spec.faultSpec = serviceFaultSpec(jobs[i].bench);
+        spec.client = env().serviceClient;
+        spec.weight = env().serviceWeight;
+
+        std::vector<TimelineSample> samples;
+        StallStats stalls{};
+        const std::string timelinePath = jobs[i].opt.obs.timelinePath;
+        if (!timelinePath.empty()) {
+            spec.progress = true;
+            router->onProgress([&](const service::JobProgress &p) {
+                // A retried or failed-over job restarts its stream;
+                // the non-increasing cycle marks the reset.
+                if (!samples.empty() &&
+                    p.sample.cycle <= samples.back().cycle)
+                    samples.clear();
+                samples.push_back(p.sample);
+                stalls = p.stalls;
+            });
+        }
+        service::JobResult rs;
         std::string err;
-        if (!cli.call(rq, &rs, &err))
+        const bool reached = router->call(spec, &rs, &err);
+        if (!timelinePath.empty())
+            router->onProgress({});
+        if (!reached)
             fatal("service sweep: ", err);
-        if (!rs.ok) {
+        if (!rs.ok()) {
             // Structured service-level failure (the daemon already
             // exhausted its retries): keep the PR-1 JSON report and
             // record a deadlock-class error so reporting skips the
@@ -183,6 +241,8 @@ runSweepViaService(const std::vector<SweepJob> &jobs)
             return;
         }
         out[i] = rs.outcome;
+        if (!timelinePath.empty())
+            writeStreamedTimeline(timelinePath, jobs[i], samples, stalls);
     });
     for (const std::string &json : failed)
         if (!json.empty())
@@ -193,7 +253,7 @@ runSweepViaService(const std::vector<SweepJob> &jobs)
 inline std::vector<RunOutcome>
 runSweep(const std::vector<SweepJob> &jobs, const char *figure = nullptr)
 {
-    if (!env().serviceSocket.empty())
+    if (!env().serviceShards.empty() || !env().serviceSocket.empty())
         return runSweepViaService(jobs);
     std::vector<RunOutcome> out(jobs.size());
     const std::string dir = figure != nullptr ? checkpointDir() : "";

@@ -12,12 +12,15 @@
  *   dacsimd: jobs=... sims=... cache_hits=... quarantined=...
  *
  * Stress mode (--stress N) is the service's own verifier: it submits
- * N jobs over the socket — concurrently, cycling the benchmark/
- * technique space — and byte-compares every response outcome against
- * a locally computed runWorkload() of the identical job. Run it
- * against a daemon with DACSIM_SERVICE_CHAOS set and it proves the
- * whole failure surface (injected crashes, watchdog kills, retries,
- * dedup, cache) never changes a single simulated bit.
+ * N typed JobSpecs over the socket — concurrently, cycling the
+ * benchmark/technique space — and byte-compares every JobResult's
+ * outcome against a locally computed runWorkload() of the identical
+ * job. With --progress each job additionally streams its counter
+ * timeline (JobProgress frames) and the client checks the stream ends
+ * exactly at the run's final cycle. Run it against a daemon with
+ * DACSIM_SERVICE_CHAOS set and it proves the whole failure surface
+ * (injected crashes, watchdog kills, retries, dedup, cache, restarted
+ * streams) never changes a single simulated bit.
  */
 
 #include <cstdio>
@@ -74,8 +77,12 @@ usage(std::FILE *f)
         "stand-in)\n"
         "  --idle-exit-ms N   exit after N ms with no work (0: "
         "serve forever)\n"
+        "  --queue-depth N    per-client admission bound "
+        "(DACSIM_SERVICE_QUEUE_DEPTH; 0: unbounded)\n"
         "  --stress N         submit N verified jobs instead of "
         "serving\n"
+        "  --progress         stream each stress job's timeline and "
+        "verify it\n"
         "  --scale S          stress-job workload scale (default "
         "0.125)\n"
         "  --help             this text\n\n%s",
@@ -102,7 +109,8 @@ serveMode(const service::DaemonOptions &opt)
 }
 
 int
-stressMode(const std::string &socketPath, int jobs, double scale)
+stressMode(const std::string &socketPath, int jobs, double scale,
+           bool progress)
 {
     // The job space: every benchmark x technique at the given scale,
     // cycled; repeats past one full cycle exercise the daemon's cache
@@ -140,25 +148,48 @@ stressMode(const std::string &socketPath, int jobs, double scale)
     };
 
     std::atomic<int> verified{0}, mismatches{0}, failures{0};
+    std::atomic<long> frames{0};
     parallelFor(static_cast<std::size_t>(jobs), [&](std::size_t i) {
         const Point &p = points[i % points.size()];
-        service::ServiceClient cli(socketPath);
-        service::JobRequest rq;
-        rq.id = i + 1;
-        rq.bench = p.bench;
-        rq.tech = p.tech;
-        rq.setScale(scale);
-        service::JobResponse rs;
+        service::Client cli(socketPath);
+        service::JobSpec spec;
+        spec.id = i + 1;
+        spec.bench = p.bench;
+        spec.tech = p.tech;
+        spec.setScale(scale);
+        spec.client = "stress";
+        spec.progress = progress;
+        // The stream's last frame is the end-of-run sample: whatever
+        // restarts chaos forced, a completed job's stream must end at
+        // the run's exact final cycle.
+        std::uint64_t lastCycle = 0;
+        if (progress)
+            cli.onProgress([&](const service::JobProgress &pr) {
+                frames.fetch_add(1);
+                lastCycle = pr.sample.cycle;
+            });
+        service::JobResult rs;
         std::string err;
-        if (!cli.call(rq, &rs, &err)) {
+        if (!cli.call(spec, &rs, &err)) {
             std::fprintf(stderr, "stress: job %zu: %s\n", i, err.c_str());
             failures.fetch_add(1);
             return;
         }
-        if (!rs.ok) {
+        if (!rs.ok()) {
             std::fprintf(stderr, "stress: job %zu failed: %s\n", i,
                          rs.errorJson.c_str());
             failures.fetch_add(1);
+            return;
+        }
+        if (progress && lastCycle != rs.outcome.stats.cycles) {
+            std::fprintf(stderr,
+                         "stress: job %zu (%s/%s): stream ended at "
+                         "cycle %llu but the run ended at %llu\n",
+                         i, p.bench.c_str(), techniqueName(p.tech),
+                         static_cast<unsigned long long>(lastCycle),
+                         static_cast<unsigned long long>(
+                             rs.outcome.stats.cycles));
+            mismatches.fetch_add(1);
             return;
         }
         if (encodeOutcome(rs.outcome) != truthFor(p)) {
@@ -171,9 +202,10 @@ stressMode(const std::string &socketPath, int jobs, double scale)
         }
         verified.fetch_add(1);
     });
-    std::printf("stress: jobs=%d verified=%d mismatches=%d failures=%d\n",
-                jobs, verified.load(), mismatches.load(),
-                failures.load());
+    std::printf("stress: jobs=%d verified=%d mismatches=%d failures=%d"
+                " frames=%ld\n",
+                jobs, verified.load(), mismatches.load(), failures.load(),
+                frames.load());
     return mismatches.load() == 0 && failures.load() == 0 ? 0 : 1;
 }
 
@@ -182,6 +214,7 @@ run(int argc, char **argv)
 {
     service::DaemonOptions opt = service::DaemonOptions::fromEnv();
     int stress = 0;
+    bool progress = false;
     double scale = 0.125;
     auto value = [&](int &i, const char *flag) -> const char * {
         if (i + 1 >= argc) {
@@ -216,6 +249,16 @@ run(int argc, char **argv)
             opt.abortAfter = std::atol(value(i, a));
         } else if (std::strcmp(a, "--idle-exit-ms") == 0) {
             opt.idleExitMs = std::atoi(value(i, a));
+        } else if (std::strcmp(a, "--queue-depth") == 0) {
+            opt.queueDepth = std::atoi(value(i, a));
+            if (opt.queueDepth < 0) {
+                std::fprintf(stderr,
+                             "dacsimd: --queue-depth needs a "
+                             "non-negative count\n");
+                return 2;
+            }
+        } else if (std::strcmp(a, "--progress") == 0) {
+            progress = true;
         } else if (std::strcmp(a, "--stress") == 0) {
             stress = std::atoi(value(i, a));
             if (stress <= 0) {
@@ -249,7 +292,7 @@ run(int argc, char **argv)
         return 2;
     }
     if (stress > 0)
-        return stressMode(opt.socketPath, stress, scale);
+        return stressMode(opt.socketPath, stress, scale, progress);
     if (opt.dir.empty()) {
         std::fprintf(
             stderr,

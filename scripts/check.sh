@@ -151,11 +151,14 @@ cmake --build build-san -j --target dacsim_predict
     done
 )
 
-echo "== simulation service smoke (sanitized build) =="
-# The daemon's codec, fork isolation, cache, and socket loop under
-# ASan+UBSan, with chaos injection exercising the crash/timeout
-# classification paths. (The service unit tests already ran under the
-# sanitized ctest pass above; this drives the real daemon binary.)
+echo "== simulation service streaming smoke (sanitized build) =="
+# The daemon's codec, fork isolation, cache, streaming pipe, and
+# socket loop under ASan+UBSan, with chaos injection exercising the
+# crash/timeout classification paths. --progress makes every stress
+# job stream its boundary timeline; the client requires each stream to
+# end at the run's exact final cycle even across chaos-forced
+# restarts. (The service unit tests already ran under the sanitized
+# ctest pass above; this drives the real daemon binary.)
 cmake --build build-san -j --target dacsimd
 (
     cd build-san
@@ -164,10 +167,13 @@ cmake --build build-san -j --target dacsimd
         --chaos crash=0.2,timeout=0.1,seed=11 --retries 3 \
         >daemon-chaos.log &
     daemon=$!
-    bench/dacsimd --socket svc/sock --stress 40 --scale 0.05
+    bench/dacsimd --socket svc/sock --stress 40 --scale 0.05 --progress
     kill -TERM "$daemon"
     wait "$daemon"
     grep 'dacsimd: jobs=' daemon-chaos.log
+    grep -q ' progress_frames=0 ' daemon-chaos.log \
+        && { echo "stress streamed no progress frames"; exit 1; }
+    exit 0
 )
 
 echo "== fuzz campaign smoke (sanitized build) =="
@@ -312,6 +318,61 @@ cmake --build build-rel -j --target dacsimd fig16_speedup
     wait "$daemon"
     grep -q ' quarantined=1' daemon-quarantine.log
     test -n "$(ls svc/cache/*.quarantined 2>/dev/null)"
+)
+
+echo "== sharded service sweep smoke (release build) =="
+# The fig16 sweep across three rendezvous-sharded daemons (DESIGN.md
+# §16.2): both survivors run ~20% injected chaos and one shard dies
+# mid-sweep (--abort-after, never restarted), so the router's
+# failover must re-home its keys onto the siblings — and the report
+# must still byte-match the fault-free direct run.
+(
+    cd build-rel
+    rm -rf shard1 shard2 shard3 BENCH_fig16.json
+    bench/dacsimd --socket shard1/sock --dir shard1 \
+        --chaos crash=0.15,timeout=0.05,seed=5 --retries 3 \
+        --idle-exit-ms 6000 >daemon-shard1.log &
+    d1=$!
+    bench/dacsimd --socket shard2/sock --dir shard2 \
+        --abort-after 1 --idle-exit-ms 6000 >daemon-shard2.log &
+    d2=$!
+    bench/dacsimd --socket shard3/sock --dir shard3 \
+        --chaos crash=0.15,timeout=0.05,seed=6 --retries 3 \
+        --idle-exit-ms 6000 >daemon-shard3.log &
+    d3=$!
+    DACSIM_SERVICE_SHARDS=shard1/sock,shard2/sock,shard3/sock \
+        bench/fig16_speedup --quick >/dev/null
+    cmp BENCH_fig16.direct.json BENCH_fig16.json
+    wait "$d2" || true # _Exit(3) after its first sim: the dead shard
+    wait "$d1"
+    wait "$d3"
+    grep 'dacsimd: jobs=' daemon-shard1.log daemon-shard3.log
+)
+
+echo "== streamed timeline golden (release build) =="
+# A timeline request routed through the service travels as streamed
+# JobProgress frames and is reassembled client-side (DESIGN.md §16.3):
+# the streamed SP/DAC timeline's header and samples array must match
+# the golden fixture a direct in-process --timeline run pins, byte for
+# byte. (The golden's per-SM/per-warp stall tables are end-of-run
+# diagnostics that deliberately do not stream, so the compare stops at
+# the samples section both files render identically.)
+(
+    cd build-rel
+    rm -rf svc-obs obs-SP-*.timeline.json
+    bench/dacsimd --socket svc-obs/sock --dir svc-obs \
+        --idle-exit-ms 4000 >daemon-obs.log &
+    daemon=$!
+    DACSIM_SERVICE_SOCKET=svc-obs/sock \
+        bench/fig16_speedup --only SP --timeline obs >/dev/null
+    wait "$daemon"
+    sed -n '1,/^  \],$/p' obs-SP-DAC.timeline.json >streamed-samples.txt
+    sed -n '1,/^  \],$/p' ../tests/golden/obs_timeline_SP_DAC.json \
+        >golden-samples.txt
+    cmp streamed-samples.txt golden-samples.txt
+    grep -q ' progress_frames=0 ' daemon-obs.log \
+        && { echo "timeline run streamed no frames"; exit 1; }
+    exit 0
 )
 
 echo "All checks passed."

@@ -64,6 +64,18 @@ envRegistry()
         {"DACSIM_SERVICE_CHAOS", "string", "",
          "dacsimd injected-failure spec, e.g. "
          "crash=0.2,timeout=0.05,seed=7 (empty: off)"},
+        {"DACSIM_SERVICE_SHARDS", "string", "",
+         "comma-separated dacsimd socket paths: the client-side shard "
+         "map (empty: single DACSIM_SERVICE_SOCKET)"},
+        {"DACSIM_SERVICE_CLIENT", "string", "",
+         "fair-share client identity stamped on submitted jobs "
+         "(empty: the default client)"},
+        {"DACSIM_SERVICE_WEIGHT", "int", "1",
+         "fair-share weight for this process's jobs (clamped to "
+         "[1, 1024])"},
+        {"DACSIM_SERVICE_QUEUE_DEPTH", "int", "256",
+         "dacsimd per-client admission bound on queued + running jobs "
+         "(0: unbounded)"},
     };
     return knobs;
 }
@@ -173,6 +185,14 @@ parseEnv(const std::vector<std::pair<std::string, std::string>> &vars,
             env.serviceRetries = n >= 0 ? static_cast<int>(n) : 2;
         else if (name == "DACSIM_SERVICE_CHAOS")
             env.serviceChaos = value;
+        else if (name == "DACSIM_SERVICE_SHARDS")
+            env.serviceShards = value;
+        else if (name == "DACSIM_SERVICE_CLIENT")
+            env.serviceClient = value;
+        else if (name == "DACSIM_SERVICE_WEIGHT")
+            env.serviceWeight = n > 0 ? static_cast<int>(n) : 1;
+        else if (name == "DACSIM_SERVICE_QUEUE_DEPTH")
+            env.serviceQueueDepth = n >= 0 ? static_cast<int>(n) : 256;
     }
     return env;
 }

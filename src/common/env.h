@@ -87,6 +87,19 @@ struct Env
     /** DACSIM_SERVICE_CHAOS: injected-failure spec for the daemon,
      * e.g. "crash=0.2,timeout=0.05,seed=7" ("": chaos off). */
     std::string serviceChaos;
+    /** DACSIM_SERVICE_SHARDS: comma-separated daemon socket paths —
+     * the client-side shard map. Non-empty routes sweeps through the
+     * shard router instead of the single DACSIM_SERVICE_SOCKET. */
+    std::string serviceShards;
+    /** DACSIM_SERVICE_CLIENT: fair-share identity bench drivers stamp
+     * on their JobSpecs ("": the default client). */
+    std::string serviceClient;
+    /** DACSIM_SERVICE_WEIGHT: fair-share weight for this process's
+     * jobs (clamped to [1, 1024] by the codec). */
+    int serviceWeight = 1;
+    /** DACSIM_SERVICE_QUEUE_DEPTH: daemon admission bound on one
+     * client's queued + running jobs (0: unbounded). */
+    int serviceQueueDepth = 256;
 };
 
 /**

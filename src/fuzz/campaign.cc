@@ -496,7 +496,13 @@ runCampaign(const CampaignOptions &opt)
 
     std::uint64_t digest = 1469598103934665603ull;
     for (const CaseResult &c : rep.cases) {
-        for (char ch : encodeCaseResult(c)) {
+        // The digest summarizes *verdicts*. `attempts` records host
+        // flakiness (a watchdog-killed child that succeeded on retry),
+        // so folding it in would make the digest depend on machine
+        // load; pin it before encoding.
+        CaseResult stable = c;
+        stable.attempts = 1;
+        for (char ch : encodeCaseResult(stable)) {
             digest ^= static_cast<unsigned char>(ch);
             digest *= 1099511628211ull;
         }

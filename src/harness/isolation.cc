@@ -50,7 +50,8 @@ writeAll(int fd, const std::string &s)
 }
 
 bool
-readWithDeadline(int fd, int timeoutMs, std::string *buf)
+readWithDeadline(int fd, int timeoutMs, std::string *buf,
+                 const std::function<void(const char *, std::size_t)> &onData)
 {
     using Clock = std::chrono::steady_clock;
     const Clock::time_point deadline =
@@ -76,6 +77,8 @@ readWithDeadline(int fd, int timeoutMs, std::string *buf)
         const ssize_t n = ::read(fd, tmp, sizeof tmp);
         if (n > 0) {
             buf->append(tmp, static_cast<std::size_t>(n));
+            if (onData)
+                onData(tmp, static_cast<std::size_t>(n));
         } else if (n == 0) {
             return true; // EOF: the child closed its end (exited)
         } else if (errno != EINTR && errno != EAGAIN) {
@@ -120,7 +123,8 @@ runForkIsolated(const std::function<void(int writeFd)> &child,
 
     // Parent.
     ::close(fds[1]);
-    const bool finished = readWithDeadline(fds[0], opt.timeoutMs, &r.output);
+    const bool finished =
+        readWithDeadline(fds[0], opt.timeoutMs, &r.output, opt.onData);
     ::close(fds[0]);
     if (!finished)
         ::kill(pid, SIGKILL);

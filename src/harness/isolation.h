@@ -64,6 +64,16 @@ struct IsolationOptions
     /** Noun used in watchdogDetail() ("case" for fuzz cases, "job"
      * for service jobs). */
     std::string subject = "case";
+    /**
+     * Streaming hook: invoked on the parent's reading thread with
+     * every chunk the child's pipe delivers, as it arrives — in
+     * addition to the chunk being appended to ChildResult::output.
+     * The service daemon uses it to forward a streaming child's
+     * framed progress messages while the job is still running; empty
+     * (the default) keeps the original accumulate-until-EOF
+     * behaviour byte-for-byte.
+     */
+    std::function<void(const char *data, std::size_t n)> onData;
 };
 
 /** The watchdog's diagnostic sentence for @p opt ("watchdog killed
@@ -104,9 +114,12 @@ void writeAll(int fd, const std::string &s);
 /**
  * Poll-deadline read loop: append everything @p fd delivers to @p buf
  * until EOF or a hard read error (true), or the deadline expires first
- * (false).
+ * (false). @p onData, when set, additionally receives each chunk as
+ * it arrives (see IsolationOptions::onData).
  */
-bool readWithDeadline(int fd, int timeoutMs, std::string *buf);
+bool readWithDeadline(
+    int fd, int timeoutMs, std::string *buf,
+    const std::function<void(const char *, std::size_t)> &onData = {});
 
 } // namespace dacsim
 

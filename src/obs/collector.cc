@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/log.h"
+#include "obs/timeline_json.h"
 #include "sim/gpu.h"
 
 namespace dacsim
@@ -122,6 +123,8 @@ ObsCollector::sample(const Gpu &gpu, Cycle now)
         ringHead_ = (ringHead_ + 1) % opt_.timelineCapacity;
         ++report_.timelineDropped;
     }
+    if (opt_.onSample)
+        opt_.onSample(t, report_.stalls);
 }
 
 void
@@ -173,56 +176,18 @@ ObsCollector::writeTimeline(const std::string &bench, const char *tech,
 {
     std::FILE *f = std::fopen(opt_.timelinePath.c_str(), "w");
     require(f != nullptr, "cannot write timeline ", opt_.timelinePath);
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"dacsim-obs-timeline-v1\",\n");
-    std::fprintf(f, "  \"bench\": \"%s\",\n", bench.c_str());
-    std::fprintf(f, "  \"tech\": \"%s\",\n", tech);
-    std::fprintf(f, "  \"scale\": %.3f,\n", scale);
-    std::fprintf(f, "  \"boundary_cycles\": 4096,\n");
-    std::fprintf(f, "  \"sample_every_boundaries\": %llu,\n",
-                 static_cast<unsigned long long>(
-                     opt_.timelineEveryBoundaries));
-    std::fprintf(f, "  \"dropped_samples\": %llu,\n",
-                 static_cast<unsigned long long>(report_.timelineDropped));
-    std::fprintf(f, "  \"samples\": [\n");
-    std::uint64_t prevInsts = 0;
-    Cycle prevCycle = 0;
-    for (std::size_t i = 0; i < report_.timeline.size(); ++i) {
-        const TimelineSample &t = report_.timeline[i];
-        // Per-interval IPC relative to the previous surviving sample
-        // (the first interval of a clipped ring starts mid-run).
-        double dc = static_cast<double>(t.cycle - prevCycle);
-        double ipc =
-            dc > 0 ? static_cast<double>(t.warpInsts - prevInsts) / dc
-                   : 0.0;
-        std::fprintf(f,
-                     "    {\"cycle\": %llu, \"ipc\": %.4f, "
-                     "\"warp_insts\": %llu, \"load_requests\": %llu, "
-                     "\"l1_misses\": %llu, \"deq_stall_cycles\": %llu, "
-                     "\"active_warps\": %d, \"atq\": %d, \"pwaq\": %d, "
-                     "\"pwpq\": %d, \"mshr\": %d}%s\n",
-                     static_cast<unsigned long long>(t.cycle), ipc,
-                     static_cast<unsigned long long>(t.warpInsts),
-                     static_cast<unsigned long long>(t.loadRequests),
-                     static_cast<unsigned long long>(t.l1Misses),
-                     static_cast<unsigned long long>(t.deqStallCycles),
-                     t.activeWarps, t.atq, t.pwaq, t.pwpq, t.mshrLive,
-                     i + 1 < report_.timeline.size() ? "," : "");
-        prevInsts = t.warpInsts;
-        prevCycle = t.cycle;
-    }
-    std::fprintf(f, "  ],\n");
+    TimelineMeta meta;
+    meta.bench = bench;
+    meta.tech = tech;
+    meta.scale = scale;
+    meta.sampleEveryBoundaries = opt_.timelineEveryBoundaries;
+    meta.droppedSamples = report_.timelineDropped;
+    writeTimelinePrefix(f, meta, report_.timeline);
     if (!opt_.stalls) {
         std::fprintf(f, "  \"stalls\": null\n");
     } else {
         auto emitReasons = [&](const StallStats &s) {
-            std::fprintf(f, "\"idle_slots\": %llu",
-                         static_cast<unsigned long long>(s.idleSlots));
-            for (int r = 0; r < numStallReasons; ++r)
-                std::fprintf(f, ", \"%s\": %llu",
-                             stallReasonName(static_cast<StallReason>(r)),
-                             static_cast<unsigned long long>(
-                                 s.reasons[static_cast<std::size_t>(r)]));
+            writeStallReasons(f, s);
         };
         std::fprintf(f, "  \"stalls\": {\n    ");
         emitReasons(report_.stalls);

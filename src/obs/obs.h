@@ -14,6 +14,7 @@
 #define DACSIM_OBS_OBS_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,8 @@
 
 namespace dacsim
 {
+
+struct TimelineSample;
 
 /** What the observability layer records for one run. */
 struct ObsOptions
@@ -48,6 +51,17 @@ struct ObsOptions
      * issue spans, affine-warp steps + runahead counters, and memory-
      * request lifetimes. Empty: no trace. */
     std::string chromeTracePath;
+    /**
+     * Streaming hook: invoked synchronously with every timeline
+     * sample the collector takes (each sampled audit boundary plus
+     * the finalize end-of-run sample), together with the cumulative
+     * slot-exclusive stall partition at that point. The service layer
+     * turns these into JobProgress frames (DESIGN.md §16.3). Like the
+     * rest of the obs layer, the callback observes — it can never
+     * feed back into simulated results.
+     */
+    std::function<void(const TimelineSample &, const StallStats &)>
+        onSample;
 
     bool
     timelineOn() const

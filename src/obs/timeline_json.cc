@@ -1,0 +1,63 @@
+#include "obs/timeline_json.h"
+
+namespace dacsim
+{
+
+void
+writeTimelinePrefix(std::FILE *f, const TimelineMeta &meta,
+                    const std::vector<TimelineSample> &samples)
+{
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"dacsim-obs-timeline-v1\",\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", meta.bench.c_str());
+    std::fprintf(f, "  \"tech\": \"%s\",\n", meta.tech.c_str());
+    std::fprintf(f, "  \"scale\": %.3f,\n", meta.scale);
+    std::fprintf(f, "  \"boundary_cycles\": 4096,\n");
+    std::fprintf(f, "  \"sample_every_boundaries\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     meta.sampleEveryBoundaries));
+    std::fprintf(f, "  \"dropped_samples\": %llu,\n",
+                 static_cast<unsigned long long>(meta.droppedSamples));
+    std::fprintf(f, "  \"samples\": [\n");
+    std::uint64_t prevInsts = 0;
+    Cycle prevCycle = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const TimelineSample &t = samples[i];
+        // Per-interval IPC relative to the previous surviving sample
+        // (the first interval of a clipped ring starts mid-run).
+        double dc = static_cast<double>(t.cycle - prevCycle);
+        double ipc =
+            dc > 0 ? static_cast<double>(t.warpInsts - prevInsts) / dc
+                   : 0.0;
+        std::fprintf(f,
+                     "    {\"cycle\": %llu, \"ipc\": %.4f, "
+                     "\"warp_insts\": %llu, \"load_requests\": %llu, "
+                     "\"l1_misses\": %llu, \"deq_stall_cycles\": %llu, "
+                     "\"active_warps\": %d, \"atq\": %d, \"pwaq\": %d, "
+                     "\"pwpq\": %d, \"mshr\": %d}%s\n",
+                     static_cast<unsigned long long>(t.cycle), ipc,
+                     static_cast<unsigned long long>(t.warpInsts),
+                     static_cast<unsigned long long>(t.loadRequests),
+                     static_cast<unsigned long long>(t.l1Misses),
+                     static_cast<unsigned long long>(t.deqStallCycles),
+                     t.activeWarps, t.atq, t.pwaq, t.pwpq, t.mshrLive,
+                     i + 1 < samples.size() ? "," : "");
+        prevInsts = t.warpInsts;
+        prevCycle = t.cycle;
+    }
+    std::fprintf(f, "  ],\n");
+}
+
+void
+writeStallReasons(std::FILE *f, const StallStats &s)
+{
+    std::fprintf(f, "\"idle_slots\": %llu",
+                 static_cast<unsigned long long>(s.idleSlots));
+    for (int r = 0; r < numStallReasons; ++r)
+        std::fprintf(f, ", \"%s\": %llu",
+                     stallReasonName(static_cast<StallReason>(r)),
+                     static_cast<unsigned long long>(
+                         s.reasons[static_cast<std::size_t>(r)]));
+}
+
+} // namespace dacsim

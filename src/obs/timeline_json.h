@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The timeline-JSON renderer (schema "dacsim-obs-timeline-v1"),
+ * factored out of the collector so the two producers of timeline
+ * files — the run-scoped ObsCollector writing at finalize(), and a
+ * service client reassembling streamed JobProgress frames (DESIGN.md
+ * §16.3) — emit byte-identical headers and sample arrays. The golden
+ * fixtures under tests/golden/ pin the bytes; check.sh compares a
+ * streamed timeline's samples section against the same golden a
+ * direct run produces.
+ */
+
+#ifndef DACSIM_OBS_TIMELINE_JSON_H
+#define DACSIM_OBS_TIMELINE_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace dacsim
+{
+
+/** Header fields of one timeline file. */
+struct TimelineMeta
+{
+    std::string bench;
+    std::string tech;
+    double scale = 1.0;
+    std::uint64_t sampleEveryBoundaries = 1;
+    std::uint64_t droppedSamples = 0;
+};
+
+/**
+ * Write the opening brace, the header fields, and the complete
+ * "samples" array (per-interval IPC differenced against the previous
+ * sample) up to and including the closing "  ],\n". The caller owns
+ * what follows — the "stalls" section and the closing brace.
+ */
+void writeTimelinePrefix(std::FILE *f, const TimelineMeta &meta,
+                         const std::vector<TimelineSample> &samples);
+
+/** One cumulative stall partition as a flat JSON object body:
+ * `"idle_slots": N, "<reason>": N, ...` (no braces). */
+void writeStallReasons(std::FILE *f, const StallStats &s);
+
+} // namespace dacsim
+
+#endif // DACSIM_OBS_TIMELINE_JSON_H

@@ -30,19 +30,19 @@ nowMs()
 
 } // namespace
 
-ServiceClient::ServiceClient(std::string socketPath, ClientOptions opt)
+Client::Client(std::string socketPath, ClientOptions opt)
     : path_(std::move(socketPath)), opt_(opt)
 {
     ::signal(SIGPIPE, SIG_IGN);
 }
 
-ServiceClient::~ServiceClient()
+Client::~Client()
 {
     disconnect();
 }
 
 void
-ServiceClient::disconnect()
+Client::disconnect()
 {
     if (fd_ >= 0) {
         ::close(fd_);
@@ -52,7 +52,7 @@ ServiceClient::disconnect()
 }
 
 bool
-ServiceClient::ensureConnected(std::int64_t deadline, std::string *error)
+Client::ensureConnected(std::int64_t deadline, std::string *error)
 {
     if (fd_ >= 0)
         return true;
@@ -71,6 +71,12 @@ ServiceClient::ensureConnected(std::int64_t deadline, std::string *error)
                       sizeof addr) == 0) {
             fd_ = fd;
             buf_.clear();
+            // Negotiate DSF2, then resubmit everything still pending:
+            // the daemon may have died holding our jobs, and jobs are
+            // idempotent by content-addressing.
+            writeAll(fd_, frameMessage(encodeHello(), frameMagicV2));
+            for (const auto &[id, spec] : pending_)
+                sendSpec(spec);
             return true;
         }
         const int err = errno;
@@ -89,41 +95,98 @@ ServiceClient::ensureConnected(std::int64_t deadline, std::string *error)
     }
 }
 
+void
+Client::sendSpec(const JobSpec &spec)
+{
+    if (fd_ >= 0)
+        writeAll(fd_, frameMessage(encodeSpec(spec, 2), frameMagicV2));
+}
+
+std::uint64_t
+Client::submit(JobSpec spec)
+{
+    if (spec.id == 0 || pending_.count(spec.id) != 0 ||
+        done_.count(spec.id) != 0)
+        spec.id = nextId_;
+    if (spec.id >= nextId_)
+        nextId_ = spec.id + 1;
+    const std::uint64_t id = spec.id;
+    pending_[id] = spec;
+    resubmits_[id] = 0;
+    sendSpec(spec); // no-op when not yet connected; wait() connects
+    return id;
+}
+
 bool
-ServiceClient::call(const JobRequest &rq, JobResponse *rs,
-                    std::string *error)
+Client::dispatch(const std::string &payload)
+{
+    const std::string tag = payloadTag(payload);
+    if (tag == "h2")
+        return true; // the daemon's hello echo
+    if (tag == "g2") {
+        JobProgress p;
+        if (!decodeProgress(payload, &p))
+            return false;
+        if (progress_)
+            progress_(p);
+        return true;
+    }
+    JobResult got;
+    if (!decodeResult(payload, &got))
+        return false;
+    auto it = pending_.find(got.id);
+    if (it == pending_.end())
+        return true; // stale duplicate (e.g. re-sent after reconnect)
+    if (got.retryable() && resubmits_[got.id] < opt_.maxResubmits) {
+        const int n = ++resubmits_[got.id];
+        // An overloaded daemon is telling us to yield: back off
+        // harder each time so the favoured clients drain first.
+        if (got.status == JobStatus::Overloaded)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                opt_.reconnectDelayMs * n));
+        sendSpec(it->second);
+        return true;
+    }
+    const std::uint64_t doneId = got.id;
+    pending_.erase(it);
+    resubmits_.erase(doneId);
+    done_[doneId] = std::move(got);
+    return true;
+}
+
+bool
+Client::wait(std::uint64_t id, JobResult *rs, std::string *error)
 {
     const std::int64_t deadline = nowMs() + opt_.deadlineMs;
-    const std::string wire = frameMessage(encodeRequest(rq));
-    int resubmits = 0;
     for (;;) {
+        auto doneIt = done_.find(id);
+        if (doneIt != done_.end()) {
+            *rs = std::move(doneIt->second);
+            done_.erase(doneIt);
+            return true;
+        }
+        if (pending_.count(id) == 0) {
+            if (error)
+                *error = "wait() on unknown job id " + std::to_string(id);
+            return false;
+        }
         if (!ensureConnected(deadline, error))
             return false;
-        writeAll(fd_, wire);
-        // Block for one complete response frame; EOF or garbage means
-        // the daemon died (or restarted) mid-job — reconnect and
-        // resubmit the identical, idempotent request.
+        // Pump the connection: pop complete frames, read more bytes
+        // when short. EOF or garbage means the daemon died (or
+        // restarted) mid-job — reconnect and resubmit.
         bool streamDead = false;
         for (;;) {
             std::string payload, detail;
             const FrameStatus st = popFrame(&buf_, &payload, &detail);
             if (st == FrameStatus::Ok) {
-                JobResponse got;
-                if (!decodeResponse(payload, &got)) {
+                if (!dispatch(payload)) {
                     streamDead = true;
                     break;
                 }
-                if (!got.ok && got.retryable &&
-                    resubmits < opt_.maxResubmits) {
-                    ++resubmits;
-                    streamDead = false;
-                    // Same connection, fresh submission: the daemon's
-                    // chaos/flake sequence advances, so this converges.
-                    writeAll(fd_, wire);
-                    continue;
-                }
-                *rs = got;
-                return true;
+                if (done_.count(id) != 0)
+                    break;
+                continue;
             }
             if (st != FrameStatus::NeedMore) {
                 streamDead = true;
@@ -152,6 +215,12 @@ ServiceClient::call(const JobRequest &rq, JobResponse *rs,
                 std::chrono::milliseconds(opt_.reconnectDelayMs));
         }
     }
+}
+
+bool
+Client::call(const JobSpec &spec, JobResult *rs, std::string *error)
+{
+    return wait(submit(spec), rs, error);
 }
 
 } // namespace dacsim::service

@@ -1,20 +1,35 @@
 /**
  * @file
- * Thin blocking client of the dacsimd service (DESIGN.md §14.5).
+ * Typed client of the dacsimd service (DESIGN.md §14.5, §16.5).
  *
- * call() frames and sends one job request and blocks for its
- * response. The client is the resilient half of the protocol: when
- * the daemon dies mid-job (connection refused, EOF before the
- * response, a framing error), it reconnects with backoff — waiting
- * out a daemon restart — and resubmits the identical request. That is
- * always safe: requests are idempotent by construction (the daemon
- * content-addresses them), so a resubmission either joins the
- * in-flight job, hits the cache, or re-runs deterministically.
+ * The API is the schema: submit() queues a JobSpec (pipelined — a
+ * client may have many jobs outstanding on one connection), wait()
+ * blocks for one job's JobResult, and onProgress() registers the sink
+ * for streamed JobProgress frames. call() is the submit-then-wait
+ * convenience every sweep worker uses.
+ *
+ * The client is the resilient half of the protocol: when the daemon
+ * dies mid-job (connection refused, EOF before the result, a framing
+ * error), it reconnects with backoff — waiting out a daemon restart —
+ * and resubmits every pending spec. That is always safe: jobs are
+ * idempotent by construction (the daemon content-addresses them), so
+ * a resubmission either joins the in-flight job, hits the cache, or
+ * re-runs deterministically. Retryable and Overloaded results are
+ * resubmitted a bounded number of times (Overloaded with a growing
+ * pause, yielding to the clients the daemon is favouring).
+ *
+ * On connect the client sends the DSF2 hello and frames everything
+ * with the DSF2 magic; old DSF1 clients keep working against the same
+ * daemon (the daemon answers each connection in the protocol it
+ * opened with).
  */
 
 #ifndef DACSIM_SERVICE_CLIENT_H
 #define DACSIM_SERVICE_CLIENT_H
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 
 #include "service/codec.h"
@@ -22,43 +37,76 @@
 namespace dacsim::service
 {
 
+/** Sink for streamed progress frames. A retried job restarts its
+ * stream: a non-increasing cycle for the same id marks the reset. */
+using ProgressFn = std::function<void(const JobProgress &)>;
+
 struct ClientOptions
 {
-    /** Total budget for one call(), reconnects included. */
+    /** Total budget for reaching the daemon per wait()/call(),
+     * reconnects included (time spent simulating does not count —
+     * a healthy connection is allowed to take as long as the job). */
     int deadlineMs = 120000;
     /** Delay between reconnect attempts. */
     int reconnectDelayMs = 100;
-    /** Resubmissions when the daemon reports a retryable failure
-     * (host-side flake that exhausted the daemon's own retries). */
+    /** Resubmissions per job when the daemon reports a retryable or
+     * overloaded result. */
     int maxResubmits = 5;
 };
 
-class ServiceClient
+class Client
 {
   public:
-    explicit ServiceClient(std::string socketPath,
-                           ClientOptions opt = ClientOptions{});
-    ~ServiceClient();
+    explicit Client(std::string socketPath,
+                    ClientOptions opt = ClientOptions{});
+    ~Client();
 
-    ServiceClient(const ServiceClient &) = delete;
-    ServiceClient &operator=(const ServiceClient &) = delete;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    const std::string &socketPath() const { return path_; }
+
+    /** Register the progress sink for all of this client's jobs
+     * (invoked on the wait()ing thread; specs must set progress). */
+    void onProgress(ProgressFn fn) { progress_ = std::move(fn); }
 
     /**
-     * Submit @p rq and block for its response. True with *rs filled —
-     * including ok == false responses carrying a structured error.
-     * False with *error set only when the service stays unreachable
-     * past the deadline or speaks an unintelligible protocol.
+     * Queue @p spec and (when connected) send it immediately. A zero
+     * id is assigned a fresh one; the chosen id is returned and names
+     * the job in wait() and in progress frames.
      */
-    bool call(const JobRequest &rq, JobResponse *rs, std::string *error);
+    std::uint64_t submit(JobSpec spec);
+
+    /**
+     * Block for job @p id's result. True with *rs filled — including
+     * failed results carrying a structured error. False with *error
+     * set only when the service stays unreachable past the deadline,
+     * speaks an unintelligible protocol, or @p id names no submitted
+     * job. Progress frames for any pending job are dispatched to the
+     * onProgress sink while waiting.
+     */
+    bool wait(std::uint64_t id, JobResult *rs, std::string *error);
+
+    /** submit() + wait(). */
+    bool call(const JobSpec &spec, JobResult *rs, std::string *error);
 
   private:
     bool ensureConnected(std::int64_t deadline, std::string *error);
     void disconnect();
+    void sendSpec(const JobSpec &spec);
+    /** Dispatch one received payload; false when the stream talks an
+     * unknown protocol (treat as a dead stream). */
+    bool dispatch(const std::string &payload);
 
     std::string path_;
     ClientOptions opt_;
+    ProgressFn progress_;
     int fd_ = -1;
     std::string buf_;
+    std::uint64_t nextId_ = 1;
+    std::map<std::uint64_t, JobSpec> pending_;
+    std::map<std::uint64_t, int> resubmits_;
+    std::map<std::uint64_t, JobResult> done_;
 };
 
 } // namespace dacsim::service

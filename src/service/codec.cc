@@ -33,11 +33,11 @@ getU32(const std::string &s, std::size_t off)
 } // namespace
 
 std::string
-frameMessage(const std::string &payload)
+frameMessage(const std::string &payload, std::uint32_t magic)
 {
     std::string out;
     out.reserve(12 + payload.size());
-    putU32(&out, frameMagic);
+    putU32(&out, magic);
     putU32(&out, static_cast<std::uint32_t>(payload.size()));
     putU32(&out, crc32(payload.data(), payload.size()));
     out += payload;
@@ -58,12 +58,13 @@ frameStatusName(FrameStatus s)
 }
 
 FrameStatus
-popFrame(std::string *buf, std::string *payload, std::string *detail)
+popFrame(std::string *buf, std::string *payload, std::string *detail,
+         int *version)
 {
     if (buf->size() < 12)
         return FrameStatus::NeedMore;
     const std::uint32_t magic = getU32(*buf, 0);
-    if (magic != frameMagic) {
+    if (magic != frameMagic && magic != frameMagicV2) {
         if (detail) {
             std::ostringstream os;
             os << "bad frame magic 0x" << std::hex << magic
@@ -95,15 +96,62 @@ popFrame(std::string *buf, std::string *payload, std::string *detail)
         }
         return FrameStatus::BadCrc;
     }
+    if (version)
+        *version = magic == frameMagicV2 ? 2 : 1;
     *payload = buf->substr(12, len);
     buf->erase(0, 12 + static_cast<std::size_t>(len));
     return FrameStatus::Ok;
 }
 
-// ----- job request --------------------------------------------------------
+std::string
+payloadTag(const std::string &payload)
+{
+    std::istringstream is(payload);
+    std::string tag;
+    is >> tag;
+    return tag;
+}
+
+// ----- hello --------------------------------------------------------------
+
+std::string
+encodeHello()
+{
+    return "h2 proto=2";
+}
+
+bool
+decodeHello(const std::string &payload, int *proto)
+{
+    std::istringstream is(payload);
+    std::string tag;
+    if (!(is >> tag) || tag != "h2")
+        return false;
+    int p = 2;
+    std::string tok;
+    while (is >> tok) {
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            return false;
+        if (tok.substr(0, eq) == "proto") {
+            try {
+                p = std::stoi(tok.substr(eq + 1));
+            } catch (const std::exception &) {
+                return false;
+            }
+        }
+        // Unknown hello keys are ignored: hellos are the one message
+        // future protocol generations may extend compatibly.
+    }
+    if (proto)
+        *proto = p;
+    return true;
+}
+
+// ----- job spec -----------------------------------------------------------
 
 double
-JobRequest::scale() const
+JobSpec::scale() const
 {
     double d = 0;
     static_assert(sizeof d == sizeof scaleBits);
@@ -112,7 +160,7 @@ JobRequest::scale() const
 }
 
 void
-JobRequest::setScale(double s)
+JobSpec::setScale(double s)
 {
     std::memcpy(&scaleBits, &s, sizeof scaleBits);
 }
@@ -137,20 +185,24 @@ jobKindName(JobKind k)
 }
 
 std::string
-encodeRequest(const JobRequest &rq)
+encodeSpec(const JobSpec &spec, int version)
 {
     std::ostringstream os;
-    os << "q1 id=" << rq.id << " kind=" << jobKindName(rq.kind)
-       << " bench=" << journalEscape(rq.bench)
-       << " tech=" << techniqueName(rq.tech) << " scale=" << std::hex
-       << rq.scaleBits << std::dec
-       << " faults=" << journalEscape(rq.faultSpec);
+    os << (version >= 2 ? "j2" : "q1") << " id=" << spec.id
+       << " kind=" << jobKindName(spec.kind)
+       << " bench=" << journalEscape(spec.bench)
+       << " tech=" << techniqueName(spec.tech) << " scale=" << std::hex
+       << spec.scaleBits << std::dec
+       << " faults=" << journalEscape(spec.faultSpec);
+    if (version >= 2)
+        os << " client=" << journalEscape(spec.client)
+           << " weight=" << spec.weight
+           << " prog=" << (spec.progress ? 1 : 0);
     return os.str();
 }
 
 bool
-decodeRequest(const std::string &payload, JobRequest *rq,
-              std::string *error)
+decodeSpec(const std::string &payload, JobSpec *spec, std::string *error)
 {
     auto fail = [error](const std::string &why) {
         if (error)
@@ -159,9 +211,10 @@ decodeRequest(const std::string &payload, JobRequest *rq,
     };
     std::istringstream is(payload);
     std::string tag;
-    if (!(is >> tag) || tag != "q1")
-        return fail("unknown request tag (expected q1)");
-    JobRequest o;
+    if (!(is >> tag) || (tag != "q1" && tag != "j2"))
+        return fail("unknown request tag (expected q1 or j2)");
+    const bool v2 = tag == "j2";
+    JobSpec o;
     bool haveBench = false, haveTech = false;
     std::string tok;
     try {
@@ -193,6 +246,14 @@ decodeRequest(const std::string &payload, JobRequest *rq,
                 o.scaleBits = std::stoull(val, nullptr, 16);
             } else if (key == "faults") {
                 o.faultSpec = journalUnescape(val);
+            } else if (v2 && key == "client") {
+                o.client = journalUnescape(val);
+            } else if (v2 && key == "weight") {
+                o.weight = std::stoi(val);
+            } else if (v2 && key == "prog") {
+                if (val != "0" && val != "1")
+                    return fail("progress flag must be 0 or 1");
+                o.progress = val == "1";
             } else {
                 return fail("unknown request key '" + key + "'");
             }
@@ -207,34 +268,99 @@ decodeRequest(const std::string &payload, JobRequest *rq,
     const double s = o.scale();
     if (!(s > 0.0) || s > 64.0)
         return fail("request scale out of range");
-    *rq = std::move(o);
+    if (o.weight < 1 || o.weight > 1024)
+        return fail("request weight out of range [1, 1024]");
+    *spec = std::move(o);
     return true;
 }
 
-// ----- job response -------------------------------------------------------
+// ----- job result ---------------------------------------------------------
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::Retryable: return "retryable";
+      case JobStatus::Overloaded: return "overloaded";
+    }
+    return "?";
+}
+
+bool
+jobStatusFromName(const std::string &name, JobStatus *s)
+{
+    for (JobStatus cand : {JobStatus::Ok, JobStatus::Failed,
+                           JobStatus::Retryable, JobStatus::Overloaded}) {
+        if (name == jobStatusName(cand)) {
+            *s = cand;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+resultSourceName(ResultSource s)
+{
+    switch (s) {
+      case ResultSource::Simulated: return "sim";
+      case ResultSource::Cached: return "cache";
+      case ResultSource::Predicted: return "pred";
+    }
+    return "?";
+}
+
+bool
+resultSourceFromName(const std::string &name, ResultSource *s)
+{
+    for (ResultSource cand :
+         {ResultSource::Simulated, ResultSource::Cached,
+          ResultSource::Predicted}) {
+        if (name == resultSourceName(cand)) {
+            *s = cand;
+            return true;
+        }
+    }
+    return false;
+}
 
 std::string
-encodeResponse(const JobResponse &rs)
+encodeResult(const JobResult &rs, int version)
 {
     std::ostringstream os;
-    os << "p1 id=" << rs.id << " ok=" << (rs.ok ? 1 : 0)
-       << " cached=" << (rs.cached ? 1 : 0)
-       << " est=" << (rs.estimate ? 1 : 0) << " att=" << rs.attempts
-       << " rt=" << (rs.retryable ? 1 : 0)
+    if (version >= 2) {
+        os << "r2 id=" << rs.id << " st=" << jobStatusName(rs.status)
+           << " src=" << resultSourceName(rs.source)
+           << " att=" << rs.attempts
+           << " err=" << journalEscape(rs.errorJson)
+           << " o=" << journalEscape(encodeOutcome(rs.outcome));
+        return os.str();
+    }
+    // Legacy p1 flag soup: ok/cached/est/rt are projections of the
+    // typed status and source, byte-identical to what a pre-DSF2
+    // daemon emitted for the same job.
+    os << "p1 id=" << rs.id << " ok=" << (rs.ok() ? 1 : 0)
+       << " cached=" << (rs.source == ResultSource::Cached ? 1 : 0)
+       << " est=" << (rs.source == ResultSource::Predicted ? 1 : 0)
+       << " att=" << rs.attempts << " rt=" << (rs.retryable() ? 1 : 0)
        << " err=" << journalEscape(rs.errorJson)
        << " o=" << journalEscape(encodeOutcome(rs.outcome));
     return os.str();
 }
 
 bool
-decodeResponse(const std::string &payload, JobResponse *rs)
+decodeResult(const std::string &payload, JobResult *rs)
 {
     std::istringstream is(payload);
     std::string tag;
-    if (!(is >> tag) || tag != "p1")
+    if (!(is >> tag) || (tag != "p1" && tag != "r2"))
         return false;
-    JobResponse o;
-    bool haveOutcome = false;
+    const bool v2 = tag == "r2";
+    JobResult o;
+    bool haveOutcome = false, haveStatus = false;
+    bool ok = false, cached = false, est = false, rt = false;
     std::string tok;
     try {
         while (is >> tok) {
@@ -245,16 +371,23 @@ decodeResponse(const std::string &payload, JobResponse *rs)
             const std::string val = tok.substr(eq + 1);
             if (key == "id") {
                 o.id = std::stoull(val);
-            } else if (key == "ok") {
-                o.ok = val == "1";
-            } else if (key == "cached") {
-                o.cached = val == "1";
-            } else if (key == "est") {
-                o.estimate = val == "1";
+            } else if (v2 && key == "st") {
+                if (!jobStatusFromName(val, &o.status))
+                    return false;
+                haveStatus = true;
+            } else if (v2 && key == "src") {
+                if (!resultSourceFromName(val, &o.source))
+                    return false;
+            } else if (!v2 && key == "ok") {
+                ok = val == "1";
+            } else if (!v2 && key == "cached") {
+                cached = val == "1";
+            } else if (!v2 && key == "est") {
+                est = val == "1";
+            } else if (!v2 && key == "rt") {
+                rt = val == "1";
             } else if (key == "att") {
                 o.attempts = std::stoi(val);
-            } else if (key == "rt") {
-                o.retryable = val == "1";
             } else if (key == "err") {
                 o.errorJson = journalUnescape(val);
             } else if (key == "o") {
@@ -270,8 +403,121 @@ decodeResponse(const std::string &payload, JobResponse *rs)
     }
     if (!haveOutcome)
         return false;
+    if (v2) {
+        if (!haveStatus)
+            return false;
+    } else {
+        o.status = ok ? JobStatus::Ok
+                      : (rt ? JobStatus::Retryable : JobStatus::Failed);
+        o.source = cached ? ResultSource::Cached
+                          : (est ? ResultSource::Predicted
+                                 : ResultSource::Simulated);
+    }
     *rs = std::move(o);
     return true;
+}
+
+// ----- job progress -------------------------------------------------------
+
+std::string
+encodeProgress(const JobProgress &p)
+{
+    std::ostringstream os;
+    os << "g2 id=" << p.id << " cycle=" << p.sample.cycle
+       << " wi=" << p.sample.warpInsts << " lr=" << p.sample.loadRequests
+       << " l1m=" << p.sample.l1Misses
+       << " deq=" << p.sample.deqStallCycles
+       << " aw=" << p.sample.activeWarps << " atq=" << p.sample.atq
+       << " pwaq=" << p.sample.pwaq << " pwpq=" << p.sample.pwpq
+       << " mshr=" << p.sample.mshrLive << " idle=" << p.stalls.idleSlots
+       << " sr=";
+    for (std::size_t r = 0; r < p.stalls.reasons.size(); ++r)
+        os << (r != 0 ? "," : "") << p.stalls.reasons[r];
+    return os.str();
+}
+
+bool
+decodeProgress(const std::string &payload, JobProgress *p)
+{
+    std::istringstream is(payload);
+    std::string tag;
+    if (!(is >> tag) || tag != "g2")
+        return false;
+    JobProgress o;
+    bool haveCycle = false;
+    std::string tok;
+    try {
+        while (is >> tok) {
+            const std::size_t eq = tok.find('=');
+            if (eq == std::string::npos)
+                return false;
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            if (key == "id") {
+                o.id = std::stoull(val);
+            } else if (key == "cycle") {
+                o.sample.cycle = std::stoull(val);
+                haveCycle = true;
+            } else if (key == "wi") {
+                o.sample.warpInsts = std::stoull(val);
+            } else if (key == "lr") {
+                o.sample.loadRequests = std::stoull(val);
+            } else if (key == "l1m") {
+                o.sample.l1Misses = std::stoull(val);
+            } else if (key == "deq") {
+                o.sample.deqStallCycles = std::stoull(val);
+            } else if (key == "aw") {
+                o.sample.activeWarps = std::stoi(val);
+            } else if (key == "atq") {
+                o.sample.atq = std::stoi(val);
+            } else if (key == "pwaq") {
+                o.sample.pwaq = std::stoi(val);
+            } else if (key == "pwpq") {
+                o.sample.pwpq = std::stoi(val);
+            } else if (key == "mshr") {
+                o.sample.mshrLive = std::stoi(val);
+            } else if (key == "idle") {
+                o.stalls.idleSlots = std::stoull(val);
+            } else if (key == "sr") {
+                std::size_t pos = 0, r = 0;
+                while (pos <= val.size() &&
+                       r < o.stalls.reasons.size()) {
+                    std::size_t sep = val.find(',', pos);
+                    if (sep == std::string::npos)
+                        sep = val.size();
+                    o.stalls.reasons[r++] =
+                        std::stoull(val.substr(pos, sep - pos));
+                    pos = sep + 1;
+                }
+                if (r != o.stalls.reasons.size())
+                    return false;
+            } else {
+                return false;
+            }
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    if (!haveCycle)
+        return false;
+    *p = std::move(o);
+    return true;
+}
+
+// ----- child-pipe outcome -------------------------------------------------
+
+std::string
+encodeChildOutcome(const RunOutcome &out)
+{
+    return "o2 " + encodeOutcome(out);
+}
+
+bool
+decodeChildOutcome(const std::string &payload, RunOutcome *out)
+{
+    if (payload.rfind("o2 ", 0) != 0)
+        return false;
+    return decodeOutcome(payload.substr(3), out);
 }
 
 } // namespace dacsim::service

@@ -1,21 +1,39 @@
 /**
  * @file
- * Wire protocol of the dacsimd simulation service (DESIGN.md §14.2).
+ * Wire protocol of the dacsimd simulation service (DESIGN.md §14.2,
+ * §16.1) — the single source of truth for the typed job schema.
  *
  * Transport framing is length-prefixed and CRC-protected: every frame
  * is a 12-byte header (magic, payload length, payload CRC32, all
- * explicit little-endian) followed by the payload bytes. The decoder
- * is incremental — feed it whatever the socket delivered and it either
- * pops one complete verified frame, asks for more bytes, or reports a
- * structured framing error (bad magic / oversized length / bad CRC).
- * A framing error means the stream is unsynchronized and the
- * connection must be dropped; it must never crash the daemon.
+ * explicit little-endian) followed by the payload bytes. Two magics
+ * coexist: "DSF1" (the original protocol) and "DSF2" (the typed,
+ * streaming protocol). The decoder is incremental — feed it whatever
+ * the socket delivered and it either pops one complete verified frame
+ * (reporting which protocol version framed it), asks for more bytes,
+ * or reports a structured framing error (bad magic / oversized length
+ * / bad CRC). A framing error means the stream is unsynchronized and
+ * the connection must be dropped; it must never crash the daemon.
  *
- * Message payloads reuse the journal text codec (exact, single-line,
- * percent-escaped fields): requests name a {bench, technique, scale,
- * faults} job, responses carry either the full encoded RunOutcome —
- * byte-identical to what a local runWorkload() would have produced —
- * or a structured error report in the PR-1 JSON schema.
+ * The schema is three typed messages:
+ *  - JobSpec: what to run — {bench, technique, exact scale bits,
+ *    faults} plus the admission identity (client, weight) and the
+ *    progress-streaming flag. One encoding (`j2`) feeds the wire, the
+ *    durable queue journal, and the content-addressed cache key
+ *    (service/key.h); the legacy `q1` encoding is still decoded so
+ *    old clients and pre-DSF2 queue journals keep working.
+ *  - JobResult: status (ok / failed / retryable / overloaded), the
+ *    result's source (simulated / cached / predicted), attempts, a
+ *    structured error report, and the full encoded RunOutcome —
+ *    byte-identical to what a local runWorkload() would have
+ *    produced. Encodes as `r2`, or as the legacy `p1` flag soup for
+ *    DSF1 connections.
+ *  - JobProgress: one ring-timeline sample plus the cumulative stall
+ *    partition, emitted at every 4096-cycle audit boundary of a
+ *    progress-streaming job and forwarded worker → daemon → client.
+ *
+ * Protocol negotiation happens per connection at connect time: a DSF2
+ * client opens with an `h2` hello (answered in kind); anything else —
+ * a bare `q1` request in a DSF1 frame — keeps the connection on DSF1.
  */
 
 #ifndef DACSIM_SERVICE_CODEC_H
@@ -25,19 +43,23 @@
 #include <string>
 
 #include "harness/runner.h"
+#include "obs/obs.h"
 
 namespace dacsim::service
 {
 
-/** Frame header magic ("DSF1", little-endian on the wire). */
+/** Frame header magics ("DSF1"/"DSF2", little-endian on the wire). */
 inline constexpr std::uint32_t frameMagic = 0x31465344u;
+inline constexpr std::uint32_t frameMagicV2 = 0x32465344u;
 
 /** Hard payload-size ceiling; a length field above this is treated as
  * stream corruption, not a request to allocate. */
 inline constexpr std::uint32_t maxFramePayload = 1u << 20;
 
-/** Wrap @p payload in a framed message ready for the socket. */
-std::string frameMessage(const std::string &payload);
+/** Wrap @p payload in a framed message ready for the socket. @p magic
+ * selects the protocol generation the frame advertises. */
+std::string frameMessage(const std::string &payload,
+                         std::uint32_t magic = frameMagic);
 
 /** Incremental decode result. */
 enum class FrameStatus
@@ -53,14 +75,30 @@ const char *frameStatusName(FrameStatus s);
 
 /**
  * Try to pop one frame off the front of @p buf (consumed bytes are
- * erased). On Ok, *payload holds the verified payload. On BadMagic /
- * Oversized / BadCrc, *detail describes the corruption; the buffer is
- * left untouched so the caller can log it before closing.
+ * erased). On Ok, *payload holds the verified payload and *version
+ * (when given) the protocol generation of the frame's magic (1 or 2).
+ * On BadMagic / Oversized / BadCrc, *detail describes the corruption;
+ * the buffer is left untouched so the caller can log it before
+ * closing.
  */
 FrameStatus popFrame(std::string *buf, std::string *payload,
-                     std::string *detail);
+                     std::string *detail, int *version = nullptr);
 
-// ----- job request --------------------------------------------------------
+/** First whitespace-delimited token of a payload ("j2", "q1", "r2",
+ * "p1", "g2", "h2", "o2", ...); "" for an empty payload. */
+std::string payloadTag(const std::string &payload);
+
+// ----- hello (connect-time negotiation) -----------------------------------
+
+/** The DSF2 connect hello ("h2 proto=2"); a daemon answers it in kind
+ * and switches the connection to DSF2 framing. */
+std::string encodeHello();
+
+/** True when @p payload is a hello; *proto gets the advertised
+ * protocol generation. */
+bool decodeHello(const std::string &payload, int *proto);
+
+// ----- job spec -----------------------------------------------------------
 
 /** What the client wants done with the named job. */
 enum class JobKind
@@ -69,17 +107,18 @@ enum class JobKind
     Run,
     /** Answer from the cache when possible; otherwise return the
      * static predictor's instant estimate (analysis/predict.h) without
-     * simulating. Estimates are marked JobResponse::estimate and are
-     * never cached. */
+     * simulating. Estimates are marked ResultSource::Predicted and
+     * are never cached. */
     Predict,
 };
 
 const char *jobKindName(JobKind k);
 
 /** One simulation job: run @p bench under @p tech at @p scale. */
-struct JobRequest
+struct JobSpec
 {
-    /** Client-chosen correlation id, echoed in the response. */
+    /** Client-chosen correlation id, echoed in the result and every
+     * progress frame. */
     std::uint64_t id = 0;
     JobKind kind = JobKind::Run;
     std::string bench;
@@ -90,52 +129,119 @@ struct JobRequest
     /** Fault-plan spec applied to the run ("": fault-free). */
     std::string faultSpec;
 
+    // Admission-control identity (DESIGN.md §16.4). Not part of the
+    // cache key: the same job submitted by two clients is one result.
+    /** Fair-share scheduling identity ("": the default client). */
+    std::string client;
+    /** Fair-share weight: a weight-2 client drains twice as fast as a
+     * weight-1 one under contention. Clamped to [1, 1024]. */
+    int weight = 1;
+    /** Stream JobProgress frames while the job simulates. */
+    bool progress = false;
+
     double scale() const;
     void setScale(double s);
 };
 
-std::string encodeRequest(const JobRequest &rq);
+/** Encode @p spec for @p version (1: legacy `q1` without the
+ * admission/progress fields, 2: `j2`). The `j2` form is what the
+ * durable queue journals. */
+std::string encodeSpec(const JobSpec &spec, int version = 2);
 
 /**
- * Decode and validate a request payload. False on malformed input —
- * unknown tag or key, non-numeric field, unknown technique or empty
- * bench — with *error naming the problem (the daemon echoes it in a
- * structured error response).
+ * Decode and validate a `j2` (or legacy `q1`) payload. False on
+ * malformed input — unknown tag or key, non-numeric field, unknown
+ * technique, empty bench, out-of-range scale or weight — with *error
+ * naming the problem (the daemon echoes it in a structured error
+ * result).
  */
-bool decodeRequest(const std::string &payload, JobRequest *rq,
-                   std::string *error);
+bool decodeSpec(const std::string &payload, JobSpec *spec,
+                std::string *error);
 
 /** Technique by its techniqueName() rendering; false when unknown. */
 bool techniqueFromName(const std::string &name, Technique *t);
 
-// ----- job response -------------------------------------------------------
+// ----- job result ---------------------------------------------------------
 
-struct JobResponse
+/** How the job ended. */
+enum class JobStatus
+{
+    Ok,         ///< outcome is valid
+    Failed,     ///< deterministic failure; resubmitting will not help
+    Retryable,  ///< host-side flake survived the daemon's retries
+    Overloaded, ///< admission control refused the client's submission
+};
+
+const char *jobStatusName(JobStatus s);
+bool jobStatusFromName(const std::string &name, JobStatus *s);
+
+/** Where an ok result came from. */
+enum class ResultSource
+{
+    Simulated, ///< a fresh fork-isolated simulation
+    Cached,    ///< the content-addressed result cache
+    Predicted, ///< the static predictor (predict requests on a miss)
+};
+
+const char *resultSourceName(ResultSource s);
+bool resultSourceFromName(const std::string &name, ResultSource *s);
+
+struct JobResult
 {
     std::uint64_t id = 0;
-    /** The job completed and outcome is valid; false: errorJson holds
-     * a structured failure report instead. */
-    bool ok = false;
-    /** Served from the result cache without re-simulation. */
-    bool cached = false;
-    /** The outcome is the static predictor's estimate, not a
-     * simulation result (predict requests on a cache miss). */
-    bool estimate = false;
-    /** Attempts the daemon's workers consumed (0 for cache hits). */
+    JobStatus status = JobStatus::Failed;
+    ResultSource source = ResultSource::Simulated;
+    /** Attempts the daemon's workers consumed (0 for cache hits,
+     * estimates, and admission rejections). */
     int attempts = 0;
-    /** The failure was host-side flake (crash/timeout): resubmitting
-     * may succeed. False for deterministic failures (malformed
-     * request, blacklisted job). Meaningful only when ok == false. */
-    bool retryable = false;
-    /** PR-1 schema JSON error report (ok == false). */
+    /** PR-1 schema JSON error report (status != Ok). */
     std::string errorJson;
     /** The run's outcome, exactly as a local run would return it
      * (hash chain and obs diagnostics excluded, as in journals). */
     RunOutcome outcome;
+
+    bool ok() const { return status == JobStatus::Ok; }
+    /** Resubmitting may help (flake or transient overload). */
+    bool
+    retryable() const
+    {
+        return status == JobStatus::Retryable ||
+               status == JobStatus::Overloaded;
+    }
 };
 
-std::string encodeResponse(const JobResponse &rs);
-bool decodeResponse(const std::string &payload, JobResponse *rs);
+/** Encode @p rs for @p version (1: legacy `p1` flags, 2: `r2`). The
+ * `p1` mapping is lossy only in that Overloaded degrades to a generic
+ * retryable failure — all a DSF1 client can act on. */
+std::string encodeResult(const JobResult &rs, int version = 2);
+bool decodeResult(const std::string &payload, JobResult *rs);
+
+// ----- job progress -------------------------------------------------------
+
+/**
+ * One streamed sample of a running job: the ring-timeline counters at
+ * a 4096-cycle audit boundary plus the cumulative slot-exclusive
+ * stall partition so far. A retried job (chaos, host flake) restarts
+ * its stream from the first boundary — consumers detect the restart
+ * as a non-increasing cycle and reset.
+ */
+struct JobProgress
+{
+    std::uint64_t id = 0;
+    TimelineSample sample;
+    StallStats stalls;
+};
+
+std::string encodeProgress(const JobProgress &p);
+bool decodeProgress(const std::string &payload, JobProgress *p);
+
+// ----- child-pipe outcome -------------------------------------------------
+
+/** Frame payload a progress-streaming worker child ends its pipe
+ * with: "o2 " + encodeOutcome(...). (Non-streaming children write the
+ * raw encoded outcome, unframed, as always.) */
+std::string encodeChildOutcome(const RunOutcome &out);
+bool decodeChildOutcome(const std::string &payload, RunOutcome *out);
 
 } // namespace dacsim::service
 

@@ -37,30 +37,6 @@ nowMs()
         .count();
 }
 
-std::uint64_t
-fnvMix(std::uint64_t h, const void *data, std::size_t n)
-{
-    const auto *p = static_cast<const unsigned char *>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= p[i];
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
-std::uint64_t
-fnvMix(std::uint64_t h, std::uint64_t v)
-{
-    return fnvMix(h, &v, sizeof v);
-}
-
-std::uint64_t
-fnvMix(std::uint64_t h, const std::string &s)
-{
-    h = fnvMix(h, static_cast<std::uint64_t>(s.size()));
-    return fnvMix(h, s.data(), s.size());
-}
-
 std::string
 jsonEscape(const std::string &s)
 {
@@ -102,13 +78,13 @@ failureJson(const std::string &bench, const std::string &tech,
 }
 
 RunOptions
-buildRunOptions(const JobRequest &rq)
+buildRunOptions(const JobSpec &spec)
 {
     RunOptions opt;
-    opt.tech = rq.tech;
-    opt.scale = rq.scale();
-    if (!rq.faultSpec.empty())
-        opt.faults = FaultPlan::parse(rq.faultSpec);
+    opt.tech = spec.tech;
+    opt.scale = spec.scale();
+    if (!spec.faultSpec.empty())
+        opt.faults = FaultPlan::parse(spec.faultSpec);
     return opt;
 }
 
@@ -173,6 +149,7 @@ DaemonOptions::fromEnv()
     o.workers = env().serviceWorkers;
     o.timeoutMs = env().serviceTimeoutMs;
     o.maxRetries = env().serviceRetries;
+    o.queueDepth = env().serviceQueueDepth;
     if (!env().serviceChaos.empty()) {
         std::string err;
         if (!ChaosSpec::parse(env().serviceChaos, &o.chaos, &err))
@@ -183,6 +160,76 @@ DaemonOptions::fromEnv()
     }
     return o;
 }
+
+// ----- connection state ---------------------------------------------------
+
+/**
+ * One accepted connection. The negotiated protocol generation is
+ * sticky (a DSF2 frame or hello upgrades it for the connection's
+ * lifetime), and all writes — results from request threads, progress
+ * frames from worker threads — serialize on writeMu so frames never
+ * interleave mid-header.
+ */
+struct Daemon::Conn
+{
+    int fd = -1;
+    std::atomic<int> proto{1};
+    std::mutex writeMu;
+
+    // Request threads (one per in-flight spec on this connection, so a
+    // pipelining client's jobs run concurrently). The connection
+    // thread reaps finished ones as it goes and joins the rest at
+    // close.
+    std::mutex threadsMu;
+    std::vector<std::thread> threads;
+    std::vector<std::thread::id> finished;
+
+    void
+    send(const std::string &payload)
+    {
+        const int p = proto.load();
+        const std::string msg =
+            frameMessage(payload, p >= 2 ? frameMagicV2 : frameMagic);
+        std::lock_guard<std::mutex> g(writeMu);
+        writeAll(fd, msg);
+    }
+
+    void
+    sendResult(const JobResult &rs)
+    {
+        send(encodeResult(rs, proto.load()));
+    }
+
+    /** Join request threads that already signalled completion. */
+    void
+    reap()
+    {
+        std::lock_guard<std::mutex> g(threadsMu);
+        for (const std::thread::id id : finished) {
+            for (auto it = threads.begin(); it != threads.end(); ++it)
+                if (it->get_id() == id) {
+                    it->join();
+                    threads.erase(it);
+                    break;
+                }
+        }
+        finished.clear();
+    }
+
+    void
+    joinAll()
+    {
+        std::vector<std::thread> all;
+        {
+            std::lock_guard<std::mutex> g(threadsMu);
+            all.swap(threads);
+            finished.clear();
+        }
+        for (std::thread &t : all)
+            if (t.joinable())
+                t.join();
+    }
+};
 
 // ----- daemon -------------------------------------------------------------
 
@@ -195,43 +242,10 @@ Daemon::~Daemon()
     stop();
 }
 
-std::uint64_t
-Daemon::kernelFp(const JobRequest &rq)
-{
-    std::ostringstream mk;
-    mk << rq.bench << '|' << std::hex << rq.scaleBits;
-    const std::string memoKey = mk.str();
-    {
-        std::lock_guard<std::mutex> g(stateMu_);
-        auto it = kernelFps_.find(memoKey);
-        if (it != kernelFps_.end())
-            return it->second;
-    }
-    GpuMemory mem;
-    const PreparedWorkload pw =
-        findWorkload(rq.bench).prepare(mem, rq.scale());
-    const std::uint64_t fp = kernelFingerprint(pw.kernel);
-    std::lock_guard<std::mutex> g(stateMu_);
-    kernelFps_[memoKey] = fp;
-    return fp;
-}
-
 std::string
-Daemon::cacheKey(const JobRequest &rq)
+Daemon::cacheKey(const JobSpec &spec)
 {
-    const RunOptions defaults;
-    std::uint64_t h = 1469598103934665603ull;
-    h = fnvMix(h, configFingerprint(rq.tech, defaults.gpu, defaults.dac,
-                                    defaults.cae, defaults.mta));
-    h = fnvMix(h, kernelFp(rq));
-    h = fnvMix(h, rq.bench);
-    h = fnvMix(h, std::string(techniqueName(rq.tech)));
-    h = fnvMix(h, rq.scaleBits);
-    h = fnvMix(h, rq.faultSpec);
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
+    return cacheKeyFor(spec, &fps_);
 }
 
 bool
@@ -254,17 +268,17 @@ Daemon::start(std::string *error)
         n = static_cast<int>(std::thread::hardware_concurrency());
     if (n <= 0)
         n = 2;
-    poolQueues_.resize(static_cast<std::size_t>(n));
 
     // Resume the backlog: every job journalled submitted but never
     // completed re-enters the pool, exactly as the dead daemon held
     // it. A job whose result was cached before the kill (killed
     // between the cache store and the queue's completion record) is
     // simply marked complete — its next submission is a cache hit.
+    // Old journals carry legacy `q1` lines; decodeSpec takes both.
     for (const auto &[key, enc] : queue_->pending()) {
-        JobRequest rq;
+        JobSpec spec;
         std::string err;
-        if (!decodeRequest(enc, &rq, &err)) {
+        if (!decodeSpec(enc, &spec, &err)) {
             std::fprintf(stderr,
                          "dacsimd: warning: dropping unreadable backlog "
                          "entry %s: %s\n",
@@ -285,11 +299,13 @@ Daemon::start(std::string *error)
             inflight_[key] = std::make_shared<Inflight>();
         }
         counters_.resumed.fetch_add(1);
-        submitToPool(PoolJob{key, rq});
+        // Resumed jobs skip admission (their clients already hold the
+        // results' slots on the other side of the kill).
+        submitToPool(PoolJob{key, spec, false});
     }
 
     for (int i = 0; i < n; ++i)
-        workers_.emplace_back(&Daemon::workerLoop, this, i);
+        workers_.emplace_back(&Daemon::workerLoop, this);
 
     if (opt_.socketPath.empty())
         return true; // worker-pool-only mode (tests drive handle())
@@ -323,10 +339,7 @@ Daemon::idle()
             return false;
     }
     std::lock_guard<std::mutex> g(poolMu_);
-    for (const auto &q : poolQueues_)
-        if (!q.empty())
-            return false;
-    return true;
+    return sched_.empty();
 }
 
 void
@@ -390,61 +403,61 @@ Daemon::stop()
 void
 Daemon::submitToPool(PoolJob job)
 {
+    const std::string client = job.spec.client;
+    const int weight = job.spec.weight;
     {
         std::lock_guard<std::mutex> g(poolMu_);
-        poolQueues_[poolNext_++ % poolQueues_.size()].push_back(
-            std::move(job));
+        sched_.push(client, weight, std::move(job));
     }
     poolCv_.notify_all();
 }
 
 void
-Daemon::workerLoop(int self)
+Daemon::workerLoop()
 {
-    const auto idx = static_cast<std::size_t>(self);
     for (;;) {
         PoolJob job;
+        std::string client;
         bool have = false;
         {
             std::unique_lock<std::mutex> lk(poolMu_);
             poolCv_.wait(lk, [&] {
-                if (stopping_.load())
-                    return true;
-                for (const auto &q : poolQueues_)
-                    if (!q.empty())
-                        return true;
-                return false;
+                return stopping_.load() || !sched_.empty();
             });
-            if (!poolQueues_[idx].empty()) {
-                job = std::move(poolQueues_[idx].front());
-                poolQueues_[idx].pop_front();
-                have = true;
-            } else {
-                // Steal from the busiest sibling's tail.
-                for (std::size_t j = 0; j < poolQueues_.size(); ++j) {
-                    if (j == idx || poolQueues_[j].empty())
-                        continue;
-                    job = std::move(poolQueues_[j].back());
-                    poolQueues_[j].pop_back();
-                    have = true;
-                    break;
-                }
-            }
+            have = sched_.pop(&job, &client);
             if (!have && stopping_.load())
                 return;
         }
         if (!have)
             continue;
-        finishJob(job.key, job.rq, runJob(job.key, job.rq));
+        finishJob(job, runJob(job.key, job.spec));
+        std::lock_guard<std::mutex> g(poolMu_);
+        sched_.finished(client);
     }
 }
 
-JobResponse
-Daemon::runJob(const std::string &key, const JobRequest &rq)
+void
+Daemon::forwardProgress(const std::string &key, const JobProgress &p)
 {
-    JobResponse rs;
-    rs.id = rq.id;
-    const RunOptions ro = buildRunOptions(rq); // validated in handle()
+    std::lock_guard<std::mutex> g(progressMu_);
+    auto it = progressSinks_.find(key);
+    if (it == progressSinks_.end())
+        return;
+    JobProgress fwd = p;
+    for (const auto &[token, sink] : it->second) {
+        fwd.id = sink.first; // every waiter sees its own job id
+        sink.second(fwd);
+    }
+}
+
+JobResult
+Daemon::runJob(const std::string &key, const JobSpec &spec)
+{
+    JobResult rs;
+    rs.id = spec.id;
+    const RunOptions ro = buildRunOptions(spec); // validated in handle()
+    const bool streaming =
+        spec.progress && spec.kind == JobKind::Run;
     const char *lastKind = "crash";
     std::string lastDetail;
 
@@ -474,6 +487,37 @@ Daemon::runJob(const std::string &key, const JobRequest &rq)
         iso.timeoutMs = opt_.timeoutMs;
         if (chaosMode == 2 && iso.timeoutMs > 200)
             iso.timeoutMs = 200; // hang fast: the kill is the point
+
+        // A streaming child frames its pipe: g2 progress frames while
+        // it runs, one o2 outcome at the end. The parent decodes them
+        // as they arrive and fans the progress out to every waiting
+        // client. A retried attempt restarts the stream from scratch
+        // (consumers detect the non-increasing cycle).
+        std::string parseBuf;
+        RunOutcome streamed;
+        bool haveStreamed = false;
+        if (streaming)
+            iso.onData = [&](const char *data, std::size_t n) {
+                parseBuf.append(data, n);
+                for (;;) {
+                    std::string payload, detail;
+                    if (popFrame(&parseBuf, &payload, &detail) !=
+                        FrameStatus::Ok)
+                        return; // short (or corrupt: attempt fails)
+                    const std::string tag = payloadTag(payload);
+                    if (tag == "g2") {
+                        JobProgress p;
+                        if (decodeProgress(payload, &p)) {
+                            counters_.progressFrames.fetch_add(1);
+                            forwardProgress(key, p);
+                        }
+                    } else if (tag == "o2") {
+                        if (decodeChildOutcome(payload, &streamed))
+                            haveStreamed = true;
+                    }
+                }
+            };
+
         const ChildResult cr = runForkIsolated(
             [&](int fd) {
                 if (chaosMode == 1)
@@ -481,8 +525,26 @@ Daemon::runJob(const std::string &key, const JobRequest &rq)
                 if (chaosMode == 2)
                     for (;;) // injected hang: the watchdog SIGKILLs us
                         ::poll(nullptr, 0, 1000);
-                const RunOutcome out = runWorkload(rq.bench, ro);
-                writeAll(fd, encodeOutcome(out));
+                if (streaming) {
+                    RunOptions po = ro;
+                    po.obs.stalls = true;
+                    po.obs.timeline = true;
+                    po.obs.onSample = [&](const TimelineSample &t,
+                                          const StallStats &s) {
+                        JobProgress p;
+                        p.id = spec.id;
+                        p.sample = t;
+                        p.stalls = s;
+                        writeAll(fd, frameMessage(encodeProgress(p),
+                                                  frameMagicV2));
+                    };
+                    const RunOutcome out = runWorkload(spec.bench, po);
+                    writeAll(fd, frameMessage(encodeChildOutcome(out),
+                                              frameMagicV2));
+                } else {
+                    const RunOutcome out = runWorkload(spec.bench, ro);
+                    writeAll(fd, encodeOutcome(out));
+                }
                 std::_Exit(0);
             },
             iso);
@@ -500,11 +562,21 @@ Daemon::runJob(const std::string &key, const JobRequest &rq)
           case ChildOutcome::Finished:
             break;
         }
-        RunOutcome out;
-        if (cr.cleanExit() && decodeOutcome(cr.output, &out)) {
-            rs.ok = true;
-            rs.outcome = std::move(out);
-            return true;
+        if (streaming) {
+            if (cr.cleanExit() && haveStreamed) {
+                rs.status = JobStatus::Ok;
+                rs.source = ResultSource::Simulated;
+                rs.outcome = std::move(streamed);
+                return true;
+            }
+        } else {
+            RunOutcome out;
+            if (cr.cleanExit() && decodeOutcome(cr.output, &out)) {
+                rs.status = JobStatus::Ok;
+                rs.source = ResultSource::Simulated;
+                rs.outcome = std::move(out);
+                return true;
+            }
         }
         lastKind = "crash";
         lastDetail = cr.cleanExit()
@@ -516,34 +588,35 @@ Daemon::runJob(const std::string &key, const JobRequest &rq)
     });
     counters_.retries.fetch_add(
         static_cast<std::uint64_t>(rs.attempts - 1));
-    if (!rs.ok) {
-        rs.retryable = true;
-        rs.errorJson = failureJson(rq.bench, techniqueName(rq.tech),
+    if (!rs.ok()) {
+        rs.status = JobStatus::Retryable;
+        rs.errorJson = failureJson(spec.bench, techniqueName(spec.tech),
                                    lastKind, lastDetail);
     }
     return rs;
 }
 
 void
-Daemon::finishJob(const std::string &key, const JobRequest &rq,
-                  JobResponse rs)
+Daemon::finishJob(PoolJob job, JobResult rs)
 {
-    if (rs.ok) {
+    const std::string &key = job.key;
+    const JobSpec &spec = job.spec;
+    if (rs.ok()) {
         Provenance prov;
-        prov.bench = rq.bench;
-        prov.tech = techniqueName(rq.tech);
+        prov.bench = spec.bench;
+        prov.tech = techniqueName(spec.tech);
         const RunOptions defaults;
-        prov.configFp = configFingerprint(rq.tech, defaults.gpu,
+        prov.configFp = configFingerprint(spec.tech, defaults.gpu,
                                           defaults.dac, defaults.cae,
                                           defaults.mta);
-        prov.kernelFp = kernelFp(rq);
+        prov.kernelFp = fps_.get(spec.bench, spec.scaleBits);
         prov.attempts = rs.attempts;
         prov.producer = "dacsimd pid " + std::to_string(::getpid());
         std::lock_guard<std::mutex> g(cacheMu_);
         cache_->store(key, rs.outcome, prov);
     }
     queue_->complete(key);
-    if (rs.ok) {
+    if (rs.ok()) {
         const std::uint64_t sims = counters_.sims.fetch_add(1) + 1;
         // The kill -9 stand-in: result cached and journalled complete,
         // but the response never reaches the client — it must
@@ -558,6 +631,11 @@ Daemon::finishJob(const std::string &key, const JobRequest &rq,
     }
     {
         std::lock_guard<std::mutex> g(stateMu_);
+        if (job.admitted) {
+            auto out = outstanding_.find(spec.client);
+            if (out != outstanding_.end() && --out->second <= 0)
+                outstanding_.erase(out);
+        }
         auto it = inflight_.find(key);
         if (it != inflight_.end()) {
             it->second->rs = std::move(rs);
@@ -569,37 +647,41 @@ Daemon::finishJob(const std::string &key, const JobRequest &rq,
     lastActivityMs_.store(nowMs());
 }
 
-JobResponse
-Daemon::handle(const JobRequest &rq)
+JobResult
+Daemon::handle(const JobSpec &spec, const ProgressFn &onProgress)
 {
     counters_.jobs.fetch_add(1);
     lastActivityMs_.store(nowMs());
-    JobResponse rs;
-    rs.id = rq.id;
+    JobResult rs;
+    rs.id = spec.id;
 
     // Validate what the codec cannot: the benchmark must exist and the
     // fault spec must parse. Both fail as structured errors.
     try {
-        findWorkload(rq.bench);
-        if (!rq.faultSpec.empty())
-            FaultPlan::parse(rq.faultSpec);
+        findWorkload(spec.bench);
+        if (!spec.faultSpec.empty())
+            FaultPlan::parse(spec.faultSpec);
     } catch (const FatalError &e) {
         counters_.badRequests.fetch_add(1);
-        rs.ok = false;
-        rs.retryable = false;
-        rs.errorJson = failureJson(rq.bench, techniqueName(rq.tech),
+        rs.status = JobStatus::Failed;
+        rs.errorJson = failureJson(spec.bench, techniqueName(spec.tech),
                                    "bad-request", e.what());
         return rs;
     }
 
-    const std::string key = cacheKey(rq);
-    {
+    const std::string key = cacheKey(spec);
+    const bool streaming =
+        spec.progress && spec.kind == JobKind::Run;
+    // A streaming run bypasses the cache lookup (never the store): the
+    // client asked to watch the simulation, so one actually happens.
+    // Its result still lands in the cache for later plain requests.
+    if (!streaming) {
         std::lock_guard<std::mutex> g(cacheMu_);
         RunOutcome out;
         if (cache_->lookup(key, &out)) {
             counters_.cacheHits.fetch_add(1);
-            rs.ok = true;
-            rs.cached = true;
+            rs.status = JobStatus::Ok;
+            rs.source = ResultSource::Cached;
             rs.outcome = std::move(out);
             return rs;
         }
@@ -607,31 +689,31 @@ Daemon::handle(const JobRequest &rq)
 
     // Predict requests never simulate: on a cache miss the static
     // predictor (analysis/predict.h) answers synchronously, in
-    // process. Estimates model the fault-free run, are flagged
-    // estimate=1, and are never cached or queued — a later run request
-    // for the same job still simulates.
-    if (rq.kind == JobKind::Predict) {
+    // process. Estimates model the fault-free run, are marked
+    // ResultSource::Predicted, and are never cached or queued — a
+    // later run request for the same job still simulates.
+    if (spec.kind == JobKind::Predict) {
         counters_.estimates.fetch_add(1);
         try {
             const RunOptions defaults;
             GpuMemory gmem;
             PreparedWorkload prep =
-                findWorkload(rq.bench).prepare(gmem, rq.scale());
+                findWorkload(spec.bench).prepare(gmem, spec.scale());
             PredictReport rep =
                 predictKernel(prep.kernel, predictLaunches(prep),
                               defaults.gpu, defaults.dac);
             const TechPredict &tp =
-                rq.tech == Technique::Dac ? rep.dac : rep.base;
-            rs.ok = true;
-            rs.estimate = true;
+                spec.tech == Technique::Dac ? rep.dac : rep.base;
+            rs.status = JobStatus::Ok;
+            rs.source = ResultSource::Predicted;
             rs.outcome.stats.cycles =
                 static_cast<std::uint64_t>(tp.estimateCycles);
-            rs.outcome.anyDecoupled = rq.tech == Technique::Dac &&
+            rs.outcome.anyDecoupled = spec.tech == Technique::Dac &&
                                       rep.predictedAnyDecoupled;
         } catch (const FatalError &e) {
-            rs.ok = false;
-            rs.retryable = false;
-            rs.errorJson = failureJson(rq.bench, techniqueName(rq.tech),
+            rs.status = JobStatus::Failed;
+            rs.errorJson = failureJson(spec.bench,
+                                       techniqueName(spec.tech),
                                        "predict-failed", e.what());
         }
         return rs;
@@ -644,8 +726,7 @@ Daemon::handle(const JobRequest &rq)
         auto bl = blacklistJson_.find(key);
         if (bl != blacklistJson_.end()) {
             counters_.blacklisted.fetch_add(1);
-            rs.ok = false;
-            rs.retryable = false;
+            rs.status = JobStatus::Failed;
             rs.errorJson = bl->second;
             return rs;
         }
@@ -654,35 +735,113 @@ Daemon::handle(const JobRequest &rq)
             entry = it->second;
             counters_.dedup.fetch_add(1);
         } else {
+            // Admission control (DESIGN.md §16.4): a client at its
+            // depth bound gets a structured Overloaded — resubmit
+            // after backing off — instead of unbounded buffering.
+            // Dedup joiners are free: they add no work.
+            if (opt_.queueDepth > 0 &&
+                outstanding_[spec.client] >=
+                    static_cast<int>(opt_.queueDepth)) {
+                counters_.overloaded.fetch_add(1);
+                rs.status = JobStatus::Overloaded;
+                rs.errorJson = failureJson(
+                    spec.bench, techniqueName(spec.tech), "overloaded",
+                    "client '" + spec.client + "' is at its queue depth "
+                    "of " + std::to_string(opt_.queueDepth));
+                return rs;
+            }
+            ++outstanding_[spec.client];
             entry = std::make_shared<Inflight>();
             inflight_[key] = entry;
             owner = true;
         }
     }
+    // Register the progress sink before the job can start, so the
+    // first boundary's frame is never missed. Joiners of an already
+    // running job pick the stream up mid-flight.
+    std::uint64_t sinkToken = 0;
+    if (streaming && onProgress) {
+        std::lock_guard<std::mutex> g(progressMu_);
+        sinkToken = nextSinkToken_++;
+        progressSinks_[key][sinkToken] = {spec.id, onProgress};
+    }
     if (owner) {
-        queue_->submit(key, encodeRequest(rq));
-        submitToPool(PoolJob{key, rq});
+        queue_->submit(key, encodeSpec(spec, 2));
+        submitToPool(PoolJob{key, spec, true});
     }
     {
         std::unique_lock<std::mutex> lk(stateMu_);
         stateCv_.wait(lk, [&] { return entry->done || stopping_.load(); });
-        if (!entry->done) {
-            rs.ok = false;
-            rs.retryable = true;
-            rs.errorJson =
-                failureJson(rq.bench, techniqueName(rq.tech), "shutdown",
-                            "daemon stopped before the job completed");
-            return rs;
-        }
-        rs = entry->rs;
+        if (entry->done)
+            rs = entry->rs;
     }
-    rs.id = rq.id;
+    if (sinkToken != 0) {
+        std::lock_guard<std::mutex> g(progressMu_);
+        auto it = progressSinks_.find(key);
+        if (it != progressSinks_.end()) {
+            it->second.erase(sinkToken);
+            if (it->second.empty())
+                progressSinks_.erase(it);
+        }
+    }
+    if (!entry->done) {
+        rs.status = JobStatus::Retryable;
+        rs.errorJson =
+            failureJson(spec.bench, techniqueName(spec.tech), "shutdown",
+                        "daemon stopped before the job completed");
+    }
+    rs.id = spec.id;
     return rs;
+}
+
+void
+Daemon::handleFramed(const std::shared_ptr<Conn> &conn,
+                     const std::string &payload)
+{
+    const std::string tag = payloadTag(payload);
+    if (tag == "h2") {
+        int proto = 0;
+        if (decodeHello(payload, &proto) && proto >= 2)
+            conn->proto.store(2);
+        conn->send(encodeHello());
+        return;
+    }
+    JobSpec spec;
+    std::string err;
+    if (!decodeSpec(payload, &spec, &err)) {
+        counters_.badRequests.fetch_add(1);
+        JobResult rs;
+        rs.status = JobStatus::Failed;
+        rs.errorJson = failureJson("?", "?", "bad-request", err);
+        conn->sendResult(rs);
+        return; // framing is intact: keep the connection
+    }
+    // Valid spec: run it on its own thread, so one connection can
+    // pipeline many jobs (submit them all, then collect results as
+    // the pool finishes them in fair-share order).
+    std::lock_guard<std::mutex> g(conn->threadsMu);
+    conn->threads.emplace_back([this, conn, spec] {
+        ProgressFn sink;
+        if (spec.progress && conn->proto.load() >= 2) {
+            const std::weak_ptr<Conn> weak = conn;
+            sink = [weak](const JobProgress &p) {
+                if (const std::shared_ptr<Conn> c = weak.lock())
+                    c->send(encodeProgress(p));
+            };
+        }
+        JobResult rs = handle(spec, sink);
+        rs.id = spec.id;
+        conn->sendResult(rs);
+        std::lock_guard<std::mutex> g2(conn->threadsMu);
+        conn->finished.push_back(std::this_thread::get_id());
+    });
 }
 
 void
 Daemon::connectionLoop(int fd)
 {
+    const auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
     std::string buf;
     char tmp[4096];
     bool open = true;
@@ -699,7 +858,9 @@ Daemon::connectionLoop(int fd)
         lastActivityMs_.store(nowMs());
         while (open) {
             std::string payload, detail;
-            const FrameStatus st = popFrame(&buf, &payload, &detail);
+            int version = 1;
+            const FrameStatus st =
+                popFrame(&buf, &payload, &detail, &version);
             if (st == FrameStatus::NeedMore)
                 break;
             if (st != FrameStatus::Ok) {
@@ -707,32 +868,27 @@ Daemon::connectionLoop(int fd)
                 // structured framing error, then drop the connection
                 // (no correlation id can be trusted).
                 counters_.badRequests.fetch_add(1);
-                JobResponse rs;
-                rs.ok = false;
-                rs.retryable = false;
+                JobResult rs;
+                rs.status = JobStatus::Failed;
                 rs.errorJson = failureJson(
                     "?", "?", "bad-frame",
                     std::string(frameStatusName(st)) + ": " + detail);
-                writeAll(fd, frameMessage(encodeResponse(rs)));
+                conn->sendResult(rs);
                 open = false;
                 break;
             }
-            JobRequest rq;
-            std::string err;
-            if (!decodeRequest(payload, &rq, &err)) {
-                counters_.badRequests.fetch_add(1);
-                JobResponse rs;
-                rs.ok = false;
-                rs.retryable = false;
-                rs.errorJson = failureJson("?", "?", "bad-request", err);
-                writeAll(fd, frameMessage(encodeResponse(rs)));
-                continue; // framing is intact: keep the connection
-            }
-            JobResponse rs = handle(rq);
-            rs.id = rq.id;
-            writeAll(fd, frameMessage(encodeResponse(rs)));
+            // Any DSF2-framed message upgrades the connection: the
+            // peer demonstrably speaks the new protocol.
+            if (version >= 2)
+                conn->proto.store(2);
+            handleFramed(conn, payload);
         }
+        conn->reap();
     }
+    // Wait for in-flight request threads before closing the socket:
+    // their results (even if the peer is gone) must not race the
+    // close. A daemon stop() wakes them via stateCv_.
+    conn->joinAll();
     ::close(fd);
     {
         std::lock_guard<std::mutex> g(connMu_);
@@ -759,8 +915,11 @@ Daemon::summaryLine() const
        << " timeouts=" << counters_.timeouts.load()
        << " blacklisted=" << counters_.blacklisted.load()
        << " bad_requests=" << counters_.badRequests.load()
-       << " resumed=" << counters_.resumed.load() << " quarantined="
-       << (cache_ ? cache_->quarantined() : 0);
+       << " resumed=" << counters_.resumed.load()
+       << " estimates=" << counters_.estimates.load()
+       << " overloaded=" << counters_.overloaded.load()
+       << " progress_frames=" << counters_.progressFrames.load()
+       << " quarantined=" << (cache_ ? cache_->quarantined() : 0);
     return os.str();
 }
 

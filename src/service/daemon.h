@@ -1,30 +1,43 @@
 /**
  * @file
- * The dacsimd simulation-service daemon (DESIGN.md §14).
+ * The dacsimd simulation-service daemon (DESIGN.md §14, §16).
  *
  * A long-lived process owning a unix-domain socket: clients submit
- * {benchmark, technique, scale, faults} jobs (service/codec.h) and
- * stream back the run's statistics and checksums, byte-identical to
- * what a local runWorkload() would have produced. Each job executes in
- * a fork-isolated worker child (harness/isolation.h) under a
- * poll-deadline SIGKILL watchdog, drawn from a work-stealing pool;
- * host-side flake (a crashed or hung child) is retried with
- * exponential backoff, deterministic failures are reported as
- * structured errors.
+ * typed JobSpecs (service/codec.h) and stream back the run's
+ * statistics and checksums, byte-identical to what a local
+ * runWorkload() would have produced. Each job executes in a
+ * fork-isolated worker child (harness/isolation.h) under a
+ * poll-deadline SIGKILL watchdog, drawn from a weighted-fair worker
+ * pool (service/fair.h); host-side flake (a crashed or hung child) is
+ * retried with exponential backoff, deterministic failures are
+ * reported as structured errors.
  *
  * Robustness machinery:
  *  - content-addressed result cache keyed on the configuration
- *    fingerprint + kernel hash (service/cache.h): resubmitting a
- *    completed job is a CRC-verified cache hit, never a re-simulation;
+ *    fingerprint + kernel hash (service/key.h, service/cache.h):
+ *    resubmitting a completed job is a CRC-verified cache hit, never
+ *    a re-simulation;
  *  - durable queue (service/queue.h): a daemon killed with -9 reopens
  *    its journal and resumes exactly the outstanding backlog;
  *  - in-flight dedup: identical concurrent submissions share one
  *    simulation;
  *  - crash blacklist: a job that keeps failing after its retry budget
  *    is served its structured error instead of burning workers;
+ *  - admission control: per-client weighted fair scheduling with a
+ *    bounded per-client depth — exceeding it earns a structured
+ *    JobStatus::Overloaded, never unbounded buffering;
+ *  - progress streaming: a JobSpec::progress job's child samples its
+ *    counter timeline + stall partition at every 4096-cycle audit
+ *    boundary and the daemon forwards the frames to every waiting
+ *    client while the job still runs;
  *  - chaos harness: deterministic injected crashes/timeouts
  *    (ChaosSpec) so tests and scripts/check.sh can drive the whole
  *    failure surface on demand.
+ *
+ * Protocol negotiation is per connection: a DSF2 hello (or any DSF2-
+ * framed message) switches the connection to the typed r2/g2 wire
+ * encodings; DSF1 clients keep receiving the p1 responses they always
+ * did.
  */
 
 #ifndef DACSIM_SERVICE_DAEMON_H
@@ -33,7 +46,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,7 +54,10 @@
 #include <vector>
 
 #include "service/cache.h"
+#include "service/client.h" // ProgressFn
 #include "service/codec.h"
+#include "service/fair.h"
+#include "service/key.h"
 #include "service/queue.h"
 
 namespace dacsim::service
@@ -86,6 +101,9 @@ struct DaemonOptions
     int maxRetries = 2;
     /** Deterministic failures per job before it is blacklisted. */
     int crashLimit = 3;
+    /** Admission bound: one client's queued + running jobs
+     * (0: unbounded). Exceeding it earns JobStatus::Overloaded. */
+    int queueDepth = 256;
     ChaosSpec chaos;
     /** Test knob (0: off): _Exit(3) — a kill -9 stand-in, skipping
      * every destructor and un-sent response — after n fresh
@@ -114,6 +132,8 @@ struct DaemonCounters
     std::atomic<std::uint64_t> resumed{0};    ///< backlog jobs from the queue
     std::atomic<std::uint64_t> estimates{0};  ///< predict misses answered
                                               ///< by the static model
+    std::atomic<std::uint64_t> overloaded{0}; ///< admission rejections
+    std::atomic<std::uint64_t> progressFrames{0}; ///< streamed samples
 };
 
 class Daemon
@@ -138,66 +158,81 @@ class Daemon
     void requestStop() { stopping_.store(true); }
 
     /**
-     * The complete request pipeline for one job — cache, blacklist,
-     * dedup, durable queue, worker pool — without a socket. serve()'s
-     * connection threads call this; tests drive it directly.
+     * The complete request pipeline for one job — admission, cache,
+     * blacklist, dedup, durable queue, fair worker pool — without a
+     * socket. serve()'s connection threads call this; tests drive it
+     * directly. @p onProgress (may be empty) receives the job's
+     * streamed samples while it runs (JobSpec::progress only).
      */
-    JobResponse handle(const JobRequest &rq);
+    JobResult handle(const JobSpec &spec,
+                     const ProgressFn &onProgress = {});
 
     const DaemonCounters &counters() const { return counters_; }
 
     /** "dacsimd: jobs=... sims=... cache_hits=..." (one line). */
     std::string summaryLine() const;
 
-    /** Compute the job's content-address (cache key) — a pure
-     * function of config fingerprint, kernel hash, technique, exact
-     * scale bits, and fault spec. Exposed for tests. */
-    std::string cacheKey(const JobRequest &rq);
+    /** The job's content address (service/key.h) with this daemon's
+     * fingerprint memo. Exposed for tests. */
+    std::string cacheKey(const JobSpec &spec);
 
   private:
     struct Inflight
     {
         bool done = false;
-        JobResponse rs;
+        JobResult rs;
     };
     struct PoolJob
     {
         std::string key;
-        JobRequest rq;
+        JobSpec spec;
+        /** Admitted via handle() (false: resumed backlog) — pairs the
+         * admission bookkeeping exactly. */
+        bool admitted = false;
     };
+    struct Conn; // per-connection state (fd, negotiated proto, mutex)
 
-    JobResponse runJob(const std::string &key, const JobRequest &rq);
-    void finishJob(const std::string &key, const JobRequest &rq,
-                   JobResponse rs);
-    void workerLoop(int self);
+    JobResult runJob(const std::string &key, const JobSpec &spec);
+    void finishJob(PoolJob job, JobResult rs);
+    void workerLoop();
     void connectionLoop(int fd);
+    void handleFramed(const std::shared_ptr<Conn> &conn,
+                      const std::string &payload);
     void submitToPool(PoolJob job);
+    void forwardProgress(const std::string &key, const JobProgress &p);
     bool idle();
-    std::uint64_t kernelFp(const JobRequest &rq);
 
     DaemonOptions opt_;
     DaemonCounters counters_;
     std::unique_ptr<ResultCache> cache_;
     std::unique_ptr<DurableQueue> queue_;
     std::mutex cacheMu_;
+    KernelFpMemo fps_;
 
     // Job state: in-flight dedup table, crash blacklist, chaos attempt
-    // sequence numbers, memoized kernel fingerprints.
+    // sequence numbers.
     std::mutex stateMu_;
     std::condition_variable stateCv_;
     std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+    /** Per-client admitted-but-unfinished jobs (the admission bound). */
+    std::map<std::string, int> outstanding_;
     std::map<std::string, int> crashCounts_;
     std::map<std::string, std::string> blacklistJson_;
     std::map<std::string, int> chaosAttempts_;
-    std::map<std::string, std::uint64_t> kernelFps_;
 
-    // Work-stealing pool: one deque per worker, round-robin submit;
-    // an idle worker drains its own deque front-first, then steals
-    // from the back of its siblings'.
+    // Progress sinks: every client waiting on a key with streaming
+    // requested, keyed for O(1) fan-out from the worker thread.
+    std::mutex progressMu_;
+    std::uint64_t nextSinkToken_ = 1;
+    std::map<std::string,
+             std::map<std::uint64_t, std::pair<std::uint64_t, ProgressFn>>>
+        progressSinks_; // key -> token -> (client job id, sink)
+
+    // Weighted-fair worker pool: workers pop the stride scheduler's
+    // fairest job; per-client depth doubles as the admission bound.
     std::mutex poolMu_;
     std::condition_variable poolCv_;
-    std::vector<std::deque<PoolJob>> poolQueues_;
-    std::size_t poolNext_ = 0;
+    StrideScheduler<PoolJob> sched_;
     std::vector<std::thread> workers_;
 
     // Socket plumbing.

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Weighted fair scheduling for the daemon's worker pool (DESIGN.md
+ * §16.4): a stride scheduler over per-client queues.
+ *
+ * Every client (JobSpec::client) owns a FIFO queue and a virtual-time
+ * pass; popping always takes the head of the non-empty queue with the
+ * minimum pass, then advances that pass by the client's stride
+ * (strideScale / weight). A weight-2 client therefore drains twice as
+ * many jobs per unit of virtual time as a weight-1 one, regardless of
+ * how bursty either's submissions are, and a newly active client
+ * joins at the current virtual clock instead of replaying the past —
+ * no starvation, no banked credit.
+ *
+ * The scheduler also owns the admission bound: push() refuses (and
+ * the daemon answers JobStatus::Overloaded) once a client's queued +
+ * running jobs reach the configured depth, so one runaway sweep gets
+ * a structured rejection instead of buffering without bound. The
+ * class is deliberately lock-free-of-its-own: the daemon serializes
+ * access under its pool mutex, and tests drive it single-threaded to
+ * pin the interleaving deterministically.
+ */
+
+#ifndef DACSIM_SERVICE_FAIR_H
+#define DACSIM_SERVICE_FAIR_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace dacsim::service
+{
+
+template <typename T>
+class StrideScheduler
+{
+  public:
+    /** Virtual-time quantum of a weight-1 pop. */
+    static constexpr std::uint64_t strideScale = 1ull << 20;
+
+    /** @p maxDepth bounds one client's queued + running jobs
+     * (0: unbounded). */
+    explicit StrideScheduler(std::size_t maxDepth = 0)
+        : maxDepth_(maxDepth)
+    {
+    }
+
+    /**
+     * Queue @p item for @p client. False when the client is at its
+     * depth bound (the item is not queued). @p weight is clamped to
+     * [1, 1024] and may change between pushes; the latest wins.
+     */
+    bool
+    push(const std::string &client, int weight, T item)
+    {
+        Queue &q = queues_[client];
+        if (maxDepth_ != 0 && q.items.size() + q.running >= maxDepth_)
+            return false;
+        if (weight < 1)
+            weight = 1;
+        if (weight > 1024)
+            weight = 1024;
+        q.stride = strideScale / static_cast<std::uint64_t>(weight);
+        if (q.items.empty() && q.running == 0 && q.pass < clock_)
+            q.pass = clock_; // joining client starts at "now"
+        q.items.push_back(std::move(item));
+        ++size_;
+        return true;
+    }
+
+    /**
+     * Pop the fairest item: head of the minimum-pass non-empty queue
+     * (ties broken by client name, deterministically). The client's
+     * running count is incremented — pair every successful pop with a
+     * finished() call. False when empty.
+     */
+    bool
+    pop(T *out, std::string *client = nullptr)
+    {
+        Queue *best = nullptr;
+        const std::string *bestName = nullptr;
+        for (auto &[name, q] : queues_) {
+            if (q.items.empty())
+                continue;
+            if (best == nullptr || q.pass < best->pass) {
+                best = &q;
+                bestName = &name;
+            }
+        }
+        if (best == nullptr)
+            return false;
+        *out = std::move(best->items.front());
+        best->items.pop_front();
+        ++best->running;
+        clock_ = best->pass;
+        best->pass += best->stride;
+        --size_;
+        if (client)
+            *client = *bestName;
+        return true;
+    }
+
+    /** A popped item's job completed: release its depth slot. */
+    void
+    finished(const std::string &client)
+    {
+        auto it = queues_.find(client);
+        if (it == queues_.end())
+            return;
+        if (it->second.running > 0)
+            --it->second.running;
+        if (it->second.items.empty() && it->second.running == 0)
+            queues_.erase(it);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Queued + running jobs charged to @p client right now. */
+    std::size_t
+    depth(const std::string &client) const
+    {
+        auto it = queues_.find(client);
+        if (it == queues_.end())
+            return 0;
+        return it->second.items.size() + it->second.running;
+    }
+
+  private:
+    struct Queue
+    {
+        std::deque<T> items;
+        std::size_t running = 0;
+        std::uint64_t pass = 0;
+        std::uint64_t stride = strideScale;
+    };
+
+    std::size_t maxDepth_;
+    std::map<std::string, Queue> queues_;
+    std::uint64_t clock_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace dacsim::service
+
+#endif // DACSIM_SERVICE_FAIR_H

@@ -1,0 +1,83 @@
+#include "service/key.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "sim/fingerprint.h"
+#include "workloads/workload.h"
+
+namespace dacsim::service
+{
+
+std::uint64_t
+fnvMix(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnvMix(std::uint64_t h, std::uint64_t v)
+{
+    return fnvMix(h, &v, sizeof v);
+}
+
+std::uint64_t
+fnvMix(std::uint64_t h, const std::string &s)
+{
+    h = fnvMix(h, static_cast<std::uint64_t>(s.size()));
+    return fnvMix(h, s.data(), s.size());
+}
+
+std::uint64_t
+KernelFpMemo::get(const std::string &bench, std::uint64_t scaleBits)
+{
+    std::ostringstream mk;
+    mk << bench << '|' << std::hex << scaleBits;
+    const std::string memoKey = mk.str();
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        auto it = fps_.find(memoKey);
+        if (it != fps_.end())
+            return it->second;
+    }
+    double scale = 0;
+    static_assert(sizeof scale == sizeof scaleBits);
+    std::memcpy(&scale, &scaleBits, sizeof scale);
+    GpuMemory mem;
+    const PreparedWorkload pw = findWorkload(bench).prepare(mem, scale);
+    const std::uint64_t fp = kernelFingerprint(pw.kernel);
+    std::lock_guard<std::mutex> g(mu_);
+    fps_[memoKey] = fp;
+    return fp;
+}
+
+std::string
+cacheKeyFor(const JobSpec &spec, KernelFpMemo *memo)
+{
+    const RunOptions defaults;
+    std::uint64_t h = 1469598103934665603ull;
+    h = fnvMix(h, configFingerprint(spec.tech, defaults.gpu, defaults.dac,
+                                    defaults.cae, defaults.mta));
+    if (memo) {
+        h = fnvMix(h, memo->get(spec.bench, spec.scaleBits));
+    } else {
+        KernelFpMemo once;
+        h = fnvMix(h, once.get(spec.bench, spec.scaleBits));
+    }
+    h = fnvMix(h, spec.bench);
+    h = fnvMix(h, std::string(techniqueName(spec.tech)));
+    h = fnvMix(h, spec.scaleBits);
+    h = fnvMix(h, spec.faultSpec);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace dacsim::service

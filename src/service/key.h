@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The service's content address (DESIGN.md §14.3, §16.2): a pure
+ * function of a JobSpec's simulation-relevant fields — configuration
+ * fingerprint, kernel fingerprint, benchmark, technique, exact scale
+ * bits, fault spec — and nothing else. The admission-control identity
+ * (client, weight) and the progress flag are deliberately excluded:
+ * the same job submitted by two clients, with or without streaming,
+ * is one cache entry and one simulation.
+ *
+ * Because the key is host-independent, it is also the shard address:
+ * the router (service/router.h) rendezvous-hashes it across the shard
+ * map, and any daemon that computes the job gets the byte-identical
+ * result, so failing over to a sibling shard can never change an
+ * answer.
+ */
+
+#ifndef DACSIM_SERVICE_KEY_H
+#define DACSIM_SERVICE_KEY_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "service/codec.h"
+
+namespace dacsim::service
+{
+
+/** FNV-1a over bytes/ints/strings — the service's one hash. */
+std::uint64_t fnvMix(std::uint64_t h, const void *data, std::size_t n);
+std::uint64_t fnvMix(std::uint64_t h, std::uint64_t v);
+std::uint64_t fnvMix(std::uint64_t h, const std::string &s);
+
+/**
+ * Memoized kernel fingerprints: preparing a workload to fingerprint
+ * its kernel is the expensive half of key computation, and sweeps ask
+ * for the same (bench, scale) pair once per technique. Thread-safe.
+ */
+class KernelFpMemo
+{
+  public:
+    std::uint64_t get(const std::string &bench, std::uint64_t scaleBits);
+
+  private:
+    std::mutex mu_;
+    std::map<std::string, std::uint64_t> fps_;
+};
+
+/**
+ * The job's content address: 16 lowercase hex characters. @p memo
+ * caches kernel fingerprints across calls (pass nullptr to recompute
+ * every time). Throws FatalError for an unknown benchmark — validate
+ * the spec first.
+ */
+std::string cacheKeyFor(const JobSpec &spec, KernelFpMemo *memo = nullptr);
+
+} // namespace dacsim::service
+
+#endif // DACSIM_SERVICE_KEY_H

@@ -3,13 +3,16 @@
  * Durable job queue of the dacsimd daemon (DESIGN.md §14.4).
  *
  * Built on the generic LineJournal (tag "Q1"): submitting a job
- * appends a pending record carrying the encoded request; completing
- * it appends a done record for the same key, which wins by the
- * journal's last-record-wins rule. A daemon killed with outstanding
- * jobs therefore reopens the journal, reads back exactly the pending
- * set, and resumes the backlog — and because requests round-trip
- * byte-exactly through the codec, the resumed jobs are the identical
- * jobs, not reconstructions.
+ * appends a pending record carrying the encoded JobSpec (the `j2`
+ * form — the same encoding the wire uses); completing it appends a
+ * done record for the same key, which wins by the journal's
+ * last-record-wins rule. A daemon killed with outstanding jobs
+ * therefore reopens the journal, reads back exactly the pending set,
+ * and resumes the backlog — and because specs round-trip byte-exactly
+ * through the codec, the resumed jobs are the identical jobs, not
+ * reconstructions. Journals written before DSF2 carry legacy `q1`
+ * lines; decodeSpec() reads both, so an upgrade never drops a
+ * backlog.
  */
 
 #ifndef DACSIM_SERVICE_QUEUE_H

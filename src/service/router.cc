@@ -1,0 +1,165 @@
+#include "service/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/env.h"
+
+namespace dacsim::service
+{
+
+namespace
+{
+
+std::int64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+ShardRouter::ShardRouter(std::vector<std::string> sockets,
+                         RouterOptions opt)
+    : sockets_(std::move(sockets)), opt_(opt)
+{
+    clients_.resize(sockets_.size());
+    deadUntil_.assign(sockets_.size(), 0);
+}
+
+std::vector<std::string>
+ShardRouter::shardsFromEnv()
+{
+    std::vector<std::string> out;
+    const std::string &shards = env().serviceShards;
+    std::size_t pos = 0;
+    while (pos <= shards.size()) {
+        std::size_t sep = shards.find(',', pos);
+        if (sep == std::string::npos)
+            sep = shards.size();
+        if (sep > pos)
+            out.push_back(shards.substr(pos, sep - pos));
+        pos = sep + 1;
+    }
+    if (out.empty() && !env().serviceSocket.empty())
+        out.push_back(env().serviceSocket);
+    return out;
+}
+
+void
+ShardRouter::onProgress(ProgressFn fn)
+{
+    progress_ = std::move(fn);
+    for (auto &c : clients_)
+        if (c)
+            c->onProgress(progress_);
+}
+
+Client &
+ShardRouter::clientFor(std::size_t shard)
+{
+    if (!clients_[shard]) {
+        ClientOptions copt = opt_.client;
+        // With siblings available, bound the time spent probing one
+        // shard; a lone shard gets the whole budget (nowhere to go).
+        if (sockets_.size() > 1)
+            copt.deadlineMs = opt_.failoverMs;
+        clients_[shard] = std::make_unique<Client>(sockets_[shard], copt);
+        if (progress_)
+            clients_[shard]->onProgress(progress_);
+    }
+    return *clients_[shard];
+}
+
+std::vector<std::size_t>
+ShardRouter::rank(const std::string &key) const
+{
+    // Rendezvous hashing: score every shard against the key and sort
+    // descending. Each key gets an independent pseudo-random
+    // preference permutation, so removing the top shard sends its
+    // keys to their individual next ranks (spreading the load), and
+    // a new shard only claims the keys it now scores highest on.
+    std::vector<std::pair<std::uint64_t, std::size_t>> scored;
+    scored.reserve(sockets_.size());
+    for (std::size_t i = 0; i < sockets_.size(); ++i) {
+        std::uint64_t h = 1469598103934665603ull;
+        h = fnvMix(h, key);
+        h = fnvMix(h, sockets_[i]);
+        // FNV barely diffuses the final byte it mixes, and sibling
+        // socket paths typically differ only in a trailing digit —
+        // without an avalanche finalizer the ranking degenerates to a
+        // couple of hash bits and shard load skews badly.
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+        h *= 0xc4ceb9fe1a85ec53ull;
+        h ^= h >> 33;
+        scored.emplace_back(h, i);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first > b.first
+                                            : a.second < b.second;
+              });
+    std::vector<std::size_t> order;
+    order.reserve(scored.size());
+    for (const auto &[h, i] : scored)
+        order.push_back(i);
+    return order;
+}
+
+std::string
+ShardRouter::keyFor(const JobSpec &spec)
+{
+    return cacheKeyFor(spec, &fps_);
+}
+
+bool
+ShardRouter::call(const JobSpec &spec, JobResult *rs, std::string *error)
+{
+    if (sockets_.empty()) {
+        if (error)
+            *error = "no shards configured";
+        return false;
+    }
+    const std::vector<std::size_t> order = rank(keyFor(spec));
+    const std::int64_t deadline = nowMs() + opt_.client.deadlineMs;
+    std::string lastErr;
+    for (;;) {
+        bool tried = false;
+        for (std::size_t shard : order) {
+            if (deadUntil_[shard] > nowMs() && sockets_.size() > 1)
+                continue; // cooling down; the sibling owns it for now
+            tried = true;
+            std::string err;
+            if (clientFor(shard).call(spec, rs, &err))
+                return true;
+            // Unreachable within the failover budget (or it kept
+            // dropping us): mark it cold and walk down the ranks.
+            deadUntil_[shard] = nowMs() + opt_.deadSkipMs;
+            lastErr = sockets_[shard] + ": " + err;
+            if (nowMs() >= deadline)
+                break;
+        }
+        if (!tried) {
+            // Everything is cooling down — a full outage looks the
+            // same as N dead shards. Clear the cooldowns and probe
+            // again until the overall deadline says stop.
+            std::fill(deadUntil_.begin(), deadUntil_.end(), 0);
+        }
+        if (nowMs() >= deadline) {
+            if (error)
+                *error = "no shard reachable: " +
+                         (lastErr.empty() ? "all cooling down" : lastErr);
+            return false;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opt_.client.reconnectDelayMs));
+    }
+}
+
+} // namespace dacsim::service

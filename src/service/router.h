@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The shard router (DESIGN.md §16.2): fan one client's jobs out
+ * across a static fleet of dacsimd daemons.
+ *
+ * Placement is rendezvous (highest-random-weight) hashing of the
+ * job's host-independent content address (service/key.h) against the
+ * shard socket names: every job has a total preference order over
+ * shards, the top-ranked shard owns it, and adding or removing a
+ * shard only remaps the jobs whose top rank changed — no global
+ * reshuffle, no coordination, no shard map versioning.
+ *
+ * Failover is client-side and needs no shard-to-shard protocol: when
+ * the owning daemon cannot be reached within the failover budget (or
+ * dies mid-job), the router walks down the job's preference order to
+ * the designated sibling — the next rank — and resubmits there.
+ * Content addressing makes this safe: whichever shard computes the
+ * job produces the byte-identical outcome, the sibling simply fills
+ * its own cache. A shard that just failed is skipped for a cooldown
+ * window so a dead daemon costs one probe per window, not one per
+ * job.
+ *
+ * The router is single-threaded by design — sweeps give each worker
+ * thread its own router, mirroring the one-client-per-thread pattern
+ * the service has always used.
+ */
+
+#ifndef DACSIM_SERVICE_ROUTER_H
+#define DACSIM_SERVICE_ROUTER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/client.h"
+#include "service/key.h"
+
+namespace dacsim::service
+{
+
+struct RouterOptions
+{
+    /** Per-wait options for each shard's client; deadlineMs is the
+     * total budget across all shards and rounds. */
+    ClientOptions client;
+    /** Budget for reaching one shard before failing over to the next
+     * rank (a healthy shard may then take as long as the job needs). */
+    int failoverMs = 3000;
+    /** Cooldown during which a shard that just failed is skipped
+     * (when any alternative remains). */
+    int deadSkipMs = 10000;
+};
+
+class ShardRouter
+{
+  public:
+    explicit ShardRouter(std::vector<std::string> sockets,
+                         RouterOptions opt = RouterOptions{});
+
+    /** The shard map from the environment: DACSIM_SERVICE_SHARDS
+     * (comma-separated socket paths), else the single
+     * DACSIM_SERVICE_SOCKET. Empty when the service is off. */
+    static std::vector<std::string> shardsFromEnv();
+
+    std::size_t shardCount() const { return sockets_.size(); }
+
+    /** Progress sink for all subsequent calls (specs must set
+     * progress; frames may restart after a failover, marked by a
+     * non-increasing cycle). */
+    void onProgress(ProgressFn fn);
+
+    /**
+     * Route @p spec to its owning shard and block for the result,
+     * failing over down the preference order as needed. True with
+     * *rs filled (including structured failures); false with *error
+     * set when every shard stays unreachable past the deadline.
+     */
+    bool call(const JobSpec &spec, JobResult *rs, std::string *error);
+
+    /** The job's shard preference order (indices into the socket
+     * list, best first) — rendezvous ranks of @p key. */
+    std::vector<std::size_t> rank(const std::string &key) const;
+
+    /** Content address of @p spec (memoized kernel fingerprints). */
+    std::string keyFor(const JobSpec &spec);
+
+  private:
+    Client &clientFor(std::size_t shard);
+
+    std::vector<std::string> sockets_;
+    RouterOptions opt_;
+    std::vector<std::unique_ptr<Client>> clients_;
+    std::vector<std::int64_t> deadUntil_;
+    KernelFpMemo fps_;
+    ProgressFn progress_;
+};
+
+} // namespace dacsim::service
+
+#endif // DACSIM_SERVICE_ROUTER_H

@@ -141,7 +141,12 @@ TEST(EnvRegistry, ServiceKnobsParse)
                       {"DACSIM_SERVICE_WORKERS", "4"},
                       {"DACSIM_SERVICE_TIMEOUT_MS", "2500"},
                       {"DACSIM_SERVICE_RETRIES", "0"},
-                      {"DACSIM_SERVICE_CHAOS", "crash=0.2,seed=9"}},
+                      {"DACSIM_SERVICE_CHAOS", "crash=0.2,seed=9"},
+                      {"DACSIM_SERVICE_SHARDS",
+                       "/tmp/s1.sock,/tmp/s2.sock"},
+                      {"DACSIM_SERVICE_CLIENT", "sweeper"},
+                      {"DACSIM_SERVICE_WEIGHT", "8"},
+                      {"DACSIM_SERVICE_QUEUE_DEPTH", "32"}},
                      &warnings);
     EXPECT_EQ(e.serviceSocket, "/tmp/dacsimd.sock");
     EXPECT_EQ(e.serviceDir, "/tmp/svc");
@@ -149,13 +154,17 @@ TEST(EnvRegistry, ServiceKnobsParse)
     EXPECT_EQ(e.serviceTimeoutMs, 2500);
     EXPECT_EQ(e.serviceRetries, 0);
     EXPECT_EQ(e.serviceChaos, "crash=0.2,seed=9");
+    EXPECT_EQ(e.serviceShards, "/tmp/s1.sock,/tmp/s2.sock");
+    EXPECT_EQ(e.serviceClient, "sweeper");
+    EXPECT_EQ(e.serviceWeight, 8);
+    EXPECT_EQ(e.serviceQueueDepth, 32);
     EXPECT_TRUE(warnings.empty());
 }
 
 TEST(EnvRegistry, HelpTextCoversEveryKnob)
 {
     const std::string help = envHelpText();
-    ASSERT_EQ(envRegistry().size(), 19u);
+    ASSERT_EQ(envRegistry().size(), 23u);
     for (const EnvKnob &k : envRegistry()) {
         EXPECT_NE(help.find(k.name), std::string::npos) << k.name;
         EXPECT_NE(help.find(k.help), std::string::npos) << k.name;

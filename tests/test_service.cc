@@ -1,13 +1,16 @@
 /**
  * @file
- * Simulation-service tests (DESIGN.md §14): the framed request codec
- * under malformed input (including the corruption corpus in
- * tests/corpus/service/), the CRC-verified result cache with
- * quarantine-on-corruption, the durable queue's kill/restart resume,
- * the shared fork-isolation primitives, and the daemon's full request
- * pipeline — caching, in-flight dedup, chaos-injected crash/timeout
- * retry, crash blacklisting, backlog resume, and the socket loop end
- * to end.
+ * Simulation-service tests (DESIGN.md §14, §16): the framed codec —
+ * both DSF1 and the typed DSF2 schema — under malformed input
+ * (including the corruption corpus in tests/corpus/service/), the
+ * CRC-verified result cache with quarantine-on-corruption, the durable
+ * queue's kill/restart resume, the shared fork-isolation primitives,
+ * the stride scheduler's weighted fairness and admission bound, the
+ * rendezvous shard router's stability and failover, progress
+ * streaming, and the daemon's full request pipeline — caching,
+ * in-flight dedup, chaos-injected crash/timeout retry, crash
+ * blacklisting, backlog resume, admission control, and the socket
+ * loop end to end (DSF2 clients, recorded DSF1 clients, and garbage).
  */
 
 #include <gtest/gtest.h>
@@ -16,6 +19,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <poll.h>
 #include <sstream>
 #include <sys/socket.h>
@@ -23,6 +27,7 @@
 #include <thread>
 #include <unistd.h>
 
+#include "analysis/predict.h"
 #include "harness/isolation.h"
 #include "harness/journal.h"
 #include "harness/runner.h"
@@ -30,7 +35,10 @@
 #include "service/client.h"
 #include "service/codec.h"
 #include "service/daemon.h"
+#include "service/fair.h"
+#include "service/key.h"
 #include "service/queue.h"
+#include "service/router.h"
 #include "workloads/workload.h"
 
 namespace fs = std::filesystem;
@@ -63,24 +71,26 @@ struct TempDir
 };
 
 /** A small but real job every daemon test uses. */
-JobRequest
+JobSpec
 smallJob(Technique tech = Technique::Baseline)
 {
-    JobRequest rq;
-    rq.id = 1;
-    rq.bench = "BS";
-    rq.tech = tech;
-    rq.setScale(0.05);
-    return rq;
+    JobSpec spec;
+    spec.id = 1;
+    spec.bench = "BS";
+    spec.tech = tech;
+    spec.setScale(0.05);
+    return spec;
 }
 
 RunOutcome
-directRun(const JobRequest &rq)
+directRun(const JobSpec &spec)
 {
     RunOptions opt;
-    opt.tech = rq.tech;
-    opt.scale = rq.scale();
-    return runWorkload(rq.bench, opt);
+    opt.tech = spec.tech;
+    opt.scale = spec.scale();
+    if (!spec.faultSpec.empty())
+        opt.faults = FaultPlan::parse(spec.faultSpec);
+    return runWorkload(spec.bench, opt);
 }
 
 DaemonOptions
@@ -109,6 +119,40 @@ writeFile(const fs::path &p, const std::string &s)
     out << s;
 }
 
+/**
+ * Block until @p key shows up in the daemon's durable queue journal
+ * (written immediately after a job is admitted) — the deterministic
+ * "this job now holds its client's admission slot" signal, unlike a
+ * sleep, which a sanitized build can outrun.
+ */
+bool
+waitForJournalKey(const TempDir &tmp, const std::string &key)
+{
+    const fs::path journal = tmp.path / "state" / "queue.journal";
+    for (int i = 0; i < 2000; ++i) {
+        if (readFile(journal).find(key) != std::string::npos)
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+}
+
+/** Raw unix-socket connection (for protocol-level tests). */
+int
+rawConnect(const std::string &socketPath)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr),
+        0);
+    return fd;
+}
+
 } // namespace
 
 // ----- frame codec --------------------------------------------------------
@@ -120,6 +164,21 @@ TEST(ServiceCodec, FrameRoundTrip)
     EXPECT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::Ok);
     EXPECT_EQ(payload, "hello service");
     EXPECT_TRUE(buf.empty());
+}
+
+TEST(ServiceCodec, FrameReportsProtocolVersion)
+{
+    std::string buf = frameMessage("old", frameMagic) +
+                      frameMessage("new", frameMagicV2);
+    std::string payload, detail;
+    int version = 0;
+    EXPECT_EQ(popFrame(&buf, &payload, &detail, &version),
+              FrameStatus::Ok);
+    EXPECT_EQ(version, 1);
+    EXPECT_EQ(popFrame(&buf, &payload, &detail, &version),
+              FrameStatus::Ok);
+    EXPECT_EQ(version, 2);
+    EXPECT_EQ(payload, "new");
 }
 
 TEST(ServiceCodec, FrameDecodesIncrementally)
@@ -186,6 +245,11 @@ TEST(ServiceCodec, MalformedCorpusNeverCrashes)
     for (const auto &entry : fs::directory_iterator(dir)) {
         if (entry.path().extension() != ".bin")
             continue;
+        // v1-*.bin are the *valid* recorded DSF1 corpus (exercised by
+        // ServiceSocket.RecordedV1CorpusRoundTripsThroughDaemon); the
+        // rest are corruption fixtures.
+        if (entry.path().filename().string().rfind("v1-", 0) == 0)
+            continue;
         ++files;
         std::string buf = readFile(entry.path());
         std::string payload, detail;
@@ -200,116 +264,259 @@ TEST(ServiceCodec, MalformedCorpusNeverCrashes)
     EXPECT_GE(files, 5);
 }
 
-// ----- request / response codec -------------------------------------------
+// ----- hello (protocol negotiation) ---------------------------------------
 
-TEST(ServiceCodec, RequestRoundTripIsExact)
+TEST(ServiceCodec, HelloRoundTrip)
 {
-    JobRequest rq;
-    rq.id = 0xdeadbeefcafeull;
-    rq.bench = "FFT";
-    rq.tech = Technique::Dac;
-    rq.setScale(0.3); // no exact binary representation: bits must survive
-    rq.faultSpec = "seed=42;mshr@0-200000:30;jitter@0:400";
-    JobRequest back;
-    std::string err;
-    ASSERT_TRUE(decodeRequest(encodeRequest(rq), &back, &err)) << err;
-    EXPECT_EQ(back.id, rq.id);
-    EXPECT_EQ(back.bench, rq.bench);
-    EXPECT_EQ(back.tech, rq.tech);
-    EXPECT_EQ(back.scaleBits, rq.scaleBits);
-    EXPECT_EQ(back.scale(), 0.3);
-    EXPECT_EQ(back.faultSpec, rq.faultSpec);
+    int proto = 0;
+    ASSERT_TRUE(decodeHello(encodeHello(), &proto));
+    EXPECT_EQ(proto, 2);
+    // A bare hello defaults to the current generation; unknown keys
+    // are ignored so future hellos stay decodable.
+    ASSERT_TRUE(decodeHello("h2", &proto));
+    EXPECT_EQ(proto, 2);
+    ASSERT_TRUE(decodeHello("h2 proto=3 future=maybe", &proto));
+    EXPECT_EQ(proto, 3);
+    EXPECT_FALSE(decodeHello("q1 id=1", &proto));
+    EXPECT_FALSE(decodeHello("h2 bogus", &proto));
+    EXPECT_FALSE(decodeHello("h2 proto=x", &proto));
 }
 
-TEST(ServiceCodec, RequestRejectsMalformedPayloads)
+// ----- job-spec codec -----------------------------------------------------
+
+TEST(ServiceCodec, SpecRoundTripIsExact)
+{
+    JobSpec spec;
+    spec.id = 0xdeadbeefcafeull;
+    spec.bench = "FFT";
+    spec.tech = Technique::Dac;
+    spec.setScale(0.3); // no exact binary representation: bits must survive
+    spec.faultSpec = "seed=42;mshr@0-200000:30;jitter@0:400";
+    spec.client = "sweep worker 7"; // spaces must survive escaping
+    spec.weight = 16;
+    spec.progress = true;
+    JobSpec back;
+    std::string err;
+    ASSERT_TRUE(decodeSpec(encodeSpec(spec), &back, &err)) << err;
+    EXPECT_EQ(back.id, spec.id);
+    EXPECT_EQ(back.bench, spec.bench);
+    EXPECT_EQ(back.tech, spec.tech);
+    EXPECT_EQ(back.scaleBits, spec.scaleBits);
+    EXPECT_EQ(back.scale(), 0.3);
+    EXPECT_EQ(back.faultSpec, spec.faultSpec);
+    EXPECT_EQ(back.client, spec.client);
+    EXPECT_EQ(back.weight, 16);
+    EXPECT_TRUE(back.progress);
+}
+
+TEST(ServiceCodec, SpecV1EncodingOmitsAdmissionFields)
+{
+    JobSpec spec = smallJob(Technique::Dac);
+    spec.client = "ignored";
+    spec.weight = 8;
+    spec.progress = true;
+    const std::string v1 = encodeSpec(spec, 1);
+    EXPECT_EQ(payloadTag(v1), "q1");
+    EXPECT_EQ(v1.find("client="), std::string::npos);
+    EXPECT_EQ(v1.find("weight="), std::string::npos);
+    EXPECT_EQ(v1.find("prog="), std::string::npos);
+
+    JobSpec back;
+    std::string err;
+    ASSERT_TRUE(decodeSpec(v1, &back, &err)) << err;
+    // The admission identity and streaming flag degrade to their
+    // defaults — and the simulation-relevant fields survive exactly.
+    EXPECT_EQ(back.client, "");
+    EXPECT_EQ(back.weight, 1);
+    EXPECT_FALSE(back.progress);
+    EXPECT_EQ(back.bench, spec.bench);
+    EXPECT_EQ(back.tech, spec.tech);
+    EXPECT_EQ(back.scaleBits, spec.scaleBits);
+}
+
+TEST(ServiceCodec, SpecRejectsMalformedPayloads)
 {
     const char *bad[] = {
         "",                                    // empty
-        "zz id=1 bench=BS tech=dac",           // unknown tag
-        "q1 id=1 tech=dac scale=3ff0000000000000", // no bench
+        "zz id=1 bench=BS tech=DAC",           // unknown tag
+        "q1 id=1 tech=DAC scale=3ff0000000000000", // no bench
         "q1 id=1 bench=BS scale=3ff0000000000000", // no technique
         "q1 id=1 bench=BS tech=warp-drive",    // unknown technique
-        "q1 id=1 bench=BS tech=dac bogus",     // field without '='
-        "q1 id=1 bench=BS tech=dac color=red", // unknown key
-        "q1 id=xyz bench=BS tech=dac",         // non-numeric id
-        "q1 id=1 bench=BS tech=dac scale=zz",  // non-numeric scale
-        "q1 id=1 bench=BS tech=dac scale=0",   // scale == 0
-        "q1 id=1 bench=BS tech=dac scale=7ff0000000000000", // scale inf
-        "q1 id=1 bench= tech=dac",             // empty bench
+        "q1 id=1 bench=BS tech=DAC bogus",     // field without '='
+        "q1 id=1 bench=BS tech=DAC color=red", // unknown key
+        "q1 id=xyz bench=BS tech=DAC",         // non-numeric id
+        "q1 id=1 bench=BS tech=DAC scale=zz",  // non-numeric scale
+        "q1 id=1 bench=BS tech=DAC scale=0",   // scale == 0
+        "q1 id=1 bench=BS tech=DAC scale=7ff0000000000000", // scale inf
+        "q1 id=1 bench= tech=DAC",             // empty bench
+        "q1 id=1 bench=BS tech=DAC client=x",  // v2 key in a v1 payload
+        "q1 id=1 bench=BS tech=DAC weight=2",  // v2 key in a v1 payload
+        "q1 id=1 bench=BS tech=DAC prog=1",    // v2 key in a v1 payload
+        "j2 id=1 bench=BS tech=DAC weight=0",  // weight below range
+        "j2 id=1 bench=BS tech=DAC weight=4096", // weight above range
+        "j2 id=1 bench=BS tech=DAC weight=x",  // non-numeric weight
+        "j2 id=1 bench=BS tech=DAC prog=2",    // non-boolean flag
+        "j2 id=1 bench=BS tech=DAC kind=guess", // unknown kind
     };
     for (const char *payload : bad) {
-        JobRequest rq;
+        JobSpec spec;
         std::string err;
-        EXPECT_FALSE(decodeRequest(payload, &rq, &err)) << payload;
+        EXPECT_FALSE(decodeSpec(payload, &spec, &err)) << payload;
         EXPECT_FALSE(err.empty()) << payload;
     }
 }
 
-TEST(ServiceCodec, ResponseRoundTrip)
+TEST(ServiceCodec, SpecKindRoundTrip)
 {
-    JobResponse rs;
-    rs.id = 77;
-    rs.ok = true;
-    rs.cached = true;
-    rs.attempts = 3;
-    rs.retryable = false;
-    rs.errorJson = "{\"kind\":\"crash\"}";
-    rs.outcome = directRun(smallJob());
-    JobResponse back;
-    ASSERT_TRUE(decodeResponse(encodeResponse(rs), &back));
-    EXPECT_EQ(back.id, rs.id);
-    EXPECT_TRUE(back.ok);
-    EXPECT_TRUE(back.cached);
-    EXPECT_EQ(back.attempts, 3);
-    EXPECT_FALSE(back.retryable);
-    EXPECT_EQ(back.errorJson, rs.errorJson);
-    EXPECT_EQ(encodeOutcome(back.outcome), encodeOutcome(rs.outcome));
-}
-
-TEST(ServiceCodec, RequestKindRoundTrip)
-{
-    JobRequest rq = smallJob();
-    rq.kind = JobKind::Predict;
-    JobRequest back;
+    JobSpec spec = smallJob();
+    spec.kind = JobKind::Predict;
+    JobSpec back;
     std::string err;
-    ASSERT_TRUE(decodeRequest(encodeRequest(rq), &back, &err)) << err;
+    ASSERT_TRUE(decodeSpec(encodeSpec(spec), &back, &err)) << err;
     EXPECT_EQ(back.kind, JobKind::Predict);
 
-    // A request without the key decodes as a plain run (pre-kind
-    // journal entries stay readable); an unknown kind is rejected.
-    JobRequest old;
-    ASSERT_TRUE(decodeRequest(
+    // A payload without the key decodes as a plain run (pre-kind
+    // journal entries stay readable).
+    JobSpec old;
+    ASSERT_TRUE(decodeSpec(
         "q1 id=1 bench=BS tech=DAC scale=3ff0000000000000 faults=", &old,
         &err))
         << err;
     EXPECT_EQ(old.kind, JobKind::Run);
-    EXPECT_FALSE(decodeRequest(
-        "q1 id=1 kind=guess bench=BS tech=DAC scale=3ff0000000000000",
-        &old, &err));
 }
 
-TEST(ServiceCodec, ResponseEstimateFlagRoundTrip)
+// ----- job-result codec ---------------------------------------------------
+
+TEST(ServiceCodec, ResultRoundTrip)
 {
-    JobResponse rs;
-    rs.id = 9;
-    rs.ok = true;
-    rs.estimate = true;
+    JobResult rs;
+    rs.id = 77;
+    rs.status = JobStatus::Ok;
+    rs.source = ResultSource::Cached;
+    rs.attempts = 3;
+    rs.errorJson = "{\"kind\":\"crash\"}";
     rs.outcome = directRun(smallJob());
-    JobResponse back;
-    ASSERT_TRUE(decodeResponse(encodeResponse(rs), &back));
-    EXPECT_TRUE(back.estimate);
-    rs.estimate = false;
-    ASSERT_TRUE(decodeResponse(encodeResponse(rs), &back));
-    EXPECT_FALSE(back.estimate);
+    JobResult back;
+    ASSERT_TRUE(decodeResult(encodeResult(rs), &back));
+    EXPECT_EQ(back.id, rs.id);
+    EXPECT_EQ(back.status, JobStatus::Ok);
+    EXPECT_EQ(back.source, ResultSource::Cached);
+    EXPECT_EQ(back.attempts, 3);
+    EXPECT_EQ(back.errorJson, rs.errorJson);
+    EXPECT_EQ(encodeOutcome(back.outcome), encodeOutcome(rs.outcome));
+
+    // Every status survives the typed encoding — including
+    // Overloaded, which DSF1 cannot express.
+    for (JobStatus st : {JobStatus::Ok, JobStatus::Failed,
+                         JobStatus::Retryable, JobStatus::Overloaded}) {
+        rs.status = st;
+        ASSERT_TRUE(decodeResult(encodeResult(rs), &back));
+        EXPECT_EQ(back.status, st);
+    }
+    for (ResultSource src :
+         {ResultSource::Simulated, ResultSource::Cached,
+          ResultSource::Predicted}) {
+        rs.source = src;
+        ASSERT_TRUE(decodeResult(encodeResult(rs), &back));
+        EXPECT_EQ(back.source, src);
+    }
 }
 
-TEST(ServiceCodec, ResponseRejectsGarbage)
+TEST(ServiceCodec, ResultV1MappingProjectsStatusAndSource)
 {
-    JobResponse rs;
-    EXPECT_FALSE(decodeResponse("", &rs));
-    EXPECT_FALSE(decodeResponse("p1 id=1 ok=1", &rs)); // no outcome
-    EXPECT_FALSE(decodeResponse("p2 id=1", &rs));      // wrong tag
-    EXPECT_FALSE(decodeResponse("p1 id=1 o=garbage", &rs));
+    JobResult rs;
+    rs.id = 9;
+    rs.status = JobStatus::Ok;
+    rs.source = ResultSource::Predicted;
+    rs.outcome = directRun(smallJob());
+
+    JobResult back;
+    ASSERT_TRUE(decodeResult(encodeResult(rs, 1), &back));
+    EXPECT_EQ(payloadTag(encodeResult(rs, 1)), "p1");
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ(back.source, ResultSource::Predicted);
+
+    rs.source = ResultSource::Cached;
+    ASSERT_TRUE(decodeResult(encodeResult(rs, 1), &back));
+    EXPECT_EQ(back.source, ResultSource::Cached);
+
+    // Overloaded degrades to a generic retryable failure — all a DSF1
+    // client can act on; the typed encoding keeps the distinction.
+    rs.status = JobStatus::Overloaded;
+    rs.source = ResultSource::Simulated;
+    ASSERT_TRUE(decodeResult(encodeResult(rs, 1), &back));
+    EXPECT_EQ(back.status, JobStatus::Retryable);
+    EXPECT_TRUE(back.retryable());
+}
+
+TEST(ServiceCodec, ResultRejectsGarbage)
+{
+    JobResult rs;
+    EXPECT_FALSE(decodeResult("", &rs));
+    EXPECT_FALSE(decodeResult("p1 id=1 ok=1", &rs));  // no outcome
+    EXPECT_FALSE(decodeResult("p2 id=1", &rs));       // wrong tag
+    EXPECT_FALSE(decodeResult("p1 id=1 o=garbage", &rs));
+    EXPECT_FALSE(decodeResult("r2 id=1 o=garbage", &rs));
+    EXPECT_FALSE(decodeResult("r2 id=1 st=maybe", &rs)); // unknown status
+    JobResult ok;
+    ok.status = JobStatus::Ok;
+    ok.outcome = directRun(smallJob());
+    // A result missing its typed status is a different format, not a
+    // guess: rejected.
+    std::string noStatus = encodeResult(ok);
+    const std::size_t stPos = noStatus.find(" st=ok");
+    ASSERT_NE(stPos, std::string::npos);
+    noStatus.erase(stPos, 6);
+    EXPECT_FALSE(decodeResult(noStatus, &rs));
+}
+
+// ----- job-progress codec -------------------------------------------------
+
+TEST(ServiceCodec, ProgressRoundTrip)
+{
+    JobProgress p;
+    p.id = 31337;
+    p.sample.cycle = 8192;
+    p.sample.warpInsts = 123456;
+    p.sample.loadRequests = 777;
+    p.sample.l1Misses = 42;
+    p.sample.deqStallCycles = 99;
+    p.sample.activeWarps = 17;
+    p.sample.atq = 3;
+    p.sample.pwaq = 5;
+    p.sample.pwpq = 7;
+    p.sample.mshrLive = 11;
+    p.stalls.idleSlots = 1000;
+    for (std::size_t r = 0; r < p.stalls.reasons.size(); ++r)
+        p.stalls.reasons[r] = r * 3 + 1;
+
+    JobProgress back;
+    ASSERT_TRUE(decodeProgress(encodeProgress(p), &back));
+    EXPECT_EQ(back.id, p.id);
+    EXPECT_EQ(back.sample, p.sample);
+    EXPECT_EQ(back.stalls.idleSlots, p.stalls.idleSlots);
+    EXPECT_EQ(back.stalls.reasons, p.stalls.reasons);
+}
+
+TEST(ServiceCodec, ProgressRejectsGarbage)
+{
+    JobProgress p;
+    EXPECT_FALSE(decodeProgress("", &p));
+    EXPECT_FALSE(decodeProgress("g2 id=1", &p));        // no cycle
+    EXPECT_FALSE(decodeProgress("r2 id=1 cycle=1", &p)); // wrong tag
+    EXPECT_FALSE(decodeProgress("g2 id=1 cycle=x", &p));
+    EXPECT_FALSE(decodeProgress("g2 id=1 cycle=1 sr=1,2", &p)); // short
+    EXPECT_FALSE(decodeProgress("g2 id=1 cycle=1 color=red", &p));
+}
+
+TEST(ServiceCodec, ChildOutcomeRoundTrip)
+{
+    const RunOutcome out = directRun(smallJob());
+    RunOutcome back;
+    ASSERT_TRUE(decodeChildOutcome(encodeChildOutcome(out), &back));
+    EXPECT_EQ(encodeOutcome(back), encodeOutcome(out));
+    EXPECT_FALSE(decodeChildOutcome("o3 nope", &back));
+    EXPECT_FALSE(decodeChildOutcome("o2 garbage", &back));
 }
 
 // ----- chaos spec ---------------------------------------------------------
@@ -336,6 +543,132 @@ TEST(ServiceChaos, RejectsMalformedSpecs)
         EXPECT_FALSE(ChaosSpec::parse(spec, &c, &err)) << spec;
         EXPECT_FALSE(err.empty()) << spec;
     }
+}
+
+// ----- stride scheduler (fair worker pool) --------------------------------
+
+TEST(ServiceFair, WeightedClientsDrainProportionally)
+{
+    StrideScheduler<int> sched;
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(sched.push("alpha", 4, i));
+        ASSERT_TRUE(sched.push("bravo", 1, 100 + i));
+    }
+    int alphaPops = 0;
+    for (int i = 0; i < 25; ++i) {
+        int item = 0;
+        std::string client;
+        ASSERT_TRUE(sched.pop(&item, &client));
+        sched.finished(client);
+        if (client == "alpha")
+            ++alphaPops;
+    }
+    // A weight-4 client owns 4/5 of the pops — 20 of 25, within the
+    // one-pop rounding band of the stride interleave.
+    EXPECT_GE(alphaPops, 18);
+    EXPECT_LE(alphaPops, 22);
+    EXPECT_EQ(sched.size(), 75u);
+}
+
+TEST(ServiceFair, DepthBoundRefusesPushUntilFinished)
+{
+    StrideScheduler<int> sched(2);
+    EXPECT_TRUE(sched.push("c", 1, 1));
+    EXPECT_TRUE(sched.push("c", 1, 2));
+    EXPECT_FALSE(sched.push("c", 1, 3)); // queued == depth
+    EXPECT_EQ(sched.depth("c"), 2u);
+
+    int item = 0;
+    std::string client;
+    ASSERT_TRUE(sched.pop(&item, &client));
+    // Running jobs still hold their depth slot: queued + running == 2.
+    EXPECT_FALSE(sched.push("c", 1, 3));
+    sched.finished("c");
+    EXPECT_TRUE(sched.push("c", 1, 3));
+    // The bound is per client, not global.
+    EXPECT_TRUE(sched.push("d", 1, 4));
+}
+
+TEST(ServiceFair, LateJoinerStartsAtCurrentClockNotZero)
+{
+    StrideScheduler<int> sched;
+    for (int i = 0; i < 20; ++i)
+        ASSERT_TRUE(sched.push("early", 1, i));
+    int item = 0;
+    std::string client;
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(sched.pop(&item, &client));
+        sched.finished(client);
+    }
+    // A client joining now has banked no credit: it alternates with
+    // the incumbent instead of monopolizing the pool.
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(sched.push("late", 1, 100 + i));
+    int latePops = 0;
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(sched.pop(&item, &client));
+        sched.finished(client);
+        if (client == "late")
+            ++latePops;
+    }
+    EXPECT_GE(latePops, 4);
+    EXPECT_LE(latePops, 6);
+}
+
+// ----- content address + shard routing ------------------------------------
+
+TEST(ServiceKey, CacheKeyIgnoresAdmissionIdentity)
+{
+    JobSpec a = smallJob(Technique::Dac);
+    JobSpec b = a;
+    b.id = 999;
+    b.client = "someone else";
+    b.weight = 64;
+    b.progress = true;
+    // Same job, different submitter: one cache entry, one simulation,
+    // one shard.
+    EXPECT_EQ(cacheKeyFor(a), cacheKeyFor(b));
+
+    JobSpec c = a;
+    c.tech = Technique::Mta;
+    EXPECT_NE(cacheKeyFor(a), cacheKeyFor(c));
+    JobSpec d = a;
+    d.scaleBits += 1;
+    EXPECT_NE(cacheKeyFor(a), cacheKeyFor(d));
+    JobSpec e = a;
+    e.faultSpec = "jitter@0:400";
+    EXPECT_NE(cacheKeyFor(a), cacheKeyFor(e));
+}
+
+TEST(ServiceRouter, RendezvousRanksAreStableUnderShardAddition)
+{
+    const ShardRouter three({"/tmp/s1", "/tmp/s2", "/tmp/s3"});
+    const ShardRouter four({"/tmp/s1", "/tmp/s2", "/tmp/s3", "/tmp/s4"});
+    int moved = 0;
+    const int keys = 200;
+    for (int i = 0; i < keys; ++i) {
+        const std::string key = "key-" + std::to_string(i);
+        const auto r3 = three.rank(key);
+        const auto r4 = four.rank(key);
+        ASSERT_EQ(r3.size(), 3u);
+        ASSERT_EQ(r4.size(), 4u);
+        // Both ranks are permutations.
+        std::vector<bool> seen(4, false);
+        for (std::size_t s : r4) {
+            ASSERT_LT(s, 4u);
+            ASSERT_FALSE(seen[s]);
+            seen[s] = true;
+        }
+        // Adding a shard only remaps the keys the new shard now owns;
+        // every other key keeps its owner (no global reshuffle).
+        if (r4[0] == 3)
+            ++moved;
+        else
+            EXPECT_EQ(r4[0], r3[0]) << key;
+    }
+    // Roughly 1/4 of keys move to the new shard — and not all of them.
+    EXPECT_GT(moved, 0);
+    EXPECT_LT(moved, keys / 2);
 }
 
 // ----- result cache -------------------------------------------------------
@@ -515,6 +848,28 @@ TEST(Isolation, WatchdogKillsHungChild)
     EXPECT_EQ(watchdogDetail(iso), "watchdog killed the job after 200 ms");
 }
 
+TEST(Isolation, OnDataSeesChunksAsTheyArrive)
+{
+    IsolationOptions iso;
+    iso.timeoutMs = 10000;
+    std::string streamed;
+    iso.onData = [&](const char *p, std::size_t n) {
+        streamed.append(p, n);
+    };
+    const ChildResult r = runForkIsolated(
+        [](int fd) {
+            writeAll(fd, "first ");
+            writeAll(fd, "second");
+            std::_Exit(0);
+        },
+        iso);
+    EXPECT_EQ(r.outcome, ChildOutcome::Finished);
+    // Every byte the child wrote reached both the onData hook and the
+    // final output (the hook observes, it does not consume).
+    EXPECT_EQ(streamed, "first second");
+    EXPECT_EQ(r.output, "first second");
+}
+
 TEST(Isolation, RetryWithBackoffCountsAttempts)
 {
     RetryPolicy policy;
@@ -541,17 +896,17 @@ TEST(ServiceDaemon, ComputesCachesAndServesHits)
     std::string err;
     ASSERT_TRUE(daemon.start(&err)) << err;
 
-    const JobRequest rq = smallJob();
-    const JobResponse first = daemon.handle(rq);
-    ASSERT_TRUE(first.ok) << first.errorJson;
-    EXPECT_FALSE(first.cached);
+    const JobSpec spec = smallJob();
+    const JobResult first = daemon.handle(spec);
+    ASSERT_TRUE(first.ok()) << first.errorJson;
+    EXPECT_EQ(first.source, ResultSource::Simulated);
     EXPECT_EQ(first.attempts, 1);
     EXPECT_EQ(encodeOutcome(first.outcome),
-              encodeOutcome(directRun(rq)));
+              encodeOutcome(directRun(spec)));
 
-    const JobResponse second = daemon.handle(rq);
-    ASSERT_TRUE(second.ok);
-    EXPECT_TRUE(second.cached);
+    const JobResult second = daemon.handle(spec);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.source, ResultSource::Cached);
     EXPECT_EQ(encodeOutcome(second.outcome),
               encodeOutcome(first.outcome));
     EXPECT_EQ(daemon.counters().sims.load(), 1u);
@@ -561,22 +916,22 @@ TEST(ServiceDaemon, ComputesCachesAndServesHits)
 TEST(ServiceDaemon, CacheSurvivesDaemonRestart)
 {
     TempDir tmp;
-    const JobRequest rq = smallJob(Technique::Dac);
+    const JobSpec spec = smallJob(Technique::Dac);
     std::string firstEncoded;
     {
         Daemon daemon(poolOnlyOptions(tmp));
         std::string err;
         ASSERT_TRUE(daemon.start(&err)) << err;
-        const JobResponse rs = daemon.handle(rq);
-        ASSERT_TRUE(rs.ok);
+        const JobResult rs = daemon.handle(spec);
+        ASSERT_TRUE(rs.ok());
         firstEncoded = encodeOutcome(rs.outcome);
     }
     Daemon daemon(poolOnlyOptions(tmp));
     std::string err;
     ASSERT_TRUE(daemon.start(&err)) << err;
-    const JobResponse rs = daemon.handle(rq);
-    ASSERT_TRUE(rs.ok);
-    EXPECT_TRUE(rs.cached);
+    const JobResult rs = daemon.handle(spec);
+    ASSERT_TRUE(rs.ok());
+    EXPECT_EQ(rs.source, ResultSource::Cached);
     EXPECT_EQ(encodeOutcome(rs.outcome), firstEncoded);
     EXPECT_EQ(daemon.counters().sims.load(), 0u);
 }
@@ -588,14 +943,14 @@ TEST(ServiceDaemon, ConcurrentIdenticalJobsShareOneSimulation)
     std::string err;
     ASSERT_TRUE(daemon.start(&err)) << err;
 
-    const JobRequest rq = smallJob(Technique::Cae);
-    JobResponse a, b;
-    std::thread ta([&] { a = daemon.handle(rq); });
-    std::thread tb([&] { b = daemon.handle(rq); });
+    const JobSpec spec = smallJob(Technique::Cae);
+    JobResult a, b;
+    std::thread ta([&] { a = daemon.handle(spec); });
+    std::thread tb([&] { b = daemon.handle(spec); });
     ta.join();
     tb.join();
-    ASSERT_TRUE(a.ok);
-    ASSERT_TRUE(b.ok);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
     EXPECT_EQ(encodeOutcome(a.outcome), encodeOutcome(b.outcome));
     // The second submission either joined the in-flight job or hit the
     // fresh cache entry; it never re-simulated.
@@ -619,11 +974,11 @@ TEST(ServiceDaemon, ChaosCrashesAndTimeoutsAreRetriedToSuccess)
     std::string err;
     ASSERT_TRUE(daemon.start(&err)) << err;
 
-    const JobRequest rq = smallJob();
-    const JobResponse rs = daemon.handle(rq);
-    ASSERT_TRUE(rs.ok) << rs.errorJson;
+    const JobSpec spec = smallJob();
+    const JobResult rs = daemon.handle(spec);
+    ASSERT_TRUE(rs.ok()) << rs.errorJson;
     // The injected failures delayed the result but never changed it.
-    EXPECT_EQ(encodeOutcome(rs.outcome), encodeOutcome(directRun(rq)));
+    EXPECT_EQ(encodeOutcome(rs.outcome), encodeOutcome(directRun(spec)));
     EXPECT_EQ(daemon.counters().crashes.load() +
                   daemon.counters().timeouts.load(),
               static_cast<std::uint64_t>(rs.attempts - 1));
@@ -641,22 +996,22 @@ TEST(ServiceDaemon, RepeatedCrasherIsBlacklisted)
     std::string err;
     ASSERT_TRUE(daemon.start(&err)) << err;
 
-    const JobRequest rq = smallJob();
+    const JobSpec spec = smallJob();
     for (int i = 0; i < 2; ++i) {
-        const JobResponse rs = daemon.handle(rq);
-        EXPECT_FALSE(rs.ok);
-        EXPECT_TRUE(rs.retryable);
+        const JobResult rs = daemon.handle(spec);
+        EXPECT_EQ(rs.status, JobStatus::Retryable);
+        EXPECT_TRUE(rs.retryable());
         EXPECT_NE(rs.errorJson.find("\"kind\":\"crash\""),
                   std::string::npos);
     }
     // The crash budget is spent: the daemon serves the structured
     // error without burning another worker.
-    const std::uint64_t simsBefore = daemon.counters().crashes.load();
-    const JobResponse rs = daemon.handle(rq);
-    EXPECT_FALSE(rs.ok);
-    EXPECT_FALSE(rs.retryable);
+    const std::uint64_t crashesBefore = daemon.counters().crashes.load();
+    const JobResult rs = daemon.handle(spec);
+    EXPECT_EQ(rs.status, JobStatus::Failed);
+    EXPECT_FALSE(rs.retryable());
     EXPECT_EQ(daemon.counters().blacklisted.load(), 1u);
-    EXPECT_EQ(daemon.counters().crashes.load(), simsBefore);
+    EXPECT_EQ(daemon.counters().crashes.load(), crashesBefore);
 }
 
 TEST(ServiceDaemon, UnknownBenchmarkIsStructuredError)
@@ -666,16 +1021,16 @@ TEST(ServiceDaemon, UnknownBenchmarkIsStructuredError)
     std::string err;
     ASSERT_TRUE(daemon.start(&err)) << err;
 
-    JobRequest rq = smallJob();
-    rq.bench = "NOPE";
-    const JobResponse rs = daemon.handle(rq);
-    EXPECT_FALSE(rs.ok);
-    EXPECT_FALSE(rs.retryable);
+    JobSpec spec = smallJob();
+    spec.bench = "NOPE";
+    const JobResult rs = daemon.handle(spec);
+    EXPECT_EQ(rs.status, JobStatus::Failed);
+    EXPECT_FALSE(rs.retryable());
     EXPECT_NE(rs.errorJson.find("\"kind\":\"bad-request\""),
               std::string::npos);
     EXPECT_EQ(daemon.counters().badRequests.load(), 1u);
     // The daemon survives and still serves good jobs.
-    EXPECT_TRUE(daemon.handle(smallJob()).ok);
+    EXPECT_TRUE(daemon.handle(smallJob()).ok());
 }
 
 TEST(ServiceDaemon, MalformedFaultSpecIsStructuredError)
@@ -685,10 +1040,10 @@ TEST(ServiceDaemon, MalformedFaultSpecIsStructuredError)
     std::string err;
     ASSERT_TRUE(daemon.start(&err)) << err;
 
-    JobRequest rq = smallJob();
-    rq.faultSpec = "bogus@@spec";
-    const JobResponse rs = daemon.handle(rq);
-    EXPECT_FALSE(rs.ok);
+    JobSpec spec = smallJob();
+    spec.faultSpec = "bogus@@spec";
+    const JobResult rs = daemon.handle(spec);
+    EXPECT_EQ(rs.status, JobStatus::Failed);
     EXPECT_NE(rs.errorJson.find("\"kind\":\"bad-request\""),
               std::string::npos);
 }
@@ -704,14 +1059,14 @@ TEST(ServiceDaemon, OutcomeWithSimulationErrorIsStillCached)
     std::string err;
     ASSERT_TRUE(daemon.start(&err)) << err;
 
-    JobRequest rq = smallJob(Technique::Dac);
-    rq.faultSpec = "invalidate@1000";
-    const JobResponse first = daemon.handle(rq);
-    ASSERT_TRUE(first.ok) << first.errorJson;
+    JobSpec spec = smallJob(Technique::Dac);
+    spec.faultSpec = "invalidate@1000";
+    const JobResult first = daemon.handle(spec);
+    ASSERT_TRUE(first.ok()) << first.errorJson;
     EXPECT_TRUE(first.outcome.fellBack);
-    const JobResponse second = daemon.handle(rq);
-    ASSERT_TRUE(second.ok);
-    EXPECT_TRUE(second.cached);
+    const JobResult second = daemon.handle(spec);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.source, ResultSource::Cached);
     EXPECT_EQ(encodeOutcome(second.outcome),
               encodeOutcome(first.outcome));
 }
@@ -723,22 +1078,22 @@ TEST(ServiceDaemon, QuarantinesCorruptCacheEntryAndRecomputes)
     std::string err;
     ASSERT_TRUE(daemon.start(&err)) << err;
 
-    const JobRequest rq = smallJob();
-    const JobResponse first = daemon.handle(rq);
-    ASSERT_TRUE(first.ok);
+    const JobSpec spec = smallJob();
+    const JobResult first = daemon.handle(spec);
+    ASSERT_TRUE(first.ok());
 
     // Corrupt the entry on disk behind the daemon's back.
     const std::string entryPath = (tmp.path / "state" / "cache" /
-                                   (daemon.cacheKey(rq) + ".result"))
+                                   (daemon.cacheKey(spec) + ".result"))
                                       .string();
     ASSERT_TRUE(fs::exists(entryPath));
     std::string entry = readFile(entryPath);
     entry[entry.size() / 2] ^= 0x01;
     writeFile(entryPath, entry);
 
-    const JobResponse second = daemon.handle(rq);
-    ASSERT_TRUE(second.ok);
-    EXPECT_FALSE(second.cached); // recomputed, not served corrupt
+    const JobResult second = daemon.handle(spec);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.source, ResultSource::Simulated); // recomputed
     EXPECT_EQ(encodeOutcome(second.outcome),
               encodeOutcome(first.outcome));
     EXPECT_EQ(daemon.counters().sims.load(), 2u);
@@ -747,8 +1102,8 @@ TEST(ServiceDaemon, QuarantinesCorruptCacheEntryAndRecomputes)
     EXPECT_TRUE(fs::exists(entryPath + ".quarantined"));
 
     // And the recomputed entry serves verified hits again.
-    const JobResponse third = daemon.handle(rq);
-    EXPECT_TRUE(third.cached);
+    const JobResult third = daemon.handle(spec);
+    EXPECT_EQ(third.source, ResultSource::Cached);
 }
 
 TEST(ServiceDaemon, ResumesBacklogFromDurableQueue)
@@ -756,45 +1111,300 @@ TEST(ServiceDaemon, ResumesBacklogFromDurableQueue)
     TempDir tmp;
     const std::string dir = (tmp.path / "state").string();
     fs::create_directories(dir);
-    const JobRequest rq = smallJob(Technique::Mta);
+    const JobSpec specA = smallJob(Technique::Mta);
+    JobSpec specB = smallJob(Technique::Cae);
+    specB.id = 2;
 
-    // A dead daemon's journal: the job was submitted, never completed.
-    std::string key;
+    // A dead daemon's journal: two jobs submitted, never completed —
+    // one journalled in the typed j2 form, one by a pre-DSF2 daemon
+    // in the legacy q1 form. Both must resume.
+    std::string keyA, keyB;
     {
         DaemonOptions probe = poolOnlyOptions(tmp);
         Daemon d(probe);
         std::string err;
         ASSERT_TRUE(d.start(&err)) << err;
-        key = d.cacheKey(rq);
+        keyA = d.cacheKey(specA);
+        keyB = d.cacheKey(specB);
     }
     {
         DurableQueue q(dir + "/queue.journal");
-        q.submit(key, encodeRequest(rq));
+        q.submit(keyA, encodeSpec(specA, 2));
+        q.submit(keyB, encodeSpec(specB, 1));
     }
 
     Daemon daemon(poolOnlyOptions(tmp));
     std::string err;
     ASSERT_TRUE(daemon.start(&err)) << err;
-    EXPECT_EQ(daemon.counters().resumed.load(), 1u);
+    EXPECT_EQ(daemon.counters().resumed.load(), 2u);
 
-    // The backlog job runs without any client attached; wait for its
-    // result to land in the cache, then a resubmission is a pure hit.
-    const std::string entry =
-        (fs::path(dir) / "cache" / (key + ".result")).string();
-    for (int i = 0; i < 600 && !fs::exists(entry); ++i)
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    ASSERT_TRUE(fs::exists(entry));
-    const JobResponse rs = daemon.handle(rq);
-    ASSERT_TRUE(rs.ok);
-    EXPECT_TRUE(rs.cached);
-    EXPECT_EQ(encodeOutcome(rs.outcome),
-              encodeOutcome(directRun(rq)));
+    // The backlog jobs run without any client attached; wait for the
+    // results to land in the cache, then resubmissions are pure hits.
+    for (const std::string &key : {keyA, keyB}) {
+        const std::string entry =
+            (fs::path(dir) / "cache" / (key + ".result")).string();
+        for (int i = 0; i < 600 && !fs::exists(entry); ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        ASSERT_TRUE(fs::exists(entry));
+    }
+    const JobResult rsA = daemon.handle(specA);
+    ASSERT_TRUE(rsA.ok());
+    EXPECT_EQ(rsA.source, ResultSource::Cached);
+    EXPECT_EQ(encodeOutcome(rsA.outcome), encodeOutcome(directRun(specA)));
+    const JobResult rsB = daemon.handle(specB);
+    ASSERT_TRUE(rsB.ok());
+    EXPECT_EQ(rsB.source, ResultSource::Cached);
+    EXPECT_EQ(encodeOutcome(rsB.outcome), encodeOutcome(directRun(specB)));
 
     // The queue is drained: a third daemon resumes nothing.
     daemon.stop();
     Daemon fresh(poolOnlyOptions(tmp));
     ASSERT_TRUE(fresh.start(&err)) << err;
     EXPECT_EQ(fresh.counters().resumed.load(), 0u);
+}
+
+// ----- admission control + weighted fairness ------------------------------
+
+TEST(ServiceDaemon, OverDepthSubmissionIsStructuredOverloaded)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.workers = 1;
+    opt.queueDepth = 1;
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    // A long job (~1s) reliably occupies carol's one admission slot
+    // while the over-depth submission arrives.
+    JobSpec specA;
+    specA.id = 1;
+    specA.bench = "KM";
+    specA.tech = Technique::Baseline;
+    specA.setScale(2.0);
+    specA.client = "carol";
+    JobSpec specB = smallJob();
+    specB.id = 2;
+    specB.client = "carol";
+    JobSpec specC = smallJob();
+    specC.id = 3;
+    specC.scaleBits += 1; // distinct job
+    specC.client = "dave";
+
+    JobResult a;
+    std::thread ta([&] { a = daemon.handle(specA); });
+    ASSERT_TRUE(waitForJournalKey(tmp, daemon.cacheKey(specA)));
+
+    // carol is at her depth: a structured rejection, never a hang or
+    // an unbounded buffer.
+    const JobResult b = daemon.handle(specB);
+    EXPECT_EQ(b.status, JobStatus::Overloaded);
+    EXPECT_TRUE(b.retryable());
+    EXPECT_NE(b.errorJson.find("overloaded"), std::string::npos);
+    EXPECT_EQ(daemon.counters().overloaded.load(), 1u);
+
+    // The bound is per client: dave's job is admitted, queues behind
+    // the running job, and completes normally.
+    const JobResult c = daemon.handle(specC);
+    EXPECT_TRUE(c.ok()) << c.errorJson;
+
+    ta.join();
+    EXPECT_TRUE(a.ok()) << a.errorJson;
+}
+
+TEST(ServiceDaemon, WeightedClientsCompleteWithinFairnessBand)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.workers = 1; // serialize completions so order is observable
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    // A plug job holds the single worker while both competing clients
+    // queue their full sweeps behind it.
+    JobSpec plug;
+    plug.id = 1;
+    plug.bench = "KM";
+    plug.tech = Technique::Baseline;
+    plug.setScale(2.0);
+    plug.client = "plug";
+    std::thread plugThread([&] { daemon.handle(plug); });
+    ASSERT_TRUE(waitForJournalKey(tmp, daemon.cacheKey(plug)));
+
+    std::mutex orderMu;
+    std::vector<char> order;
+    std::vector<std::thread> threads;
+    std::atomic<int> failed{0};
+    for (int i = 0; i < 24; ++i) {
+        threads.emplace_back([&, i] {
+            JobSpec spec = smallJob();
+            spec.id = static_cast<std::uint64_t>(i) + 10;
+            spec.setScale(0.01);
+            const bool isAlpha = i < 12;
+            spec.scaleBits += static_cast<std::uint64_t>(i); // distinct
+            spec.client = isAlpha ? "alpha" : "bravo";
+            spec.weight = isAlpha ? 8 : 1;
+            const JobResult rs = daemon.handle(spec);
+            if (!rs.ok())
+                failed.fetch_add(1);
+            std::lock_guard<std::mutex> g(orderMu);
+            order.push_back(isAlpha ? 'A' : 'B');
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    plugThread.join();
+    EXPECT_EQ(failed.load(), 0);
+    ASSERT_EQ(order.size(), 24u);
+
+    // The stride schedule interleaves ~8 alpha completions per bravo:
+    // alpha (weight 8) must own the lion's share of the first twelve
+    // completions instead of the FIFO coin-flip an unweighted queue
+    // would give.
+    int alphaEarly = 0;
+    for (int i = 0; i < 12; ++i)
+        if (order[static_cast<std::size_t>(i)] == 'A')
+            ++alphaEarly;
+    EXPECT_GE(alphaEarly, 8) << std::string(order.begin(), order.end());
+}
+
+// ----- progress streaming -------------------------------------------------
+
+TEST(ServiceDaemon, StreamedJobDeliversBoundarySamplesAndExactOutcome)
+{
+    TempDir tmp;
+    Daemon daemon(poolOnlyOptions(tmp));
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    JobSpec spec;
+    spec.id = 42;
+    spec.bench = "SP";
+    spec.tech = Technique::Dac;
+    spec.setScale(0.05);
+    spec.progress = true;
+
+    std::vector<JobProgress> frames;
+    const JobResult rs = daemon.handle(spec, [&](const JobProgress &p) {
+        frames.push_back(p);
+    });
+    ASSERT_TRUE(rs.ok()) << rs.errorJson;
+    EXPECT_EQ(rs.source, ResultSource::Simulated);
+
+    // The streamed outcome is byte-identical to a direct run without
+    // any observability: obs never feeds the result.
+    EXPECT_EQ(encodeOutcome(rs.outcome), encodeOutcome(directRun(spec)));
+
+    // The stream is the run's real boundary timeline: the same
+    // samples, in order, that a local obs run records — ending at the
+    // run's exact final cycle.
+    RunOptions direct;
+    direct.tech = spec.tech;
+    direct.scale = spec.scale();
+    direct.obs.stalls = true;
+    direct.obs.timeline = true;
+    std::vector<TimelineSample> golden;
+    StallStats goldenStalls;
+    direct.obs.onSample = [&](const TimelineSample &t,
+                              const StallStats &s) {
+        golden.push_back(t);
+        goldenStalls = s;
+    };
+    runWorkload(spec.bench, direct);
+
+    ASSERT_GE(frames.size(), 2u);
+    ASSERT_EQ(frames.size(), golden.size());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        EXPECT_EQ(frames[i].id, spec.id);
+        EXPECT_EQ(frames[i].sample, golden[i]) << "sample " << i;
+    }
+    EXPECT_EQ(frames.back().sample.cycle, rs.outcome.stats.cycles);
+    EXPECT_EQ(frames.back().stalls.idleSlots, goldenStalls.idleSlots);
+    EXPECT_EQ(frames.back().stalls.reasons, goldenStalls.reasons);
+    EXPECT_EQ(daemon.counters().progressFrames.load(), frames.size());
+}
+
+TEST(ServiceSocket, StreamingEndToEndThroughTypedClient)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.socketPath = (tmp.path / "dacsimd.sock").string();
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    std::thread server([&] { daemon.serve(); });
+
+    {
+        Client cli(opt.socketPath);
+        JobSpec spec;
+        spec.bench = "SP";
+        spec.tech = Technique::Dac;
+        spec.setScale(0.05);
+        spec.progress = true;
+
+        int frames = 0;
+        std::uint64_t lastCycle = 0;
+        bool monotone = true;
+        cli.onProgress([&](const JobProgress &p) {
+            ++frames;
+            if (p.sample.cycle <= lastCycle)
+                monotone = false;
+            lastCycle = p.sample.cycle;
+        });
+        JobResult rs;
+        std::string cerr2;
+        ASSERT_TRUE(cli.call(spec, &rs, &cerr2)) << cerr2;
+        ASSERT_TRUE(rs.ok()) << rs.errorJson;
+
+        // Every frame arrived before the result, in run order, and the
+        // stream ended exactly where the run did.
+        EXPECT_GE(frames, 2);
+        EXPECT_TRUE(monotone);
+        EXPECT_EQ(lastCycle, rs.outcome.stats.cycles);
+        EXPECT_EQ(encodeOutcome(rs.outcome),
+                  encodeOutcome(directRun(spec)));
+    }
+    daemon.requestStop();
+    server.join();
+}
+
+// ----- shard routing ------------------------------------------------------
+
+TEST(ServiceRouter, FailsOverToSiblingShardWithIdenticalResult)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.socketPath = (tmp.path / "live.sock").string();
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    std::thread server([&] { daemon.serve(); });
+
+    {
+        const std::string deadSocket = (tmp.path / "dead.sock").string();
+        RouterOptions ropt;
+        ropt.failoverMs = 500;
+        ShardRouter router({deadSocket, opt.socketPath}, ropt);
+
+        // Pick a job whose preferred shard is the dead one, so the
+        // call must walk the preference order.
+        JobSpec spec = smallJob(Technique::Dac);
+        while (router.rank(router.keyFor(spec))[0] != 0)
+            spec.scaleBits += 1;
+
+        JobResult rs;
+        std::string cerr2;
+        ASSERT_TRUE(router.call(spec, &rs, &cerr2)) << cerr2;
+        ASSERT_TRUE(rs.ok()) << rs.errorJson;
+        // Content addressing makes failover invisible: the sibling
+        // computed the byte-identical outcome.
+        EXPECT_EQ(encodeOutcome(rs.outcome),
+                  encodeOutcome(directRun(spec)));
+        EXPECT_EQ(daemon.counters().sims.load(), 1u);
+    }
+    daemon.requestStop();
+    server.join();
 }
 
 // ----- socket end to end --------------------------------------------------
@@ -810,25 +1420,63 @@ TEST(ServiceSocket, EndToEndOverUnixSocket)
     std::thread server([&] { daemon.serve(); });
 
     {
-        ServiceClient cli(opt.socketPath);
-        const JobRequest rq = smallJob();
-        JobResponse rs;
+        Client cli(opt.socketPath);
+        const JobSpec spec = smallJob();
+        JobResult rs;
         std::string cerr2;
-        ASSERT_TRUE(cli.call(rq, &rs, &cerr2)) << cerr2;
-        ASSERT_TRUE(rs.ok) << rs.errorJson;
-        EXPECT_EQ(rs.id, rq.id);
+        ASSERT_TRUE(cli.call(spec, &rs, &cerr2)) << cerr2;
+        ASSERT_TRUE(rs.ok()) << rs.errorJson;
+        EXPECT_EQ(rs.id, spec.id);
         EXPECT_EQ(encodeOutcome(rs.outcome),
-                  encodeOutcome(directRun(rq)));
+                  encodeOutcome(directRun(spec)));
 
         // Same connection, second call: served from the cache.
-        JobResponse again;
-        ASSERT_TRUE(cli.call(rq, &again, &cerr2)) << cerr2;
-        EXPECT_TRUE(again.cached);
+        JobResult again;
+        ASSERT_TRUE(cli.call(spec, &again, &cerr2)) << cerr2;
+        EXPECT_EQ(again.source, ResultSource::Cached);
     }
     daemon.requestStop();
     server.join();
     EXPECT_EQ(daemon.counters().sims.load(), 1u);
     EXPECT_EQ(daemon.counters().cacheHits.load(), 1u);
+}
+
+TEST(ServiceSocket, PipelinedSubmitsResolveOutOfOrderWaits)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.socketPath = (tmp.path / "dacsimd.sock").string();
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    std::thread server([&] { daemon.serve(); });
+
+    {
+        Client cli(opt.socketPath);
+        // Three jobs in flight on one connection before any wait().
+        const std::uint64_t id1 = cli.submit(smallJob());
+        const std::uint64_t id2 = cli.submit(smallJob(Technique::Cae));
+        const std::uint64_t id3 = cli.submit(smallJob(Technique::Dac));
+        EXPECT_NE(id1, id2);
+        EXPECT_NE(id2, id3);
+
+        // Waiting in reverse order still resolves every job.
+        JobResult rs;
+        std::string cerr2;
+        ASSERT_TRUE(cli.wait(id3, &rs, &cerr2)) << cerr2;
+        EXPECT_TRUE(rs.ok());
+        ASSERT_TRUE(cli.wait(id1, &rs, &cerr2)) << cerr2;
+        EXPECT_TRUE(rs.ok());
+        ASSERT_TRUE(cli.wait(id2, &rs, &cerr2)) << cerr2;
+        EXPECT_TRUE(rs.ok());
+
+        // An id that names no submitted job is a client-side error,
+        // not a hang.
+        EXPECT_FALSE(cli.wait(9999, &rs, &cerr2));
+        EXPECT_FALSE(cerr2.empty());
+    }
+    daemon.requestStop();
+    server.join();
 }
 
 TEST(ServiceSocket, PredictAnsweredStaticallyOnMissAndFromCacheOnHit)
@@ -842,25 +1490,24 @@ TEST(ServiceSocket, PredictAnsweredStaticallyOnMissAndFromCacheOnHit)
     std::thread server([&] { daemon.serve(); });
 
     {
-        ServiceClient cli(opt.socketPath);
-        JobRequest rq = smallJob(Technique::Dac);
-        rq.kind = JobKind::Predict;
+        Client cli(opt.socketPath);
+        JobSpec spec = smallJob(Technique::Dac);
+        spec.kind = JobKind::Predict;
         std::string cerr2;
 
         // Cold cache: the static predictor answers instantly, without
         // simulating, and the estimate is never cached.
-        JobResponse est;
-        ASSERT_TRUE(cli.call(rq, &est, &cerr2)) << cerr2;
-        ASSERT_TRUE(est.ok) << est.errorJson;
-        EXPECT_TRUE(est.estimate);
-        EXPECT_FALSE(est.cached);
+        JobResult est;
+        ASSERT_TRUE(cli.call(spec, &est, &cerr2)) << cerr2;
+        ASSERT_TRUE(est.ok()) << est.errorJson;
+        EXPECT_EQ(est.source, ResultSource::Predicted);
         EXPECT_EQ(daemon.counters().sims.load(), 0u);
         EXPECT_EQ(daemon.counters().estimates.load(), 1u);
 
         // The estimate is exactly the static model's.
         GpuMemory gmem;
         PreparedWorkload prep =
-            findWorkload(rq.bench).prepare(gmem, rq.scale());
+            findWorkload(spec.bench).prepare(gmem, spec.scale());
         const RunOptions defaults;
         PredictReport rep =
             predictKernel(prep.kernel, predictLaunches(prep),
@@ -870,20 +1517,19 @@ TEST(ServiceSocket, PredictAnsweredStaticallyOnMissAndFromCacheOnHit)
 
         // A later run request still simulates (the estimate did not
         // poison the cache) ...
-        JobRequest run = smallJob(Technique::Dac);
-        JobResponse real;
+        JobSpec run = smallJob(Technique::Dac);
+        JobResult real;
         ASSERT_TRUE(cli.call(run, &real, &cerr2)) << cerr2;
-        ASSERT_TRUE(real.ok) << real.errorJson;
-        EXPECT_FALSE(real.estimate);
+        ASSERT_TRUE(real.ok()) << real.errorJson;
+        EXPECT_EQ(real.source, ResultSource::Simulated);
         EXPECT_EQ(daemon.counters().sims.load(), 1u);
 
         // ... and a predict request after it is served the real cached
         // outcome, not an estimate.
-        JobResponse hit;
-        ASSERT_TRUE(cli.call(rq, &hit, &cerr2)) << cerr2;
-        ASSERT_TRUE(hit.ok);
-        EXPECT_TRUE(hit.cached);
-        EXPECT_FALSE(hit.estimate);
+        JobResult hit;
+        ASSERT_TRUE(cli.call(spec, &hit, &cerr2)) << cerr2;
+        ASSERT_TRUE(hit.ok());
+        EXPECT_EQ(hit.source, ResultSource::Cached);
         EXPECT_EQ(encodeOutcome(hit.outcome),
                   encodeOutcome(real.outcome));
     }
@@ -902,34 +1548,134 @@ TEST(ServiceSocket, GarbageBytesGetStructuredErrorNotCrash)
     std::thread server([&] { daemon.serve(); });
 
     // Hand-rolled raw connection speaking garbage.
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    ASSERT_GE(fd, 0);
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, opt.socketPath.c_str(),
-                 sizeof addr.sun_path - 1);
-    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                        sizeof addr),
-              0);
+    const int fd = rawConnect(opt.socketPath);
     writeAll(fd, "this is not a frame and never will be");
     std::string buf;
     ASSERT_TRUE(readWithDeadline(fd, 10000, &buf));
     ::close(fd);
     std::string payload, detail;
     ASSERT_EQ(popFrame(&buf, &payload, &detail), FrameStatus::Ok);
-    JobResponse rs;
-    ASSERT_TRUE(decodeResponse(payload, &rs));
-    EXPECT_FALSE(rs.ok);
+    JobResult rs;
+    ASSERT_TRUE(decodeResult(payload, &rs));
+    EXPECT_FALSE(rs.ok());
     EXPECT_NE(rs.errorJson.find("bad-frame"), std::string::npos);
     EXPECT_EQ(daemon.counters().badRequests.load(), 1u);
 
     // The daemon shrugged it off: a well-formed client still works.
-    ServiceClient cli(opt.socketPath);
-    JobResponse good;
+    Client cli(opt.socketPath);
+    JobResult good;
     std::string cerr2;
     ASSERT_TRUE(cli.call(smallJob(), &good, &cerr2)) << cerr2;
-    EXPECT_TRUE(good.ok);
+    EXPECT_TRUE(good.ok());
 
     daemon.requestStop();
     server.join();
+}
+
+TEST(ServiceSocket, MalformedTypedSpecGetsStructuredRejection)
+{
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.socketPath = (tmp.path / "dacsimd.sock").string();
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    std::thread server([&] { daemon.serve(); });
+
+    // A well-framed DSF2 message whose j2 payload is malformed: the
+    // daemon must answer a typed Failed result — and keep the
+    // connection alive for the valid spec that follows.
+    const int fd = rawConnect(opt.socketPath);
+    writeAll(fd,
+             frameMessage("j2 id=1 bench=BS tech=warp-drive",
+                          frameMagicV2));
+    writeAll(fd, frameMessage(encodeSpec(smallJob()), frameMagicV2));
+    ::shutdown(fd, SHUT_WR);
+    std::string buf;
+    ASSERT_TRUE(readWithDeadline(fd, 60000, &buf));
+    ::close(fd);
+
+    std::string payload, detail;
+    int version = 0;
+    ASSERT_EQ(popFrame(&buf, &payload, &detail, &version),
+              FrameStatus::Ok);
+    EXPECT_EQ(version, 2); // the reply is framed in the wire's protocol
+    JobResult rejected;
+    ASSERT_TRUE(decodeResult(payload, &rejected));
+    EXPECT_EQ(rejected.status, JobStatus::Failed);
+    EXPECT_NE(rejected.errorJson.find("bad-request"), std::string::npos);
+    EXPECT_NE(rejected.errorJson.find("technique"), std::string::npos);
+
+    ASSERT_EQ(popFrame(&buf, &payload, &detail, &version),
+              FrameStatus::Ok);
+    JobResult good;
+    ASSERT_TRUE(decodeResult(payload, &good));
+    EXPECT_TRUE(good.ok()) << good.errorJson;
+    EXPECT_EQ(daemon.counters().badRequests.load(), 1u);
+
+    daemon.requestStop();
+    server.join();
+}
+
+TEST(ServiceSocket, RecordedV1CorpusRoundTripsThroughDaemon)
+{
+    // The recorded DSF1 corpus: byte-for-byte requests an old client
+    // sent. A DSF2 daemon must serve each one on a DSF1-framed
+    // connection with the outcome a direct local run produces.
+    const fs::path dir = fs::path(DACSIM_CORPUS_DIR) / "service";
+    std::vector<fs::path> corpus;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().filename().string().rfind("v1-", 0) == 0)
+            corpus.push_back(entry.path());
+    std::sort(corpus.begin(), corpus.end());
+    ASSERT_GE(corpus.size(), 4u);
+
+    TempDir tmp;
+    DaemonOptions opt = poolOnlyOptions(tmp);
+    opt.socketPath = (tmp.path / "dacsimd.sock").string();
+    Daemon daemon(opt);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    std::thread server([&] { daemon.serve(); });
+
+    for (const fs::path &file : corpus) {
+        const std::string wire = readFile(file);
+
+        // What the recorded request *means*, per the codec.
+        std::string reqBuf = wire, reqPayload, detail;
+        int version = 0;
+        ASSERT_EQ(popFrame(&reqBuf, &reqPayload, &detail, &version),
+                  FrameStatus::Ok)
+            << file;
+        EXPECT_EQ(version, 1) << file;
+        JobSpec spec;
+        ASSERT_TRUE(decodeSpec(reqPayload, &spec, &err)) << file << err;
+
+        // Replay the recorded bytes verbatim.
+        const int fd = rawConnect(opt.socketPath);
+        writeAll(fd, wire);
+        ::shutdown(fd, SHUT_WR);
+        std::string buf;
+        ASSERT_TRUE(readWithDeadline(fd, 60000, &buf)) << file;
+        ::close(fd);
+
+        std::string payload;
+        ASSERT_EQ(popFrame(&buf, &payload, &detail, &version),
+                  FrameStatus::Ok)
+            << file;
+        // The reply stays on the connection's protocol: DSF1 framing,
+        // p1 payload.
+        EXPECT_EQ(version, 1) << file;
+        EXPECT_EQ(payloadTag(payload), "p1") << file;
+        JobResult rs;
+        ASSERT_TRUE(decodeResult(payload, &rs)) << file;
+        ASSERT_TRUE(rs.ok()) << file << ": " << rs.errorJson;
+        EXPECT_EQ(rs.id, spec.id) << file;
+        EXPECT_EQ(encodeOutcome(rs.outcome),
+                  encodeOutcome(directRun(spec)))
+            << file;
+    }
+    daemon.requestStop();
+    server.join();
+    EXPECT_EQ(daemon.counters().badRequests.load(), 0u);
 }
